@@ -1,0 +1,77 @@
+"""Appendix F: cardinality of the perturbation space.
+
+The paper reports |Π̂(∅)| ≈ 1.94e38 for a 7-instruction AVX block (Listing 4)
+and ≈ 1.63e32 for a 10-instruction integer block (Listing 5), and shows the
+count shrinking when an instruction feature is preserved.  The reproduction
+regenerates the same table for the same listings; the absolute magnitudes
+depend on the modelled ISA subset, but the counts must be astronomically
+large and must shrink monotonically as features are preserved.
+"""
+
+from conftest import emit
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import InstructionFeature
+from repro.perturb.space import estimate_space_size, log10_space_size
+from repro.utils.tables import render_table
+
+LISTING_4 = """
+    vdivss xmm0, xmm0, xmm6
+    vmulss xmm7, xmm0, xmm0
+    vxorps xmm0, xmm0, xmm5
+    vaddss xmm7, xmm7, xmm3
+    vmulss xmm6, xmm6, xmm7
+    vdivss xmm6, xmm3, xmm6
+    vmulss xmm0, xmm6, xmm0
+"""
+
+LISTING_5 = """
+    shl eax, 3
+    imul rax, r15
+    xor edx, edx
+    add rax, 7
+    shr rax, 3
+    lea rax, [rbp + rax - 1]
+    div rbp
+    imul rax, rbp
+    mov rbp, qword ptr [rsp + 8]
+    sub rbp, rax
+"""
+
+
+def _rows():
+    rows = []
+    for name, text, preserved_index in (
+        ("Listing 4 (AVX block)", LISTING_4, 0),
+        ("Listing 5 (integer block)", LISTING_5, 1),
+    ):
+        block = BasicBlock.from_text(text)
+        empty = estimate_space_size(block)
+        feature = InstructionFeature.of(preserved_index, block[preserved_index])
+        preserved = estimate_space_size(block, [feature])
+        rows.append(
+            [
+                name,
+                block.num_instructions,
+                f"{empty:.2e}",
+                f"log10={log10_space_size(block):.1f}",
+                f"{preserved:.2e}",
+            ]
+        )
+    return rows
+
+
+def test_appendix_f_space_sizes(benchmark, results_dir):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["Block", "n", "|Π̂(∅)| estimate", "order", "|Π̂({inst})| estimate"],
+        rows,
+        title="Appendix F: perturbation-space cardinality estimates",
+    )
+    emit(results_dir, "appendix_f_space", text)
+
+    for row in rows:
+        empty = float(row[2])
+        preserved = float(row[4])
+        assert empty > 1e20          # astronomically large, as in the paper
+        assert preserved < empty     # preserving a feature shrinks the space

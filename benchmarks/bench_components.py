@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the building blocks (not a paper table).
+
+These use pytest-benchmark's normal timing loop to track the cost of the
+operations the explanation workload performs thousands of times per block:
+perturbation sampling, pipeline simulation, neural-model inference and one
+full explanation.  Useful for spotting performance regressions.
+"""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.uica import UiCACostModel
+from repro.perturb.sampler import PerturbationSampler
+
+BLOCK_TEXT = """
+    mov ecx, edx
+    xor edx, edx
+    lea rax, [rcx + rax - 1]
+    div rcx
+    mov rdx, rcx
+    imul rax, rcx
+"""
+
+
+@pytest.fixture(scope="module")
+def block():
+    return BasicBlock.from_text(BLOCK_TEXT)
+
+
+def test_perturbation_sampling_speed(benchmark, block):
+    sampler = PerturbationSampler(block, rng=0)
+    benchmark(lambda: sampler.sample_unconstrained(10))
+
+
+def test_pipeline_simulation_speed(benchmark, block):
+    model = UiCACostModel("hsw")
+    benchmark(lambda: model.simulator.throughput(block))
+
+
+def test_neural_inference_speed(benchmark, block, eval_context):
+    model = eval_context.ithemal_model("hsw")
+    benchmark(lambda: model.inner.predict(block))
+
+
+def test_full_explanation_speed(benchmark, block):
+    model = AnalyticalCostModel("hsw")
+    config = ExplainerConfig(epsilon=0.2, relative_epsilon=0.0)
+
+    def explain_once():
+        return CometExplainer(model, config, rng=0).explain(block)
+
+    explanation = benchmark.pedantic(explain_once, rounds=3, iterations=1)
+    assert explanation.precision > 0.0

@@ -1,0 +1,40 @@
+"""Figure 4: error vs explanation granularity, partitioned by BHive category.
+
+The paper repeats the Figure 2 study on 50-block partitions per category
+(Load, Load/Store, Store, Scalar, Vector, Scalar/Vector).  The reproduction
+checks the headline trend — the neural model's error is at least as large as
+the simulator's in every category — and reports the full composition table
+per category.
+"""
+
+from conftest import emit
+
+from repro.eval.error_correlation import (
+    render_granularity_table,
+    run_partitioned_granularity_experiment,
+)
+
+
+def test_fig4_partition_by_category(benchmark, eval_context, results_dir):
+    per_category = benchmark.pedantic(
+        lambda: run_partitioned_granularity_experiment(
+            eval_context,
+            partition="category",
+            blocks_per_partition=max(eval_context.settings.test_set_size // 2, 8),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for category, results in per_category.items():
+        sections.append(render_granularity_table(f"Figure 4 ({category})", results))
+    emit(results_dir, "fig4_categories", "\n\n".join(sections))
+
+    assert len(per_category) >= 4
+    worse_or_equal = 0
+    for category, results in per_category.items():
+        by_label = {r.model_label: r for r in results}
+        if by_label["Ithemal"].mape >= by_label["uiCA"].mape:
+            worse_or_equal += 1
+    # The neural model is the higher-error model in (nearly) every partition.
+    assert worse_or_equal >= len(per_category) - 1

@@ -1,0 +1,37 @@
+"""Figure 5 (Appendix E.1): explanation accuracy vs the precision threshold.
+
+The paper sweeps the threshold ``1 − δ`` and picks 0.7 as the largest value
+still attaining the best accuracy.  The reproduction reports the same sweep
+and checks that the default threshold is competitive with every other value.
+"""
+
+from conftest import emit
+
+from repro.eval.ablations import sweep_precision_threshold
+from repro.utils.tables import render_series
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def test_fig5_precision_threshold(benchmark, eval_context, results_dir):
+    blocks = eval_context.test_blocks()[: max(len(eval_context.test_blocks()) // 2, 8)]
+    points = benchmark.pedantic(
+        lambda: sweep_precision_threshold(eval_context, THRESHOLDS, blocks=blocks),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_series(
+        "Figure 5: explanation accuracy vs precision threshold (1 - delta)",
+        [p.value for p in points],
+        {"accuracy (%)": [p.accuracy for p in points]},
+        x_label="threshold",
+        precision=1,
+    )
+    emit(results_dir, "fig5_precision_threshold", text)
+
+    by_value = {float(p.value): p.accuracy for p in points}
+    best = max(by_value.values())
+    # The paper's default threshold (0.7) should be within reach of the best
+    # sweep point (ties are common at this evaluation scale).
+    assert by_value[0.7] >= best - 20.0
+    assert all(0.0 <= p.accuracy <= 100.0 for p in points)

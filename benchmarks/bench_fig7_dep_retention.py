@@ -1,0 +1,37 @@
+"""Figure 7 (Appendix E.3): accuracy and precision vs explicit dependency
+retention probability.
+
+The paper selects 0.1 as the value that balances explanation accuracy and
+precision.  The reproduction reports both series for the same sweep.
+"""
+
+from conftest import emit
+
+from repro.eval.ablations import sweep_dependency_retention
+from repro.utils.tables import render_series
+
+PROBABILITIES = (0.0, 0.1, 0.3, 0.5)
+
+
+def test_fig7_dependency_retention(benchmark, eval_context, results_dir):
+    blocks = eval_context.test_blocks()[: max(len(eval_context.test_blocks()) // 2, 8)]
+    points = benchmark.pedantic(
+        lambda: sweep_dependency_retention(eval_context, PROBABILITIES, blocks=blocks),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_series(
+        "Figure 7: accuracy and precision vs explicit dependency retention",
+        [p.value for p in points],
+        {
+            "accuracy (%)": [p.accuracy for p in points],
+            "avg precision": [p.precision for p in points],
+        },
+        x_label="p_explicit_retain",
+        precision=2,
+    )
+    emit(results_dir, "fig7_dep_retention", text)
+
+    by_value = {float(p.value): p for p in points}
+    assert by_value[0.1].accuracy >= max(p.accuracy for p in points) - 25.0
+    assert all(0.0 <= p.precision <= 1.0 for p in points)

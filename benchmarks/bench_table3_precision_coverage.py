@@ -1,0 +1,25 @@
+"""Table 3: average precision and coverage of COMET's explanations.
+
+Paper values: precision ≈ 0.78–0.81 and coverage ≈ 0.18–0.19 for Ithemal and
+uiCA on Haswell and Skylake.  The reproduction checks that precision is high
+(at or above the 0.7 threshold on average) and coverage is a non-trivial
+fraction of the perturbation space for every model/micro-architecture pair.
+"""
+
+from conftest import emit
+
+from repro.eval.precision_coverage import run_precision_coverage_experiment
+
+
+def test_table3_precision_coverage(benchmark, eval_context, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_precision_coverage_experiment(eval_context),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table3_precision_coverage", result.render())
+
+    assert len(result.rows) == 4  # 2 models x 2 microarchitectures
+    for row in result.rows:
+        assert row.precision_mean >= 0.6, row.model_label
+        assert 0.01 <= row.coverage_mean <= 0.9, row.model_label

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  They all share
+one :class:`~repro.eval.context.EvaluationContext` (same dataset, same trained
+models) so the suite runs in minutes; scale can be raised towards the paper's
+setup with the ``REPRO_EVAL_*`` environment variables (see
+``repro/eval/context.py``).
+
+Each benchmark prints the regenerated rows/series and also writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artefacts.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.eval.context import EvaluationContext, EvaluationSettings  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def eval_context() -> EvaluationContext:
+    """The shared evaluation context (dataset + trained cost models)."""
+    return EvaluationContext.shared(EvaluationSettings.from_env())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Prepends ``src/`` to ``sys.path`` so the test and benchmark suites run against
+the in-tree package even when ``pip install -e .`` has not been executed
+(useful on machines without network access to pip's build dependencies).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

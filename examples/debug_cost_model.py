@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Debug a cost model: find its worst predictions and ask COMET *why*.
+
+This is the compiler-engineer workflow the paper motivates: given a neural
+cost model, find blocks where it disagrees most with measurements, then use
+COMET's explanations (for the neural model and for a trusted simulator) to
+see which block features each model is relying on.  A neural model that
+explains a division-bound block with "the block has 6 instructions" is
+ignoring the feature that actually matters — exactly the failure mode of the
+paper's case study 2.
+
+Runs in about a minute.
+"""
+
+import argparse
+
+from repro.core import CachedCostModel, CometExplainer, ExplainerConfig, UiCACostModel, train_ithemal
+from repro.data import BHiveDataset, train_test_split
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", type=int, default=300, help="dataset size")
+    parser.add_argument("--worst", type=int, default=3, help="worst blocks to analyse")
+    parser.add_argument("--microarch", default="hsw", choices=["hsw", "skl"])
+    args = parser.parse_args()
+
+    dataset = BHiveDataset.synthesize(args.dataset, rng=0)
+    train, held_out = train_test_split(dataset, 0.25, rng=1)
+
+    print("Training the neural cost model ...")
+    neural = CachedCostModel(
+        train_ithemal(train.blocks(), train.throughputs(args.microarch), args.microarch)
+    )
+    simulator = CachedCostModel(UiCACostModel(args.microarch))
+
+    # Rank held-out blocks by the neural model's relative error.
+    scored = []
+    for record in held_out:
+        measured = record.throughput(args.microarch)
+        predicted = neural.predict(record.block)
+        scored.append((abs(predicted - measured) / max(measured, 1e-6), record, predicted))
+    scored.sort(key=lambda item: item[0], reverse=True)
+
+    explainer_neural = CometExplainer(neural, ExplainerConfig(), rng=4)
+    explainer_sim = CometExplainer(simulator, ExplainerConfig(), rng=4)
+
+    for rank, (relative_error, record, predicted) in enumerate(scored[: args.worst], 1):
+        measured = record.throughput(args.microarch)
+        print("=" * 72)
+        print(f"Worst prediction #{rank}: relative error {100 * relative_error:.0f}%")
+        print(record.block.text)
+        print(
+            f"\n  measured {measured:.2f} cycles | neural {predicted:.2f} | "
+            f"simulator {simulator.predict(record.block):.2f}"
+        )
+        neural_expl = explainer_neural.explain(record.block)
+        sim_expl = explainer_sim.explain(record.block)
+        print("\n  Neural model relies on:")
+        for feature in neural_expl.features or []:
+            print(f"    - {feature.describe()}")
+        if not neural_expl.features:
+            print("    (nothing: its prediction barely reacts to perturbations)")
+        print("  Simulator relies on:")
+        for feature in sim_expl.features or []:
+            print(f"    - {feature.describe()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

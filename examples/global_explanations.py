@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Global explanations: why the paper explains one block at a time.
+
+Section 4 of the paper argues that global explanations (one rule describing
+every block whose predicted cost falls in a target set) only exist for very
+simple cost models, using a hypothetical model M1 that predicts 2 cycles iff
+a block has exactly 8 instructions.  This script runs the global explainer on
+both M1 and the realistic uiCA stand-in: the rule for M1 is recovered exactly
+(precision = recall = 1), while the best rule for the realistic model over a
+comparable prediction band is visibly weaker — the empirical motivation for
+COMET's block-specific explanations.
+
+Runs in well under a minute.
+
+Usage::
+
+    python examples/global_explanations.py
+"""
+
+from repro.core import CachedCostModel, UiCACostModel
+from repro.data import BHiveDataset
+from repro.globalx import GlobalExplainer, InstructionCountThresholdModel
+
+NUM_BLOCKS = 120
+
+
+def main() -> None:
+    dataset = BHiveDataset.synthesize(
+        NUM_BLOCKS, min_instructions=4, max_instructions=10, microarchs=("hsw",), rng=7
+    )
+    blocks = dataset.blocks()
+
+    print("=== Toy model M1: 2 cycles iff the block has 8 instructions ===")
+    m1 = InstructionCountThresholdModel(target_count=8)
+    m1_explanation = GlobalExplainer(m1, blocks).explain_value(2.0, epsilon=0.25)
+    print(m1_explanation.describe())
+    print()
+
+    print("=== Realistic model: uiCA stand-in, middle prediction band ===")
+    uica = CachedCostModel(UiCACostModel("hsw"))
+    explainer = GlobalExplainer(uica, blocks)
+    predictions = sorted(explainer.predictions())
+    low = predictions[len(predictions) // 3]
+    high = predictions[2 * len(predictions) // 3]
+    uica_explanation = explainer.explain_range(low, high)
+    print(uica_explanation.describe())
+    print()
+
+    print(
+        "Take-away: the toy model admits a perfect global rule "
+        f"(F1 = {m1_explanation.f1:.2f}), the realistic model does not "
+        f"(F1 = {uica_explanation.f1:.2f}) — hence block-specific explanations."
+    )
+
+
+if __name__ == "__main__":
+    main()

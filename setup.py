@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for legacy editable installs without wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""COMET reproduction: explanation framework for basic-block cost models.
+
+See ``repro.core`` for the primary public API, ``README.md`` for a
+quickstart, and ``DESIGN.md`` for the system inventory and the mapping from
+the paper's tables/figures to the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""Basic-block representation: dependencies, multigraph, explanation features."""
+
+from repro.bb.block import BasicBlock, BlockCategory, classify_block
+from repro.bb.dependencies import (
+    Dependency,
+    DependencyKind,
+    find_dependencies,
+)
+from repro.bb.multigraph import DependencyGraph, build_multigraph
+from repro.bb.features import (
+    Feature,
+    FeatureKind,
+    InstructionFeature,
+    DependencyFeature,
+    NumInstructionsFeature,
+    extract_features,
+    feature_present,
+    features_present,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BlockCategory",
+    "classify_block",
+    "Dependency",
+    "DependencyKind",
+    "find_dependencies",
+    "DependencyGraph",
+    "build_multigraph",
+    "Feature",
+    "FeatureKind",
+    "InstructionFeature",
+    "DependencyFeature",
+    "NumInstructionsFeature",
+    "extract_features",
+    "feature_present",
+    "features_present",
+]

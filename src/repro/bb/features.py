@@ -1,0 +1,211 @@
+"""Explanation feature primitives (the paper's restricted feature set ``P̂``).
+
+COMET composes explanations from three feature types (Section 5.1):
+
+* :class:`InstructionFeature` — a specific instruction of the block,
+* :class:`DependencyFeature` — a specific data-dependency hazard,
+* :class:`NumInstructionsFeature` — the number of instructions ``η``.
+
+Instruction and dependency features are *fine-grained*; the instruction count
+is *coarse-grained*.  The utility study in Section 6.3 relies on this split.
+
+Features have two roles:
+
+1. during the anchor search they index what the perturbation algorithm must
+   preserve (identified positionally against the original block), and
+2. during coverage estimation they are checked for *presence* in arbitrary
+   perturbed blocks via :func:`feature_present`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.dependencies import Dependency, DependencyKind
+from repro.isa.formatter import format_instruction
+from repro.isa.instructions import Instruction
+
+
+class FeatureKind(str, Enum):
+    """The three feature types of ``P̂``."""
+
+    INSTRUCTION = "inst"
+    DEPENDENCY = "dep"
+    NUM_INSTRUCTIONS = "num_instrs"
+
+    @property
+    def is_fine_grained(self) -> bool:
+        """Instruction and dependency features are fine-grained (Section 6.3)."""
+        return self is not FeatureKind.NUM_INSTRUCTIONS
+
+
+class Feature:
+    """Base class for explanation features."""
+
+    kind: FeatureKind
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+@dataclass(frozen=True, repr=False)
+class InstructionFeature(Feature):
+    """A specific instruction of the original block.
+
+    ``index`` is the position in the original block (used by the perturber to
+    know which vertex to preserve); ``mnemonic`` and ``operand_text`` identify
+    the instruction content (used for presence checks in perturbed blocks).
+    """
+
+    index: int
+    mnemonic: str
+    operand_text: Tuple[str, ...]
+
+    @property
+    def kind(self) -> FeatureKind:
+        return FeatureKind.INSTRUCTION
+
+    @classmethod
+    def of(cls, index: int, instruction: Instruction) -> "InstructionFeature":
+        from repro.isa.formatter import format_operand
+
+        return cls(
+            index=index,
+            mnemonic=instruction.mnemonic,
+            operand_text=tuple(format_operand(op) for op in instruction.operands),
+        )
+
+    def describe(self) -> str:
+        operands = ", ".join(self.operand_text)
+        text = f"{self.mnemonic} {operands}".strip()
+        return f"inst{self.index + 1}: {text}"
+
+
+@dataclass(frozen=True, repr=False)
+class DependencyFeature(Feature):
+    """A specific data-dependency hazard of the original block."""
+
+    source: int
+    destination: int
+    dep_kind: DependencyKind
+    location_space: str
+    source_mnemonic: str
+    destination_mnemonic: str
+
+    @property
+    def kind(self) -> FeatureKind:
+        return FeatureKind.DEPENDENCY
+
+    @classmethod
+    def of(cls, block: BasicBlock, dependency: Dependency) -> "DependencyFeature":
+        return cls(
+            source=dependency.source,
+            destination=dependency.destination,
+            dep_kind=dependency.kind,
+            location_space=dependency.location_space,
+            source_mnemonic=block[dependency.source].mnemonic,
+            destination_mnemonic=block[dependency.destination].mnemonic,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"δ{self.dep_kind.value},{self.source + 1},{self.destination + 1} "
+            f"({self.source_mnemonic}→{self.destination_mnemonic})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class NumInstructionsFeature(Feature):
+    """The block's instruction count ``η``."""
+
+    count: int
+
+    @property
+    def kind(self) -> FeatureKind:
+        return FeatureKind.NUM_INSTRUCTIONS
+
+    def describe(self) -> str:
+        return f"η (num instructions) = {self.count}"
+
+
+#: A set of features, as manipulated by the anchor search.
+FeatureSet = FrozenSet[Feature]
+
+
+def extract_features(block: BasicBlock) -> List[Feature]:
+    """Extract the full candidate feature set ``P̂`` of ``block``.
+
+    Ordered as: instruction features (by position), dependency features (by
+    source/destination), then the instruction-count feature — matching
+    Figure 1(iii) of the paper.
+    """
+    features: List[Feature] = []
+    for index, instruction in enumerate(block):
+        features.append(InstructionFeature.of(index, instruction))
+    for dependency in block.dependencies:
+        features.append(DependencyFeature.of(block, dependency))
+    features.append(NumInstructionsFeature(block.num_instructions))
+    return features
+
+
+def feature_present(feature: Feature, block: BasicBlock) -> bool:
+    """Whether ``feature`` is present in (possibly perturbed) ``block``.
+
+    Presence semantics, used for coverage estimation (Eq. 6):
+
+    * an instruction feature is present if some instruction of ``block`` has
+      the same mnemonic and operands (position-independent),
+    * a dependency feature is present if some hazard of ``block`` has the same
+      kind, lives in the same location space and connects instructions with
+      the same mnemonics,
+    * the instruction-count feature is present iff the counts match.
+    """
+    if isinstance(feature, NumInstructionsFeature):
+        return block.num_instructions == feature.count
+    if isinstance(feature, InstructionFeature):
+        for instruction in block:
+            if instruction.mnemonic != feature.mnemonic:
+                continue
+            from repro.isa.formatter import format_operand
+
+            operands = tuple(format_operand(op) for op in instruction.operands)
+            if operands == feature.operand_text:
+                return True
+        return False
+    if isinstance(feature, DependencyFeature):
+        for dep in block.dependencies:
+            if dep.kind is not feature.dep_kind:
+                continue
+            if dep.location_space != feature.location_space:
+                continue
+            if (
+                block[dep.source].mnemonic == feature.source_mnemonic
+                and block[dep.destination].mnemonic == feature.destination_mnemonic
+            ):
+                return True
+        return False
+    raise TypeError(f"unknown feature type {type(feature)!r}")
+
+
+def features_present(features: Iterable[Feature], block: BasicBlock) -> bool:
+    """Whether *all* ``features`` are present in ``block``."""
+    return all(feature_present(f, block) for f in features)
+
+
+def split_by_kind(features: Iterable[Feature]) -> dict:
+    """Group features by :class:`FeatureKind` (used by the utility study)."""
+    grouped: dict = {kind: [] for kind in FeatureKind}
+    for feature in features:
+        grouped[feature.kind].append(feature)
+    return grouped
+
+
+def feature_kinds_present(features: Iterable[Feature]) -> FrozenSet[FeatureKind]:
+    """The set of feature kinds appearing in ``features``."""
+    return frozenset(f.kind for f in features)

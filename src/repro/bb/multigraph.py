@@ -1,0 +1,115 @@
+"""The dependency multigraph ``G`` of Section 5.1.
+
+Vertices are the block's instructions (annotated with their position); edges
+are data-dependency hazards, one edge per hazard, labelled with its kind.  The
+graph is a thin wrapper over :class:`networkx.MultiDiGraph` so downstream code
+(and users) can run standard graph algorithms on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.bb.block import BasicBlock
+from repro.bb.dependencies import Dependency, DependencyKind
+
+
+def build_multigraph(block: BasicBlock) -> nx.MultiDiGraph:
+    """Build the multigraph of ``block``.
+
+    Node ``i`` carries attributes ``instruction`` (the :class:`Instruction`)
+    and ``position`` (=`i`).  Each edge carries ``kind`` (a
+    :class:`DependencyKind`), ``location`` and the originating
+    :class:`Dependency` object.
+    """
+    graph = nx.MultiDiGraph()
+    for index, instruction in enumerate(block):
+        graph.add_node(index, instruction=instruction, position=index)
+    for dep in block.dependencies:
+        graph.add_edge(
+            dep.source,
+            dep.destination,
+            kind=dep.kind,
+            location=dep.location,
+            dependency=dep,
+        )
+    return graph
+
+
+@dataclass
+class DependencyGraph:
+    """The multigraph plus convenient accessors used by the perturber."""
+
+    block: BasicBlock
+    graph: nx.MultiDiGraph
+
+    @classmethod
+    def of(cls, block: BasicBlock) -> "DependencyGraph":
+        """Build the dependency graph of ``block``."""
+        return cls(block=block, graph=build_multigraph(block))
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def dependencies(self) -> List[Dependency]:
+        """All dependencies, in edge-insertion order."""
+        return [data["dependency"] for _, _, data in self.graph.edges(data=True)]
+
+    def dependencies_touching(self, vertex: int) -> List[Dependency]:
+        """All dependencies with ``vertex`` as source or destination."""
+        out = []
+        for dep in self.dependencies():
+            if dep.source == vertex or dep.destination == vertex:
+                out.append(dep)
+        return out
+
+    def edges_by_kind(self) -> Dict[DependencyKind, List[Dependency]]:
+        """Dependencies grouped by hazard kind."""
+        grouped: Dict[DependencyKind, List[Dependency]] = {}
+        for dep in self.dependencies():
+            grouped.setdefault(dep.kind, []).append(dep)
+        return grouped
+
+    def shared_operand_edges(self) -> List[Tuple[Dependency, Dependency]]:
+        """Pairs of dependencies that share a vertex *and* a location.
+
+        Section 5.2 notes that such edge pairs cannot be perturbed completely
+        independently (renaming the shared operand affects both); the
+        perturber uses this accessor to group them.
+        """
+        deps = self.dependencies()
+        pairs = []
+        for i in range(len(deps)):
+            for j in range(i + 1, len(deps)):
+                a, b = deps[i], deps[j]
+                share_vertex = {a.source, a.destination} & {b.source, b.destination}
+                if share_vertex and a.location == b.location:
+                    pairs.append((a, b))
+        return pairs
+
+    def critical_path_length(self, latency_of) -> float:
+        """Longest RAW chain weighted by ``latency_of(instruction_index)``.
+
+        Used by tests and the LLVM-MCA-style baseline as a latency bound.
+        """
+        raw_graph = nx.DiGraph()
+        raw_graph.add_nodes_from(self.graph.nodes)
+        for dep in self.dependencies():
+            if dep.kind is DependencyKind.RAW:
+                raw_graph.add_edge(dep.source, dep.destination)
+        best = 0.0
+        for node in nx.topological_sort(raw_graph):
+            preds = list(raw_graph.predecessors(node))
+            start = max((raw_graph.nodes[p]["finish"] for p in preds), default=0.0)
+            finish = start + float(latency_of(node))
+            raw_graph.nodes[node]["finish"] = finish
+            best = max(best, finish)
+        return best

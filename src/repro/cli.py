@@ -1,0 +1,277 @@
+"""Command-line interface for the COMET reproduction.
+
+The CLI exposes the public API for quick, scriptable use::
+
+    python -m repro predict  --model uica  --block "add rcx, rax; mov rdx, rcx"
+    python -m repro explain  --model uica  --block-file block.s --json
+    python -m repro features --block "add rcx, rax; mov rdx, rcx; pop rbx"
+    python -m repro perturb  --block-file block.s --count 5 --preserve-count
+    python -m repro space    --block-file block.s
+    python -m repro optimize --model uica  --block-file block.s --steps 40
+    python -m repro dataset  --size 200 --output dataset.json
+
+Blocks can be passed inline with ``--block`` (instructions separated by ``;``
+or newlines) or from a file with ``--block-file``.  The neural model is
+excluded from the model choices here because it must be trained on a dataset
+first; use the library API (see ``examples/``) for that workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import extract_features
+from repro.data.bhive import BHiveDataset
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.guidance.optimizer import optimize_block
+from repro.models.base import CachedCostModel, CostModel
+from repro.models.registry import build_cost_model
+from repro.perturb.algorithm import BlockPerturber
+from repro.perturb.config import PerturbationConfig
+from repro.perturb.space import space_report
+from repro.reporting.export import explanation_to_json
+from repro.uarch.microarch import available_microarchitectures
+from repro.utils.errors import ReproError
+
+
+#: Models constructible without training data.
+_CLI_MODELS = ("crude", "uica", "port-pressure")
+
+
+def _read_block(args: argparse.Namespace) -> BasicBlock:
+    if getattr(args, "block", None):
+        text = args.block.replace(";", "\n")
+    elif getattr(args, "block_file", None):
+        text = Path(args.block_file).read_text()
+    else:
+        raise ReproError("provide a block with --block or --block-file")
+    return BasicBlock.from_text(text)
+
+
+def _build_model(args: argparse.Namespace) -> CostModel:
+    return build_cost_model(args.model, args.uarch, cached=True)
+
+
+# --------------------------------------------------------------- subcommands
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    model = _build_model(args)
+    prediction = model.predict(block)
+    print(f"{model.name}: {prediction:.3f} cycles/iteration")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    model = _build_model(args)
+    config = ExplainerConfig(
+        epsilon=args.epsilon,
+        relative_epsilon=args.relative_epsilon,
+        delta=args.delta,
+        coverage_samples=args.coverage_samples,
+        max_precision_samples=args.max_precision_samples,
+    )
+    explainer = CometExplainer(model, config, rng=args.seed)
+    explanation = explainer.explain(block)
+    if args.json:
+        print(explanation_to_json(explanation))
+    else:
+        print(explanation.describe())
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    features = extract_features(block)
+    print(f"{len(features)} candidate features:")
+    for feature in features:
+        print(f"  [{feature.kind.value:<10}] {feature.describe()}")
+    return 0
+
+
+def _cmd_perturb(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    features = []
+    all_features = extract_features(block)
+    if args.preserve_count:
+        features.extend(
+            f for f in all_features if f.kind.value == "num_instrs"
+        )
+    for index in args.preserve_instruction or []:
+        if not 1 <= index <= block.num_instructions:
+            raise ReproError(
+                f"--preserve-instruction {index} is outside the block "
+                f"(1..{block.num_instructions})"
+            )
+        features.extend(
+            f
+            for f in all_features
+            if f.kind.value == "inst" and getattr(f, "index", None) == index - 1
+        )
+    perturber = BlockPerturber(block, PerturbationConfig(), rng=args.seed)
+    for sample_index in range(args.count):
+        perturbed = perturber.perturb(features)
+        print(f"# perturbation {sample_index + 1}")
+        print(perturbed.text)
+        print()
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    report = space_report(block)
+    print(f"block of {block.num_instructions} instructions")
+    for key, value in report.items():
+        print(f"  {key}: {value:.3g}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    model = _build_model(args)
+    result = optimize_block(
+        model,
+        block,
+        guided=not args.unguided,
+        steps=args.steps,
+        rng=args.seed,
+    )
+    print(result.describe())
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    dataset = BHiveDataset.synthesize(
+        args.size,
+        min_instructions=args.min_instructions,
+        max_instructions=args.max_instructions,
+        microarchs=tuple(args.uarchs),
+        rng=args.seed,
+    )
+    dataset.save(args.output)
+    print(f"wrote {len(dataset)} blocks to {args.output}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+
+
+def _add_block_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--block", help="inline block text; instructions separated by ';' or newlines"
+    )
+    parser.add_argument("--block-file", help="path to a file with one instruction per line")
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="uica", choices=_CLI_MODELS, help="cost model to query"
+    )
+    parser.add_argument(
+        "--uarch",
+        default="hsw",
+        choices=available_microarchitectures(),
+        help="target micro-architecture",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMET cost-model explanation framework (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    predict = subparsers.add_parser("predict", help="predict a block's throughput")
+    _add_block_arguments(predict)
+    _add_model_arguments(predict)
+    predict.set_defaults(func=_cmd_predict)
+
+    explain = subparsers.add_parser("explain", help="explain a cost model's prediction")
+    _add_block_arguments(explain)
+    _add_model_arguments(explain)
+    explain.add_argument("--epsilon", type=float, default=0.5, help="acceptance ball radius")
+    explain.add_argument(
+        "--relative-epsilon", type=float, default=0.1, help="relative ball component"
+    )
+    explain.add_argument("--delta", type=float, default=0.3, help="1 - precision threshold")
+    explain.add_argument("--coverage-samples", type=int, default=400)
+    explain.add_argument("--max-precision-samples", type=int, default=150)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    explain.set_defaults(func=_cmd_explain)
+
+    features = subparsers.add_parser("features", help="list a block's candidate features")
+    _add_block_arguments(features)
+    features.set_defaults(func=_cmd_features)
+
+    perturb = subparsers.add_parser("perturb", help="sample perturbations of a block")
+    _add_block_arguments(perturb)
+    perturb.add_argument("--count", type=int, default=3, help="number of perturbations")
+    perturb.add_argument(
+        "--preserve-count", action="store_true", help="preserve the instruction count"
+    )
+    perturb.add_argument(
+        "--preserve-instruction",
+        type=int,
+        action="append",
+        help="1-based index of an instruction to preserve (repeatable)",
+    )
+    perturb.add_argument("--seed", type=int, default=0)
+    perturb.set_defaults(func=_cmd_perturb)
+
+    space = subparsers.add_parser(
+        "space", help="estimate the size of a block's perturbation space (Appendix F)"
+    )
+    _add_block_arguments(space)
+    space.set_defaults(func=_cmd_space)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="explanation-guided predicted-cost minimisation"
+    )
+    _add_block_arguments(optimize)
+    _add_model_arguments(optimize)
+    optimize.add_argument("--steps", type=int, default=40)
+    optimize.add_argument(
+        "--unguided", action="store_true", help="disable explanation guidance"
+    )
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    dataset = subparsers.add_parser(
+        "dataset", help="synthesize a BHive-style dataset and save it as JSON"
+    )
+    dataset.add_argument("--size", type=int, default=200)
+    dataset.add_argument("--min-instructions", type=int, default=2)
+    dataset.add_argument("--max-instructions", type=int, default=12)
+    dataset.add_argument(
+        "--uarchs", nargs="+", default=list(available_microarchitectures())
+    )
+    dataset.add_argument("--seed", type=int, default=0)
+    dataset.add_argument("--output", required=True, help="output JSON path")
+    dataset.set_defaults(func=_cmd_dataset)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Convenience re-exports of the primary public API.
+
+``repro.core`` is the single import most downstream users need: the
+explainer, its configuration, the block/feature types it consumes and the
+cost models shipped with the reproduction.
+"""
+
+from repro.bb.block import BasicBlock, BlockCategory
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    FeatureKind,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+)
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer, explain_block
+from repro.explain.explanation import Explanation
+from repro.models.analytical import AnalyticalCostModel, ground_truth_explanations
+from repro.models.base import CachedCostModel, CostModel
+from repro.models.ithemal import IthemalConfig, IthemalCostModel, train_ithemal
+from repro.models.uica import UiCACostModel
+from repro.perturb.config import PerturbationConfig
+
+__all__ = [
+    "BasicBlock",
+    "BlockCategory",
+    "Feature",
+    "FeatureKind",
+    "InstructionFeature",
+    "DependencyFeature",
+    "NumInstructionsFeature",
+    "extract_features",
+    "ExplainerConfig",
+    "CometExplainer",
+    "explain_block",
+    "Explanation",
+    "AnalyticalCostModel",
+    "ground_truth_explanations",
+    "CostModel",
+    "CachedCostModel",
+    "IthemalCostModel",
+    "IthemalConfig",
+    "train_ithemal",
+    "UiCACostModel",
+    "PerturbationConfig",
+]

@@ -1,0 +1,38 @@
+"""BHive-style dataset substrate: synthetic blocks, hardware oracle, splits.
+
+The paper evaluates COMET on blocks from the BHive benchmark suite, which
+pairs ~300k real x86 basic blocks with throughputs measured on real silicon.
+Neither the measured data nor the hardware is available offline, so this
+package synthesises an equivalent substrate:
+
+* :class:`BlockSynthesizer` generates valid blocks mimicking BHive's source
+  (Clang / OpenBLAS) and category (Load / Store / Scalar / Vector / ...)
+  structure,
+* :class:`HardwareOracle` produces "measured" throughputs from a detailed
+  configuration of the pipeline simulator plus measurement noise,
+* :class:`BHiveDataset` bundles records, splits and the explanation test set
+  used throughout the evaluation.
+"""
+
+from repro.data.synthesis import BlockSynthesizer, SynthesisProfile, SOURCE_PROFILES
+from repro.data.oracle import HardwareOracle
+from repro.data.bhive import BHiveDataset, BlockRecord
+from repro.data.splits import (
+    explanation_test_set,
+    partition_by_category,
+    partition_by_source,
+    train_test_split,
+)
+
+__all__ = [
+    "BlockSynthesizer",
+    "SynthesisProfile",
+    "SOURCE_PROFILES",
+    "HardwareOracle",
+    "BHiveDataset",
+    "BlockRecord",
+    "explanation_test_set",
+    "partition_by_category",
+    "partition_by_source",
+    "train_test_split",
+]

@@ -1,0 +1,203 @@
+"""The BHive-style dataset object.
+
+:class:`BHiveDataset` bundles synthetic blocks with their oracle-measured
+throughputs for every modelled micro-architecture, plus the source/category
+metadata the paper's partitioned studies (Figures 3 and 4) rely on.  Datasets
+can be persisted to / restored from a plain JSON file so expensive experiment
+runs can reuse the exact same data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bb.block import BasicBlock, BlockCategory
+from repro.data.oracle import HardwareOracle
+from repro.data.synthesis import SOURCE_PROFILES, BlockSynthesizer
+from repro.uarch.microarch import available_microarchitectures, get_microarch
+from repro.utils.errors import ReproError
+from repro.utils.rng import RandomSource, as_rng
+
+
+@dataclass
+class BlockRecord:
+    """One dataset entry: a block plus measured throughputs and metadata."""
+
+    block: BasicBlock
+    throughputs: Dict[str, float]
+    source: str
+    category: str
+
+    def throughput(self, microarch) -> float:
+        """Measured throughput for one micro-architecture."""
+        key = get_microarch(microarch).short_name
+        if key not in self.throughputs:
+            raise ReproError(f"record has no throughput for microarchitecture {key!r}")
+        return self.throughputs[key]
+
+
+@dataclass
+class BHiveDataset:
+    """A collection of :class:`BlockRecord` with convenience accessors."""
+
+    records: List[BlockRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------ synthesis
+
+    @classmethod
+    def synthesize(
+        cls,
+        num_blocks: int = 600,
+        *,
+        sources: Sequence[str] = ("clang", "openblas"),
+        min_instructions: int = 2,
+        max_instructions: int = 12,
+        microarchs: Optional[Sequence[str]] = None,
+        include_categories: bool = True,
+        rng: RandomSource = 0,
+    ) -> "BHiveDataset":
+        """Generate a labelled dataset.
+
+        ``num_blocks`` are drawn from the source profiles (split evenly); when
+        ``include_categories`` is set, an additional ~20% of blocks are drawn
+        per BHive category so the category partitions are well populated.
+        """
+        generator = as_rng(rng)
+        microarchs = tuple(microarchs or available_microarchitectures())
+        synthesizer = BlockSynthesizer(generator)
+        oracles = {m: HardwareOracle(m) for m in microarchs}
+
+        records: List[BlockRecord] = []
+        seen: set = set()
+
+        def add(block: BasicBlock, source: str) -> None:
+            key = block.key()
+            if key in seen:
+                return
+            seen.add(key)
+            throughputs = {m: oracles[m].measure(block) for m in microarchs}
+            records.append(
+                BlockRecord(
+                    block=block,
+                    throughputs=throughputs,
+                    source=source,
+                    category=block.category.value,
+                )
+            )
+
+        per_source = max(num_blocks // max(len(sources), 1), 1)
+        for source in sources:
+            if source not in SOURCE_PROFILES:
+                raise ReproError(f"unknown source profile {source!r}")
+            blocks = synthesizer.generate_many(
+                per_source,
+                min_instructions=min_instructions,
+                max_instructions=max_instructions,
+                source=source,
+                rng=generator,
+            )
+            for block in blocks:
+                add(block, source)
+
+        if include_categories:
+            per_category = max(num_blocks // 10, 8)
+            for category in BlockCategory:
+                for _ in range(per_category):
+                    size = int(
+                        generator.integers(min_instructions, max_instructions + 1)
+                    )
+                    block = synthesizer.generate_category(category, size, rng=generator)
+                    add(block, "synthetic")
+
+        return cls(records)
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> BlockRecord:
+        return self.records[index]
+
+    def blocks(self) -> List[BasicBlock]:
+        """All blocks, in dataset order."""
+        return [record.block for record in self.records]
+
+    def throughputs(self, microarch) -> List[float]:
+        """Measured throughputs for one micro-architecture, in dataset order."""
+        return [record.throughput(microarch) for record in self.records]
+
+    def sources(self) -> List[str]:
+        """Distinct source tags present in the dataset."""
+        return sorted({record.source for record in self.records})
+
+    def categories(self) -> List[str]:
+        """Distinct category tags present in the dataset."""
+        return sorted({record.category for record in self.records})
+
+    def filter(self, predicate) -> "BHiveDataset":
+        """A new dataset containing only records for which ``predicate`` holds."""
+        return BHiveDataset([r for r in self.records if predicate(r)])
+
+    def filter_by_source(self, source: str) -> "BHiveDataset":
+        """Records derived from one source profile (Figure 3 partitions)."""
+        return self.filter(lambda r: r.source == source)
+
+    def filter_by_category(self, category) -> "BHiveDataset":
+        """Records of one BHive category (Figure 4 partitions)."""
+        value = category.value if isinstance(category, BlockCategory) else str(category)
+        return self.filter(lambda r: r.category == value)
+
+    def filter_by_size(self, minimum: int, maximum: int) -> "BHiveDataset":
+        """Records whose block size lies in ``[minimum, maximum]``."""
+        return self.filter(
+            lambda r: minimum <= r.block.num_instructions <= maximum
+        )
+
+    def sample(self, count: int, rng: RandomSource = None) -> "BHiveDataset":
+        """A uniformly sampled subset of at most ``count`` records."""
+        generator = as_rng(rng)
+        if count >= len(self.records):
+            return BHiveDataset(list(self.records))
+        idx = generator.choice(len(self.records), size=count, replace=False)
+        return BHiveDataset([self.records[int(i)] for i in sorted(idx)])
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path) -> None:
+        """Serialise the dataset to a JSON file."""
+        payload = [
+            {
+                "text": record.block.text,
+                "throughputs": record.throughputs,
+                "source": record.source,
+                "category": record.category,
+            }
+            for record in self.records
+        ]
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path) -> "BHiveDataset":
+        """Restore a dataset written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        records = []
+        for entry in payload:
+            block = BasicBlock.from_text(entry["text"], source=entry.get("source"))
+            records.append(
+                BlockRecord(
+                    block=block,
+                    throughputs={k: float(v) for k, v in entry["throughputs"].items()},
+                    source=entry.get("source", "unknown"),
+                    category=entry.get("category", block.category.value),
+                )
+            )
+        return cls(records)

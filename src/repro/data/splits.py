@@ -1,0 +1,70 @@
+"""Dataset splits used by the paper's evaluation.
+
+* the *explanation test set*: 200 randomly picked blocks with 4–10
+  instructions (Section 6),
+* partitions by BHive *source* (Clang, OpenBLAS — Figure 3) and *category*
+  (Load, Store, ... — Figure 4),
+* a train/test split for fitting the neural cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bb.block import BlockCategory
+from repro.data.bhive import BHiveDataset, BlockRecord
+from repro.utils.rng import RandomSource, as_rng
+
+
+def explanation_test_set(
+    dataset: BHiveDataset,
+    count: int = 200,
+    *,
+    min_instructions: int = 4,
+    max_instructions: int = 10,
+    rng: RandomSource = 0,
+) -> BHiveDataset:
+    """The explanation test set of Section 6: random blocks of 4–10 instructions."""
+    eligible = dataset.filter_by_size(min_instructions, max_instructions)
+    return eligible.sample(count, rng=rng)
+
+
+def train_test_split(
+    dataset: BHiveDataset, test_fraction: float = 0.2, rng: RandomSource = 0
+) -> Tuple[BHiveDataset, BHiveDataset]:
+    """Random train/test split (used to fit and evaluate the neural model)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    generator = as_rng(rng)
+    indices = list(range(len(dataset)))
+    generator.shuffle(indices)
+    cut = int(len(indices) * test_fraction)
+    test_idx = set(indices[:cut])
+    train_records = [dataset[i] for i in range(len(dataset)) if i not in test_idx]
+    test_records = [dataset[i] for i in range(len(dataset)) if i in test_idx]
+    return BHiveDataset(train_records), BHiveDataset(test_records)
+
+
+def partition_by_source(dataset: BHiveDataset) -> Dict[str, BHiveDataset]:
+    """Figure 3 partitions: one sub-dataset per source profile."""
+    return {source: dataset.filter_by_source(source) for source in dataset.sources()}
+
+
+def partition_by_category(dataset: BHiveDataset) -> Dict[str, BHiveDataset]:
+    """Figure 4 partitions: one sub-dataset per BHive category."""
+    return {
+        category: dataset.filter_by_category(category)
+        for category in dataset.categories()
+    }
+
+
+def category_order() -> List[str]:
+    """The category ordering used by the paper's Figure 4 panels."""
+    return [
+        BlockCategory.LOAD.value,
+        BlockCategory.LOAD_STORE.value,
+        BlockCategory.STORE.value,
+        BlockCategory.SCALAR.value,
+        BlockCategory.VECTOR.value,
+        BlockCategory.SCALAR_VECTOR.value,
+    ]

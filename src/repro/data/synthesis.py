@@ -1,0 +1,392 @@
+"""Synthetic basic-block generator (BHive stand-in).
+
+Blocks are generated from per-source *profiles* describing how often each
+instruction template appears.  The ``clang`` profile is integer/control-heavy
+(mov, lea, ALU, stack traffic, occasional division), the ``openblas`` profile
+is floating-point/vector-heavy (SSE/AVX arithmetic, loads/stores of vector
+data, FMA-style chains).  Operands are drawn from a small per-block register
+pool with a bias towards recently written registers, so realistic RAW/WAR/WAW
+dependency structure emerges naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bb.block import BasicBlock, BlockCategory
+from repro.isa.instructions import Instruction
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.registers import register
+from repro.isa.validation import is_valid_instruction
+from repro.utils.rng import RandomSource, as_rng, choice
+
+#: GPRs the generator may use (omits rsp/rbp-as-frame conventions on purpose).
+_GPR_POOL = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "r8", "r9", "r10",
+             "r11", "r12", "r13", "r14", "r15"]
+_XMM_POOL = [f"xmm{i}" for i in range(16)]
+_BASE_POOL = ["rdi", "rsi", "rbp", "r14", "rsp", "rbx"]
+
+
+@dataclass
+class _BlockState:
+    """Mutable operand pools used while one block is generated."""
+
+    gprs: List[str]
+    xmms: List[str]
+    bases: List[str]
+    recently_written_gpr: List[str] = field(default_factory=list)
+    recently_written_xmm: List[str] = field(default_factory=list)
+
+    def pick_gpr(self, rng: np.random.Generator, prefer_written: float = 0.45) -> str:
+        if self.recently_written_gpr and rng.random() < prefer_written:
+            return choice(rng, self.recently_written_gpr)
+        return choice(rng, self.gprs)
+
+    def pick_xmm(self, rng: np.random.Generator, prefer_written: float = 0.5) -> str:
+        if self.recently_written_xmm and rng.random() < prefer_written:
+            return choice(rng, self.recently_written_xmm)
+        return choice(rng, self.xmms)
+
+    def note_written(self, name: str) -> None:
+        target = self.recently_written_xmm if name.startswith("xmm") else self.recently_written_gpr
+        target.append(name)
+        if len(target) > 4:
+            target.pop(0)
+
+
+def _reg(name: str, width: int = 64) -> RegisterOperand:
+    full = register(name)
+    if full.width == width:
+        return RegisterOperand(full)
+    # Find the family member of the requested width.
+    from repro.isa.registers import REGISTERS
+
+    for candidate in REGISTERS.values():
+        if candidate.root == full.root and candidate.width == width:
+            return RegisterOperand(candidate)
+    return RegisterOperand(full)
+
+
+def _mem(
+    rng: np.random.Generator, state: _BlockState, size: int = 64
+) -> MemoryOperand:
+    base = register(choice(rng, state.bases))
+    displacement = int(choice(rng, [0, 8, 16, 24, 32, 40, 48, 64, 96, 128]))
+    return MemoryOperand(base=base, displacement=displacement, access_size=size)
+
+
+# ---------------------------------------------------------------------------
+# Instruction templates
+# ---------------------------------------------------------------------------
+
+def _template_int_alu(rng, state) -> Instruction:
+    mnemonic = choice(rng, ["add", "sub", "and", "or", "xor", "imul"])
+    dst = state.pick_gpr(rng)
+    if rng.random() < 0.3:
+        src = ImmediateOperand(int(rng.integers(1, 256)), 32)
+    else:
+        src = _reg(state.pick_gpr(rng))
+    state.note_written(dst)
+    return Instruction(mnemonic, (_reg(dst), src) if not isinstance(src, RegisterOperand) else (_reg(dst), src))
+
+
+def _template_mov_reg(rng, state) -> Instruction:
+    dst, src = state.pick_gpr(rng), state.pick_gpr(rng)
+    state.note_written(dst)
+    return Instruction("mov", (_reg(dst), _reg(src)))
+
+
+def _template_mov_imm(rng, state) -> Instruction:
+    dst = state.pick_gpr(rng)
+    state.note_written(dst)
+    return Instruction("mov", (_reg(dst), ImmediateOperand(int(rng.integers(0, 4096)), 32)))
+
+
+def _template_lea(rng, state) -> Instruction:
+    dst = state.pick_gpr(rng)
+    base = register(state.pick_gpr(rng))
+    operand = MemoryOperand(
+        base=base,
+        index=register(state.pick_gpr(rng)) if rng.random() < 0.4 else None,
+        scale=int(choice(rng, [1, 2, 4, 8])),
+        displacement=int(choice(rng, [-8, -1, 0, 1, 4, 8, 16])),
+        access_size=64,
+        is_agen=True,
+    )
+    state.note_written(dst)
+    return Instruction("lea", (_reg(dst), operand))
+
+
+def _template_shift(rng, state) -> Instruction:
+    dst = state.pick_gpr(rng)
+    state.note_written(dst)
+    return Instruction(
+        choice(rng, ["shl", "shr", "sar"]),
+        (_reg(dst), ImmediateOperand(int(rng.integers(1, 32)), 8)),
+    )
+
+
+def _template_cmp(rng, state) -> Instruction:
+    return Instruction(
+        choice(rng, ["cmp", "test"]),
+        (_reg(state.pick_gpr(rng)), _reg(state.pick_gpr(rng))),
+    )
+
+
+def _template_div(rng, state) -> Instruction:
+    return Instruction("div", (_reg(state.pick_gpr(rng)),))
+
+
+def _template_stack(rng, state) -> Instruction:
+    if rng.random() < 0.5:
+        return Instruction("push", (_reg(state.pick_gpr(rng)),))
+    dst = state.pick_gpr(rng)
+    state.note_written(dst)
+    return Instruction("pop", (_reg(dst),))
+
+
+def _template_load(rng, state) -> Instruction:
+    dst = state.pick_gpr(rng)
+    state.note_written(dst)
+    return Instruction("mov", (_reg(dst), _mem(rng, state, 64)))
+
+
+def _template_store(rng, state) -> Instruction:
+    return Instruction("mov", (_mem(rng, state, 64), _reg(state.pick_gpr(rng))))
+
+
+def _template_store_imm(rng, state) -> Instruction:
+    return Instruction(
+        "mov", (_mem(rng, state, 8), ImmediateOperand(int(rng.integers(0, 128)), 8))
+    )
+
+
+def _template_vec_arith(rng, state) -> Instruction:
+    mnemonic = choice(
+        rng,
+        ["vaddss", "vsubss", "vmulss", "vdivss", "vmaxss", "vminss", "vfmadd231ss"],
+    )
+    dst, a, b = state.pick_xmm(rng), state.pick_xmm(rng), state.pick_xmm(rng)
+    state.note_written(dst)
+    return Instruction(mnemonic, (_reg(dst, 128), _reg(a, 128), _reg(b, 128)))
+
+
+def _template_vec_sse(rng, state) -> Instruction:
+    mnemonic = choice(rng, ["addss", "mulss", "subss", "divss", "xorps", "andps", "sqrtss"])
+    dst, src = state.pick_xmm(rng), state.pick_xmm(rng)
+    state.note_written(dst)
+    return Instruction(mnemonic, (_reg(dst, 128), _reg(src, 128)))
+
+
+def _template_vec_load(rng, state) -> Instruction:
+    dst = state.pick_xmm(rng)
+    state.note_written(dst)
+    mnemonic = choice(rng, ["movss", "movsd", "movups", "movaps"])
+    size = 32 if mnemonic == "movss" else (64 if mnemonic == "movsd" else 128)
+    return Instruction(mnemonic, (_reg(dst, 128), _mem(rng, state, size)))
+
+
+def _template_vec_store(rng, state) -> Instruction:
+    src = state.pick_xmm(rng)
+    mnemonic = choice(rng, ["movss", "movsd", "movups"])
+    size = 32 if mnemonic == "movss" else (64 if mnemonic == "movsd" else 128)
+    return Instruction(mnemonic, (_mem(rng, state, size), _reg(src, 128)))
+
+
+def _template_cvt(rng, state) -> Instruction:
+    dst = state.pick_xmm(rng)
+    state.note_written(dst)
+    return Instruction(
+        choice(rng, ["cvtsi2ss", "cvtsi2sd"]), (_reg(dst, 128), _reg(state.pick_gpr(rng)))
+    )
+
+
+#: Template name -> generator function.
+TEMPLATES: Dict[str, Callable] = {
+    "int_alu": _template_int_alu,
+    "mov_reg": _template_mov_reg,
+    "mov_imm": _template_mov_imm,
+    "lea": _template_lea,
+    "shift": _template_shift,
+    "cmp": _template_cmp,
+    "div": _template_div,
+    "stack": _template_stack,
+    "load": _template_load,
+    "store": _template_store,
+    "store_imm": _template_store_imm,
+    "vec_arith": _template_vec_arith,
+    "vec_sse": _template_vec_sse,
+    "vec_load": _template_vec_load,
+    "vec_store": _template_vec_store,
+    "cvt": _template_cvt,
+}
+
+
+@dataclass(frozen=True)
+class SynthesisProfile:
+    """Template mixture describing one BHive-style source."""
+
+    name: str
+    weights: Dict[str, float]
+
+    def normalised(self) -> Tuple[List[str], np.ndarray]:
+        names = sorted(self.weights)
+        values = np.array([self.weights[n] for n in names], dtype=float)
+        return names, values / values.sum()
+
+
+SOURCE_PROFILES: Dict[str, SynthesisProfile] = {
+    "clang": SynthesisProfile(
+        "clang",
+        {
+            "int_alu": 3.0,
+            "mov_reg": 2.0,
+            "mov_imm": 1.0,
+            "lea": 1.5,
+            "shift": 1.0,
+            "cmp": 1.5,
+            "div": 0.3,
+            "stack": 1.0,
+            "load": 2.5,
+            "store": 1.5,
+            "store_imm": 0.5,
+            "vec_sse": 0.3,
+            "cvt": 0.2,
+        },
+    ),
+    "openblas": SynthesisProfile(
+        "openblas",
+        {
+            "int_alu": 1.0,
+            "mov_reg": 0.5,
+            "lea": 1.0,
+            "vec_arith": 4.0,
+            "vec_sse": 2.0,
+            "vec_load": 2.5,
+            "vec_store": 1.5,
+            "load": 0.8,
+            "cvt": 0.4,
+            "shift": 0.4,
+        },
+    ),
+}
+
+#: Templates allowed for each BHive category (pure compute vs memory classes).
+_CATEGORY_TEMPLATES: Dict[BlockCategory, List[str]] = {
+    BlockCategory.SCALAR: ["int_alu", "mov_reg", "mov_imm", "lea", "shift", "cmp", "div"],
+    BlockCategory.VECTOR: ["vec_arith", "vec_sse"],
+    BlockCategory.SCALAR_VECTOR: ["int_alu", "mov_reg", "lea", "vec_arith", "vec_sse", "cvt"],
+    BlockCategory.LOAD: ["load", "vec_load", "int_alu", "mov_reg", "lea", "vec_sse"],
+    BlockCategory.STORE: ["store", "store_imm", "vec_store", "int_alu", "mov_reg", "lea"],
+    BlockCategory.LOAD_STORE: ["load", "store", "vec_load", "vec_store", "int_alu", "lea"],
+}
+
+#: Templates that make a block fall into the memory categories.
+_MEMORY_TEMPLATES = {"load", "store", "store_imm", "vec_load", "vec_store", "stack"}
+
+
+class BlockSynthesizer:
+    """Generates random valid basic blocks from source profiles or categories."""
+
+    def __init__(self, rng: RandomSource = None) -> None:
+        self._rng = as_rng(rng)
+
+    # ------------------------------------------------------------ generation
+
+    def _new_state(self, rng: np.random.Generator) -> _BlockState:
+        gprs = list(choice(rng, _GPR_POOL, size=6))
+        xmms = list(choice(rng, _XMM_POOL, size=6))
+        bases = list(choice(rng, _BASE_POOL, size=3))
+        return _BlockState(gprs=gprs, xmms=xmms, bases=bases)
+
+    def _generate_with_templates(
+        self,
+        template_names: Sequence[str],
+        weights: Optional[np.ndarray],
+        num_instructions: int,
+        rng: np.random.Generator,
+        source: Optional[str],
+    ) -> BasicBlock:
+        state = self._new_state(rng)
+        instructions: List[Instruction] = []
+        attempts = 0
+        while len(instructions) < num_instructions and attempts < num_instructions * 20:
+            attempts += 1
+            if weights is None:
+                name = choice(rng, list(template_names))
+            else:
+                name = template_names[int(rng.choice(len(template_names), p=weights))]
+            instruction = TEMPLATES[name](rng, state)
+            if is_valid_instruction(instruction):
+                instructions.append(instruction)
+        if not instructions:  # pragma: no cover - template pools never all fail
+            instructions = [Instruction("nop", ())]
+        return BasicBlock.from_instructions(instructions, source=source, validate=True)
+
+    def generate(
+        self,
+        num_instructions: int,
+        *,
+        source: str = "clang",
+        rng: RandomSource = None,
+    ) -> BasicBlock:
+        """Generate one block of ``num_instructions`` following a source profile."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        profile = SOURCE_PROFILES[source]
+        names, weights = profile.normalised()
+        return self._generate_with_templates(
+            names, weights, num_instructions, generator, source
+        )
+
+    def generate_category(
+        self,
+        category: BlockCategory,
+        num_instructions: int,
+        *,
+        rng: RandomSource = None,
+        max_attempts: int = 50,
+    ) -> BasicBlock:
+        """Generate a block guaranteed to classify into ``category``."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        templates = _CATEGORY_TEMPLATES[category]
+        for _ in range(max_attempts):
+            block = self._generate_with_templates(
+                templates, None, num_instructions, generator, source="synthetic"
+            )
+            if block.category is category:
+                return block
+        # Force the category with a canonical instruction if sampling failed.
+        block = self._generate_with_templates(
+            templates, None, max(num_instructions - 1, 1), generator, "synthetic"
+        )
+        forced = {
+            BlockCategory.LOAD: _template_load,
+            BlockCategory.STORE: _template_store,
+            BlockCategory.LOAD_STORE: _template_load,
+            BlockCategory.VECTOR: _template_vec_arith,
+            BlockCategory.SCALAR: _template_int_alu,
+            BlockCategory.SCALAR_VECTOR: _template_vec_arith,
+        }[category]
+        state = self._new_state(generator)
+        instructions = list(block.instructions) + [forced(generator, state)]
+        return BasicBlock.from_instructions(instructions, source="synthetic")
+
+    def generate_many(
+        self,
+        count: int,
+        *,
+        min_instructions: int = 2,
+        max_instructions: int = 12,
+        source: str = "clang",
+        rng: RandomSource = None,
+    ) -> List[BasicBlock]:
+        """Generate ``count`` blocks with sizes uniform in the given range."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        blocks = []
+        for _ in range(count):
+            size = int(generator.integers(min_instructions, max_instructions + 1))
+            blocks.append(self.generate(size, source=source, rng=generator))
+        return blocks

@@ -1,0 +1,62 @@
+"""Evaluation harness: one driver per table/figure of the paper.
+
+Every experiment returns plain data structures (lists of rows / dicts of
+series) plus a ``render()``-style text form, so the benchmark harness under
+``benchmarks/`` can print the same rows the paper reports while tests can
+assert on the underlying numbers.
+"""
+
+from repro.eval.metrics import (
+    mape,
+    mean_absolute_percentage_error,
+    explanation_accuracy,
+    summarize_mean_std,
+)
+from repro.eval.baselines import (
+    RandomExplanationBaseline,
+    FixedExplanationBaseline,
+    ground_truth_type_frequencies,
+)
+from repro.eval.context import EvaluationContext, EvaluationSettings
+from repro.eval.accuracy import AccuracyResult, run_accuracy_experiment
+from repro.eval.precision_coverage import (
+    PrecisionCoverageRow,
+    run_precision_coverage_experiment,
+)
+from repro.eval.error_correlation import (
+    GranularityResult,
+    run_error_granularity_experiment,
+    run_partitioned_granularity_experiment,
+)
+from repro.eval.ablations import (
+    sweep_precision_threshold,
+    sweep_deletion_probability,
+    sweep_dependency_retention,
+    compare_replacement_schemes,
+)
+from repro.eval.case_studies import CASE_STUDY_BLOCKS, run_case_studies
+
+__all__ = [
+    "mape",
+    "mean_absolute_percentage_error",
+    "explanation_accuracy",
+    "summarize_mean_std",
+    "RandomExplanationBaseline",
+    "FixedExplanationBaseline",
+    "ground_truth_type_frequencies",
+    "EvaluationContext",
+    "EvaluationSettings",
+    "AccuracyResult",
+    "run_accuracy_experiment",
+    "PrecisionCoverageRow",
+    "run_precision_coverage_experiment",
+    "GranularityResult",
+    "run_error_granularity_experiment",
+    "run_partitioned_granularity_experiment",
+    "sweep_precision_threshold",
+    "sweep_deletion_probability",
+    "sweep_dependency_retention",
+    "compare_replacement_schemes",
+    "CASE_STUDY_BLOCKS",
+    "run_case_studies",
+]

@@ -1,0 +1,162 @@
+"""Appendix E ablations (Figures 5–8): sensitivity of COMET to its knobs.
+
+Each sweep scores explanation accuracy (and, for Figure 7, precision) over
+the crude analytical model, exactly like the accuracy experiment, while one
+hyperparameter varies:
+
+* Figure 5 — the precision threshold ``1 − δ``,
+* Figure 6 — the instruction-deletion probability ``p_del``,
+* Figure 7 — the explicit data-dependency retention probability,
+* Figure 8 — opcode-only vs whole-instruction vertex replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bb.block import BasicBlock
+from repro.eval.context import EvaluationContext
+from repro.eval.metrics import accuracy_rate, explanation_accuracy
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.models.analytical import AnalyticalCostModel, ground_truth_explanations
+from repro.perturb.config import ReplacementScheme
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class SweepPoint:
+    """One point of an ablation sweep."""
+
+    value: object
+    accuracy: float
+    precision: float
+
+
+def _accuracy_and_precision(
+    blocks: Sequence[BasicBlock],
+    model: AnalyticalCostModel,
+    config: ExplainerConfig,
+    seed: int,
+) -> Tuple[float, float]:
+    explainer = CometExplainer(model, config, rng=seed)
+    outcomes: List[bool] = []
+    precisions: List[float] = []
+    for block, rng in zip(blocks, spawn_rngs(seed, len(blocks))):
+        truth = ground_truth_explanations(block, model)
+        explanation = explainer.explain(block, rng=rng)
+        outcomes.append(explanation_accuracy(explanation.features, truth))
+        precisions.append(explanation.precision)
+    return accuracy_rate(outcomes), float(np.mean(precisions)) if precisions else float("nan")
+
+
+def _sweep(
+    context: EvaluationContext,
+    values: Sequence[object],
+    config_for_value,
+    *,
+    blocks: Optional[Sequence[BasicBlock]] = None,
+    microarch: str = "hsw",
+    seed: int = 31,
+) -> List[SweepPoint]:
+    blocks = list(blocks) if blocks is not None else context.test_blocks()
+    model = context.crude_model(microarch)
+    points = []
+    for value in values:
+        accuracy, precision = _accuracy_and_precision(
+            blocks, model, config_for_value(value), seed
+        )
+        points.append(SweepPoint(value=value, accuracy=accuracy, precision=precision))
+    return points
+
+
+def sweep_precision_threshold(
+    context: Optional[EvaluationContext] = None,
+    thresholds: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9),
+    **kwargs,
+) -> List[SweepPoint]:
+    """Figure 5: accuracy vs the precision threshold ``1 − δ``."""
+    context = context or EvaluationContext.shared()
+    base = context.settings.crude_explainer_config()
+    return _sweep(
+        context,
+        list(thresholds),
+        lambda threshold: base.with_overrides(delta=1.0 - float(threshold)),
+        **kwargs,
+    )
+
+
+def sweep_deletion_probability(
+    context: Optional[EvaluationContext] = None,
+    probabilities: Sequence[float] = (0.0, 0.2, 0.33, 0.5, 0.66, 1.0),
+    **kwargs,
+) -> List[SweepPoint]:
+    """Figure 6: accuracy vs the instruction-deletion probability ``p_del``."""
+    context = context or EvaluationContext.shared()
+    base = context.settings.crude_explainer_config()
+    return _sweep(
+        context,
+        list(probabilities),
+        lambda p: base.with_overrides(
+            perturbation=base.perturbation.with_overrides(p_delete=float(p))
+        ),
+        **kwargs,
+    )
+
+
+def sweep_dependency_retention(
+    context: Optional[EvaluationContext] = None,
+    probabilities: Sequence[float] = (0.0, 0.1, 0.3, 0.5, 0.7),
+    **kwargs,
+) -> List[SweepPoint]:
+    """Figure 7: accuracy and precision vs explicit dependency retention."""
+    context = context or EvaluationContext.shared()
+    base = context.settings.crude_explainer_config()
+    return _sweep(
+        context,
+        list(probabilities),
+        lambda p: base.with_overrides(
+            perturbation=base.perturbation.with_overrides(
+                p_dependency_explicit_retain=float(p)
+            )
+        ),
+        **kwargs,
+    )
+
+
+def compare_replacement_schemes(
+    context: Optional[EvaluationContext] = None,
+    **kwargs,
+) -> List[SweepPoint]:
+    """Figure 8: opcode-only vs whole-instruction vertex replacement."""
+    context = context or EvaluationContext.shared()
+    base = context.settings.crude_explainer_config()
+    return _sweep(
+        context,
+        [ReplacementScheme.OPCODE_ONLY.value, ReplacementScheme.WHOLE_INSTRUCTION.value],
+        lambda scheme: base.with_overrides(
+            perturbation=base.perturbation.with_overrides(
+                replacement_scheme=ReplacementScheme(scheme)
+            )
+        ),
+        **kwargs,
+    )
+
+
+def sweep_beam_width(
+    context: Optional[EvaluationContext] = None,
+    widths: Sequence[int] = (1, 2, 4),
+    **kwargs,
+) -> List[SweepPoint]:
+    """Extra ablation (not in the paper): sensitivity to the beam width."""
+    context = context or EvaluationContext.shared()
+    base = context.settings.crude_explainer_config()
+    return _sweep(
+        context,
+        list(widths),
+        lambda width: base.with_overrides(beam_width=int(width)),
+        **kwargs,
+    )

@@ -1,0 +1,87 @@
+"""The random and fixed explanation baselines of Section 6.
+
+Both baselines are calibrated on the *ground-truth explanations of the whole
+explanation test set* (they get to peek at statistics COMET never sees), yet
+COMET still outperforms them by a wide margin in Table 2 — that is the point
+of the comparison.
+
+* **Random** — one feature of the block, whose *type* is drawn from the
+  empirical distribution of feature types over all ground-truth explanations
+  and whose identity is uniform among the block's features of that type.
+* **Fixed** — the most frequent feature type in the ground-truth set is
+  computed once; the baseline always answers with the first feature of that
+  type in the block (falling back to the first feature of any type).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import Feature, FeatureKind, extract_features
+from repro.models.analytical import AnalyticalCostModel, ground_truth_explanations
+from repro.utils.rng import RandomSource, as_rng, choice
+
+
+def ground_truth_type_frequencies(
+    blocks: Sequence[BasicBlock], model: AnalyticalCostModel
+) -> Dict[FeatureKind, float]:
+    """Empirical distribution of feature kinds over all ground-truth features."""
+    counts: Counter = Counter()
+    for block in blocks:
+        for feature in ground_truth_explanations(block, model):
+            counts[feature.kind] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {kind: 1.0 / len(FeatureKind) for kind in FeatureKind}
+    return {kind: counts.get(kind, 0) / total for kind in FeatureKind}
+
+
+class RandomExplanationBaseline:
+    """Type-frequency-weighted random explanations."""
+
+    def __init__(
+        self,
+        blocks: Sequence[BasicBlock],
+        model: AnalyticalCostModel,
+        rng: RandomSource = None,
+    ) -> None:
+        self.frequencies = ground_truth_type_frequencies(blocks, model)
+        self._rng = as_rng(rng)
+
+    def explain(self, block: BasicBlock, rng: RandomSource = None) -> List[Feature]:
+        """A random explanation for ``block`` (always exactly one feature)."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        features = extract_features(block)
+        kinds = list(self.frequencies)
+        weights = np.array([self.frequencies[k] for k in kinds], dtype=float)
+        if weights.sum() <= 0:
+            weights = np.ones(len(kinds))
+        weights = weights / weights.sum()
+        for _ in range(10):
+            kind = kinds[int(generator.choice(len(kinds), p=weights))]
+            of_kind = [f for f in features if f.kind is kind]
+            if of_kind:
+                return [choice(generator, of_kind)]
+        return [choice(generator, features)]
+
+
+class FixedExplanationBaseline:
+    """Always answer with the first feature of the globally dominant type."""
+
+    def __init__(
+        self, blocks: Sequence[BasicBlock], model: AnalyticalCostModel
+    ) -> None:
+        frequencies = ground_truth_type_frequencies(blocks, model)
+        self.dominant_kind: FeatureKind = max(frequencies, key=lambda k: frequencies[k])
+
+    def explain(self, block: BasicBlock) -> List[Feature]:
+        """The fixed explanation for ``block`` (deterministic)."""
+        features = extract_features(block)
+        for feature in features:
+            if feature.kind is self.dominant_kind:
+                return [feature]
+        return [features[0]]

@@ -1,0 +1,157 @@
+"""Figures 2–4: prediction error versus explanation granularity.
+
+The paper's utility study (Section 6.3) plots, for each cost model and
+micro-architecture, the model's MAPE next to the percentage of COMET
+explanations containing (a) the number-of-instructions feature η, (b) a
+specific-instruction feature and (c) a data-dependency feature.  The paper's
+hypothesis — confirmed across Figures 2, 3 (partition by source) and 4
+(partition by category) — is that lower-error models rely on finer-grained
+features.  These drivers compute the same quantities on the synthetic
+substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bb.features import FeatureKind
+from repro.data.bhive import BHiveDataset
+from repro.data.splits import category_order, partition_by_category, partition_by_source
+from repro.eval.context import EvaluationContext
+from repro.eval.metrics import feature_kind_percentages, mean_absolute_percentage_error
+from repro.eval.precision_coverage import explain_blocks
+from repro.utils.tables import render_table
+
+
+@dataclass
+class GranularityResult:
+    """MAPE and explanation-composition percentages for one model/uarch pair."""
+
+    model_label: str
+    microarch: str
+    mape: float
+    pct_num_instructions: float
+    pct_instructions: float
+    pct_dependencies: float
+    blocks_evaluated: int
+
+    @property
+    def pct_fine_grained(self) -> float:
+        """Share of explanations containing at least one fine-grained feature."""
+        return max(self.pct_instructions, self.pct_dependencies)
+
+    def as_cells(self) -> List[object]:
+        return [
+            f"{self.model_label} ({self.microarch.upper()})",
+            self.mape,
+            self.pct_num_instructions,
+            self.pct_instructions,
+            self.pct_dependencies,
+        ]
+
+
+def _granularity_for(
+    context: EvaluationContext,
+    dataset: BHiveDataset,
+    model_name: str,
+    microarch: str,
+    seed: int,
+) -> GranularityResult:
+    settings = context.settings
+    model = context.model(model_name, microarch)
+    blocks = dataset.blocks()
+    targets = dataset.throughputs(microarch)
+    predictions = [model.predict(block) for block in blocks]
+    error = mean_absolute_percentage_error(predictions, targets)
+
+    explanations = explain_blocks(model, blocks, settings.explainer_config, seed)
+    percentages = feature_kind_percentages(explanations)
+    labels = {"ithemal": "Ithemal", "uica": "uiCA"}
+    return GranularityResult(
+        model_label=labels.get(model_name, model_name),
+        microarch=microarch,
+        mape=error,
+        pct_num_instructions=percentages[FeatureKind.NUM_INSTRUCTIONS.value],
+        pct_instructions=percentages[FeatureKind.INSTRUCTION.value],
+        pct_dependencies=percentages[FeatureKind.DEPENDENCY.value],
+        blocks_evaluated=len(blocks),
+    )
+
+
+def render_granularity_table(title: str, results: Sequence[GranularityResult]) -> str:
+    """Text rendering shared by the Figure 2/3/4 benchmarks."""
+    return render_table(
+        ["Model", "MAPE (%)", "% expl. with η", "% expl. with inst", "% expl. with δ"],
+        [result.as_cells() for result in results],
+        title=title,
+        precision=1,
+    )
+
+
+def run_error_granularity_experiment(
+    context: Optional[EvaluationContext] = None,
+    *,
+    models: Sequence[str] = ("ithemal", "uica"),
+    microarchs: Optional[Sequence[str]] = None,
+    dataset: Optional[BHiveDataset] = None,
+    seed: int = 21,
+) -> List[GranularityResult]:
+    """Figure 2: error vs granularity over the explanation test set."""
+    context = context or EvaluationContext.shared()
+    microarchs = tuple(microarchs or context.settings.microarchs)
+    dataset = dataset if dataset is not None else context.test_set
+    results = []
+    for microarch in microarchs:
+        for model_name in models:
+            results.append(
+                _granularity_for(context, dataset, model_name, microarch, seed)
+            )
+    return results
+
+
+def run_partitioned_granularity_experiment(
+    context: Optional[EvaluationContext] = None,
+    *,
+    partition: str = "source",
+    models: Sequence[str] = ("ithemal", "uica"),
+    microarch: str = "hsw",
+    blocks_per_partition: int = 0,
+    seed: int = 22,
+) -> Dict[str, List[GranularityResult]]:
+    """Figures 3 and 4: the same study on BHive partitions.
+
+    ``partition`` is ``"source"`` (Figure 3: Clang / OpenBLAS) or
+    ``"category"`` (Figure 4: Load / Store / ...).  ``blocks_per_partition``
+    caps each partition's size (the paper uses 100 per source and 50 per
+    category); 0 means "use everything available".
+    """
+    context = context or EvaluationContext.shared()
+    settings = context.settings
+    base = context.dataset.filter_by_size(
+        settings.min_instructions, settings.max_instructions
+    )
+    if partition == "source":
+        partitions = {
+            name: subset
+            for name, subset in partition_by_source(base).items()
+            if name in ("clang", "openblas")
+        }
+    elif partition == "category":
+        partitions = partition_by_category(base)
+        ordered = {name: partitions[name] for name in category_order() if name in partitions}
+        partitions = ordered
+    else:
+        raise ValueError("partition must be 'source' or 'category'")
+
+    out: Dict[str, List[GranularityResult]] = {}
+    for name, subset in partitions.items():
+        if len(subset) == 0:
+            continue
+        if blocks_per_partition and len(subset) > blocks_per_partition:
+            subset = subset.sample(blocks_per_partition, rng=seed)
+        out[name] = [
+            _granularity_for(context, subset, model_name, microarch, seed)
+            for model_name in models
+        ]
+    return out

@@ -1,0 +1,73 @@
+"""Metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bb.features import Feature
+
+
+def mean_absolute_percentage_error(
+    predictions: Sequence[float], targets: Sequence[float]
+) -> float:
+    """MAPE in percent (the error metric of Figures 2–4)."""
+    predictions = np.asarray(list(predictions), dtype=float)
+    targets = np.asarray(list(targets), dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same length")
+    if predictions.size == 0:
+        return float("nan")
+    safe_targets = np.maximum(np.abs(targets), 1e-9)
+    return 100.0 * float(np.mean(np.abs(predictions - targets) / safe_targets))
+
+
+#: Short alias used by the experiment drivers.
+mape = mean_absolute_percentage_error
+
+
+def explanation_accuracy(
+    explanation_features: Iterable[Feature], ground_truth: Iterable[Feature]
+) -> bool:
+    """Accuracy criterion of Section 6.
+
+    An explanation is accurate if it identifies *at least one* ground-truth
+    feature and contains *nothing outside* the ground-truth set.  An empty
+    explanation is therefore inaccurate (it identifies nothing).
+    """
+    explanation_set = set(explanation_features)
+    truth_set = set(ground_truth)
+    if not explanation_set:
+        return False
+    return bool(explanation_set & truth_set) and explanation_set <= truth_set
+
+
+def accuracy_rate(outcomes: Sequence[bool]) -> float:
+    """Fraction of accurate explanations, in percent."""
+    if len(outcomes) == 0:
+        return float("nan")
+    return 100.0 * float(np.mean([bool(o) for o in outcomes]))
+
+
+def summarize_mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and standard deviation (population std, matching the paper's ±)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return float("nan"), float("nan")
+    return float(array.mean()), float(array.std())
+
+
+def feature_kind_percentages(explanations) -> Dict[str, float]:
+    """Percentage of explanations containing each feature kind (Section 6.3)."""
+    from repro.bb.features import FeatureKind
+
+    totals = {kind: 0 for kind in FeatureKind}
+    count = 0
+    for explanation in explanations:
+        count += 1
+        for kind in explanation.feature_kinds:
+            totals[kind] += 1
+    if count == 0:
+        return {kind.value: float("nan") for kind in FeatureKind}
+    return {kind.value: 100.0 * totals[kind] / count for kind in FeatureKind}

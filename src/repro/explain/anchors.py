@@ -1,0 +1,166 @@
+"""Anchors-style beam search over candidate feature sets (Section 5.2).
+
+Starting from the empty set, candidate explanations are grown one feature at
+a time.  At each level the KL-LUCB estimator identifies the most precise
+candidates with as few cost-model queries as possible; the survivors are
+checked against the precision threshold, and the search stops at the first
+level where a candidate clears it (adding features can only shrink coverage
+— Theorem 1 — so the earliest valid anchor has the best coverage).  Among the
+valid candidates of that level the one with maximum coverage is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import Feature, extract_features
+from repro.explain.config import ExplainerConfig
+from repro.explain.coverage import CoverageEstimator
+from repro.explain.precision import PrecisionEstimator
+from repro.models.base import CostModel
+from repro.perturb.sampler import PerturbationSampler
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class AnchorCandidate:
+    """One evaluated candidate feature set."""
+
+    features: Tuple[Feature, ...]
+    precision: float
+    precision_samples: int
+    coverage: float
+    meets_threshold: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.features)
+
+
+class AnchorSearch:
+    """Beam search bound to one (cost model, block) pair."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        block: BasicBlock,
+        config: Optional[ExplainerConfig] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        self.model = model
+        self.block = block
+        self.config = config or ExplainerConfig()
+        self.sampler = PerturbationSampler(block, self.config.perturbation, rng)
+        self.coverage_estimator = CoverageEstimator(
+            self.sampler, self.config.coverage_samples
+        )
+        self.original_prediction = model.predict(block)
+        self.tolerance = self.config.tolerance_for(self.original_prediction)
+        self.candidate_features: List[Feature] = extract_features(block)
+        self.evaluated: List[AnchorCandidate] = []
+
+    # ------------------------------------------------------------- sampling
+
+    def _outcome_sampler(self, features: Tuple[Feature, ...]) -> Callable[[int], List[bool]]:
+        """Bernoulli sampler for one candidate: perturb, query, compare."""
+
+        def draw(count: int) -> List[bool]:
+            perturbed = self.sampler.sample(features, count)
+            outcomes = []
+            for candidate in perturbed:
+                prediction = self.model.predict(candidate)
+                outcomes.append(
+                    abs(prediction - self.original_prediction) <= self.tolerance
+                )
+            return outcomes
+
+        return draw
+
+    def _evaluate(
+        self, estimator: PrecisionEstimator, arm: int, features: Tuple[Feature, ...]
+    ) -> AnchorCandidate:
+        meets, stats = estimator.certify_threshold(
+            arm, self.config.precision_threshold
+        )
+        candidate = AnchorCandidate(
+            features=features,
+            precision=stats.mean,
+            precision_samples=stats.samples,
+            coverage=self.coverage_estimator.coverage(features),
+            meets_threshold=meets,
+        )
+        self.evaluated.append(candidate)
+        return candidate
+
+    # --------------------------------------------------------------- search
+
+    def search(self) -> AnchorCandidate:
+        """Run the beam search and return the selected anchor.
+
+        If no candidate clears the precision threshold within
+        ``max_anchor_size`` features, the most precise candidate found is
+        returned with ``meets_threshold=False`` (callers can inspect the flag).
+        """
+        config = self.config
+
+        # The empty anchor: if the model's prediction is already stable under
+        # arbitrary perturbations, no feature is needed to explain it.
+        empty_estimator = PrecisionEstimator(
+            [self._outcome_sampler(())],
+            confidence_delta=config.confidence_delta,
+            batch_size=config.batch_size,
+            min_samples=config.min_precision_samples,
+            max_samples=config.max_precision_samples,
+        )
+        empty_candidate = self._evaluate(empty_estimator, 0, ())
+        if empty_candidate.meets_threshold:
+            return empty_candidate
+
+        beams: List[Tuple[Feature, ...]] = [()]
+        best_fallback = empty_candidate
+        seen: set = set()
+
+        for _ in range(config.max_anchor_size):
+            candidates: List[Tuple[Feature, ...]] = []
+            for beam in beams:
+                beam_set = frozenset(beam)
+                for feature in self.candidate_features:
+                    if feature in beam_set:
+                        continue
+                    extended = beam + (feature,)
+                    key = frozenset(extended)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    candidates.append(extended)
+            if not candidates:
+                break
+
+            estimator = PrecisionEstimator(
+                [self._outcome_sampler(candidate) for candidate in candidates],
+                confidence_delta=config.confidence_delta,
+                batch_size=config.batch_size,
+                min_samples=config.min_precision_samples,
+                max_samples=config.max_precision_samples,
+            )
+            top_arms = estimator.select_top(
+                config.beam_width, tolerance=config.lucb_tolerance
+            )
+
+            valid: List[AnchorCandidate] = []
+            level_candidates: List[AnchorCandidate] = []
+            for arm in top_arms:
+                candidate = self._evaluate(estimator, arm, candidates[arm])
+                level_candidates.append(candidate)
+                if candidate.meets_threshold:
+                    valid.append(candidate)
+                if candidate.precision > best_fallback.precision:
+                    best_fallback = candidate
+
+            if valid:
+                return max(valid, key=lambda c: (c.coverage, c.precision))
+            beams = [candidate.features for candidate in level_candidates]
+
+        return best_fallback

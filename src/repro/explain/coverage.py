@@ -1,0 +1,72 @@
+"""Coverage estimation (Eq. 6).
+
+Coverage of a feature set ``F`` is the probability that a random,
+*unconstrained* perturbation of the original block still contains all the
+features of ``F``.  It is the generalisability/simplicity surrogate that the
+anchor search maximises among sufficiently precise candidates.  All candidate
+sets are scored against the same background population of perturbations so
+their coverages are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import Feature, feature_present
+from repro.perturb.sampler import PerturbationSampler
+
+
+class CoverageEstimator:
+    """Empirical coverage over a shared background population."""
+
+    def __init__(
+        self, sampler: PerturbationSampler, population_size: int = 400
+    ) -> None:
+        self.sampler = sampler
+        self.population_size = population_size
+        self._population: List[BasicBlock] = []
+        self._presence_cache: Dict[Feature, Tuple[bool, ...]] = {}
+
+    # ------------------------------------------------------------ population
+
+    def population(self) -> List[BasicBlock]:
+        """The background population (drawn lazily, then cached)."""
+        if not self._population:
+            self._population = self.sampler.background_population(self.population_size)
+        return self._population
+
+    def _presence_vector(self, feature: Feature) -> Tuple[bool, ...]:
+        """Presence of one feature across the population (memoised).
+
+        Coverage of a feature *set* is the AND of its members' presence
+        vectors, so caching per-feature vectors makes scoring many candidate
+        sets cheap.
+        """
+        cached = self._presence_cache.get(feature)
+        if cached is None:
+            cached = tuple(
+                feature_present(feature, candidate) for candidate in self.population()
+            )
+            self._presence_cache[feature] = cached
+        return cached
+
+    # -------------------------------------------------------------- coverage
+
+    def coverage(self, features: Iterable[Feature]) -> float:
+        """Empirical coverage of a feature set (1.0 for the empty set)."""
+        feature_list = list(features)
+        population = self.population()
+        if not population:
+            return 0.0
+        if not feature_list:
+            return 1.0
+        vectors = [self._presence_vector(f) for f in feature_list]
+        hits = sum(1 for joint in zip(*vectors) if all(joint))
+        return hits / len(population)
+
+    def coverage_many(
+        self, candidates: Sequence[Iterable[Feature]]
+    ) -> List[float]:
+        """Coverage of several candidate sets against the same population."""
+        return [self.coverage(candidate) for candidate in candidates]

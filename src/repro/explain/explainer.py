@@ -1,0 +1,90 @@
+"""The public COMET explainer API."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.bb.block import BasicBlock
+from repro.explain.anchors import AnchorSearch
+from repro.explain.config import ExplainerConfig
+from repro.explain.explanation import Explanation
+from repro.models.base import CostModel, QueryCounter
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+
+
+class CometExplainer:
+    """Generates COMET explanations for a given cost model.
+
+    Parameters
+    ----------
+    model:
+        Any object implementing the :class:`~repro.models.base.CostModel`
+        query interface.  Wrapping it in
+        :class:`~repro.models.base.CachedCostModel` is recommended for
+        expensive models.
+    config:
+        Explanation hyperparameters; the defaults follow the paper.
+    rng:
+        Random source controlling both the perturbation algorithm and the
+        sampling order (pass an int for reproducible explanations).
+
+    Example
+    -------
+    >>> from repro.bb import BasicBlock
+    >>> from repro.models import AnalyticalCostModel
+    >>> from repro.explain import CometExplainer, ExplainerConfig
+    >>> model = AnalyticalCostModel("hsw")
+    >>> block = BasicBlock.from_text("add rcx, rax\\nmov rdx, rcx\\npop rbx")
+    >>> explainer = CometExplainer(model, ExplainerConfig(epsilon=0.25))
+    >>> explanation = explainer.explain(block)
+    >>> explanation.precision >= 0.0
+    True
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        config: Optional[ExplainerConfig] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        self.model = model
+        self.config = config or ExplainerConfig()
+        self._rng = as_rng(rng)
+
+    def explain(self, block: BasicBlock, rng: RandomSource = None) -> Explanation:
+        """Explain the model's prediction for ``block``."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        with QueryCounter(self.model) as counter:
+            search = AnchorSearch(self.model, block, self.config, generator)
+            anchor = search.search()
+        return Explanation(
+            block=block,
+            model_name=self.model.name,
+            prediction=search.original_prediction,
+            features=anchor.features,
+            precision=anchor.precision,
+            coverage=anchor.coverage,
+            meets_threshold=anchor.meets_threshold,
+            epsilon=search.tolerance,
+            num_queries=counter.queries,
+            precision_samples=anchor.precision_samples,
+            candidates_evaluated=len(search.evaluated),
+        )
+
+    def explain_many(
+        self, blocks: Sequence[BasicBlock], rng: RandomSource = None
+    ) -> List[Explanation]:
+        """Explain several blocks with independent random streams."""
+        seeds = spawn_rngs(rng if rng is not None else self._rng, len(blocks))
+        return [self.explain(block, rng=seed) for block, seed in zip(blocks, seeds)]
+
+
+def explain_block(
+    model: CostModel,
+    block: BasicBlock,
+    *,
+    config: Optional[ExplainerConfig] = None,
+    rng: RandomSource = None,
+) -> Explanation:
+    """One-shot convenience wrapper around :class:`CometExplainer`."""
+    return CometExplainer(model, config, rng).explain(block)

@@ -1,0 +1,107 @@
+"""The :class:`Explanation` result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import Feature, FeatureKind
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """COMET's explanation of one cost-model prediction.
+
+    Attributes
+    ----------
+    block:
+        The block that was explained.
+    model_name:
+        Name of the explained cost model.
+    prediction:
+        The model's (unperturbed) prediction for the block.
+    features:
+        The explanation feature set (may be empty if the model's prediction
+        is insensitive to every perturbation considered).
+    precision / coverage:
+        Empirical estimates of Eq. 4 and Eq. 6 for the returned feature set.
+    meets_threshold:
+        Whether the precision estimate cleared the ``1 − δ`` threshold.  When
+        no candidate cleared it, the most precise candidate found is returned
+        with this flag set to ``False``.
+    epsilon:
+        The acceptance-ball radius used for this explanation.
+    num_queries:
+        Cost-model queries consumed while searching.
+    precision_samples:
+        Number of perturbation samples behind the precision estimate.
+    candidates_evaluated:
+        Number of candidate feature sets the beam search scored.
+    """
+
+    block: BasicBlock
+    model_name: str
+    prediction: float
+    features: Tuple[Feature, ...]
+    precision: float
+    coverage: float
+    meets_threshold: bool
+    epsilon: float
+    num_queries: int = 0
+    precision_samples: int = 0
+    candidates_evaluated: int = 0
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def size(self) -> int:
+        """Number of features in the explanation (the simplicity metric)."""
+        return len(self.features)
+
+    @property
+    def feature_kinds(self) -> FrozenSet[FeatureKind]:
+        """The kinds of features appearing in the explanation."""
+        return frozenset(f.kind for f in self.features)
+
+    def contains_kind(self, kind: FeatureKind) -> bool:
+        """Whether the explanation contains a feature of the given kind."""
+        return kind in self.feature_kinds
+
+    @property
+    def is_fine_grained(self) -> bool:
+        """Whether the explanation contains any fine-grained feature (Section 6.3)."""
+        return any(kind.is_fine_grained for kind in self.feature_kinds)
+
+    # ------------------------------------------------------------- rendering
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the explanation."""
+        lines = [
+            f"Explanation for {self.model_name}",
+            f"  prediction: {self.prediction:.2f} cycles (±{self.epsilon:.2f})",
+            f"  precision:  {self.precision:.2f}"
+            + ("" if self.meets_threshold else "  [below threshold]"),
+            f"  coverage:   {self.coverage:.2f}",
+            "  features:",
+        ]
+        if self.features:
+            lines.extend(f"    - {feature.describe()}" for feature in self.features)
+        else:
+            lines.append("    (empty: prediction is insensitive to perturbations)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (used by the experiment harness)."""
+        return {
+            "model": self.model_name,
+            "prediction": self.prediction,
+            "precision": self.precision,
+            "coverage": self.coverage,
+            "meets_threshold": self.meets_threshold,
+            "epsilon": self.epsilon,
+            "size": self.size,
+            "features": [f.describe() for f in self.features],
+            "feature_kinds": sorted(k.value for k in self.feature_kinds),
+            "num_queries": self.num_queries,
+        }

@@ -1,0 +1,231 @@
+"""Precision estimation with KL-LUCB confidence bounds.
+
+The precision of a candidate feature set ``F`` (Eq. 4) is the probability
+that a perturbation drawn from ``D_F`` keeps the cost model's prediction
+inside the acceptance ball ``T``.  Each candidate is a Bernoulli arm; the
+anchor search needs to (i) identify the best arms at each beam level and
+(ii) certify whether a candidate's precision exceeds the threshold — both
+with as few model queries as possible.  Following the paper (and Ribeiro et
+al., 2018), we use the KL-LUCB bandit algorithm of Kaufmann &
+Kalyanakrishnan (2013): confidence bounds are derived from the
+Kullback–Leibler divergence between Bernoulli distributions, which is much
+tighter than Hoeffding bounds for probabilities near 0 or 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def kl_bernoulli(p: float, q: float) -> float:
+    """KL divergence between Bernoulli(p) and Bernoulli(q)."""
+    p = min(max(p, 1e-12), 1.0 - 1e-12)
+    q = min(max(q, 1e-12), 1.0 - 1e-12)
+    return p * math.log(p / q) + (1.0 - p) * math.log((1.0 - p) / (1.0 - q))
+
+
+def bernoulli_upper_bound(p_hat: float, n: int, beta: float, tolerance: float = 1e-5) -> float:
+    """Largest ``q ≥ p_hat`` with ``n · KL(p_hat, q) ≤ beta`` (bisection)."""
+    if n <= 0:
+        return 1.0
+    level = beta / n
+    low, high = p_hat, 1.0
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if kl_bernoulli(p_hat, mid) > level:
+            high = mid
+        else:
+            low = mid
+    return (low + high) / 2.0
+
+
+def bernoulli_lower_bound(p_hat: float, n: int, beta: float, tolerance: float = 1e-5) -> float:
+    """Smallest ``q ≤ p_hat`` with ``n · KL(p_hat, q) ≤ beta`` (bisection)."""
+    if n <= 0:
+        return 0.0
+    level = beta / n
+    low, high = 0.0, p_hat
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if kl_bernoulli(p_hat, mid) > level:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def confidence_beta(num_arms: int, round_index: int, delta: float) -> float:
+    """Exploration rate ``beta(t, δ)`` of KL-LUCB (Kaufmann & Kalyanakrishnan).
+
+    Uses the same constants as the reference Anchors implementation
+    (``alpha = 1.1``, ``k = 405.5``).
+    """
+    alpha = 1.1
+    k = 405.5
+    t = max(round_index, 1)
+    inner = math.log(k * max(num_arms, 1) * (t**alpha) / delta)
+    return inner + math.log(max(inner, 1e-12))
+
+
+@dataclass
+class ArmStatistics:
+    """Sampling statistics of one candidate feature set (one bandit arm)."""
+
+    samples: int = 0
+    positives: int = 0
+
+    @property
+    def mean(self) -> float:
+        """Empirical precision estimate."""
+        return self.positives / self.samples if self.samples else 0.0
+
+    def update(self, outcomes: Sequence[bool]) -> None:
+        """Record a batch of Bernoulli outcomes."""
+        self.samples += len(outcomes)
+        self.positives += int(sum(bool(o) for o in outcomes))
+
+    def upper(self, beta: float) -> float:
+        return bernoulli_upper_bound(self.mean, self.samples, beta)
+
+    def lower(self, beta: float) -> float:
+        return bernoulli_lower_bound(self.mean, self.samples, beta)
+
+
+#: A function that draws ``n`` Bernoulli outcomes for one arm.
+SampleFunction = Callable[[int], Sequence[bool]]
+
+
+class PrecisionEstimator:
+    """KL-LUCB estimator over a set of candidate arms.
+
+    Parameters
+    ----------
+    sample_functions:
+        One sampling callback per arm.  Each call performs perturbations and
+        cost-model queries, so the estimator's job is to spend as few calls
+        as possible.
+    confidence_delta:
+        Failure probability of the confidence bounds.
+    batch_size:
+        Number of fresh samples drawn per arm per refinement step.
+    min_samples / max_samples:
+        Per-arm sampling budget.
+    """
+
+    def __init__(
+        self,
+        sample_functions: Sequence[SampleFunction],
+        *,
+        confidence_delta: float = 0.05,
+        batch_size: int = 12,
+        min_samples: int = 20,
+        max_samples: int = 150,
+    ) -> None:
+        if not sample_functions:
+            raise ValueError("need at least one arm")
+        self.sample_functions = list(sample_functions)
+        self.confidence_delta = confidence_delta
+        self.batch_size = batch_size
+        self.min_samples = min_samples
+        self.max_samples = max_samples
+        self.stats: List[ArmStatistics] = [ArmStatistics() for _ in sample_functions]
+        self.rounds = 0
+
+    # ------------------------------------------------------------- sampling
+
+    def _draw(self, arm: int, count: int) -> None:
+        stats = self.stats[arm]
+        remaining = self.max_samples - stats.samples
+        count = min(count, max(remaining, 0))
+        if count <= 0:
+            return
+        stats.update(self.sample_functions[arm](count))
+
+    def _ensure_minimum(self) -> None:
+        for arm in range(len(self.stats)):
+            if self.stats[arm].samples < self.min_samples:
+                self._draw(arm, self.min_samples - self.stats[arm].samples)
+
+    # ------------------------------------------------------- top-n selection
+
+    def select_top(self, top_n: int, tolerance: float = 0.15) -> List[int]:
+        """Indices of (approximately) the ``top_n`` most precise arms.
+
+        Implements the LUCB stopping rule: refine the provisional winners'
+        lower bounds and the best challenger's upper bound until they are
+        separated by ``tolerance`` or the sampling budget runs out.
+        """
+        num_arms = len(self.stats)
+        top_n = min(top_n, num_arms)
+        self._ensure_minimum()
+
+        while True:
+            self.rounds += 1
+            beta = confidence_beta(num_arms, self.rounds, self.confidence_delta)
+            means = [s.mean for s in self.stats]
+            order = sorted(range(num_arms), key=lambda i: means[i], reverse=True)
+            winners = order[:top_n]
+            challengers = order[top_n:]
+            if not challengers:
+                return winners
+
+            weakest_winner = min(winners, key=lambda i: self.stats[i].lower(beta))
+            strongest_challenger = max(
+                challengers, key=lambda i: self.stats[i].upper(beta)
+            )
+            gap = self.stats[strongest_challenger].upper(beta) - self.stats[
+                weakest_winner
+            ].lower(beta)
+            if gap <= tolerance:
+                return winners
+
+            exhausted_winner = self.stats[weakest_winner].samples >= self.max_samples
+            exhausted_challenger = (
+                self.stats[strongest_challenger].samples >= self.max_samples
+            )
+            if exhausted_winner and exhausted_challenger:
+                return winners
+            if not exhausted_winner:
+                self._draw(weakest_winner, self.batch_size)
+            if not exhausted_challenger:
+                self._draw(strongest_challenger, self.batch_size)
+
+    # ------------------------------------------------------ threshold check
+
+    def certify_threshold(
+        self, arm: int, threshold: float, tolerance: float = 0.05
+    ) -> Tuple[bool, ArmStatistics]:
+        """Decide whether ``arm``'s precision exceeds ``threshold``.
+
+        Samples the arm until its confidence interval clears the threshold on
+        one side (within ``tolerance``) or the budget is exhausted; returns
+        the decision and the final statistics.
+        """
+        stats = self.stats[arm]
+        if stats.samples < self.min_samples:
+            self._draw(arm, self.min_samples - stats.samples)
+        while True:
+            self.rounds += 1
+            beta = confidence_beta(len(self.stats), self.rounds, self.confidence_delta)
+            lower = stats.lower(beta)
+            upper = stats.upper(beta)
+            if lower >= threshold - tolerance:
+                return True, stats
+            if upper < threshold:
+                return False, stats
+            if stats.samples >= self.max_samples:
+                return stats.mean >= threshold, stats
+            self._draw(arm, self.batch_size)
+
+    # ------------------------------------------------------------ reporting
+
+    def summary(self) -> List[Dict[str, float]]:
+        """Mean/sample-count summary per arm (used in diagnostics and tests)."""
+        return [
+            {"mean": s.mean, "samples": float(s.samples), "positives": float(s.positives)}
+            for s in self.stats
+        ]

@@ -1,0 +1,54 @@
+"""Global (dataset-level) explanations for cost models (paper Section 4).
+
+Section 4 of the paper motivates block-specific explanations by arguing that
+*global* explanations — the common features of all blocks whose predicted
+cost falls in a target set ``T`` — may not exist for complex cost models, and
+illustrates the idea with a hypothetical model ``M1`` that predicts 2 cycles
+iff a block has exactly 8 instructions.  This subpackage implements that
+notion so the claim can be examined empirically:
+
+* :class:`InstructionCountThresholdModel` is the paper's ``M1``,
+* :mod:`repro.globalx.predicates` provides interpretable block predicates
+  (instruction count, opcode presence, dependency-kind presence, category),
+* :class:`GlobalExplainer` searches over conjunctions of those predicates for
+  the rule that best separates blocks with predictions in ``T`` from the
+  rest, reporting precision and recall so the user can see exactly how far a
+  global rule can go for a given model.
+
+For the simple ``M1`` the search recovers the ground-truth rule exactly; for
+the pipeline-simulation and neural models it returns rules with visibly lower
+precision/recall — the empirical counterpart of the paper's argument for
+block-specific explanations.
+"""
+
+from repro.globalx.predicates import (
+    AndPredicate,
+    BlockPredicate,
+    CategoryIs,
+    ContainsDependencyKind,
+    ContainsOpcode,
+    NumInstructionsEquals,
+    NumInstructionsInRange,
+    candidate_predicates,
+)
+from repro.globalx.global_explainer import (
+    GlobalExplainer,
+    GlobalExplainerConfig,
+    GlobalExplanation,
+)
+from repro.globalx.threshold_model import InstructionCountThresholdModel
+
+__all__ = [
+    "BlockPredicate",
+    "NumInstructionsEquals",
+    "NumInstructionsInRange",
+    "ContainsOpcode",
+    "ContainsDependencyKind",
+    "CategoryIs",
+    "AndPredicate",
+    "candidate_predicates",
+    "GlobalExplainer",
+    "GlobalExplainerConfig",
+    "GlobalExplanation",
+    "InstructionCountThresholdModel",
+]

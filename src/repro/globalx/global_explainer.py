@@ -1,0 +1,260 @@
+"""Searching for global explanations of a cost model over a block set.
+
+A global explanation of a cost model ``M`` for a target prediction set ``T``
+(here an inclusive interval ``[low, high]``) is the common, distinguishing
+property of the blocks whose prediction lands in ``T`` (Section 4 of the
+paper).  The search below scores conjunctions of interpretable predicates by
+
+* **precision** — of the blocks satisfying the rule, the fraction whose
+  prediction is in ``T`` (the faithfulness analogue), and
+* **recall** — of the blocks with prediction in ``T``, the fraction that
+  satisfy the rule (the generalizability analogue),
+
+and returns the rule with the best F1 among those clearing the precision
+threshold (falling back to the best-precision rule when none clears it).
+The beam search mirrors the block-specific anchor construction but works
+over a fixed dataset instead of perturbation samples, because a global
+statement must hold over the population of real blocks rather than the
+perturbation neighbourhood of one block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.globalx.predicates import AndPredicate, BlockPredicate, candidate_predicates
+from repro.models.base import CostModel
+
+
+@dataclass(frozen=True)
+class GlobalExplainerConfig:
+    """Knobs of the global-rule search.
+
+    Attributes
+    ----------
+    max_terms:
+        Maximum number of predicates in a conjunction.
+    beam_width:
+        Number of candidate rules kept per search level.
+    min_precision:
+        Rules must reach this precision to be considered "faithful"; when no
+        rule does, the most precise rule found is returned with
+        ``meets_threshold`` set to ``False`` (same convention as the
+        block-specific explainer).
+    min_support:
+        Minimum number of blocks that must satisfy a rule for it to be kept;
+        rules below this support are statistically meaningless.
+    """
+
+    max_terms: int = 2
+    beam_width: int = 5
+    min_precision: float = 0.7
+    min_support: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_terms < 1:
+            raise ValueError("max_terms must be at least 1")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be at least 1")
+        if not 0.0 <= self.min_precision <= 1.0:
+            raise ValueError("min_precision must be in [0, 1]")
+        if self.min_support < 1:
+            raise ValueError("min_support must be at least 1")
+
+
+@dataclass(frozen=True)
+class GlobalExplanation:
+    """The best rule found for one target interval."""
+
+    rule: BlockPredicate
+    target_low: float
+    target_high: float
+    precision: float
+    recall: float
+    support: int
+    positives: int
+    blocks_evaluated: int
+    meets_threshold: bool
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall <= 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+    def describe(self) -> str:
+        """Human-readable rendering of the rule and its quality."""
+        status = "meets" if self.meets_threshold else "does NOT meet"
+        return (
+            f"Global explanation for predictions in [{self.target_low:.2f}, "
+            f"{self.target_high:.2f}] cycles:\n"
+            f"  rule: {self.rule.describe()}\n"
+            f"  precision: {self.precision:.2f}  recall: {self.recall:.2f}  "
+            f"F1: {self.f1:.2f}\n"
+            f"  support: {self.support} of {self.blocks_evaluated} blocks "
+            f"({self.positives} blocks have predictions in the target set)\n"
+            f"  the rule {status} the precision threshold"
+        )
+
+
+@dataclass(frozen=True)
+class _ScoredRule:
+    rule: Tuple[BlockPredicate, ...]
+    precision: float
+    recall: float
+    support: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall <= 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+class GlobalExplainer:
+    """Finds dataset-level rules describing where a model's predictions land."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        blocks: Sequence[BasicBlock],
+        *,
+        config: Optional[GlobalExplainerConfig] = None,
+        predicates: Optional[Sequence[BlockPredicate]] = None,
+    ) -> None:
+        if len(blocks) == 0:
+            raise ValueError("the global explainer needs at least one block")
+        self.model = model
+        self.blocks = list(blocks)
+        self.config = config or GlobalExplainerConfig()
+        self.predicates = (
+            list(predicates)
+            if predicates is not None
+            else candidate_predicates(self.blocks)
+        )
+        self._predictions = [model.predict(block) for block in self.blocks]
+        # Predicate truth table, computed once: rules are conjunctions of
+        # these columns, so scoring a rule is a boolean AND over the rows.
+        self._truth = [
+            [predicate.holds(block) for block in self.blocks]
+            for predicate in self.predicates
+        ]
+
+    # ----------------------------------------------------------------- public
+
+    def predictions(self) -> List[float]:
+        """The model's predictions over the explained block set."""
+        return list(self._predictions)
+
+    def explain_value(self, value: float, *, epsilon: float = 0.25) -> GlobalExplanation:
+        """Explain the ε-ball around one prediction value."""
+        return self.explain_range(value - epsilon, value + epsilon)
+
+    def explain_range(self, low: float, high: float) -> GlobalExplanation:
+        """Explain the target set ``T = [low, high]`` (inclusive)."""
+        if low > high:
+            raise ValueError("low must not exceed high")
+        labels = [low <= prediction <= high for prediction in self._predictions]
+        positives = sum(labels)
+        best = self._search(labels)
+        rule_terms = best.rule
+        rule: BlockPredicate = (
+            rule_terms[0] if len(rule_terms) == 1 else AndPredicate(tuple(rule_terms))
+        )
+        return GlobalExplanation(
+            rule=rule,
+            target_low=low,
+            target_high=high,
+            precision=best.precision,
+            recall=best.recall,
+            support=best.support,
+            positives=positives,
+            blocks_evaluated=len(self.blocks),
+            meets_threshold=best.precision >= self.config.min_precision
+            and best.support >= self.config.min_support,
+        )
+
+    # --------------------------------------------------------------- internals
+
+    def _score(self, columns: Sequence[int], labels: Sequence[bool]) -> _ScoredRule:
+        holds = [True] * len(self.blocks)
+        for column in columns:
+            truth = self._truth[column]
+            holds = [h and t for h, t in zip(holds, truth)]
+        support = sum(holds)
+        true_positives = sum(1 for h, label in zip(holds, labels) if h and label)
+        positives = sum(labels)
+        precision = true_positives / support if support else 0.0
+        recall = true_positives / positives if positives else 0.0
+        return _ScoredRule(
+            rule=tuple(self.predicates[c] for c in columns),
+            precision=precision,
+            recall=recall,
+            support=support,
+        )
+
+    def _search(self, labels: Sequence[bool]) -> _ScoredRule:
+        config = self.config
+        # Level 1: every single predicate.
+        level: List[Tuple[Tuple[int, ...], _ScoredRule]] = []
+        for column in range(len(self.predicates)):
+            scored = self._score([column], labels)
+            if scored.support == 0:
+                continue
+            level.append(((column,), scored))
+        if not level:
+            # Degenerate candidate pool: fall back to the first predicate.
+            return self._score([0], labels)
+
+        def beam_key(entry: Tuple[Tuple[int, ...], _ScoredRule]):
+            _, scored = entry
+            return (scored.f1, scored.precision, scored.support)
+
+        best_overall = max(level, key=beam_key)[1]
+        best_valid = self._best_valid(level)
+
+        frontier = sorted(level, key=beam_key, reverse=True)[: config.beam_width]
+        for _ in range(1, config.max_terms):
+            next_level: List[Tuple[Tuple[int, ...], _ScoredRule]] = []
+            seen: set = set()
+            for columns, _ in frontier:
+                for column in range(len(self.predicates)):
+                    if column in columns:
+                        continue
+                    new_columns = tuple(sorted(columns + (column,)))
+                    if new_columns in seen:
+                        continue
+                    seen.add(new_columns)
+                    scored = self._score(new_columns, labels)
+                    if scored.support < config.min_support:
+                        continue
+                    next_level.append((new_columns, scored))
+            if not next_level:
+                break
+            candidate_best = max(next_level, key=beam_key)[1]
+            if beam_key(("", candidate_best)) > beam_key(("", best_overall)):
+                best_overall = candidate_best
+            valid = self._best_valid(next_level)
+            if valid is not None and (
+                best_valid is None or valid.f1 > best_valid.f1
+            ):
+                best_valid = valid
+            frontier = sorted(next_level, key=beam_key, reverse=True)[: config.beam_width]
+
+        return best_valid if best_valid is not None else best_overall
+
+    def _best_valid(
+        self, level: Sequence[Tuple[Tuple[int, ...], _ScoredRule]]
+    ) -> Optional[_ScoredRule]:
+        valid = [
+            scored
+            for _, scored in level
+            if scored.precision >= self.config.min_precision
+            and scored.support >= self.config.min_support
+        ]
+        if not valid:
+            return None
+        return max(valid, key=lambda scored: (scored.f1, scored.precision, scored.support))

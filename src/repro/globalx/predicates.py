@@ -1,0 +1,158 @@
+"""Interpretable block predicates used by the global explainer.
+
+A predicate is a boolean function over basic blocks with a human-readable
+description.  The global explainer composes conjunctions of predicates, so
+each predicate should be simple enough for a compiler engineer to read off
+the rule directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.bb.block import BasicBlock, BlockCategory
+from repro.bb.dependencies import DependencyKind
+
+
+class BlockPredicate:
+    """Base class: a named boolean property of basic blocks."""
+
+    def holds(self, block: BasicBlock) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+@dataclass(frozen=True, repr=False)
+class NumInstructionsEquals(BlockPredicate):
+    """``η == count`` — the predicate behind the paper's ``M1`` example."""
+
+    count: int
+
+    def holds(self, block: BasicBlock) -> bool:
+        return block.num_instructions == self.count
+
+    def describe(self) -> str:
+        return f"num_instructions == {self.count}"
+
+
+@dataclass(frozen=True, repr=False)
+class NumInstructionsInRange(BlockPredicate):
+    """``lo <= η <= hi`` (inclusive)."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError("low must not exceed high")
+
+    def holds(self, block: BasicBlock) -> bool:
+        return self.low <= block.num_instructions <= self.high
+
+    def describe(self) -> str:
+        return f"{self.low} <= num_instructions <= {self.high}"
+
+
+@dataclass(frozen=True, repr=False)
+class ContainsOpcode(BlockPredicate):
+    """The block contains at least one instruction with the given mnemonic."""
+
+    mnemonic: str
+
+    def holds(self, block: BasicBlock) -> bool:
+        return any(inst.mnemonic == self.mnemonic for inst in block)
+
+    def describe(self) -> str:
+        return f"contains opcode {self.mnemonic}"
+
+
+@dataclass(frozen=True, repr=False)
+class ContainsDependencyKind(BlockPredicate):
+    """The block contains at least one hazard of the given kind."""
+
+    dep_kind: DependencyKind
+
+    def holds(self, block: BasicBlock) -> bool:
+        return any(dep.kind is self.dep_kind for dep in block.dependencies)
+
+    def describe(self) -> str:
+        return f"contains {self.dep_kind.value} dependency"
+
+
+@dataclass(frozen=True, repr=False)
+class CategoryIs(BlockPredicate):
+    """The block's BHive-style category equals the given one."""
+
+    category: str
+
+    def holds(self, block: BasicBlock) -> bool:
+        return block.category.value == self.category
+
+    def describe(self) -> str:
+        return f"category is {self.category}"
+
+
+@dataclass(frozen=True, repr=False)
+class AndPredicate(BlockPredicate):
+    """Conjunction of several predicates (the global explainer's rule form)."""
+
+    terms: Tuple[BlockPredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("a conjunction needs at least one term")
+
+    def holds(self, block: BasicBlock) -> bool:
+        return all(term.holds(block) for term in self.terms)
+
+    def describe(self) -> str:
+        return " AND ".join(term.describe() for term in self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+def candidate_predicates(
+    blocks: Sequence[BasicBlock],
+    *,
+    include_counts: bool = True,
+    include_opcodes: bool = True,
+    include_dependencies: bool = True,
+    include_categories: bool = True,
+    max_opcodes: int = 40,
+) -> List[BlockPredicate]:
+    """Enumerate candidate predicates grounded in ``blocks``.
+
+    The candidate pool is derived from the data rather than the whole ISA so
+    that the search space stays proportional to what the dataset can actually
+    distinguish: one count predicate per observed instruction count, one
+    opcode predicate per observed mnemonic (capped at ``max_opcodes`` by
+    frequency), one predicate per hazard kind and per observed category.
+    """
+    predicates: List[BlockPredicate] = []
+    if include_counts:
+        counts = sorted({block.num_instructions for block in blocks})
+        predicates.extend(NumInstructionsEquals(count) for count in counts)
+    if include_opcodes:
+        frequency: dict = {}
+        for block in blocks:
+            for inst in block:
+                frequency[inst.mnemonic] = frequency.get(inst.mnemonic, 0) + 1
+        ranked = sorted(frequency, key=lambda m: (-frequency[m], m))[:max_opcodes]
+        predicates.extend(ContainsOpcode(mnemonic) for mnemonic in sorted(ranked))
+    if include_dependencies:
+        kinds = sorted(
+            {dep.kind for block in blocks for dep in block.dependencies},
+            key=lambda kind: kind.value,
+        )
+        predicates.extend(ContainsDependencyKind(kind) for kind in kinds)
+    if include_categories:
+        categories = sorted({block.category.value for block in blocks})
+        predicates.extend(CategoryIs(category) for category in categories)
+    return predicates

@@ -1,0 +1,40 @@
+"""The paper's hypothetical global-explainable cost model ``M1`` (Section 4).
+
+"Consider a hypothetical, crude throughput-predicting cost model M1 that
+assigns a throughput of 2 cycles if and only if a basic block has 8
+instructions."  The model exists so the global explainer has a ground truth:
+for ``T = {2}`` the correct global explanation is exactly the predicate
+``num_instructions == 8``.
+"""
+
+from __future__ import annotations
+
+from repro.bb.block import BasicBlock
+from repro.models.base import CostModel
+
+
+class InstructionCountThresholdModel(CostModel):
+    """Cost model whose prediction depends only on the instruction count."""
+
+    def __init__(
+        self,
+        microarch="hsw",
+        *,
+        target_count: int = 8,
+        match_cost: float = 2.0,
+        default_cost: float = 1.0,
+    ) -> None:
+        super().__init__(microarch)
+        if target_count < 1:
+            raise ValueError("target_count must be at least 1")
+        if match_cost < 0.0 or default_cost < 0.0:
+            raise ValueError("costs must be non-negative")
+        self.target_count = int(target_count)
+        self.match_cost = float(match_cost)
+        self.default_cost = float(default_cost)
+        self.name = f"m1-count-{self.target_count}"
+
+    def _predict(self, block: BasicBlock) -> float:
+        if block.num_instructions == self.target_count:
+            return self.match_cost
+        return self.default_cost

@@ -1,0 +1,57 @@
+"""Explanation-guided optimization guidance (paper Section 7).
+
+The paper's discussion proposes that "COMET can be augmented to existing cost
+models to guide compiler optimizations with information on what parts of the
+basic block need to be optimized for better performance".  This subpackage
+implements that workflow:
+
+* :func:`diagnose` turns a COMET explanation (plus, when the model exposes
+  one, the pipeline simulator's bottleneck analysis) into a
+  :class:`BottleneckReport` naming the block features that limit performance,
+* :mod:`repro.guidance.rewrites` proposes candidate rewrites that target a
+  specific explanation feature (break a data dependency by register renaming,
+  replace an expensive opcode with a cheaper one accepting the same operands,
+  delete an instruction),
+* :class:`ExplanationGuidedOptimizer` runs a Stoke-style stochastic search
+  over those rewrites, biased towards the features COMET identified, and
+  minimises the *cost model's* predicted throughput.
+
+The rewrites explore the cost model's input space the same way the
+perturbation algorithm Γ does; they deliberately do **not** claim to preserve
+program semantics (that verification burden belongs to the superoptimizer
+harness, exactly as in Stoke).  The value demonstrated here is that the
+explanation tells the search *where* to spend its proposals.
+"""
+
+from repro.guidance.bottlenecks import BottleneckReport, diagnose
+from repro.guidance.rewrites import (
+    Rewrite,
+    RewriteKind,
+    dependency_breaking_rewrites,
+    deletion_rewrites,
+    opcode_replacement_rewrites,
+    rewrites_for_feature,
+)
+from repro.guidance.optimizer import (
+    ExplanationGuidedOptimizer,
+    OptimizationConfig,
+    OptimizationResult,
+    OptimizationStep,
+    optimize_block,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "diagnose",
+    "Rewrite",
+    "RewriteKind",
+    "dependency_breaking_rewrites",
+    "deletion_rewrites",
+    "opcode_replacement_rewrites",
+    "rewrites_for_feature",
+    "ExplanationGuidedOptimizer",
+    "OptimizationConfig",
+    "OptimizationResult",
+    "OptimizationStep",
+    "optimize_block",
+]

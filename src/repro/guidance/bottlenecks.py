@@ -1,0 +1,210 @@
+"""Turning explanations into actionable bottleneck reports.
+
+A COMET explanation names the features of a block whose presence keeps the
+cost model's prediction where it is.  For a performance engineer that is a
+bottleneck report: the instructions and data dependencies worth optimizing
+first.  When the cost model additionally exposes a pipeline analysis (the
+uiCA stand-in does, mirroring uiCA's own bottleneck output described in
+Appendix H.3 of the paper), the report cross-references the simulator's view
+so the two sources of evidence can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    FeatureKind,
+    InstructionFeature,
+    NumInstructionsFeature,
+)
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.explain.explanation import Explanation
+from repro.models.base import CostModel
+from repro.uarch.tables import instruction_cost_for
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """What limits a block's performance, according to a cost model.
+
+    Attributes
+    ----------
+    block:
+        The diagnosed block.
+    model_name:
+        Name of the cost model that was explained.
+    prediction:
+        The model's throughput prediction for the block, in cycles.
+    explanation:
+        The COMET explanation the report is derived from.
+    instruction_indices:
+        Zero-based indices of instructions named by the explanation.
+    dependency_pairs:
+        ``(source, destination, kind)`` triples for dependencies named by the
+        explanation (zero-based instruction indices).
+    frontend_bound:
+        Whether the explanation contains the instruction-count feature η —
+        i.e. the model treats the block as front-end (issue-width) bound.
+    simulator_bottleneck:
+        The pipeline simulator's bottleneck label (``frontend``/``ports``/
+        ``dependencies``) when the model exposes an ``analyze`` method,
+        otherwise ``None``.
+    port_pressure:
+        Per-port pressure from the simulator analysis, when available.
+    """
+
+    block: BasicBlock
+    model_name: str
+    prediction: float
+    explanation: Explanation
+    instruction_indices: Tuple[int, ...]
+    dependency_pairs: Tuple[Tuple[int, int, str], ...]
+    frontend_bound: bool
+    simulator_bottleneck: Optional[str] = None
+    port_pressure: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def has_fine_grained_target(self) -> bool:
+        """Whether the report names a specific instruction or dependency."""
+        return bool(self.instruction_indices) or bool(self.dependency_pairs)
+
+    @property
+    def targeted_features(self) -> Tuple[Feature, ...]:
+        """The explanation features the optimizer should target."""
+        return self.explanation.features
+
+    def hottest_instruction(self) -> Optional[int]:
+        """Index of the most expensive instruction named by the explanation.
+
+        Falls back to the most expensive instruction of the whole block when
+        the explanation names no instruction (e.g. a purely η-based
+        explanation still needs a starting point for optimization).
+        """
+        candidates = (
+            list(self.instruction_indices)
+            if self.instruction_indices
+            else list(range(self.block.num_instructions))
+        )
+        if not candidates:
+            return None
+        microarch = self.explanation_model_microarch()
+
+        def cost(index: int) -> float:
+            return instruction_cost_for(self.block[index], microarch).throughput
+
+        return max(candidates, key=cost)
+
+    def explanation_model_microarch(self):
+        """Micro-architecture of the explained model (defaults to Haswell)."""
+        from repro.uarch.microarch import get_microarch
+
+        name = self.model_name
+        for short in ("hsw", "skl"):
+            if name.endswith(short):
+                return get_microarch(short)
+        return get_microarch("hsw")
+
+    # ------------------------------------------------------------- rendering
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Bottleneck report for {self.model_name} "
+            f"(prediction: {self.prediction:.2f} cycles)",
+            "Block:",
+        ]
+        for index, line in enumerate(self.block.text.splitlines()):
+            marker = "=>" if index in self.instruction_indices else "  "
+            lines.append(f"  {marker} {index + 1}: {line}")
+        if self.dependency_pairs:
+            lines.append("Dependencies named by the explanation:")
+            for source, destination, kind in self.dependency_pairs:
+                lines.append(f"  - {kind} between {source + 1} and {destination + 1}")
+        if self.frontend_bound:
+            lines.append(
+                "The explanation contains the instruction-count feature: the model "
+                "treats this block as front-end bound."
+            )
+        if self.simulator_bottleneck is not None:
+            lines.append(f"Pipeline simulator bottleneck: {self.simulator_bottleneck}")
+        if self.port_pressure:
+            pressure = ", ".join(
+                f"{port}: {value:.2f}" for port, value in sorted(self.port_pressure.items())
+            )
+            lines.append(f"Port pressure: {pressure}")
+        return "\n".join(lines)
+
+
+def _explanation_targets(
+    explanation: Explanation,
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int, str], ...], bool]:
+    instruction_indices: List[int] = []
+    dependency_pairs: List[Tuple[int, int, str]] = []
+    frontend_bound = False
+    for feature in explanation.features:
+        if isinstance(feature, InstructionFeature):
+            instruction_indices.append(feature.index)
+        elif isinstance(feature, DependencyFeature):
+            dependency_pairs.append(
+                (feature.source, feature.destination, feature.dep_kind.value)
+            )
+        elif isinstance(feature, NumInstructionsFeature):
+            frontend_bound = True
+    return tuple(sorted(set(instruction_indices))), tuple(dependency_pairs), frontend_bound
+
+
+def diagnose(
+    block: BasicBlock,
+    model: CostModel,
+    *,
+    explanation: Optional[Explanation] = None,
+    config: Optional[ExplainerConfig] = None,
+    rng: RandomSource = None,
+) -> BottleneckReport:
+    """Diagnose ``block`` under ``model``.
+
+    When ``explanation`` is not supplied, a fresh COMET explanation is
+    computed with ``config`` (paper defaults when omitted).  When the model —
+    or the model it wraps — exposes an ``analyze(block)`` method returning a
+    :class:`~repro.models.pipeline.SimulationResult`, the simulator's
+    bottleneck label and port pressure are included in the report.
+    """
+    if explanation is None:
+        explainer = CometExplainer(model, config, rng=rng)
+        explanation = explainer.explain(block)
+
+    instruction_indices, dependency_pairs, frontend_bound = _explanation_targets(
+        explanation
+    )
+
+    simulator_bottleneck: Optional[str] = None
+    port_pressure: Dict[str, float] = {}
+    analyze = getattr(model, "analyze", None)
+    if analyze is None:
+        inner = getattr(model, "inner", None)
+        analyze = getattr(inner, "analyze", None)
+    if callable(analyze):
+        result = analyze(block)
+        simulator_bottleneck = result.bottleneck
+        port_pressure = dict(result.port_pressure)
+
+    return BottleneckReport(
+        block=block,
+        model_name=model.name,
+        prediction=explanation.prediction,
+        explanation=explanation,
+        instruction_indices=instruction_indices,
+        dependency_pairs=dependency_pairs,
+        frontend_bound=frontend_bound,
+        simulator_bottleneck=simulator_bottleneck,
+        port_pressure=port_pressure,
+    )

@@ -1,0 +1,310 @@
+"""Stoke-style stochastic search guided by COMET explanations.
+
+The optimizer minimises a cost model's predicted throughput for a block by
+repeatedly proposing rewrites and accepting improvements (plus occasional
+uphill moves, simulated-annealing style).  The *guided* variant spends its
+proposal budget on the features COMET named in its explanation — the model
+itself says those features are why the prediction is high — while the
+*unguided* baseline proposes rewrites for uniformly random features.  The
+``bench_ext_guidance`` benchmark and the ``optimize_block.py`` example show
+the guided search reaching lower predicted cost in fewer model queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import Feature, extract_features
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.explain.explanation import Explanation
+from repro.guidance.rewrites import Rewrite, rewrites_for_feature
+from repro.models.base import CostModel
+from repro.utils.rng import RandomSource, as_rng, choice
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Knobs of the stochastic rewrite search.
+
+    Attributes
+    ----------
+    steps:
+        Number of proposal steps.
+    guided:
+        Whether proposals are biased towards the explanation's features
+        (``True``) or drawn uniformly over all block features (``False``).
+    guidance_weight:
+        Probability mass assigned to explanation features when ``guided``;
+        the remainder is spread over the other features so the search can
+        still escape a misleading explanation.
+    temperature:
+        Metropolis temperature for accepting uphill moves; 0 disables them
+        (pure hill climbing).
+    allow_deletion:
+        Whether instruction-deletion rewrites may be proposed.
+    reexplain_every:
+        Re-run COMET on the current best block every this many *accepted*
+        moves (0 disables re-explanation).  Re-explaining keeps the guidance
+        aligned with the rewritten block as it drifts away from the original.
+    """
+
+    steps: int = 40
+    guided: bool = True
+    guidance_weight: float = 0.8
+    temperature: float = 0.0
+    allow_deletion: bool = True
+    reexplain_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+        if not 0.0 <= self.guidance_weight <= 1.0:
+            raise ValueError("guidance_weight must be in [0, 1]")
+        if self.temperature < 0.0:
+            raise ValueError("temperature must be non-negative")
+        if self.reexplain_every < 0:
+            raise ValueError("reexplain_every must be non-negative")
+
+
+@dataclass(frozen=True)
+class OptimizationStep:
+    """Record of one proposal."""
+
+    index: int
+    description: str
+    proposed_cost: float
+    accepted: bool
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of an optimization run."""
+
+    original_block: BasicBlock
+    best_block: BasicBlock
+    original_cost: float
+    best_cost: float
+    steps: List[OptimizationStep] = field(default_factory=list)
+    model_queries: int = 0
+    explanations_used: int = 0
+
+    @property
+    def improvement(self) -> float:
+        """Absolute predicted-cost reduction (cycles)."""
+        return self.original_cost - self.best_cost
+
+    @property
+    def relative_improvement(self) -> float:
+        """Predicted-cost reduction as a fraction of the original cost."""
+        if self.original_cost <= 0.0:
+            return 0.0
+        return self.improvement / self.original_cost
+
+    @property
+    def accepted_steps(self) -> List[OptimizationStep]:
+        return [step for step in self.steps if step.accepted]
+
+    def describe(self) -> str:
+        """Human-readable summary of the run."""
+        lines = [
+            f"Predicted cost: {self.original_cost:.2f} → {self.best_cost:.2f} cycles "
+            f"({100.0 * self.relative_improvement:.1f}% lower)",
+            f"Proposals: {len(self.steps)}, accepted: {len(self.accepted_steps)}, "
+            f"model queries: {self.model_queries}",
+            "Original block:",
+        ]
+        lines.extend(f"  {line}" for line in self.original_block.text.splitlines())
+        lines.append("Optimized block:")
+        lines.extend(f"  {line}" for line in self.best_block.text.splitlines())
+        if self.accepted_steps:
+            lines.append("Accepted rewrites:")
+            lines.extend(f"  - {step.description}" for step in self.accepted_steps)
+        return "\n".join(lines)
+
+
+class ExplanationGuidedOptimizer:
+    """Minimise a cost model's prediction by explanation-targeted rewrites."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        config: Optional[OptimizationConfig] = None,
+        *,
+        explainer_config: Optional[ExplainerConfig] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        self.model = model
+        self.config = config or OptimizationConfig()
+        self.explainer_config = explainer_config or ExplainerConfig()
+        self._rng = as_rng(rng)
+
+    # --------------------------------------------------------------- search
+
+    def optimize(
+        self,
+        block: BasicBlock,
+        *,
+        explanation: Optional[Explanation] = None,
+        rng: RandomSource = None,
+    ) -> OptimizationResult:
+        """Run the rewrite search starting from ``block``.
+
+        When ``explanation`` is omitted and the search is guided, a COMET
+        explanation of the original block is computed first.
+        """
+        generator = as_rng(rng) if rng is not None else self._rng
+        queries_before = self.model.query_count
+
+        current = block
+        current_cost = self.model.predict(block)
+        best = current
+        best_cost = current_cost
+
+        explanations_used = 0
+        guidance: Tuple[Feature, ...] = ()
+        if self.config.guided:
+            if explanation is None:
+                explanation = CometExplainer(
+                    self.model, self.explainer_config, rng=generator
+                ).explain(block)
+            guidance = explanation.features
+            explanations_used += 1
+
+        steps: List[OptimizationStep] = []
+        accepted_since_explain = 0
+        for index in range(self.config.steps):
+            rewrite = self._propose(current, guidance, generator)
+            if rewrite is None:
+                continue
+            proposed_cost = self.model.predict(rewrite.block)
+            accepted = self._accept(current_cost, proposed_cost, generator)
+            steps.append(
+                OptimizationStep(
+                    index=index,
+                    description=rewrite.description,
+                    proposed_cost=proposed_cost,
+                    accepted=accepted,
+                )
+            )
+            if not accepted:
+                continue
+            current = rewrite.block
+            current_cost = proposed_cost
+            accepted_since_explain += 1
+            if proposed_cost < best_cost:
+                best = rewrite.block
+                best_cost = proposed_cost
+            if (
+                self.config.guided
+                and self.config.reexplain_every > 0
+                and accepted_since_explain >= self.config.reexplain_every
+            ):
+                guidance = CometExplainer(
+                    self.model, self.explainer_config, rng=generator
+                ).explain(current).features
+                explanations_used += 1
+                accepted_since_explain = 0
+
+        return OptimizationResult(
+            original_block=block,
+            best_block=best,
+            original_cost=self.model.predict(block),
+            best_cost=best_cost,
+            steps=steps,
+            model_queries=self.model.query_count - queries_before,
+            explanations_used=explanations_used,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _propose(
+        self,
+        block: BasicBlock,
+        guidance: Sequence[Feature],
+        rng: np.random.Generator,
+    ) -> Optional[Rewrite]:
+        feature = self._pick_feature(block, guidance, rng)
+        if feature is None:
+            return None
+        candidates = rewrites_for_feature(
+            block,
+            feature,
+            self.model.microarch,
+            allow_deletion=self.config.allow_deletion,
+        )
+        if not candidates:
+            return None
+        return choice(rng, candidates)
+
+    def _pick_feature(
+        self,
+        block: BasicBlock,
+        guidance: Sequence[Feature],
+        rng: np.random.Generator,
+    ) -> Optional[Feature]:
+        features = extract_features(block)
+        if not features:
+            return None
+        if not self.config.guided or not guidance:
+            return choice(rng, features)
+        # Guidance features were extracted from the *original* block; rewrites
+        # may have shifted indices, so match them by description where
+        # possible and fall back to the current block's features otherwise.
+        guided_pool = [f for f in features if self._matches_guidance(f, guidance)]
+        if guided_pool and rng.random() < self.config.guidance_weight:
+            return choice(rng, guided_pool)
+        other = [f for f in features if f not in guided_pool] or features
+        return choice(rng, other)
+
+    @staticmethod
+    def _matches_guidance(feature: Feature, guidance: Sequence[Feature]) -> bool:
+        for guide in guidance:
+            if feature == guide:
+                return True
+            if feature.kind is guide.kind and feature.kind.value == "inst":
+                if getattr(feature, "mnemonic", None) == getattr(guide, "mnemonic", None):
+                    return True
+            if feature.kind is guide.kind and feature.kind.value == "dep":
+                if (
+                    getattr(feature, "dep_kind", None) == getattr(guide, "dep_kind", None)
+                    and getattr(feature, "source_mnemonic", None)
+                    == getattr(guide, "source_mnemonic", None)
+                    and getattr(feature, "destination_mnemonic", None)
+                    == getattr(guide, "destination_mnemonic", None)
+                ):
+                    return True
+            if feature.kind is guide.kind and feature.kind.value == "num_instrs":
+                return True
+        return False
+
+    def _accept(
+        self, current_cost: float, proposed_cost: float, rng: np.random.Generator
+    ) -> bool:
+        if proposed_cost <= current_cost:
+            return True
+        if self.config.temperature <= 0.0:
+            return False
+        delta = proposed_cost - current_cost
+        return bool(rng.random() < float(np.exp(-delta / self.config.temperature)))
+
+
+def optimize_block(
+    model: CostModel,
+    block: BasicBlock,
+    *,
+    guided: bool = True,
+    steps: int = 40,
+    rng: RandomSource = 0,
+    explainer_config: Optional[ExplainerConfig] = None,
+) -> OptimizationResult:
+    """One-call convenience wrapper around :class:`ExplanationGuidedOptimizer`."""
+    config = OptimizationConfig(steps=steps, guided=guided)
+    optimizer = ExplanationGuidedOptimizer(
+        model, config, explainer_config=explainer_config, rng=rng
+    )
+    return optimizer.optimize(block)

@@ -1,0 +1,237 @@
+"""Candidate rewrites targeting one explanation feature.
+
+Each rewrite is a concrete, valid block obtained by applying one of the three
+moves the perturbation algorithm Γ already uses — register renaming, opcode
+replacement, instruction deletion — but *directed* at a specific feature the
+explanation named, rather than drawn at random.  The rewrites therefore live
+in exactly the space the cost model was explained over.
+
+Rewrites are cost-space proposals (Stoke-style): they are not guaranteed to
+preserve the original block's semantics and must be verified by the caller if
+semantic equivalence matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    InstructionFeature,
+    NumInstructionsFeature,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.validation import is_valid_instruction
+from repro.perturb.replacements import (
+    opcode_replacements,
+    register_renaming_candidates,
+    rename_register_in_instruction,
+)
+from repro.uarch.microarch import MicroArchitecture, get_microarch
+from repro.uarch.tables import instruction_cost_for
+
+
+class RewriteKind(str, Enum):
+    """The move a rewrite applies."""
+
+    RENAME_DEPENDENCY = "rename-dependency"
+    REPLACE_OPCODE = "replace-opcode"
+    DELETE_INSTRUCTION = "delete-instruction"
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One candidate rewrite of a block."""
+
+    kind: RewriteKind
+    description: str
+    block: BasicBlock
+    target_index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rewrite {self.kind.value}: {self.description}>"
+
+
+def _matching_dependency(block: BasicBlock, feature: DependencyFeature):
+    for dependency in block.dependencies:
+        if (
+            dependency.source == feature.source
+            and dependency.destination == feature.destination
+            and dependency.kind is feature.dep_kind
+        ):
+            return dependency
+    return None
+
+
+def dependency_breaking_rewrites(
+    block: BasicBlock,
+    feature: DependencyFeature,
+    *,
+    max_candidates: int = 4,
+) -> List[Rewrite]:
+    """Rewrites that break the data dependency named by ``feature``.
+
+    Register dependencies are broken by renaming, in the *destination*
+    instruction, every reference to the register root carrying the hazard to
+    a register unused elsewhere in the block (so no new hazard appears).
+    Memory dependencies are not rewritten here — shifting a memory address is
+    rarely a meaningful optimization target — and yield no candidates.
+    """
+    dependency = _matching_dependency(block, feature)
+    if dependency is None:
+        return []
+    space, payload = dependency.location
+    if space != "reg":
+        return []
+    root = str(payload)
+
+    destination = block[dependency.destination]
+    referenced = [
+        operand.register
+        for operand in destination.operands
+        if hasattr(operand, "register") and operand.register.root == root
+    ]
+    # Memory operands referencing the root via base/index also carry it.
+    if not referenced:
+        for operand in destination.operands:
+            for reg in operand.registers_read():
+                if reg.root == root:
+                    referenced.append(reg)
+    if not referenced:
+        return []
+
+    candidates = register_renaming_candidates(
+        referenced[0], forbidden_roots=[root], prefer_unused_in=block
+    )
+    rewrites: List[Rewrite] = []
+    for replacement in candidates[:max_candidates]:
+        new_instruction = rename_register_in_instruction(destination, root, replacement)
+        if not is_valid_instruction(new_instruction):
+            continue
+        rewritten = block.replace_instruction(dependency.destination, new_instruction)
+        rewrites.append(
+            Rewrite(
+                kind=RewriteKind.RENAME_DEPENDENCY,
+                description=(
+                    f"break {feature.dep_kind.value} dependency "
+                    f"{dependency.source + 1}→{dependency.destination + 1} by renaming "
+                    f"{root} to {replacement.root} in instruction {dependency.destination + 1}"
+                ),
+                block=rewritten,
+                target_index=dependency.destination,
+            )
+        )
+    return rewrites
+
+
+def opcode_replacement_rewrites(
+    block: BasicBlock,
+    feature: InstructionFeature,
+    microarch="hsw",
+    *,
+    only_cheaper: bool = True,
+    max_candidates: int = 4,
+) -> List[Rewrite]:
+    """Rewrites replacing the opcode of the instruction named by ``feature``.
+
+    Candidates are the opcodes that accept the instruction's operand list
+    (the same pool Γ samples from), ordered by their reciprocal throughput on
+    ``microarch``.  With ``only_cheaper`` (the default) only opcodes strictly
+    cheaper than the original are proposed — the point of the rewrite is to
+    remove the bottleneck, not to move sideways.
+    """
+    if not 0 <= feature.index < block.num_instructions:
+        return []
+    target: MicroArchitecture = get_microarch(microarch)
+    original = block[feature.index]
+    original_cost = instruction_cost_for(original, target).throughput
+
+    scored = []
+    for mnemonic in opcode_replacements(original):
+        replaced = original.with_mnemonic(mnemonic)
+        if not is_valid_instruction(replaced):
+            continue
+        cost = instruction_cost_for(replaced, target).throughput
+        if only_cheaper and cost >= original_cost:
+            continue
+        scored.append((cost, mnemonic, replaced))
+    scored.sort(key=lambda item: item[0])
+
+    rewrites: List[Rewrite] = []
+    for cost, mnemonic, replaced in scored[:max_candidates]:
+        rewritten = block.replace_instruction(feature.index, replaced)
+        rewrites.append(
+            Rewrite(
+                kind=RewriteKind.REPLACE_OPCODE,
+                description=(
+                    f"replace {original.mnemonic} with {mnemonic} at instruction "
+                    f"{feature.index + 1} ({original_cost:.2f} → {cost:.2f} cycles rtpt)"
+                ),
+                block=rewritten,
+                target_index=feature.index,
+            )
+        )
+    return rewrites
+
+
+def deletion_rewrites(block: BasicBlock, feature: InstructionFeature) -> List[Rewrite]:
+    """The rewrite that deletes the instruction named by ``feature``.
+
+    Deleting the last remaining instruction would produce an invalid block,
+    so a single-instruction block yields no candidates.
+    """
+    if block.num_instructions <= 1:
+        return []
+    if not 0 <= feature.index < block.num_instructions:
+        return []
+    rewritten = block.delete_instruction(feature.index)
+    return [
+        Rewrite(
+            kind=RewriteKind.DELETE_INSTRUCTION,
+            description=f"delete instruction {feature.index + 1} ({feature.mnemonic})",
+            block=rewritten,
+            target_index=feature.index,
+        )
+    ]
+
+
+def rewrites_for_feature(
+    block: BasicBlock,
+    feature: Feature,
+    microarch="hsw",
+    *,
+    allow_deletion: bool = True,
+    only_cheaper_opcodes: bool = True,
+) -> List[Rewrite]:
+    """All candidate rewrites targeting ``feature`` in ``block``.
+
+    * a :class:`DependencyFeature` yields dependency-breaking renames,
+    * an :class:`InstructionFeature` yields cheaper opcode replacements plus,
+      when ``allow_deletion``, the deletion rewrite,
+    * a :class:`NumInstructionsFeature` (the block is front-end bound) yields
+      a deletion rewrite for every instruction — the only way to reduce the
+      front-end bound is to issue fewer instructions.
+    """
+    if isinstance(feature, DependencyFeature):
+        return dependency_breaking_rewrites(block, feature)
+    if isinstance(feature, InstructionFeature):
+        rewrites = opcode_replacement_rewrites(
+            block, feature, microarch, only_cheaper=only_cheaper_opcodes
+        )
+        if allow_deletion:
+            rewrites.extend(deletion_rewrites(block, feature))
+        return rewrites
+    if isinstance(feature, NumInstructionsFeature):
+        if not allow_deletion:
+            return []
+        rewrites = []
+        for index, instruction in enumerate(block):
+            rewrites.extend(
+                deletion_rewrites(block, InstructionFeature.of(index, instruction))
+            )
+        return rewrites
+    raise TypeError(f"unsupported feature type {type(feature)!r}")

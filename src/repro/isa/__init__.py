@@ -1,0 +1,69 @@
+"""x86 ISA substrate: registers, operands, opcodes, parsing and validation.
+
+COMET perturbs x86 assembly basic blocks, so the framework needs an ISA model
+that knows (i) which registers alias each other, (ii) which operand shapes
+each opcode accepts, and (iii) which operands each opcode reads and writes.
+This subpackage provides that model for the subset of x86 exercised by the
+BHive-style workloads used in the paper's evaluation.
+"""
+
+from repro.isa.registers import (
+    Register,
+    RegisterClass,
+    REGISTERS,
+    register,
+    registers_of,
+    same_size_registers,
+)
+from repro.isa.operands import (
+    Operand,
+    OperandKind,
+    RegisterOperand,
+    MemoryOperand,
+    ImmediateOperand,
+    LabelOperand,
+)
+from repro.isa.opcodes import (
+    OpcodeSpec,
+    OperandPattern,
+    OperandSignature,
+    Access,
+    OPCODES,
+    opcode_spec,
+    has_opcode,
+    replacement_candidates,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.parser import parse_instruction, parse_block_text
+from repro.isa.formatter import format_instruction, format_operand
+from repro.isa.validation import validate_instruction, validate_block_instructions
+
+__all__ = [
+    "Register",
+    "RegisterClass",
+    "REGISTERS",
+    "register",
+    "registers_of",
+    "same_size_registers",
+    "Operand",
+    "OperandKind",
+    "RegisterOperand",
+    "MemoryOperand",
+    "ImmediateOperand",
+    "LabelOperand",
+    "OpcodeSpec",
+    "OperandPattern",
+    "OperandSignature",
+    "Access",
+    "OPCODES",
+    "opcode_spec",
+    "has_opcode",
+    "replacement_candidates",
+    "Instruction",
+    "parse_instruction",
+    "parse_block_text",
+    "format_instruction",
+    "format_operand",
+    "validate_instruction",
+    "validate_block_instructions",
+]

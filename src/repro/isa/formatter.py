@@ -1,0 +1,74 @@
+"""Formatting of operands, instructions and blocks back to Intel syntax."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+
+_SIZE_PREFIX = {
+    8: "byte ptr",
+    16: "word ptr",
+    32: "dword ptr",
+    64: "qword ptr",
+    128: "xmmword ptr",
+    256: "ymmword ptr",
+}
+
+
+def format_memory(operand: MemoryOperand, *, with_size: bool = True) -> str:
+    """Format a memory operand as ``qword ptr [base + index*scale + disp]``."""
+    parts = []
+    if operand.base is not None:
+        parts.append(operand.base.name)
+    if operand.index is not None:
+        term = operand.index.name
+        if operand.scale != 1:
+            term = f"{term}*{operand.scale}"
+        parts.append(term)
+    expr = " + ".join(parts)
+    if operand.displacement:
+        if expr:
+            sign = "+" if operand.displacement > 0 else "-"
+            expr = f"{expr} {sign} {abs(operand.displacement)}"
+        else:
+            expr = str(operand.displacement)
+    if not expr:
+        expr = "0"
+    body = f"[{expr}]"
+    if operand.is_agen or not with_size:
+        return body
+    prefix = _SIZE_PREFIX.get(operand.access_size, "")
+    return f"{prefix} {body}".strip()
+
+
+def format_operand(operand: Operand) -> str:
+    """Format any operand in Intel syntax."""
+    if isinstance(operand, RegisterOperand):
+        return operand.register.name
+    if isinstance(operand, MemoryOperand):
+        return format_memory(operand)
+    if isinstance(operand, ImmediateOperand):
+        return str(operand.value)
+    if isinstance(operand, LabelOperand):
+        return operand.name
+    raise TypeError(f"unknown operand type: {type(operand)!r}")
+
+
+def format_instruction(instruction) -> str:
+    """Format an :class:`~repro.isa.instructions.Instruction` in Intel syntax."""
+    if not instruction.operands:
+        return instruction.mnemonic
+    operands = ", ".join(format_operand(op) for op in instruction.operands)
+    return f"{instruction.mnemonic} {operands}"
+
+
+def format_block_lines(instructions: Iterable) -> str:
+    """Format a sequence of instructions, one per line."""
+    return "\n".join(format_instruction(inst) for inst in instructions)

@@ -1,0 +1,163 @@
+"""The :class:`Instruction` value object and its read/write set computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import FrozenSet, Optional, Tuple
+
+from repro.isa.opcodes import Access, OpcodeSpec, opcode_spec
+from repro.isa.operands import (
+    ImmediateOperand,
+    MemoryOperand,
+    Operand,
+    OperandKind,
+    RegisterOperand,
+)
+from repro.utils.errors import ValidationError
+
+#: Symbolic location read or written by an instruction.  Register locations
+#: are ``("reg", root)``; memory locations are ``("mem", address_key)``;
+#: the flags register is ``("flags", "rflags")``.
+Location = Tuple[str, object]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One x86 instruction: a mnemonic plus explicit operands.
+
+    Instances are immutable; the perturbation algorithm builds modified
+    copies via :meth:`with_mnemonic` / :meth:`with_operands`.
+    """
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mnemonic", self.mnemonic.lower())
+
+    # ------------------------------------------------------------------ spec
+
+    @property
+    def spec(self) -> OpcodeSpec:
+        """The opcode database entry for this instruction's mnemonic."""
+        return opcode_spec(self.mnemonic)
+
+    @property
+    def arity(self) -> int:
+        return len(self.operands)
+
+    # -------------------------------------------------------------- rewrites
+
+    def with_mnemonic(self, mnemonic: str) -> "Instruction":
+        """Copy of this instruction with a different opcode."""
+        return Instruction(mnemonic, self.operands)
+
+    def with_operands(self, operands: Tuple[Operand, ...]) -> "Instruction":
+        """Copy of this instruction with a different operand tuple."""
+        return Instruction(self.mnemonic, tuple(operands))
+
+    def with_operand(self, index: int, operand: Operand) -> "Instruction":
+        """Copy of this instruction with operand ``index`` replaced."""
+        ops = list(self.operands)
+        ops[index] = operand
+        return Instruction(self.mnemonic, tuple(ops))
+
+    # ----------------------------------------------------- read / write sets
+
+    def _operand_access(self, index: int) -> Access:
+        spec = self.spec
+        if index >= spec.arity:
+            raise ValidationError(
+                f"{self.mnemonic} has arity {spec.arity}, no operand {index}"
+            )
+        return spec.access[index]
+
+    @cached_property
+    def reads(self) -> FrozenSet[Location]:
+        """Symbolic locations read by this instruction."""
+        spec = self.spec
+        locations: set[Location] = set()
+        for root in spec.implicit_reads:
+            locations.add(("reg", root))
+        if spec.reads_flags:
+            locations.add(("flags", "rflags"))
+        for index, operand in enumerate(self.operands):
+            access = spec.access[index] if index < spec.arity else Access.READ
+            # Address registers are always read, even for pure-write operands.
+            for reg in operand.registers_read():
+                locations.add(("reg", reg.root))
+            if isinstance(operand, RegisterOperand) and access.reads:
+                locations.add(("reg", operand.register.root))
+            elif isinstance(operand, MemoryOperand) and not operand.is_agen:
+                if access.reads:
+                    locations.add(("mem", operand.address_key()))
+        return frozenset(locations)
+
+    @cached_property
+    def writes(self) -> FrozenSet[Location]:
+        """Symbolic locations written by this instruction."""
+        spec = self.spec
+        locations: set[Location] = set()
+        for root in spec.implicit_writes:
+            locations.add(("reg", root))
+        if spec.writes_flags:
+            locations.add(("flags", "rflags"))
+        for index, operand in enumerate(self.operands):
+            access = spec.access[index] if index < spec.arity else Access.READ
+            if isinstance(operand, RegisterOperand) and access.writes:
+                locations.add(("reg", operand.register.root))
+            elif isinstance(operand, MemoryOperand) and not operand.is_agen:
+                if access.writes:
+                    locations.add(("mem", operand.address_key()))
+        return frozenset(locations)
+
+    # ------------------------------------------------------- classification
+
+    @cached_property
+    def loads_memory(self) -> bool:
+        """Whether this instruction reads from memory."""
+        return any(loc[0] == "mem" for loc in self.reads) or self.mnemonic == "pop"
+
+    @cached_property
+    def stores_memory(self) -> bool:
+        """Whether this instruction writes to memory."""
+        return any(loc[0] == "mem" for loc in self.writes) or self.mnemonic == "push"
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether this is an SSE/AVX instruction."""
+        return self.spec.is_vector
+
+    @property
+    def category(self) -> str:
+        """The opcode's coarse category (used by the cost tables)."""
+        return self.spec.category
+
+    def memory_operand(self) -> Optional[MemoryOperand]:
+        """The first true memory operand, if any."""
+        for operand in self.operands:
+            if isinstance(operand, MemoryOperand) and not operand.is_agen:
+                return operand
+        return None
+
+    def register_operands(self) -> Tuple[RegisterOperand, ...]:
+        """All explicit register operands."""
+        return tuple(op for op in self.operands if isinstance(op, RegisterOperand))
+
+    def immediate_operands(self) -> Tuple[ImmediateOperand, ...]:
+        """All explicit immediate operands."""
+        return tuple(op for op in self.operands if isinstance(op, ImmediateOperand))
+
+    # ---------------------------------------------------------------- dunder
+
+    def __str__(self) -> str:
+        from repro.isa.formatter import format_instruction
+
+        return format_instruction(self)
+
+    def key(self) -> Tuple:
+        """A hashable identity key (mnemonic plus formatted operands)."""
+        from repro.isa.formatter import format_operand
+
+        return (self.mnemonic, tuple(format_operand(op) for op in self.operands))

@@ -1,0 +1,704 @@
+"""Opcode database for the modelled x86-64 subset.
+
+Each :class:`OpcodeSpec` records, for one mnemonic:
+
+* the operand *signatures* it accepts (kind and width patterns per position),
+* the access semantics of each explicit operand (read / write / read-write),
+* implicit register reads/writes (e.g. ``div`` uses ``rax``/``rdx``),
+* whether it reads or writes the flags register,
+* a coarse category used by the micro-architecture cost tables, and
+* whether it may appear inside a basic block at all (control transfer
+  instructions such as ``call``/``jmp``/``ret`` may not).
+
+The perturbation algorithm uses :func:`replacement_candidates` to find all
+opcodes that could legally replace a given instruction's mnemonic while
+keeping its operand list unchanged — exactly the vertex replacement operation
+described in Section 5.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.isa.operands import Operand, OperandKind
+from repro.utils.errors import UnknownOpcodeError
+
+
+class Access(str, Enum):
+    """Access semantics of an explicit operand position."""
+
+    READ = "r"
+    WRITE = "w"
+    READ_WRITE = "rw"
+
+    @property
+    def reads(self) -> bool:
+        return self in (Access.READ, Access.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (Access.WRITE, Access.READ_WRITE)
+
+
+@dataclass(frozen=True)
+class OperandPattern:
+    """A pattern one operand position must match (kind set + width set)."""
+
+    kinds: FrozenSet[OperandKind]
+    sizes: FrozenSet[int]
+
+    def matches(self, operand: Operand) -> bool:
+        """Whether ``operand`` satisfies this pattern."""
+        return operand.kind in self.kinds and operand.size in self.sizes
+
+
+#: One full operand signature (a pattern per explicit operand position).
+OperandSignature = Tuple[OperandPattern, ...]
+
+
+GPR_SIZES = frozenset({8, 16, 32, 64})
+GPR_WIDE = frozenset({16, 32, 64})
+VEC_SIZES = frozenset({128, 256})
+IMM_SIZES = frozenset({8, 16, 32, 64})
+ALL_MEM = frozenset({8, 16, 32, 64, 128, 256})
+
+
+def _pat(kinds: Iterable[OperandKind], sizes: Iterable[int]) -> OperandPattern:
+    return OperandPattern(frozenset(kinds), frozenset(sizes))
+
+
+def R(sizes: Iterable[int] = GPR_SIZES) -> OperandPattern:
+    """Register operand pattern."""
+    return _pat([OperandKind.REGISTER], sizes)
+
+
+def M(sizes: Iterable[int] = GPR_SIZES) -> OperandPattern:
+    """Memory operand pattern."""
+    return _pat([OperandKind.MEMORY], sizes)
+
+
+def RM(sizes: Iterable[int] = GPR_SIZES) -> OperandPattern:
+    """Register-or-memory operand pattern."""
+    return _pat([OperandKind.REGISTER, OperandKind.MEMORY], sizes)
+
+
+def I(sizes: Iterable[int] = IMM_SIZES) -> OperandPattern:
+    """Immediate operand pattern."""
+    return _pat([OperandKind.IMMEDIATE], sizes)
+
+
+def V(sizes: Iterable[int] = VEC_SIZES) -> OperandPattern:
+    """Vector register operand pattern."""
+    return _pat([OperandKind.REGISTER], sizes)
+
+
+def VM(sizes: Iterable[int] = frozenset({32, 64, 128, 256})) -> OperandPattern:
+    """Vector register or memory operand pattern (for FP/SSE sources)."""
+    return _pat([OperandKind.REGISTER, OperandKind.MEMORY], sizes)
+
+
+def AGEN() -> OperandPattern:
+    """Address-generation operand pattern (the source of ``lea``)."""
+    return _pat([OperandKind.AGEN], ALL_MEM)
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    signatures: Tuple[OperandSignature, ...]
+    access: Tuple[Access, ...]
+    category: str
+    implicit_reads: Tuple[str, ...] = ()
+    implicit_writes: Tuple[str, ...] = ()
+    reads_flags: bool = False
+    writes_flags: bool = False
+    is_vector: bool = False
+    allowed_in_block: bool = True
+    notes: str = ""
+
+    @property
+    def arity(self) -> int:
+        """Number of explicit operands this opcode takes."""
+        return len(self.access)
+
+    def matches(self, operands: Sequence[Operand]) -> bool:
+        """Whether the operand list satisfies one of the signatures."""
+        if len(operands) != self.arity:
+            return False
+        for signature in self.signatures:
+            if all(pat.matches(op) for pat, op in zip(signature, operands)):
+                return True
+        return False
+
+
+_DB: Dict[str, OpcodeSpec] = {}
+
+
+def _add(spec: OpcodeSpec) -> None:
+    if spec.mnemonic in _DB:
+        raise ValueError(f"duplicate opcode definition: {spec.mnemonic}")
+    for sig in spec.signatures:
+        if len(sig) != spec.arity:
+            raise ValueError(
+                f"{spec.mnemonic}: signature arity {len(sig)} != access arity {spec.arity}"
+            )
+    _DB[spec.mnemonic] = spec
+
+
+def _sig(*patterns: OperandPattern) -> OperandSignature:
+    return tuple(patterns)
+
+
+def _add_many(
+    mnemonics: Iterable[str],
+    signatures: Tuple[OperandSignature, ...],
+    access: Tuple[Access, ...],
+    category: str,
+    **kwargs,
+) -> None:
+    for mnemonic in mnemonics:
+        _add(
+            OpcodeSpec(
+                mnemonic=mnemonic,
+                signatures=signatures,
+                access=access,
+                category=category,
+                **kwargs,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Integer data movement
+# ---------------------------------------------------------------------------
+
+_MOV_SIGS = (
+    _sig(R(), RM()),
+    _sig(M(), R()),
+    _sig(RM(), I()),
+)
+_add(
+    OpcodeSpec(
+        "mov",
+        signatures=_MOV_SIGS,
+        access=(Access.WRITE, Access.READ),
+        category="mov",
+    )
+)
+_add(
+    OpcodeSpec(
+        "movzx",
+        signatures=(_sig(R(GPR_WIDE), RM(frozenset({8, 16}))),),
+        access=(Access.WRITE, Access.READ),
+        category="mov",
+    )
+)
+_add(
+    OpcodeSpec(
+        "movsx",
+        signatures=(_sig(R(GPR_WIDE), RM(frozenset({8, 16}))),),
+        access=(Access.WRITE, Access.READ),
+        category="mov",
+    )
+)
+_add(
+    OpcodeSpec(
+        "movsxd",
+        signatures=(_sig(R(frozenset({64})), RM(frozenset({32}))),),
+        access=(Access.WRITE, Access.READ),
+        category="mov",
+    )
+)
+_add(
+    OpcodeSpec(
+        "lea",
+        signatures=(_sig(R(GPR_WIDE), AGEN()),),
+        access=(Access.WRITE, Access.READ),
+        category="lea",
+        notes="AGEN source: no other opcode shares this signature, so lea "
+        "cannot be replaced (Appendix D of the paper).",
+    )
+)
+_add(
+    OpcodeSpec(
+        "xchg",
+        signatures=(_sig(R(), R()), _sig(RM(), R()), _sig(R(), RM())),
+        access=(Access.READ_WRITE, Access.READ_WRITE),
+        category="mov",
+    )
+)
+_add(
+    OpcodeSpec(
+        "push",
+        signatures=(_sig(RM(frozenset({64, 16})),), _sig(I(),)),
+        access=(Access.READ,),
+        category="push",
+        implicit_reads=("rsp",),
+        implicit_writes=("rsp",),
+    )
+)
+_add(
+    OpcodeSpec(
+        "pop",
+        signatures=(_sig(RM(frozenset({64, 16})),),),
+        access=(Access.WRITE,),
+        category="pop",
+        implicit_reads=("rsp",),
+        implicit_writes=("rsp",),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Integer ALU
+# ---------------------------------------------------------------------------
+
+_ALU_SIGS = (
+    _sig(R(), RM()),
+    _sig(M(), R()),
+    _sig(RM(), I()),
+)
+_add_many(
+    ["add", "sub", "and", "or", "xor"],
+    _ALU_SIGS,
+    (Access.READ_WRITE, Access.READ),
+    "int_alu",
+    writes_flags=True,
+)
+_add_many(
+    ["adc", "sbb"],
+    _ALU_SIGS,
+    (Access.READ_WRITE, Access.READ),
+    "int_alu",
+    reads_flags=True,
+    writes_flags=True,
+)
+_add_many(
+    ["cmp", "test"],
+    _ALU_SIGS,
+    (Access.READ, Access.READ),
+    "cmp",
+    writes_flags=True,
+)
+_add(
+    OpcodeSpec(
+        "imul",
+        signatures=(_sig(R(GPR_WIDE), RM(GPR_WIDE)),),
+        access=(Access.READ_WRITE, Access.READ),
+        category="int_mul",
+        writes_flags=True,
+    )
+)
+_add_many(
+    ["mul", "div", "idiv"],
+    (_sig(RM(),),),
+    (Access.READ,),
+    "int_div",
+    implicit_reads=("rax", "rdx"),
+    implicit_writes=("rax", "rdx"),
+    writes_flags=True,
+)
+# ``mul`` is really a multiply; give it its own category for the cost tables.
+_DB["mul"] = OpcodeSpec(
+    "mul",
+    signatures=(_sig(RM(),),),
+    access=(Access.READ,),
+    category="int_mul",
+    implicit_reads=("rax", "rdx"),
+    implicit_writes=("rax", "rdx"),
+    writes_flags=True,
+)
+_add_many(
+    ["inc", "dec", "neg", "not"],
+    (_sig(RM(),),),
+    (Access.READ_WRITE,),
+    "int_alu",
+    writes_flags=True,
+)
+_add_many(
+    ["shl", "shr", "sar", "sal", "rol", "ror"],
+    (
+        _sig(RM(), I(frozenset({8}))),
+        _sig(RM(), R(frozenset({8}))),
+    ),
+    (Access.READ_WRITE, Access.READ),
+    "shift",
+    writes_flags=True,
+)
+_add_many(
+    ["bsr", "bsf", "popcnt", "lzcnt", "tzcnt"],
+    (_sig(R(GPR_WIDE), RM(GPR_WIDE)),),
+    (Access.WRITE, Access.READ),
+    "bit",
+    writes_flags=True,
+)
+_add(
+    OpcodeSpec(
+        "bswap",
+        signatures=(_sig(R(frozenset({32, 64})),),),
+        access=(Access.READ_WRITE,),
+        category="bit",
+    )
+)
+_add_many(
+    ["sete", "setne", "setz", "setnz", "setb", "setae", "setl", "setg"],
+    (_sig(RM(frozenset({8})),),),
+    (Access.WRITE,),
+    "setcc",
+    reads_flags=True,
+)
+_add_many(
+    ["cmove", "cmovne", "cmovz", "cmovnz", "cmovb", "cmovae", "cmovl", "cmovg"],
+    (_sig(R(GPR_WIDE), RM(GPR_WIDE)),),
+    (Access.READ_WRITE, Access.READ),
+    "cmov",
+    reads_flags=True,
+)
+_add(
+    OpcodeSpec(
+        "cdq",
+        signatures=((),),
+        access=(),
+        category="mov",
+        implicit_reads=("rax",),
+        implicit_writes=("rdx",),
+    )
+)
+_add(
+    OpcodeSpec(
+        "cqo",
+        signatures=((),),
+        access=(),
+        category="mov",
+        implicit_reads=("rax",),
+        implicit_writes=("rdx",),
+    )
+)
+_add(
+    OpcodeSpec(
+        "nop",
+        signatures=((),),
+        access=(),
+        category="nop",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# SSE scalar floating point
+# ---------------------------------------------------------------------------
+
+_SSE_SCALAR_SIGS = (_sig(V(), VM(frozenset({32, 64, 128}))),)
+_SSE_SCALAR_RW = (Access.READ_WRITE, Access.READ)
+_SSE_SCALAR_W = (Access.WRITE, Access.READ)
+
+_add_many(
+    ["addss", "addsd", "subss", "subsd", "minss", "maxss", "minsd", "maxsd"],
+    _SSE_SCALAR_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_add",
+    is_vector=True,
+)
+_add_many(
+    ["mulss", "mulsd"],
+    _SSE_SCALAR_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_mul",
+    is_vector=True,
+)
+_add_many(
+    ["divss", "divsd"],
+    _SSE_SCALAR_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_div",
+    is_vector=True,
+)
+_add_many(
+    ["sqrtss", "sqrtsd"],
+    _SSE_SCALAR_SIGS,
+    _SSE_SCALAR_W,
+    "fp_sqrt",
+    is_vector=True,
+)
+_add_many(
+    ["ucomiss", "ucomisd", "comiss", "comisd"],
+    _SSE_SCALAR_SIGS,
+    (Access.READ, Access.READ),
+    "fp_cmp",
+    is_vector=True,
+    writes_flags=True,
+)
+_add_many(
+    ["movss", "movsd"],
+    (
+        _sig(V(), VM(frozenset({32, 64, 128}))),
+        _sig(M(frozenset({32, 64})), V()),
+    ),
+    _SSE_SCALAR_W,
+    "fp_mov",
+    is_vector=True,
+)
+_add_many(
+    ["cvtsi2ss", "cvtsi2sd"],
+    (_sig(V(), RM(frozenset({32, 64}))),),
+    _SSE_SCALAR_RW,
+    "fp_cvt",
+    is_vector=True,
+)
+_add_many(
+    ["cvttss2si", "cvttsd2si", "cvtss2si", "cvtsd2si"],
+    (_sig(R(frozenset({32, 64})), VM(frozenset({32, 64, 128}))),),
+    (Access.WRITE, Access.READ),
+    "fp_cvt",
+    is_vector=True,
+)
+_add_many(
+    ["cvtss2sd", "cvtsd2ss"],
+    _SSE_SCALAR_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_cvt",
+    is_vector=True,
+)
+
+# ---------------------------------------------------------------------------
+# SSE packed / integer vector
+# ---------------------------------------------------------------------------
+
+_SSE_PACKED_SIGS = (_sig(V(), VM(frozenset({128, 256}))),)
+_add_many(
+    ["movaps", "movups", "movapd", "movupd", "movdqa", "movdqu"],
+    (
+        _sig(V(), VM(frozenset({128, 256}))),
+        _sig(M(frozenset({128, 256})), V()),
+    ),
+    _SSE_SCALAR_W,
+    "fp_mov",
+    is_vector=True,
+)
+_add_many(
+    ["movq", "movd"],
+    (
+        _sig(V(), RM(frozenset({32, 64, 128}))),
+        _sig(RM(frozenset({32, 64})), V()),
+    ),
+    _SSE_SCALAR_W,
+    "fp_mov",
+    is_vector=True,
+)
+_add_many(
+    ["addps", "addpd", "subps", "subpd"],
+    _SSE_PACKED_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_add",
+    is_vector=True,
+)
+_add_many(
+    ["mulps", "mulpd"],
+    _SSE_PACKED_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_mul",
+    is_vector=True,
+)
+_add_many(
+    ["divps", "divpd"],
+    _SSE_PACKED_SIGS,
+    _SSE_SCALAR_RW,
+    "fp_div",
+    is_vector=True,
+)
+_add_many(
+    ["xorps", "xorpd", "andps", "andpd", "orps", "orpd", "pxor", "pand", "por"],
+    _SSE_PACKED_SIGS,
+    _SSE_SCALAR_RW,
+    "vec_logic",
+    is_vector=True,
+)
+_add_many(
+    ["paddd", "paddq", "psubd", "psubq", "pmulld"],
+    _SSE_PACKED_SIGS,
+    _SSE_SCALAR_RW,
+    "vec_int",
+    is_vector=True,
+)
+_add_many(
+    ["unpcklps", "unpckhps", "punpcklqdq", "punpckldq"],
+    _SSE_PACKED_SIGS,
+    _SSE_SCALAR_RW,
+    "shuffle",
+    is_vector=True,
+)
+_add(
+    OpcodeSpec(
+        "shufps",
+        signatures=(_sig(V(), VM(frozenset({128, 256})), I(frozenset({8}))),),
+        access=(Access.READ_WRITE, Access.READ, Access.READ),
+        category="shuffle",
+        is_vector=True,
+    )
+)
+_add(
+    OpcodeSpec(
+        "pshufd",
+        signatures=(_sig(V(), VM(frozenset({128, 256})), I(frozenset({8}))),),
+        access=(Access.WRITE, Access.READ, Access.READ),
+        category="shuffle",
+        is_vector=True,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# AVX (VEX encoded, mostly three-operand)
+# ---------------------------------------------------------------------------
+
+_AVX3_SIGS = (_sig(V(), V(), VM(frozenset({32, 64, 128, 256}))),)
+_AVX3_ACCESS = (Access.WRITE, Access.READ, Access.READ)
+_add_many(
+    ["vaddss", "vaddsd", "vsubss", "vsubsd", "vminss", "vmaxss", "vaddps", "vaddpd", "vsubps"],
+    _AVX3_SIGS,
+    _AVX3_ACCESS,
+    "fp_add",
+    is_vector=True,
+)
+_add_many(
+    ["vmulss", "vmulsd", "vmulps", "vmulpd"],
+    _AVX3_SIGS,
+    _AVX3_ACCESS,
+    "fp_mul",
+    is_vector=True,
+)
+_add_many(
+    ["vdivss", "vdivsd", "vdivps", "vdivpd"],
+    _AVX3_SIGS,
+    _AVX3_ACCESS,
+    "fp_div",
+    is_vector=True,
+)
+_add_many(
+    ["vxorps", "vxorpd", "vandps", "vandpd", "vorps", "vpxor", "vpand", "vpor"],
+    _AVX3_SIGS,
+    _AVX3_ACCESS,
+    "vec_logic",
+    is_vector=True,
+)
+_add_many(
+    ["vpaddd", "vpaddq", "vpsubd", "vpmulld"],
+    _AVX3_SIGS,
+    _AVX3_ACCESS,
+    "vec_int",
+    is_vector=True,
+)
+_add_many(
+    ["vsqrtss", "vsqrtsd"],
+    (_sig(V(), V(), VM(frozenset({32, 64, 128}))),),
+    _AVX3_ACCESS,
+    "fp_sqrt",
+    is_vector=True,
+)
+_add_many(
+    ["vfmadd213ss", "vfmadd231ss", "vfmadd213ps", "vfmadd231ps", "vfmadd213sd", "vfmadd231sd"],
+    _AVX3_SIGS,
+    (Access.READ_WRITE, Access.READ, Access.READ),
+    "fp_fma",
+    is_vector=True,
+)
+_add_many(
+    ["vmovss", "vmovsd"],
+    (
+        _sig(V(), VM(frozenset({32, 64, 128}))),
+        _sig(M(frozenset({32, 64})), V()),
+    ),
+    _SSE_SCALAR_W,
+    "fp_mov",
+    is_vector=True,
+)
+_add_many(
+    ["vmovaps", "vmovups", "vmovdqa", "vmovdqu", "vmovapd"],
+    (
+        _sig(V(), VM(frozenset({128, 256}))),
+        _sig(M(frozenset({128, 256})), V()),
+    ),
+    _SSE_SCALAR_W,
+    "fp_mov",
+    is_vector=True,
+)
+
+# ---------------------------------------------------------------------------
+# Control transfer (present only so the parser/validator can reject them)
+# ---------------------------------------------------------------------------
+
+_add_many(
+    ["jmp", "call"],
+    (
+        _sig(_pat([OperandKind.LABEL, OperandKind.REGISTER, OperandKind.MEMORY], ALL_MEM | frozenset({0})),),
+    ),
+    (Access.READ,),
+    "branch",
+    allowed_in_block=False,
+)
+_add(
+    OpcodeSpec(
+        "ret",
+        signatures=((),),
+        access=(),
+        category="branch",
+        allowed_in_block=False,
+    )
+)
+_add_many(
+    ["je", "jne", "jz", "jnz", "jb", "jae", "jl", "jg", "jle", "jge"],
+    (_sig(_pat([OperandKind.LABEL], frozenset({0})),),),
+    (Access.READ,),
+    "branch",
+    reads_flags=True,
+    allowed_in_block=False,
+)
+
+
+#: The full opcode database, keyed by mnemonic.
+OPCODES: Dict[str, OpcodeSpec] = dict(_DB)
+
+
+def has_opcode(mnemonic: str) -> bool:
+    """Whether ``mnemonic`` is in the database."""
+    return mnemonic.lower() in OPCODES
+
+
+def opcode_spec(mnemonic: str) -> OpcodeSpec:
+    """Look up the :class:`OpcodeSpec` for ``mnemonic``."""
+    spec = OPCODES.get(mnemonic.lower())
+    if spec is None:
+        raise UnknownOpcodeError(mnemonic)
+    return spec
+
+
+def block_legal_mnemonics() -> List[str]:
+    """All mnemonics that may appear inside a basic block."""
+    return sorted(m for m, spec in OPCODES.items() if spec.allowed_in_block)
+
+
+def replacement_candidates(
+    mnemonic: str, operands: Sequence[Operand]
+) -> List[str]:
+    """Opcodes that could replace ``mnemonic`` given the same operand list.
+
+    A candidate must (i) be legal inside a basic block, (ii) accept exactly
+    the operand kinds and widths of ``operands`` through one of its
+    signatures, and (iii) differ from the original mnemonic.  The returned
+    list is sorted for determinism; the perturbation algorithm samples from
+    it uniformly.
+    """
+    original = mnemonic.lower()
+    out = []
+    for name, spec in OPCODES.items():
+        if name == original or not spec.allowed_in_block:
+            continue
+        if spec.matches(operands):
+            out.append(name)
+    return sorted(out)
+
+
+def categories() -> List[str]:
+    """All opcode categories present in the database."""
+    return sorted({spec.category for spec in OPCODES.values()})

@@ -1,0 +1,242 @@
+"""Intel-syntax parser for x86 instructions and basic blocks.
+
+Handles the subset of Intel syntax used by BHive-style basic blocks::
+
+    add rcx, rax
+    mov qword ptr [rdi + 24], rdx
+    lea rax, [rcx + rax - 1]
+    vmulss xmm7, xmm0, xmm0
+    shl eax, 3
+
+Comments starting with ``#`` or ``;`` are stripped.  The parser is strict
+about register names and opcode mnemonics (both must be known to the ISA
+model) but forgiving about whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import has_opcode, opcode_spec
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.registers import is_register_name, register
+from repro.utils.errors import ParseError
+
+_SIZE_PREFIXES = {
+    "byte": 8,
+    "word": 16,
+    "dword": 32,
+    "qword": 64,
+    "xmmword": 128,
+    "ymmword": 256,
+}
+
+_PREFIX_RE = re.compile(
+    r"^(?P<size>byte|word|dword|qword|xmmword|ymmword)\s+(ptr\s+)?", re.IGNORECASE
+)
+_INT_RE = re.compile(r"^[+-]?(0x[0-9a-f]+|\d+)$", re.IGNORECASE)
+_SCALE_RE = re.compile(r"^(?P<a>[^*]+)\*(?P<b>[^*]+)$")
+
+
+@dataclass
+class _MemSpec:
+    """Parsed memory reference before the access size is known."""
+
+    base: Optional[str]
+    index: Optional[str]
+    scale: int
+    displacement: int
+    explicit_size: Optional[int]
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip().lower()
+    negative = text.startswith("-")
+    if text.startswith(("+", "-")):
+        text = text[1:].strip()
+    value = int(text, 16) if text.startswith("0x") else int(text)
+    return -value if negative else value
+
+
+def _parse_memory_body(body: str, original: str) -> _MemSpec:
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale = 1
+    displacement = 0
+
+    # Split the bracket expression into signed terms.
+    tokens = re.split(r"([+-])", body)
+    terms: List[Tuple[int, str]] = []
+    sign = 1
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            continue
+        if token == "+":
+            sign = 1
+        elif token == "-":
+            sign = -1
+        else:
+            terms.append((sign, token))
+            sign = 1
+
+    for sgn, term in terms:
+        scaled = _SCALE_RE.match(term)
+        if scaled:
+            a, b = scaled.group("a").strip(), scaled.group("b").strip()
+            if is_register_name(a) and _INT_RE.match(b):
+                reg_name, scale_val = a, int(b)
+            elif is_register_name(b) and _INT_RE.match(a):
+                reg_name, scale_val = b, int(a)
+            else:
+                raise ParseError(original, f"cannot parse scaled index term {term!r}")
+            if sgn < 0:
+                raise ParseError(original, "scaled index cannot be negative")
+            if index is not None:
+                raise ParseError(original, "multiple index registers in address")
+            index, scale = reg_name, scale_val
+        elif is_register_name(term):
+            if sgn < 0:
+                raise ParseError(original, "registers cannot be subtracted in addresses")
+            if base is None:
+                base = term
+            elif index is None:
+                index = term
+            else:
+                raise ParseError(original, "too many registers in address")
+        elif _INT_RE.match(term):
+            displacement += sgn * _parse_int(term)
+        else:
+            raise ParseError(original, f"cannot parse address term {term!r}")
+
+    return _MemSpec(base, index, scale, displacement, None)
+
+
+def _parse_operand_text(text: str, original: str):
+    """Parse one operand into an Operand or a :class:`_MemSpec`."""
+    text = text.strip()
+    if not text:
+        raise ParseError(original, "empty operand")
+
+    explicit_size: Optional[int] = None
+    prefix = _PREFIX_RE.match(text)
+    if prefix:
+        explicit_size = _SIZE_PREFIXES[prefix.group("size").lower()]
+        text = text[prefix.end():].strip()
+
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ParseError(original, f"unterminated memory operand {text!r}")
+        spec = _parse_memory_body(text[1:-1], original)
+        spec.explicit_size = explicit_size
+        return spec
+    if explicit_size is not None:
+        raise ParseError(original, "size prefix on a non-memory operand")
+    if is_register_name(text):
+        return RegisterOperand(register(text))
+    if _INT_RE.match(text):
+        value = _parse_int(text)
+        width = 8 if -128 <= value <= 127 else (32 if -(2**31) <= value < 2**31 else 64)
+        return ImmediateOperand(value, width)
+    if re.fullmatch(r"[.\w@]+", text):
+        return LabelOperand(text)
+    raise ParseError(original, f"cannot parse operand {text!r}")
+
+
+def _infer_memory_size(mnemonic: str, parsed: List, spec_index: int) -> int:
+    """Infer the access size of a memory operand without an explicit prefix."""
+    if mnemonic.endswith("ss") or mnemonic in ("movd", "cvtsi2ss"):
+        return 32
+    if mnemonic.endswith("sd") or mnemonic in ("movq", "cvtsi2sd"):
+        return 64
+    register_widths = [
+        op.register.width for op in parsed if isinstance(op, RegisterOperand)
+    ]
+    vector_widths = [w for w in register_widths if w >= 128]
+    if has_opcode(mnemonic) and opcode_spec(mnemonic).is_vector:
+        return min(vector_widths) if vector_widths else 128
+    gpr_widths = [w for w in register_widths if w <= 64]
+    if mnemonic in ("movzx", "movsx"):
+        return 8
+    if mnemonic == "movsxd":
+        return 32
+    if gpr_widths:
+        return max(gpr_widths)
+    return 64
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse one Intel-syntax instruction line into an :class:`Instruction`."""
+    original = text
+    text = re.split(r"[#;]", text, maxsplit=1)[0].strip()
+    if not text:
+        raise ParseError(original, "empty instruction")
+
+    match = re.match(r"^(?P<mnemonic>[a-zA-Z][\w.]*)\s*(?P<rest>.*)$", text)
+    if not match:
+        raise ParseError(original, "cannot find a mnemonic")
+    mnemonic = match.group("mnemonic").lower()
+    rest = match.group("rest").strip()
+
+    if not has_opcode(mnemonic):
+        raise ParseError(original, f"unknown opcode {mnemonic!r}")
+
+    raw_operands: List[str] = []
+    if rest:
+        raw_operands = [part for part in rest.split(",")]
+
+    parsed = [_parse_operand_text(part, original) for part in raw_operands]
+
+    operands: List[Operand] = []
+    for i, item in enumerate(parsed):
+        if isinstance(item, _MemSpec):
+            size = item.explicit_size or _infer_memory_size(mnemonic, parsed, i)
+            operands.append(
+                MemoryOperand(
+                    base=register(item.base) if item.base else None,
+                    index=register(item.index) if item.index else None,
+                    scale=item.scale,
+                    displacement=item.displacement,
+                    access_size=size,
+                    is_agen=(mnemonic == "lea"),
+                )
+            )
+        else:
+            operands.append(item)
+
+    # Labels are only meaningful for control-transfer instructions; for any
+    # other opcode an unrecognised bare word is almost certainly a typo'd
+    # register name, so reject it here with a parse error.
+    if any(isinstance(op, LabelOperand) for op in operands) and opcode_spec(
+        mnemonic
+    ).allowed_in_block:
+        raise ParseError(original, "unrecognised operand (not a register, memory or immediate)")
+
+    return Instruction(mnemonic, tuple(operands))
+
+
+def parse_block_text(text: str) -> List[Instruction]:
+    """Parse a multi-line block of assembly into a list of instructions.
+
+    Blank lines and comment-only lines are skipped.  Optional leading line
+    numbers (as used in the paper's listings) are tolerated.
+    """
+    instructions = []
+    for line in text.splitlines():
+        stripped = re.split(r"[#;]", line, maxsplit=1)[0].strip()
+        if not stripped:
+            continue
+        stripped = re.sub(r"^\d+\s*[:.]?\s*", "", stripped)
+        if not stripped:
+            continue
+        instructions.append(parse_instruction(stripped))
+    return instructions

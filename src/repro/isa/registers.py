@@ -1,0 +1,147 @@
+"""The x86-64 register file with aliasing information.
+
+Data-dependency analysis needs to know that writing ``eax`` and then reading
+``rax`` is a read-after-write hazard, so every register carries a ``root``:
+the canonical name of the full-width architectural register it aliases
+(``al``/``ax``/``eax``/``rax`` all share root ``rax``; ``xmm3``/``ymm3``
+share root ``v3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.utils.errors import UnknownRegisterError
+
+
+class RegisterClass(str, Enum):
+    """Coarse register classes used for operand typing and replacement."""
+
+    GPR = "gpr"
+    VECTOR = "vector"
+    FLAGS = "flags"
+    IP = "ip"
+
+
+@dataclass(frozen=True)
+class Register:
+    """A single architectural register name.
+
+    Attributes
+    ----------
+    name:
+        Assembly name (``rax``, ``eax``, ``xmm0`` ...).
+    width:
+        Width in bits.
+    cls:
+        Register class (:class:`RegisterClass`).
+    root:
+        Canonical name of the full-width register this name aliases.  Two
+        registers conflict for dependency purposes iff their roots match.
+    """
+
+    name: str
+    width: int
+    cls: RegisterClass
+    root: str
+
+    def aliases(self, other: "Register") -> bool:
+        """Whether this register overlaps ``other`` architecturally."""
+        return self.root == other.root
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _gpr_family(root: str, r64: str, r32: str, r16: str, r8: str) -> List[Register]:
+    return [
+        Register(r64, 64, RegisterClass.GPR, root),
+        Register(r32, 32, RegisterClass.GPR, root),
+        Register(r16, 16, RegisterClass.GPR, root),
+        Register(r8, 8, RegisterClass.GPR, root),
+    ]
+
+
+def _build_register_file() -> Dict[str, Register]:
+    regs: List[Register] = []
+    legacy: List[Tuple[str, str, str, str]] = [
+        ("rax", "eax", "ax", "al"),
+        ("rbx", "ebx", "bx", "bl"),
+        ("rcx", "ecx", "cx", "cl"),
+        ("rdx", "edx", "dx", "dl"),
+        ("rsi", "esi", "si", "sil"),
+        ("rdi", "edi", "di", "dil"),
+        ("rbp", "ebp", "bp", "bpl"),
+        ("rsp", "esp", "sp", "spl"),
+    ]
+    for r64, r32, r16, r8 in legacy:
+        regs.extend(_gpr_family(r64, r64, r32, r16, r8))
+    for i in range(8, 16):
+        base = f"r{i}"
+        regs.extend(_gpr_family(base, base, f"{base}d", f"{base}w", f"{base}b"))
+    for i in range(16):
+        root = f"v{i}"
+        regs.append(Register(f"xmm{i}", 128, RegisterClass.VECTOR, root))
+        regs.append(Register(f"ymm{i}", 256, RegisterClass.VECTOR, root))
+    regs.append(Register("rflags", 64, RegisterClass.FLAGS, "rflags"))
+    regs.append(Register("rip", 64, RegisterClass.IP, "rip"))
+    return {r.name: r for r in regs}
+
+
+#: Mapping from register name to :class:`Register` for the whole register file.
+REGISTERS: Dict[str, Register] = _build_register_file()
+
+#: Register roots that are conventionally reserved and never used as
+#: replacement targets when the perturbation algorithm renames operands
+#: (renaming something to ``rsp``/``rip`` would produce unrealistic blocks).
+RESERVED_ROOTS = frozenset({"rsp", "rip", "rflags"})
+
+
+def register(name: str) -> Register:
+    """Look up a register by assembly name (case-insensitive)."""
+    reg = REGISTERS.get(name.lower())
+    if reg is None:
+        raise UnknownRegisterError(name)
+    return reg
+
+
+def is_register_name(name: str) -> bool:
+    """Whether ``name`` is a known register name."""
+    return name.lower() in REGISTERS
+
+
+def registers_of(cls: RegisterClass, width: int) -> List[Register]:
+    """All registers of a given class and width, in a stable order."""
+    return sorted(
+        (r for r in REGISTERS.values() if r.cls == cls and r.width == width),
+        key=lambda r: r.name,
+    )
+
+
+def same_size_registers(reg: Register, *, exclude_reserved: bool = True) -> List[Register]:
+    """Registers interchangeable with ``reg`` (same class and width).
+
+    These are the candidates the perturbation algorithm may rename ``reg`` to
+    when breaking a data dependency.  ``reg`` itself is excluded, as are the
+    stack pointer / instruction pointer when ``exclude_reserved`` is set.
+    """
+    out = []
+    for cand in registers_of(reg.cls, reg.width):
+        if cand.root == reg.root:
+            continue
+        if exclude_reserved and cand.root in RESERVED_ROOTS:
+            continue
+        out.append(cand)
+    return out
+
+
+def gpr_names(width: int) -> List[str]:
+    """Names of all general-purpose registers of the given width."""
+    return [r.name for r in registers_of(RegisterClass.GPR, width)]
+
+
+def vector_names(width: int) -> List[str]:
+    """Names of all vector registers of the given width."""
+    return [r.name for r in registers_of(RegisterClass.VECTOR, width)]

@@ -1,0 +1,88 @@
+"""Validity checks for instructions and basic-block instruction sequences.
+
+A perturbed block is only useful if it is valid x86 that could occur in a
+basic block; the perturbation algorithm re-validates every block it emits so
+that the cost models are never queried with malformed inputs (one of the
+failure modes of generative-model-based perturbation the paper avoids).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import ImmediateOperand, MemoryOperand, OperandKind
+from repro.utils.errors import ValidationError
+
+
+def validate_instruction(instruction: Instruction) -> None:
+    """Raise :class:`ValidationError` if ``instruction`` is not valid.
+
+    Checks performed:
+
+    * the mnemonic is in the opcode database and allowed in basic blocks,
+    * the operand list matches one of the opcode's signatures,
+    * at most one explicit memory operand (x86 encodes at most one),
+    * destination operands are not immediates.
+    """
+    spec = instruction.spec
+    if not spec.allowed_in_block:
+        raise ValidationError(
+            f"{instruction.mnemonic} is a control-transfer instruction and "
+            "cannot appear inside a basic block"
+        )
+    if not spec.matches(instruction.operands):
+        raise ValidationError(
+            f"operands {tuple(str(op.kind.value) + str(op.size) for op in instruction.operands)} "
+            f"do not match any signature of {instruction.mnemonic}"
+        )
+    memory_count = sum(
+        1 for op in instruction.operands if isinstance(op, MemoryOperand)
+    )
+    if memory_count > 1:
+        raise ValidationError(
+            f"{instruction} has {memory_count} memory operands; x86 allows at most one"
+        )
+    for index, operand in enumerate(instruction.operands):
+        if index < spec.arity and spec.access[index].writes:
+            if isinstance(operand, ImmediateOperand):
+                raise ValidationError(
+                    f"{instruction}: operand {index} is written but is an immediate"
+                )
+            if operand.kind == OperandKind.LABEL:
+                raise ValidationError(
+                    f"{instruction}: operand {index} is written but is a label"
+                )
+
+
+def is_valid_instruction(instruction: Instruction) -> bool:
+    """Boolean form of :func:`validate_instruction`."""
+    try:
+        validate_instruction(instruction)
+    except ValidationError:
+        return False
+    return True
+
+
+def validate_block_instructions(instructions: Sequence[Instruction]) -> None:
+    """Validate every instruction of a basic block.
+
+    Raises :class:`ValidationError` mentioning the offending instruction
+    index so callers can report precise errors.
+    """
+    if len(instructions) == 0:
+        raise ValidationError("a basic block must contain at least one instruction")
+    for index, instruction in enumerate(instructions):
+        try:
+            validate_instruction(instruction)
+        except ValidationError as exc:
+            raise ValidationError(f"instruction {index} ({instruction}): {exc}") from exc
+
+
+def invalid_instructions(instructions: Iterable[Instruction]) -> List[int]:
+    """Indices of invalid instructions (empty list when the block is valid)."""
+    bad = []
+    for index, instruction in enumerate(instructions):
+        if not is_valid_instruction(instruction):
+            bad.append(index)
+    return bad

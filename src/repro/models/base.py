@@ -1,0 +1,124 @@
+"""The cost-model query interface and common wrappers.
+
+COMET assumes *query access only* (Section 4): a cost model is any object
+that maps a valid basic block to a real-valued cost.  The explanation
+framework never inspects model internals, so every model here — analytical,
+simulation-based or neural — hides behind the same two-method interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.bb.block import BasicBlock
+from repro.uarch.microarch import MicroArchitecture, get_microarch
+from repro.utils.errors import ModelError
+
+
+class CostModel(ABC):
+    """Abstract cost model: maps basic blocks to throughput costs (cycles)."""
+
+    #: Human-readable model name (used in experiment tables).
+    name: str = "cost-model"
+
+    def __init__(self, microarch="hsw") -> None:
+        self.microarch: MicroArchitecture = get_microarch(microarch)
+        self.query_count = 0
+
+    @abstractmethod
+    def _predict(self, block: BasicBlock) -> float:
+        """Model-specific prediction (implemented by subclasses)."""
+
+    def predict(self, block: BasicBlock) -> float:
+        """Predicted throughput of ``block`` in cycles per iteration.
+
+        Increments the query counter; COMET's evaluation reports how many
+        queries an explanation required.
+        """
+        self.query_count += 1
+        value = float(self._predict(block))
+        if not value >= 0.0:
+            raise ModelError(
+                f"{self.name} produced an invalid cost {value!r} for block:\n{block.text}"
+            )
+        return value
+
+    def predict_many(self, blocks: Iterable[BasicBlock]) -> List[float]:
+        """Predict a batch of blocks (sequentially by default)."""
+        return [self.predict(block) for block in blocks]
+
+    def __call__(self, block: BasicBlock) -> float:
+        return self.predict(block)
+
+    def describe(self) -> str:
+        """One-line description used in logs and reports."""
+        return f"{self.name} ({self.microarch.name})"
+
+
+class CallableCostModel(CostModel):
+    """Adapter turning any ``block -> float`` callable into a :class:`CostModel`.
+
+    Useful for testing the explainer against synthetic models (e.g. the
+    "8 instructions costs 2 cycles" toy model ``M1`` of Section 4).
+    """
+
+    def __init__(self, fn: Callable[[BasicBlock], float], name: str = "callable", microarch="hsw") -> None:
+        super().__init__(microarch)
+        self._fn = fn
+        self.name = name
+
+    def _predict(self, block: BasicBlock) -> float:
+        return float(self._fn(block))
+
+
+class CachedCostModel(CostModel):
+    """Memoising wrapper around another cost model.
+
+    The perturbation-based search frequently re-queries identical blocks
+    (e.g. the unperturbed block, or perturbations that happen to collide);
+    caching by block content avoids repeated simulator or neural-network
+    work without changing observable behaviour.
+    """
+
+    def __init__(self, inner: CostModel, max_entries: int = 100_000) -> None:
+        super().__init__(inner.microarch)
+        self.inner = inner
+        self.name = inner.name
+        self.max_entries = max_entries
+        self._cache: Dict[tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _predict(self, block: BasicBlock) -> float:
+        key = block.key()
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        value = self.inner.predict(block)
+        if len(self._cache) < self.max_entries:
+            self._cache[key] = value
+        return value
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over the lifetime of this wrapper."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryCounter:
+    """Context manager measuring how many queries a piece of code issued."""
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+        self.start = 0
+        self.queries = 0
+
+    def __enter__(self) -> "QueryCounter":
+        self.start = self.model.query_count
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.queries = self.model.query_count - self.start

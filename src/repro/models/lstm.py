@@ -1,0 +1,237 @@
+"""A minimal-but-complete LSTM layer in pure NumPy (forward and backward).
+
+PyTorch is not available in the offline reproduction environment, so the
+Ithemal-like neural cost model is built on this layer.  The implementation
+follows the standard LSTM equations (no peepholes), processes one sequence at
+a time (basic blocks are short, so batching adds little), and provides exact
+analytic gradients which are checked against numerical gradients in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    ex = np.exp(x[~positive])
+    out[~positive] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass
+class LSTMCell:
+    """Parameters of one LSTM cell.
+
+    Weight layout: the four gates (input, forget, output, candidate) are
+    stacked along the second axis of ``w_x``/``w_h`` and of the bias, i.e.
+    each has shape ``(input_size, 4 * hidden_size)`` etc.
+    """
+
+    input_size: int
+    hidden_size: int
+    w_x: np.ndarray
+    w_h: np.ndarray
+    bias: np.ndarray
+
+    @classmethod
+    def initialise(
+        cls, input_size: int, hidden_size: int, rng: RandomSource = None
+    ) -> "LSTMCell":
+        """Xavier-style initialisation with forget-gate bias set to 1."""
+        generator = as_rng(rng)
+        scale_x = 1.0 / np.sqrt(input_size)
+        scale_h = 1.0 / np.sqrt(hidden_size)
+        w_x = generator.uniform(-scale_x, scale_x, size=(input_size, 4 * hidden_size))
+        w_h = generator.uniform(-scale_h, scale_h, size=(hidden_size, 4 * hidden_size))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate bias
+        return cls(input_size, hidden_size, w_x, w_h, bias)
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Named parameter arrays (shared references, not copies)."""
+        return {"w_x": self.w_x, "w_h": self.w_h, "bias": self.bias}
+
+    def zero_like_parameters(self) -> Dict[str, np.ndarray]:
+        """Zero-filled gradient accumulators with matching shapes."""
+        return {name: np.zeros_like(value) for name, value in self.parameters().items()}
+
+
+@dataclass
+class _StepCache:
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    gates: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTMLayer:
+    """An LSTM layer that runs a whole sequence and supports backprop."""
+
+    def __init__(self, cell: LSTMCell) -> None:
+        self.cell = cell
+
+    @classmethod
+    def create(
+        cls, input_size: int, hidden_size: int, rng: RandomSource = None
+    ) -> "LSTMLayer":
+        return cls(LSTMCell.initialise(input_size, hidden_size, rng))
+
+    @property
+    def hidden_size(self) -> int:
+        return self.cell.hidden_size
+
+    # -------------------------------------------------------------- forward
+
+    def forward(
+        self, inputs: np.ndarray, initial_state: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    ) -> Tuple[np.ndarray, List[_StepCache]]:
+        """Run the layer over ``inputs`` of shape ``(T, input_size)``.
+
+        Returns the hidden states ``(T, hidden_size)`` and the per-step caches
+        needed by :meth:`backward`.
+        """
+        cell = self.cell
+        hidden = cell.hidden_size
+        steps = inputs.shape[0]
+        if initial_state is None:
+            h = np.zeros(hidden)
+            c = np.zeros(hidden)
+        else:
+            h, c = initial_state
+        hs = np.zeros((steps, hidden))
+        caches: List[_StepCache] = []
+        for t in range(steps):
+            x = inputs[t]
+            pre = x @ cell.w_x + h @ cell.w_h + cell.bias
+            i = sigmoid(pre[:hidden])
+            f = sigmoid(pre[hidden : 2 * hidden])
+            o = sigmoid(pre[2 * hidden : 3 * hidden])
+            g = np.tanh(pre[3 * hidden :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            caches.append(
+                _StepCache(
+                    x=x,
+                    h_prev=h,
+                    c_prev=c,
+                    gates=np.concatenate([i, f, o, g]),
+                    c=c_new,
+                    tanh_c=tanh_c,
+                )
+            )
+            h, c = h_new, c_new
+            hs[t] = h
+        return hs, caches
+
+    def final_hidden(self, inputs: np.ndarray) -> np.ndarray:
+        """Convenience: last hidden state of the sequence."""
+        hs, _ = self.forward(inputs)
+        return hs[-1]
+
+    # ------------------------------------------------------------- backward
+
+    def backward(
+        self, d_hs: np.ndarray, caches: List[_StepCache]
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Backpropagate gradients ``d_hs`` (same shape as the forward output).
+
+        Returns gradients with respect to the inputs ``(T, input_size)`` and a
+        dict of parameter gradients.
+        """
+        cell = self.cell
+        hidden = cell.hidden_size
+        steps = len(caches)
+        grads = cell.zero_like_parameters()
+        d_inputs = np.zeros((steps, cell.input_size))
+        d_h_next = np.zeros(hidden)
+        d_c_next = np.zeros(hidden)
+
+        for t in reversed(range(steps)):
+            cache = caches[t]
+            i = cache.gates[:hidden]
+            f = cache.gates[hidden : 2 * hidden]
+            o = cache.gates[2 * hidden : 3 * hidden]
+            g = cache.gates[3 * hidden :]
+
+            d_h = d_hs[t] + d_h_next
+            d_o = d_h * cache.tanh_c
+            d_c = d_c_next + d_h * o * (1.0 - cache.tanh_c**2)
+            d_f = d_c * cache.c_prev
+            d_i = d_c * g
+            d_g = d_c * i
+            d_c_next = d_c * f
+
+            d_pre = np.concatenate(
+                [
+                    d_i * i * (1.0 - i),
+                    d_f * f * (1.0 - f),
+                    d_o * o * (1.0 - o),
+                    d_g * (1.0 - g**2),
+                ]
+            )
+            grads["w_x"] += np.outer(cache.x, d_pre)
+            grads["w_h"] += np.outer(cache.h_prev, d_pre)
+            grads["bias"] += d_pre
+            d_inputs[t] = d_pre @ cell.w_x.T
+            d_h_next = d_pre @ cell.w_h.T
+
+        return d_inputs, grads
+
+
+def sequence_final_state(layer: LSTMLayer, inputs: np.ndarray) -> np.ndarray:
+    """Final hidden state of ``inputs`` under ``layer`` (helper for examples)."""
+    if inputs.ndim != 2:
+        raise ValueError("inputs must have shape (T, input_size)")
+    return layer.final_hidden(inputs)
+
+
+class AdamOptimizer:
+    """Adam optimiser over a flat dict of named parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: Dict[str, np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.step_count = 0
+        self._m = {k: np.zeros_like(v) for k, v in parameters.items()}
+        self._v = {k: np.zeros_like(v) for k, v in parameters.items()}
+
+    def step(self, grads: Dict[str, np.ndarray], clip_norm: float = 5.0) -> None:
+        """Apply one Adam update (with global-norm gradient clipping)."""
+        total = np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
+        scale = 1.0
+        if clip_norm and total > clip_norm:
+            scale = clip_norm / (total + 1e-12)
+        self.step_count += 1
+        t = self.step_count
+        for key, grad in grads.items():
+            grad = grad * scale
+            self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * grad**2
+            m_hat = self._m[key] / (1 - self.beta1**t)
+            v_hat = self._v[key] / (1 - self.beta2**t)
+            self.parameters[key] -= (
+                self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            )

@@ -1,0 +1,63 @@
+"""Cost-model registry: build models by name.
+
+The evaluation harness and the example scripts refer to models by short names
+(``"ithemal"``, ``"uica"``, ``"crude"``, ``"port-pressure"``); this module
+centralises their construction so every experiment builds them the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel, CostModel
+from repro.models.ithemal import IthemalConfig, IthemalCostModel, train_ithemal
+from repro.models.mca import PortPressureCostModel
+from repro.models.uica import UiCACostModel
+from repro.utils.errors import ReproError
+
+
+def available_cost_models() -> Tuple[str, ...]:
+    """Short names accepted by :func:`build_cost_model`."""
+    return ("crude", "uica", "port-pressure", "ithemal")
+
+
+def build_cost_model(
+    name: str,
+    microarch="hsw",
+    *,
+    training_blocks: Optional[Sequence] = None,
+    training_throughputs: Optional[Sequence[float]] = None,
+    ithemal_config: Optional[IthemalConfig] = None,
+    cached: bool = True,
+) -> CostModel:
+    """Build a cost model by short name.
+
+    ``"ithemal"`` requires ``training_blocks``/``training_throughputs`` (the
+    neural model must be trained before it can be explained); the other models
+    are analytical or simulation based and need no data.  When ``cached`` is
+    true the model is wrapped in a :class:`CachedCostModel`, which is what the
+    explanation workload wants.
+    """
+    key = name.strip().lower()
+    model: CostModel
+    if key in ("crude", "analytical", "c"):
+        model = AnalyticalCostModel(microarch)
+    elif key == "uica":
+        model = UiCACostModel(microarch)
+    elif key in ("port-pressure", "mca", "llvm-mca"):
+        model = PortPressureCostModel(microarch)
+    elif key == "ithemal":
+        if training_blocks is None or training_throughputs is None:
+            raise ReproError(
+                "building the ithemal model requires training_blocks and "
+                "training_throughputs (see repro.data.BHiveDataset)"
+            )
+        model = train_ithemal(
+            training_blocks, training_throughputs, microarch, ithemal_config
+        )
+    else:
+        raise ReproError(
+            f"unknown cost model {name!r}; available: {available_cost_models()}"
+        )
+    return CachedCostModel(model) if cached else model

@@ -1,0 +1,412 @@
+"""The basic-block perturbation algorithm Γ (Algorithm 1 of the paper).
+
+Γ takes the original block ``β`` and a set of features ``F ⊆ P̂`` to preserve,
+and returns a random valid block ``β′`` that keeps the features in ``F`` while
+independently perturbing the remaining features:
+
+* *vertex perturbation* — each non-preserved instruction is, with probability
+  ``1 − p_instruction_retain``, either deleted (probability ``p_delete``, only
+  when the instruction count need not be preserved) or has its opcode replaced
+  by another opcode that accepts the same operands,
+* *edge perturbation* — each non-preserved data dependency is, unless
+  explicitly retained, broken by renaming the registers (or shifting the
+  memory address) that cause it.
+
+Preserving a dependency feature also pins the opcodes of its two endpoint
+instructions and the operand causing the hazard, exactly as described in
+Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bb.block import BasicBlock
+from repro.bb.dependencies import Dependency
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    InstructionFeature,
+    NumInstructionsFeature,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.validation import is_valid_instruction
+from repro.perturb.config import PerturbationConfig, ReplacementScheme
+from repro.perturb.replacements import (
+    cache_opcode_replacements,
+    perturb_memory_displacement,
+    random_immediate,
+    random_register_rename,
+    rename_register_in_instruction,
+)
+from repro.utils.errors import PerturbationError
+from repro.utils.rng import RandomSource, as_rng, choice, coin
+
+
+@dataclass(frozen=True)
+class PreservationConstraints:
+    """What Γ must keep unchanged, derived from a feature set ``F``.
+
+    Attributes
+    ----------
+    locked_instructions:
+        Indices whose full instruction (opcode and operands) is preserved
+        because an :class:`InstructionFeature` names them.
+    locked_opcodes:
+        Indices whose opcode is preserved (endpoints of preserved
+        dependencies, plus all locked instructions).
+    locked_register_roots:
+        For each index, register roots that must not be renamed there
+        (operands carrying a preserved dependency).
+    locked_memory:
+        Indices whose memory operand must not be displaced (endpoints of a
+        preserved memory dependency).
+    preserved_dependencies:
+        The original-block dependencies that must survive.
+    preserve_count:
+        Whether the number of instructions must stay fixed (a
+        :class:`NumInstructionsFeature` is preserved), which forbids deletion.
+    """
+
+    locked_instructions: FrozenSet[int]
+    locked_opcodes: FrozenSet[int]
+    locked_register_roots: Dict[int, FrozenSet[str]]
+    locked_memory: FrozenSet[int]
+    preserved_dependencies: Tuple[Dependency, ...]
+    preserve_count: bool
+
+    @classmethod
+    def from_features(
+        cls, block: BasicBlock, features: Iterable[Feature]
+    ) -> "PreservationConstraints":
+        """Translate a feature set into concrete preservation constraints."""
+        locked_instructions: Set[int] = set()
+        locked_opcodes: Set[int] = set()
+        locked_roots: Dict[int, Set[str]] = {}
+        locked_memory: Set[int] = set()
+        preserved_deps: List[Dependency] = []
+        preserve_count = False
+
+        for feature in features:
+            if isinstance(feature, InstructionFeature):
+                if not 0 <= feature.index < block.num_instructions:
+                    raise PerturbationError(
+                        f"instruction feature index {feature.index} outside block "
+                        f"of size {block.num_instructions}"
+                    )
+                locked_instructions.add(feature.index)
+                locked_opcodes.add(feature.index)
+            elif isinstance(feature, NumInstructionsFeature):
+                preserve_count = True
+            elif isinstance(feature, DependencyFeature):
+                dependency = _match_dependency(block, feature)
+                preserved_deps.append(dependency)
+                locked_opcodes.add(dependency.source)
+                locked_opcodes.add(dependency.destination)
+                space, payload = dependency.location
+                if space == "reg":
+                    for endpoint in (dependency.source, dependency.destination):
+                        locked_roots.setdefault(endpoint, set()).add(str(payload))
+                else:
+                    locked_memory.add(dependency.source)
+                    locked_memory.add(dependency.destination)
+            else:
+                raise PerturbationError(f"unsupported feature type {type(feature)!r}")
+
+        return cls(
+            locked_instructions=frozenset(locked_instructions),
+            locked_opcodes=frozenset(locked_opcodes),
+            locked_register_roots={
+                idx: frozenset(roots) for idx, roots in locked_roots.items()
+            },
+            locked_memory=frozenset(locked_memory),
+            preserved_dependencies=tuple(preserved_deps),
+            preserve_count=preserve_count,
+        )
+
+    def undeletable(self) -> FrozenSet[int]:
+        """Indices that may never be deleted."""
+        return self.locked_instructions | self.locked_opcodes | self.locked_memory
+
+    def roots_locked_at(self, index: int) -> FrozenSet[str]:
+        """Register roots that must not be renamed in instruction ``index``."""
+        return self.locked_register_roots.get(index, frozenset())
+
+    def all_locked_roots(self) -> FrozenSet[str]:
+        """Every register root involved in a preserved dependency."""
+        roots: set = set()
+        for locked in self.locked_register_roots.values():
+            roots |= locked
+        return frozenset(roots)
+
+    def shadowing_writes_forbidden(self, index: int) -> FrozenSet[str]:
+        """Register roots instruction ``index`` must not *start* writing.
+
+        If an instruction strictly between the endpoints of a preserved
+        register dependency started writing the dependency's register (e.g.
+        ``div rcx`` replaced by ``inc rcx``), the nearest-writer analysis
+        would re-attribute the hazard and the preserved feature would vanish.
+        """
+        roots: set = set()
+        for dep in self.preserved_dependencies:
+            space, payload = dep.location
+            if space != "reg":
+                continue
+            if dep.source < index < dep.destination:
+                roots.add(str(payload))
+        return frozenset(roots)
+
+
+def _match_dependency(block: BasicBlock, feature: DependencyFeature) -> Dependency:
+    """Find the original-block dependency a :class:`DependencyFeature` refers to."""
+    for dep in block.dependencies:
+        if (
+            dep.source == feature.source
+            and dep.destination == feature.destination
+            and dep.kind is feature.dep_kind
+            and dep.location_space == feature.location_space
+        ):
+            return dep
+    raise PerturbationError(
+        f"dependency feature {feature.describe()} does not match any dependency "
+        "of the block being perturbed"
+    )
+
+
+class BlockPerturber:
+    """Stateful perturber bound to one original block.
+
+    The perturber pre-computes the opcode replacement pools of the block once
+    and then produces independent perturbations on every :meth:`perturb`
+    call.  It is the object the explanation sampler queries thousands of
+    times per explanation.
+    """
+
+    def __init__(
+        self,
+        block: BasicBlock,
+        config: Optional[PerturbationConfig] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        self.block = block
+        self.config = config or PerturbationConfig()
+        self._rng = as_rng(rng)
+        self._opcode_pools = cache_opcode_replacements(block)
+
+    # ------------------------------------------------------------------ API
+
+    def perturb(
+        self,
+        features: Iterable[Feature] = (),
+        rng: RandomSource = None,
+    ) -> BasicBlock:
+        """Produce one perturbation of the block preserving ``features``."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        constraints = PreservationConstraints.from_features(self.block, features)
+        for _ in range(self.config.max_block_attempts):
+            perturbed = self._perturb_once(constraints, generator)
+            if perturbed is not None:
+                return perturbed
+        # All attempts failed to produce a valid block: fall back to the
+        # original block, which trivially satisfies every constraint.
+        return self.block
+
+    def perturb_many(
+        self,
+        count: int,
+        features: Iterable[Feature] = (),
+        rng: RandomSource = None,
+    ) -> List[BasicBlock]:
+        """Produce ``count`` independent perturbations preserving ``features``."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        constraints = PreservationConstraints.from_features(self.block, features)
+        out = []
+        for _ in range(count):
+            perturbed = None
+            for _ in range(self.config.max_block_attempts):
+                perturbed = self._perturb_once(constraints, generator)
+                if perturbed is not None:
+                    break
+            out.append(perturbed if perturbed is not None else self.block)
+        return out
+
+    # ------------------------------------------------------------ internals
+
+    def _perturb_once(
+        self, constraints: PreservationConstraints, rng: np.random.Generator
+    ) -> Optional[BasicBlock]:
+        config = self.config
+        working: List[Optional[Instruction]] = list(self.block.instructions)
+        undeletable = constraints.undeletable()
+        deletion_allowed = not constraints.preserve_count
+
+        # --- vertex perturbation (lines 8-12 of Algorithm 1) -------------
+        for index in range(len(working)):
+            if index in constraints.locked_opcodes:
+                continue
+            if not coin(rng, 1.0 - config.p_instruction_retain):
+                continue
+            can_delete = (
+                deletion_allowed
+                and index not in undeletable
+                and self._live_count(working) > 1
+            )
+            if can_delete and coin(rng, config.p_delete):
+                working[index] = None
+                continue
+            working[index] = self._replace_vertex(
+                working[index], index, constraints, rng
+            )
+
+        # --- edge perturbation (lines 13-17 of Algorithm 1) --------------
+        preserved_keys = {
+            (d.source, d.destination, d.kind, d.location)
+            for d in constraints.preserved_dependencies
+        }
+        for dep in self.block.dependencies:
+            key = (dep.source, dep.destination, dep.kind, dep.location)
+            if key in preserved_keys:
+                continue
+            if working[dep.source] is None or working[dep.destination] is None:
+                continue  # deletion already removed the hazard
+            if coin(rng, config.p_dependency_explicit_retain):
+                continue
+            if not coin(rng, config.p_dependency_perturb_attempt):
+                continue
+            self._break_dependency(working, dep, constraints, rng)
+
+        survivors = [inst for inst in working if inst is not None]
+        if not survivors:
+            return None
+        if any(not is_valid_instruction(inst) for inst in survivors):
+            return None
+        return self.block.with_instructions(survivors)
+
+    @staticmethod
+    def _live_count(working: Sequence[Optional[Instruction]]) -> int:
+        return sum(1 for inst in working if inst is not None)
+
+    def _replace_vertex(
+        self,
+        instruction: Instruction,
+        index: int,
+        constraints: PreservationConstraints,
+        rng: np.random.Generator,
+    ) -> Instruction:
+        """Replace an instruction's opcode (and, in the whole-instruction
+        scheme, its operands).  A failed attempt retains the instruction,
+        which is how opcodes with no replacements (e.g. ``lea``) end up
+        retained more often (Appendix D)."""
+        pool = self._opcode_pools.get(index, [])
+        replaced = instruction
+        if pool:
+            replaced = instruction.with_mnemonic(choice(rng, pool))
+        if self.config.replacement_scheme is ReplacementScheme.WHOLE_INSTRUCTION:
+            replaced = self._randomise_operands(replaced, index, constraints, rng)
+        if not is_valid_instruction(replaced):
+            return instruction
+        # Do not let the replacement start writing the register of a preserved
+        # dependency that passes over this instruction (it would shadow the
+        # preserved hazard); treat that as a failed perturbation attempt.
+        forbidden = constraints.shadowing_writes_forbidden(index)
+        if forbidden:
+            original_writes = {loc[1] for loc in instruction.writes if loc[0] == "reg"}
+            new_writes = {loc[1] for loc in replaced.writes if loc[0] == "reg"}
+            if (new_writes - original_writes) & forbidden:
+                return instruction
+        return replaced
+
+    def _randomise_operands(
+        self,
+        instruction: Instruction,
+        index: int,
+        constraints: PreservationConstraints,
+        rng: np.random.Generator,
+    ) -> Instruction:
+        locked_roots = constraints.roots_locked_at(index)
+        result = instruction
+        for pos, operand in enumerate(instruction.operands):
+            if isinstance(operand, RegisterOperand):
+                if operand.register.root in locked_roots:
+                    continue
+                new_reg = random_register_rename(
+                    rng, operand.register, forbidden_roots=locked_roots
+                )
+                if new_reg is not None and coin(rng, 0.5):
+                    result = result.with_operand(pos, operand.with_register(new_reg))
+            elif isinstance(operand, ImmediateOperand) and coin(rng, 0.5):
+                result = result.with_operand(pos, random_immediate(rng, operand))
+        return result
+
+    def _break_dependency(
+        self,
+        working: List[Optional[Instruction]],
+        dep: Dependency,
+        constraints: PreservationConstraints,
+        rng: np.random.Generator,
+    ) -> None:
+        """Break one data dependency in place (best effort).
+
+        Register hazards are broken by renaming the hazard register in one of
+        the endpoint instructions; memory hazards by shifting the memory
+        operand's displacement.  Endpoints whose relevant operand is locked by
+        a preserved feature are skipped; if both endpoints are locked the
+        dependency is retained (a failed perturbation attempt).
+        """
+        space, payload = dep.location
+        # Prefer rewriting the destination instruction; fall back to the source.
+        for endpoint in (dep.destination, dep.source):
+            instruction = working[endpoint]
+            if instruction is None:
+                continue
+            if endpoint in constraints.locked_instructions:
+                continue
+            if space == "reg":
+                root = str(payload)
+                if root in constraints.roots_locked_at(endpoint):
+                    continue
+                target_register = self._find_register_with_root(instruction, root)
+                if target_register is None:
+                    continue
+                new_register = random_register_rename(
+                    rng,
+                    target_register,
+                    forbidden_roots=[
+                        root,
+                        *constraints.roots_locked_at(endpoint),
+                        *constraints.all_locked_roots(),
+                    ],
+                    prefer_unused_in=self.block,
+                )
+                if new_register is None:
+                    continue
+                working[endpoint] = rename_register_in_instruction(
+                    instruction, root, new_register
+                )
+                return
+            else:  # memory hazard
+                if endpoint in constraints.locked_memory:
+                    continue
+                memory = instruction.memory_operand()
+                if memory is None:
+                    continue
+                new_memory = perturb_memory_displacement(rng, memory)
+                position = instruction.operands.index(memory)
+                working[endpoint] = instruction.with_operand(position, new_memory)
+                return
+
+    @staticmethod
+    def _find_register_with_root(instruction: Instruction, root: str):
+        """The first register referenced by ``instruction`` with the given root."""
+        for operand in instruction.operands:
+            if isinstance(operand, RegisterOperand) and operand.register.root == root:
+                return operand.register
+            if isinstance(operand, MemoryOperand):
+                for reg in operand.registers_read():
+                    if reg.root == root:
+                        return reg
+        return None

@@ -1,0 +1,135 @@
+"""Estimating the cardinality of the perturbation space (Appendix F).
+
+The paper motivates the relaxation from the ideal explanation problem to the
+probabilistic one by showing that ``|Π̂(F)|`` — the number of distinct blocks
+reachable by perturbing everything outside ``F`` — is astronomically large
+(≈10³⁸ for a 7-instruction vector block).  This module reproduces those
+estimates with a simple combinatorial count:
+
+* every non-preserved instruction contributes
+  ``1 (retain) + #opcode replacements + 1 (deletion, when allowed)`` choices,
+* every register operand slot that is free to be renamed contributes
+  ``1 + #same-width registers`` choices,
+* every free memory operand contributes a nominal number of distinct
+  displacements.
+
+The count is an estimate of the same flavour the paper reports (it neither
+deduplicates coincidentally equal blocks nor enumerates immediate values).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    InstructionFeature,
+    NumInstructionsFeature,
+)
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.registers import same_size_registers
+from repro.perturb.replacements import opcode_replacements
+
+#: Nominal number of distinct displacements considered reachable for a free
+#: memory operand (the perturber shifts displacements by 8..64 bytes).
+MEMORY_DISPLACEMENT_CHOICES = 16
+
+
+def per_instruction_choices(
+    block: BasicBlock,
+    index: int,
+    *,
+    opcode_locked: bool = False,
+    fully_locked: bool = False,
+    deletion_allowed: bool = True,
+) -> float:
+    """Number of distinct variants reachable for one instruction."""
+    if fully_locked:
+        return 1.0
+    instruction = block[index]
+    choices = 1.0
+    if not opcode_locked:
+        opcode_choices = 1 + len(opcode_replacements(instruction))
+        if deletion_allowed:
+            opcode_choices += 1
+        choices *= opcode_choices
+    for operand in instruction.operands:
+        if isinstance(operand, RegisterOperand):
+            choices *= 1 + len(same_size_registers(operand.register))
+        elif isinstance(operand, MemoryOperand):
+            for reg in operand.registers_read():
+                choices *= 1 + len(same_size_registers(reg))
+            choices *= MEMORY_DISPLACEMENT_CHOICES
+        elif isinstance(operand, ImmediateOperand):
+            choices *= 2  # the perturber only draws a handful of immediates
+    return choices
+
+
+def estimate_space_size(
+    block: BasicBlock, features: Iterable[Feature] = ()
+) -> float:
+    """Estimate ``|Π̂(F)|`` for ``block`` and preserved feature set ``features``.
+
+    Returns a float because the counts routinely exceed 2⁶³.
+    """
+    features = tuple(features)
+    locked_instructions = {
+        f.index for f in features if isinstance(f, InstructionFeature)
+    }
+    opcode_locked = set(locked_instructions)
+    preserve_count = any(isinstance(f, NumInstructionsFeature) for f in features)
+    for f in features:
+        if isinstance(f, DependencyFeature):
+            opcode_locked.add(f.source)
+            opcode_locked.add(f.destination)
+
+    total = 1.0
+    for index in range(block.num_instructions):
+        total *= per_instruction_choices(
+            block,
+            index,
+            opcode_locked=index in opcode_locked,
+            fully_locked=index in locked_instructions,
+            deletion_allowed=not preserve_count and index not in opcode_locked,
+        )
+    return total
+
+
+def log10_space_size(block: BasicBlock, features: Iterable[Feature] = ()) -> float:
+    """``log10`` of the estimated perturbation-space size (avoids overflow)."""
+    features = tuple(features)
+    locked_instructions = {
+        f.index for f in features if isinstance(f, InstructionFeature)
+    }
+    opcode_locked = set(locked_instructions)
+    preserve_count = any(isinstance(f, NumInstructionsFeature) for f in features)
+    for f in features:
+        if isinstance(f, DependencyFeature):
+            opcode_locked.add(f.source)
+            opcode_locked.add(f.destination)
+
+    total = 0.0
+    for index in range(block.num_instructions):
+        total += math.log10(
+            per_instruction_choices(
+                block,
+                index,
+                opcode_locked=index in opcode_locked,
+                fully_locked=index in locked_instructions,
+                deletion_allowed=not preserve_count and index not in opcode_locked,
+            )
+        )
+    return total
+
+
+def space_report(block: BasicBlock, features: Iterable[Feature] = ()) -> Dict[str, float]:
+    """A small report used by the Appendix F benchmark."""
+    return {
+        "num_instructions": float(block.num_instructions),
+        "num_dependencies": float(len(block.dependencies)),
+        "log10_space_size": log10_space_size(block, features),
+        "space_size": estimate_space_size(block, features),
+    }

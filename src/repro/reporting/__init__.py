@@ -1,0 +1,31 @@
+"""Serialisation and reporting helpers for explanations and experiments.
+
+The evaluation drivers return plain data structures and text tables; this
+subpackage adds the formats downstream tooling usually wants:
+
+* :mod:`repro.reporting.export` — JSON/CSV serialisation of features,
+  explanations and experiment rows,
+* :mod:`repro.reporting.markdown` — GitHub-flavoured markdown rendering of
+  the same tables the benchmark harness prints as fixed-width text.
+"""
+
+from repro.reporting.export import (
+    explanation_to_dict,
+    explanation_to_json,
+    explanations_to_csv,
+    feature_to_dict,
+    load_explanation_dicts,
+    rows_to_csv,
+)
+from repro.reporting.markdown import explanation_to_markdown, markdown_table
+
+__all__ = [
+    "feature_to_dict",
+    "explanation_to_dict",
+    "explanation_to_json",
+    "explanations_to_csv",
+    "load_explanation_dicts",
+    "rows_to_csv",
+    "markdown_table",
+    "explanation_to_markdown",
+]

@@ -1,0 +1,137 @@
+"""JSON and CSV serialisation of explanations and experiment rows."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    InstructionFeature,
+    NumInstructionsFeature,
+)
+from repro.explain.explanation import Explanation
+
+
+def feature_to_dict(feature: Feature) -> Dict[str, object]:
+    """A JSON-safe dictionary describing one explanation feature."""
+    base: Dict[str, object] = {
+        "kind": feature.kind.value,
+        "description": feature.describe(),
+    }
+    if isinstance(feature, InstructionFeature):
+        base.update(
+            {
+                "index": feature.index,
+                "mnemonic": feature.mnemonic,
+                "operands": list(feature.operand_text),
+            }
+        )
+    elif isinstance(feature, DependencyFeature):
+        base.update(
+            {
+                "source": feature.source,
+                "destination": feature.destination,
+                "dependency_kind": feature.dep_kind.value,
+                "location_space": feature.location_space,
+                "source_mnemonic": feature.source_mnemonic,
+                "destination_mnemonic": feature.destination_mnemonic,
+            }
+        )
+    elif isinstance(feature, NumInstructionsFeature):
+        base.update({"count": feature.count})
+    return base
+
+
+def explanation_to_dict(explanation: Explanation) -> Dict[str, object]:
+    """A JSON-safe dictionary capturing one explanation end to end."""
+    return {
+        "block": explanation.block.text.splitlines(),
+        "block_id": explanation.block.block_id,
+        "model": explanation.model_name,
+        "prediction": explanation.prediction,
+        "epsilon": explanation.epsilon,
+        "precision": explanation.precision,
+        "coverage": explanation.coverage,
+        "meets_threshold": explanation.meets_threshold,
+        "num_queries": explanation.num_queries,
+        "features": [feature_to_dict(feature) for feature in explanation.features],
+    }
+
+
+def explanation_to_json(explanation: Explanation, *, indent: int = 2) -> str:
+    """One explanation rendered as a JSON document."""
+    return json.dumps(explanation_to_dict(explanation), indent=indent)
+
+
+def load_explanation_dicts(path) -> List[Dict[str, object]]:
+    """Read back a JSON file written from :func:`explanation_to_dict` entries.
+
+    Accepts either a single object or a list of objects; always returns a
+    list so callers can iterate uniformly.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        return [data]
+    if isinstance(data, list):
+        return data
+    raise ValueError(f"expected a JSON object or array in {path}, got {type(data)!r}")
+
+
+_CSV_COLUMNS = (
+    "block_id",
+    "model",
+    "prediction",
+    "precision",
+    "coverage",
+    "meets_threshold",
+    "num_features",
+    "feature_kinds",
+    "features",
+)
+
+
+def explanations_to_csv(explanations: Sequence[Explanation], path) -> Path:
+    """Write a one-row-per-explanation CSV summary and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_COLUMNS)
+        for explanation in explanations:
+            kinds = sorted({f.kind.value for f in explanation.features})
+            writer.writerow(
+                [
+                    explanation.block.block_id or "",
+                    explanation.model_name,
+                    f"{explanation.prediction:.6f}",
+                    f"{explanation.precision:.6f}",
+                    f"{explanation.coverage:.6f}",
+                    int(explanation.meets_threshold),
+                    len(explanation.features),
+                    ";".join(kinds),
+                    ";".join(f.describe() for f in explanation.features),
+                ]
+            )
+    return path
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]], path) -> Path:
+    """Write generic experiment rows (e.g. a table's cells) to CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    headers = list(headers)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            row = list(row)
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but the header has {len(headers)}"
+                )
+            writer.writerow(row)
+    return path

@@ -1,0 +1,55 @@
+"""GitHub-flavoured markdown rendering of tables and explanations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.explain.explanation import Explanation
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 2,
+) -> str:
+    """Render rows as a markdown table (same contract as ``render_table``)."""
+    headers = list(headers)
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        cells = [_fmt(cell, precision) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(headers)} columns"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def explanation_to_markdown(explanation: Explanation) -> str:
+    """One explanation rendered as a small markdown report."""
+    lines = [
+        f"### Explanation for `{explanation.model_name}`",
+        "",
+        "```asm",
+        explanation.block.text,
+        "```",
+        "",
+        f"* prediction: **{explanation.prediction:.2f} cycles** "
+        f"(acceptance ball ±{explanation.epsilon:.2f})",
+        f"* precision: {explanation.precision:.2f}, coverage: {explanation.coverage:.2f}, "
+        f"threshold met: {'yes' if explanation.meets_threshold else 'no'}",
+        "",
+        "Explanation features:",
+    ]
+    if explanation.features:
+        lines.extend(f"* {feature.describe()}" for feature in explanation.features)
+    else:
+        lines.append("* (empty — the prediction is insensitive to every perturbation tried)")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Explanation-based cost-model selection (paper Section 7).
+
+The paper's discussion notes that "COMET's explanations can be used to select
+a model from a collection of similar performing neural models": when two
+models reach comparable held-out error, the one whose explanations rely on
+finer-grained block features (specific instructions and data dependencies
+rather than the instruction count) is, by the paper's Section 6.3 finding,
+the one more likely to generalise.  This subpackage implements that
+selection rule:
+
+* :func:`score_model` measures one candidate's MAPE and the composition of
+  its COMET explanations over a labelled block set,
+* :class:`ModelSelector` ranks a collection of candidates, breaking
+  near-ties in error by explanation granularity and reporting the full
+  evidence behind the ranking.
+"""
+
+from repro.selection.criteria import GranularityProfile, ModelScore, score_model
+from repro.selection.selector import ModelSelector, SelectionConfig, SelectionReport
+
+__all__ = [
+    "GranularityProfile",
+    "ModelScore",
+    "score_model",
+    "ModelSelector",
+    "SelectionConfig",
+    "SelectionReport",
+]

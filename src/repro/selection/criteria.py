@@ -1,0 +1,110 @@
+"""Scoring criteria for explanation-based model selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import FeatureKind
+from repro.eval.metrics import feature_kind_percentages, mean_absolute_percentage_error
+from repro.eval.precision_coverage import explain_blocks
+from repro.explain.config import ExplainerConfig
+from repro.explain.explanation import Explanation
+from repro.models.base import CostModel
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class GranularityProfile:
+    """Composition of a model's explanations over a block set (Section 6.3).
+
+    All values are percentages of explanations containing at least one
+    feature of the corresponding kind; an explanation can contribute to
+    several categories, so the values need not sum to 100.
+    """
+
+    pct_num_instructions: float
+    pct_instructions: float
+    pct_dependencies: float
+    pct_fine_grained: float
+    pct_coarse_only: float
+
+    @classmethod
+    def of(cls, explanations: Sequence[Explanation]) -> "GranularityProfile":
+        """Profile of a list of explanations."""
+        percentages = feature_kind_percentages(explanations)
+        if explanations:
+            fine = 100.0 * sum(1 for e in explanations if e.is_fine_grained) / len(explanations)
+            coarse_only = 100.0 * sum(
+                1
+                for e in explanations
+                if e.contains_kind(FeatureKind.NUM_INSTRUCTIONS) and not e.is_fine_grained
+            ) / len(explanations)
+        else:
+            fine = float("nan")
+            coarse_only = float("nan")
+        return cls(
+            pct_num_instructions=percentages[FeatureKind.NUM_INSTRUCTIONS.value],
+            pct_instructions=percentages[FeatureKind.INSTRUCTION.value],
+            pct_dependencies=percentages[FeatureKind.DEPENDENCY.value],
+            pct_fine_grained=fine,
+            pct_coarse_only=coarse_only,
+        )
+
+
+@dataclass(frozen=True)
+class ModelScore:
+    """Everything the selector knows about one candidate model."""
+
+    model_name: str
+    mape: float
+    granularity: GranularityProfile
+    mean_precision: float
+    mean_coverage: float
+    blocks_evaluated: int
+
+    def as_cells(self) -> List[object]:
+        """Row cells for the selection report table."""
+        return [
+            self.model_name,
+            self.mape,
+            self.granularity.pct_fine_grained,
+            self.granularity.pct_num_instructions,
+            self.mean_precision,
+            self.mean_coverage,
+        ]
+
+
+def score_model(
+    model: CostModel,
+    blocks: Sequence[BasicBlock],
+    targets: Sequence[float],
+    *,
+    config: Optional[ExplainerConfig] = None,
+    seed: RandomSource = 0,
+) -> ModelScore:
+    """Score ``model`` on error and explanation granularity.
+
+    ``targets`` are the measured (oracle) throughputs of ``blocks``; the MAPE
+    against them is the accuracy criterion, and the COMET explanations of the
+    model's predictions over the same blocks give the granularity criterion.
+    """
+    if len(blocks) != len(targets):
+        raise ValueError("blocks and targets must have the same length")
+    if len(blocks) == 0:
+        raise ValueError("cannot score a model over an empty block set")
+    config = config or ExplainerConfig()
+    predictions = [model.predict(block) for block in blocks]
+    error = mean_absolute_percentage_error(predictions, targets)
+    explanations = explain_blocks(model, blocks, config, seed)
+    precisions = [e.precision for e in explanations]
+    coverages = [e.coverage for e in explanations]
+    return ModelScore(
+        model_name=model.name,
+        mape=error,
+        granularity=GranularityProfile.of(explanations),
+        mean_precision=sum(precisions) / len(precisions),
+        mean_coverage=sum(coverages) / len(coverages),
+        blocks_evaluated=len(blocks),
+    )

@@ -1,0 +1,176 @@
+"""Ranking cost-model candidates by error and explanation granularity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.explain.config import ExplainerConfig
+from repro.models.base import CostModel
+from repro.selection.criteria import ModelScore, score_model
+from repro.utils.rng import RandomSource
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Knobs of the selection rule.
+
+    Attributes
+    ----------
+    mape_tolerance:
+        Two models whose MAPEs differ by at most this many percentage points
+        are treated as "similar performing"; within such a group the model
+        with the larger share of fine-grained explanations ranks first.
+    explainer:
+        COMET configuration used when scoring candidates.
+    seed:
+        Random source for the explanation runs (one independent stream per
+        block, shared across candidates so the comparison is paired).
+    """
+
+    mape_tolerance: float = 3.0
+    explainer: ExplainerConfig = ExplainerConfig()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mape_tolerance < 0.0:
+            raise ValueError("mape_tolerance must be non-negative")
+
+
+@dataclass
+class SelectionReport:
+    """Ranked candidates plus the rationale for the chosen winner."""
+
+    ranking: List[ModelScore]
+    rationale: str
+    mape_tolerance: float
+
+    @property
+    def best(self) -> ModelScore:
+        """The selected model's score."""
+        return self.ranking[0]
+
+    @property
+    def best_name(self) -> str:
+        return self.best.model_name
+
+    def score_for(self, model_name: str) -> ModelScore:
+        """Score of a specific candidate (raises ``KeyError`` if unknown)."""
+        for score in self.ranking:
+            if score.model_name == model_name:
+                return score
+        raise KeyError(model_name)
+
+    def render(self) -> str:
+        """Text table of the ranking plus the rationale line."""
+        table = render_table(
+            [
+                "Model",
+                "MAPE (%)",
+                "% fine-grained expl.",
+                "% expl. with η",
+                "Av. precision",
+                "Av. coverage",
+            ],
+            [score.as_cells() for score in self.ranking],
+            title="Model selection report",
+            precision=2,
+        )
+        return f"{table}\n\nSelected: {self.best_name}\n{self.rationale}"
+
+
+class ModelSelector:
+    """Select among cost-model candidates using COMET explanations.
+
+    The primary criterion is held-out MAPE; the paper's insight (Section 6.3
+    and Section 7) is applied as a tie-breaker: among candidates whose MAPE is
+    within ``mape_tolerance`` of the best, prefer the one whose explanations
+    rely most on fine-grained features.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[BasicBlock],
+        targets: Sequence[float],
+        config: Optional[SelectionConfig] = None,
+    ) -> None:
+        if len(blocks) != len(targets):
+            raise ValueError("blocks and targets must have the same length")
+        if len(blocks) == 0:
+            raise ValueError("the selection block set may not be empty")
+        self.blocks = list(blocks)
+        self.targets = [float(t) for t in targets]
+        self.config = config or SelectionConfig()
+
+    # ---------------------------------------------------------------- scoring
+
+    def score(self, model: CostModel) -> ModelScore:
+        """Score one candidate over the selection block set."""
+        return score_model(
+            model,
+            self.blocks,
+            self.targets,
+            config=self.config.explainer,
+            seed=self.config.seed,
+        )
+
+    def score_all(self, models: Mapping[str, CostModel]) -> Dict[str, ModelScore]:
+        """Score every candidate, keyed by the caller's candidate names."""
+        scores: Dict[str, ModelScore] = {}
+        for name, model in models.items():
+            score = self.score(model)
+            # Keep the caller's key as the reported name so two instances of
+            # the same model class (e.g. two Ithemal seeds) stay distinct.
+            scores[name] = ModelScore(
+                model_name=name,
+                mape=score.mape,
+                granularity=score.granularity,
+                mean_precision=score.mean_precision,
+                mean_coverage=score.mean_coverage,
+                blocks_evaluated=score.blocks_evaluated,
+            )
+        return scores
+
+    # ---------------------------------------------------------------- ranking
+
+    def rank(self, models: Mapping[str, CostModel]) -> SelectionReport:
+        """Rank the candidates and explain the choice."""
+        if not models:
+            raise ValueError("need at least one candidate model to rank")
+        scores = list(self.score_all(models).values())
+        best_mape = min(score.mape for score in scores)
+        tolerance = self.config.mape_tolerance
+
+        def sort_key(score: ModelScore) -> Tuple[int, float, float]:
+            within = 0 if score.mape <= best_mape + tolerance else 1
+            # Within the near-tie group, finer-grained explanations first,
+            # then lower error; outside it, lower error only.
+            return (within, -score.granularity.pct_fine_grained, score.mape)
+
+        ranking = sorted(scores, key=sort_key)
+        rationale = self._rationale(ranking, best_mape)
+        return SelectionReport(
+            ranking=ranking, rationale=rationale, mape_tolerance=tolerance
+        )
+
+    def _rationale(self, ranking: Sequence[ModelScore], best_mape: float) -> str:
+        best = ranking[0]
+        tolerance = self.config.mape_tolerance
+        contenders = [
+            score for score in ranking if score.mape <= best_mape + tolerance
+        ]
+        if len(contenders) <= 1:
+            return (
+                f"{best.model_name} has the lowest MAPE "
+                f"({best.mape:.2f}%) and no other candidate is within "
+                f"{tolerance:.1f} percentage points."
+            )
+        return (
+            f"{len(contenders)} candidates are within {tolerance:.1f} MAPE points of "
+            f"the best ({best_mape:.2f}%); {best.model_name} is selected because "
+            f"{best.granularity.pct_fine_grained:.1f}% of its explanations rely on "
+            f"fine-grained block features (instructions or data dependencies), the "
+            f"highest share in the group."
+        )

@@ -1,0 +1,41 @@
+"""Explanation-guided neural cost-model training (paper Section 7).
+
+The paper's discussion proposes that "COMET's feedback can be leveraged to
+update the model parameters during training to have the predictions rely on
+finer-grained features".  This subpackage implements that feedback loop for
+the NumPy Ithemal stand-in:
+
+* :class:`GranularityFeedback` explains a sample of training blocks under the
+  current model and reports which of them the model treats as coarse-grained
+  (explanation = instruction count only),
+* :mod:`repro.train.augmentation` turns that feedback into new training
+  examples: perturbations of the coarse blocks that keep their instructions
+  and data dependencies but change the instruction count, labelled by the
+  hardware oracle, so the count feature stops being predictive for them,
+* :class:`ExplanationGuidedTrainer` alternates training epochs with feedback
+  rounds and records how the explanation granularity of the model evolves.
+
+The ``explanation_guided_training.py`` example compares a guided run against
+plain training with the same total epoch budget.
+"""
+
+from repro.train.feedback import BlockFeedback, FeedbackSummary, GranularityFeedback
+from repro.train.augmentation import AugmentationConfig, augment_coarse_blocks
+from repro.train.guided import (
+    ExplanationGuidedTrainer,
+    GuidedTrainingConfig,
+    GuidedTrainingResult,
+    RoundRecord,
+)
+
+__all__ = [
+    "BlockFeedback",
+    "FeedbackSummary",
+    "GranularityFeedback",
+    "AugmentationConfig",
+    "augment_coarse_blocks",
+    "ExplanationGuidedTrainer",
+    "GuidedTrainingConfig",
+    "GuidedTrainingResult",
+    "RoundRecord",
+]

@@ -1,0 +1,107 @@
+"""Turning coarse-explanation feedback into new training examples.
+
+When COMET reports that the model's prediction for a block rests on the
+instruction count alone, the most direct corrective signal is data in which
+that count is *not* predictive: perturbations of the block that keep every
+instruction and every data dependency (the fine-grained features) but add or
+remove filler instructions, labelled with the hardware oracle's throughput.
+Training on the original block together with these variants forces the model
+to attend to the content of the block rather than its length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import extract_features, FeatureKind
+from repro.data.oracle import HardwareOracle
+from repro.perturb.algorithm import BlockPerturber
+from repro.perturb.config import PerturbationConfig
+from repro.train.feedback import BlockFeedback
+from repro.utils.rng import RandomSource, as_rng
+
+
+@dataclass(frozen=True)
+class AugmentationConfig:
+    """Knobs of the feedback-driven augmentation.
+
+    Attributes
+    ----------
+    variants_per_block:
+        Number of perturbed variants generated per coarse block.
+    preserve_fine_grained:
+        Whether the variants must keep the block's instructions and data
+        dependencies (the recommended setting: only the count may drift).
+    perturbation:
+        Configuration of the underlying perturbation algorithm Γ.  The
+        default raises the deletion probability so the instruction count
+        actually changes often.
+    max_attempts_per_variant:
+        Perturbation attempts per requested variant before giving up (Γ can
+        return the original block when every attempt fails validation).
+    """
+
+    variants_per_block: int = 2
+    preserve_fine_grained: bool = True
+    perturbation: PerturbationConfig = PerturbationConfig(p_delete=0.6)
+    max_attempts_per_variant: int = 4
+
+    def __post_init__(self) -> None:
+        if self.variants_per_block < 0:
+            raise ValueError("variants_per_block must be non-negative")
+        if self.max_attempts_per_variant < 1:
+            raise ValueError("max_attempts_per_variant must be at least 1")
+
+
+def _fine_grained_features(block: BasicBlock):
+    return tuple(
+        feature
+        for feature in extract_features(block)
+        if feature.kind is not FeatureKind.NUM_INSTRUCTIONS
+    )
+
+
+def augment_coarse_blocks(
+    feedback: Sequence[BlockFeedback],
+    oracle: HardwareOracle,
+    *,
+    config: Optional[AugmentationConfig] = None,
+    rng: RandomSource = 0,
+) -> Tuple[List[BasicBlock], List[float]]:
+    """Build augmented training examples from one feedback round.
+
+    Only the blocks whose feedback is coarse contribute variants.  Each
+    variant differs from its source block (and from the other variants of the
+    same block); variants that collapse back onto the source are discarded,
+    so the returned lists may be shorter than
+    ``len(coarse blocks) * variants_per_block``.
+    """
+    config = config or AugmentationConfig()
+    generator = as_rng(rng)
+
+    blocks: List[BasicBlock] = []
+    labels: List[float] = []
+    for entry in feedback:
+        if not entry.is_coarse:
+            continue
+        source = entry.block
+        preserved = (
+            _fine_grained_features(source) if config.preserve_fine_grained else ()
+        )
+        perturber = BlockPerturber(source, config.perturbation, rng=generator)
+        seen = {source.key()}
+        for _ in range(config.variants_per_block):
+            variant: Optional[BasicBlock] = None
+            for _ in range(config.max_attempts_per_variant):
+                candidate = perturber.perturb(preserved, rng=generator)
+                if candidate.key() not in seen:
+                    variant = candidate
+                    break
+            if variant is None:
+                continue
+            seen.add(variant.key())
+            blocks.append(variant)
+            labels.append(oracle.measure(variant))
+    return blocks, labels

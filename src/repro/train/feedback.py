@@ -1,0 +1,113 @@
+"""Collecting COMET feedback on a model under training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import FeatureKind
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.explain.explanation import Explanation
+from repro.models.base import CostModel
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class BlockFeedback:
+    """COMET's verdict on how a model treats one training block."""
+
+    block: BasicBlock
+    explanation: Explanation
+
+    @property
+    def is_coarse(self) -> bool:
+        """The explanation relies on the instruction count and nothing finer."""
+        return (
+            self.explanation.contains_kind(FeatureKind.NUM_INSTRUCTIONS)
+            and not self.explanation.is_fine_grained
+        )
+
+    @property
+    def is_fine_grained(self) -> bool:
+        """The explanation names at least one instruction or dependency."""
+        return self.explanation.is_fine_grained
+
+    @property
+    def is_empty(self) -> bool:
+        """The explanation is empty (the model is insensitive to perturbations)."""
+        return len(self.explanation.features) == 0
+
+
+@dataclass(frozen=True)
+class FeedbackSummary:
+    """Aggregate view of one feedback round."""
+
+    total: int
+    coarse: int
+    fine_grained: int
+    empty: int
+
+    @property
+    def pct_coarse(self) -> float:
+        """Percentage of explained blocks with a coarse-only explanation."""
+        return 100.0 * self.coarse / self.total if self.total else float("nan")
+
+    @property
+    def pct_fine_grained(self) -> float:
+        """Percentage of explained blocks with a fine-grained explanation."""
+        return 100.0 * self.fine_grained / self.total if self.total else float("nan")
+
+
+class GranularityFeedback:
+    """Explains a sample of blocks and reports the model's feature reliance."""
+
+    def __init__(
+        self,
+        config: Optional[ExplainerConfig] = None,
+        *,
+        seed: RandomSource = 0,
+    ) -> None:
+        self.config = config or ExplainerConfig()
+        self.seed = seed
+
+    def collect(
+        self,
+        model: CostModel,
+        blocks: Sequence[BasicBlock],
+        *,
+        sample_size: Optional[int] = None,
+        rng: RandomSource = None,
+    ) -> List[BlockFeedback]:
+        """Explain up to ``sample_size`` of ``blocks`` under ``model``.
+
+        The sample is drawn without replacement; passing ``sample_size=None``
+        (or a value at least ``len(blocks)``) explains every block.
+        """
+        blocks = list(blocks)
+        if not blocks:
+            return []
+        generator = as_rng(rng if rng is not None else self.seed)
+        if sample_size is not None and sample_size < len(blocks):
+            if sample_size <= 0:
+                raise ValueError("sample_size must be positive")
+            indices = generator.choice(len(blocks), size=sample_size, replace=False)
+            blocks = [blocks[int(i)] for i in indices]
+
+        explainer = CometExplainer(model, self.config, rng=generator)
+        feedback: List[BlockFeedback] = []
+        for block, stream in zip(blocks, spawn_rngs(self.seed, len(blocks))):
+            explanation = explainer.explain(block, rng=stream)
+            feedback.append(BlockFeedback(block=block, explanation=explanation))
+        return feedback
+
+    @staticmethod
+    def summarize(feedback: Sequence[BlockFeedback]) -> FeedbackSummary:
+        """Aggregate a feedback round into counts and percentages."""
+        return FeedbackSummary(
+            total=len(feedback),
+            coarse=sum(1 for f in feedback if f.is_coarse),
+            fine_grained=sum(1 for f in feedback if f.is_fine_grained),
+            empty=sum(1 for f in feedback if f.is_empty),
+        )

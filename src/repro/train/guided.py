@@ -1,0 +1,213 @@
+"""The explanation-guided training loop for the neural cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.data.oracle import HardwareOracle
+from repro.explain.config import ExplainerConfig
+from repro.models.base import CachedCostModel
+from repro.models.ithemal import IthemalConfig, IthemalCostModel
+from repro.train.augmentation import AugmentationConfig, augment_coarse_blocks
+from repro.train.feedback import FeedbackSummary, GranularityFeedback
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class GuidedTrainingConfig:
+    """Knobs of the explanation-guided training loop.
+
+    Attributes
+    ----------
+    rounds:
+        Number of feedback rounds after the initial training phase.
+    initial_epochs:
+        Training epochs before the first feedback round.
+    epochs_per_round:
+        Training epochs after each feedback round (over the original data
+        plus every augmented example collected so far).
+    feedback_sample:
+        Number of training blocks explained per feedback round.
+    explainer:
+        COMET configuration used during feedback (a reduced sampling budget
+        keeps the loop affordable; the explanations only need to detect
+        coarse reliance, not certify precision tightly).
+    augmentation:
+        How feedback is converted into new training examples.
+    seed:
+        Random source for feedback sampling and augmentation.
+    """
+
+    rounds: int = 2
+    initial_epochs: int = 2
+    epochs_per_round: int = 1
+    feedback_sample: int = 8
+    explainer: ExplainerConfig = ExplainerConfig(
+        coverage_samples=80,
+        max_precision_samples=50,
+        min_precision_samples=15,
+        batch_size=10,
+    )
+    augmentation: AugmentationConfig = AugmentationConfig()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        if self.initial_epochs < 0 or self.epochs_per_round < 0:
+            raise ValueError("epoch counts must be non-negative")
+        if self.feedback_sample < 1:
+            raise ValueError("feedback_sample must be at least 1")
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one feedback round."""
+
+    round_index: int
+    feedback: FeedbackSummary
+    examples_added: int
+    training_set_size: int
+    validation_mape: float
+
+
+@dataclass
+class GuidedTrainingResult:
+    """Final model plus the per-round history of the guided run."""
+
+    model: IthemalCostModel
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def final_pct_coarse(self) -> float:
+        """Coarse-explanation share measured in the last feedback round."""
+        if not self.rounds:
+            return float("nan")
+        return self.rounds[-1].feedback.pct_coarse
+
+    def render(self) -> str:
+        """Text table of the guided-training history."""
+        rows = [
+            [
+                record.round_index,
+                record.feedback.pct_coarse,
+                record.feedback.pct_fine_grained,
+                record.examples_added,
+                record.training_set_size,
+                record.validation_mape,
+            ]
+            for record in self.rounds
+        ]
+        return render_table(
+            [
+                "Round",
+                "% coarse expl.",
+                "% fine expl.",
+                "Examples added",
+                "Training set",
+                "Val. MAPE (%)",
+            ],
+            rows,
+            title="Explanation-guided training history",
+            precision=1,
+        )
+
+
+class ExplanationGuidedTrainer:
+    """Train the neural cost model with COMET feedback between rounds."""
+
+    def __init__(
+        self,
+        microarch="hsw",
+        *,
+        ithemal_config: Optional[IthemalConfig] = None,
+        guided_config: Optional[GuidedTrainingConfig] = None,
+        oracle: Optional[HardwareOracle] = None,
+    ) -> None:
+        self.microarch = microarch
+        self.ithemal_config = ithemal_config or IthemalConfig()
+        self.config = guided_config or GuidedTrainingConfig()
+        self.oracle = oracle or HardwareOracle(microarch)
+
+    def train(
+        self,
+        blocks: Sequence[BasicBlock],
+        throughputs: Sequence[float],
+        *,
+        validation_blocks: Optional[Sequence[BasicBlock]] = None,
+        validation_throughputs: Optional[Sequence[float]] = None,
+        rng: RandomSource = None,
+    ) -> GuidedTrainingResult:
+        """Run the guided loop and return the trained model plus its history.
+
+        ``validation_blocks``/``validation_throughputs`` are only used for
+        reporting the per-round MAPE; when omitted the training set itself is
+        used (which is what the quick examples do).
+        """
+        if len(blocks) != len(throughputs):
+            raise ValueError("blocks and throughputs must have the same length")
+        if len(blocks) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        generator = as_rng(rng if rng is not None else self.config.seed)
+
+        validation_blocks = list(validation_blocks or blocks)
+        validation_throughputs = [
+            float(v) for v in (validation_throughputs or throughputs)
+        ]
+
+        model = IthemalCostModel(self.microarch, self.ithemal_config, rng=generator)
+        model.train(blocks, throughputs, epochs=self.config.initial_epochs, rng=generator)
+
+        feedback_collector = GranularityFeedback(
+            self.config.explainer, seed=self.config.seed
+        )
+
+        train_blocks: List[BasicBlock] = list(blocks)
+        train_labels: List[float] = [float(t) for t in throughputs]
+        records: List[RoundRecord] = []
+
+        for round_index in range(1, self.config.rounds + 1):
+            # Explanations query the model heavily; a cache makes the round
+            # cost proportional to distinct perturbations, not raw queries.
+            cached = CachedCostModel(model)
+            feedback = feedback_collector.collect(
+                cached,
+                blocks,
+                sample_size=self.config.feedback_sample,
+                rng=generator,
+            )
+            summary = GranularityFeedback.summarize(feedback)
+
+            new_blocks, new_labels = augment_coarse_blocks(
+                feedback,
+                self.oracle,
+                config=self.config.augmentation,
+                rng=generator,
+            )
+            train_blocks.extend(new_blocks)
+            train_labels.extend(new_labels)
+
+            if self.config.epochs_per_round > 0:
+                model.train(
+                    train_blocks,
+                    train_labels,
+                    epochs=self.config.epochs_per_round,
+                    rng=generator,
+                )
+
+            records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    feedback=summary,
+                    examples_added=len(new_blocks),
+                    training_set_size=len(train_blocks),
+                    validation_mape=model.evaluate_mape(
+                        validation_blocks, validation_throughputs
+                    ),
+                )
+            )
+
+        return GuidedTrainingResult(model=model, rounds=records)

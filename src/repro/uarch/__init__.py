@@ -1,0 +1,40 @@
+"""Micro-architecture substrate: execution ports, per-opcode cost tables.
+
+This plays the role that uops.info instruction tables and the hand-tuned
+uiCA pipeline parameters play in the paper: it provides, per modelled
+micro-architecture (Haswell, Skylake), the latency, reciprocal throughput and
+port usage of every opcode in the ISA subset, plus the machine parameters the
+pipeline simulator needs (issue width, buffer sizes, load latency, ...).
+"""
+
+from repro.uarch.ports import Port, PortSet, parse_ports
+from repro.uarch.microarch import (
+    MicroArchitecture,
+    HASWELL,
+    SKYLAKE,
+    get_microarch,
+    available_microarchitectures,
+)
+from repro.uarch.tables import (
+    InstructionCost,
+    Uop,
+    instruction_cost,
+    instruction_cost_for,
+    cost_table,
+)
+
+__all__ = [
+    "Port",
+    "PortSet",
+    "parse_ports",
+    "MicroArchitecture",
+    "HASWELL",
+    "SKYLAKE",
+    "get_microarch",
+    "available_microarchitectures",
+    "InstructionCost",
+    "Uop",
+    "instruction_cost",
+    "instruction_cost_for",
+    "cost_table",
+]

@@ -1,0 +1,126 @@
+"""Machine-level parameters for the modelled Intel micro-architectures.
+
+Only the parameters that the pipeline simulator and analytical models consume
+are described; the values follow publicly documented figures for Haswell and
+Skylake closely enough to preserve the relative behaviour the paper relies on
+(Skylake has a faster divider, slightly larger buffers and one extra
+store-AGU-capable port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.uarch.ports import PortSet, parse_ports
+from repro.utils.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MicroArchitecture:
+    """Static description of one CPU micro-architecture.
+
+    Attributes
+    ----------
+    name / short_name:
+        Human-readable and table-key names (``"Haswell"`` / ``"hsw"``).
+    issue_width:
+        Maximum uops renamed/issued per cycle (the paper's baseline analytical
+        model divides the instruction count by this number).
+    ports:
+        All execution ports.
+    load_ports / store_data_ports / store_agu_ports:
+        Ports usable by load uops, store-data uops and store-address uops.
+    load_latency:
+        L1 load-to-use latency in cycles.
+    rob_size / scheduler_size / load_buffer_size / store_buffer_size:
+        Out-of-order window resources.
+    """
+
+    name: str
+    short_name: str
+    issue_width: int
+    retire_width: int
+    ports: Tuple[str, ...]
+    load_ports: PortSet
+    store_data_ports: PortSet
+    store_agu_ports: PortSet
+    load_latency: int
+    rob_size: int
+    scheduler_size: int
+    load_buffer_size: int
+    store_buffer_size: int
+    frontend_uops_per_cycle: int = 4
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        for pset in (self.load_ports, self.store_data_ports, self.store_agu_ports):
+            unknown = pset - frozenset(self.ports)
+            if unknown:
+                raise ValueError(f"ports {sorted(unknown)} not in {self.ports}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+HASWELL = MicroArchitecture(
+    name="Haswell",
+    short_name="hsw",
+    issue_width=4,
+    retire_width=4,
+    ports=("0", "1", "2", "3", "4", "5", "6", "7"),
+    load_ports=parse_ports("23"),
+    store_data_ports=parse_ports("4"),
+    store_agu_ports=parse_ports("237"),
+    load_latency=5,
+    rob_size=192,
+    scheduler_size=60,
+    load_buffer_size=72,
+    store_buffer_size=42,
+)
+
+SKYLAKE = MicroArchitecture(
+    name="Skylake",
+    short_name="skl",
+    issue_width=4,
+    retire_width=4,
+    ports=("0", "1", "2", "3", "4", "5", "6", "7"),
+    load_ports=parse_ports("23"),
+    store_data_ports=parse_ports("4"),
+    store_agu_ports=parse_ports("237"),
+    load_latency=4,
+    rob_size=224,
+    scheduler_size=97,
+    load_buffer_size=72,
+    store_buffer_size=56,
+)
+
+_REGISTRY: Dict[str, MicroArchitecture] = {
+    "hsw": HASWELL,
+    "haswell": HASWELL,
+    "skl": SKYLAKE,
+    "skylake": SKYLAKE,
+}
+
+
+def get_microarch(name) -> MicroArchitecture:
+    """Resolve a micro-architecture by name (``"hsw"``, ``"Skylake"``, ...).
+
+    Passing an existing :class:`MicroArchitecture` returns it unchanged, so
+    APIs can accept either form.
+    """
+    if isinstance(name, MicroArchitecture):
+        return name
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise ReproError(
+            f"unknown microarchitecture {name!r}; "
+            f"available: {sorted(set(_REGISTRY))}"
+        )
+    return _REGISTRY[key]
+
+
+def available_microarchitectures() -> Tuple[str, ...]:
+    """Short names of all modelled micro-architectures."""
+    return ("hsw", "skl")

@@ -1,0 +1,34 @@
+"""Execution-port model.
+
+Modern Intel cores dispatch micro-operations to a small set of execution
+ports; which ports an instruction's uops can use determines how many copies
+can execute per cycle.  Ports are identified by single-character names
+("0"–"9"), matching the notation used by uops.info ("p015" = ports 0, 1, 5).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+#: A single execution port identifier.
+Port = str
+
+#: A set of ports a uop may be dispatched to.
+PortSet = FrozenSet[Port]
+
+
+def parse_ports(spec: str) -> PortSet:
+    """Parse a port-usage string like ``"015"`` or ``"p015"`` into a set."""
+    spec = spec.lower().lstrip("p")
+    if not spec:
+        raise ValueError("empty port specification")
+    ports = frozenset(spec)
+    for port in ports:
+        if not port.isdigit():
+            raise ValueError(f"invalid port name {port!r} in {spec!r}")
+    return ports
+
+
+def format_ports(ports: Iterable[Port]) -> str:
+    """Format a port set in uops.info style (``p015``)."""
+    return "p" + "".join(sorted(ports))

@@ -1,0 +1,281 @@
+"""Per-micro-architecture instruction cost tables (uops.info stand-in).
+
+For each opcode the table records:
+
+* ``latency`` — result latency in cycles (register-to-register form),
+* ``throughput`` — reciprocal throughput in cycles per instruction when the
+  instruction is executed back-to-back with no dependencies,
+* ``uops`` — the compute micro-operations and the ports each may use.
+
+Memory forms are derived on the fly by :func:`instruction_cost_for`, which
+adds load/store uops and the micro-architecture's load latency when the
+instruction has a memory operand.  The numbers are hand-written approximations
+of public uops.info / Agner Fog data; they keep the relationships the paper's
+evaluation depends on (division ≫ multiply ≫ simple ALU; Skylake's divider is
+markedly faster than Haswell's; stores are the throughput bottleneck of
+store-heavy blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OPCODES, opcode_spec
+from repro.uarch.microarch import MicroArchitecture, get_microarch
+from repro.uarch.ports import PortSet, parse_ports
+from repro.utils.errors import UnknownOpcodeError
+
+
+@dataclass(frozen=True)
+class Uop:
+    """One micro-operation: how many copies and which ports may execute it."""
+
+    count: int
+    ports: PortSet
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("uop count must be positive")
+        if not self.ports:
+            raise ValueError("uop must name at least one port")
+
+
+@dataclass(frozen=True)
+class InstructionCost:
+    """Latency / reciprocal throughput / port usage of one instruction form."""
+
+    latency: float
+    throughput: float
+    uops: Tuple[Uop, ...]
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.throughput <= 0:
+            raise ValueError("latency must be >= 0 and throughput > 0")
+
+    @property
+    def total_uops(self) -> int:
+        """Total number of micro-operations."""
+        return sum(u.count for u in self.uops)
+
+
+def _cost(latency: float, throughput: float, *port_specs: str) -> InstructionCost:
+    uops = tuple(Uop(1, parse_ports(spec)) for spec in port_specs)
+    if not uops:
+        uops = (Uop(1, parse_ports("0156")),)
+    return InstructionCost(latency, throughput, uops)
+
+
+# ---------------------------------------------------------------------------
+# Category-level defaults (register-to-register forms), per micro-architecture
+# ---------------------------------------------------------------------------
+
+_HSW_CATEGORY: Dict[str, InstructionCost] = {
+    "int_alu": _cost(1, 0.25, "0156"),
+    "mov": _cost(1, 0.25, "0156"),
+    "cmp": _cost(1, 0.25, "0156"),
+    "lea": _cost(1, 0.5, "15"),
+    "shift": _cost(1, 0.5, "06"),
+    "int_mul": _cost(3, 1.0, "1"),
+    "int_div": _cost(36, 25.0, "0"),
+    "bit": _cost(3, 1.0, "1"),
+    "setcc": _cost(1, 0.5, "06"),
+    "cmov": _cost(2, 0.5, "06", "06"),
+    "push": _cost(1, 1.0, "237", "4"),
+    "pop": _cost(1, 0.5, "23"),
+    "nop": _cost(0, 0.25, "0156"),
+    "fp_mov": _cost(1, 0.33, "015"),
+    "fp_add": _cost(3, 1.0, "1"),
+    "fp_mul": _cost(5, 0.5, "01"),
+    "fp_fma": _cost(5, 0.5, "01"),
+    "fp_div": _cost(13, 7.0, "0"),
+    "fp_sqrt": _cost(19, 13.0, "0"),
+    "fp_cmp": _cost(3, 1.0, "1"),
+    "fp_cvt": _cost(4, 1.0, "1"),
+    "vec_logic": _cost(1, 0.33, "015"),
+    "vec_int": _cost(1, 0.5, "15"),
+    "shuffle": _cost(1, 1.0, "5"),
+}
+
+_SKL_CATEGORY: Dict[str, InstructionCost] = {
+    "int_alu": _cost(1, 0.25, "0156"),
+    "mov": _cost(1, 0.25, "0156"),
+    "cmp": _cost(1, 0.25, "0156"),
+    "lea": _cost(1, 0.5, "15"),
+    "shift": _cost(1, 0.5, "06"),
+    "int_mul": _cost(3, 1.0, "1"),
+    "int_div": _cost(26, 6.0, "0"),
+    "bit": _cost(3, 1.0, "1"),
+    "setcc": _cost(1, 0.5, "06"),
+    "cmov": _cost(1, 0.5, "06"),
+    "push": _cost(1, 1.0, "237", "4"),
+    "pop": _cost(1, 0.5, "23"),
+    "nop": _cost(0, 0.25, "0156"),
+    "fp_mov": _cost(1, 0.25, "015"),
+    "fp_add": _cost(4, 0.5, "01"),
+    "fp_mul": _cost(4, 0.5, "01"),
+    "fp_fma": _cost(4, 0.5, "01"),
+    "fp_div": _cost(11, 3.0, "0"),
+    "fp_sqrt": _cost(12, 3.0, "0"),
+    "fp_cmp": _cost(3, 1.0, "01"),
+    "fp_cvt": _cost(4, 1.0, "01"),
+    "vec_logic": _cost(1, 0.33, "015"),
+    "vec_int": _cost(1, 0.33, "015"),
+    "shuffle": _cost(1, 1.0, "5"),
+}
+
+# ---------------------------------------------------------------------------
+# Per-mnemonic overrides (where the category default is too coarse)
+# ---------------------------------------------------------------------------
+
+_HSW_OVERRIDES: Dict[str, InstructionCost] = {
+    "imul": _cost(3, 1.0, "1"),
+    "mul": _cost(4, 2.0, "1", "6"),
+    "div": _cost(36, 25.0, "0", "1", "5"),
+    "idiv": _cost(39, 28.0, "0", "1", "5"),
+    "divss": _cost(13, 7.0, "0"),
+    "divsd": _cost(20, 14.0, "0"),
+    "divps": _cost(13, 7.0, "0"),
+    "divpd": _cost(20, 14.0, "0"),
+    "vdivss": _cost(13, 7.0, "0"),
+    "vdivsd": _cost(20, 14.0, "0"),
+    "vdivps": _cost(13, 7.0, "0"),
+    "vdivpd": _cost(20, 14.0, "0"),
+    "sqrtss": _cost(19, 13.0, "0"),
+    "sqrtsd": _cost(27, 20.0, "0"),
+    "vsqrtss": _cost(19, 13.0, "0"),
+    "vsqrtsd": _cost(27, 20.0, "0"),
+    "xchg": _cost(2, 1.0, "0156", "0156", "0156"),
+    "movzx": _cost(1, 0.25, "0156"),
+    "movsx": _cost(1, 0.25, "0156"),
+    "movsxd": _cost(1, 0.25, "0156"),
+    "popcnt": _cost(3, 1.0, "1"),
+    "lzcnt": _cost(3, 1.0, "1"),
+    "tzcnt": _cost(3, 1.0, "1"),
+    "bswap": _cost(2, 0.5, "15"),
+    "pmulld": _cost(10, 2.0, "0"),
+}
+
+_SKL_OVERRIDES: Dict[str, InstructionCost] = {
+    "imul": _cost(3, 1.0, "1"),
+    "mul": _cost(4, 2.0, "1", "6"),
+    "div": _cost(26, 6.0, "0", "1", "5"),
+    "idiv": _cost(29, 9.0, "0", "1", "5"),
+    "divss": _cost(11, 3.0, "0"),
+    "divsd": _cost(14, 4.0, "0"),
+    "divps": _cost(11, 3.0, "0"),
+    "divpd": _cost(14, 4.0, "0"),
+    "vdivss": _cost(11, 3.0, "0"),
+    "vdivsd": _cost(14, 4.0, "0"),
+    "vdivps": _cost(11, 3.0, "0"),
+    "vdivpd": _cost(14, 4.0, "0"),
+    "sqrtss": _cost(12, 3.0, "0"),
+    "sqrtsd": _cost(18, 6.0, "0"),
+    "vsqrtss": _cost(12, 3.0, "0"),
+    "vsqrtsd": _cost(18, 6.0, "0"),
+    "xchg": _cost(2, 1.0, "0156", "0156", "0156"),
+    "movzx": _cost(1, 0.25, "0156"),
+    "movsx": _cost(1, 0.25, "0156"),
+    "movsxd": _cost(1, 0.25, "0156"),
+    "popcnt": _cost(3, 1.0, "1"),
+    "lzcnt": _cost(3, 1.0, "1"),
+    "tzcnt": _cost(3, 1.0, "1"),
+    "bswap": _cost(2, 0.5, "15"),
+    "pmulld": _cost(10, 1.0, "01"),
+}
+
+_TABLES: Dict[str, Tuple[Dict[str, InstructionCost], Dict[str, InstructionCost]]] = {
+    "hsw": (_HSW_CATEGORY, _HSW_OVERRIDES),
+    "skl": (_SKL_CATEGORY, _SKL_OVERRIDES),
+}
+
+
+def cost_table(microarch) -> Dict[str, InstructionCost]:
+    """The full mnemonic → cost table for one micro-architecture.
+
+    Control-transfer opcodes (not allowed in basic blocks) are omitted.
+    """
+    uarch = get_microarch(microarch)
+    categories, overrides = _TABLES[uarch.short_name]
+    table: Dict[str, InstructionCost] = {}
+    for mnemonic, spec in OPCODES.items():
+        if not spec.allowed_in_block:
+            continue
+        if mnemonic in overrides:
+            table[mnemonic] = overrides[mnemonic]
+        elif spec.category in categories:
+            table[mnemonic] = categories[spec.category]
+        else:  # pragma: no cover - defensive: every category has a default
+            table[mnemonic] = _cost(1, 0.5, "0156")
+    return table
+
+
+def instruction_cost(mnemonic: str, microarch) -> InstructionCost:
+    """Cost of the register-to-register form of ``mnemonic``."""
+    uarch = get_microarch(microarch)
+    spec = opcode_spec(mnemonic)
+    categories, overrides = _TABLES[uarch.short_name]
+    if mnemonic in overrides:
+        return overrides[mnemonic]
+    if spec.category in categories:
+        return categories[spec.category]
+    if not spec.allowed_in_block:
+        raise UnknownOpcodeError(mnemonic)
+    return _cost(1, 0.5, "0156")  # pragma: no cover - defensive
+
+
+def instruction_cost_for(instruction: Instruction, microarch) -> InstructionCost:
+    """Cost of a concrete instruction, accounting for its memory operands.
+
+    * A memory *source* adds a load uop (load ports) and the load-to-use
+      latency to the instruction's latency.
+    * A memory *destination* adds a store-address uop and a store-data uop and
+      forces the reciprocal throughput to at least 1 cycle (one store per
+      cycle on the modelled cores).
+    * ``lea`` address operands add nothing (they are not memory accesses).
+    """
+    uarch = get_microarch(microarch)
+    base = instruction_cost(instruction.mnemonic, uarch)
+    loads = instruction.loads_memory and instruction.mnemonic != "pop"
+    stores = instruction.stores_memory and instruction.mnemonic != "push"
+
+    latency = base.latency
+    throughput = base.throughput
+    uops = list(base.uops)
+
+    if loads:
+        latency += uarch.load_latency
+        throughput = max(throughput, 0.5)
+        uops.append(Uop(1, uarch.load_ports))
+    if stores:
+        throughput = max(throughput, 1.0)
+        uops.append(Uop(1, uarch.store_agu_ports))
+        uops.append(Uop(1, uarch.store_data_ports))
+    return InstructionCost(latency, throughput, tuple(uops))
+
+
+def block_reciprocal_throughput_bound(instructions, microarch) -> float:
+    """Lower bound on a block's steady-state cycles from port pressure alone.
+
+    Used by the LLVM-MCA-style baseline model and by tests as an invariant:
+    no simulator result may beat the port-pressure bound.
+    """
+    uarch = get_microarch(microarch)
+    pressure: Dict[str, float] = {p: 0.0 for p in uarch.ports}
+    total_uops = 0
+    for instruction in instructions:
+        cost = instruction_cost_for(instruction, uarch)
+        total_uops += cost.total_uops
+        for uop_index, uop in enumerate(cost.uops):
+            # Non-pipelined units (division): the primary uop occupies its
+            # port for the instruction's full reciprocal throughput.
+            occupancy = float(uop.count)
+            if uop_index == 0 and cost.throughput > 1.0:
+                occupancy = max(occupancy, float(cost.throughput))
+            share = occupancy / len(uop.ports)
+            for port in uop.ports:
+                pressure[port] += share
+    port_bound = max(pressure.values()) if pressure else 0.0
+    frontend_bound = total_uops / uarch.issue_width
+    return max(port_bound, frontend_bound)

@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG handling, errors, and table rendering."""
+
+from repro.utils.errors import (
+    ReproError,
+    ParseError,
+    ValidationError,
+    UnknownOpcodeError,
+    UnknownRegisterError,
+    PerturbationError,
+    ModelError,
+)
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.tables import render_table, render_series
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "ValidationError",
+    "UnknownOpcodeError",
+    "UnknownRegisterError",
+    "PerturbationError",
+    "ModelError",
+    "RandomSource",
+    "as_rng",
+    "spawn_rngs",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the COMET reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish parsing problems from perturbation or model failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParseError(ReproError):
+    """Raised when an assembly string cannot be parsed as Intel-syntax x86."""
+
+    def __init__(self, text: str, reason: str) -> None:
+        self.text = text
+        self.reason = reason
+        super().__init__(f"cannot parse {text!r}: {reason}")
+
+
+class ValidationError(ReproError):
+    """Raised when an instruction or basic block violates ISA constraints."""
+
+
+class UnknownOpcodeError(ReproError):
+    """Raised when an opcode is not present in the opcode database."""
+
+    def __init__(self, mnemonic: str) -> None:
+        self.mnemonic = mnemonic
+        super().__init__(f"unknown opcode: {mnemonic!r}")
+
+
+class UnknownRegisterError(ReproError):
+    """Raised when a register name is not present in the register file."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown register: {name!r}")
+
+
+class PerturbationError(ReproError):
+    """Raised when the perturbation algorithm cannot produce a valid block."""
+
+
+class ModelError(ReproError):
+    """Raised when a cost model cannot produce a prediction for a block."""

@@ -1,0 +1,85 @@
+"""Plain-text rendering helpers for experiment tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place so every bench target produces
+consistent, diff-able output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render ``rows`` as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+    title:
+        Optional title printed above the table.
+    precision:
+        Number of decimal places used for float cells.
+    """
+    str_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    precision: int = 3,
+) -> str:
+    """Render figure-style data (one x axis, several named series) as text."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=name, precision=precision)
+
+
+def format_mean_std(mean: float, std: float, precision: int = 2) -> str:
+    """Format a ``mean ± std`` cell the way the paper's tables do."""
+    return f"{mean:.{precision}f} ± {std:.{precision}f}"

@@ -1,0 +1,113 @@
+"""Tests for the BasicBlock value object and category classification."""
+
+import pytest
+
+from repro.bb.block import BasicBlock, BlockCategory, classify_block
+from repro.isa.parser import parse_instruction
+from repro.utils.errors import ParseError, ValidationError
+
+
+SIMPLE = "add rcx, rax\nmov rdx, rcx\npop rbx"
+
+
+class TestConstruction:
+    def test_from_text(self):
+        block = BasicBlock.from_text(SIMPLE)
+        assert block.num_instructions == 3
+        assert block[0].mnemonic == "add"
+
+    def test_from_instructions(self):
+        insts = [parse_instruction("add rcx, rax"), parse_instruction("nop")]
+        block = BasicBlock.from_instructions(insts)
+        assert len(block) == 2
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValidationError):
+            BasicBlock.from_text("\n\n")
+
+    def test_control_transfer_rejected(self):
+        # ``jmp`` parses (it is a real opcode) but basic-block validation
+        # rejects it because control transfer cannot appear inside a block.
+        with pytest.raises(ValidationError):
+            BasicBlock.from_text("jmp target\nadd rax, rbx")
+
+    def test_metadata_preserved(self):
+        block = BasicBlock.from_text(SIMPLE, source="clang", block_id="b-1")
+        assert block.source == "clang" and block.block_id == "b-1"
+
+    def test_iteration_and_indexing(self):
+        block = BasicBlock.from_text(SIMPLE)
+        assert [i.mnemonic for i in block] == ["add", "mov", "pop"]
+        assert block[2].mnemonic == "pop"
+
+
+class TestEqualityAndHashing:
+    def test_content_equality_ignores_metadata(self):
+        a = BasicBlock.from_text(SIMPLE, source="clang")
+        b = BasicBlock.from_text(SIMPLE, source="openblas")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_content_differs(self):
+        a = BasicBlock.from_text(SIMPLE)
+        b = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npush rbx")
+        assert a != b
+
+    def test_text_round_trip(self):
+        block = BasicBlock.from_text(SIMPLE)
+        assert BasicBlock.from_text(block.text) == block
+
+
+class TestRewrites:
+    def test_replace_instruction(self):
+        block = BasicBlock.from_text(SIMPLE)
+        new = block.replace_instruction(2, parse_instruction("push rbx"))
+        assert new[2].mnemonic == "push"
+        assert block[2].mnemonic == "pop"  # original untouched
+
+    def test_delete_instruction(self):
+        block = BasicBlock.from_text(SIMPLE)
+        new = block.delete_instruction(1)
+        assert new.num_instructions == 2
+        assert [i.mnemonic for i in new] == ["add", "pop"]
+
+    def test_with_instructions_keeps_metadata(self):
+        block = BasicBlock.from_text(SIMPLE, source="clang")
+        new = block.with_instructions([parse_instruction("nop")])
+        assert new.source == "clang"
+
+
+class TestCategories:
+    def test_load_category(self):
+        block = BasicBlock.from_text("mov rax, qword ptr [rdi]\nadd rax, rbx")
+        assert block.category is BlockCategory.LOAD
+
+    def test_store_category(self):
+        block = BasicBlock.from_text("mov qword ptr [rdi], rax\nadd rax, rbx")
+        assert block.category is BlockCategory.STORE
+
+    def test_load_store_category(self):
+        block = BasicBlock.from_text(
+            "mov rax, qword ptr [rdi]\nmov qword ptr [rsi], rax"
+        )
+        assert block.category is BlockCategory.LOAD_STORE
+
+    def test_scalar_category(self):
+        block = BasicBlock.from_text("add rcx, rax\nimul rax, rbx")
+        assert block.category is BlockCategory.SCALAR
+
+    def test_vector_category(self):
+        block = BasicBlock.from_text("vmulss xmm0, xmm1, xmm2\nvaddss xmm3, xmm0, xmm1")
+        assert block.category is BlockCategory.VECTOR
+
+    def test_scalar_vector_category(self):
+        block = BasicBlock.from_text("add rcx, rax\nvmulss xmm0, xmm1, xmm2")
+        assert block.category is BlockCategory.SCALAR_VECTOR
+
+    def test_memory_takes_precedence_over_vector(self):
+        block = BasicBlock.from_text("movss xmm0, dword ptr [rdi]\nmulss xmm0, xmm1")
+        assert block.category is BlockCategory.LOAD
+
+    def test_classify_function_matches_property(self):
+        block = BasicBlock.from_text(SIMPLE)
+        assert classify_block(block) is block.category

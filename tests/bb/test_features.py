@@ -1,0 +1,116 @@
+"""Tests for explanation feature extraction and presence checks."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    FeatureKind,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+    feature_kinds_present,
+    feature_present,
+    features_present,
+    split_by_kind,
+)
+
+
+@pytest.fixture
+def block():
+    return BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx")
+
+
+class TestExtraction:
+    def test_feature_count(self, block):
+        features = extract_features(block)
+        # 3 instructions + 1 RAW dependency + 1 count feature.
+        assert len(features) == 3 + len(block.dependencies) + 1
+
+    def test_kinds_present(self, block):
+        kinds = feature_kinds_present(extract_features(block))
+        assert kinds == {
+            FeatureKind.INSTRUCTION,
+            FeatureKind.DEPENDENCY,
+            FeatureKind.NUM_INSTRUCTIONS,
+        }
+
+    def test_instruction_features_are_positional(self, block):
+        features = [f for f in extract_features(block) if isinstance(f, InstructionFeature)]
+        assert [f.index for f in features] == [0, 1, 2]
+        assert features[1].mnemonic == "mov"
+
+    def test_dependency_feature_records_endpoints(self, block):
+        dep_features = [
+            f for f in extract_features(block) if isinstance(f, DependencyFeature)
+        ]
+        assert dep_features[0].source == 0 and dep_features[0].destination == 1
+        assert dep_features[0].source_mnemonic == "add"
+
+    def test_count_feature_value(self, block):
+        count = [f for f in extract_features(block) if isinstance(f, NumInstructionsFeature)]
+        assert count[0].count == 3
+
+    def test_features_hashable_and_unique(self, block):
+        features = extract_features(block)
+        assert len(set(features)) == len(features)
+
+    def test_split_by_kind(self, block):
+        grouped = split_by_kind(extract_features(block))
+        assert len(grouped[FeatureKind.INSTRUCTION]) == 3
+        assert len(grouped[FeatureKind.NUM_INSTRUCTIONS]) == 1
+
+    def test_fine_grained_classification(self):
+        assert FeatureKind.INSTRUCTION.is_fine_grained
+        assert FeatureKind.DEPENDENCY.is_fine_grained
+        assert not FeatureKind.NUM_INSTRUCTIONS.is_fine_grained
+
+    def test_describe_strings(self, block):
+        descriptions = [f.describe() for f in extract_features(block)]
+        assert any("inst1: add rcx, rax" in d for d in descriptions)
+        assert any(d.startswith("δRAW") for d in descriptions)
+        assert any("η" in d for d in descriptions)
+
+
+class TestPresence:
+    def test_instruction_presence_position_independent(self, block):
+        feature = InstructionFeature.of(0, block[0])
+        reordered = BasicBlock.from_text("pop rbx\nadd rcx, rax\nmov rdx, rcx")
+        assert feature_present(feature, reordered)
+
+    def test_instruction_absence(self, block):
+        feature = InstructionFeature.of(0, block[0])
+        other = BasicBlock.from_text("sub rcx, rax\nmov rdx, rcx\npop rbx")
+        assert not feature_present(feature, other)
+
+    def test_instruction_presence_requires_same_operands(self, block):
+        feature = InstructionFeature.of(0, block[0])
+        other = BasicBlock.from_text("add rcx, rbx\nmov rdx, rcx\npop rbx")
+        assert not feature_present(feature, other)
+
+    def test_dependency_presence(self, block):
+        dep_feature = [f for f in extract_features(block) if isinstance(f, DependencyFeature)][0]
+        # Listing 1(b) of the paper: pop replaced by push, dependency retained.
+        perturbed = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npush rbx")
+        assert feature_present(dep_feature, perturbed)
+
+    def test_dependency_absence_when_broken(self, block):
+        dep_feature = [f for f in extract_features(block) if isinstance(f, DependencyFeature)][0]
+        broken = BasicBlock.from_text("add rcx, rax\nmov rdx, rbx\npop rbx")
+        assert not feature_present(dep_feature, broken)
+
+    def test_count_presence(self, block):
+        count_feature = NumInstructionsFeature(3)
+        assert feature_present(count_feature, block)
+        assert not feature_present(
+            count_feature, BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        )
+
+    def test_features_present_conjunction(self, block):
+        features = extract_features(block)
+        assert features_present(features, block)
+        smaller = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        assert not features_present(features, smaller)
+
+    def test_features_present_empty_set(self, block):
+        assert features_present([], block)

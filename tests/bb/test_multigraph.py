@@ -1,0 +1,78 @@
+"""Tests for the dependency multigraph."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.dependencies import DependencyKind
+from repro.bb.multigraph import DependencyGraph, build_multigraph
+
+
+@pytest.fixture
+def case_study_block():
+    return BasicBlock.from_text(
+        """
+        mov ecx, edx
+        xor edx, edx
+        lea rax, [rcx + rax - 1]
+        div rcx
+        mov rdx, rcx
+        imul rax, rcx
+        """
+    )
+
+
+class TestConstruction:
+    def test_vertices_are_positions(self, case_study_block):
+        graph = build_multigraph(case_study_block)
+        assert set(graph.nodes) == set(range(6))
+        assert graph.nodes[3]["instruction"].mnemonic == "div"
+
+    def test_edge_count_matches_dependencies(self, case_study_block):
+        graph = build_multigraph(case_study_block)
+        assert graph.number_of_edges() == len(case_study_block.dependencies)
+
+    def test_edges_carry_kind_labels(self, case_study_block):
+        graph = build_multigraph(case_study_block)
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert DependencyKind.RAW in kinds
+
+    def test_parallel_edges_supported(self):
+        block = BasicBlock.from_text("add rcx, rax\nadd rcx, rbx")
+        graph = build_multigraph(block)
+        assert graph.number_of_edges(0, 1) >= 2
+
+
+class TestDependencyGraphWrapper:
+    def test_of_builds_graph(self, case_study_block):
+        wrapper = DependencyGraph.of(case_study_block)
+        assert wrapper.num_vertices == 6
+        assert wrapper.num_edges == len(case_study_block.dependencies)
+
+    def test_dependencies_touching(self, case_study_block):
+        wrapper = DependencyGraph.of(case_study_block)
+        touching_div = wrapper.dependencies_touching(3)
+        assert all(3 in (d.source, d.destination) for d in touching_div)
+        assert touching_div
+
+    def test_edges_by_kind_partitions_all_edges(self, case_study_block):
+        wrapper = DependencyGraph.of(case_study_block)
+        grouped = wrapper.edges_by_kind()
+        assert sum(len(v) for v in grouped.values()) == wrapper.num_edges
+
+    def test_shared_operand_edges(self):
+        # Two RAW consumers of the same produced register share vertex 0 and
+        # the rcx location.
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\nmov rbx, rcx")
+        wrapper = DependencyGraph.of(block)
+        assert wrapper.shared_operand_edges()
+
+    def test_critical_path_length(self):
+        block = BasicBlock.from_text("add rax, rbx\nadd rcx, rax\nadd rdx, rcx")
+        wrapper = DependencyGraph.of(block)
+        # Three unit-latency instructions in a RAW chain.
+        assert wrapper.critical_path_length(lambda _: 1.0) == pytest.approx(3.0)
+
+    def test_critical_path_without_dependencies(self):
+        block = BasicBlock.from_text("add rax, rbx\nadd rcx, rdx")
+        wrapper = DependencyGraph.of(block)
+        assert wrapper.critical_path_length(lambda _: 1.0) == pytest.approx(1.0)

@@ -1,0 +1,226 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.bhive import BHiveDataset
+
+
+BLOCK_INLINE = "add rcx, rax; mov rdx, rcx; pop rbx"
+
+
+@pytest.fixture()
+def block_file(tmp_path):
+    path = tmp_path / "block.s"
+    path.write_text("add rcx, rax\nmov rdx, rcx\npop rbx\n")
+    return path
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--model", "nonsense"])
+
+
+class TestPredict:
+    def test_inline_block(self, capsys):
+        assert main(["predict", "--model", "crude", "--block", BLOCK_INLINE]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/iteration" in out
+
+    def test_block_file(self, block_file, capsys):
+        assert main(["predict", "--model", "uica", "--block-file", str(block_file)]) == 0
+        assert "uica" in capsys.readouterr().out
+
+    def test_missing_block_is_a_cli_error(self, capsys):
+        assert main(["predict", "--model", "crude"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_assembly_is_a_cli_error(self, capsys):
+        assert main(["predict", "--model", "crude", "--block", "not actual asm ???"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFeaturesAndSpace:
+    def test_features_lists_all_kinds(self, capsys):
+        assert main(["features", "--block", BLOCK_INLINE]) == 0
+        out = capsys.readouterr().out
+        assert "inst" in out
+        assert "num_instrs" in out
+
+    def test_space_reports_log_sizes(self, block_file, capsys):
+        assert main(["space", "--block-file", str(block_file)]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+
+
+class TestPerturb:
+    def test_generates_requested_number_of_perturbations(self, capsys):
+        assert (
+            main(["perturb", "--block", BLOCK_INLINE, "--count", "4", "--seed", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("# perturbation") == 4
+
+    def test_preserve_count_keeps_block_length(self, capsys):
+        assert (
+            main(
+                [
+                    "perturb",
+                    "--block",
+                    BLOCK_INLINE,
+                    "--count",
+                    "5",
+                    "--preserve-count",
+                    "--seed",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        samples = [s for s in out.split("# perturbation")[1:]]
+        for sample in samples:
+            lines = [l for l in sample.splitlines() if l.strip() and not l.strip().isdigit()]
+            assert len(lines) == 3
+
+    def test_preserve_instruction_keeps_that_instruction(self, capsys):
+        assert (
+            main(
+                [
+                    "perturb",
+                    "--block",
+                    BLOCK_INLINE,
+                    "--count",
+                    "5",
+                    "--preserve-instruction",
+                    "1",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        samples = out.split("# perturbation")[1:]
+        for sample in samples:
+            assert "add rcx, rax" in sample
+
+    def test_out_of_range_preserve_index_is_an_error(self, capsys):
+        assert (
+            main(
+                [
+                    "perturb",
+                    "--block",
+                    BLOCK_INLINE,
+                    "--preserve-instruction",
+                    "9",
+                ]
+            )
+            == 2
+        )
+        assert "outside the block" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_text_output(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--model",
+                "crude",
+                "--block",
+                BLOCK_INLINE,
+                "--epsilon",
+                "0.25",
+                "--relative-epsilon",
+                "0.0",
+                "--coverage-samples",
+                "60",
+                "--max-precision-samples",
+                "40",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prediction" in out.lower() or "Explanation" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--model",
+                "crude",
+                "--block",
+                BLOCK_INLINE,
+                "--epsilon",
+                "0.25",
+                "--relative-epsilon",
+                "0.0",
+                "--coverage-samples",
+                "60",
+                "--max-precision-samples",
+                "40",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"].startswith("crude")
+        assert isinstance(payload["features"], list)
+
+
+class TestOptimize:
+    def test_optimize_reports_costs(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--model",
+                "crude",
+                "--block",
+                "mov ecx, edx; xor edx, edx; div rcx; imul rax, rcx",
+                "--steps",
+                "10",
+                "--unguided",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Predicted cost" in out
+
+
+class TestDataset:
+    def test_dataset_synthesis_round_trips(self, tmp_path, capsys):
+        output = tmp_path / "dataset.json"
+        code = main(
+            [
+                "dataset",
+                "--size",
+                "12",
+                "--min-instructions",
+                "3",
+                "--max-instructions",
+                "6",
+                "--uarchs",
+                "hsw",
+                "--seed",
+                "4",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        loaded = BHiveDataset.load(output)
+        assert len(loaded) >= 12
+        assert "wrote" in capsys.readouterr().out

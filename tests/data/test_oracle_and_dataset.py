@@ -1,0 +1,128 @@
+"""Tests for the hardware oracle, the dataset object and its splits."""
+
+import pytest
+
+from repro.bb.block import BasicBlock, BlockCategory
+from repro.data.bhive import BHiveDataset, BlockRecord
+from repro.data.oracle import HardwareOracle
+from repro.data.splits import (
+    category_order,
+    explanation_test_set,
+    partition_by_category,
+    partition_by_source,
+    train_test_split,
+)
+from repro.utils.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return BHiveDataset.synthesize(
+        120, min_instructions=3, max_instructions=10, rng=11
+    )
+
+
+class TestOracle:
+    def test_deterministic_per_block(self):
+        oracle = HardwareOracle("hsw")
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        assert oracle.measure(block) == oracle.measure(block)
+
+    def test_noise_bounded(self):
+        noisy = HardwareOracle("hsw", noise=0.02)
+        clean = HardwareOracle("hsw", noise=0.0)
+        block = BasicBlock.from_text("div rcx\nimul rax, rcx")
+        ratio = noisy.measure(block) / clean.measure(block)
+        assert 0.9 < ratio < 1.1
+
+    def test_different_seeds_give_different_noise(self):
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        a = HardwareOracle("hsw", seed=1).measure(block)
+        b = HardwareOracle("hsw", seed=2).measure(block)
+        assert a != b
+
+    def test_division_blocks_slow(self):
+        oracle = HardwareOracle("hsw")
+        div = oracle.measure(BasicBlock.from_text("div rcx\nimul rax, rcx"))
+        add = oracle.measure(BasicBlock.from_text("add rcx, rax\nsub rbx, rdx"))
+        assert div > 5 * add
+
+    def test_callable_interface(self):
+        oracle = HardwareOracle("skl")
+        assert oracle(BasicBlock.from_text("nop")) > 0
+
+
+class TestDataset:
+    def test_synthesis_size_and_labels(self, dataset):
+        assert len(dataset) >= 120
+        for record in dataset:
+            assert set(record.throughputs) == {"hsw", "skl"}
+            assert record.throughput("hsw") > 0
+
+    def test_block_ids_unique(self, dataset):
+        keys = [record.block.key() for record in dataset]
+        assert len(set(keys)) == len(keys)
+
+    def test_categories_populated(self, dataset):
+        categories = set(dataset.categories())
+        assert {"Load", "Store"} <= categories
+
+    def test_sources_populated(self, dataset):
+        assert {"clang", "openblas"} <= set(dataset.sources())
+
+    def test_missing_microarch_raises(self, dataset):
+        with pytest.raises(ReproError):
+            dataset[0].throughput("icelake")
+
+    def test_filters(self, dataset):
+        loads = dataset.filter_by_category(BlockCategory.LOAD)
+        assert all(r.category == "Load" for r in loads)
+        clang = dataset.filter_by_source("clang")
+        assert all(r.source == "clang" for r in clang)
+        sized = dataset.filter_by_size(4, 6)
+        assert all(4 <= r.block.num_instructions <= 6 for r in sized)
+
+    def test_sample_bounds(self, dataset):
+        assert len(dataset.sample(10, rng=0)) == 10
+        assert len(dataset.sample(10**6, rng=0)) == len(dataset)
+
+    def test_save_and_load_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        subset = dataset.sample(15, rng=1)
+        subset.save(path)
+        restored = BHiveDataset.load(path)
+        assert len(restored) == len(subset)
+        assert restored.blocks()[0] == subset.blocks()[0]
+        assert restored[0].throughputs == pytest.approx(subset[0].throughputs)
+
+
+class TestSplits:
+    def test_explanation_test_set_size_constraints(self, dataset):
+        subset = explanation_test_set(dataset, 20, rng=2)
+        assert len(subset) <= 20
+        assert all(4 <= r.block.num_instructions <= 10 for r in subset)
+
+    def test_train_test_split_partitions(self, dataset):
+        train, test = train_test_split(dataset, 0.25, rng=3)
+        assert len(train) + len(test) == len(dataset)
+        assert len(test) == int(len(dataset) * 0.25)
+        train_keys = {r.block.key() for r in train}
+        assert all(r.block.key() not in train_keys for r in test)
+
+    def test_train_test_split_validation(self, dataset):
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 1.5)
+
+    def test_partition_by_source(self, dataset):
+        partitions = partition_by_source(dataset)
+        assert sum(len(p) for p in partitions.values()) == len(dataset)
+
+    def test_partition_by_category(self, dataset):
+        partitions = partition_by_category(dataset)
+        for name, part in partitions.items():
+            assert all(r.category == name for r in part)
+
+    def test_category_order_is_papers(self):
+        assert category_order() == [
+            "Load", "Load/Store", "Store", "Scalar", "Vector", "Scalar/Vector"
+        ]

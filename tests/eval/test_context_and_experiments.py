@@ -1,0 +1,116 @@
+"""Tests for the evaluation context and (small-scale) experiment drivers.
+
+The experiment drivers are exercised here at a deliberately tiny scale — the
+full-scale regeneration of every table/figure lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.eval.accuracy import run_accuracy_experiment
+from repro.eval.case_studies import CASE_STUDY_BLOCKS, run_case_studies
+from repro.eval.context import EvaluationContext, EvaluationSettings
+from repro.eval.error_correlation import (
+    render_granularity_table,
+    run_error_granularity_experiment,
+)
+from repro.eval.precision_coverage import run_precision_coverage_experiment
+from repro.explain.config import ExplainerConfig
+from repro.models.ithemal import IthemalConfig
+
+TINY_SETTINGS = EvaluationSettings(
+    dataset_size=80,
+    test_set_size=4,
+    seeds=1,
+    microarchs=("hsw",),
+    ithemal_config=IthemalConfig(embedding_size=12, hidden_size=12, epochs=2),
+    explainer_config=ExplainerConfig(
+        coverage_samples=120, max_precision_samples=60, min_precision_samples=12,
+        batch_size=8,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return EvaluationContext(TINY_SETTINGS)
+
+
+class TestSettings:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_BLOCKS", "7")
+        monkeypatch.setenv("REPRO_EVAL_SEEDS", "2")
+        settings = EvaluationSettings.from_env()
+        assert settings.test_set_size == 7
+        assert settings.seeds == 2
+
+    def test_crude_config_uses_crude_epsilon(self):
+        settings = EvaluationSettings()
+        config = settings.crude_explainer_config()
+        assert config.epsilon == pytest.approx(settings.crude_epsilon)
+        assert config.relative_epsilon == 0.0
+
+    def test_scaled_copy(self):
+        assert EvaluationSettings().scaled(test_set_size=3).test_set_size == 3
+
+
+class TestContext:
+    def test_dataset_and_test_set_built_lazily(self, context):
+        assert len(context.dataset) > 0
+        assert len(context.test_set) <= TINY_SETTINGS.test_set_size
+        for record in context.test_set:
+            assert 4 <= record.block.num_instructions <= 10
+
+    def test_models_cached(self, context):
+        assert context.crude_model("hsw") is context.crude_model("hsw")
+        assert context.uica_model("hsw") is context.uica_model("hsw")
+
+    def test_model_resolution(self, context):
+        assert context.model("crude", "hsw") is context.crude_model("hsw")
+        with pytest.raises(ValueError):
+            context.model("unknown", "hsw")
+
+    def test_shared_contexts_keyed_by_settings(self):
+        a = EvaluationContext.shared(TINY_SETTINGS)
+        b = EvaluationContext.shared(TINY_SETTINGS)
+        assert a is b
+
+
+class TestExperimentDrivers:
+    def test_accuracy_experiment_structure(self, context):
+        result = run_accuracy_experiment(context, blocks=context.test_blocks()[:3], seeds=1)
+        assert set(result.accuracy) == {"Random", "Fixed", "COMET"}
+        assert "hsw" in result.accuracy["COMET"]
+        text = result.render()
+        assert "COMET" in text and "Random" in text
+
+    def test_precision_coverage_structure(self, context):
+        result = run_precision_coverage_experiment(
+            context, models=("uica",), blocks=context.test_blocks()[:2]
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert 0.0 <= row.precision_mean <= 1.0
+        assert 0.0 <= row.coverage_mean <= 1.0
+        assert "Av. Precision" in result.render()
+
+    def test_error_granularity_structure(self, context):
+        results = run_error_granularity_experiment(
+            context, models=("uica",), microarchs=("hsw",)
+        )
+        assert len(results) == 1
+        result = results[0]
+        assert result.mape >= 0.0
+        total = (
+            result.pct_num_instructions + result.pct_instructions + result.pct_dependencies
+        )
+        assert total >= 0.0
+        assert "MAPE" in render_granularity_table("t", results)
+
+    def test_case_study_blocks_parse_and_run(self, context):
+        assert set(CASE_STUDY_BLOCKS) == {"case-study-1", "case-study-2"}
+        results = run_case_studies(context, models=("uica",))
+        assert len(results) == 2
+        for result in results:
+            assert result.hardware_throughput > 0
+            assert "uiCA" in result.explanations
+            assert "prediction" in result.render()

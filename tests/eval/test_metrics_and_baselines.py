@@ -1,0 +1,138 @@
+"""Tests for evaluation metrics and the random/fixed explanation baselines."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import FeatureKind, NumInstructionsFeature, extract_features
+from repro.eval.baselines import (
+    FixedExplanationBaseline,
+    RandomExplanationBaseline,
+    ground_truth_type_frequencies,
+)
+from repro.eval.metrics import (
+    accuracy_rate,
+    explanation_accuracy,
+    feature_kind_percentages,
+    mean_absolute_percentage_error,
+    summarize_mean_std,
+)
+from repro.models.analytical import AnalyticalCostModel, ground_truth_explanations
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    texts = [
+        "div rcx\nimul rax, rcx\nmov rbx, rax",
+        "add rax, rbx\nsub rcx, rdx\nxor rsi, rdi\nand r8, r9\nor r10, r11",
+        "mov qword ptr [rdi], rax\nmov qword ptr [rdi + 8], rbx\nadd rcx, rdx",
+        "divss xmm0, xmm1\nmulss xmm2, xmm0\naddss xmm3, xmm2",
+        "mov rax, qword ptr [rdi]\nadd rax, rbx\nmov qword ptr [rsi], rax",
+    ]
+    return [BasicBlock.from_text(t) for t in texts]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticalCostModel("hsw")
+
+
+class TestMape:
+    def test_zero_for_perfect_predictions(self):
+        assert mean_absolute_percentage_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_simple_value(self):
+        assert mean_absolute_percentage_error([1.1, 2.2], [1.0, 2.0]) == pytest.approx(10.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(mean_absolute_percentage_error([], []))
+
+
+class TestExplanationAccuracy:
+    def test_exact_match_accurate(self, blocks, model):
+        truth = ground_truth_explanations(blocks[0], model)
+        assert explanation_accuracy(truth[:1], truth)
+
+    def test_superset_inaccurate(self, blocks, model):
+        truth = ground_truth_explanations(blocks[0], model)
+        extra = [f for f in extract_features(blocks[0]) if f not in truth][:1]
+        assert not explanation_accuracy(list(truth[:1]) + extra, truth)
+
+    def test_empty_explanation_inaccurate(self, blocks, model):
+        truth = ground_truth_explanations(blocks[0], model)
+        assert not explanation_accuracy([], truth)
+
+    def test_disjoint_explanation_inaccurate(self, blocks, model):
+        truth = ground_truth_explanations(blocks[0], model)
+        outside = [f for f in extract_features(blocks[0]) if f not in truth]
+        assert not explanation_accuracy(outside[:1], truth)
+
+    def test_accuracy_rate(self):
+        assert accuracy_rate([True, True, False, False]) == pytest.approx(50.0)
+
+    def test_summarize_mean_std(self):
+        mean, std = summarize_mean_std([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+
+class TestFeatureKindPercentages:
+    def test_percentages(self, blocks):
+        class FakeExplanation:
+            def __init__(self, kinds):
+                self.feature_kinds = kinds
+
+        explanations = [
+            FakeExplanation({FeatureKind.NUM_INSTRUCTIONS}),
+            FakeExplanation({FeatureKind.INSTRUCTION, FeatureKind.DEPENDENCY}),
+        ]
+        pct = feature_kind_percentages(explanations)
+        assert pct["num_instrs"] == pytest.approx(50.0)
+        assert pct["inst"] == pytest.approx(50.0)
+        assert pct["dep"] == pytest.approx(50.0)
+
+
+class TestBaselines:
+    def test_type_frequencies_sum_to_one(self, blocks, model):
+        frequencies = ground_truth_type_frequencies(blocks, model)
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+
+    def test_random_baseline_returns_single_block_feature(self, blocks, model):
+        baseline = RandomExplanationBaseline(blocks, model, rng=0)
+        for block in blocks:
+            explanation = baseline.explain(block)
+            assert len(explanation) == 1
+            assert explanation[0] in extract_features(block)
+
+    def test_random_baseline_seed_reproducible(self, blocks, model):
+        a = RandomExplanationBaseline(blocks, model, rng=3).explain(blocks[0])
+        b = RandomExplanationBaseline(blocks, model, rng=3).explain(blocks[0])
+        assert a == b
+
+    def test_fixed_baseline_deterministic(self, blocks, model):
+        baseline = FixedExplanationBaseline(blocks, model)
+        assert baseline.explain(blocks[1]) == baseline.explain(blocks[1])
+
+    def test_fixed_baseline_uses_dominant_kind(self, blocks, model):
+        baseline = FixedExplanationBaseline(blocks, model)
+        explanation = baseline.explain(blocks[0])
+        assert len(explanation) == 1
+        assert explanation[0].kind is baseline.dominant_kind
+
+    def test_baselines_score_below_perfect(self, blocks, model):
+        """Both baselines are imperfect on this mixed block set."""
+        random_baseline = RandomExplanationBaseline(blocks, model, rng=1)
+        fixed_baseline = FixedExplanationBaseline(blocks, model)
+        random_hits = []
+        fixed_hits = []
+        for block in blocks:
+            truth = ground_truth_explanations(block, model)
+            random_hits.append(explanation_accuracy(random_baseline.explain(block), truth))
+            fixed_hits.append(explanation_accuracy(fixed_baseline.explain(block), truth))
+        assert accuracy_rate(random_hits) < 100.0
+        assert accuracy_rate(fixed_hits) < 100.0

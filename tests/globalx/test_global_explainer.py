@@ -1,0 +1,137 @@
+"""Tests for the global explanation search."""
+
+import pytest
+
+from repro.data.bhive import BHiveDataset
+from repro.globalx.global_explainer import (
+    GlobalExplainer,
+    GlobalExplainerConfig,
+    GlobalExplanation,
+)
+from repro.globalx.predicates import NumInstructionsEquals
+from repro.globalx.threshold_model import InstructionCountThresholdModel
+from repro.models.base import CachedCostModel, CallableCostModel
+from repro.models.uica import UiCACostModel
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return BHiveDataset.synthesize(
+        80, min_instructions=4, max_instructions=10, microarchs=("hsw",), rng=5
+    )
+
+
+@pytest.fixture(scope="module")
+def blocks(small_dataset):
+    return small_dataset.blocks()
+
+
+class TestThresholdModel:
+    def test_matches_paper_example(self, blocks):
+        model = InstructionCountThresholdModel(target_count=8)
+        for block in blocks:
+            expected = 2.0 if block.num_instructions == 8 else 1.0
+            assert model.predict(block) == pytest.approx(expected)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            InstructionCountThresholdModel(target_count=0)
+        with pytest.raises(ValueError):
+            InstructionCountThresholdModel(match_cost=-1.0)
+
+
+class TestGlobalExplainerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_terms": 0},
+            {"beam_width": 0},
+            {"min_precision": 1.5},
+            {"min_support": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GlobalExplainerConfig(**kwargs)
+
+
+class TestGlobalExplainerOnM1:
+    def test_recovers_the_count_rule(self, blocks):
+        """The paper's Section 4 example: T={2} is explained by η == 8."""
+        model = InstructionCountThresholdModel(target_count=8)
+        # Ensure the dataset actually contains positive examples.
+        assert any(block.num_instructions == 8 for block in blocks)
+        explainer = GlobalExplainer(model, blocks)
+        explanation = explainer.explain_value(2.0, epsilon=0.25)
+        assert explanation.meets_threshold
+        assert explanation.precision == pytest.approx(1.0)
+        assert explanation.recall == pytest.approx(1.0)
+        rule = explanation.rule
+        terms = rule.terms if hasattr(rule, "terms") else (rule,)
+        assert any(
+            isinstance(term, NumInstructionsEquals) and term.count == 8
+            for term in terms
+        )
+
+    def test_explain_range_validates_bounds(self, blocks):
+        model = InstructionCountThresholdModel()
+        explainer = GlobalExplainer(model, blocks)
+        with pytest.raises(ValueError):
+            explainer.explain_range(3.0, 1.0)
+
+    def test_describe_contains_rule_and_metrics(self, blocks):
+        model = InstructionCountThresholdModel(target_count=8)
+        explanation = GlobalExplainer(model, blocks).explain_value(2.0)
+        text = explanation.describe()
+        assert "rule:" in text
+        assert "precision" in text
+
+    def test_f1_is_zero_when_nothing_matches(self, blocks):
+        model = InstructionCountThresholdModel(target_count=8)
+        explainer = GlobalExplainer(model, blocks)
+        explanation = explainer.explain_range(500.0, 600.0)
+        assert isinstance(explanation, GlobalExplanation)
+        assert explanation.positives == 0
+        assert explanation.f1 == pytest.approx(0.0)
+
+
+class TestGlobalExplainerOnComplexModels:
+    def test_complex_model_rules_are_less_faithful_than_m1(self, blocks):
+        """Empirical counterpart of the paper's argument for local explanations.
+
+        A rule for the pipeline-simulation model over a mid-range prediction
+        band should score a lower F1 than the perfect rule recovered for M1.
+        """
+        m1 = InstructionCountThresholdModel(target_count=8)
+        m1_explanation = GlobalExplainer(m1, blocks).explain_value(2.0)
+
+        uica = CachedCostModel(UiCACostModel("hsw"))
+        uica_explainer = GlobalExplainer(uica, blocks)
+        predictions = sorted(uica_explainer.predictions())
+        low = predictions[len(predictions) // 3]
+        high = predictions[2 * len(predictions) // 3]
+        uica_explanation = uica_explainer.explain_range(low, high)
+
+        assert m1_explanation.f1 >= uica_explanation.f1
+
+    def test_requires_nonempty_blocks(self):
+        with pytest.raises(ValueError):
+            GlobalExplainer(InstructionCountThresholdModel(), [])
+
+    def test_custom_predicate_pool_is_respected(self, blocks):
+        model = InstructionCountThresholdModel(target_count=8)
+        pool = [NumInstructionsEquals(8), NumInstructionsEquals(5)]
+        explainer = GlobalExplainer(model, blocks, predicates=pool)
+        explanation = explainer.explain_value(2.0)
+        terms = (
+            explanation.rule.terms
+            if hasattr(explanation.rule, "terms")
+            else (explanation.rule,)
+        )
+        assert all(isinstance(term, NumInstructionsEquals) for term in terms)
+
+    def test_min_support_prevents_tiny_rules(self, blocks):
+        model = CallableCostModel(lambda b: float(b.num_instructions), name="length")
+        config = GlobalExplainerConfig(min_support=10_000)
+        explanation = GlobalExplainer(model, blocks, config=config).explain_range(4, 6)
+        assert not explanation.meets_threshold

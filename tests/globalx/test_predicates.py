@@ -1,0 +1,95 @@
+"""Tests for the interpretable block predicates."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.dependencies import DependencyKind
+from repro.globalx.predicates import (
+    AndPredicate,
+    CategoryIs,
+    ContainsDependencyKind,
+    ContainsOpcode,
+    NumInstructionsEquals,
+    NumInstructionsInRange,
+    candidate_predicates,
+)
+
+
+RAW_BLOCK = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx")
+DIV_BLOCK = BasicBlock.from_text("mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx")
+
+
+class TestSimplePredicates:
+    def test_num_instructions_equals(self):
+        assert NumInstructionsEquals(3).holds(RAW_BLOCK)
+        assert not NumInstructionsEquals(4).holds(RAW_BLOCK)
+
+    def test_num_instructions_in_range(self):
+        assert NumInstructionsInRange(2, 4).holds(RAW_BLOCK)
+        assert not NumInstructionsInRange(5, 9).holds(RAW_BLOCK)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            NumInstructionsInRange(5, 2)
+
+    def test_contains_opcode(self):
+        assert ContainsOpcode("div").holds(DIV_BLOCK)
+        assert not ContainsOpcode("div").holds(RAW_BLOCK)
+
+    def test_contains_dependency_kind(self):
+        assert ContainsDependencyKind(DependencyKind.RAW).holds(RAW_BLOCK)
+
+    def test_category_is(self):
+        assert CategoryIs(RAW_BLOCK.category.value).holds(RAW_BLOCK)
+        assert not CategoryIs("Vector").holds(RAW_BLOCK)
+
+    def test_descriptions_are_informative(self):
+        assert "8" in NumInstructionsEquals(8).describe()
+        assert "div" in ContainsOpcode("div").describe()
+        assert "RAW" in ContainsDependencyKind(DependencyKind.RAW).describe()
+
+
+class TestAndPredicate:
+    def test_conjunction_semantics(self):
+        rule = AndPredicate((NumInstructionsEquals(3), ContainsOpcode("add")))
+        assert rule.holds(RAW_BLOCK)
+        assert not rule.holds(DIV_BLOCK)
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(ValueError):
+            AndPredicate(())
+
+    def test_describe_joins_terms(self):
+        rule = AndPredicate((NumInstructionsEquals(3), ContainsOpcode("add")))
+        assert " AND " in rule.describe()
+        assert len(rule) == 2
+
+
+class TestCandidatePredicates:
+    def test_counts_derived_from_data(self):
+        predicates = candidate_predicates([RAW_BLOCK, DIV_BLOCK])
+        counts = {
+            p.count for p in predicates if isinstance(p, NumInstructionsEquals)
+        }
+        assert counts == {3, 4}
+
+    def test_opcodes_derived_from_data(self):
+        predicates = candidate_predicates([RAW_BLOCK, DIV_BLOCK])
+        opcodes = {p.mnemonic for p in predicates if isinstance(p, ContainsOpcode)}
+        assert "div" in opcodes
+        assert "add" in opcodes
+
+    def test_max_opcodes_cap(self):
+        predicates = candidate_predicates([RAW_BLOCK, DIV_BLOCK], max_opcodes=2)
+        opcodes = [p for p in predicates if isinstance(p, ContainsOpcode)]
+        assert len(opcodes) <= 2
+
+    def test_sections_can_be_disabled(self):
+        predicates = candidate_predicates(
+            [RAW_BLOCK],
+            include_counts=False,
+            include_opcodes=False,
+            include_dependencies=False,
+            include_categories=False,
+        )
+        assert predicates == []

@@ -1,0 +1,164 @@
+"""Tests for bottleneck diagnosis built on COMET explanations."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+)
+from repro.explain.config import ExplainerConfig
+from repro.explain.explanation import Explanation
+from repro.guidance.bottlenecks import BottleneckReport, diagnose
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel
+from repro.models.uica import UiCACostModel
+
+
+RAW_BLOCK = "add rcx, rax\nmov rdx, rcx\npop rbx"
+DIV_BLOCK = "mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx"
+
+
+def _manual_explanation(block, model, features):
+    return Explanation(
+        block=block,
+        model_name=model.name,
+        prediction=model.predict(block),
+        features=tuple(features),
+        precision=1.0,
+        coverage=0.5,
+        meets_threshold=True,
+        epsilon=0.25,
+    )
+
+
+@pytest.fixture(scope="module")
+def crude_model():
+    return AnalyticalCostModel("hsw")
+
+
+@pytest.fixture(scope="module")
+def uica_model():
+    return UiCACostModel("hsw")
+
+
+class TestDiagnoseWithManualExplanations:
+    def test_instruction_feature_marks_instruction_index(self, crude_model):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        feature = InstructionFeature.of(2, block[2])
+        report = diagnose(
+            block, crude_model, explanation=_manual_explanation(block, crude_model, [feature])
+        )
+        assert report.instruction_indices == (2,)
+        assert report.has_fine_grained_target
+        assert not report.frontend_bound
+
+    def test_dependency_feature_marks_pair(self, crude_model):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        dep_feature = next(
+            f for f in extract_features(block) if isinstance(f, DependencyFeature)
+        )
+        report = diagnose(
+            block,
+            crude_model,
+            explanation=_manual_explanation(block, crude_model, [dep_feature]),
+        )
+        assert report.dependency_pairs
+        source, destination, kind = report.dependency_pairs[0]
+        assert source < destination
+        assert kind in ("RAW", "WAR", "WAW")
+
+    def test_count_feature_marks_frontend_bound(self, crude_model):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = NumInstructionsFeature(block.num_instructions)
+        report = diagnose(
+            block,
+            crude_model,
+            explanation=_manual_explanation(block, crude_model, [feature]),
+        )
+        assert report.frontend_bound
+        assert not report.has_fine_grained_target
+
+    def test_describe_mentions_prediction_and_block(self, crude_model):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature.of(0, block[0])
+        report = diagnose(
+            block,
+            crude_model,
+            explanation=_manual_explanation(block, crude_model, [feature]),
+        )
+        text = report.describe()
+        assert "Bottleneck report" in text
+        assert "add" in text
+
+    def test_hottest_instruction_prefers_named_instructions(self, crude_model):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        feature = InstructionFeature.of(0, block[0])
+        report = diagnose(
+            block,
+            crude_model,
+            explanation=_manual_explanation(block, crude_model, [feature]),
+        )
+        assert report.hottest_instruction() == 0
+
+    def test_hottest_instruction_falls_back_to_whole_block(self, crude_model):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        feature = NumInstructionsFeature(block.num_instructions)
+        report = diagnose(
+            block,
+            crude_model,
+            explanation=_manual_explanation(block, crude_model, [feature]),
+        )
+        hottest = report.hottest_instruction()
+        assert block[hottest].mnemonic == "div"
+
+
+class TestDiagnoseWithSimulatorModels:
+    def test_uica_report_includes_simulator_bottleneck(self, uica_model):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        feature = InstructionFeature.of(2, block[2])
+        report = diagnose(
+            block,
+            uica_model,
+            explanation=_manual_explanation(block, uica_model, [feature]),
+        )
+        assert report.simulator_bottleneck in ("frontend", "ports", "dependencies")
+        assert report.port_pressure
+
+    def test_cached_wrapper_still_surfaces_simulator_analysis(self):
+        model = CachedCostModel(UiCACostModel("hsw"))
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature.of(0, block[0])
+        report = diagnose(
+            block, model, explanation=_manual_explanation(block, model, [feature])
+        )
+        assert report.simulator_bottleneck is not None
+
+    def test_analytical_model_has_no_simulator_section(self, crude_model):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature.of(0, block[0])
+        report = diagnose(
+            block,
+            crude_model,
+            explanation=_manual_explanation(block, crude_model, [feature]),
+        )
+        assert report.simulator_bottleneck is None
+        assert report.port_pressure == {}
+
+
+class TestDiagnoseEndToEnd:
+    def test_diagnose_runs_comet_when_no_explanation_given(self, crude_model):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        config = ExplainerConfig(
+            epsilon=0.25,
+            relative_epsilon=0.0,
+            coverage_samples=60,
+            max_precision_samples=40,
+            min_precision_samples=12,
+        )
+        report = diagnose(block, crude_model, config=config, rng=0)
+        assert isinstance(report, BottleneckReport)
+        assert report.prediction > 0.0
+        assert report.explanation.num_queries > 0

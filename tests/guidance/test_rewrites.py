@@ -1,0 +1,169 @@
+"""Tests for the explanation-targeted rewrite generators."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+)
+from repro.bb.dependencies import DependencyKind
+from repro.guidance.rewrites import (
+    RewriteKind,
+    dependency_breaking_rewrites,
+    deletion_rewrites,
+    opcode_replacement_rewrites,
+    rewrites_for_feature,
+)
+from repro.uarch.tables import instruction_cost_for
+from repro.uarch.microarch import get_microarch
+
+
+RAW_BLOCK = "add rcx, rax\nmov rdx, rcx\npop rbx"
+DIV_BLOCK = "mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx"
+
+
+def _dependency_feature(block, kind=DependencyKind.RAW):
+    for feature in extract_features(block):
+        if isinstance(feature, DependencyFeature) and feature.dep_kind is kind:
+            return feature
+    raise AssertionError(f"no {kind} dependency in block")
+
+
+class TestDependencyBreakingRewrites:
+    def test_produces_candidates_for_register_raw(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = _dependency_feature(block)
+        rewrites = dependency_breaking_rewrites(block, feature)
+        assert rewrites, "expected at least one dependency-breaking rewrite"
+        assert all(r.kind is RewriteKind.RENAME_DEPENDENCY for r in rewrites)
+
+    def test_rewrites_actually_remove_the_dependency(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = _dependency_feature(block)
+        for rewrite in dependency_breaking_rewrites(block, feature):
+            kinds = {
+                (d.source, d.destination, d.kind) for d in rewrite.block.dependencies
+            }
+            assert (feature.source, feature.destination, feature.dep_kind) not in kinds
+
+    def test_rewritten_blocks_keep_instruction_count(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = _dependency_feature(block)
+        for rewrite in dependency_breaking_rewrites(block, feature):
+            assert rewrite.block.num_instructions == block.num_instructions
+
+    def test_no_candidates_for_feature_absent_from_block(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        other = BasicBlock.from_text(DIV_BLOCK)
+        feature = _dependency_feature(other)
+        assert dependency_breaking_rewrites(block, feature) == []
+
+    def test_respects_max_candidates(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = _dependency_feature(block)
+        rewrites = dependency_breaking_rewrites(block, feature, max_candidates=1)
+        assert len(rewrites) <= 1
+
+
+class TestOpcodeReplacementRewrites:
+    def test_only_cheaper_candidates_by_default(self):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        microarch = get_microarch("hsw")
+        div_index = next(
+            i for i, inst in enumerate(block) if inst.mnemonic == "div"
+        )
+        feature = InstructionFeature.of(div_index, block[div_index])
+        original_cost = instruction_cost_for(block[div_index], microarch).throughput
+        rewrites = opcode_replacement_rewrites(block, feature, "hsw")
+        for rewrite in rewrites:
+            cost = instruction_cost_for(
+                rewrite.block[div_index], microarch
+            ).throughput
+            assert cost < original_cost
+
+    def test_candidates_sorted_cheapest_first(self):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        microarch = get_microarch("hsw")
+        div_index = next(i for i, inst in enumerate(block) if inst.mnemonic == "div")
+        feature = InstructionFeature.of(div_index, block[div_index])
+        rewrites = opcode_replacement_rewrites(block, feature, "hsw", max_candidates=8)
+        costs = [
+            instruction_cost_for(r.block[div_index], microarch).throughput
+            for r in rewrites
+        ]
+        assert costs == sorted(costs)
+
+    def test_out_of_range_index_yields_nothing(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature(
+            index=99, mnemonic="add", operand_text=("rcx", "rax")
+        )
+        assert opcode_replacement_rewrites(block, feature, "hsw") == []
+
+    def test_allow_sideways_moves_when_not_only_cheaper(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature.of(0, block[0])
+        strict = opcode_replacement_rewrites(block, feature, "hsw", only_cheaper=True)
+        relaxed = opcode_replacement_rewrites(
+            block, feature, "hsw", only_cheaper=False, max_candidates=16
+        )
+        assert len(relaxed) >= len(strict)
+
+
+class TestDeletionRewrites:
+    def test_deletion_reduces_count(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature.of(2, block[2])
+        (rewrite,) = deletion_rewrites(block, feature)
+        assert rewrite.kind is RewriteKind.DELETE_INSTRUCTION
+        assert rewrite.block.num_instructions == block.num_instructions - 1
+
+    def test_single_instruction_block_cannot_be_emptied(self):
+        block = BasicBlock.from_text("add rcx, rax")
+        feature = InstructionFeature.of(0, block[0])
+        assert deletion_rewrites(block, feature) == []
+
+    def test_out_of_range_index_yields_nothing(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature(index=7, mnemonic="pop", operand_text=("rbx",))
+        assert deletion_rewrites(block, feature) == []
+
+
+class TestRewritesForFeature:
+    def test_num_instructions_feature_proposes_deletions(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = NumInstructionsFeature(block.num_instructions)
+        rewrites = rewrites_for_feature(block, feature, "hsw")
+        assert rewrites
+        assert all(r.kind is RewriteKind.DELETE_INSTRUCTION for r in rewrites)
+        assert len(rewrites) == block.num_instructions
+
+    def test_num_instructions_feature_respects_allow_deletion(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = NumInstructionsFeature(block.num_instructions)
+        assert rewrites_for_feature(block, feature, "hsw", allow_deletion=False) == []
+
+    def test_instruction_feature_combines_replacement_and_deletion(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        feature = InstructionFeature.of(0, block[0])
+        kinds = {r.kind for r in rewrites_for_feature(block, feature, "hsw",
+                                                      only_cheaper_opcodes=False)}
+        assert RewriteKind.DELETE_INSTRUCTION in kinds
+
+    def test_unknown_feature_type_raises(self):
+        block = BasicBlock.from_text(RAW_BLOCK)
+        with pytest.raises(TypeError):
+            rewrites_for_feature(block, object(), "hsw")
+
+    def test_all_rewrites_produce_valid_blocks(self):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        for feature in extract_features(block):
+            for rewrite in rewrites_for_feature(
+                block, feature, "hsw", only_cheaper_opcodes=False
+            ):
+                # Round-tripping through the parser exercises validation.
+                reparsed = BasicBlock.from_text(rewrite.block.text)
+                assert reparsed.num_instructions == rewrite.block.num_instructions

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across the whole stack.
+
+These follow the paper's narrative: parse real listings from the paper,
+build cost models (analytical, simulation, neural), run COMET, and check the
+qualitative conclusions the paper draws from each artefact.
+"""
+
+import pytest
+
+from repro.core import (
+    AnalyticalCostModel,
+    BasicBlock,
+    CachedCostModel,
+    CometExplainer,
+    ExplainerConfig,
+    UiCACostModel,
+    extract_features,
+    ground_truth_explanations,
+    train_ithemal,
+)
+from repro.bb.features import FeatureKind
+from repro.data import BHiveDataset, HardwareOracle, explanation_test_set
+from repro.eval.metrics import explanation_accuracy, mean_absolute_percentage_error
+from repro.models.ithemal import IthemalConfig
+
+FAST_CONFIG = ExplainerConfig(
+    coverage_samples=150,
+    max_precision_samples=80,
+    min_precision_samples=16,
+    batch_size=8,
+)
+CRUDE_CONFIG = FAST_CONFIG.with_overrides(epsilon=0.2, relative_epsilon=0.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return BHiveDataset.synthesize(
+        150, min_instructions=3, max_instructions=9, rng=17
+    )
+
+
+class TestMotivatingExample:
+    def test_listing1_explanation_mentions_the_raw_dependency(self):
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx")
+        model = AnalyticalCostModel("hsw")
+        explanation = CometExplainer(model, CRUDE_CONFIG, rng=0).explain(block)
+        assert explanation.meets_threshold
+        descriptions = " ".join(f.describe() for f in explanation.features)
+        assert "RAW" in descriptions or "η" in descriptions
+
+
+class TestCrudeModelPipeline:
+    def test_comet_matches_ground_truth_on_clear_cut_blocks(self):
+        model = AnalyticalCostModel("hsw")
+        explainer = CometExplainer(model, CRUDE_CONFIG, rng=1)
+        clear_cut = [
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx",
+            "divss xmm0, xmm1\nmulss xmm2, xmm0\naddss xmm3, xmm2\nsubss xmm4, xmm3",
+            "div rcx\nadd rax, rbx\nsub rdx, rsi\nxor r8, r9",
+        ]
+        hits = 0
+        for text in clear_cut:
+            block = BasicBlock.from_text(text)
+            truth = ground_truth_explanations(block, model)
+            explanation = explainer.explain(block)
+            hits += explanation_accuracy(explanation.features, truth)
+        assert hits >= 2  # at least 2/3 clear-cut blocks explained exactly
+
+
+class TestSimulatorPipeline:
+    def test_uica_tracks_oracle_closely(self, dataset):
+        model = CachedCostModel(UiCACostModel("hsw"))
+        predictions = [model.predict(b) for b in dataset.blocks()]
+        error = mean_absolute_percentage_error(predictions, dataset.throughputs("hsw"))
+        assert error < 20.0
+
+    def test_store_block_explained_by_fine_grained_features(self):
+        block = BasicBlock.from_text(
+            "lea rdx, [rax + 1]\nmov qword ptr [rdi + 24], rdx\n"
+            "mov byte ptr [rax], 80\nmov rsi, qword ptr [r14 + 32]\nmov rdi, rbp"
+        )
+        model = CachedCostModel(UiCACostModel("hsw"))
+        explanation = CometExplainer(model, FAST_CONFIG, rng=2).explain(block)
+        assert explanation.is_fine_grained
+
+
+class TestNeuralPipeline:
+    def test_train_explain_roundtrip(self, dataset):
+        config = IthemalConfig(embedding_size=16, hidden_size=16, epochs=3)
+        model = CachedCostModel(
+            train_ithemal(dataset.blocks(), dataset.throughputs("hsw"), "hsw", config)
+        )
+        test_blocks = explanation_test_set(dataset, 2, rng=3).blocks()
+        explainer = CometExplainer(model, FAST_CONFIG, rng=4)
+        for block in test_blocks:
+            explanation = explainer.explain(block)
+            assert 0.0 <= explanation.precision <= 1.0
+            assert 0.0 <= explanation.coverage <= 1.0
+            assert explanation.num_queries > 0
+
+    def test_neural_model_less_accurate_than_simulator(self, dataset):
+        config = IthemalConfig(embedding_size=16, hidden_size=16, epochs=3)
+        neural = train_ithemal(
+            dataset.blocks(), dataset.throughputs("hsw"), "hsw", config
+        )
+        simulator = CachedCostModel(UiCACostModel("hsw"))
+        targets = dataset.throughputs("hsw")
+        neural_error = mean_absolute_percentage_error(
+            [neural.predict(b) for b in dataset.blocks()], targets
+        )
+        simulator_error = mean_absolute_percentage_error(
+            [simulator.predict(b) for b in dataset.blocks()], targets
+        )
+        assert neural_error > simulator_error
+
+
+class TestQueryOnlyContract:
+    def test_explainer_only_uses_query_access(self, dataset):
+        """COMET must work for a model exposed solely as a callable."""
+        from repro.models.base import CallableCostModel
+
+        oracle = HardwareOracle("hsw")
+        opaque = CallableCostModel(oracle.measure, name="opaque-hardware")
+        block = explanation_test_set(dataset, 1, rng=5).blocks()[0]
+        explanation = CometExplainer(opaque, FAST_CONFIG, rng=6).explain(block)
+        assert explanation.num_queries > 0
+        assert explanation.model_name == "opaque-hardware"
+
+    def test_feature_space_consistency(self, dataset):
+        """Explanation features always come from the block's feature set."""
+        model = AnalyticalCostModel("hsw")
+        explainer = CometExplainer(model, CRUDE_CONFIG, rng=7)
+        for record in explanation_test_set(dataset, 3, rng=8):
+            explanation = explainer.explain(record.block)
+            block_features = set(extract_features(record.block))
+            assert set(explanation.features) <= block_features

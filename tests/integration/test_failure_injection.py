@@ -1,0 +1,114 @@
+"""Failure-injection tests: misbehaving models and malformed inputs.
+
+COMET only has query access to the model it explains, so the library must
+fail loudly and predictably when that model misbehaves (negative costs,
+exceptions, NaNs) or when callers hand it malformed blocks.
+"""
+
+import math
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.guidance.optimizer import ExplanationGuidedOptimizer, OptimizationConfig
+from repro.models.base import CachedCostModel, CallableCostModel, CostModel
+from repro.selection.criteria import score_model
+from repro.utils.errors import ModelError, ParseError, ReproError, ValidationError
+
+
+BLOCK = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx")
+
+FAST_EXPLAINER = ExplainerConfig(
+    epsilon=0.25,
+    relative_epsilon=0.0,
+    coverage_samples=40,
+    max_precision_samples=30,
+    min_precision_samples=10,
+)
+
+
+class _ExplodingModel(CostModel):
+    """Raises after a configurable number of successful queries."""
+
+    def __init__(self, fail_after: int = 0) -> None:
+        super().__init__("hsw")
+        self.name = "exploding"
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def _predict(self, block):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise RuntimeError("backend unavailable")
+        return 1.0
+
+
+class TestModelContractViolations:
+    def test_negative_cost_raises_model_error(self):
+        model = CallableCostModel(lambda b: -1.0, name="negative")
+        with pytest.raises(ModelError):
+            model.predict(BLOCK)
+
+    def test_nan_cost_raises_model_error(self):
+        model = CallableCostModel(lambda b: float("nan"), name="nan")
+        with pytest.raises(ModelError):
+            model.predict(BLOCK)
+
+    def test_model_exception_propagates_through_cache(self):
+        model = CachedCostModel(_ExplodingModel(fail_after=0))
+        with pytest.raises(RuntimeError):
+            model.predict(BLOCK)
+
+    def test_model_exception_propagates_through_explainer(self):
+        model = _ExplodingModel(fail_after=3)
+        explainer = CometExplainer(model, FAST_EXPLAINER, rng=0)
+        with pytest.raises(RuntimeError):
+            explainer.explain(BLOCK)
+
+    def test_model_exception_propagates_through_optimizer(self):
+        model = _ExplodingModel(fail_after=1)
+        optimizer = ExplanationGuidedOptimizer(
+            model, OptimizationConfig(steps=5, guided=False), rng=0
+        )
+        with pytest.raises(RuntimeError):
+            optimizer.optimize(BLOCK)
+
+    def test_model_exception_propagates_through_selection(self):
+        model = _ExplodingModel(fail_after=1)
+        with pytest.raises(RuntimeError):
+            score_model(model, [BLOCK], [1.0], config=FAST_EXPLAINER)
+
+
+class TestMalformedBlocks:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ReproError):
+            BasicBlock.from_text("")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ReproError):
+            BasicBlock.from_text("frobnicate rax, rbx")
+
+    def test_control_flow_rejected(self):
+        with pytest.raises(ReproError):
+            BasicBlock.from_text("add rcx, rax\njmp somewhere")
+
+    def test_garbage_operand_rejected(self):
+        with pytest.raises(ReproError):
+            BasicBlock.from_text("add rcx, @@@")
+
+    def test_empty_instruction_list_rejected(self):
+        with pytest.raises(ValidationError):
+            BasicBlock(instructions=())
+
+
+class TestNonFiniteTargets:
+    def test_selection_accepts_but_flags_degenerate_targets(self):
+        # Zero targets are clamped by the metric (no division by zero), so the
+        # score is finite even for a pathological labelled set.
+        model = CallableCostModel(lambda b: 1.0, name="const")
+        score = score_model(
+            model, [BLOCK], [0.0], config=FAST_EXPLAINER, seed=0
+        )
+        assert math.isfinite(score.mape)

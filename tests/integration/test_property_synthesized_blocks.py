@@ -1,0 +1,154 @@
+"""Property-based tests over synthesizer-generated blocks.
+
+The block synthesizer can reach a much wider slice of the ISA subset than the
+hand-written fixtures, so these properties are checked over blocks generated
+from hypothesis-chosen seeds: parser/formatter round-trips, dependency
+invariants, feature-extraction invariants, cost-model sanity and the
+guidance rewrites' validity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bb.block import BasicBlock, classify_block
+from repro.bb.features import (
+    DependencyFeature,
+    FeatureKind,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+    feature_present,
+)
+from repro.data.synthesis import BlockSynthesizer
+from repro.guidance.rewrites import rewrites_for_feature
+from repro.models.analytical import AnalyticalCostModel, ground_truth_explanations
+from repro.models.mca import PortPressureCostModel
+from repro.models.uica import UiCACostModel
+from repro.perturb.space import estimate_space_size
+
+
+def _block_from_seed(seed: int, size: int) -> BasicBlock:
+    synthesizer = BlockSynthesizer(np.random.default_rng(seed))
+    return synthesizer.generate(num_instructions=size)
+
+
+block_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+block_sizes = st.integers(min_value=2, max_value=9)
+
+
+class TestParserRoundTrip:
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_text_round_trip_preserves_block(self, seed, size):
+        block = _block_from_seed(seed, size)
+        reparsed = BasicBlock.from_text(block.text)
+        assert reparsed == block
+        assert reparsed.text == block.text
+
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_category_is_stable_under_round_trip(self, seed, size):
+        block = _block_from_seed(seed, size)
+        assert classify_block(BasicBlock.from_text(block.text)) is block.category
+
+
+class TestDependencyInvariants:
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_dependencies_respect_program_order(self, seed, size):
+        block = _block_from_seed(seed, size)
+        for dep in block.dependencies:
+            assert 0 <= dep.source < dep.destination < block.num_instructions
+
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_raw_hazard_location_is_written_then_read(self, seed, size):
+        block = _block_from_seed(seed, size)
+        for dep in block.dependencies:
+            if dep.kind.value != "RAW":
+                continue
+            assert dep.location in block[dep.source].writes
+            assert dep.location in block[dep.destination].reads
+
+
+class TestFeatureInvariants:
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_feature_counts_match_block_structure(self, seed, size):
+        block = _block_from_seed(seed, size)
+        features = extract_features(block)
+        instruction_features = [f for f in features if isinstance(f, InstructionFeature)]
+        dependency_features = [f for f in features if isinstance(f, DependencyFeature)]
+        count_features = [f for f in features if isinstance(f, NumInstructionsFeature)]
+        assert len(instruction_features) == block.num_instructions
+        assert len(dependency_features) == len(block.dependencies)
+        assert len(count_features) == 1
+        assert count_features[0].count == block.num_instructions
+
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_every_extracted_feature_is_present_in_its_own_block(self, seed, size):
+        block = _block_from_seed(seed, size)
+        for feature in extract_features(block):
+            assert feature_present(feature, block)
+
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_space_size_never_grows_when_preserving_features(self, seed, size):
+        block = _block_from_seed(seed, size)
+        unconstrained = estimate_space_size(block)
+        features = extract_features(block)
+        constrained = estimate_space_size(block, features[: len(features) // 2])
+        assert constrained <= unconstrained
+
+
+class TestCostModelSanity:
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_models_produce_positive_finite_costs(self, seed, size):
+        block = _block_from_seed(seed, size)
+        for model in (
+            AnalyticalCostModel("hsw"),
+            UiCACostModel("hsw"),
+            PortPressureCostModel("hsw"),
+        ):
+            cost = model.predict(block)
+            assert np.isfinite(cost)
+            assert cost > 0.0
+
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_are_deterministic(self, seed, size):
+        block = _block_from_seed(seed, size)
+        model = UiCACostModel("skl")
+        assert model.predict(block) == pytest.approx(model.predict(block))
+
+    @given(seed=block_seeds, size=block_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_ground_truth_explanations_attain_the_crude_maximum(self, seed, size):
+        block = _block_from_seed(seed, size)
+        model = AnalyticalCostModel("hsw")
+        truth = ground_truth_explanations(block, model)
+        assert truth, "every block must have at least one ground-truth feature"
+        kinds = {f.kind for f in truth}
+        assert kinds <= {
+            FeatureKind.INSTRUCTION,
+            FeatureKind.DEPENDENCY,
+            FeatureKind.NUM_INSTRUCTIONS,
+        }
+
+
+class TestGuidanceRewriteValidity:
+    @given(seed=block_seeds, size=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_rewrites_always_produce_parseable_valid_blocks(self, seed, size):
+        block = _block_from_seed(seed, size)
+        model = AnalyticalCostModel("hsw")
+        for feature in extract_features(block):
+            for rewrite in rewrites_for_feature(
+                block, feature, "hsw", only_cheaper_opcodes=False
+            ):
+                reparsed = BasicBlock.from_text(rewrite.block.text)
+                assert reparsed.num_instructions >= 1
+                assert model.predict(rewrite.block) > 0.0

@@ -1,0 +1,104 @@
+"""Sanity checks on the public API surface, the examples and the CLI.
+
+These tests protect downstream users from the most annoying breakages:
+``__all__`` names that do not resolve, examples that do not even compile,
+and CLI subcommands that disappear.
+"""
+
+import importlib
+import py_compile
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+
+PACKAGES = [
+    "repro.core",
+    "repro.isa",
+    "repro.uarch",
+    "repro.bb",
+    "repro.perturb",
+    "repro.explain",
+    "repro.models",
+    "repro.data",
+    "repro.eval",
+    "repro.guidance",
+    "repro.selection",
+    "repro.train",
+    "repro.globalx",
+    "repro.reporting",
+    "repro.utils",
+]
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestPublicExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", None)
+        assert exported, f"{package} must define a non-empty __all__"
+        for name in exported:
+            assert hasattr(module, name), f"{package}.__all__ lists missing name {name}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_packages_have_docstrings(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_top_level_version(self):
+        import repro
+
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+
+class TestExamples:
+    def _example_files(self):
+        return sorted(EXAMPLES_DIR.glob("*.py"))
+
+    def test_at_least_seven_examples_ship(self):
+        assert len(self._example_files()) >= 7
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES_DIR.glob("*.py")), ids=lambda p: p.name
+    )
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES_DIR.glob("*.py")), ids=lambda p: p.name
+    )
+    def test_examples_have_main_guard_and_docstring(self, path):
+        source = path.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), path.name
+        assert 'if __name__ == "__main__":' in source, path.name
+        assert "def main(" in source, path.name
+
+
+class TestCliSurface:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers_action = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        commands = set(subparsers_action.choices)
+        assert {
+            "predict",
+            "explain",
+            "features",
+            "perturb",
+            "space",
+            "optimize",
+            "dataset",
+        } <= commands
+
+    def test_help_text_renders(self):
+        parser = build_parser()
+        text = parser.format_help()
+        assert "COMET" in text

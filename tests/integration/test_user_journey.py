@@ -1,0 +1,97 @@
+"""End-to-end user journey across the extension subpackages.
+
+One small, fast walk through the workflow a performance engineer would follow
+with this library: synthesize a labelled dataset, train a (tiny) neural cost
+model, explain it, export the explanation, compare candidate models, diagnose
+a bottleneck and run the guided optimizer — all through the public API only.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    BasicBlock,
+    CachedCostModel,
+    CometExplainer,
+    ExplainerConfig,
+    IthemalConfig,
+    UiCACostModel,
+    train_ithemal,
+)
+from repro.data import BHiveDataset, train_test_split
+from repro.guidance import diagnose, optimize_block
+from repro.reporting import explanation_to_dict, explanations_to_csv
+from repro.selection import ModelSelector, SelectionConfig
+
+FAST_EXPLAINER = ExplainerConfig(
+    coverage_samples=60,
+    max_precision_samples=40,
+    min_precision_samples=12,
+    batch_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return BHiveDataset.synthesize(
+        48, min_instructions=3, max_instructions=8, microarchs=("hsw",), rng=21
+    )
+
+
+@pytest.fixture(scope="module")
+def neural_model(dataset):
+    train, _ = train_test_split(dataset, 0.2, rng=2)
+    config = IthemalConfig(embedding_size=8, hidden_size=8, epochs=1)
+    return CachedCostModel(
+        train_ithemal(train.blocks(), train.throughputs("hsw"), "hsw", config)
+    )
+
+
+class TestUserJourney:
+    def test_explain_and_export_neural_model(self, dataset, neural_model, tmp_path):
+        block = dataset.blocks()[0]
+        explainer = CometExplainer(neural_model, FAST_EXPLAINER, rng=0)
+        explanation = explainer.explain(block)
+
+        payload = explanation_to_dict(explanation)
+        assert json.dumps(payload)  # JSON-safe
+        assert payload["model"].startswith("ithemal")
+
+        csv_path = explanations_to_csv([explanation], tmp_path / "explanations.csv")
+        assert csv_path.exists()
+        assert "model" in csv_path.read_text().splitlines()[0]
+
+    def test_model_selection_prefers_the_simulator(self, dataset, neural_model):
+        sample = dataset.sample(4, rng=5)
+        selector = ModelSelector(
+            sample.blocks(),
+            sample.throughputs("hsw"),
+            SelectionConfig(mape_tolerance=1.0, explainer=FAST_EXPLAINER, seed=0),
+        )
+        report = selector.rank(
+            {"neural": neural_model, "uica": CachedCostModel(UiCACostModel("hsw"))}
+        )
+        # The tiny 1-epoch neural model cannot be within 1 MAPE point of the
+        # simulator, so the error criterion alone decides.
+        assert report.best_name == "uica"
+        assert len(report.ranking) == 2
+
+    def test_diagnose_then_optimize_reduces_predicted_cost(self, dataset):
+        block = BasicBlock.from_text(
+            "mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx"
+        )
+        model = CachedCostModel(UiCACostModel("hsw"))
+        report = diagnose(block, model, config=FAST_EXPLAINER, rng=1)
+        assert report.prediction > 0.0
+
+        result = optimize_block(
+            CachedCostModel(UiCACostModel("hsw")),
+            block,
+            guided=True,
+            steps=15,
+            rng=1,
+            explainer_config=FAST_EXPLAINER,
+        )
+        assert result.best_cost <= result.original_cost + 1e-9
+        assert result.best_block.num_instructions >= 1

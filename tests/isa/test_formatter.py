@@ -1,0 +1,72 @@
+"""Tests for Intel-syntax formatting (including parse/format round trips)."""
+
+import pytest
+
+from repro.isa.formatter import format_block_lines, format_instruction, format_operand
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.parser import parse_block_text, parse_instruction
+from repro.isa.registers import register
+
+
+class TestFormatting:
+    def test_register_operand(self):
+        assert format_operand(RegisterOperand(register("rcx"))) == "rcx"
+
+    def test_immediate_operand(self):
+        assert format_operand(ImmediateOperand(80, 8)) == "80"
+
+    def test_memory_with_size(self):
+        op = MemoryOperand(base=register("rdi"), displacement=24, access_size=64)
+        assert format_operand(op) == "qword ptr [rdi + 24]"
+
+    def test_memory_negative_displacement(self):
+        op = MemoryOperand(base=register("rbp"), displacement=-8, access_size=64)
+        assert format_operand(op) == "qword ptr [rbp - 8]"
+
+    def test_memory_with_index_and_scale(self):
+        op = MemoryOperand(
+            base=register("rbp"), index=register("rax"), scale=4, displacement=-1,
+            access_size=64,
+        )
+        assert "rax*4" in format_operand(op)
+
+    def test_agen_has_no_size_prefix(self):
+        op = MemoryOperand(base=register("rax"), displacement=1, is_agen=True)
+        assert format_operand(op) == "[rax + 1]"
+
+    def test_instruction_no_operands(self):
+        assert format_instruction(parse_instruction("nop")) == "nop"
+
+    def test_block_lines(self):
+        block = parse_block_text("add rcx, rax\nmov rdx, rcx")
+        assert format_block_lines(block) == "add rcx, rax\nmov rdx, rcx"
+
+
+ROUND_TRIP_CASES = [
+    "add rcx, rax",
+    "mov rdx, rcx",
+    "pop rbx",
+    "push rbx",
+    "lea rdx, [rax + 1]",
+    "mov qword ptr [rdi + 24], rdx",
+    "mov byte ptr [rax], 80",
+    "mov rsi, qword ptr [r14 + 32]",
+    "shl eax, 3",
+    "imul rax, r15",
+    "div rcx",
+    "vmulss xmm7, xmm0, xmm0",
+    "vdivss xmm0, xmm0, xmm6",
+    "xorps xmm1, xmm2",
+    "lea rax, [rbp + rax*4 - 1]",
+    "cmp rsi, rax",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_CASES)
+def test_parse_format_round_trip(text):
+    """format(parse(x)) re-parses to an identical instruction."""
+    first = parse_instruction(text)
+    formatted = format_instruction(first)
+    second = parse_instruction(formatted)
+    assert first.key() == second.key()
+    assert format_instruction(second) == formatted

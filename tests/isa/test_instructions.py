@@ -1,0 +1,126 @@
+"""Tests for Instruction read/write sets and classification."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.parser import parse_instruction
+
+
+def reads_of(text):
+    return parse_instruction(text).reads
+
+
+def writes_of(text):
+    return parse_instruction(text).writes
+
+
+class TestReadWriteSets:
+    def test_mov_reg_reg(self):
+        inst = parse_instruction("mov rdx, rcx")
+        assert ("reg", "rcx") in inst.reads
+        assert ("reg", "rdx") in inst.writes
+        assert ("reg", "rdx") not in inst.reads
+
+    def test_add_reads_and_writes_destination(self):
+        inst = parse_instruction("add rcx, rax")
+        assert ("reg", "rcx") in inst.reads and ("reg", "rax") in inst.reads
+        assert ("reg", "rcx") in inst.writes
+
+    def test_register_roots_are_canonical(self):
+        inst = parse_instruction("mov ecx, edx")
+        assert ("reg", "rcx") in inst.writes
+        assert ("reg", "rdx") in inst.reads
+
+    def test_memory_destination(self):
+        inst = parse_instruction("mov qword ptr [rdi + 24], rdx")
+        assert ("reg", "rdi") in inst.reads  # address register
+        assert ("reg", "rdx") in inst.reads
+        assert any(loc[0] == "mem" for loc in inst.writes)
+        assert not any(loc[0] == "mem" for loc in inst.reads)
+
+    def test_memory_source(self):
+        inst = parse_instruction("mov rsi, qword ptr [r14 + 32]")
+        assert any(loc[0] == "mem" for loc in inst.reads)
+        assert ("reg", "r14") in inst.reads
+        assert ("reg", "rsi") in inst.writes
+
+    def test_lea_reads_address_registers_but_not_memory(self):
+        inst = parse_instruction("lea rax, [rcx + rax - 1]")
+        assert ("reg", "rcx") in inst.reads and ("reg", "rax") in inst.reads
+        assert not any(loc[0] == "mem" for loc in inst.reads)
+        assert ("reg", "rax") in inst.writes
+
+    def test_div_implicit_operands(self):
+        inst = parse_instruction("div rcx")
+        assert ("reg", "rax") in inst.reads and ("reg", "rdx") in inst.reads
+        assert ("reg", "rax") in inst.writes and ("reg", "rdx") in inst.writes
+        assert ("reg", "rcx") in inst.reads
+
+    def test_flags_written_by_alu(self):
+        inst = parse_instruction("add rcx, rax")
+        assert ("flags", "rflags") in inst.writes
+
+    def test_cmov_reads_flags(self):
+        inst = parse_instruction("cmove rax, rbx")
+        assert ("flags", "rflags") in inst.reads
+
+    def test_avx_three_operand(self):
+        inst = parse_instruction("vmulss xmm7, xmm0, xmm1")
+        assert ("reg", "v0") in inst.reads and ("reg", "v1") in inst.reads
+        assert ("reg", "v7") in inst.writes
+        assert ("reg", "v7") not in inst.reads
+
+    def test_push_touches_stack(self):
+        inst = parse_instruction("push rbx")
+        assert ("reg", "rsp") in inst.reads and ("reg", "rsp") in inst.writes
+        assert ("reg", "rbx") in inst.reads
+
+
+class TestClassification:
+    def test_loads_and_stores(self):
+        assert parse_instruction("mov rsi, qword ptr [r14]").loads_memory
+        assert parse_instruction("mov qword ptr [rdi], rsi").stores_memory
+        assert parse_instruction("pop rbx").loads_memory
+        assert parse_instruction("push rbx").stores_memory
+        assert not parse_instruction("add rcx, rax").loads_memory
+        assert not parse_instruction("lea rax, [rcx + 8]").loads_memory
+
+    def test_vector_flag(self):
+        assert parse_instruction("vmulss xmm0, xmm1, xmm2").is_vector
+        assert not parse_instruction("imul rax, rbx").is_vector
+
+    def test_category(self):
+        assert parse_instruction("div rcx").category == "int_div"
+        assert parse_instruction("lea rax, [rbx]").category == "lea"
+
+    def test_memory_operand_accessor(self):
+        inst = parse_instruction("mov rsi, qword ptr [r14 + 32]")
+        assert inst.memory_operand() is not None
+        assert parse_instruction("add rcx, rax").memory_operand() is None
+        assert parse_instruction("lea rax, [rbx + 8]").memory_operand() is None
+
+
+class TestRewrites:
+    def test_with_mnemonic(self):
+        inst = parse_instruction("add rcx, rax").with_mnemonic("sub")
+        assert inst.mnemonic == "sub"
+        assert len(inst.operands) == 2
+
+    def test_with_operand(self):
+        from repro.isa.operands import RegisterOperand
+        from repro.isa.registers import register
+
+        inst = parse_instruction("add rcx, rax")
+        new = inst.with_operand(1, RegisterOperand(register("rbx")))
+        assert str(new) == "add rcx, rbx"
+        assert str(inst) == "add rcx, rax"  # original untouched
+
+    def test_key_is_stable_and_hashable(self):
+        a = parse_instruction("add rcx, rax")
+        b = parse_instruction("add  rcx ,  rax")
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+    def test_str_round_trips(self):
+        inst = parse_instruction("mov qword ptr [rdi + 24], rdx")
+        assert parse_instruction(str(inst)).key() == inst.key()

@@ -1,0 +1,135 @@
+"""Tests for the opcode database and replacement-candidate computation."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OPCODES,
+    Access,
+    block_legal_mnemonics,
+    categories,
+    has_opcode,
+    opcode_spec,
+    replacement_candidates,
+)
+from repro.isa.parser import parse_instruction
+from repro.utils.errors import UnknownOpcodeError
+
+
+class TestDatabase:
+    def test_contains_core_opcodes(self):
+        for mnemonic in ("mov", "add", "sub", "lea", "div", "imul", "push", "pop",
+                         "vmulss", "divss", "xorps", "shl", "movzx", "nop"):
+            assert has_opcode(mnemonic), mnemonic
+
+    def test_database_size_is_substantial(self):
+        assert len(OPCODES) > 100
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            opcode_spec("bogus")
+
+    def test_lookup_case_insensitive(self):
+        assert opcode_spec("MOV") is opcode_spec("mov")
+
+    def test_every_spec_signature_arity_matches_access(self):
+        for spec in OPCODES.values():
+            for signature in spec.signatures:
+                assert len(signature) == spec.arity, spec.mnemonic
+
+    def test_control_transfer_not_block_legal(self):
+        for mnemonic in ("jmp", "call", "ret", "je"):
+            assert not opcode_spec(mnemonic).allowed_in_block
+        assert "jmp" not in block_legal_mnemonics()
+
+    def test_block_legal_mnemonics_sorted_and_legal(self):
+        legal = block_legal_mnemonics()
+        assert legal == sorted(legal)
+        assert all(opcode_spec(m).allowed_in_block for m in legal)
+
+    def test_categories_cover_all_specs(self):
+        assert set(categories()) >= {"int_alu", "int_div", "fp_div", "mov", "lea"}
+
+
+class TestAccessSemantics:
+    def test_mov_writes_destination_only(self):
+        spec = opcode_spec("mov")
+        assert spec.access == (Access.WRITE, Access.READ)
+
+    def test_add_reads_and_writes_destination(self):
+        spec = opcode_spec("add")
+        assert spec.access[0] is Access.READ_WRITE
+        assert spec.access[0].reads and spec.access[0].writes
+
+    def test_cmp_reads_both(self):
+        spec = opcode_spec("cmp")
+        assert all(not access.writes for access in spec.access)
+        assert spec.writes_flags
+
+    def test_div_has_implicit_rax_rdx(self):
+        spec = opcode_spec("div")
+        assert set(spec.implicit_reads) == {"rax", "rdx"}
+        assert set(spec.implicit_writes) == {"rax", "rdx"}
+
+    def test_avx_three_operand_write_read_read(self):
+        spec = opcode_spec("vmulss")
+        assert spec.access == (Access.WRITE, Access.READ, Access.READ)
+        assert spec.is_vector
+
+    def test_adc_reads_flags(self):
+        assert opcode_spec("adc").reads_flags
+
+    def test_setcc_reads_flags_writes_byte(self):
+        spec = opcode_spec("sete")
+        assert spec.reads_flags and not spec.writes_flags
+
+
+class TestSignatureMatching:
+    def test_matches_register_register(self):
+        inst = parse_instruction("add rcx, rax")
+        assert opcode_spec("add").matches(inst.operands)
+
+    def test_matches_memory_destination(self):
+        inst = parse_instruction("mov qword ptr [rdi + 24], rdx")
+        assert opcode_spec("mov").matches(inst.operands)
+
+    def test_rejects_wrong_arity(self):
+        inst = parse_instruction("add rcx, rax")
+        assert not opcode_spec("div").matches(inst.operands)
+
+    def test_rejects_wrong_kind(self):
+        inst = parse_instruction("mov rax, 5")
+        assert not opcode_spec("movzx").matches(inst.operands)
+
+
+class TestReplacementCandidates:
+    def test_alu_replacements_include_other_alu(self):
+        inst = parse_instruction("add rcx, rax")
+        candidates = replacement_candidates(inst.mnemonic, inst.operands)
+        assert "sub" in candidates and "xor" in candidates and "mov" in candidates
+        assert "add" not in candidates
+
+    def test_lea_has_no_replacements(self):
+        inst = parse_instruction("lea rdx, [rax + 1]")
+        assert replacement_candidates(inst.mnemonic, inst.operands) == []
+
+    def test_replacements_exclude_control_transfer(self):
+        inst = parse_instruction("push rbx")
+        candidates = replacement_candidates(inst.mnemonic, inst.operands)
+        assert "jmp" not in candidates and "call" not in candidates
+
+    def test_vector_replacements_stay_vector(self):
+        inst = parse_instruction("vmulss xmm7, xmm0, xmm0")
+        candidates = replacement_candidates(inst.mnemonic, inst.operands)
+        assert candidates
+        assert all(opcode_spec(c).is_vector for c in candidates)
+
+    def test_candidates_accept_the_operands(self):
+        inst = parse_instruction("mov rsi, qword ptr [r14 + 32]")
+        for candidate in replacement_candidates(inst.mnemonic, inst.operands):
+            assert opcode_spec(candidate).matches(inst.operands), candidate
+
+    def test_candidates_sorted_deterministically(self):
+        inst = parse_instruction("add rcx, rax")
+        a = replacement_candidates(inst.mnemonic, inst.operands)
+        b = replacement_candidates(inst.mnemonic, inst.operands)
+        assert a == b == sorted(a)

@@ -1,0 +1,100 @@
+"""Tests for operand value objects."""
+
+import pytest
+
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    OperandKind,
+    RegisterOperand,
+    memory_operands,
+    operand_kinds,
+)
+from repro.isa.registers import register
+
+
+class TestRegisterOperand:
+    def test_kind_and_size(self):
+        op = RegisterOperand(register("eax"))
+        assert op.kind is OperandKind.REGISTER
+        assert op.size == 32
+
+    def test_with_register(self):
+        op = RegisterOperand(register("rax")).with_register(register("rbx"))
+        assert op.register.name == "rbx"
+
+    def test_no_address_registers(self):
+        assert RegisterOperand(register("rax")).registers_read() == ()
+
+    def test_equality(self):
+        assert RegisterOperand(register("rax")) == RegisterOperand(register("rax"))
+        assert RegisterOperand(register("rax")) != RegisterOperand(register("rbx"))
+
+
+class TestMemoryOperand:
+    def test_kind_and_size(self):
+        op = MemoryOperand(base=register("rdi"), displacement=24, access_size=64)
+        assert op.kind is OperandKind.MEMORY
+        assert op.size == 64
+
+    def test_agen_kind(self):
+        op = MemoryOperand(base=register("rax"), displacement=1, is_agen=True)
+        assert op.kind is OperandKind.AGEN
+
+    def test_address_registers_read(self):
+        op = MemoryOperand(base=register("rbp"), index=register("rax"), scale=4)
+        roots = {r.root for r in op.registers_read()}
+        assert roots == {"rbp", "rax"}
+
+    def test_address_key_distinguishes_displacements(self):
+        a = MemoryOperand(base=register("rdi"), displacement=0)
+        b = MemoryOperand(base=register("rdi"), displacement=8)
+        assert a.address_key() != b.address_key()
+
+    def test_address_key_uses_register_roots(self):
+        a = MemoryOperand(base=register("rdi"), displacement=8)
+        b = MemoryOperand(base=register("edi"), displacement=8)
+        assert a.address_key() == b.address_key()
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            MemoryOperand(base=register("rax"), scale=3)
+
+    def test_empty_address_raises(self):
+        with pytest.raises(ValueError):
+            MemoryOperand()
+
+    def test_displacement_only_is_allowed(self):
+        op = MemoryOperand(displacement=4096)
+        assert op.base is None and op.displacement == 4096
+
+    def test_with_fields(self):
+        op = MemoryOperand(base=register("rdi"), displacement=8)
+        moved = op.with_fields(displacement=16)
+        assert moved.displacement == 16 and moved.base is op.base
+
+
+class TestImmediateOperand:
+    def test_kind_and_width(self):
+        op = ImmediateOperand(80, 8)
+        assert op.kind is OperandKind.IMMEDIATE
+        assert op.size == 8
+
+    def test_with_value(self):
+        assert ImmediateOperand(1, 32).with_value(7).value == 7
+
+
+class TestHelpers:
+    def test_operand_kinds(self):
+        ops = (RegisterOperand(register("rax")), ImmediateOperand(1, 8))
+        assert operand_kinds(ops) == (OperandKind.REGISTER, OperandKind.IMMEDIATE)
+
+    def test_memory_operands_excludes_agen(self):
+        mem = MemoryOperand(base=register("rdi"), displacement=8)
+        agen = MemoryOperand(base=register("rdi"), displacement=8, is_agen=True)
+        assert memory_operands((mem, agen)) == (mem,)
+
+    def test_label_operand(self):
+        op = LabelOperand(".L1")
+        assert op.kind is OperandKind.LABEL and op.size == 0

@@ -1,0 +1,165 @@
+"""Tests for the Intel-syntax parser."""
+
+import pytest
+
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.parser import parse_block_text, parse_instruction
+from repro.utils.errors import ParseError
+
+
+class TestBasicParsing:
+    def test_register_register(self):
+        inst = parse_instruction("add rcx, rax")
+        assert inst.mnemonic == "add"
+        assert [op.register.name for op in inst.operands] == ["rcx", "rax"]
+
+    def test_mnemonic_lowercased(self):
+        assert parse_instruction("ADD RCX, RAX").mnemonic == "add"
+
+    def test_zero_operand_instruction(self):
+        assert parse_instruction("nop").operands == ()
+
+    def test_immediate_operand(self):
+        inst = parse_instruction("shl eax, 3")
+        assert isinstance(inst.operands[1], ImmediateOperand)
+        assert inst.operands[1].value == 3
+        assert inst.operands[1].width == 8
+
+    def test_negative_immediate(self):
+        inst = parse_instruction("add rax, -16")
+        assert inst.operands[1].value == -16
+
+    def test_hex_immediate(self):
+        inst = parse_instruction("and rax, 0xff")
+        assert inst.operands[1].value == 255
+
+    def test_large_immediate_width(self):
+        inst = parse_instruction("mov rax, 100000")
+        assert inst.operands[1].width == 32
+
+    def test_comment_stripped(self):
+        inst = parse_instruction("mov rax, rbx  # copy")
+        assert len(inst.operands) == 2
+
+
+class TestMemoryOperands:
+    def test_size_prefix(self):
+        inst = parse_instruction("mov qword ptr [rdi + 24], rdx")
+        mem = inst.operands[0]
+        assert isinstance(mem, MemoryOperand)
+        assert mem.access_size == 64
+        assert mem.base.name == "rdi"
+        assert mem.displacement == 24
+
+    def test_byte_prefix(self):
+        inst = parse_instruction("mov byte ptr [rax], 80")
+        assert inst.operands[0].access_size == 8
+
+    def test_negative_displacement(self):
+        inst = parse_instruction("mov rax, qword ptr [rbp - 8]")
+        assert inst.operands[1].displacement == -8
+
+    def test_scaled_index(self):
+        inst = parse_instruction("lea rax, [rbp + rax*4 - 1]")
+        mem = inst.operands[1]
+        assert mem.index.name == "rax" and mem.scale == 4 and mem.displacement == -1
+
+    def test_two_registers_without_scale(self):
+        inst = parse_instruction("lea rax, [rcx + rax - 1]")
+        mem = inst.operands[1]
+        assert mem.base.name == "rcx" and mem.index.name == "rax"
+
+    def test_lea_operand_is_agen(self):
+        inst = parse_instruction("lea rdx, [rax + 1]")
+        assert inst.operands[1].is_agen
+
+    def test_mov_memory_is_not_agen(self):
+        inst = parse_instruction("mov rdx, qword ptr [rax + 1]")
+        assert not inst.operands[1].is_agen
+
+    def test_size_inferred_from_register(self):
+        inst = parse_instruction("mov esi, [r14 + 32]")
+        assert inst.operands[1].access_size == 32
+
+    def test_size_inferred_for_scalar_sse(self):
+        inst = parse_instruction("movss xmm0, [rdi]")
+        assert inst.operands[1].access_size == 32
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_instruction("frobnicate rax, rbx")
+
+    def test_unknown_register(self):
+        with pytest.raises(ParseError):
+            parse_instruction("mov r99, rax")
+
+    def test_empty_line(self):
+        with pytest.raises(ParseError):
+            parse_instruction("   ")
+
+    def test_unterminated_memory(self):
+        with pytest.raises(ParseError):
+            parse_instruction("mov rax, [rbx")
+
+    def test_garbage_address_term(self):
+        with pytest.raises(ParseError):
+            parse_instruction("mov rax, [rbx + $$]")
+
+    def test_size_prefix_on_register_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instruction("mov qword ptr rax, rbx")
+
+
+class TestBlockParsing:
+    def test_multi_line_block(self):
+        instructions = parse_block_text(
+            """
+            add rcx, rax
+            mov rdx, rcx
+            pop rbx
+            """
+        )
+        assert [i.mnemonic for i in instructions] == ["add", "mov", "pop"]
+
+    def test_line_numbers_tolerated(self):
+        instructions = parse_block_text("1 add rcx, rax\n2 mov rdx, rcx")
+        assert len(instructions) == 2
+
+    def test_blank_and_comment_lines_skipped(self):
+        instructions = parse_block_text("add rcx, rax\n\n# comment only\nmov rdx, rcx")
+        assert len(instructions) == 2
+
+    def test_paper_listing_2_parses(self):
+        text = """
+            lea rdx, [rax + 1]
+            mov qword ptr [rdi + 24], rdx
+            mov byte ptr [rax], 80
+            mov rsi, qword ptr [r14 + 32]
+            mov rdi, rbp
+        """
+        assert len(parse_block_text(text)) == 5
+
+    def test_paper_listing_3_parses(self):
+        text = """
+            mov ecx, edx
+            xor edx, edx
+            lea rax, [rcx + rax - 1]
+            div rcx
+            mov rdx, rcx
+            imul rax, rcx
+        """
+        assert len(parse_block_text(text)) == 6
+
+    def test_paper_listing_4_parses(self):
+        text = """
+            vdivss xmm0, xmm0, xmm6
+            vmulss xmm7, xmm0, xmm0
+            vxorps xmm0, xmm0, xmm5
+            vaddss xmm7, xmm7, xmm3
+            vmulss xmm6, xmm6, xmm7
+            vdivss xmm6, xmm3, xmm6
+            vmulss xmm0, xmm6, xmm0
+        """
+        assert len(parse_block_text(text)) == 7

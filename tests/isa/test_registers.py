@@ -1,0 +1,91 @@
+"""Tests for the register file and aliasing model."""
+
+import pytest
+
+from repro.isa.registers import (
+    REGISTERS,
+    RegisterClass,
+    gpr_names,
+    is_register_name,
+    register,
+    registers_of,
+    same_size_registers,
+    vector_names,
+)
+from repro.utils.errors import UnknownRegisterError
+
+
+class TestLookup:
+    def test_known_registers_exist(self):
+        for name in ("rax", "eax", "ax", "al", "r8", "r8d", "xmm0", "ymm15"):
+            assert is_register_name(name)
+
+    def test_lookup_is_case_insensitive(self):
+        assert register("RAX") is register("rax")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(UnknownRegisterError):
+            register("r99")
+
+    def test_register_count_is_plausible(self):
+        # 16 GPR families x 4 widths + 16 xmm + 16 ymm + flags + ip
+        assert len(REGISTERS) == 16 * 4 + 32 + 2
+
+
+class TestAliasing:
+    @pytest.mark.parametrize(
+        "a,b",
+        [("rax", "eax"), ("rax", "al"), ("ecx", "cl"), ("r8", "r8b"), ("xmm3", "ymm3")],
+    )
+    def test_aliasing_pairs(self, a, b):
+        assert register(a).aliases(register(b))
+
+    @pytest.mark.parametrize("a,b", [("rax", "rbx"), ("xmm1", "xmm2"), ("rax", "xmm0")])
+    def test_non_aliasing_pairs(self, a, b):
+        assert not register(a).aliases(register(b))
+
+    def test_roots_are_full_width_names(self):
+        assert register("eax").root == "rax"
+        assert register("sil").root == "rsi"
+        assert register("r10w").root == "r10"
+        assert register("ymm4").root == register("xmm4").root
+
+
+class TestWidths:
+    @pytest.mark.parametrize(
+        "name,width",
+        [("rax", 64), ("eax", 32), ("ax", 16), ("al", 8), ("xmm0", 128), ("ymm0", 256)],
+    )
+    def test_widths(self, name, width):
+        assert register(name).width == width
+
+    def test_classes(self):
+        assert register("rax").cls is RegisterClass.GPR
+        assert register("xmm5").cls is RegisterClass.VECTOR
+        assert register("rflags").cls is RegisterClass.FLAGS
+
+
+class TestEnumeration:
+    def test_registers_of_width(self):
+        assert len(registers_of(RegisterClass.GPR, 64)) == 16
+        assert len(registers_of(RegisterClass.VECTOR, 128)) == 16
+
+    def test_gpr_and_vector_name_helpers(self):
+        assert "rax" in gpr_names(64)
+        assert "xmm0" in vector_names(128)
+
+    def test_same_size_registers_excludes_self_and_reserved(self):
+        candidates = same_size_registers(register("rax"))
+        names = {r.name for r in candidates}
+        assert "rax" not in names
+        assert "rsp" not in names
+        assert all(r.width == 64 for r in candidates)
+
+    def test_same_size_registers_can_include_reserved(self):
+        names = {r.name for r in same_size_registers(register("rax"), exclude_reserved=False)}
+        assert "rsp" in names
+
+    def test_same_size_registers_for_vectors(self):
+        candidates = same_size_registers(register("xmm0"))
+        assert all(r.cls is RegisterClass.VECTOR and r.width == 128 for r in candidates)
+        assert len(candidates) == 15

@@ -1,0 +1,87 @@
+"""Tests for instruction/block validation."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.parser import parse_block_text, parse_instruction
+from repro.isa.registers import register
+from repro.isa.validation import (
+    invalid_instructions,
+    is_valid_instruction,
+    validate_block_instructions,
+    validate_instruction,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestValidInstructions:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "add rcx, rax",
+            "mov qword ptr [rdi + 24], rdx",
+            "mov byte ptr [rax], 80",
+            "lea rdx, [rax + 1]",
+            "div rcx",
+            "vmulss xmm7, xmm0, xmm0",
+            "shl eax, 3",
+            "push rbx",
+            "nop",
+        ],
+    )
+    def test_parsed_instructions_are_valid(self, text):
+        validate_instruction(parse_instruction(text))
+
+
+class TestInvalidInstructions:
+    def test_control_transfer_rejected(self):
+        inst = Instruction("ret", ())
+        with pytest.raises(ValidationError):
+            validate_instruction(inst)
+
+    def test_signature_mismatch_rejected(self):
+        # movzx needs a narrow source; two 64-bit registers do not match.
+        inst = Instruction(
+            "movzx",
+            (RegisterOperand(register("rax")), RegisterOperand(register("rbx"))),
+        )
+        assert not is_valid_instruction(inst)
+
+    def test_immediate_destination_rejected(self):
+        inst = Instruction(
+            "mov", (ImmediateOperand(5, 32), RegisterOperand(register("rax")))
+        )
+        assert not is_valid_instruction(inst)
+
+    def test_two_memory_operands_rejected(self):
+        mem = MemoryOperand(base=register("rdi"), displacement=0, access_size=64)
+        inst = Instruction("mov", (mem, mem))
+        assert not is_valid_instruction(inst)
+
+    def test_wrong_arity_rejected(self):
+        inst = Instruction("add", (RegisterOperand(register("rax")),))
+        assert not is_valid_instruction(inst)
+
+
+class TestBlockValidation:
+    def test_valid_block(self):
+        validate_block_instructions(parse_block_text("add rcx, rax\nmov rdx, rcx"))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_block_instructions([])
+
+    def test_error_names_offending_index(self):
+        instructions = [parse_instruction("add rcx, rax"), Instruction("ret", ())]
+        with pytest.raises(ValidationError) as excinfo:
+            validate_block_instructions(instructions)
+        assert "instruction 1" in str(excinfo.value)
+
+    def test_invalid_instructions_reports_indices(self):
+        instructions = [
+            parse_instruction("add rcx, rax"),
+            Instruction("ret", ()),
+            parse_instruction("mov rdx, rcx"),
+        ]
+        assert invalid_instructions(instructions) == [1]

@@ -1,0 +1,111 @@
+"""Tests for the crude interpretable cost model C and its ground truth."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import DependencyFeature, InstructionFeature, NumInstructionsFeature
+from repro.models.analytical import (
+    AnalyticalCostModel,
+    feature_costs,
+    ground_truth_explanations,
+    ground_truth_feature_kinds,
+)
+from repro.uarch.tables import instruction_cost_for
+
+
+@pytest.fixture
+def model():
+    return AnalyticalCostModel("hsw")
+
+
+class TestCostFunctions:
+    def test_cost_eta_is_front_end_bound(self, model):
+        block = BasicBlock.from_text("\n".join(["add rax, rbx"] * 8))
+        assert model.cost_num_instructions(block) == pytest.approx(2.0)
+
+    def test_cost_instruction_matches_table(self, model):
+        block = BasicBlock.from_text("div rcx")
+        expected = instruction_cost_for(block[0], "hsw").throughput
+        assert model.cost_instruction(block, 0) == pytest.approx(expected)
+
+    def test_war_waw_dependencies_cost_zero(self, model):
+        block = BasicBlock.from_text("mov ecx, edx\nxor edx, edx")
+        war = [d for d in block.dependencies if d.kind.value == "WAR"][0]
+        assert model.cost_dependency(block, war) == 0.0
+
+    def test_raw_dependency_sums_endpoint_costs(self, model):
+        block = BasicBlock.from_text("div rcx\nmov rdx, rax")
+        raw = [d for d in block.dependencies if d.kind.value == "RAW"][0]
+        expected = model.cost_instruction(block, 0) + model.cost_instruction(block, 1)
+        assert model.cost_dependency(block, raw) == pytest.approx(expected)
+
+
+class TestPrediction:
+    def test_prediction_is_max_of_feature_costs(self, model):
+        block = BasicBlock.from_text(
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\n"
+            "div rcx\nmov rdx, rcx\nimul rax, rcx"
+        )
+        costs = [cost for _, cost in feature_costs(block, model)]
+        assert model.predict(block) == pytest.approx(max(costs))
+
+    def test_division_block_dominated_by_dependency(self, model):
+        block = BasicBlock.from_text("div rcx\nimul rax, rcx")
+        # RAW div->imul costs more than either instruction alone.
+        assert model.predict(block) > instruction_cost_for(block[0], "hsw").throughput
+
+    def test_cheap_block_dominated_by_count(self, model):
+        block = BasicBlock.from_text("\n".join(["add rax, rbx"] * 12))
+        assert model.predict(block) == pytest.approx(3.0)
+
+    def test_skylake_predicts_cheaper_divisions(self):
+        block = BasicBlock.from_text("div rcx\nimul rax, rcx")
+        hsw = AnalyticalCostModel("hsw").predict(block)
+        skl = AnalyticalCostModel("skl").predict(block)
+        assert skl < hsw
+
+
+class TestGroundTruth:
+    def test_ground_truth_never_empty(self, model):
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx")
+        assert ground_truth_explanations(block, model)
+
+    def test_ground_truth_features_attain_maximum(self, model):
+        block = BasicBlock.from_text("div rcx\nmov rdx, rax\nadd rbx, rcx")
+        prediction = model.predict(block)
+        costs = dict((f, c) for f, c in feature_costs(block, model))
+        for feature in ground_truth_explanations(block, model):
+            assert costs[feature] == pytest.approx(prediction)
+
+    def test_division_dependency_is_the_ground_truth(self, model):
+        block = BasicBlock.from_text(
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\n"
+            "div rcx\nmov rdx, rcx\nimul rax, rcx"
+        )
+        truth = ground_truth_explanations(block, model)
+        assert any(isinstance(f, DependencyFeature) for f in truth)
+
+    def test_count_is_ground_truth_for_cheap_blocks(self, model):
+        block = BasicBlock.from_text("\n".join(["add rax, rbx"] * 12))
+        truth = ground_truth_explanations(block, model)
+        assert any(isinstance(f, NumInstructionsFeature) for f in truth)
+
+    def test_ties_produce_multiple_features(self, model):
+        # Two identical expensive instructions with no dependency: both tie.
+        block = BasicBlock.from_text("divss xmm0, xmm1\ndivss xmm2, xmm3")
+        truth = ground_truth_explanations(block, model)
+        instruction_features = [f for f in truth if isinstance(f, InstructionFeature)]
+        assert len(instruction_features) == 2
+
+    def test_feature_kind_histogram(self, model):
+        block = BasicBlock.from_text("div rcx\nimul rax, rcx")
+        histogram = ground_truth_feature_kinds(block, model)
+        assert sum(histogram.values()) == len(ground_truth_explanations(block, model))
+
+    def test_ground_truth_features_match_extracted_features(self, model):
+        from repro.bb.features import extract_features
+
+        block = BasicBlock.from_text("div rcx\nmov rdx, rax")
+        extracted = set(extract_features(block))
+        for feature in ground_truth_explanations(block, model):
+            assert feature in extracted

@@ -1,0 +1,98 @@
+"""Tests for the CostModel query interface and wrappers."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.models.base import CachedCostModel, CallableCostModel, CostModel, QueryCounter
+from repro.utils.errors import ModelError
+
+
+@pytest.fixture
+def block():
+    return BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+
+
+class TestCallableCostModel:
+    def test_wraps_function(self, block):
+        model = CallableCostModel(lambda b: float(b.num_instructions), name="toy")
+        assert model.predict(block) == 2.0
+        assert model.name == "toy"
+
+    def test_call_syntax(self, block):
+        model = CallableCostModel(lambda b: 1.0)
+        assert model(block) == 1.0
+
+    def test_query_counter_increments(self, block):
+        model = CallableCostModel(lambda b: 1.0)
+        model.predict(block)
+        model.predict(block)
+        assert model.query_count == 2
+
+    def test_predict_many(self, block):
+        model = CallableCostModel(lambda b: float(b.num_instructions))
+        assert model.predict_many([block, block]) == [2.0, 2.0]
+
+    def test_invalid_prediction_rejected(self, block):
+        model = CallableCostModel(lambda b: float("nan"))
+        with pytest.raises(ModelError):
+            model.predict(block)
+
+    def test_negative_prediction_rejected(self, block):
+        model = CallableCostModel(lambda b: -1.0)
+        with pytest.raises(ModelError):
+            model.predict(block)
+
+    def test_microarch_resolution(self, block):
+        model = CallableCostModel(lambda b: 1.0, microarch="skl")
+        assert model.microarch.short_name == "skl"
+        assert "Skylake" in model.describe()
+
+    def test_paper_toy_model_m1(self):
+        """The hypothetical model M1 of Section 4: 2 cycles iff 8 instructions."""
+        m1 = CallableCostModel(
+            lambda b: 2.0 if b.num_instructions == 8 else 1.0, name="M1"
+        )
+        eight = BasicBlock.from_text("\n".join(["add rax, rbx"] * 8))
+        seven = BasicBlock.from_text("\n".join(["add rax, rbx"] * 7))
+        assert m1.predict(eight) == 2.0
+        assert m1.predict(seven) == 1.0
+
+
+class TestCachedCostModel:
+    def test_caches_identical_blocks(self, block):
+        inner = CallableCostModel(lambda b: float(b.num_instructions), name="toy")
+        cached = CachedCostModel(inner)
+        cached.predict(block)
+        cached.predict(BasicBlock.from_text(block.text))
+        assert inner.query_count == 1
+        assert cached.hits == 1 and cached.misses == 1
+        assert cached.hit_rate == pytest.approx(0.5)
+
+    def test_different_blocks_not_conflated(self, block):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner)
+        other = BasicBlock.from_text("add rcx, rax")
+        assert cached.predict(block) != cached.predict(other)
+
+    def test_name_propagated(self, block):
+        inner = CallableCostModel(lambda b: 1.0, name="inner-model")
+        assert CachedCostModel(inner).name == "inner-model"
+
+    def test_capacity_limit_respected(self):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner, max_entries=1)
+        a = BasicBlock.from_text("add rcx, rax")
+        b = BasicBlock.from_text("sub rcx, rax")
+        cached.predict(a)
+        cached.predict(b)
+        assert len(cached._cache) == 1
+
+
+class TestQueryCounter:
+    def test_counts_queries_in_scope(self, block):
+        model = CallableCostModel(lambda b: 1.0)
+        model.predict(block)
+        with QueryCounter(model) as counter:
+            model.predict(block)
+            model.predict(block)
+        assert counter.queries == 2

@@ -1,0 +1,146 @@
+"""Tests for the NumPy LSTM layer, including a numerical gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.models.lstm import AdamOptimizer, LSTMCell, LSTMLayer, sequence_final_state, sigmoid
+
+
+class TestSigmoid:
+    def test_range(self):
+        x = np.linspace(-50, 50, 101)
+        y = sigmoid(x)
+        assert np.all((y >= 0) & (y <= 1))
+
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_no_overflow_for_large_negative(self):
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestForward:
+    def test_shapes(self):
+        layer = LSTMLayer.create(4, 8, rng=0)
+        inputs = np.random.default_rng(0).normal(size=(5, 4))
+        hs, caches = layer.forward(inputs)
+        assert hs.shape == (5, 8)
+        assert len(caches) == 5
+
+    def test_hidden_values_bounded(self):
+        layer = LSTMLayer.create(3, 6, rng=1)
+        inputs = np.random.default_rng(1).normal(size=(10, 3)) * 10
+        hs, _ = layer.forward(inputs)
+        assert np.all(np.abs(hs) <= 1.0)  # |h| = |o * tanh(c)| <= 1
+
+    def test_deterministic_given_seed(self):
+        a = LSTMLayer.create(3, 4, rng=7).cell.w_x
+        b = LSTMLayer.create(3, 4, rng=7).cell.w_x
+        assert np.array_equal(a, b)
+
+    def test_final_hidden_matches_forward(self):
+        layer = LSTMLayer.create(3, 4, rng=2)
+        inputs = np.random.default_rng(2).normal(size=(6, 3))
+        hs, _ = layer.forward(inputs)
+        assert np.allclose(layer.final_hidden(inputs), hs[-1])
+        assert np.allclose(sequence_final_state(layer, inputs), hs[-1])
+
+    def test_sequence_final_state_validates_shape(self):
+        layer = LSTMLayer.create(3, 4, rng=2)
+        with pytest.raises(ValueError):
+            sequence_final_state(layer, np.zeros(3))
+
+    def test_initial_state_respected(self):
+        layer = LSTMLayer.create(2, 3, rng=3)
+        inputs = np.ones((1, 2))
+        h0 = np.full(3, 0.5)
+        c0 = np.full(3, -0.5)
+        default, _ = layer.forward(inputs)
+        seeded, _ = layer.forward(inputs, initial_state=(h0, c0))
+        assert not np.allclose(default, seeded)
+
+
+class TestBackward:
+    def test_gradient_shapes(self):
+        layer = LSTMLayer.create(4, 5, rng=4)
+        inputs = np.random.default_rng(4).normal(size=(3, 4))
+        hs, caches = layer.forward(inputs)
+        d_inputs, grads = layer.backward(np.ones_like(hs), caches)
+        assert d_inputs.shape == inputs.shape
+        assert grads["w_x"].shape == layer.cell.w_x.shape
+        assert grads["w_h"].shape == layer.cell.w_h.shape
+        assert grads["bias"].shape == layer.cell.bias.shape
+
+    def test_numerical_gradient_check(self):
+        """Analytic gradients must match central finite differences."""
+        rng = np.random.default_rng(5)
+        layer = LSTMLayer.create(3, 4, rng=5)
+        inputs = rng.normal(size=(4, 3))
+        target = rng.normal(size=4)
+
+        def loss_fn():
+            hs, _ = layer.forward(inputs)
+            return 0.5 * float(np.sum((hs[-1] - target) ** 2))
+
+        hs, caches = layer.forward(inputs)
+        d_hs = np.zeros_like(hs)
+        d_hs[-1] = hs[-1] - target
+        _, grads = layer.backward(d_hs, caches)
+
+        epsilon = 1e-5
+        for name, param in layer.cell.parameters().items():
+            flat = param.ravel()
+            for index in rng.choice(flat.size, size=min(8, flat.size), replace=False):
+                original = flat[index]
+                flat[index] = original + epsilon
+                plus = loss_fn()
+                flat[index] = original - epsilon
+                minus = loss_fn()
+                flat[index] = original
+                numeric = (plus - minus) / (2 * epsilon)
+                analytic = grads[name].ravel()[index]
+                assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-6), name
+
+    def test_input_gradient_numerical_check(self):
+        rng = np.random.default_rng(6)
+        layer = LSTMLayer.create(2, 3, rng=6)
+        inputs = rng.normal(size=(3, 2))
+
+        def loss_fn(x):
+            hs, _ = layer.forward(x)
+            return 0.5 * float(np.sum(hs[-1] ** 2))
+
+        hs, caches = layer.forward(inputs)
+        d_hs = np.zeros_like(hs)
+        d_hs[-1] = hs[-1]
+        d_inputs, _ = layer.backward(d_hs, caches)
+
+        epsilon = 1e-5
+        perturbed = inputs.copy()
+        perturbed[1, 0] += epsilon
+        plus = loss_fn(perturbed)
+        perturbed[1, 0] -= 2 * epsilon
+        minus = loss_fn(perturbed)
+        numeric = (plus - minus) / (2 * epsilon)
+        assert d_inputs[1, 0] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = AdamOptimizer(params, learning_rate=0.1)
+        for _ in range(500):
+            optimizer.step({"x": 2 * params["x"]})  # gradient of x^2
+        assert abs(params["x"][0]) < 0.1
+
+    def test_gradient_clipping(self):
+        params = {"x": np.array([0.0])}
+        optimizer = AdamOptimizer(params, learning_rate=0.1)
+        optimizer.step({"x": np.array([1e9])}, clip_norm=1.0)
+        assert abs(params["x"][0]) <= 0.2
+
+    def test_cell_initialisation_properties(self):
+        cell = LSTMCell.initialise(4, 8, rng=0)
+        hidden = cell.hidden_size
+        assert np.all(cell.bias[hidden : 2 * hidden] == 1.0)  # forget bias
+        assert cell.w_x.shape == (4, 32)

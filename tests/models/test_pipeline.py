@@ -1,0 +1,127 @@
+"""Tests for the out-of-order pipeline simulator (uiCA substrate)."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.models.pipeline import PipelineSimulator, SimulationConfig
+from repro.uarch.tables import instruction_cost
+
+
+def simulate(text, microarch="hsw", **config_kwargs):
+    simulator = PipelineSimulator(microarch, SimulationConfig(**config_kwargs))
+    return simulator.simulate(BasicBlock.from_text(text))
+
+
+class TestThroughputBasics:
+    def test_single_cheap_instruction(self):
+        result = simulate("add rax, rbx")
+        assert 0.05 <= result.throughput <= 1.5
+
+    def test_independent_adds_bound_by_frontend(self):
+        text = "\n".join(
+            f"add {dst}, {src}"
+            for dst, src in [("rax", "rbx"), ("rcx", "rdx"), ("rsi", "rdi"),
+                             ("r8", "r9"), ("r10", "r11"), ("r12", "r13"),
+                             ("r14", "r15"), ("rbx", "rax")]
+        )
+        result = simulate(text)
+        # 8 single-uop instructions at issue width 4 -> about 2 cycles/iter.
+        assert 1.5 <= result.throughput <= 3.5
+
+    def test_dependent_chain_bound_by_latency(self):
+        text = "add rax, rbx\nadd rax, rcx\nadd rax, rdx\nadd rax, rsi"
+        chained = simulate(text).throughput
+        independent = simulate(
+            "add rax, rbx\nadd rcx, rbx\nadd rdx, rbx\nadd rsi, rbx"
+        ).throughput
+        assert chained > independent
+
+    def test_division_block_is_slow(self):
+        result = simulate("div rcx\nimul rax, rcx")
+        assert result.throughput > 15.0
+
+    def test_store_block_bound_by_store_port(self):
+        text = (
+            "mov qword ptr [rdi], rax\nmov qword ptr [rdi + 8], rbx\n"
+            "mov qword ptr [rdi + 16], rcx"
+        )
+        result = simulate(text)
+        assert result.throughput >= 2.5  # one store per cycle
+
+    def test_loop_carried_dependency_costs_latency(self):
+        # rax accumulates across iterations -> ~3 cycles/iter (imul latency).
+        result = simulate("imul rax, rbx")
+        assert result.throughput >= 2.5
+
+    def test_paper_case_study_1_close_to_two_cycles(self):
+        text = """
+            lea rdx, [rax + 1]
+            mov qword ptr [rdi + 24], rdx
+            mov byte ptr [rax], 80
+            mov rsi, qword ptr [r14 + 32]
+            mov rdi, rbp
+        """
+        result = simulate(text)
+        assert 1.5 <= result.throughput <= 3.5
+
+
+class TestMicroarchitectureDifferences:
+    def test_skylake_divides_faster(self):
+        text = "div rcx\nimul rax, rcx"
+        assert simulate(text, "skl").throughput < simulate(text, "hsw").throughput
+
+    def test_cheap_blocks_similar_across_uarchs(self):
+        text = "add rax, rbx\nsub rcx, rdx\nxor rsi, rdi\nand r8, r9"
+        hsw = simulate(text, "hsw").throughput
+        skl = simulate(text, "skl").throughput
+        assert abs(hsw - skl) < 1.0
+
+
+class TestEliminationIdioms:
+    def test_move_elimination_speeds_up_mov_chain(self):
+        text = "mov rax, rbx\nmov rcx, rax\nmov rdx, rcx\nmov rsi, rdx"
+        plain = simulate(text, move_elimination=False).throughput
+        eliminated = simulate(text, move_elimination=True).throughput
+        assert eliminated <= plain
+
+    def test_zero_idiom_breaks_dependency(self):
+        # xor rax, rax resets the dependency chain on rax.
+        text = "imul rax, rbx\nxor rax, rax\nimul rax, rcx"
+        plain = simulate(text, zero_idiom_elimination=False).throughput
+        eliminated = simulate(text, zero_idiom_elimination=True).throughput
+        assert eliminated <= plain
+
+
+class TestSimulationResult:
+    def test_port_pressure_reported_per_port(self):
+        result = simulate("divss xmm0, xmm1\naddss xmm2, xmm3")
+        assert set(result.port_pressure) == set("01234567")
+        assert result.port_pressure["0"] > 0.0
+
+    def test_bottleneck_classification_division(self):
+        result = simulate("div rcx")
+        assert result.bottleneck in ("ports", "dependencies")
+
+    def test_bottleneck_classification_frontend(self):
+        text = "\n".join(["add rax, rbx\nadd rcx, rdx\nadd rsi, rdi\nadd r8, r9"] * 2)
+        result = simulate(text)
+        assert result.bottleneck == "frontend"
+
+    def test_throughput_positive_and_finite(self):
+        result = simulate("nop")
+        assert result.throughput > 0.0
+        assert result.total_cycles > 0.0
+
+
+class TestConfigValidation:
+    def test_invalid_iteration_counts(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(measured_iterations=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_iterations=-1)
+
+    def test_more_iterations_converges(self):
+        text = "div rcx\nadd rax, rbx"
+        short = simulate(text, measured_iterations=6, warmup_iterations=2).throughput
+        long = simulate(text, measured_iterations=30, warmup_iterations=8).throughput
+        assert abs(short - long) / long < 0.25

@@ -1,0 +1,55 @@
+"""Tests for the cost-model registry."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.data.bhive import BHiveDataset
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel
+from repro.models.ithemal import IthemalConfig
+from repro.models.registry import available_cost_models, build_cost_model
+from repro.utils.errors import ReproError
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert set(available_cost_models()) == {"crude", "uica", "port-pressure", "ithemal"}
+
+    def test_build_crude(self):
+        model = build_cost_model("crude", "hsw", cached=False)
+        assert isinstance(model, AnalyticalCostModel)
+
+    def test_build_uica_cached_by_default(self):
+        model = build_cost_model("uica", "skl")
+        assert isinstance(model, CachedCostModel)
+        assert model.microarch.short_name == "skl"
+
+    def test_build_port_pressure_aliases(self):
+        assert build_cost_model("llvm-mca", "hsw", cached=False).name.startswith("port-pressure")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            build_cost_model("magic-model")
+
+    def test_ithemal_requires_training_data(self):
+        with pytest.raises(ReproError):
+            build_cost_model("ithemal", "hsw")
+
+    def test_ithemal_builds_with_training_data(self):
+        dataset = BHiveDataset.synthesize(
+            30, include_categories=False, min_instructions=2, max_instructions=6, rng=9
+        )
+        model = build_cost_model(
+            "ithemal",
+            "hsw",
+            training_blocks=dataset.blocks(),
+            training_throughputs=dataset.throughputs("hsw"),
+            ithemal_config=IthemalConfig(embedding_size=8, hidden_size=8, epochs=1),
+        )
+        assert model.predict(BasicBlock.from_text("add rcx, rax")) > 0
+
+    def test_all_prebuilt_models_share_query_interface(self):
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        for name in ("crude", "uica", "port-pressure"):
+            model = build_cost_model(name, "hsw")
+            assert model.predict(block) > 0

@@ -1,0 +1,68 @@
+"""Tests for the uiCA-style and LLVM-MCA-style cost models."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.models.mca import PortPressureCostModel
+from repro.models.uica import UiCACostModel
+
+DIV_BLOCK = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx"
+STORE_BLOCK = (
+    "lea rdx, [rax + 1]\nmov qword ptr [rdi + 24], rdx\nmov byte ptr [rax], 80\n"
+    "mov rsi, qword ptr [r14 + 32]\nmov rdi, rbp"
+)
+
+
+class TestUiCAModel:
+    def test_implements_query_interface(self):
+        model = UiCACostModel("hsw")
+        value = model.predict(BasicBlock.from_text(STORE_BLOCK))
+        assert value > 0 and model.query_count == 1
+
+    def test_division_block_much_slower_than_store_block(self):
+        model = UiCACostModel("hsw")
+        assert model.predict(BasicBlock.from_text(DIV_BLOCK)) > 5 * model.predict(
+            BasicBlock.from_text(STORE_BLOCK)
+        )
+
+    def test_skylake_division_faster(self):
+        block = BasicBlock.from_text(DIV_BLOCK)
+        assert UiCACostModel("skl").predict(block) < UiCACostModel("hsw").predict(block)
+
+    def test_analyze_exposes_bottleneck(self):
+        model = UiCACostModel("hsw")
+        result = model.analyze(BasicBlock.from_text(DIV_BLOCK))
+        assert result.bottleneck in ("ports", "dependencies", "frontend")
+        assert result.throughput == pytest.approx(
+            model.predict(BasicBlock.from_text(DIV_BLOCK)), rel=0.05
+        )
+
+    def test_name_includes_microarch(self):
+        assert UiCACostModel("skl").name == "uica-skl"
+
+    def test_deterministic(self):
+        block = BasicBlock.from_text(STORE_BLOCK)
+        model = UiCACostModel("hsw")
+        assert model.predict(block) == model.predict(block)
+
+
+class TestPortPressureModel:
+    def test_positive_predictions(self):
+        model = PortPressureCostModel("hsw")
+        assert model.predict(BasicBlock.from_text(STORE_BLOCK)) > 0
+
+    def test_division_block_is_expensive(self):
+        model = PortPressureCostModel("hsw")
+        assert model.predict(BasicBlock.from_text(DIV_BLOCK)) > 10
+
+    def test_respects_dependency_weight_bounds(self):
+        with pytest.raises(ValueError):
+            PortPressureCostModel("hsw", dependency_weight=2.0)
+
+    def test_simulator_never_far_below_static_bound(self):
+        """The simulator should not beat the static port-pressure bound by much."""
+        pressure = PortPressureCostModel("hsw", dependency_weight=0.0)
+        simulator = UiCACostModel("hsw")
+        for text in (STORE_BLOCK, DIV_BLOCK, "add rax, rbx\nsub rcx, rdx"):
+            block = BasicBlock.from_text(text)
+            assert simulator.predict(block) >= 0.6 * pressure.predict(block)

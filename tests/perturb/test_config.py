@@ -1,0 +1,62 @@
+"""Tests for the perturbation configuration."""
+
+import pytest
+
+from repro.perturb.config import PerturbationConfig, ReplacementScheme
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = PerturbationConfig()
+        assert config.p_instruction_retain == 0.5
+        assert config.p_dependency_retain == 0.5
+        assert config.p_delete == pytest.approx(0.33)
+        assert config.p_dependency_explicit_retain == pytest.approx(0.1)
+        assert config.replacement_scheme is ReplacementScheme.OPCODE_ONLY
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["p_instruction_retain", "p_dependency_retain", "p_delete",
+                  "p_dependency_explicit_retain"]
+    )
+    def test_probabilities_must_be_in_unit_interval(self, field):
+        with pytest.raises(ValueError):
+            PerturbationConfig(**{field: 1.5})
+
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            PerturbationConfig(max_block_attempts=0)
+
+
+class TestDerivedProbabilities:
+    def test_attempt_probability_compensates_explicit_retention(self):
+        config = PerturbationConfig(
+            p_dependency_retain=0.5, p_dependency_explicit_retain=0.1
+        )
+        attempt = config.p_dependency_perturb_attempt
+        # retain = explicit + (1 - explicit) * (1 - attempt) should equal 0.5
+        retain = 0.1 + 0.9 * (1 - attempt)
+        assert retain == pytest.approx(0.5)
+
+    def test_full_explicit_retention_disables_attempts(self):
+        config = PerturbationConfig(p_dependency_explicit_retain=1.0)
+        assert config.p_dependency_perturb_attempt == 0.0
+
+    def test_attempt_probability_clamped(self):
+        config = PerturbationConfig(
+            p_dependency_retain=0.0, p_dependency_explicit_retain=0.5
+        )
+        assert 0.0 <= config.p_dependency_perturb_attempt <= 1.0
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_object(self):
+        config = PerturbationConfig()
+        changed = config.with_overrides(p_delete=0.5)
+        assert changed.p_delete == 0.5
+        assert config.p_delete == pytest.approx(0.33)
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            PerturbationConfig().with_overrides(p_delete=2.0)

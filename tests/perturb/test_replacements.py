@@ -1,0 +1,109 @@
+"""Tests for replacement pools and operand renaming helpers."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.isa.parser import parse_instruction
+from repro.isa.registers import register
+from repro.perturb.replacements import (
+    block_register_roots,
+    cache_opcode_replacements,
+    opcode_replacements,
+    perturb_memory_displacement,
+    random_immediate,
+    random_register_rename,
+    register_renaming_candidates,
+    registers_in_operand,
+    rename_register_in_instruction,
+)
+from repro.utils.rng import as_rng
+
+
+class TestOpcodeReplacements:
+    def test_alu_instruction_has_pool(self):
+        assert len(opcode_replacements(parse_instruction("add rcx, rax"))) > 5
+
+    def test_lea_pool_empty(self):
+        assert opcode_replacements(parse_instruction("lea rax, [rbx + 8]")) == []
+
+    def test_cache_covers_all_instructions(self):
+        block = BasicBlock.from_text("add rcx, rax\nlea rdx, [rcx + 8]\npop rbx")
+        cache = cache_opcode_replacements(block)
+        assert set(cache) == {0, 1, 2}
+        assert cache[1] == []
+
+
+class TestRegisterRenaming:
+    def test_candidates_same_width_and_class(self):
+        for candidate in register_renaming_candidates(register("ecx")):
+            assert candidate.width == 32
+            assert candidate.root != "rcx"
+
+    def test_forbidden_roots_excluded(self):
+        candidates = register_renaming_candidates(
+            register("rcx"), forbidden_roots=["rax", "rbx"]
+        )
+        assert all(c.root not in ("rax", "rbx", "rcx") for c in candidates)
+
+    def test_prefers_registers_unused_in_block(self):
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        used = block_register_roots(block)
+        candidates = register_renaming_candidates(
+            register("rcx"), prefer_unused_in=block
+        )
+        assert all(c.root not in used for c in candidates)
+
+    def test_random_rename_returns_candidate_or_none(self):
+        rng = as_rng(0)
+        picked = random_register_rename(rng, register("rcx"))
+        assert picked is not None and picked.root != "rcx"
+
+    def test_random_rename_none_when_everything_forbidden(self):
+        rng = as_rng(0)
+        all_roots = [r.root for r in register_renaming_candidates(register("rcx"))]
+        assert (
+            random_register_rename(rng, register("rcx"), forbidden_roots=all_roots)
+            is None
+        )
+
+
+class TestRenameInInstruction:
+    def test_register_operand_renamed_with_width(self):
+        inst = parse_instruction("mov ecx, edx")
+        renamed = rename_register_in_instruction(inst, "rdx", register("rbx"))
+        assert str(renamed) == "mov ecx, ebx"
+
+    def test_memory_base_renamed(self):
+        inst = parse_instruction("mov rax, qword ptr [rdi + 8]")
+        renamed = rename_register_in_instruction(inst, "rdi", register("rsi"))
+        assert "rsi" in str(renamed) and "rdi" not in str(renamed)
+
+    def test_unrelated_registers_untouched(self):
+        inst = parse_instruction("add rcx, rax")
+        renamed = rename_register_in_instruction(inst, "rbx", register("rdx"))
+        assert renamed.key() == inst.key()
+
+    def test_all_occurrences_renamed(self):
+        inst = parse_instruction("lea rax, [rcx + rcx*4]")
+        renamed = rename_register_in_instruction(inst, "rcx", register("r9"))
+        assert "rcx" not in str(renamed)
+
+
+class TestOtherPerturbations:
+    def test_memory_displacement_changes_address_key(self):
+        operand = parse_instruction("mov rax, qword ptr [rdi + 8]").operands[1]
+        changed = perturb_memory_displacement(as_rng(0), operand)
+        assert changed.address_key() != operand.address_key()
+        assert changed.base is operand.base
+
+    def test_random_immediate_preserves_width(self):
+        operand = parse_instruction("shl eax, 3").operands[1]
+        new = random_immediate(as_rng(0), operand)
+        assert new.width == operand.width
+        assert 0 <= new.value < 128
+
+    def test_registers_in_operand(self):
+        inst = parse_instruction("mov rax, qword ptr [rdi + rsi*8]")
+        roots = {r.root for r in registers_in_operand(inst.operands[1])}
+        assert roots == {"rdi", "rsi"}
+        assert registers_in_operand(inst.operands[0])[0].root == "rax"

@@ -1,0 +1,103 @@
+"""Tests for perturbation-space size estimation (Appendix F)."""
+
+import math
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import InstructionFeature, NumInstructionsFeature, extract_features
+from repro.perturb.space import (
+    estimate_space_size,
+    log10_space_size,
+    per_instruction_choices,
+    space_report,
+)
+
+LISTING_4 = """
+    vdivss xmm0, xmm0, xmm6
+    vmulss xmm7, xmm0, xmm0
+    vxorps xmm0, xmm0, xmm5
+    vaddss xmm7, xmm7, xmm3
+    vmulss xmm6, xmm6, xmm7
+    vdivss xmm6, xmm3, xmm6
+    vmulss xmm0, xmm6, xmm0
+"""
+
+LISTING_5 = """
+    shl eax, 3
+    imul rax, r15
+    xor edx, edx
+    add rax, 7
+    shr rax, 3
+    lea rax, [rbp + rax - 1]
+    div rbp
+    imul rax, rbp
+    mov rbp, qword ptr [rsp + 8]
+    sub rbp, rax
+"""
+
+
+class TestSpaceSizes:
+    def test_listing4_is_astronomical(self):
+        block = BasicBlock.from_text(LISTING_4)
+        assert estimate_space_size(block) > 1e30
+
+    def test_listing5_is_astronomical(self):
+        block = BasicBlock.from_text(LISTING_5)
+        assert estimate_space_size(block) > 1e25
+
+    def test_preserving_an_instruction_shrinks_the_space(self):
+        block = BasicBlock.from_text(LISTING_4)
+        empty = estimate_space_size(block)
+        feature = InstructionFeature.of(0, block[0])
+        assert estimate_space_size(block, [feature]) < empty
+
+    def test_preserving_count_shrinks_the_space(self):
+        block = BasicBlock.from_text(LISTING_5)
+        assert estimate_space_size(block, [NumInstructionsFeature(10)]) < estimate_space_size(block)
+
+    def test_monotone_under_feature_addition(self):
+        block = BasicBlock.from_text(LISTING_4)
+        features = [f for f in extract_features(block) if isinstance(f, InstructionFeature)]
+        sizes = [
+            estimate_space_size(block, features[:k]) for k in range(len(features) + 1)
+        ]
+        for earlier, later in zip(sizes, sizes[1:]):
+            assert later <= earlier
+
+    def test_log10_consistent_with_linear_estimate(self):
+        block = BasicBlock.from_text(LISTING_4)
+        assert log10_space_size(block) == pytest.approx(
+            math.log10(estimate_space_size(block)), rel=1e-6
+        )
+
+    def test_single_instruction_block(self):
+        block = BasicBlock.from_text("lea rax, [rbx + 8]")
+        # lea cannot be replaced; only its operand registers can be renamed,
+        # and it can be deleted... but a 1-instruction block with deletion
+        # still counts the deletion choice.
+        assert estimate_space_size(block) >= 1.0
+
+
+class TestPerInstructionChoices:
+    def test_fully_locked_instruction_has_one_choice(self):
+        block = BasicBlock.from_text(LISTING_4)
+        assert per_instruction_choices(block, 0, fully_locked=True) == 1.0
+
+    def test_opcode_locked_fewer_choices_than_free(self):
+        block = BasicBlock.from_text(LISTING_4)
+        free = per_instruction_choices(block, 0)
+        locked = per_instruction_choices(block, 0, opcode_locked=True)
+        assert locked < free
+
+    def test_report_fields(self):
+        block = BasicBlock.from_text(LISTING_5)
+        report = space_report(block)
+        assert report["num_instructions"] == 10
+        assert report["log10_space_size"] > 20
+        assert set(report) == {
+            "num_instructions",
+            "num_dependencies",
+            "log10_space_size",
+            "space_size",
+        }

@@ -1,0 +1,153 @@
+"""Tests for JSON/CSV export and markdown rendering."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+)
+from repro.explain.explanation import Explanation
+from repro.reporting.export import (
+    explanation_to_dict,
+    explanation_to_json,
+    explanations_to_csv,
+    feature_to_dict,
+    load_explanation_dicts,
+    rows_to_csv,
+)
+from repro.reporting.markdown import explanation_to_markdown, markdown_table
+
+
+BLOCK = BasicBlock.from_text(
+    "add rcx, rax\nmov rdx, rcx\npop rbx", block_id="bb-0001"
+)
+
+
+def _explanation(features, meets_threshold=True):
+    return Explanation(
+        block=BLOCK,
+        model_name="uica-hsw",
+        prediction=1.25,
+        features=tuple(features),
+        precision=0.82,
+        coverage=0.21,
+        meets_threshold=meets_threshold,
+        epsilon=0.5,
+        num_queries=321,
+    )
+
+
+class TestFeatureToDict:
+    def test_instruction_feature_fields(self):
+        feature = InstructionFeature.of(0, BLOCK[0])
+        data = feature_to_dict(feature)
+        assert data["kind"] == "inst"
+        assert data["mnemonic"] == "add"
+        assert data["index"] == 0
+        assert data["operands"] == ["rcx", "rax"]
+
+    def test_dependency_feature_fields(self):
+        feature = next(
+            f for f in extract_features(BLOCK) if isinstance(f, DependencyFeature)
+        )
+        data = feature_to_dict(feature)
+        assert data["kind"] == "dep"
+        assert data["dependency_kind"] in ("RAW", "WAR", "WAW")
+        assert data["source"] < data["destination"]
+
+    def test_count_feature_fields(self):
+        data = feature_to_dict(NumInstructionsFeature(3))
+        assert data["kind"] == "num_instrs"
+        assert data["count"] == 3
+
+    def test_every_feature_is_json_serialisable(self):
+        for feature in extract_features(BLOCK):
+            json.dumps(feature_to_dict(feature))
+
+
+class TestExplanationExport:
+    def test_dict_round_trips_through_json(self):
+        explanation = _explanation([InstructionFeature.of(0, BLOCK[0])])
+        payload = json.loads(explanation_to_json(explanation))
+        assert payload == explanation_to_dict(explanation)
+        assert payload["model"] == "uica-hsw"
+        assert payload["block_id"] == "bb-0001"
+        assert len(payload["features"]) == 1
+
+    def test_load_explanation_dicts_single_and_list(self, tmp_path):
+        explanation = _explanation([InstructionFeature.of(0, BLOCK[0])])
+        single = tmp_path / "single.json"
+        single.write_text(explanation_to_json(explanation))
+        assert len(load_explanation_dicts(single)) == 1
+
+        many = tmp_path / "many.json"
+        many.write_text(
+            json.dumps([explanation_to_dict(explanation), explanation_to_dict(explanation)])
+        )
+        assert len(load_explanation_dicts(many)) == 2
+
+    def test_load_explanation_dicts_rejects_scalars(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("42")
+        with pytest.raises(ValueError):
+            load_explanation_dicts(path)
+
+    def test_csv_export_one_row_per_explanation(self, tmp_path):
+        explanations = [
+            _explanation([InstructionFeature.of(0, BLOCK[0])]),
+            _explanation([NumInstructionsFeature(3)], meets_threshold=False),
+        ]
+        path = explanations_to_csv(explanations, tmp_path / "out" / "expl.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["model"] == "uica-hsw"
+        assert rows[0]["num_features"] == "1"
+        assert rows[1]["meets_threshold"] == "0"
+        assert "num_instrs" in rows[1]["feature_kinds"]
+
+
+class TestRowsToCsv:
+    def test_writes_headers_and_rows(self, tmp_path):
+        path = rows_to_csv(
+            ["model", "mape"], [["uica", 4.5], ["ithemal", 11.0]], tmp_path / "rows.csv"
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["model", "mape"]
+        assert len(rows) == 3
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a", "b"], [[1]], tmp_path / "bad.csv")
+
+
+class TestMarkdown:
+    def test_markdown_table_shape(self):
+        text = markdown_table(["Model", "MAPE"], [["uica", 4.123], ["ithemal", 11.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("| Model")
+        assert lines[1].count("---") == 2
+        assert len(lines) == 4
+        assert "4.12" in lines[2]
+
+    def test_markdown_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+    def test_explanation_markdown_contains_block_and_features(self):
+        explanation = _explanation([InstructionFeature.of(0, BLOCK[0])])
+        text = explanation_to_markdown(explanation)
+        assert "```asm" in text
+        assert "add rcx, rax" in text
+        assert "inst1" in text
+
+    def test_empty_explanation_markdown_mentions_emptiness(self):
+        text = explanation_to_markdown(_explanation([]))
+        assert "empty" in text

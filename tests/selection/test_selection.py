@@ -1,0 +1,179 @@
+"""Tests for explanation-based model selection."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.explain.config import ExplainerConfig
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel, CallableCostModel
+from repro.models.uica import UiCACostModel
+from repro.selection.criteria import GranularityProfile, ModelScore, score_model
+from repro.selection.selector import ModelSelector, SelectionConfig, SelectionReport
+
+
+FAST_EXPLAINER = ExplainerConfig(
+    epsilon=0.25,
+    relative_epsilon=0.0,
+    coverage_samples=60,
+    max_precision_samples=40,
+    min_precision_samples=12,
+    batch_size=8,
+)
+
+BLOCK_TEXTS = [
+    "add rcx, rax\nmov rdx, rcx\npop rbx",
+    "mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx",
+    "lea rdx, [rax + 8]\nmov qword ptr [rdi + 24], rdx\nmov rsi, qword ptr [r14 + 32]",
+    "shl eax, 3\nimul rax, r15\nadd rax, 7\nshr rax, 3",
+]
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return [BasicBlock.from_text(text) for text in BLOCK_TEXTS]
+
+
+@pytest.fixture(scope="module")
+def targets(blocks):
+    oracle = UiCACostModel("hsw")
+    return [oracle.predict(block) for block in blocks]
+
+
+class TestScoreModel:
+    def test_score_fields_are_populated(self, blocks, targets):
+        model = CachedCostModel(AnalyticalCostModel("hsw"))
+        score = score_model(model, blocks, targets, config=FAST_EXPLAINER, seed=0)
+        assert isinstance(score, ModelScore)
+        assert score.blocks_evaluated == len(blocks)
+        assert score.mape >= 0.0
+        assert 0.0 <= score.mean_precision <= 1.0
+        assert 0.0 <= score.mean_coverage <= 1.0
+
+    def test_granularity_percentages_are_bounded(self, blocks, targets):
+        model = CachedCostModel(UiCACostModel("hsw"))
+        score = score_model(model, blocks, targets, config=FAST_EXPLAINER, seed=0)
+        profile = score.granularity
+        for value in (
+            profile.pct_num_instructions,
+            profile.pct_instructions,
+            profile.pct_dependencies,
+            profile.pct_fine_grained,
+            profile.pct_coarse_only,
+        ):
+            assert 0.0 <= value <= 100.0
+
+    def test_mismatched_lengths_raise(self, blocks):
+        model = AnalyticalCostModel("hsw")
+        with pytest.raises(ValueError):
+            score_model(model, blocks, [1.0], config=FAST_EXPLAINER)
+
+    def test_empty_block_set_raises(self):
+        model = AnalyticalCostModel("hsw")
+        with pytest.raises(ValueError):
+            score_model(model, [], [], config=FAST_EXPLAINER)
+
+    def test_perfect_model_has_zero_mape(self, blocks, targets):
+        lookup = {block.key(): target for block, target in zip(blocks, targets)}
+        # The explainer also queries perturbed blocks, which are not in the
+        # lookup; fall back to a constant for those (MAPE only uses the
+        # original blocks, so it stays exactly zero).
+        model = CallableCostModel(lambda b: lookup.get(b.key(), 1.0), name="oracle-copy")
+        score = score_model(model, blocks, targets, config=FAST_EXPLAINER, seed=1)
+        assert score.mape == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGranularityProfile:
+    def test_empty_explanation_list_gives_nan(self):
+        profile = GranularityProfile.of([])
+        assert profile.pct_fine_grained != profile.pct_fine_grained  # NaN
+
+
+class TestSelectionConfig:
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(mape_tolerance=-1.0)
+
+
+class TestModelSelector:
+    def test_requires_nonempty_blocks(self):
+        with pytest.raises(ValueError):
+            ModelSelector([], [])
+
+    def test_requires_matching_lengths(self, blocks):
+        with pytest.raises(ValueError):
+            ModelSelector(blocks, [1.0])
+
+    def test_rank_requires_candidates(self, blocks, targets):
+        selector = ModelSelector(blocks, targets)
+        with pytest.raises(ValueError):
+            selector.rank({})
+
+    def test_ranking_contains_every_candidate(self, blocks, targets):
+        selector = ModelSelector(
+            blocks, targets, SelectionConfig(explainer=FAST_EXPLAINER, seed=0)
+        )
+        report = selector.rank(
+            {
+                "crude": CachedCostModel(AnalyticalCostModel("hsw")),
+                "uica": CachedCostModel(UiCACostModel("hsw")),
+            }
+        )
+        assert isinstance(report, SelectionReport)
+        assert {score.model_name for score in report.ranking} == {"crude", "uica"}
+
+    def test_lower_error_model_wins_outside_tolerance(self, blocks, targets):
+        # A constant model has huge error; the uiCA stand-in tracks the
+        # oracle closely, so with a tight tolerance the error criterion
+        # decides alone.
+        selector = ModelSelector(
+            blocks,
+            targets,
+            SelectionConfig(mape_tolerance=0.5, explainer=FAST_EXPLAINER, seed=0),
+        )
+        report = selector.rank(
+            {
+                "constant": CallableCostModel(lambda b: 100.0, name="constant"),
+                "uica": CachedCostModel(UiCACostModel("hsw")),
+            }
+        )
+        assert report.best_name == "uica"
+        assert "lowest MAPE" in report.rationale
+
+    def test_near_tie_broken_by_granularity(self, blocks, targets):
+        # With an enormous tolerance every candidate counts as "similar
+        # performing", so the winner must simply be the candidate with the
+        # largest share of fine-grained explanations.
+        count_only = CallableCostModel(
+            lambda b: 1.0 + 0.25 * b.num_instructions, name="count-only"
+        )
+        fine_grained = CachedCostModel(UiCACostModel("hsw"))
+        selector = ModelSelector(
+            blocks,
+            targets,
+            SelectionConfig(mape_tolerance=1000.0, explainer=FAST_EXPLAINER, seed=0),
+        )
+        report = selector.rank({"count-only": count_only, "uica": fine_grained})
+        count_score = report.score_for("count-only")
+        uica_score = report.score_for("uica")
+        assert report.best is max(
+            [count_score, uica_score],
+            key=lambda s: s.granularity.pct_fine_grained,
+        )
+        assert "fine-grained" in report.rationale
+
+    def test_score_for_unknown_model_raises(self, blocks, targets):
+        selector = ModelSelector(
+            blocks, targets, SelectionConfig(explainer=FAST_EXPLAINER)
+        )
+        report = selector.rank({"crude": CachedCostModel(AnalyticalCostModel("hsw"))})
+        with pytest.raises(KeyError):
+            report.score_for("missing")
+
+    def test_render_includes_table_and_selection(self, blocks, targets):
+        selector = ModelSelector(
+            blocks, targets, SelectionConfig(explainer=FAST_EXPLAINER, seed=0)
+        )
+        report = selector.rank({"crude": CachedCostModel(AnalyticalCostModel("hsw"))})
+        text = report.render()
+        assert "Model selection report" in text
+        assert "Selected: crude" in text

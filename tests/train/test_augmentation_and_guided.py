@@ -1,0 +1,196 @@
+"""Tests for feedback-driven augmentation and the guided training loop."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import NumInstructionsFeature, extract_features, features_present, FeatureKind
+from repro.data.bhive import BHiveDataset
+from repro.data.oracle import HardwareOracle
+from repro.explain.config import ExplainerConfig
+from repro.explain.explanation import Explanation
+from repro.models.ithemal import IthemalConfig
+from repro.train.augmentation import AugmentationConfig, augment_coarse_blocks
+from repro.train.feedback import BlockFeedback
+from repro.train.guided import (
+    ExplanationGuidedTrainer,
+    GuidedTrainingConfig,
+    GuidedTrainingResult,
+)
+
+
+FAST_EXPLAINER = ExplainerConfig(
+    epsilon=0.25,
+    relative_epsilon=0.0,
+    coverage_samples=40,
+    max_precision_samples=30,
+    min_precision_samples=10,
+    batch_size=8,
+)
+
+BLOCKS = [
+    BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx\nadd rsi, 8"),
+    BasicBlock.from_text("mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx"),
+]
+
+
+def _coarse_feedback(block):
+    explanation = Explanation(
+        block=block,
+        model_name="test",
+        prediction=1.0,
+        features=(NumInstructionsFeature(block.num_instructions),),
+        precision=0.9,
+        coverage=0.3,
+        meets_threshold=True,
+        epsilon=0.25,
+    )
+    return BlockFeedback(block=block, explanation=explanation)
+
+
+def _fine_feedback(block):
+    explanation = Explanation(
+        block=block,
+        model_name="test",
+        prediction=1.0,
+        features=(extract_features(block)[0],),
+        precision=0.9,
+        coverage=0.3,
+        meets_threshold=True,
+        epsilon=0.25,
+    )
+    return BlockFeedback(block=block, explanation=explanation)
+
+
+class TestAugmentationConfig:
+    def test_negative_variants_rejected(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(variants_per_block=-1)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(max_attempts_per_variant=0)
+
+
+class TestAugmentCoarseBlocks:
+    def test_only_coarse_blocks_generate_variants(self):
+        oracle = HardwareOracle("hsw")
+        feedback = [_fine_feedback(BLOCKS[0]), _fine_feedback(BLOCKS[1])]
+        blocks, labels = augment_coarse_blocks(feedback, oracle, rng=0)
+        assert blocks == []
+        assert labels == []
+
+    def test_variants_are_labelled_and_distinct_from_source(self):
+        oracle = HardwareOracle("hsw")
+        feedback = [_coarse_feedback(BLOCKS[0])]
+        blocks, labels = augment_coarse_blocks(
+            feedback,
+            oracle,
+            config=AugmentationConfig(variants_per_block=3),
+            rng=1,
+        )
+        assert len(blocks) == len(labels)
+        assert all(label > 0.0 for label in labels)
+        assert all(block.key() != BLOCKS[0].key() for block in blocks)
+
+    def test_variants_preserve_fine_grained_features(self):
+        oracle = HardwareOracle("hsw")
+        source = BLOCKS[0]
+        feedback = [_coarse_feedback(source)]
+        fine = tuple(
+            f
+            for f in extract_features(source)
+            if f.kind is not FeatureKind.NUM_INSTRUCTIONS
+        )
+        blocks, _ = augment_coarse_blocks(
+            feedback,
+            oracle,
+            config=AugmentationConfig(variants_per_block=4),
+            rng=2,
+        )
+        for variant in blocks:
+            assert features_present(fine, variant)
+
+    def test_zero_variants_produces_nothing(self):
+        oracle = HardwareOracle("hsw")
+        feedback = [_coarse_feedback(BLOCKS[0])]
+        blocks, labels = augment_coarse_blocks(
+            feedback, oracle, config=AugmentationConfig(variants_per_block=0), rng=0
+        )
+        assert blocks == [] and labels == []
+
+
+class TestGuidedTrainingConfig:
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            GuidedTrainingConfig(rounds=-1)
+
+    def test_invalid_feedback_sample_rejected(self):
+        with pytest.raises(ValueError):
+            GuidedTrainingConfig(feedback_sample=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return BHiveDataset.synthesize(
+        36, min_instructions=3, max_instructions=7, microarchs=("hsw",), rng=11
+    )
+
+
+class TestExplanationGuidedTrainer:
+    def test_rejects_mismatched_inputs(self):
+        trainer = ExplanationGuidedTrainer("hsw")
+        with pytest.raises(ValueError):
+            trainer.train(BLOCKS, [1.0])
+
+    def test_rejects_empty_dataset(self):
+        trainer = ExplanationGuidedTrainer("hsw")
+        with pytest.raises(ValueError):
+            trainer.train([], [])
+
+    def test_guided_loop_runs_and_records_history(self, tiny_dataset):
+        blocks = tiny_dataset.blocks()
+        targets = tiny_dataset.throughputs("hsw")
+        config = GuidedTrainingConfig(
+            rounds=1,
+            initial_epochs=1,
+            epochs_per_round=1,
+            feedback_sample=3,
+            explainer=FAST_EXPLAINER,
+            augmentation=AugmentationConfig(variants_per_block=1),
+            seed=0,
+        )
+        trainer = ExplanationGuidedTrainer(
+            "hsw",
+            ithemal_config=IthemalConfig(embedding_size=8, hidden_size=8, epochs=1),
+            guided_config=config,
+        )
+        result = trainer.train(blocks, targets, rng=0)
+        assert isinstance(result, GuidedTrainingResult)
+        assert len(result.rounds) == 1
+        record = result.rounds[0]
+        assert record.training_set_size >= len(blocks)
+        assert record.feedback.total == 3
+        assert record.validation_mape >= 0.0
+        assert result.model.trained
+
+    def test_render_produces_table(self, tiny_dataset):
+        blocks = tiny_dataset.blocks()[:12]
+        targets = tiny_dataset.throughputs("hsw")[:12]
+        config = GuidedTrainingConfig(
+            rounds=1,
+            initial_epochs=1,
+            epochs_per_round=0,
+            feedback_sample=2,
+            explainer=FAST_EXPLAINER,
+            augmentation=AugmentationConfig(variants_per_block=1),
+            seed=1,
+        )
+        trainer = ExplanationGuidedTrainer(
+            "hsw",
+            ithemal_config=IthemalConfig(embedding_size=8, hidden_size=8, epochs=1),
+            guided_config=config,
+        )
+        result = trainer.train(blocks, targets, rng=1)
+        text = result.render()
+        assert "Explanation-guided training history" in text
+        assert result.final_pct_coarse == result.rounds[-1].feedback.pct_coarse

@@ -1,0 +1,141 @@
+"""Tests for the COMET feedback collector."""
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.bb.features import (
+    DependencyFeature,
+    InstructionFeature,
+    NumInstructionsFeature,
+    extract_features,
+)
+from repro.explain.config import ExplainerConfig
+from repro.explain.explanation import Explanation
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel, CallableCostModel
+from repro.train.feedback import BlockFeedback, FeedbackSummary, GranularityFeedback
+
+
+FAST_EXPLAINER = ExplainerConfig(
+    epsilon=0.25,
+    relative_epsilon=0.0,
+    coverage_samples=50,
+    max_precision_samples=36,
+    min_precision_samples=12,
+    batch_size=8,
+)
+
+BLOCKS = [
+    BasicBlock.from_text("add rcx, rax\nmov rdx, rcx\npop rbx"),
+    BasicBlock.from_text("mov ecx, edx\nxor edx, edx\ndiv rcx\nimul rax, rcx"),
+    BasicBlock.from_text("shl eax, 3\nimul rax, r15\nadd rax, 7\nshr rax, 3"),
+]
+
+
+def _explanation(block, features, prediction=1.0):
+    return Explanation(
+        block=block,
+        model_name="test",
+        prediction=prediction,
+        features=tuple(features),
+        precision=0.9,
+        coverage=0.3,
+        meets_threshold=True,
+        epsilon=0.25,
+    )
+
+
+class TestBlockFeedback:
+    def test_count_only_explanation_is_coarse(self):
+        block = BLOCKS[0]
+        feedback = BlockFeedback(
+            block, _explanation(block, [NumInstructionsFeature(block.num_instructions)])
+        )
+        assert feedback.is_coarse
+        assert not feedback.is_fine_grained
+        assert not feedback.is_empty
+
+    def test_instruction_explanation_is_fine_grained(self):
+        block = BLOCKS[0]
+        feedback = BlockFeedback(
+            block, _explanation(block, [InstructionFeature.of(0, block[0])])
+        )
+        assert feedback.is_fine_grained
+        assert not feedback.is_coarse
+
+    def test_mixed_explanation_is_not_coarse(self):
+        block = BLOCKS[0]
+        dep = next(
+            f for f in extract_features(block) if isinstance(f, DependencyFeature)
+        )
+        feedback = BlockFeedback(
+            block,
+            _explanation(
+                block, [NumInstructionsFeature(block.num_instructions), dep]
+            ),
+        )
+        assert not feedback.is_coarse
+        assert feedback.is_fine_grained
+
+    def test_empty_explanation_flagged(self):
+        block = BLOCKS[0]
+        feedback = BlockFeedback(block, _explanation(block, []))
+        assert feedback.is_empty
+        assert not feedback.is_coarse
+
+
+class TestFeedbackSummary:
+    def test_percentages(self):
+        summary = FeedbackSummary(total=4, coarse=1, fine_grained=2, empty=1)
+        assert summary.pct_coarse == pytest.approx(25.0)
+        assert summary.pct_fine_grained == pytest.approx(50.0)
+
+    def test_empty_round_gives_nan(self):
+        summary = FeedbackSummary(total=0, coarse=0, fine_grained=0, empty=0)
+        assert summary.pct_coarse != summary.pct_coarse  # NaN
+
+
+class TestGranularityFeedback:
+    def test_collect_explains_every_block_by_default(self):
+        model = CachedCostModel(AnalyticalCostModel("hsw"))
+        collector = GranularityFeedback(FAST_EXPLAINER, seed=0)
+        feedback = collector.collect(model, BLOCKS)
+        assert len(feedback) == len(BLOCKS)
+        assert all(isinstance(f, BlockFeedback) for f in feedback)
+
+    def test_sample_size_limits_work(self):
+        model = CachedCostModel(AnalyticalCostModel("hsw"))
+        collector = GranularityFeedback(FAST_EXPLAINER, seed=0)
+        feedback = collector.collect(model, BLOCKS, sample_size=2)
+        assert len(feedback) == 2
+
+    def test_invalid_sample_size_rejected(self):
+        model = AnalyticalCostModel("hsw")
+        collector = GranularityFeedback(FAST_EXPLAINER, seed=0)
+        with pytest.raises(ValueError):
+            collector.collect(model, BLOCKS, sample_size=0)
+
+    def test_empty_block_list_returns_empty_feedback(self):
+        model = AnalyticalCostModel("hsw")
+        collector = GranularityFeedback(FAST_EXPLAINER, seed=0)
+        assert collector.collect(model, []) == []
+
+    def test_count_driven_model_yields_coarse_feedback(self):
+        """A model that only reads η must be reported as coarse-reliant."""
+        model = CallableCostModel(
+            lambda b: 0.25 * b.num_instructions, name="frontend-only"
+        )
+        collector = GranularityFeedback(FAST_EXPLAINER, seed=3)
+        feedback = collector.collect(model, BLOCKS)
+        summary = GranularityFeedback.summarize(feedback)
+        assert summary.total == len(BLOCKS)
+        assert summary.coarse >= summary.fine_grained
+
+    def test_summarize_counts_match_flags(self):
+        model = CachedCostModel(AnalyticalCostModel("hsw"))
+        collector = GranularityFeedback(FAST_EXPLAINER, seed=1)
+        feedback = collector.collect(model, BLOCKS)
+        summary = GranularityFeedback.summarize(feedback)
+        assert summary.total == len(feedback)
+        assert summary.coarse == sum(1 for f in feedback if f.is_coarse)
+        assert summary.fine_grained == sum(1 for f in feedback if f.is_fine_grained)

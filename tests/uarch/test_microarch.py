@@ -1,0 +1,67 @@
+"""Tests for micro-architecture specs and ports."""
+
+import pytest
+
+from repro.uarch.microarch import (
+    HASWELL,
+    SKYLAKE,
+    available_microarchitectures,
+    get_microarch,
+)
+from repro.uarch.ports import format_ports, parse_ports
+from repro.utils.errors import ReproError
+
+
+class TestPorts:
+    def test_parse_simple(self):
+        assert parse_ports("015") == frozenset({"0", "1", "5"})
+
+    def test_parse_with_p_prefix(self):
+        assert parse_ports("p23") == frozenset({"2", "3"})
+
+    def test_invalid_port(self):
+        with pytest.raises(ValueError):
+            parse_ports("0x")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError):
+            parse_ports("")
+
+    def test_format_round_trip(self):
+        assert format_ports(parse_ports("p510")) == "p015"
+
+
+class TestMicroArchitectures:
+    def test_lookup_by_aliases(self):
+        assert get_microarch("hsw") is HASWELL
+        assert get_microarch("Haswell") is HASWELL
+        assert get_microarch("SKL") is SKYLAKE
+        assert get_microarch("skylake") is SKYLAKE
+
+    def test_lookup_passthrough(self):
+        assert get_microarch(HASWELL) is HASWELL
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_microarch("zen3")
+
+    def test_available(self):
+        assert set(available_microarchitectures()) == {"hsw", "skl"}
+
+    def test_issue_width(self):
+        assert HASWELL.issue_width == 4
+        assert SKYLAKE.issue_width == 4
+
+    def test_skylake_has_larger_window(self):
+        assert SKYLAKE.rob_size > HASWELL.rob_size
+        assert SKYLAKE.scheduler_size > HASWELL.scheduler_size
+
+    def test_skylake_faster_loads(self):
+        assert SKYLAKE.load_latency <= HASWELL.load_latency
+
+    def test_port_sets_are_subsets_of_ports(self):
+        for uarch in (HASWELL, SKYLAKE):
+            all_ports = frozenset(uarch.ports)
+            assert uarch.load_ports <= all_ports
+            assert uarch.store_data_ports <= all_ports
+            assert uarch.store_agu_ports <= all_ports

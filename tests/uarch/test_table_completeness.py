@@ -1,0 +1,118 @@
+"""Exhaustive consistency checks of the ISA/uarch substrate tables.
+
+The cost models and the perturbation algorithm assume that *every* opcode in
+the ISA subset has a well-formed cost entry on every modelled
+micro-architecture and that the register file's aliasing structure is
+coherent.  These checks run over the full tables rather than spot-checking a
+few mnemonics, so a new opcode or micro-architecture cannot be added half-way.
+"""
+
+import pytest
+
+from repro.isa.opcodes import OPCODES, opcode_spec
+from repro.isa.registers import REGISTERS, register, same_size_registers
+from repro.uarch.microarch import available_microarchitectures, get_microarch
+from repro.uarch.tables import instruction_cost
+
+
+MICROARCHS = available_microarchitectures()
+
+#: Opcodes that can appear inside a basic block (control-transfer opcodes are
+#: modelled in the ISA for validation purposes but deliberately have no cost
+#: entry — they can never reach a cost model).
+BLOCK_OPCODES = sorted(m for m in OPCODES if opcode_spec(m).allowed_in_block)
+
+
+class TestCostTableCompleteness:
+    @pytest.mark.parametrize("microarch", MICROARCHS)
+    def test_every_block_opcode_has_a_cost_entry(self, microarch):
+        for mnemonic in BLOCK_OPCODES:
+            cost = instruction_cost(mnemonic, microarch)
+            assert cost is not None, f"{mnemonic} missing from {microarch} cost table"
+
+    @pytest.mark.parametrize("microarch", MICROARCHS)
+    def test_costs_are_positive_and_ordered(self, microarch):
+        for mnemonic in BLOCK_OPCODES:
+            cost = instruction_cost(mnemonic, microarch)
+            assert cost.throughput > 0.0, mnemonic
+            assert cost.latency >= 0.0, mnemonic
+            # Reciprocal throughput can never exceed latency for a single
+            # instruction (a result cannot be produced faster than its
+            # dependency chain allows, but it can be pipelined).  The only
+            # exception is nop, which produces no result and is modelled with
+            # zero latency.
+            if mnemonic != "nop":
+                assert cost.throughput <= cost.latency + 1e-9, mnemonic
+
+    @pytest.mark.parametrize("microarch", MICROARCHS)
+    def test_every_uop_maps_to_machine_ports(self, microarch):
+        machine = get_microarch(microarch)
+        for mnemonic in BLOCK_OPCODES:
+            cost = instruction_cost(mnemonic, microarch)
+            for uop in cost.uops:
+                assert uop.ports, f"{mnemonic} has a uop with no ports"
+                for port in uop.ports:
+                    assert port in machine.ports, (
+                        f"{mnemonic} uses port {port} not present on {machine.name}"
+                    )
+
+    def test_microarchitectures_actually_differ(self):
+        """Haswell and Skylake tables must not be identical copies."""
+        differences = 0
+        for mnemonic in BLOCK_OPCODES:
+            hsw = instruction_cost(mnemonic, "hsw")
+            skl = instruction_cost(mnemonic, "skl")
+            if hsw.throughput != skl.throughput or hsw.latency != skl.latency:
+                differences += 1
+        assert differences >= 3
+
+    def test_division_is_among_the_most_expensive_opcodes(self):
+        """Sanity anchor used throughout the paper's case studies."""
+        for microarch in MICROARCHS:
+            div_cost = instruction_cost("div", microarch).throughput
+            more_expensive = [
+                mnemonic
+                for mnemonic in BLOCK_OPCODES
+                if instruction_cost(mnemonic, microarch).throughput > div_cost
+            ]
+            # Only the signed divide may be costlier than div.
+            assert set(more_expensive) <= {"idiv"}, more_expensive
+
+
+class TestOpcodeSpecConsistency:
+    def test_access_length_matches_arity(self):
+        for mnemonic in BLOCK_OPCODES:
+            spec = opcode_spec(mnemonic)
+            for signature in spec.signatures:
+                assert len(signature) == len(spec.access), mnemonic
+
+    def test_signatures_are_not_empty_for_operand_taking_opcodes(self):
+        for mnemonic in BLOCK_OPCODES:
+            spec = opcode_spec(mnemonic)
+            assert spec.signatures is not None
+            if spec.access:
+                assert spec.signatures, mnemonic
+
+
+class TestRegisterFileConsistency:
+    def test_lookup_round_trip(self):
+        for name, reg in REGISTERS.items():
+            assert register(name) is reg
+            assert reg.name == name
+
+    def test_roots_are_reflexive_and_shared_within_families(self):
+        for reg in REGISTERS.values():
+            family = [r for r in REGISTERS.values() if r.root == reg.root]
+            assert reg in family
+            widths = [r.width for r in family]
+            assert len(widths) == len(set(widths)) or reg.cls.value == "vector", (
+                "general-purpose families must not contain duplicate widths: "
+                f"{reg.root}"
+            )
+
+    def test_same_size_registers_share_class_and_width(self):
+        for reg in REGISTERS.values():
+            for candidate in same_size_registers(reg):
+                assert candidate.width == reg.width
+                assert candidate.cls is reg.cls
+                assert candidate.root != reg.root or candidate is reg

@@ -1,0 +1,126 @@
+"""Tests for the per-micro-architecture instruction cost tables."""
+
+import pytest
+
+from repro.isa.opcodes import OPCODES
+from repro.isa.parser import parse_block_text, parse_instruction
+from repro.uarch.tables import (
+    InstructionCost,
+    Uop,
+    block_reciprocal_throughput_bound,
+    cost_table,
+    instruction_cost,
+    instruction_cost_for,
+)
+
+
+class TestTableCoverage:
+    @pytest.mark.parametrize("uarch", ["hsw", "skl"])
+    def test_every_block_legal_opcode_has_a_cost(self, uarch):
+        table = cost_table(uarch)
+        for mnemonic, spec in OPCODES.items():
+            if spec.allowed_in_block:
+                assert mnemonic in table, mnemonic
+
+    @pytest.mark.parametrize("uarch", ["hsw", "skl"])
+    def test_costs_are_positive(self, uarch):
+        for mnemonic, cost in cost_table(uarch).items():
+            assert cost.throughput > 0, mnemonic
+            assert cost.latency >= 0, mnemonic
+            assert cost.total_uops >= 1, mnemonic
+
+    def test_control_transfer_not_in_table(self):
+        assert "jmp" not in cost_table("hsw")
+
+
+class TestRelativeCosts:
+    def test_division_dominates_alu(self):
+        for uarch in ("hsw", "skl"):
+            assert (
+                instruction_cost("div", uarch).throughput
+                > 10 * instruction_cost("add", uarch).throughput
+            )
+
+    def test_skylake_divider_is_faster(self):
+        assert (
+            instruction_cost("div", "skl").throughput
+            < instruction_cost("div", "hsw").throughput
+        )
+        assert (
+            instruction_cost("divss", "skl").throughput
+            < instruction_cost("divss", "hsw").throughput
+        )
+
+    def test_multiply_slower_than_add(self):
+        assert (
+            instruction_cost("imul", "hsw").latency
+            > instruction_cost("add", "hsw").latency
+        )
+
+    def test_fp_divide_uses_single_port(self):
+        cost = instruction_cost("divss", "hsw")
+        assert cost.uops[0].ports == frozenset({"0"})
+
+
+class TestMemoryForms:
+    def test_load_adds_latency(self):
+        reg_form = instruction_cost_for(parse_instruction("add rcx, rax"), "hsw")
+        mem_form = instruction_cost_for(
+            parse_instruction("add rcx, qword ptr [rdi + 8]"), "hsw"
+        )
+        assert mem_form.latency > reg_form.latency
+        assert mem_form.total_uops > reg_form.total_uops
+
+    def test_store_forces_throughput_one(self):
+        store = instruction_cost_for(
+            parse_instruction("mov qword ptr [rdi], rdx"), "hsw"
+        )
+        assert store.throughput >= 1.0
+        reg = instruction_cost_for(parse_instruction("mov rax, rdx"), "hsw")
+        assert reg.throughput < 1.0
+
+    def test_lea_is_not_a_memory_access(self):
+        lea = instruction_cost_for(parse_instruction("lea rax, [rdi + 8]"), "hsw")
+        base = instruction_cost("lea", "hsw")
+        assert lea.latency == base.latency
+        assert lea.total_uops == base.total_uops
+
+    def test_pop_and_push_not_double_counted(self):
+        pop = instruction_cost_for(parse_instruction("pop rbx"), "hsw")
+        assert pop.total_uops == instruction_cost("pop", "hsw").total_uops
+
+
+class TestUopValidation:
+    def test_uop_requires_ports(self):
+        with pytest.raises(ValueError):
+            Uop(1, frozenset())
+
+    def test_uop_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            Uop(0, frozenset({"0"}))
+
+    def test_cost_requires_positive_throughput(self):
+        with pytest.raises(ValueError):
+            InstructionCost(1.0, 0.0, (Uop(1, frozenset({"0"})),))
+
+
+class TestThroughputBound:
+    def test_bound_at_least_frontend(self):
+        block = parse_block_text(
+            "add rax, rbx\nadd rcx, rdx\nadd rsi, rdi\nadd r8, r9\n"
+            "add r10, r11\nadd r12, r13\nadd r14, r15\nadd rbx, rax"
+        )
+        bound = block_reciprocal_throughput_bound(block, "hsw")
+        assert bound >= 8 / 4  # 8 single-uop instructions, issue width 4
+
+    def test_store_block_bound_by_store_port(self):
+        block = parse_block_text(
+            "mov qword ptr [rdi], rax\nmov qword ptr [rdi + 8], rbx\n"
+            "mov qword ptr [rdi + 16], rcx"
+        )
+        bound = block_reciprocal_throughput_bound(block, "hsw")
+        assert bound >= 3.0  # one store-data port -> one store per cycle
+
+    def test_division_block_bound_large(self):
+        block = parse_block_text("div rcx")
+        assert block_reciprocal_throughput_bound(block, "hsw") > 10.0

@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.errors import (
+    ModelError,
+    ParseError,
+    PerturbationError,
+    ReproError,
+    UnknownOpcodeError,
+    UnknownRegisterError,
+    ValidationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        ParseError,
+        ValidationError,
+        UnknownOpcodeError,
+        UnknownRegisterError,
+        PerturbationError,
+        ModelError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_parse_error_message_contains_text_and_reason():
+    err = ParseError("mov rax", "missing operand")
+    assert "mov rax" in str(err)
+    assert "missing operand" in str(err)
+    assert err.text == "mov rax"
+
+
+def test_unknown_opcode_error_records_mnemonic():
+    err = UnknownOpcodeError("frobnicate")
+    assert err.mnemonic == "frobnicate"
+    assert "frobnicate" in str(err)
+
+
+def test_unknown_register_error_records_name():
+    err = UnknownRegisterError("r99")
+    assert err.name == "r99"
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise ValidationError("bad block")

@@ -1,0 +1,55 @@
+"""Tests for the text table/series renderers."""
+
+import pytest
+
+from repro.utils.tables import format_mean_std, render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+        assert "a" in text and "b" in text
+        assert "2.50" in text and "4.25" in text
+
+    def test_title_rendered(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_precision_controls_floats(self):
+        text = render_table(["x"], [[1.23456]], precision=4)
+        assert "1.2346" in text
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_string_cells_pass_through(self):
+        text = render_table(["name"], [["hello ± 1"]])
+        assert "hello ± 1" in text
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [[1], [100000]])
+        lines = text.splitlines()
+        assert len(lines[-1]) >= len("100000")
+
+
+class TestRenderSeries:
+    def test_basic_series(self):
+        text = render_series("Fig", [1, 2, 3], {"y": [0.1, 0.2, 0.3]}, x_label="x")
+        assert "Fig" in text and "x" in text and "0.300" in text
+
+    def test_multiple_series(self):
+        text = render_series("S", [1], {"a": [1.0], "b": [2.0]})
+        assert "a" in text and "b" in text
+
+    def test_short_series_padded_with_nan(self):
+        text = render_series("S", [1, 2], {"a": [1.0]})
+        assert "nan" in text
+
+
+class TestFormatMeanStd:
+    def test_format(self):
+        assert format_mean_std(96.9, 0.92) == "96.90 ± 0.92"
+
+    def test_precision(self):
+        assert format_mean_std(0.1234, 0.005, precision=3) == "0.123 ± 0.005"
