@@ -1,0 +1,187 @@
+"""Throughput benchmark of the batched query engine.
+
+Measures the end-to-end explanation pipeline in two configurations:
+
+* **sequential** — the pre-batching engine: one ``model.predict`` call per
+  perturbed block and the scalar reference implementation of Γ
+  (``PerturbationConfig(vectorized=False)``),
+* **batched** — the batched query engine: every precision-refinement round
+  routes all its perturbed blocks through a single ``predict_batch`` call,
+  Γ runs its vectorized fast path, and the cache wrapper dedupes batches.
+
+Reported per mode: wall-clock time, explanations/sec, real model queries,
+queries/sec and the cache hit rate.  A raw model-level microbenchmark
+(``predict_many`` vs ``predict_batch`` on a fixed perturbation set) is
+included so the model-side speedup is visible independently of the sampler.
+
+Run standalone (writes ``BENCH_query_engine.json`` at the repository root):
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py
+    PYTHONPATH=src python benchmarks/bench_query_engine.py --quick --model crude
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.synthesis import BlockSynthesizer
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.models.base import CachedCostModel
+from repro.models.registry import build_cost_model
+from repro.perturb.config import PerturbationConfig
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--model", default="crude", help="cost model short name")
+    parser.add_argument("--microarch", default="hsw")
+    parser.add_argument("--blocks", type=int, default=12, help="number of blocks to explain")
+    parser.add_argument("--min-size", type=int, default=4, help="smallest block (instructions)")
+    parser.add_argument("--max-size", type=int, default=14, help="largest block (instructions)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0, help="thread fan-out for simulator models")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny configuration for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_query_engine.json"),
+        help="where to write the JSON report",
+    )
+    return parser.parse_args(argv)
+
+
+def build_model(args) -> CachedCostModel:
+    model = build_cost_model(
+        args.model, args.microarch, cached=False, batch_workers=args.workers
+    )
+    return CachedCostModel(model)
+
+
+def explainer_config(batched: bool) -> ExplainerConfig:
+    return ExplainerConfig(
+        epsilon=0.2,
+        relative_epsilon=0.0,
+        batch_queries=batched,
+        perturbation=PerturbationConfig(vectorized=batched),
+    )
+
+
+def run_mode(args, blocks, batched: bool) -> dict:
+    model = build_model(args)
+    explainer = CometExplainer(model, explainer_config(batched), rng=args.seed)
+    start = time.perf_counter()
+    explanations = explainer.explain_many(blocks, rng=args.seed)
+    elapsed = time.perf_counter() - start
+    queries = model.query_count  # real inner-model evaluations
+    lookups = model.hits + model.misses
+    return {
+        "mode": "batched" if batched else "sequential",
+        "blocks": len(blocks),
+        "seconds": round(elapsed, 4),
+        "explanations_per_sec": round(len(blocks) / elapsed, 4),
+        "model_queries": queries,
+        "queries_per_sec": round(queries / elapsed, 1),
+        "cache_lookups": lookups,
+        "cache_hit_rate": round(model.hit_rate, 4),
+        "mean_precision": round(
+            sum(e.precision for e in explanations) / len(explanations), 4
+        ),
+        "anchors_meeting_threshold": sum(e.meets_threshold for e in explanations),
+    }
+
+
+def run_model_microbench(args, blocks) -> dict:
+    """predict_many vs predict_batch on a fixed set of perturbed blocks."""
+    from repro.perturb.sampler import PerturbationSampler
+
+    per_block = 40 if args.quick else 200
+    queries = []
+    for block in blocks:
+        sampler = PerturbationSampler(block, rng=args.seed)
+        queries.extend(sampler.sample_unconstrained(per_block))
+
+    sequential_model = build_model(args).inner
+    start = time.perf_counter()
+    sequential_values = sequential_model.predict_many(queries)
+    sequential_elapsed = time.perf_counter() - start
+
+    batched_model = build_model(args).inner
+    start = time.perf_counter()
+    batched_values = batched_model.predict_batch(queries)
+    batched_elapsed = time.perf_counter() - start
+
+    max_abs_diff = max(
+        abs(a - b) for a, b in zip(sequential_values, batched_values)
+    )
+    return {
+        "queries": len(queries),
+        "predict_many_qps": round(len(queries) / sequential_elapsed, 1),
+        "predict_batch_qps": round(len(queries) / batched_elapsed, 1),
+        "model_speedup": round(sequential_elapsed / batched_elapsed, 2),
+        "max_abs_prediction_diff": max_abs_diff,
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.quick:
+        args.blocks = min(args.blocks, 3)
+        args.max_size = min(args.max_size, 8)
+
+    synthesizer = BlockSynthesizer(rng=args.seed)
+    blocks = synthesizer.generate_many(
+        args.blocks,
+        min_instructions=args.min_size,
+        max_instructions=args.max_size,
+        rng=args.seed + 1,
+    )
+
+    sequential = run_mode(args, blocks, batched=False)
+    batched = run_mode(args, blocks, batched=True)
+    micro = run_model_microbench(args, blocks)
+    speedup = round(
+        batched["explanations_per_sec"] / sequential["explanations_per_sec"], 2
+    )
+
+    report = {
+        "benchmark": "query_engine",
+        "model": args.model,
+        "microarch": args.microarch,
+        "seed": args.seed,
+        "block_sizes": [args.min_size, args.max_size],
+        "sequential": sequential,
+        "batched": batched,
+        "explanations_per_sec_speedup": speedup,
+        "model_microbench": micro,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"query-engine benchmark — model={args.model} blocks={len(blocks)}")
+    for row in (sequential, batched):
+        print(
+            f"  {row['mode']:>10}: {row['seconds']:7.2f}s  "
+            f"{row['explanations_per_sec']:7.3f} expl/s  "
+            f"{row['queries_per_sec']:9.1f} q/s  "
+            f"hit-rate {row['cache_hit_rate']:.2%}"
+        )
+    print(
+        f"  speedup: {speedup:.2f}x explanations/sec  "
+        f"(model-level predict_batch: {micro['model_speedup']:.2f}x)"
+    )
+    print(f"  report written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -131,6 +131,32 @@ def find_dependencies(instructions: Sequence[Instruction]) -> List[Dependency]:
     return dependencies
 
 
+def raw_dependency_pairs(instructions: Sequence[Instruction]) -> List[Tuple[int, int]]:
+    """``(source, destination)`` pairs of RAW hazards, nearest-writer only.
+
+    A lean subset of :func:`find_dependencies` for hot batched prediction
+    paths: it reports exactly the instruction pairs that carry a RAW hazard
+    (deduplicated across locations) without materialising
+    :class:`Dependency` objects or scanning for WAR/WAW hazards.
+    """
+    last_writer: Dict[Location, int] = {}
+    pairs: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    for index, instruction in enumerate(instructions):
+        for loc in instruction.reads:
+            if _tracked(loc):
+                source = last_writer.get(loc)
+                if source is not None:
+                    pair = (source, index)
+                    if pair not in seen:
+                        seen.add(pair)
+                        pairs.append(pair)
+        for loc in instruction.writes:
+            if _tracked(loc):
+                last_writer[loc] = index
+    return pairs
+
+
 def dependencies_between(
     dependencies: Sequence[Dependency], source: int, destination: int
 ) -> List[Dependency]:

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.bb.block import BasicBlock
 from repro.bb.features import Feature, extract_features
 from repro.explain.config import ExplainerConfig
@@ -64,7 +66,11 @@ class AnchorSearch:
     # ------------------------------------------------------------- sampling
 
     def _outcome_sampler(self, features: Tuple[Feature, ...]) -> Callable[[int], List[bool]]:
-        """Bernoulli sampler for one candidate: perturb, query, compare."""
+        """Bernoulli sampler for one candidate: perturb, query, compare.
+
+        The legacy sequential path (``config.batch_queries = False``): each
+        perturbed block is queried through ``model.predict`` on its own.
+        """
 
         def draw(count: int) -> List[bool]:
             perturbed = self.sampler.sample(features, count)
@@ -77,6 +83,61 @@ class AnchorSearch:
             return outcomes
 
         return draw
+
+    def _outcome_batch_sampler(
+        self, candidates: Sequence[Tuple[Feature, ...]]
+    ) -> Callable[[Sequence[Tuple[int, int]]], List[np.ndarray]]:
+        """Round-level Bernoulli sampler over a whole candidate level.
+
+        All perturbed blocks of one refinement round — across every arm the
+        estimator refines — flow through a single ``predict_batch`` call, and
+        the tolerance-ball comparison is vectorized with numpy.  Perturbations
+        are drawn per request in request order, so the random stream is
+        consumed exactly as the sequential path would.
+        """
+
+        def draw_many(requests: Sequence[Tuple[int, int]]) -> List[np.ndarray]:
+            segment_sizes: List[int] = []
+            blocks: List[BasicBlock] = []
+            for arm, count in requests:
+                perturbed = self.sampler.sample(candidates[arm], count)
+                segment_sizes.append(len(perturbed))
+                blocks.extend(perturbed)
+            if not blocks:
+                return [np.zeros(0, dtype=bool) for _ in requests]
+            predictions = np.asarray(self.model.predict_batch(blocks))
+            outcomes = (
+                np.abs(predictions - self.original_prediction) <= self.tolerance
+            )
+            segments: List[np.ndarray] = []
+            offset = 0
+            for size in segment_sizes:
+                segments.append(outcomes[offset : offset + size])
+                offset += size
+            return segments
+
+        return draw_many
+
+    def _make_estimator(
+        self, candidates: Sequence[Tuple[Feature, ...]]
+    ) -> PrecisionEstimator:
+        """Estimator over ``candidates``, batched or sequential per config."""
+        config = self.config
+        common = dict(
+            confidence_delta=config.confidence_delta,
+            batch_size=config.batch_size,
+            min_samples=config.min_precision_samples,
+            max_samples=config.max_precision_samples,
+        )
+        if config.batch_queries:
+            return PrecisionEstimator(
+                batch_sampler=self._outcome_batch_sampler(candidates),
+                num_arms=len(candidates),
+                **common,
+            )
+        return PrecisionEstimator(
+            [self._outcome_sampler(candidate) for candidate in candidates], **common
+        )
 
     def _evaluate(
         self, estimator: PrecisionEstimator, arm: int, features: Tuple[Feature, ...]
@@ -107,13 +168,7 @@ class AnchorSearch:
 
         # The empty anchor: if the model's prediction is already stable under
         # arbitrary perturbations, no feature is needed to explain it.
-        empty_estimator = PrecisionEstimator(
-            [self._outcome_sampler(())],
-            confidence_delta=config.confidence_delta,
-            batch_size=config.batch_size,
-            min_samples=config.min_precision_samples,
-            max_samples=config.max_precision_samples,
-        )
+        empty_estimator = self._make_estimator([()])
         empty_candidate = self._evaluate(empty_estimator, 0, ())
         if empty_candidate.meets_threshold:
             return empty_candidate
@@ -138,13 +193,7 @@ class AnchorSearch:
             if not candidates:
                 break
 
-            estimator = PrecisionEstimator(
-                [self._outcome_sampler(candidate) for candidate in candidates],
-                confidence_delta=config.confidence_delta,
-                batch_size=config.batch_size,
-                min_samples=config.min_precision_samples,
-                max_samples=config.max_precision_samples,
-            )
+            estimator = self._make_estimator(candidates)
             top_arms = estimator.select_top(
                 config.beam_width, tolerance=config.lucb_tolerance
             )

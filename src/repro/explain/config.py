@@ -50,6 +50,18 @@ class ExplainerConfig:
     lucb_tolerance:
         KL-LUCB stops once the upper bound of the best challenger and the
         lower bound of the provisional winners are within this tolerance.
+    batch_queries:
+        When true (the default), all perturbed blocks of a precision
+        refinement round are routed through a single ``predict_batch`` call
+        so vectorized/batched cost models amortise per-query overhead.  When
+        false the search uses the legacy one-block-at-a-time query path.
+        Both paths consume the random stream identically, so for models
+        whose batch path is numerically exact (analytical, the simulators,
+        cached wrappers around them) seeded explanations are bit-for-bit
+        independent of this flag.  The neural model's batched recurrence may
+        differ from its sequential path in the last float ulps (BLAS
+        summation order), which can in principle flip an outcome that lands
+        exactly on the tolerance-ball boundary.
     perturbation:
         Configuration of the perturbation algorithm Γ.
     """
@@ -65,6 +77,7 @@ class ExplainerConfig:
     max_precision_samples: int = 150
     coverage_samples: int = 400
     lucb_tolerance: float = 0.15
+    batch_queries: bool = True
     perturbation: PerturbationConfig = PerturbationConfig()
 
     def __post_init__(self) -> None:

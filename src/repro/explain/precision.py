@@ -58,6 +58,56 @@ def bernoulli_lower_bound(p_hat: float, n: int, beta: float, tolerance: float = 
     return (low + high) / 2.0
 
 
+def _kl_bernoulli_vec(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Elementwise Bernoulli KL divergence (vector form of :func:`kl_bernoulli`)."""
+    p = np.clip(p, 1e-12, 1.0 - 1e-12)
+    q = np.clip(q, 1e-12, 1.0 - 1e-12)
+    return p * np.log(p / q) + (1.0 - p) * np.log((1.0 - p) / (1.0 - q))
+
+
+def _bernoulli_bounds_vec(
+    p_hats: np.ndarray, ns: np.ndarray, beta: float, upper: bool, tolerance: float
+) -> np.ndarray:
+    """One vectorized bisection refining every arm's bound simultaneously.
+
+    ``upper`` selects the bracket (``[p, 1]`` vs ``[0, p]``) and which side a
+    KL excess moves; the KL-LUCB round computes bounds for all
+    winners/challengers at once instead of running one Python-level
+    bisection per arm.  Unsampled arms get the vacuous bound.
+    """
+    p = np.asarray(p_hats, dtype=float)
+    n = np.asarray(ns, dtype=float)
+    level = np.divide(beta, n, out=np.full_like(p, np.inf), where=n > 0)
+    if upper:
+        low, high = p.copy(), np.ones_like(p)
+    else:
+        low, high = np.zeros_like(p), p.copy()
+    while float(np.max(high - low)) > tolerance:
+        mid = 0.5 * (low + high)
+        exceeds = _kl_bernoulli_vec(p, mid) > level
+        if upper:
+            high = np.where(exceeds, mid, high)
+            low = np.where(exceeds, low, mid)
+        else:
+            low = np.where(exceeds, mid, low)
+            high = np.where(exceeds, high, mid)
+    return np.where(n > 0, 0.5 * (low + high), 1.0 if upper else 0.0)
+
+
+def bernoulli_upper_bounds(
+    p_hats: np.ndarray, ns: np.ndarray, beta: float, tolerance: float = 1e-5
+) -> np.ndarray:
+    """Vectorized :func:`bernoulli_upper_bound` over arrays of arms."""
+    return _bernoulli_bounds_vec(p_hats, ns, beta, upper=True, tolerance=tolerance)
+
+
+def bernoulli_lower_bounds(
+    p_hats: np.ndarray, ns: np.ndarray, beta: float, tolerance: float = 1e-5
+) -> np.ndarray:
+    """Vectorized :func:`bernoulli_lower_bound` over arrays of arms."""
+    return _bernoulli_bounds_vec(p_hats, ns, beta, upper=False, tolerance=tolerance)
+
+
 def confidence_beta(num_arms: int, round_index: int, delta: float) -> float:
     """Exploration rate ``beta(t, δ)`` of KL-LUCB (Kaufmann & Kalyanakrishnan).
 
@@ -84,9 +134,14 @@ class ArmStatistics:
         return self.positives / self.samples if self.samples else 0.0
 
     def update(self, outcomes: Sequence[bool]) -> None:
-        """Record a batch of Bernoulli outcomes."""
+        """Record a batch of Bernoulli outcomes.
+
+        Accepts plain sequences and numpy boolean arrays alike;
+        ``count_nonzero`` keeps the tally C-speed for batched outcomes
+        instead of a Python-level ``sum(bool(o) ...)`` loop.
+        """
         self.samples += len(outcomes)
-        self.positives += int(sum(bool(o) for o in outcomes))
+        self.positives += int(np.count_nonzero(outcomes))
 
     def upper(self, beta: float) -> float:
         return bernoulli_upper_bound(self.mean, self.samples, beta)
@@ -98,6 +153,12 @@ class ArmStatistics:
 #: A function that draws ``n`` Bernoulli outcomes for one arm.
 SampleFunction = Callable[[int], Sequence[bool]]
 
+#: A function that serves a whole refinement round: it receives ``(arm,
+#: count)`` requests and returns one outcome sequence per request, in request
+#: order.  Implementations are expected to funnel all of the round's
+#: cost-model queries through a single ``predict_batch`` call.
+BatchSampleFunction = Callable[[Sequence[Tuple[int, int]]], Sequence[Sequence[bool]]]
+
 
 class PrecisionEstimator:
     """KL-LUCB estimator over a set of candidate arms.
@@ -108,6 +169,14 @@ class PrecisionEstimator:
         One sampling callback per arm.  Each call performs perturbations and
         cost-model queries, so the estimator's job is to spend as few calls
         as possible.
+    batch_sampler:
+        Alternative to ``sample_functions``: one callback serving a whole
+        refinement round of ``(arm, count)`` requests at once, so the arm
+        samples of a round share a single batched cost-model query
+        (``num_arms`` is then required).  Requests are issued in a
+        deterministic order — ascending arm for the minimum fill, winner
+        before challenger during refinement — matching the sequential path's
+        rng-consumption order exactly.
     confidence_delta:
         Failure probability of the confidence bounds.
     batch_size:
@@ -118,37 +187,82 @@ class PrecisionEstimator:
 
     def __init__(
         self,
-        sample_functions: Sequence[SampleFunction],
+        sample_functions: Optional[Sequence[SampleFunction]] = None,
         *,
+        batch_sampler: Optional[BatchSampleFunction] = None,
+        num_arms: Optional[int] = None,
         confidence_delta: float = 0.05,
         batch_size: int = 12,
         min_samples: int = 20,
         max_samples: int = 150,
     ) -> None:
-        if not sample_functions:
-            raise ValueError("need at least one arm")
-        self.sample_functions = list(sample_functions)
+        if batch_sampler is not None:
+            if sample_functions:
+                raise ValueError("pass either sample_functions or batch_sampler, not both")
+            if not num_arms or num_arms < 1:
+                raise ValueError("batch_sampler requires num_arms >= 1")
+            self.sample_functions: Optional[List[SampleFunction]] = None
+            arms = num_arms
+        else:
+            if not sample_functions:
+                raise ValueError("need at least one arm")
+            self.sample_functions = list(sample_functions)
+            arms = len(self.sample_functions)
+        self.batch_sampler = batch_sampler
         self.confidence_delta = confidence_delta
         self.batch_size = batch_size
         self.min_samples = min_samples
         self.max_samples = max_samples
-        self.stats: List[ArmStatistics] = [ArmStatistics() for _ in sample_functions]
+        self.stats: List[ArmStatistics] = [ArmStatistics() for _ in range(arms)]
         self.rounds = 0
 
     # ------------------------------------------------------------- sampling
 
-    def _draw(self, arm: int, count: int) -> None:
-        stats = self.stats[arm]
-        remaining = self.max_samples - stats.samples
-        count = min(count, max(remaining, 0))
-        if count <= 0:
+    def _draw_many(self, requests: Sequence[Tuple[int, int]]) -> None:
+        """Draw fresh outcomes for several arms in one refinement round.
+
+        Counts are clamped to each arm's remaining budget (tracking repeats
+        of the same arm within one round) and the surviving requests are
+        served either by the round-level ``batch_sampler`` — one batched
+        cost-model query for the whole round — or arm by arm through the
+        per-arm sample functions.
+        """
+        clamped: List[Tuple[int, int]] = []
+        pending: Dict[int, int] = {}
+        for arm, count in requests:
+            taken = self.stats[arm].samples + pending.get(arm, 0)
+            count = min(count, max(self.max_samples - taken, 0))
+            if count <= 0:
+                continue
+            pending[arm] = pending.get(arm, 0) + count
+            clamped.append((arm, count))
+        if not clamped:
             return
-        stats.update(self.sample_functions[arm](count))
+        if self.batch_sampler is not None:
+            outcome_batches = self.batch_sampler(clamped)
+            if len(outcome_batches) != len(clamped):
+                raise ValueError(
+                    f"batch sampler returned {len(outcome_batches)} outcome "
+                    f"sequences for {len(clamped)} requests"
+                )
+            for (arm, _), outcomes in zip(clamped, outcome_batches):
+                self.stats[arm].update(outcomes)
+        else:
+            assert self.sample_functions is not None
+            for arm, count in clamped:
+                self.stats[arm].update(self.sample_functions[arm](count))
+
+    def _draw(self, arm: int, count: int) -> None:
+        self._draw_many([(arm, count)])
 
     def _ensure_minimum(self) -> None:
-        for arm in range(len(self.stats)):
-            if self.stats[arm].samples < self.min_samples:
-                self._draw(arm, self.min_samples - self.stats[arm].samples)
+        self._draw_many(
+            [
+                (arm, self.min_samples - self.stats[arm].samples)
+                for arm in range(len(self.stats))
+                if self.stats[arm].samples < self.min_samples
+            ]
+        )
 
     # ------------------------------------------------------- top-n selection
 
@@ -166,20 +280,25 @@ class PrecisionEstimator:
         while True:
             self.rounds += 1
             beta = confidence_beta(num_arms, self.rounds, self.confidence_delta)
-            means = [s.mean for s in self.stats]
-            order = sorted(range(num_arms), key=lambda i: means[i], reverse=True)
-            winners = order[:top_n]
+            means = np.array([s.mean for s in self.stats])
+            samples = np.array([s.samples for s in self.stats], dtype=float)
+            # Stable descending sort: matches sorted(..., reverse=True) on ties.
+            order = np.argsort(-means, kind="stable")
+            winners = [int(i) for i in order[:top_n]]
             challengers = order[top_n:]
-            if not challengers:
+            if challengers.size == 0:
                 return winners
 
-            weakest_winner = min(winners, key=lambda i: self.stats[i].lower(beta))
-            strongest_challenger = max(
-                challengers, key=lambda i: self.stats[i].upper(beta)
+            winner_index = np.array(winners, dtype=np.intp)
+            winner_lowers = bernoulli_lower_bounds(
+                means[winner_index], samples[winner_index], beta
             )
-            gap = self.stats[strongest_challenger].upper(beta) - self.stats[
-                weakest_winner
-            ].lower(beta)
+            challenger_uppers = bernoulli_upper_bounds(
+                means[challengers], samples[challengers], beta
+            )
+            weakest_winner = winners[int(np.argmin(winner_lowers))]
+            strongest_challenger = int(challengers[int(np.argmax(challenger_uppers))])
+            gap = float(np.max(challenger_uppers) - np.min(winner_lowers))
             if gap <= tolerance:
                 return winners
 
@@ -189,10 +308,15 @@ class PrecisionEstimator:
             )
             if exhausted_winner and exhausted_challenger:
                 return winners
+            # Both arms' fresh samples form one refinement round, so a
+            # round-level batch sampler serves them with a single batched
+            # cost-model query (winner first, matching the sequential order).
+            round_requests: List[Tuple[int, int]] = []
             if not exhausted_winner:
-                self._draw(weakest_winner, self.batch_size)
+                round_requests.append((weakest_winner, self.batch_size))
             if not exhausted_challenger:
-                self._draw(strongest_challenger, self.batch_size)
+                round_requests.append((strongest_challenger, self.batch_size))
+            self._draw_many(round_requests)
 
     # ------------------------------------------------------ threshold check
 

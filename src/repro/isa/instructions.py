@@ -157,7 +157,16 @@ class Instruction:
         return format_instruction(self)
 
     def key(self) -> Tuple:
-        """A hashable identity key (mnemonic plus formatted operands)."""
-        from repro.isa.formatter import format_operand
+        """A hashable identity key (mnemonic plus formatted operands).
 
-        return (self.mnemonic, tuple(format_operand(op) for op in self.operands))
+        Memoised per instance: instructions are immutable and shared between
+        the original block and its perturbations, so block-level cache keys
+        are mostly assembled from already-formatted parts.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            from repro.isa.formatter import format_operand
+
+            cached = (self.mnemonic, tuple(format_operand(op) for op in self.operands))
+            self.__dict__["_key"] = cached
+        return cached

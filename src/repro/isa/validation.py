@@ -56,12 +56,21 @@ def validate_instruction(instruction: Instruction) -> None:
 
 
 def is_valid_instruction(instruction: Instruction) -> bool:
-    """Boolean form of :func:`validate_instruction`."""
-    try:
-        validate_instruction(instruction)
-    except ValidationError:
-        return False
-    return True
+    """Boolean form of :func:`validate_instruction`.
+
+    Memoised per instance: instructions are immutable and the perturbation
+    algorithm shares instruction objects across thousands of perturbed
+    blocks, so validity is checked once per distinct object.
+    """
+    cached = instruction.__dict__.get("_is_valid")
+    if cached is None:
+        try:
+            validate_instruction(instruction)
+            cached = True
+        except ValidationError:
+            cached = False
+        instruction.__dict__["_is_valid"] = cached
+    return cached
 
 
 def validate_block_instructions(instructions: Sequence[Instruction]) -> None:

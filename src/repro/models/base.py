@@ -4,16 +4,28 @@ COMET assumes *query access only* (Section 4): a cost model is any object
 that maps a valid basic block to a real-valued cost.  The explanation
 framework never inspects model internals, so every model here — analytical,
 simulation-based or neural — hides behind the same two-method interface.
+
+Queries come in two shapes:
+
+* :meth:`CostModel.predict` — one block at a time (the paper's interface),
+* :meth:`CostModel.predict_batch` — a whole batch in one call, which is what
+  the batched explanation pipeline issues.  Subclasses override
+  :meth:`CostModel._predict_batch` with vectorized (or fanned-out)
+  implementations; the default simply loops, so every model is batch-safe.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.bb.block import BasicBlock
 from repro.uarch.microarch import MicroArchitecture, get_microarch
 from repro.utils.errors import ModelError
+
+_MISSING = object()
 
 
 class CostModel(ABC):
@@ -25,10 +37,41 @@ class CostModel(ABC):
     def __init__(self, microarch="hsw") -> None:
         self.microarch: MicroArchitecture = get_microarch(microarch)
         self.query_count = 0
+        #: Number of worker threads :meth:`_fanout_predict_batch` may use.
+        #: ``0``/``1`` keeps batch prediction sequential; simulator-style
+        #: models expose this knob in their constructors.
+        self.batch_workers = 0
+        self._batch_pool: Optional[ThreadPoolExecutor] = None
 
     @abstractmethod
     def _predict(self, block: BasicBlock) -> float:
         """Model-specific prediction (implemented by subclasses)."""
+
+    def _predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
+        """Model-specific batch prediction.
+
+        The default loops over :meth:`_predict`; subclasses with a cheaper
+        batched formulation (vectorized numpy, batched recurrence, thread
+        fan-out) override this hook.  Implementations must return one cost per
+        block, in input order, and must be numerically identical to the
+        sequential path wherever exactness is achievable.
+        """
+        return [float(self._predict(block)) for block in blocks]
+
+    def _fanout_predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
+        """Evaluate ``_predict`` over a thread pool (order-preserving).
+
+        Useful for simulator-style models whose per-block work is substantial
+        and independent; gated on :attr:`batch_workers` by the callers.  The
+        pool is created lazily on first use and kept for the model's lifetime
+        — the refinement loop issues one batch per round, so per-call pool
+        construction would dominate small batches.
+        """
+        if self.batch_workers <= 1 or len(blocks) <= 1:
+            return [float(self._predict(block)) for block in blocks]
+        if self._batch_pool is None:
+            self._batch_pool = ThreadPoolExecutor(max_workers=self.batch_workers)
+        return [float(v) for v in self._batch_pool.map(self._predict, blocks)]
 
     def predict(self, block: BasicBlock) -> float:
         """Predicted throughput of ``block`` in cycles per iteration.
@@ -43,6 +86,29 @@ class CostModel(ABC):
                 f"{self.name} produced an invalid cost {value!r} for block:\n{block.text}"
             )
         return value
+
+    def predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
+        """Predict a batch of blocks through the batched query path.
+
+        Counts one query per block (batching amortises cost, it does not hide
+        work) and validates every prediction like :meth:`predict`.
+        """
+        blocks = list(blocks)
+        if not blocks:
+            return []
+        self.query_count += len(blocks)
+        values = [float(v) for v in self._predict_batch(blocks)]
+        if len(values) != len(blocks):
+            raise ModelError(
+                f"{self.name} returned {len(values)} predictions for "
+                f"{len(blocks)} blocks"
+            )
+        for value, block in zip(values, blocks):
+            if not value >= 0.0:
+                raise ModelError(
+                    f"{self.name} produced an invalid cost {value!r} for block:\n{block.text}"
+                )
+        return values
 
     def predict_many(self, blocks: Iterable[BasicBlock]) -> List[float]:
         """Predict a batch of blocks (sequentially by default)."""
@@ -73,33 +139,102 @@ class CallableCostModel(CostModel):
 
 
 class CachedCostModel(CostModel):
-    """Memoising wrapper around another cost model.
+    """Memoising LRU wrapper around another cost model.
 
     The perturbation-based search frequently re-queries identical blocks
     (e.g. the unperturbed block, or perturbations that happen to collide);
     caching by block content avoids repeated simulator or neural-network
-    work without changing observable behaviour.
+    work without changing observable behaviour.  When the cache fills up the
+    least-recently-used entry is evicted, so long explanation campaigns keep
+    their working set hot instead of silently degrading to no caching.
+
+    Query accounting: :attr:`query_count` reflects *inner-model* work only —
+    cache hits are free, so :class:`QueryCounter` reports how many real model
+    evaluations a piece of code cost.
     """
 
     def __init__(self, inner: CostModel, max_entries: int = 100_000) -> None:
         super().__init__(inner.microarch)
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.inner = inner
         self.name = inner.name
         self.max_entries = max_entries
-        self._cache: Dict[tuple, float] = {}
+        self._cache: "OrderedDict[tuple, float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def _predict(self, block: BasicBlock) -> float:
-        key = block.key()
-        if key in self._cache:
-            self.hits += 1
-            return self._cache[key]
-        self.misses += 1
-        value = self.inner.predict(block)
-        if len(self._cache) < self.max_entries:
-            self._cache[key] = value
+    # ----------------------------------------------------------- cache plumbing
+
+    def _store(self, key: tuple, value: float) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+
+    def _lookup(self, key: tuple):
+        value = self._cache.get(key, _MISSING)
+        if value is not _MISSING:
+            self._cache.move_to_end(key)
         return value
+
+    # ------------------------------------------------------------------ queries
+
+    def _predict(self, block: BasicBlock) -> float:
+        return self.predict(block)
+
+    def predict(self, block: BasicBlock) -> float:
+        key = block.key()
+        value = self._lookup(key)
+        if value is not _MISSING:
+            self.hits += 1
+            return value
+        self.misses += 1
+        self.query_count += 1
+        value = self.inner.predict(block)
+        self._store(key, value)
+        return value
+
+    def predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
+        """Batch prediction with intra-batch dedup.
+
+        The batch is deduplicated by block content: cache hits are served
+        directly, each distinct missing block is queried exactly once through
+        one ``inner.predict_batch`` call, and duplicates within the batch
+        share the result (they count as hits, exactly as they would have on
+        the sequential path).
+        """
+        blocks = list(blocks)
+        if not blocks:
+            return []
+        keys = [block.key() for block in blocks]
+        results: List[Optional[float]] = [None] * len(blocks)
+        miss_order: List[tuple] = []
+        miss_blocks: List[BasicBlock] = []
+        pending: Dict[tuple, List[int]] = {}
+        for position, (block, key) in enumerate(zip(blocks, keys)):
+            if key in pending:
+                # Duplicate of a block already being queried in this batch.
+                self.hits += 1
+                pending[key].append(position)
+                continue
+            value = self._lookup(key)
+            if value is not _MISSING:
+                self.hits += 1
+                results[position] = value
+                continue
+            self.misses += 1
+            pending[key] = [position]
+            miss_order.append(key)
+            miss_blocks.append(block)
+        if miss_blocks:
+            self.query_count += len(miss_blocks)
+            values = self.inner.predict_batch(miss_blocks)
+            for key, value in zip(miss_order, values):
+                self._store(key, value)
+                for position in pending[key]:
+                    results[position] = value
+        return results  # type: ignore[return-value]
 
     @property
     def hit_rate(self) -> float:

@@ -11,7 +11,7 @@ suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -140,6 +140,59 @@ class LSTMLayer:
         """Convenience: last hidden state of the sequence."""
         hs, _ = self.forward(inputs)
         return hs[-1]
+
+    def forward_batch(
+        self, inputs: np.ndarray, lengths: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Run the recurrence over a zero-padded batch of sequences.
+
+        Parameters
+        ----------
+        inputs:
+            Array of shape ``(batch, T, input_size)``; sequences shorter than
+            ``T`` are zero-padded at the end.
+        lengths:
+            True length of each sequence (defaults to ``T`` for all).
+
+        Returns the final hidden state of each sequence, shape
+        ``(batch, hidden_size)`` — each row is taken at that sequence's last
+        real step, so padding never leaks into the result.  Inference only
+        (no caches for backprop); training keeps the per-sequence path.
+        """
+        if inputs.ndim != 3:
+            raise ValueError("inputs must have shape (batch, T, input_size)")
+        cell = self.cell
+        hidden = cell.hidden_size
+        batch, steps, _ = inputs.shape
+        if lengths is None:
+            length_array = np.full(batch, steps, dtype=np.intp)
+        else:
+            length_array = np.asarray(lengths, dtype=np.intp)
+            if length_array.shape != (batch,):
+                raise ValueError("lengths must have one entry per sequence")
+            if steps and (length_array < 1).any():
+                raise ValueError("every sequence must have at least one step")
+            if (length_array > steps).any():
+                raise ValueError("sequence lengths cannot exceed the padded size")
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        final = np.zeros((batch, hidden))
+        for t in range(steps):
+            pre = inputs[:, t, :] @ cell.w_x + h @ cell.w_h + cell.bias
+            i = sigmoid(pre[:, :hidden])
+            f = sigmoid(pre[:, hidden : 2 * hidden])
+            o = sigmoid(pre[:, 2 * hidden : 3 * hidden])
+            g = np.tanh(pre[:, 3 * hidden :])
+            c_new = f * c + i * g
+            h_new = o * np.tanh(c_new)
+            # Freeze sequences that already ended so padding steps are no-ops.
+            active = length_array > t
+            h = np.where(active[:, None], h_new, h)
+            c = np.where(active[:, None], c_new, c)
+            ending = length_array == t + 1
+            if ending.any():
+                final[ending] = h_new[ending]
+        return final
 
     # ------------------------------------------------------------- backward
 

@@ -13,6 +13,8 @@ bound in tests (a correct simulator should rarely predict below it).
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.bb.block import BasicBlock
 from repro.bb.dependencies import DependencyKind
 from repro.bb.multigraph import DependencyGraph
@@ -23,12 +25,19 @@ from repro.uarch.tables import block_reciprocal_throughput_bound, instruction_co
 class PortPressureCostModel(CostModel):
     """Throughput prediction from static port-pressure and latency bounds."""
 
-    def __init__(self, microarch="hsw", *, dependency_weight: float = 0.5) -> None:
+    def __init__(
+        self,
+        microarch="hsw",
+        *,
+        dependency_weight: float = 0.5,
+        batch_workers: int = 0,
+    ) -> None:
         super().__init__(microarch)
         if not 0.0 <= dependency_weight <= 1.0:
             raise ValueError("dependency_weight must be in [0, 1]")
         self.dependency_weight = dependency_weight
         self.name = f"port-pressure-{self.microarch.short_name}"
+        self.batch_workers = batch_workers
 
     def _predict(self, block: BasicBlock) -> float:
         resource_bound = block_reciprocal_throughput_bound(
@@ -36,6 +45,10 @@ class PortPressureCostModel(CostModel):
         )
         dependency_bound = self._loop_carried_latency(block)
         return max(resource_bound, self.dependency_weight * dependency_bound, 0.05)
+
+    def _predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
+        # Bound computations are independent per block; fan out when allowed.
+        return self._fanout_predict_batch(blocks)
 
     def _loop_carried_latency(self, block: BasicBlock) -> float:
         """Longest RAW chain latency within one iteration of the block."""

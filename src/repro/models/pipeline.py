@@ -230,7 +230,12 @@ class PipelineSimulator:
         )
 
     def throughput(self, block: BasicBlock) -> float:
-        """Convenience wrapper returning only the steady-state throughput."""
+        """Convenience wrapper returning only the steady-state throughput.
+
+        ``simulate`` keeps all mutable state in locals, so concurrent calls
+        (e.g. :class:`~repro.models.uica.UiCACostModel`'s thread fan-out)
+        are safe.
+        """
         return self.simulate(block).throughput
 
     # ------------------------------------------------------------ internals

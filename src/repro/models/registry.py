@@ -30,6 +30,7 @@ def build_cost_model(
     training_throughputs: Optional[Sequence[float]] = None,
     ithemal_config: Optional[IthemalConfig] = None,
     cached: bool = True,
+    batch_workers: int = 0,
 ) -> CostModel:
     """Build a cost model by short name.
 
@@ -37,16 +38,17 @@ def build_cost_model(
     neural model must be trained before it can be explained); the other models
     are analytical or simulation based and need no data.  When ``cached`` is
     true the model is wrapped in a :class:`CachedCostModel`, which is what the
-    explanation workload wants.
+    explanation workload wants.  ``batch_workers`` enables the thread-pool
+    fan-out of the simulator-style models' ``predict_batch`` path.
     """
     key = name.strip().lower()
     model: CostModel
     if key in ("crude", "analytical", "c"):
         model = AnalyticalCostModel(microarch)
     elif key == "uica":
-        model = UiCACostModel(microarch)
+        model = UiCACostModel(microarch, batch_workers=batch_workers)
     elif key in ("port-pressure", "mca", "llvm-mca"):
-        model = PortPressureCostModel(microarch)
+        model = PortPressureCostModel(microarch, batch_workers=batch_workers)
     elif key == "ithemal":
         if training_blocks is None or training_throughputs is None:
             raise ReproError(

@@ -10,7 +10,7 @@ error stays low while remaining non-zero.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.bb.block import BasicBlock
 from repro.models.base import CostModel
@@ -30,14 +30,22 @@ class UiCACostModel(CostModel):
         self,
         microarch="hsw",
         config: Optional[SimulationConfig] = None,
+        *,
+        batch_workers: int = 0,
     ) -> None:
         super().__init__(microarch)
         self.config = config or self.DEFAULT_CONFIG
         self.simulator = PipelineSimulator(self.microarch, self.config)
         self.name = f"uica-{self.microarch.short_name}"
+        self.batch_workers = batch_workers
 
     def _predict(self, block: BasicBlock) -> float:
         return self.simulator.throughput(block)
+
+    def _predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
+        # The simulator holds no mutable state across simulate() calls, so a
+        # batch can fan out across threads when batch_workers allows it.
+        return self._fanout_predict_batch(blocks)
 
     def analyze(self, block: BasicBlock) -> SimulationResult:
         """Full simulation result, including port pressure and the bottleneck.

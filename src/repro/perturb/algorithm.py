@@ -40,7 +40,7 @@ from repro.perturb.replacements import (
     cache_opcode_replacements,
     perturb_memory_displacement,
     random_immediate,
-    random_register_rename,
+    register_renaming_candidates,
     rename_register_in_instruction,
 )
 from repro.utils.errors import PerturbationError
@@ -177,13 +177,37 @@ def _match_dependency(block: BasicBlock, feature: DependencyFeature) -> Dependen
     )
 
 
+@dataclass(frozen=True)
+class _ConstraintPlan:
+    """A feature set's constraints plus everything derivable without rng.
+
+    Built once per distinct feature set and cached on the perturber: the
+    precision loop redraws the same candidate arms hundreds of times, so the
+    feature-to-constraint translation and the derived index sets must not be
+    recomputed per perturbation.
+    """
+
+    constraints: PreservationConstraints
+    unlocked_indices: Tuple[int, ...]
+    undeletable: FrozenSet[int]
+    deletion_allowed: bool
+    preserved_keys: FrozenSet[tuple]
+    all_locked_roots: FrozenSet[str]
+    #: (endpoint, root, register name) -> rename candidate pool, filled
+    #: lazily; keyed per plan because the forbidden roots depend on the
+    #: preserved feature set.
+    break_pools: Dict[tuple, list] = field(default_factory=dict)
+
+
 class BlockPerturber:
     """Stateful perturber bound to one original block.
 
-    The perturber pre-computes the opcode replacement pools of the block once
-    and then produces independent perturbations on every :meth:`perturb`
-    call.  It is the object the explanation sampler queries thousands of
-    times per explanation.
+    The perturber pre-computes the opcode replacement pools of the block
+    once, caches the preservation constraints of every feature set it has
+    seen and memoises register-rename candidate pools, then produces
+    independent perturbations on every :meth:`perturb` call.  It is the
+    object the explanation sampler queries thousands of times per
+    explanation.
     """
 
     def __init__(
@@ -196,8 +220,42 @@ class BlockPerturber:
         self.config = config or PerturbationConfig()
         self._rng = as_rng(rng)
         self._opcode_pools = cache_opcode_replacements(block)
+        self._plan_cache: Dict[FrozenSet[Feature], _ConstraintPlan] = {}
+        self._rename_pools: Dict[tuple, list] = {}
+        # (index, mnemonic) -> replacement Instruction, or None when the
+        # replacement is invalid there.  Opcode-only replacements depend only
+        # on the original instruction, so the object (and its cached derived
+        # properties: reads, writes, key) is shared across all perturbations.
+        self._replacement_cache: Dict[Tuple[int, str], Optional[Instruction]] = {}
+        # (instruction key, root, new register) -> renamed Instruction; the
+        # dependency breaker keeps renaming the same few endpoint forms.
+        self._rename_result_cache: Dict[tuple, Instruction] = {}
 
     # ------------------------------------------------------------------ API
+
+    def _plan_for(self, features: Iterable[Feature]) -> _ConstraintPlan:
+        """Constraints (and derived sets) for ``features``, cached."""
+        key = frozenset(features)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            constraints = PreservationConstraints.from_features(self.block, key)
+            plan = _ConstraintPlan(
+                constraints=constraints,
+                unlocked_indices=tuple(
+                    index
+                    for index in range(self.block.num_instructions)
+                    if index not in constraints.locked_opcodes
+                ),
+                undeletable=constraints.undeletable(),
+                deletion_allowed=not constraints.preserve_count,
+                preserved_keys=frozenset(
+                    (d.source, d.destination, d.kind, d.location)
+                    for d in constraints.preserved_dependencies
+                ),
+                all_locked_roots=constraints.all_locked_roots(),
+            )
+            self._plan_cache[key] = plan
+        return plan
 
     def perturb(
         self,
@@ -206,9 +264,9 @@ class BlockPerturber:
     ) -> BasicBlock:
         """Produce one perturbation of the block preserving ``features``."""
         generator = as_rng(rng) if rng is not None else self._rng
-        constraints = PreservationConstraints.from_features(self.block, features)
+        plan = self._plan_for(features)
         for _ in range(self.config.max_block_attempts):
-            perturbed = self._perturb_once(constraints, generator)
+            perturbed = self._perturb_once(plan, generator)
             if perturbed is not None:
                 return perturbed
         # All attempts failed to produce a valid block: fall back to the
@@ -223,12 +281,12 @@ class BlockPerturber:
     ) -> List[BasicBlock]:
         """Produce ``count`` independent perturbations preserving ``features``."""
         generator = as_rng(rng) if rng is not None else self._rng
-        constraints = PreservationConstraints.from_features(self.block, features)
+        plan = self._plan_for(features)
         out = []
         for _ in range(count):
             perturbed = None
             for _ in range(self.config.max_block_attempts):
-                perturbed = self._perturb_once(constraints, generator)
+                perturbed = self._perturb_once(plan, generator)
                 if perturbed is not None:
                     break
             out.append(perturbed if perturbed is not None else self.block)
@@ -236,40 +294,139 @@ class BlockPerturber:
 
     # ------------------------------------------------------------ internals
 
+    @staticmethod
+    def _vector_flips(
+        rng: np.random.Generator, count: int, probability: float
+    ) -> np.ndarray:
+        """``count`` independent coin flips in one rng call.
+
+        Mirrors :func:`repro.utils.rng.coin`'s degenerate cases so
+        probability-0/1 configurations consume no random state.
+        """
+        if count == 0 or probability == 0.0:
+            return np.zeros(count, dtype=bool)
+        if probability == 1.0:
+            return np.ones(count, dtype=bool)
+        return rng.random(count) < probability
+
     def _perturb_once(
-        self, constraints: PreservationConstraints, rng: np.random.Generator
+        self, plan: _ConstraintPlan, rng: np.random.Generator
     ) -> Optional[BasicBlock]:
         config = self.config
+        if not config.vectorized:
+            return self._perturb_once_reference(plan, rng)
+        constraints = plan.constraints
         working: List[Optional[Instruction]] = list(self.block.instructions)
-        undeletable = constraints.undeletable()
-        deletion_allowed = not constraints.preserve_count
 
         # --- vertex perturbation (lines 8-12 of Algorithm 1) -------------
+        # All of the round's retain and delete coin flips are drawn in two
+        # vectorized rng calls; only the replacement picks (whose pool sizes
+        # vary per index) stay scalar.
+        perturb_flags = self._vector_flips(
+            rng, len(plan.unlocked_indices), 1.0 - config.p_instruction_retain
+        )
+        if perturb_flags.any():
+            flagged = [
+                index
+                for index, flip in zip(plan.unlocked_indices, perturb_flags)
+                if flip
+            ]
+            delete_flips = self._vector_flips(
+                rng,
+                len(flagged),
+                config.p_delete if plan.deletion_allowed else 0.0,
+            )
+            live = len(working)
+            for position, index in enumerate(flagged):
+                if (
+                    delete_flips[position]
+                    and index not in plan.undeletable
+                    and live > 1
+                ):
+                    working[index] = None
+                    live -= 1
+                    continue
+                working[index] = self._replace_vertex(
+                    working[index], index, constraints, rng
+                )
+
+        # --- edge perturbation (lines 13-17 of Algorithm 1) --------------
+        live_deps = [
+            dep
+            for dep in self.block.dependencies
+            if (dep.source, dep.destination, dep.kind, dep.location)
+            not in plan.preserved_keys
+            and working[dep.source] is not None
+            and working[dep.destination] is not None
+        ]
+        retain_flags = self._vector_flips(
+            rng, len(live_deps), config.p_dependency_explicit_retain
+        )
+        attempts = [
+            dep for dep, retained in zip(live_deps, retain_flags) if not retained
+        ]
+        attempt_flags = self._vector_flips(
+            rng, len(attempts), config.p_dependency_perturb_attempt
+        )
+        rewritten: Set[int] = set()
+        for dep, attempt in zip(attempts, attempt_flags):
+            if not attempt:
+                continue
+            touched = self._break_dependency(working, dep, plan, rng)
+            if touched is not None:
+                rewritten.add(touched)
+
+        survivors = [inst for inst in working if inst is not None]
+        if not survivors:
+            return None
+        # Vertex replacements are validated when they are built (and cached),
+        # and untouched instructions come from the already-valid original
+        # block, so only instructions rewritten by dependency breaking still
+        # need a validity check here.
+        for index in rewritten:
+            instruction = working[index]
+            if instruction is not None and not is_valid_instruction(instruction):
+                return None
+        return self.block.with_instructions(survivors)
+
+    # ------------------------------------------------- reference (scalar) Γ
+
+    def _perturb_once_reference(
+        self, plan: _ConstraintPlan, rng: np.random.Generator
+    ) -> Optional[BasicBlock]:
+        """The scalar pre-batching engine, preserved verbatim.
+
+        One coin flip per decision, uncached replacement construction and a
+        full re-validation of every surviving instruction.  This is the
+        sequential baseline measured by ``benchmarks/bench_query_engine.py``
+        and the distributional oracle of the perturbation property tests; it
+        is not used by the explanation pipeline unless
+        ``PerturbationConfig.vectorized`` is switched off.
+        """
+        config = self.config
+        constraints = plan.constraints
+        working: List[Optional[Instruction]] = list(self.block.instructions)
+
         for index in range(len(working)):
             if index in constraints.locked_opcodes:
                 continue
             if not coin(rng, 1.0 - config.p_instruction_retain):
                 continue
             can_delete = (
-                deletion_allowed
-                and index not in undeletable
+                plan.deletion_allowed
+                and index not in plan.undeletable
                 and self._live_count(working) > 1
             )
             if can_delete and coin(rng, config.p_delete):
                 working[index] = None
                 continue
-            working[index] = self._replace_vertex(
+            working[index] = self._replace_vertex_reference(
                 working[index], index, constraints, rng
             )
 
-        # --- edge perturbation (lines 13-17 of Algorithm 1) --------------
-        preserved_keys = {
-            (d.source, d.destination, d.kind, d.location)
-            for d in constraints.preserved_dependencies
-        }
         for dep in self.block.dependencies:
             key = (dep.source, dep.destination, dep.kind, dep.location)
-            if key in preserved_keys:
+            if key in plan.preserved_keys:
                 continue
             if working[dep.source] is None or working[dep.destination] is None:
                 continue  # deletion already removed the hazard
@@ -277,7 +434,7 @@ class BlockPerturber:
                 continue
             if not coin(rng, config.p_dependency_perturb_attempt):
                 continue
-            self._break_dependency(working, dep, constraints, rng)
+            self._break_dependency_reference(working, dep, constraints, rng)
 
         survivors = [inst for inst in working if inst is not None]
         if not survivors:
@@ -286,9 +443,101 @@ class BlockPerturber:
             return None
         return self.block.with_instructions(survivors)
 
+    def _replace_vertex_reference(
+        self,
+        instruction: Instruction,
+        index: int,
+        constraints: PreservationConstraints,
+        rng: np.random.Generator,
+    ) -> Instruction:
+        pool = self._opcode_pools.get(index, [])
+        replaced = instruction
+        if pool:
+            replaced = instruction.with_mnemonic(choice(rng, pool))
+        if self.config.replacement_scheme is ReplacementScheme.WHOLE_INSTRUCTION:
+            replaced = self._randomise_operands(replaced, index, constraints, rng)
+        if not is_valid_instruction(replaced):
+            return instruction
+        forbidden = constraints.shadowing_writes_forbidden(index)
+        if forbidden:
+            original_writes = {loc[1] for loc in instruction.writes if loc[0] == "reg"}
+            new_writes = {loc[1] for loc in replaced.writes if loc[0] == "reg"}
+            if (new_writes - original_writes) & forbidden:
+                return instruction
+        return replaced
+
+    def _break_dependency_reference(
+        self,
+        working: List[Optional[Instruction]],
+        dep: Dependency,
+        constraints: PreservationConstraints,
+        rng: np.random.Generator,
+    ) -> None:
+        space, payload = dep.location
+        for endpoint in (dep.destination, dep.source):
+            instruction = working[endpoint]
+            if instruction is None:
+                continue
+            if endpoint in constraints.locked_instructions:
+                continue
+            if space == "reg":
+                root = str(payload)
+                if root in constraints.roots_locked_at(endpoint):
+                    continue
+                target_register = self._find_register_with_root(instruction, root)
+                if target_register is None:
+                    continue
+                candidates = register_renaming_candidates(
+                    target_register,
+                    forbidden_roots=[
+                        root,
+                        *constraints.roots_locked_at(endpoint),
+                        *constraints.all_locked_roots(),
+                    ],
+                    prefer_unused_in=self.block,
+                )
+                if not candidates:
+                    continue
+                working[endpoint] = rename_register_in_instruction(
+                    instruction, root, choice(rng, candidates)
+                )
+                return
+            else:  # memory hazard
+                if endpoint in constraints.locked_memory:
+                    continue
+                memory = instruction.memory_operand()
+                if memory is None:
+                    continue
+                new_memory = perturb_memory_displacement(rng, memory)
+                position = instruction.operands.index(memory)
+                working[endpoint] = instruction.with_operand(position, new_memory)
+                return
+
     @staticmethod
     def _live_count(working: Sequence[Optional[Instruction]]) -> int:
         return sum(1 for inst in working if inst is not None)
+
+    def _rename_pool(
+        self, register, forbidden_roots: FrozenSet[str], prefer_unused: bool
+    ) -> list:
+        """Memoised register-rename candidate pool.
+
+        The pool depends only on the register, the forbidden roots and
+        whether unused-in-block registers are preferred — none of which vary
+        across the thousands of perturbations of one explanation — so it is
+        computed once per distinct key.  Candidate order is deterministic, so
+        memoisation does not disturb the random stream.
+        """
+        key = (register.name, forbidden_roots, prefer_unused)
+        pool = self._rename_pools.get(key)
+        if pool is None:
+            pool = register_renaming_candidates(
+                register,
+                forbidden_roots=forbidden_roots,
+                prefer_unused_in=self.block if prefer_unused else None,
+            )
+            self._rename_pools[key] = pool
+        return pool
 
     def _replace_vertex(
         self,
@@ -302,13 +551,34 @@ class BlockPerturber:
         which is how opcodes with no replacements (e.g. ``lea``) end up
         retained more often (Appendix D)."""
         pool = self._opcode_pools.get(index, [])
-        replaced = instruction
-        if pool:
-            replaced = instruction.with_mnemonic(choice(rng, pool))
-        if self.config.replacement_scheme is ReplacementScheme.WHOLE_INSTRUCTION:
-            replaced = self._randomise_operands(replaced, index, constraints, rng)
-        if not is_valid_instruction(replaced):
-            return instruction
+        if (
+            self.config.replacement_scheme is not ReplacementScheme.WHOLE_INSTRUCTION
+            and instruction is self.block.instructions[index]
+        ):
+            # Opcode-only replacement of an unmodified instruction: the
+            # replacement (and its validity) is a pure function of
+            # (index, mnemonic), so the instruction object is built and
+            # validated once and shared across all perturbations.
+            if not pool:
+                return instruction
+            mnemonic = choice(rng, pool)
+            key = (index, mnemonic)
+            if key in self._replacement_cache:
+                replaced = self._replacement_cache[key]
+            else:
+                candidate = instruction.with_mnemonic(mnemonic)
+                replaced = candidate if is_valid_instruction(candidate) else None
+                self._replacement_cache[key] = replaced
+            if replaced is None:
+                return instruction
+        else:
+            replaced = instruction
+            if pool:
+                replaced = instruction.with_mnemonic(choice(rng, pool))
+            if self.config.replacement_scheme is ReplacementScheme.WHOLE_INSTRUCTION:
+                replaced = self._randomise_operands(replaced, index, constraints, rng)
+            if not is_valid_instruction(replaced):
+                return instruction
         # Do not let the replacement start writing the register of a preserved
         # dependency that passes over this instruction (it would shadow the
         # preserved hazard); treat that as a failed perturbation attempt.
@@ -333,9 +603,8 @@ class BlockPerturber:
             if isinstance(operand, RegisterOperand):
                 if operand.register.root in locked_roots:
                     continue
-                new_reg = random_register_rename(
-                    rng, operand.register, forbidden_roots=locked_roots
-                )
+                pool = self._rename_pool(operand.register, locked_roots, False)
+                new_reg = choice(rng, pool) if pool else None
                 if new_reg is not None and coin(rng, 0.5):
                     result = result.with_operand(pos, operand.with_register(new_reg))
             elif isinstance(operand, ImmediateOperand) and coin(rng, 0.5):
@@ -346,17 +615,20 @@ class BlockPerturber:
         self,
         working: List[Optional[Instruction]],
         dep: Dependency,
-        constraints: PreservationConstraints,
+        plan: _ConstraintPlan,
         rng: np.random.Generator,
-    ) -> None:
+    ) -> Optional[int]:
         """Break one data dependency in place (best effort).
 
         Register hazards are broken by renaming the hazard register in one of
         the endpoint instructions; memory hazards by shifting the memory
         operand's displacement.  Endpoints whose relevant operand is locked by
         a preserved feature are skipped; if both endpoints are locked the
-        dependency is retained (a failed perturbation attempt).
+        dependency is retained (a failed perturbation attempt).  Returns the
+        index of the rewritten instruction (``None`` when the dependency was
+        retained) so the caller can validate exactly what changed.
         """
+        constraints = plan.constraints
         space, payload = dep.location
         # Prefer rewriting the destination instruction; fall back to the source.
         for endpoint in (dep.destination, dep.source):
@@ -372,22 +644,30 @@ class BlockPerturber:
                 target_register = self._find_register_with_root(instruction, root)
                 if target_register is None:
                     continue
-                new_register = random_register_rename(
-                    rng,
-                    target_register,
-                    forbidden_roots=[
-                        root,
-                        *constraints.roots_locked_at(endpoint),
-                        *constraints.all_locked_roots(),
-                    ],
-                    prefer_unused_in=self.block,
-                )
+                pool_key = (endpoint, root, target_register.name)
+                pool = plan.break_pools.get(pool_key)
+                if pool is None:
+                    forbidden = frozenset(
+                        (
+                            root,
+                            *constraints.roots_locked_at(endpoint),
+                            *plan.all_locked_roots,
+                        )
+                    )
+                    pool = self._rename_pool(target_register, forbidden, True)
+                    plan.break_pools[pool_key] = pool
+                new_register = choice(rng, pool) if pool else None
                 if new_register is None:
                     continue
-                working[endpoint] = rename_register_in_instruction(
-                    instruction, root, new_register
-                )
-                return
+                cache_key = (instruction.key(), root, new_register.name)
+                renamed = self._rename_result_cache.get(cache_key)
+                if renamed is None:
+                    renamed = rename_register_in_instruction(
+                        instruction, root, new_register
+                    )
+                    self._rename_result_cache[cache_key] = renamed
+                working[endpoint] = renamed
+                return endpoint
             else:  # memory hazard
                 if endpoint in constraints.locked_memory:
                     continue
@@ -397,7 +677,7 @@ class BlockPerturber:
                 new_memory = perturb_memory_displacement(rng, memory)
                 position = instruction.operands.index(memory)
                 working[endpoint] = instruction.with_operand(position, new_memory)
-                return
+                return endpoint
 
     @staticmethod
     def _find_register_with_root(instruction: Instruction, root: str):

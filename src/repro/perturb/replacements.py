@@ -101,6 +101,24 @@ def random_immediate(rng: np.random.Generator, operand: ImmediateOperand) -> Imm
     return operand.with_value(value)
 
 
+#: (root, width) -> Register, filled lazily; the register file is static.
+_FAMILY_MEMBERS: Dict[Tuple[str, int], Optional[Register]] = {}
+
+
+def _family_member(root: str, width: int) -> Optional[Register]:
+    key = (root, width)
+    if key not in _FAMILY_MEMBERS:
+        from repro.isa.registers import REGISTERS
+
+        found = None
+        for reg in REGISTERS.values():
+            if reg.root == root and reg.width == width:
+                found = reg
+                break
+        _FAMILY_MEMBERS[key] = found
+    return _FAMILY_MEMBERS[key]
+
+
 def rename_register_in_instruction(
     instruction: Instruction,
     old_root: str,
@@ -112,13 +130,10 @@ def rename_register_in_instruction(
     yields ``ebx``.  Memory base/index registers are renamed to the 64-bit
     member of the new family (addresses are always 64-bit in our blocks).
     """
-    from repro.isa.registers import REGISTERS
 
     def family_member(width: int) -> Register:
-        for reg in REGISTERS.values():
-            if reg.root == new_register.root and reg.width == width:
-                return reg
-        return new_register
+        member = _family_member(new_register.root, width)
+        return member if member is not None else new_register
 
     new_operands: List[Operand] = []
     for operand in instruction.operands:

@@ -1,0 +1,144 @@
+"""Seeded parity of the batched explanation pipeline.
+
+The batched query engine must be a pure throughput optimisation: given the
+same random seed, routing a refinement round's blocks through one
+``predict_batch`` call has to produce *exactly* the explanation that the
+sequential one-query-per-block path produces.  These tests pin that
+bit-for-bit contract (and seeded determinism generally), plus the round-level
+semantics of the estimator's batch sampler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.data.synthesis import BlockSynthesizer
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.explain.precision import PrecisionEstimator
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel
+
+FAST_CONFIG = ExplainerConfig(
+    epsilon=0.2,
+    relative_epsilon=0.0,
+    coverage_samples=120,
+    max_precision_samples=60,
+    min_precision_samples=16,
+    batch_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockSynthesizer(rng=3).generate_many(
+        4, min_instructions=3, max_instructions=8, rng=4
+    )
+
+
+def _explain(block, *, batched: bool, seed: int):
+    config = FAST_CONFIG.with_overrides(batch_queries=batched)
+    model = CachedCostModel(AnalyticalCostModel("hsw"))
+    return CometExplainer(model, config, rng=seed).explain(block)
+
+
+def _fingerprint(explanation):
+    return (
+        tuple(f.describe() for f in explanation.features),
+        explanation.precision,
+        explanation.coverage,
+        explanation.precision_samples,
+        explanation.num_queries,
+        explanation.meets_threshold,
+    )
+
+
+class TestBatchedSequentialParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_seeded_explanations_identical(self, blocks, seed):
+        for block in blocks:
+            batched = _explain(block, batched=True, seed=seed)
+            sequential = _explain(block, batched=False, seed=seed)
+            assert _fingerprint(batched) == _fingerprint(sequential)
+
+    def test_parity_holds_with_dependency_heavy_block(self):
+        block = BasicBlock.from_text(
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\n"
+            "div rcx\nmov rdx, rcx\nimul rax, rcx"
+        )
+        for seed in (0, 11):
+            assert _fingerprint(_explain(block, batched=True, seed=seed)) == (
+                _fingerprint(_explain(block, batched=False, seed=seed))
+            )
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_seeded_determinism(self, blocks, batched):
+        first = _explain(blocks[0], batched=batched, seed=9)
+        second = _explain(blocks[0], batched=batched, seed=9)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_batched_is_default(self):
+        assert ExplainerConfig().batch_queries is True
+
+
+class TestBatchSamplerSemantics:
+    def _make(self, probabilities, **kwargs):
+        rng = np.random.default_rng(0)
+        calls = []
+
+        def batch_sampler(requests):
+            calls.append(list(requests))
+            return [
+                rng.random(count) < probabilities[arm] for arm, count in requests
+            ]
+
+        estimator = PrecisionEstimator(
+            batch_sampler=batch_sampler, num_arms=len(probabilities), **kwargs
+        )
+        return estimator, calls
+
+    def test_selects_best_arm(self):
+        estimator, _ = self._make([0.15, 0.9, 0.5], max_samples=300)
+        assert estimator.select_top(1) == [1]
+
+    def test_minimum_fill_is_one_round(self):
+        estimator, calls = self._make([0.5, 0.6], min_samples=20)
+        estimator._ensure_minimum()
+        assert calls[0] == [(0, 20), (1, 20)]
+        assert all(s.samples == 20 for s in estimator.stats)
+
+    def test_requests_clamped_to_budget(self):
+        estimator, calls = self._make([0.5], min_samples=10, max_samples=25)
+        estimator._draw_many([(0, 10), (0, 10), (0, 10)])
+        assert estimator.stats[0].samples == 25
+        assert calls[0] == [(0, 10), (0, 10), (0, 5)]
+
+    def test_certify_threshold_through_batch_sampler(self):
+        estimator, _ = self._make([0.95], max_samples=400)
+        meets, stats = estimator.certify_threshold(0, 0.7)
+        assert meets and stats.mean > 0.8
+
+    def test_rejects_both_sampler_kinds(self):
+        with pytest.raises(ValueError):
+            PrecisionEstimator([lambda n: [True] * n], batch_sampler=lambda r: [])
+
+    def test_batch_sampler_requires_num_arms(self):
+        with pytest.raises(ValueError):
+            PrecisionEstimator(batch_sampler=lambda r: [])
+
+    def test_mismatched_outcome_count_rejected(self):
+        estimator = PrecisionEstimator(batch_sampler=lambda requests: [], num_arms=1)
+        with pytest.raises(ValueError):
+            estimator._draw_many([(0, 5)])
+
+    def test_numpy_outcomes_accepted(self):
+        estimator = PrecisionEstimator(
+            batch_sampler=lambda requests: [
+                np.ones(count, dtype=bool) for _, count in requests
+            ],
+            num_arms=1,
+            min_samples=8,
+        )
+        estimator._ensure_minimum()
+        assert estimator.stats[0].samples == 8
+        assert estimator.stats[0].positives == 8

@@ -1,0 +1,136 @@
+"""Batch/sequential parity of every registered cost model.
+
+The batched query engine is only sound if ``predict_batch`` is equivalent to
+the sequential ``predict_many`` path for every model behind the query
+interface; these tests pin that contract, including the thread-pool fan-out
+of the simulator-style models and the batch-aware cache wrapper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.data.synthesis import BlockSynthesizer
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel, CallableCostModel
+from repro.models.ithemal import IthemalConfig, IthemalCostModel
+from repro.models.mca import PortPressureCostModel
+from repro.models.uica import UiCACostModel
+from repro.utils.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockSynthesizer(rng=0).generate_many(
+        25, min_instructions=2, max_instructions=10, rng=1
+    )
+
+
+def _exact_models():
+    return [
+        AnalyticalCostModel("hsw"),
+        AnalyticalCostModel("skl"),
+        UiCACostModel("hsw"),
+        UiCACostModel("hsw", batch_workers=4),
+        PortPressureCostModel("hsw"),
+        PortPressureCostModel("hsw", batch_workers=4),
+        CallableCostModel(lambda b: float(b.num_instructions), name="count"),
+    ]
+
+
+class TestPredictBatchParity:
+    @pytest.mark.parametrize("model", _exact_models(), ids=lambda m: m.describe())
+    def test_exact_parity_with_predict_many(self, model, blocks):
+        sequential = model.predict_many(blocks)
+        batched = model.predict_batch(blocks)
+        assert batched == sequential
+
+    def test_ithemal_parity_within_float_tolerance(self, blocks):
+        model = IthemalCostModel(
+            "hsw", IthemalConfig(embedding_size=8, hidden_size=8, epochs=0)
+        )
+        sequential = model.predict_many(blocks)
+        batched = model.predict_batch(blocks)
+        np.testing.assert_allclose(batched, sequential, rtol=1e-9)
+
+    def test_empty_batch(self):
+        model = AnalyticalCostModel("hsw")
+        assert model.predict_batch([]) == []
+        assert model.query_count == 0
+
+    def test_batch_counts_one_query_per_block(self, blocks):
+        model = AnalyticalCostModel("hsw")
+        model.predict_batch(blocks)
+        assert model.query_count == len(blocks)
+
+    def test_batch_validates_predictions(self, blocks):
+        model = CallableCostModel(lambda b: -1.0, name="negative")
+        with pytest.raises(ModelError):
+            model.predict_batch(blocks[:3])
+
+    def test_default_batch_loops_predict(self, blocks):
+        """A model without a batched formulation still serves batches."""
+        model = CallableCostModel(lambda b: float(len(b)), name="plain")
+        assert model.predict_batch(blocks[:5]) == [float(len(b)) for b in blocks[:5]]
+
+class TestCachedBatchPath:
+    def test_batch_matches_sequential_values(self, blocks):
+        cached = CachedCostModel(AnalyticalCostModel("hsw"))
+        expected = AnalyticalCostModel("hsw").predict_many(blocks)
+        assert cached.predict_batch(blocks) == expected
+
+    def test_batch_dedupes_duplicate_blocks(self, blocks):
+        cached = CachedCostModel(AnalyticalCostModel("hsw"))
+        batch = list(blocks[:4]) + list(blocks[:4])
+        values = cached.predict_batch(batch)
+        assert values[:4] == values[4:]
+        # Only the four distinct blocks reach the inner model.
+        assert cached.inner.query_count == 4
+        assert cached.query_count == 4
+        assert cached.hits == 4 and cached.misses == 4
+
+    def test_batch_serves_previous_results_from_cache(self, blocks):
+        cached = CachedCostModel(AnalyticalCostModel("hsw"))
+        cached.predict_batch(blocks[:6])
+        cached.predict_batch(blocks[:6])
+        assert cached.inner.query_count == 6
+        assert cached.hits == 6
+
+    def test_query_count_ignores_cache_hits(self, blocks):
+        """Regression: the wrapper used to count cache hits as queries."""
+        cached = CachedCostModel(AnalyticalCostModel("hsw"))
+        block = blocks[0]
+        cached.predict(block)
+        cached.predict(block)
+        cached.predict(block)
+        assert cached.query_count == 1
+        assert cached.inner.query_count == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner, max_entries=2)
+        a = BasicBlock.from_text("add rcx, rax")
+        b = BasicBlock.from_text("sub rcx, rax")
+        c = BasicBlock.from_text("xor rcx, rax")
+        cached.predict(a)
+        cached.predict(b)
+        cached.predict(a)  # refresh a; b becomes least recently used
+        cached.predict(c)  # evicts b
+        assert len(cached._cache) == 2
+        queries = inner.query_count
+        cached.predict(a)
+        assert inner.query_count == queries  # a still cached
+        cached.predict(b)
+        assert inner.query_count == queries + 1  # b was evicted
+
+    def test_lru_keeps_accepting_after_capacity(self):
+        """Regression: the old cache silently stopped storing when full."""
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner, max_entries=1)
+        a = BasicBlock.from_text("add rcx, rax")
+        b = BasicBlock.from_text("sub rcx, rax")
+        cached.predict(a)
+        cached.predict(b)
+        queries = inner.query_count
+        cached.predict(b)  # most recent entry must be cached
+        assert inner.query_count == queries

@@ -180,3 +180,36 @@ class TestConfigurationEffects:
         a = BlockPerturber(div_block, rng=42).perturb_many(10)
         b = BlockPerturber(div_block, rng=42).perturb_many(10)
         assert [x.key() for x in a] == [y.key() for y in b]
+
+
+class TestReferenceEngine:
+    """The scalar reference Γ (``vectorized=False``) must satisfy the same
+    contracts as the fast path — it is the benchmark baseline and oracle."""
+
+    REFERENCE = PerturbationConfig(vectorized=False)
+
+    def test_outputs_are_valid_blocks(self, div_block):
+        perturber = BlockPerturber(div_block, self.REFERENCE, rng=0)
+        for perturbed in perturber.perturb_many(40):
+            validate_block_instructions(perturbed.instructions)
+
+    def test_features_preserved(self, div_block):
+        insts, deps, count = features_by_type(div_block)
+        preserved = [insts[0], deps[0], count]
+        perturber = BlockPerturber(div_block, self.REFERENCE, rng=1)
+        for perturbed in perturber.perturb_many(30, preserved):
+            assert features_present(preserved, perturbed)
+
+    def test_deterministic_given_seed(self, div_block):
+        a = BlockPerturber(div_block, self.REFERENCE, rng=7).perturb_many(10)
+        b = BlockPerturber(div_block, self.REFERENCE, rng=7).perturb_many(10)
+        assert [x.key() for x in a] == [y.key() for y in b]
+
+    def test_similar_perturbation_rate_to_fast_path(self, div_block):
+        """Both engines sample the same distribution family: comparable
+        fractions of perturbed-away blocks under the default config."""
+        fast = BlockPerturber(div_block, rng=3).perturb_many(150)
+        reference = BlockPerturber(div_block, self.REFERENCE, rng=3).perturb_many(150)
+        fast_changed = sum(1 for p in fast if p != div_block) / len(fast)
+        reference_changed = sum(1 for p in reference if p != div_block) / len(reference)
+        assert abs(fast_changed - reference_changed) < 0.15
