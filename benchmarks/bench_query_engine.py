@@ -32,12 +32,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import os
+
 from repro.data.synthesis import BlockSynthesizer
 from repro.explain.config import ExplainerConfig
 from repro.explain.explainer import CometExplainer
 from repro.models.base import CachedCostModel
 from repro.models.registry import build_cost_model
 from repro.perturb.config import PerturbationConfig
+from repro.runtime.backend import available_backends
+from repro.runtime.session import ExplanationSession
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -51,6 +55,26 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--workers", type=int, default=0, help="thread fan-out for simulator models")
     parser.add_argument(
         "--quick", action="store_true", help="tiny configuration for CI smoke runs"
+    )
+    parser.add_argument(
+        "--matrix-model",
+        default="uica",
+        help="simulator-backed model for the backend matrix",
+    )
+    parser.add_argument(
+        "--matrix-workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--matrix-blocks",
+        type=int,
+        default=6,
+        help="number of blocks explained per backend in the matrix",
+    )
+    parser.add_argument(
+        "--skip-matrix", action="store_true", help="skip the backend matrix"
     )
     parser.add_argument(
         "--output",
@@ -132,11 +156,62 @@ def run_model_microbench(args, blocks) -> dict:
     }
 
 
+def run_backend_matrix(args, blocks) -> dict:
+    """Explanations/sec on a simulator-backed model per execution backend.
+
+    The simulator is pure Python, so the thread backend stays GIL-bound while
+    the process backend scales with cores: this is the experiment behind the
+    runtime's ProcessBackend.  Each backend explains the same seeded workload
+    through one ExplanationSession; parity of the results is a by-product
+    (and is pinned separately by tests/explain/test_batch_parity.py).
+    """
+    workers = args.matrix_workers or os.cpu_count() or 1
+    matrix = {
+        "model": args.matrix_model,
+        "workers": workers,
+        "cpus": os.cpu_count() or 1,
+        "blocks": len(blocks),
+        "backends": {},
+    }
+    config = explainer_config(batched=True)
+    for backend_name in available_backends():
+        model = build_cost_model(args.matrix_model, args.microarch, cached=True)
+        with ExplanationSession(
+            model, config, backend=backend_name, workers=workers, rng=args.seed
+        ) as session:
+            start = time.perf_counter()
+            session.explain_many(blocks, rng=args.seed)
+            elapsed = time.perf_counter() - start
+            stats = session.stats()
+        matrix["backends"][backend_name] = {
+            "seconds": round(elapsed, 4),
+            "explanations_per_sec": round(len(blocks) / elapsed, 4),
+            "model_queries": stats.model_queries,
+            "cache_hit_rate": round(stats.cache_hit_rate, 4),
+        }
+    thread_rate = matrix["backends"]["thread"]["explanations_per_sec"]
+    process_rate = matrix["backends"]["process"]["explanations_per_sec"]
+    matrix["process_vs_thread_speedup"] = (
+        round(process_rate / thread_rate, 2) if thread_rate else None
+    )
+    if matrix["cpus"] < 2:
+        # The simulator is pure Python: threads are GIL-bound, so the process
+        # backend's gain is bounded by the core count.  On one core it can
+        # only measure its own IPC overhead.
+        matrix["note"] = (
+            "single-CPU host: process fan-out has no parallelism to win; "
+            "the process/thread ratio approaches the core count on "
+            "multi-core hardware (>=2x from 2-4 cores up)"
+        )
+    return matrix
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     if args.quick:
         args.blocks = min(args.blocks, 3)
         args.max_size = min(args.max_size, 8)
+        args.matrix_blocks = min(args.matrix_blocks, 2)
 
     synthesizer = BlockSynthesizer(rng=args.seed)
     blocks = synthesizer.generate_many(
@@ -164,6 +239,13 @@ def main(argv=None) -> int:
         "explanations_per_sec_speedup": speedup,
         "model_microbench": micro,
     }
+
+    matrix = None
+    if not args.skip_matrix:
+        matrix_blocks = blocks[: args.matrix_blocks]
+        matrix = run_backend_matrix(args, matrix_blocks)
+        report["backend_matrix"] = matrix
+
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -179,6 +261,17 @@ def main(argv=None) -> int:
         f"  speedup: {speedup:.2f}x explanations/sec  "
         f"(model-level predict_batch: {micro['model_speedup']:.2f}x)"
     )
+    if matrix is not None:
+        print(
+            f"backend matrix — model={matrix['model']} "
+            f"workers={matrix['workers']} cpus={matrix['cpus']}"
+        )
+        for name, row in matrix["backends"].items():
+            print(
+                f"  {name:>10}: {row['seconds']:7.2f}s  "
+                f"{row['explanations_per_sec']:7.3f} expl/s"
+            )
+        print(f"  process vs thread: {matrix['process_vs_thread_speedup']}x")
     print(f"  report written to {output}")
     return 0
 

@@ -35,6 +35,7 @@ from repro.perturb.algorithm import BlockPerturber
 from repro.perturb.config import PerturbationConfig
 from repro.perturb.space import space_report
 from repro.reporting.export import explanation_to_json
+from repro.runtime.backend import available_backends
 from repro.uarch.microarch import available_microarchitectures
 from repro.utils.errors import ReproError
 
@@ -54,7 +55,13 @@ def _read_block(args: argparse.Namespace) -> BasicBlock:
 
 
 def _build_model(args: argparse.Namespace) -> CostModel:
-    return build_cost_model(args.model, args.uarch, cached=True)
+    return build_cost_model(
+        args.model,
+        args.uarch,
+        cached=True,
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
+    )
 
 
 # --------------------------------------------------------------- subcommands
@@ -70,7 +77,6 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     block = _read_block(args)
-    model = _build_model(args)
     config = ExplainerConfig(
         epsilon=args.epsilon,
         relative_epsilon=args.relative_epsilon,
@@ -78,8 +84,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         coverage_samples=args.coverage_samples,
         max_precision_samples=args.max_precision_samples,
     )
-    explainer = CometExplainer(model, config, rng=args.seed)
-    explanation = explainer.explain(block)
+    # The model owns the backend built by the registry; closing the model
+    # releases any pooled workers before the process exits.
+    with _build_model(args) as model:
+        explainer = CometExplainer(model, config, rng=args.seed)
+        explanation = explainer.explain(block)
     if args.json:
         print(explanation_to_json(explanation))
     else:
@@ -154,6 +163,8 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         max_instructions=args.max_instructions,
         microarchs=tuple(args.uarchs),
         rng=args.seed,
+        backend=args.backend,
+        workers=args.workers,
     )
     dataset.save(args.output)
     print(f"wrote {len(dataset)} blocks to {args.output}")
@@ -168,6 +179,22 @@ def _add_block_arguments(parser: argparse.ArgumentParser) -> None:
         "--block", help="inline block text; instructions separated by ';' or newlines"
     )
     parser.add_argument("--block-file", help="path to a file with one instruction per line")
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=available_backends(),
+        help="execution substrate for batched model/oracle work "
+        "(process escapes the GIL for simulator models)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends (default: CPU count)",
+    )
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -207,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--max-precision-samples", type=int, default=150)
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_backend_arguments(explain)
     explain.set_defaults(func=_cmd_explain)
 
     features = subparsers.add_parser("features", help="list a block's candidate features")
@@ -257,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dataset.add_argument("--seed", type=int, default=0)
     dataset.add_argument("--output", required=True, help="output JSON path")
+    _add_backend_arguments(dataset)
     dataset.set_defaults(func=_cmd_dataset)
 
     return parser

@@ -22,6 +22,14 @@ from repro.models.base import CachedCostModel, CostModel
 from repro.models.ithemal import IthemalConfig, IthemalCostModel, train_ithemal
 from repro.models.uica import UiCACostModel
 from repro.perturb.config import PerturbationConfig
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.runtime.session import ExplanationSession, SessionStats
 
 __all__ = [
     "BasicBlock",
@@ -45,4 +53,11 @@ __all__ = [
     "train_ithemal",
     "UiCACostModel",
     "PerturbationConfig",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "ExplanationSession",
+    "SessionStats",
 ]

@@ -60,19 +60,28 @@ class BHiveDataset:
         microarchs: Optional[Sequence[str]] = None,
         include_categories: bool = True,
         rng: RandomSource = 0,
+        backend: "BackendSource" = None,
+        workers: Optional[int] = None,
     ) -> "BHiveDataset":
         """Generate a labelled dataset.
 
         ``num_blocks`` are drawn from the source profiles (split evenly); when
         ``include_categories`` is set, an additional ~20% of blocks are drawn
         per BHive category so the category partitions are well populated.
+
+        ``backend`` selects the execution substrate for the oracle
+        measurements (the expensive part: one detailed simulation per block
+        per micro-architecture).  The oracle's measurement noise is derived
+        from the block content, not from shared generator state, so fanning
+        the measurements out across processes labels every block exactly as
+        the serial path would.
         """
         generator = as_rng(rng)
         microarchs = tuple(microarchs or available_microarchitectures())
         synthesizer = BlockSynthesizer(generator)
         oracles = {m: HardwareOracle(m) for m in microarchs}
 
-        records: List[BlockRecord] = []
+        candidates: List[Tuple[BasicBlock, str]] = []
         seen: set = set()
 
         def add(block: BasicBlock, source: str) -> None:
@@ -80,15 +89,7 @@ class BHiveDataset:
             if key in seen:
                 return
             seen.add(key)
-            throughputs = {m: oracles[m].measure(block) for m in microarchs}
-            records.append(
-                BlockRecord(
-                    block=block,
-                    throughputs=throughputs,
-                    source=source,
-                    category=block.category.value,
-                )
-            )
+            candidates.append((block, source))
 
         per_source = max(num_blocks // max(len(sources), 1), 1)
         for source in sources:
@@ -114,7 +115,47 @@ class BHiveDataset:
                     block = synthesizer.generate_category(category, size, rng=generator)
                     add(block, "synthetic")
 
+        labels = cls._measure_labels(candidates, oracles, microarchs, backend, workers)
+        records = [
+            BlockRecord(
+                block=block,
+                throughputs=labels[index],
+                source=source,
+                category=block.category.value,
+            )
+            for index, (block, source) in enumerate(candidates)
+        ]
         return cls(records)
+
+    @staticmethod
+    def _measure_labels(
+        candidates: Sequence[Tuple[BasicBlock, str]],
+        oracles: Dict[str, HardwareOracle],
+        microarchs: Sequence[str],
+        backend,
+        workers: Optional[int],
+    ) -> List[Dict[str, float]]:
+        """Oracle-label every candidate block, one batch per micro-architecture."""
+        from repro.runtime.backend import ExecutionBackend, resolve_backend
+
+        blocks = [block for block, _ in candidates]
+        labels: List[Dict[str, float]] = [{} for _ in blocks]
+        runtime = resolve_backend(backend, workers) if backend is not None else None
+        try:
+            for microarch in microarchs:
+                oracle = oracles[microarch]
+                if runtime is None or runtime.workers <= 1:
+                    values = [oracle.measure(block) for block in blocks]
+                else:
+                    values = runtime.map_batch(oracle.measure, blocks)
+                for index, value in enumerate(values):
+                    labels[index][microarch] = float(value)
+        finally:
+            # Close a runtime resolved here from a name; a backend instance
+            # passed in stays caller-owned.
+            if runtime is not None and not isinstance(backend, ExecutionBackend):
+                runtime.close()
+        return labels
 
     # ------------------------------------------------------------ accessors
 

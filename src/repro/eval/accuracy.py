@@ -17,8 +17,9 @@ from repro.eval.baselines import FixedExplanationBaseline, RandomExplanationBase
 from repro.eval.context import EvaluationContext
 from repro.eval.metrics import accuracy_rate, explanation_accuracy, summarize_mean_std
 from repro.explain.config import ExplainerConfig
-from repro.explain.explainer import CometExplainer
 from repro.models.analytical import AnalyticalCostModel, ground_truth_explanations
+from repro.runtime.backend import BackendSource
+from repro.runtime.session import ExplanationSession
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_mean_std, render_table
 
@@ -61,13 +62,15 @@ def _comet_accuracy_for_seed(
     model: AnalyticalCostModel,
     config: ExplainerConfig,
     seed,
+    *,
+    backend: BackendSource = None,
 ) -> float:
-    explainer = CometExplainer(model, config, rng=seed)
     outcomes = []
-    for block, block_rng in zip(blocks, spawn_rngs(seed, len(blocks))):
-        truth = ground_truth_explanations(block, model)
-        explanation = explainer.explain(block, rng=block_rng)
-        outcomes.append(explanation_accuracy(explanation.features, truth))
+    with ExplanationSession(model, config, backend=backend) as session:
+        for block, block_rng in zip(blocks, spawn_rngs(seed, len(blocks))):
+            truth = ground_truth_explanations(block, model)
+            explanation = session.explain(block, rng=block_rng)
+            outcomes.append(explanation_accuracy(explanation.features, truth))
     return accuracy_rate(outcomes)
 
 
@@ -96,6 +99,7 @@ def run_accuracy_experiment(
     *,
     blocks: Optional[Sequence[BasicBlock]] = None,
     seeds: Optional[int] = None,
+    backend: BackendSource = None,
 ) -> AccuracyResult:
     """Run the Table 2 experiment and return its result object."""
     context = context or EvaluationContext.shared()
@@ -112,7 +116,7 @@ def run_accuracy_experiment(
     for microarch in settings.microarchs:
         model = context.crude_model(microarch)
         comet_scores = [
-            _comet_accuracy_for_seed(blocks, model, config, 1000 + seed)
+            _comet_accuracy_for_seed(blocks, model, config, 1000 + seed, backend=backend)
             for seed in range(seeds)
         ]
         random_scores = [

@@ -15,9 +15,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bb.block import BasicBlock
 from repro.eval.context import EvaluationContext
 from repro.eval.metrics import summarize_mean_std
-from repro.explain.explainer import CometExplainer
 from repro.explain.explanation import Explanation
-from repro.utils.rng import spawn_rngs
+from repro.runtime.backend import BackendSource
+from repro.runtime.session import ExplanationSession
 from repro.utils.tables import format_mean_std, render_table
 
 
@@ -62,11 +62,18 @@ def explain_blocks(
     blocks: Sequence[BasicBlock],
     config,
     seed,
+    *,
+    backend: BackendSource = None,
 ) -> List[Explanation]:
-    """Explain every block with independent random streams (shared helper)."""
-    explainer = CometExplainer(model, config, rng=seed)
-    streams = spawn_rngs(seed, len(blocks))
-    return [explainer.explain(block, rng=stream) for block, stream in zip(blocks, streams)]
+    """Explain every block through one session (shared helper).
+
+    The session spawns the same independent per-block random streams the
+    harness always used; it adds the shared cache wrapper, the per-block
+    background populations and — when ``backend`` (or ``REPRO_BACKEND``)
+    says so — process/thread fan-out of the model queries.
+    """
+    with ExplanationSession(model, config, backend=backend) as session:
+        return session.explain_many(blocks, rng=seed)
 
 
 def run_precision_coverage_experiment(
@@ -75,6 +82,7 @@ def run_precision_coverage_experiment(
     models: Sequence[str] = ("ithemal", "uica"),
     blocks: Optional[Sequence[BasicBlock]] = None,
     seed: int = 11,
+    backend: BackendSource = None,
 ) -> PrecisionCoverageResult:
     """Run the Table 3 experiment for the given models and micro-architectures."""
     context = context or EvaluationContext.shared()
@@ -87,7 +95,7 @@ def run_precision_coverage_experiment(
         for microarch in settings.microarchs:
             model = context.model(model_name, microarch)
             explanations = explain_blocks(
-                model, blocks, settings.explainer_config, seed
+                model, blocks, settings.explainer_config, seed, backend=backend
             )
             precision_mean, precision_std = summarize_mean_std(
                 [e.precision for e in explanations]

@@ -19,7 +19,7 @@ import numpy as np
 from repro.bb.block import BasicBlock
 from repro.bb.features import Feature, extract_features
 from repro.explain.config import ExplainerConfig
-from repro.explain.coverage import CoverageEstimator
+from repro.explain.coverage import CoverageEstimator, PopulationRecord
 from repro.explain.precision import PrecisionEstimator
 from repro.models.base import CostModel
 from repro.perturb.sampler import PerturbationSampler
@@ -50,13 +50,18 @@ class AnchorSearch:
         block: BasicBlock,
         config: Optional[ExplainerConfig] = None,
         rng: RandomSource = None,
+        *,
+        coverage_record: Optional[PopulationRecord] = None,
     ) -> None:
         self.model = model
         self.block = block
         self.config = config or ExplainerConfig()
         self.sampler = PerturbationSampler(block, self.config.perturbation, rng)
+        # An injected record shares one background population across repeated
+        # searches over the same block (see ExplanationSession); without one
+        # the search draws a private population, as the paper's setup does.
         self.coverage_estimator = CoverageEstimator(
-            self.sampler, self.config.coverage_samples
+            self.sampler, self.config.coverage_samples, record=coverage_record
         )
         self.original_prediction = model.predict(block)
         self.tolerance = self.config.tolerance_for(self.original_prediction)

@@ -62,6 +62,16 @@ class ExplainerConfig:
         differ from its sequential path in the last float ulps (BLAS
         summation order), which can in principle flip an outcome that lands
         exactly on the tolerance-ball boundary.
+    shared_background:
+        When true (the default), an
+        :class:`~repro.runtime.session.ExplanationSession` reuses one
+        background population (and its presence index) per block across all
+        anchor beam levels and across repeated explanations of that block in
+        the run.  When false every search draws a private population, exactly
+        as the one-shot explainer does.  This knob is about *state sharing*;
+        the execution substrate is selected separately, on the session or
+        model (``backend=``), because where predictions run must never change
+        what the search computes.
     perturbation:
         Configuration of the perturbation algorithm Γ.
     """
@@ -78,6 +88,7 @@ class ExplainerConfig:
     coverage_samples: int = 400
     lucb_tolerance: float = 0.15
     batch_queries: bool = True
+    shared_background: bool = True
     perturbation: PerturbationConfig = PerturbationConfig()
 
     def __post_init__(self) -> None:

@@ -6,50 +6,170 @@ features of ``F``.  It is the generalisability/simplicity surrogate that the
 anchor search maximises among sufficiently precise candidates.  All candidate
 sets are scored against the same background population of perturbations so
 their coverages are directly comparable.
+
+Scoring is vectorized: the population is indexed once — each block's feature
+signatures (instruction content, dependency hazards, instruction count) are
+extracted into hash sets and a count array — and every feature's presence
+across the whole population becomes one boolean numpy row.  Coverage of a
+feature set is then the mean of the AND of its rows, instead of the seed
+implementation's per-feature re-scan of every block's instruction list.
+
+The population and its index live in a :class:`PopulationRecord`, which an
+:class:`~repro.runtime.session.ExplanationSession` shares across all beam
+levels of a search *and* across repeated explanations of the same block, so
+a fleet run pays for each background population exactly once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.bb.block import BasicBlock
-from repro.bb.features import Feature, feature_present
+from repro.bb.features import (
+    DependencyFeature,
+    Feature,
+    InstructionFeature,
+    NumInstructionsFeature,
+    feature_present,
+)
+from repro.isa.formatter import format_operand
 from repro.perturb.sampler import PerturbationSampler
 
 
+class PopulationRecord:
+    """A background population plus its presence index (shareable state).
+
+    The record is populated lazily through whichever sampler first needs it,
+    so the random stream is consumed exactly as the unshared path would
+    consume it; later users (other beam levels, repeated explanations of the
+    same block in one session) reuse both the blocks and the index without
+    touching their own random streams.
+    """
+
+    def __init__(self) -> None:
+        self.population: List[BasicBlock] = []
+        self._counts: Optional[np.ndarray] = None
+        self._instruction_sets: List[frozenset] = []
+        self._dependency_sets: List[frozenset] = []
+        self._presence: Dict[Feature, np.ndarray] = {}
+
+    # ------------------------------------------------------------ population
+
+    def ensure(self, sampler: PerturbationSampler, size: int) -> List[BasicBlock]:
+        """Grow the population to ``size`` via ``sampler`` (no-op if large enough)."""
+        if len(self.population) < size:
+            self.population.extend(
+                sampler.sample_unconstrained(size - len(self.population))
+            )
+            self._invalidate_index()
+        return self.population
+
+    def _invalidate_index(self) -> None:
+        self._counts = None
+        self._instruction_sets = []
+        self._dependency_sets = []
+        self._presence = {}
+
+    def _build_index(self) -> None:
+        """Extract each population block's feature signatures, once."""
+        population = self.population
+        self._counts = np.array(
+            [block.num_instructions for block in population], dtype=np.int64
+        )
+        self._instruction_sets = [
+            frozenset(
+                (inst.mnemonic, tuple(format_operand(op) for op in inst.operands))
+                for inst in block
+            )
+            for block in population
+        ]
+        self._dependency_sets = [
+            frozenset(
+                (
+                    dep.kind,
+                    dep.location_space,
+                    block[dep.source].mnemonic,
+                    block[dep.destination].mnemonic,
+                )
+                for dep in block.dependencies
+            )
+            for block in population
+        ]
+
+    # -------------------------------------------------------------- presence
+
+    def presence_row(self, feature: Feature) -> np.ndarray:
+        """Boolean presence of one feature across the population (memoised)."""
+        row = self._presence.get(feature)
+        if row is None:
+            if self._counts is None:
+                self._build_index()
+            row = self._compute_row(feature)
+            row.setflags(write=False)
+            self._presence[feature] = row
+        return row
+
+    def _compute_row(self, feature: Feature) -> np.ndarray:
+        size = len(self.population)
+        if isinstance(feature, NumInstructionsFeature):
+            return self._counts == feature.count
+        if isinstance(feature, InstructionFeature):
+            signature = (feature.mnemonic, feature.operand_text)
+            return np.fromiter(
+                (signature in block_set for block_set in self._instruction_sets),
+                dtype=bool,
+                count=size,
+            )
+        if isinstance(feature, DependencyFeature):
+            signature = (
+                feature.dep_kind,
+                feature.location_space,
+                feature.source_mnemonic,
+                feature.destination_mnemonic,
+            )
+            return np.fromiter(
+                (signature in block_set for block_set in self._dependency_sets),
+                dtype=bool,
+                count=size,
+            )
+        # Unknown feature subtype: fall back to the generic per-block check.
+        return np.fromiter(
+            (feature_present(feature, block) for block in self.population),
+            dtype=bool,
+            count=size,
+        )
+
+    def presence_matrix(self, features: Sequence[Feature]) -> np.ndarray:
+        """Stacked presence rows for a feature set (``len(features) × size``)."""
+        return np.vstack([self.presence_row(feature) for feature in features])
+
+
 class CoverageEstimator:
-    """Empirical coverage over a shared background population."""
+    """Empirical coverage over a shared background population.
+
+    Pass a ``record`` to score against population state owned elsewhere (an
+    explanation session's per-block cache); by default the estimator owns a
+    private record, matching the seed behaviour of one population per search.
+    """
 
     def __init__(
-        self, sampler: PerturbationSampler, population_size: int = 400
+        self,
+        sampler: PerturbationSampler,
+        population_size: int = 400,
+        *,
+        record: Optional[PopulationRecord] = None,
     ) -> None:
         self.sampler = sampler
         self.population_size = population_size
-        self._population: List[BasicBlock] = []
-        self._presence_cache: Dict[Feature, Tuple[bool, ...]] = {}
+        self.record = record if record is not None else PopulationRecord()
 
     # ------------------------------------------------------------ population
 
     def population(self) -> List[BasicBlock]:
         """The background population (drawn lazily, then cached)."""
-        if not self._population:
-            self._population = self.sampler.background_population(self.population_size)
-        return self._population
-
-    def _presence_vector(self, feature: Feature) -> Tuple[bool, ...]:
-        """Presence of one feature across the population (memoised).
-
-        Coverage of a feature *set* is the AND of its members' presence
-        vectors, so caching per-feature vectors makes scoring many candidate
-        sets cheap.
-        """
-        cached = self._presence_cache.get(feature)
-        if cached is None:
-            cached = tuple(
-                feature_present(feature, candidate) for candidate in self.population()
-            )
-            self._presence_cache[feature] = cached
-        return cached
+        return self.record.ensure(self.sampler, self.population_size)
 
     # -------------------------------------------------------------- coverage
 
@@ -61,12 +181,13 @@ class CoverageEstimator:
             return 0.0
         if not feature_list:
             return 1.0
-        vectors = [self._presence_vector(f) for f in feature_list]
-        hits = sum(1 for joint in zip(*vectors) if all(joint))
-        return hits / len(population)
+        joint = self.record.presence_row(feature_list[0])
+        if len(feature_list) > 1:
+            joint = np.logical_and.reduce(
+                self.record.presence_matrix(feature_list), axis=0
+            )
+        return int(np.count_nonzero(joint)) / len(population)
 
-    def coverage_many(
-        self, candidates: Sequence[Iterable[Feature]]
-    ) -> List[float]:
+    def coverage_many(self, candidates: Sequence[Iterable[Feature]]) -> List[float]:
         """Coverage of several candidate sets against the same population."""
         return [self.coverage(candidate) for candidate in candidates]

@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.bb.block import BasicBlock
 from repro.explain.anchors import AnchorSearch
 from repro.explain.config import ExplainerConfig
 from repro.explain.explanation import Explanation
 from repro.models.base import CostModel, QueryCounter
-from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backend
+from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runtime.session import ExplanationSession
 
 
 class CometExplainer:
@@ -21,12 +25,23 @@ class CometExplainer:
         Any object implementing the :class:`~repro.models.base.CostModel`
         query interface.  Wrapping it in
         :class:`~repro.models.base.CachedCostModel` is recommended for
-        expensive models.
+        expensive models (:meth:`explain_many` does this automatically, via
+        its session).
     config:
         Explanation hyperparameters; the defaults follow the paper.
     rng:
         Random source controlling both the perturbation algorithm and the
         sampling order (pass an int for reproducible explanations).
+    backend:
+        Execution substrate for the model's batch prediction — a short name
+        (``"serial"``/``"thread"``/``"process"``), a constructed
+        :class:`~repro.runtime.backend.ExecutionBackend`, or ``None`` to
+        leave the model's current substrate untouched.  Backends only decide
+        *where* deterministic predictions run, so seeded explanations are
+        identical across all of them.  Call :meth:`close` (or use the
+        explainer as a context manager) to release a backend resolved here.
+    workers:
+        Worker count for a backend resolved from a name.
 
     Example
     -------
@@ -46,10 +61,20 @@ class CometExplainer:
         model: CostModel,
         config: Optional[ExplainerConfig] = None,
         rng: RandomSource = None,
+        *,
+        backend: BackendSource = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.model = model
         self.config = config or ExplainerConfig()
         self._rng = as_rng(rng)
+        self._owns_backend = backend is not None and not isinstance(
+            backend, ExecutionBackend
+        )
+        self._backend: Optional[ExecutionBackend] = None
+        if backend is not None:
+            self._backend = resolve_backend(backend, workers)
+            self.model.set_backend(self._backend)
 
     def explain(self, block: BasicBlock, rng: RandomSource = None) -> Explanation:
         """Explain the model's prediction for ``block``."""
@@ -57,26 +82,58 @@ class CometExplainer:
         with QueryCounter(self.model) as counter:
             search = AnchorSearch(self.model, block, self.config, generator)
             anchor = search.search()
-        return Explanation(
-            block=block,
-            model_name=self.model.name,
-            prediction=search.original_prediction,
-            features=anchor.features,
-            precision=anchor.precision,
-            coverage=anchor.coverage,
-            meets_threshold=anchor.meets_threshold,
-            epsilon=search.tolerance,
-            num_queries=counter.queries,
-            precision_samples=anchor.precision_samples,
-            candidates_evaluated=len(search.evaluated),
+        return Explanation.from_search(search, anchor, num_queries=counter.queries)
+
+    def session(self, rng: RandomSource = None) -> "ExplanationSession":
+        """An :class:`~repro.runtime.session.ExplanationSession` over this
+        explainer's model, configuration and (when set) backend.
+
+        The session adds the run-level shared state — one cache wrapper and
+        one background population per block — that the one-shot API leaves
+        on the floor.  Close it (it is a context manager) when the run ends.
+        """
+        from repro.runtime.session import ExplanationSession
+
+        return ExplanationSession(
+            self.model,
+            self.config,
+            # Borrow whichever backend is already driving this model (set
+            # here or installed on the model directly); otherwise let the
+            # session resolve the environment default.
+            backend=self._backend or self.model.execution_backend,
+            rng=rng if rng is not None else self._rng,
         )
 
     def explain_many(
         self, blocks: Sequence[BasicBlock], rng: RandomSource = None
     ) -> List[Explanation]:
-        """Explain several blocks with independent random streams."""
-        seeds = spawn_rngs(rng if rng is not None else self._rng, len(blocks))
-        return [self.explain(block, rng=seed) for block, seed in zip(blocks, seeds)]
+        """Explain several blocks with independent random streams.
+
+        The fleet path: the whole dataset is routed through one session, so
+        every block shares the query cache, the execution backend and — for
+        repeated blocks — the background population.  Per-block random
+        streams are spawned exactly as they always were, so results for
+        distinct blocks are bit-for-bit the explanations :meth:`explain`
+        would have produced one at a time.
+        """
+        with self.session() as session:
+            return session.explain_many(blocks, rng=rng)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release a backend this explainer resolved from a name.  Idempotent."""
+        if self._owns_backend and self._backend is not None:
+            self.model.set_backend(None)
+            self._backend.close()
+        self._backend = None
+        self._owns_backend = False
+
+    def __enter__(self) -> "CometExplainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def explain_block(

@@ -52,6 +52,28 @@ class Explanation:
     precision_samples: int = 0
     candidates_evaluated: int = 0
 
+    @classmethod
+    def from_search(cls, search, anchor, *, num_queries: int) -> "Explanation":
+        """Assemble the result of a finished anchor search.
+
+        Shared by every driver of the search (the one-shot explainer and the
+        session runtime), so the mapping from search state to result fields
+        lives in exactly one place.
+        """
+        return cls(
+            block=search.block,
+            model_name=search.model.name,
+            prediction=search.original_prediction,
+            features=anchor.features,
+            precision=anchor.precision,
+            coverage=anchor.coverage,
+            meets_threshold=anchor.meets_threshold,
+            epsilon=search.tolerance,
+            num_queries=num_queries,
+            precision_samples=anchor.precision_samples,
+            candidates_evaluated=len(search.evaluated),
+        )
+
     # ------------------------------------------------------------ inspection
 
     @property

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.bb.block import BasicBlock
 from repro.globalx.predicates import AndPredicate, BlockPredicate, candidate_predicates
 from repro.models.base import CostModel
+from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backend
 
 
 @dataclass(frozen=True)
@@ -124,6 +125,8 @@ class GlobalExplainer:
         *,
         config: Optional[GlobalExplainerConfig] = None,
         predicates: Optional[Sequence[BlockPredicate]] = None,
+        backend: BackendSource = None,
+        workers: Optional[int] = None,
     ) -> None:
         if len(blocks) == 0:
             raise ValueError("the global explainer needs at least one block")
@@ -135,7 +138,21 @@ class GlobalExplainer:
             if predicates is not None
             else candidate_predicates(self.blocks)
         )
-        self._predictions = [model.predict(block) for block in self.blocks]
+        # The whole block set is scored through one batched query, so an
+        # execution backend fans the dataset out in a single round.  A
+        # backend given here is borrowed only for that scoring pass: the
+        # model's configured substrate is untouched, and a backend resolved
+        # from a name is released before the constructor returns.
+        if backend is not None:
+            runtime = resolve_backend(backend, workers)
+            try:
+                with model.using_backend(runtime):
+                    self._predictions = model.predict_batch(self.blocks)
+            finally:
+                if not isinstance(backend, ExecutionBackend):
+                    runtime.close()
+        else:
+            self._predictions = model.predict_batch(self.blocks)
         # Predicate truth table, computed once: rules are conjunctions of
         # these columns, so scoring a rule is a boolean AND over the rows.
         self._truth = [

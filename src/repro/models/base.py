@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.bb.block import BasicBlock
+from repro.runtime.backend import ExecutionBackend, ThreadBackend
 from repro.uarch.microarch import MicroArchitecture, get_microarch
 from repro.utils.errors import ModelError
 
@@ -37,11 +38,14 @@ class CostModel(ABC):
     def __init__(self, microarch="hsw") -> None:
         self.microarch: MicroArchitecture = get_microarch(microarch)
         self.query_count = 0
-        #: Number of worker threads :meth:`_fanout_predict_batch` may use.
-        #: ``0``/``1`` keeps batch prediction sequential; simulator-style
-        #: models expose this knob in their constructors.
+        #: Number of workers :meth:`_fanout_predict_batch` may use when no
+        #: explicit backend is installed; ``0``/``1`` keeps batch prediction
+        #: sequential.  Simulator-style models expose this knob in their
+        #: constructors as a convenience — the model then builds (and owns)
+        #: a :class:`~repro.runtime.backend.ThreadBackend` lazily.
         self.batch_workers = 0
-        self._batch_pool: Optional[ThreadPoolExecutor] = None
+        self._backend: Optional[ExecutionBackend] = None
+        self._owns_backend = False
 
     @abstractmethod
     def _predict(self, block: BasicBlock) -> float:
@@ -51,27 +55,100 @@ class CostModel(ABC):
         """Model-specific batch prediction.
 
         The default loops over :meth:`_predict`; subclasses with a cheaper
-        batched formulation (vectorized numpy, batched recurrence, thread
+        batched formulation (vectorized numpy, batched recurrence, backend
         fan-out) override this hook.  Implementations must return one cost per
         block, in input order, and must be numerically identical to the
         sequential path wherever exactness is achievable.
         """
         return [float(self._predict(block)) for block in blocks]
 
+    # ------------------------------------------------------ execution backend
+
+    @property
+    def execution_backend(self) -> Optional[ExecutionBackend]:
+        """The installed backend, materialising the ``batch_workers`` one.
+
+        Returns ``None`` when prediction is (and should stay) in-process:
+        no backend was installed and ``batch_workers`` does not ask for one.
+        """
+        if self._backend is None and self.batch_workers > 1:
+            # Legacy knob: the model owns this backend and closes it.
+            self._backend = ThreadBackend(self.batch_workers)
+            self._owns_backend = True
+        return self._backend
+
+    def set_backend(
+        self, backend: Optional[ExecutionBackend], *, own: bool = False
+    ) -> "CostModel":
+        """Install the execution backend batch prediction fans out on.
+
+        The backend is validated against this model immediately (the process
+        backend rejects non-picklable models here, with a clear error, rather
+        than mid-search).  When ``own`` is true, :meth:`close` shuts the
+        backend down; callers that share one backend across models (e.g. an
+        :class:`~repro.runtime.session.ExplanationSession`) keep ownership.
+        Any previously *owned* backend is closed.
+        """
+        if backend is not None:
+            backend.prepare_model(self)
+        if self._owns_backend and self._backend is not None and self._backend is not backend:
+            self._backend.close()
+        self._backend = backend
+        self._owns_backend = own and backend is not None
+        return self
+
+    @contextmanager
+    def using_backend(self, backend: ExecutionBackend):
+        """Temporarily route batch prediction through ``backend``.
+
+        The previous backend (and its ownership) is restored on exit, and is
+        *not* closed — unlike :meth:`set_backend`, this is a borrow, for
+        callers that need fan-out for one bounded piece of work (e.g. scoring
+        a block set) without disturbing the model's configured substrate.
+        """
+        backend.prepare_model(self)
+        prior, prior_owned = self._backend, self._owns_backend
+        self._backend, self._owns_backend = backend, False
+        try:
+            yield self
+        finally:
+            self._backend, self._owns_backend = prior, prior_owned
+
     def _fanout_predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
-        """Evaluate ``_predict`` over a thread pool (order-preserving).
+        """Evaluate ``_predict`` through the execution backend (in order).
 
         Useful for simulator-style models whose per-block work is substantial
-        and independent; gated on :attr:`batch_workers` by the callers.  The
-        pool is created lazily on first use and kept for the model's lifetime
-        — the refinement loop issues one batch per round, so per-call pool
-        construction would dominate small batches.
+        and independent.  Without a backend (and without ``batch_workers``)
+        this is a plain sequential loop.
         """
-        if self.batch_workers <= 1 or len(blocks) <= 1:
+        backend = self.execution_backend
+        if backend is None or backend.workers <= 1 or len(blocks) <= 1:
             return [float(self._predict(block)) for block in blocks]
-        if self._batch_pool is None:
-            self._batch_pool = ThreadPoolExecutor(max_workers=self.batch_workers)
-        return [float(v) for v in self._batch_pool.map(self._predict, blocks)]
+        return [float(v) for v in backend.predict_blocks(self, blocks)]
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release execution resources owned by this model.  Idempotent."""
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+        self._backend = None
+        self._owns_backend = False
+
+    def __enter__(self) -> "CostModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # Backends hold live pools and must not travel with the model (the
+        # process backend pickles models into its workers; a worker-side
+        # model predicts in-process).
+        state = dict(self.__dict__)
+        state["_backend"] = None
+        state["_owns_backend"] = False
+        return state
 
     def predict(self, block: BasicBlock) -> float:
         """Predicted throughput of ``block`` in cycles per iteration.
@@ -163,6 +240,24 @@ class CachedCostModel(CostModel):
         self._cache: "OrderedDict[tuple, float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def execution_backend(self) -> Optional[ExecutionBackend]:
+        return self.inner.execution_backend
+
+    def set_backend(
+        self, backend: Optional[ExecutionBackend], *, own: bool = False
+    ) -> "CostModel":
+        """Backends belong to the inner model — misses fan out, hits are free."""
+        self.inner.set_backend(backend, own=own)
+        return self
+
+    def using_backend(self, backend: ExecutionBackend):
+        return self.inner.using_backend(backend)
+
+    def close(self) -> None:
+        self.inner.close()
+        super().close()
 
     # ----------------------------------------------------------- cache plumbing
 

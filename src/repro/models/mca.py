@@ -13,12 +13,13 @@ bound in tests (a correct simulator should rarely predict below it).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.bb.block import BasicBlock
 from repro.bb.dependencies import DependencyKind
 from repro.bb.multigraph import DependencyGraph
 from repro.models.base import CostModel
+from repro.runtime.backend import ExecutionBackend
 from repro.uarch.tables import block_reciprocal_throughput_bound, instruction_cost_for
 
 
@@ -31,6 +32,7 @@ class PortPressureCostModel(CostModel):
         *,
         dependency_weight: float = 0.5,
         batch_workers: int = 0,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         super().__init__(microarch)
         if not 0.0 <= dependency_weight <= 1.0:
@@ -38,6 +40,8 @@ class PortPressureCostModel(CostModel):
         self.dependency_weight = dependency_weight
         self.name = f"port-pressure-{self.microarch.short_name}"
         self.batch_workers = batch_workers
+        if backend is not None:
+            self.set_backend(backend)
 
     def _predict(self, block: BasicBlock) -> float:
         resource_bound = block_reciprocal_throughput_bound(

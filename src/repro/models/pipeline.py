@@ -187,7 +187,12 @@ class PipelineSimulator:
                 dispatch_time = start
                 for uop_index, uop in enumerate(static.cost.uops):
                     for _ in range(uop.count):
-                        port = min(uop.ports, key=lambda p: port_free[p])
+                        # Tie-break equally-loaded ports by name: port sets are
+                        # frozensets of str, whose iteration order follows the
+                        # per-process hash seed — an unkeyed min() would make
+                        # simulated throughput differ between interpreter
+                        # launches (and between spawn-style backend workers).
+                        port = min(uop.ports, key=lambda p: (port_free[p], p))
                         port_start = max(start, port_free[port])
                         occupancy = 1.0
                         if uop_index == 0 and static.cost.throughput > 1.0:

@@ -14,6 +14,7 @@ from repro.models.base import CachedCostModel, CostModel
 from repro.models.ithemal import IthemalConfig, IthemalCostModel, train_ithemal
 from repro.models.mca import PortPressureCostModel
 from repro.models.uica import UiCACostModel
+from repro.runtime.backend import BackendSource, resolve_backend
 from repro.utils.errors import ReproError
 
 
@@ -31,6 +32,8 @@ def build_cost_model(
     ithemal_config: Optional[IthemalConfig] = None,
     cached: bool = True,
     batch_workers: int = 0,
+    backend: BackendSource = None,
+    workers: Optional[int] = None,
 ) -> CostModel:
     """Build a cost model by short name.
 
@@ -38,8 +41,14 @@ def build_cost_model(
     neural model must be trained before it can be explained); the other models
     are analytical or simulation based and need no data.  When ``cached`` is
     true the model is wrapped in a :class:`CachedCostModel`, which is what the
-    explanation workload wants.  ``batch_workers`` enables the thread-pool
-    fan-out of the simulator-style models' ``predict_batch`` path.
+    explanation workload wants.
+
+    ``backend`` selects the execution substrate batch prediction fans out on
+    (a short name — ``"serial"``/``"thread"``/``"process"`` — or a constructed
+    :class:`~repro.runtime.backend.ExecutionBackend`); ``workers`` sizes it.
+    The model owns a backend built here and releases it on ``close()``.  The
+    legacy ``batch_workers`` knob is kept as a shorthand for a model-owned
+    thread backend.
     """
     key = name.strip().lower()
     model: CostModel
@@ -62,4 +71,7 @@ def build_cost_model(
         raise ReproError(
             f"unknown cost model {name!r}; available: {available_cost_models()}"
         )
-    return CachedCostModel(model) if cached else model
+    wrapped = CachedCostModel(model) if cached else model
+    if backend is not None:
+        wrapped.set_backend(resolve_backend(backend, workers), own=True)
+    return wrapped

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from repro.bb.block import BasicBlock
 from repro.models.base import CostModel
 from repro.models.pipeline import PipelineSimulator, SimulationConfig, SimulationResult
+from repro.runtime.backend import ExecutionBackend
 
 
 class UiCACostModel(CostModel):
@@ -32,19 +33,23 @@ class UiCACostModel(CostModel):
         config: Optional[SimulationConfig] = None,
         *,
         batch_workers: int = 0,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         super().__init__(microarch)
         self.config = config or self.DEFAULT_CONFIG
         self.simulator = PipelineSimulator(self.microarch, self.config)
         self.name = f"uica-{self.microarch.short_name}"
         self.batch_workers = batch_workers
+        if backend is not None:
+            self.set_backend(backend)
 
     def _predict(self, block: BasicBlock) -> float:
         return self.simulator.throughput(block)
 
     def _predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
-        # The simulator holds no mutable state across simulate() calls, so a
-        # batch can fan out across threads when batch_workers allows it.
+        # The simulator holds no mutable state across simulate() calls and is
+        # picklable, so a batch can fan out across threads or processes
+        # whenever an execution backend allows it.
         return self._fanout_predict_batch(blocks)
 
     def analyze(self, block: BasicBlock) -> SimulationResult:

@@ -1,0 +1,52 @@
+"""The explanation runtime: execution backends and shared-state sessions.
+
+This package separates COMET's *workload* (the anchor search and its
+cost-model queries) from its *execution substrate*:
+
+* :mod:`repro.runtime.backend` — where batches of independent work run
+  (:class:`SerialBackend`, :class:`ThreadBackend`, :class:`ProcessBackend`),
+* :mod:`repro.runtime.session` — :class:`ExplanationSession`, which owns the
+  state shared across one explanation run: the cache wrapper, the execution
+  backend, and the per-block background populations reused across anchor beam
+  levels and repeated explanations.
+
+``ExplanationSession`` is imported lazily (PEP 562): the session layer sits
+on top of :mod:`repro.explain`, which itself builds on models that import
+this package for backend support.
+"""
+
+from repro.runtime.backend import (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    BackendSource,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "BackendSource",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "resolve_backend",
+    "ExplanationSession",
+    "SessionStats",
+]
+
+_LAZY = ("ExplanationSession", "SessionStats")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.runtime import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

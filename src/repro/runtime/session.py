@@ -1,0 +1,240 @@
+"""Explanation sessions: shared state for whole-dataset explanation runs.
+
+The one-shot :class:`~repro.explain.explainer.CometExplainer` API treats each
+explanation as an island: fresh cache history, a fresh background population
+per search, and whatever execution substrate happens to be wired into the
+model.  An :class:`ExplanationSession` makes the run the unit of ownership
+instead.  One session holds
+
+* the :class:`~repro.models.base.CachedCostModel` wrapper (so every block of
+  a run shares one LRU-cached query history),
+* the :class:`~repro.runtime.backend.ExecutionBackend` all batch prediction
+  fans out on (installed on the model for the session's lifetime, released on
+  ``close()``),
+* one :class:`~repro.explain.coverage.PopulationRecord` per explained block —
+  the background population and its vectorized presence index are drawn once
+  and reused across every anchor beam level and every repeated explanation of
+  that block in the run.
+
+Determinism: the backend never touches the random stream (it only decides
+where deterministic predictions execute), so seeded session runs are
+bit-for-bit identical across serial, thread and process backends.  The first
+explanation of each block is also bit-for-bit what the session-less explainer
+produces; *repeated* explanations of one block reuse the recorded population
+instead of redrawing it, which is exactly the state sharing the session is
+for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.explain.anchors import AnchorSearch
+from repro.explain.config import ExplainerConfig
+from repro.explain.coverage import PopulationRecord
+from repro.explain.explanation import Explanation
+from repro.models.base import CachedCostModel, CostModel, QueryCounter
+from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backend
+from repro.utils.errors import BackendError
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Run-level accounting, snapshot via :meth:`ExplanationSession.stats`."""
+
+    explanations: int
+    model_queries: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    populations_cached: int
+    backend: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.explanations} explanations, {self.model_queries} model "
+            f"queries ({self.cache_hit_rate:.1%} cache hit rate), "
+            f"{self.populations_cached} background populations, "
+            f"backend {self.backend}"
+        )
+
+
+class ExplanationSession:
+    """Owns the shared state of one explanation run.
+
+    Parameters
+    ----------
+    model:
+        The cost model to explain.  Wrapped in a
+        :class:`~repro.models.base.CachedCostModel` unless it already is one,
+        so the whole run shares one query cache.
+    config:
+        Explanation hyperparameters (shared by every explanation of the run).
+    backend:
+        Execution substrate — a short name (``"serial"``/``"thread"``/
+        ``"process"``), a constructed backend, or ``None`` for the
+        environment-controlled default.  The session owns backends it
+        resolves from names and closes them; a backend *instance* passed in
+        stays caller-owned.
+    rng:
+        Random source for explanations that do not bring their own stream.
+    cache_entries:
+        LRU capacity used when the session wraps the model itself.
+    max_population_records:
+        How many per-block background populations (plus presence indexes)
+        the session keeps alive at once, least-recently-used first.  Bounds
+        memory on fleets of distinct blocks, where a record pays off only if
+        its block comes around again.
+
+    Use as a context manager (or call :meth:`close`) so pooled workers are
+    released deterministically::
+
+        with ExplanationSession(model, config, backend="process") as session:
+            explanations = session.explain_many(blocks, rng=0)
+            print(session.stats().describe())
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        config: Optional[ExplainerConfig] = None,
+        *,
+        backend: BackendSource = None,
+        workers: Optional[int] = None,
+        rng: RandomSource = None,
+        cache_entries: int = 100_000,
+        max_population_records: int = 256,
+    ) -> None:
+        if max_population_records < 1:
+            raise ValueError("max_population_records must be >= 1")
+        self.max_population_records = max_population_records
+        self.config = config or ExplainerConfig()
+        self.model: CachedCostModel = (
+            model
+            if isinstance(model, CachedCostModel)
+            else CachedCostModel(model, max_entries=cache_entries)
+        )
+        installed = self.model.execution_backend
+        if backend is None and installed is not None:
+            # No explicit request: a substrate the caller already configured
+            # on the model (backend=/batch_workers) beats the ambient
+            # default — borrow it and leave its ownership untouched.
+            self.backend = installed
+            self._owns_backend = False
+        else:
+            self._owns_backend = not isinstance(backend, ExecutionBackend)
+            self.backend = resolve_backend(backend, workers)
+            if installed is not self.backend:
+                self.model.set_backend(self.backend)
+        self._rng = as_rng(rng)
+        self._records: "OrderedDict[Tuple, PopulationRecord]" = OrderedDict()
+        self.explanations_produced = 0
+        self._query_base = self.model.query_count
+        self._hit_base = self.model.hits
+        self._miss_base = self.model.misses
+        self._closed = False
+
+    # -------------------------------------------------------------- explain
+
+    def coverage_record(self, block: BasicBlock) -> Optional[PopulationRecord]:
+        """The shared population record for ``block`` (``None`` when disabled)."""
+        if not self.config.shared_background:
+            return None
+        key = (block.key(), self.config.coverage_samples)
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = PopulationRecord()
+        self._records.move_to_end(key)
+        while len(self._records) > self.max_population_records:
+            self._records.popitem(last=False)
+        return record
+
+    def explain(self, block: BasicBlock, rng: RandomSource = None) -> Explanation:
+        """Explain one block using the session's shared state."""
+        self._check_open()
+        generator = as_rng(rng) if rng is not None else self._rng
+        with QueryCounter(self.model) as counter:
+            search = AnchorSearch(
+                self.model,
+                block,
+                self.config,
+                generator,
+                coverage_record=self.coverage_record(block),
+            )
+            anchor = search.search()
+        self.explanations_produced += 1
+        return Explanation.from_search(search, anchor, num_queries=counter.queries)
+
+    def explain_many(
+        self, blocks: Sequence[BasicBlock], rng: RandomSource = None
+    ) -> List[Explanation]:
+        """Explain a whole dataset with independent per-block random streams.
+
+        Stream spawning matches the session-less ``explain_many`` exactly, so
+        moving a fleet onto a session changes where the work runs and what is
+        shared — never which random numbers each block's search consumes.
+        """
+        blocks = list(blocks)
+        streams = spawn_rngs(rng if rng is not None else self._rng, len(blocks))
+        return [self.explain(block, rng=stream) for block, stream in zip(blocks, streams)]
+
+    def global_explainer(self, blocks: Sequence[BasicBlock], **kwargs):
+        """A :class:`~repro.globalx.global_explainer.GlobalExplainer` whose
+        block-set scoring runs through this session's cached, backend-driven
+        model (one batched query for the whole dataset)."""
+        from repro.globalx.global_explainer import GlobalExplainer
+
+        self._check_open()
+        return GlobalExplainer(self.model, blocks, **kwargs)
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> SessionStats:
+        """Accounting since the session started (inner-model work only)."""
+        hits = self.model.hits - self._hit_base
+        misses = self.model.misses - self._miss_base
+        lookups = hits + misses
+        return SessionStats(
+            explanations=self.explanations_produced,
+            model_queries=self.model.query_count - self._query_base,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            populations_cached=len(self._records),
+            backend=self.backend.describe(),
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendError("this explanation session has been closed")
+
+    def close(self) -> None:
+        """Release the session's backend (if it owns one).  Idempotent.
+
+        A caller-owned backend instance stays installed on the model — the
+        caller selected that substrate for the model's lifetime, and the
+        session merely borrowed it for the run.
+        """
+        if self._closed:
+            return
+        if self._owns_backend:
+            self.model.set_backend(None)
+            self.backend.close()
+        self._records.clear()
+        self._closed = True
+
+    def __enter__(self) -> "ExplanationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

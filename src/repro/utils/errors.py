@@ -47,3 +47,7 @@ class PerturbationError(ReproError):
 
 class ModelError(ReproError):
     """Raised when a cost model cannot produce a prediction for a block."""
+
+
+class BackendError(ReproError):
+    """Raised when an execution backend cannot run the requested workload."""

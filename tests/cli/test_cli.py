@@ -199,6 +199,78 @@ class TestOptimize:
         assert "Predicted cost" in out
 
 
+class TestBackendFlags:
+    def test_serial_is_the_default_backend(self):
+        args = build_parser().parse_args(
+            ["explain", "--block", BLOCK_INLINE]
+        )
+        assert args.backend == "serial"
+        assert args.workers is None
+
+    def test_dataset_accepts_backend_flags(self):
+        args = build_parser().parse_args(
+            ["dataset", "--output", "x.json", "--backend", "process", "--workers", "2"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explain", "--block", BLOCK_INLINE, "--backend", "quantum"]
+            )
+
+    def test_explain_runs_on_thread_backend(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--model",
+                "crude",
+                "--block",
+                BLOCK_INLINE,
+                "--epsilon",
+                "0.25",
+                "--relative-epsilon",
+                "0.0",
+                "--coverage-samples",
+                "60",
+                "--max-precision-samples",
+                "40",
+                "--backend",
+                "thread",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "Explanation" in capsys.readouterr().out
+
+    def test_explain_backend_does_not_change_the_explanation(self, capsys):
+        base_args = [
+            "explain",
+            "--model",
+            "crude",
+            "--block",
+            BLOCK_INLINE,
+            "--epsilon",
+            "0.25",
+            "--relative-epsilon",
+            "0.0",
+            "--coverage-samples",
+            "60",
+            "--max-precision-samples",
+            "40",
+            "--seed",
+            "3",
+            "--json",
+        ]
+        assert main(base_args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base_args + ["--backend", "thread", "--workers", "2"]) == 0
+        threaded = json.loads(capsys.readouterr().out)
+        assert serial == threaded
+
+
 class TestDataset:
     def test_dataset_synthesis_round_trips(self, tmp_path, capsys):
         output = tmp_path / "dataset.json"

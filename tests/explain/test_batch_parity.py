@@ -18,6 +18,9 @@ from repro.explain.explainer import CometExplainer
 from repro.explain.precision import PrecisionEstimator
 from repro.models.analytical import AnalyticalCostModel
 from repro.models.base import CachedCostModel
+from repro.models.mca import PortPressureCostModel
+from repro.runtime.backend import available_backends, resolve_backend
+from repro.runtime.session import ExplanationSession
 
 FAST_CONFIG = ExplainerConfig(
     epsilon=0.2,
@@ -79,6 +82,44 @@ class TestBatchedSequentialParity:
 
     def test_batched_is_default(self):
         assert ExplainerConfig().batch_queries is True
+
+
+class TestBackendParity:
+    """Seeded explanations must not depend on the execution substrate.
+
+    Backends decide only where deterministic predictions run, so for a fixed
+    rng the serial, thread and process backends must produce identical
+    explanations — through both ``explain`` and the ``explain_many`` fleet
+    path.  Exercised on a simulator-style model (the kind that actually fans
+    out) with the process path included.
+    """
+
+    def _fleet(self, blocks, backend_name, seed):
+        model = CachedCostModel(PortPressureCostModel("hsw"))
+        with ExplanationSession(
+            model, FAST_CONFIG, backend=backend_name, workers=2
+        ) as session:
+            return [_fingerprint(e) for e in session.explain_many(blocks, rng=seed)]
+
+    @pytest.mark.parametrize("backend_name", ["thread", "process"])
+    def test_explain_many_identical_across_backends(self, blocks, backend_name):
+        assert self._fleet(blocks[:2], "serial", 7) == self._fleet(
+            blocks[:2], backend_name, 7
+        )
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_explain_identical_across_backends(self, blocks, backend_name):
+        baseline = CometExplainer(
+            CachedCostModel(PortPressureCostModel("hsw")), FAST_CONFIG
+        ).explain(blocks[0], rng=13)
+        with resolve_backend(backend_name, 2) as backend:
+            explainer = CometExplainer(
+                CachedCostModel(PortPressureCostModel("hsw")),
+                FAST_CONFIG,
+                backend=backend,
+            )
+            routed = explainer.explain(blocks[0], rng=13)
+        assert _fingerprint(baseline) == _fingerprint(routed)
 
 
 class TestBatchSamplerSemantics:

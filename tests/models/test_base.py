@@ -87,6 +87,92 @@ class TestCachedCostModel:
         cached.predict(b)
         assert len(cached._cache) == 1
 
+    def test_lru_eviction_order_respects_recency(self):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner, max_entries=2)
+        a = BasicBlock.from_text("add rcx, rax")
+        b = BasicBlock.from_text("sub rcx, rax")
+        c = BasicBlock.from_text("xor rcx, rax")
+        cached.predict(a)
+        cached.predict(b)
+        cached.predict(a)  # refresh a: b is now least recently used
+        cached.predict(c)  # evicts b, not a
+        queries_before = inner.query_count
+        cached.predict(a)
+        assert inner.query_count == queries_before  # a still cached
+        cached.predict(b)
+        assert inner.query_count == queries_before + 1  # b was evicted
+
+    def test_batch_lookup_refreshes_recency(self):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner, max_entries=2)
+        a = BasicBlock.from_text("add rcx, rax")
+        b = BasicBlock.from_text("sub rcx, rax")
+        cached.predict_batch([a, b])
+        cached.predict_batch([a])  # a refreshed through the batch path
+        cached.predict(BasicBlock.from_text("xor rcx, rax"))  # evicts b
+        queries_before = inner.query_count
+        cached.predict(a)
+        assert inner.query_count == queries_before
+
+    def test_hit_rate_under_intra_batch_dedupe(self):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner)
+        x = BasicBlock.from_text("add rcx, rax")
+        y = BasicBlock.from_text("sub rcx, rax")
+        values = cached.predict_batch([x, x, y])
+        # The duplicate of x counts as a hit, exactly as on the sequential
+        # path; the two distinct blocks are misses.
+        assert values == [1.0, 1.0, 1.0]
+        assert cached.hits == 1 and cached.misses == 2
+        assert cached.hit_rate == pytest.approx(1 / 3)
+
+    def test_query_count_counts_distinct_blocks_per_batch(self):
+        inner = CallableCostModel(lambda b: float(b.num_instructions))
+        cached = CachedCostModel(inner)
+        x = BasicBlock.from_text("add rcx, rax")
+        y = BasicBlock.from_text("sub rcx, rax")
+        cached.predict_batch([x, x, y, x])
+        assert cached.query_count == 2  # one inner query per distinct block
+        assert inner.query_count == 2
+        cached.predict_batch([x, y, y])
+        assert cached.query_count == 2  # everything already cached
+        assert cached.hits == 2 + 3
+
+    def test_batch_and_sequential_accounting_agree(self):
+        x = BasicBlock.from_text("add rcx, rax")
+        y = BasicBlock.from_text("sub rcx, rax")
+        batched = CachedCostModel(CallableCostModel(lambda b: 1.0))
+        batched.predict_batch([x, x, y])
+        sequential = CachedCostModel(CallableCostModel(lambda b: 1.0))
+        for block in (x, x, y):
+            sequential.predict(block)
+        assert (batched.hits, batched.misses, batched.query_count) == (
+            sequential.hits,
+            sequential.misses,
+            sequential.query_count,
+        )
+
+
+class TestModelLifecycle:
+    def test_models_are_context_managers(self, block):
+        with CallableCostModel(lambda b: 1.0) as model:
+            assert model.predict(block) == 1.0
+
+    def test_close_is_idempotent(self):
+        model = CallableCostModel(lambda b: 1.0)
+        model.close()
+        model.close()
+
+    def test_cached_close_reaches_inner_model(self):
+        from repro.runtime.backend import ThreadBackend
+
+        cached = CachedCostModel(CallableCostModel(lambda b: 1.0))
+        backend = ThreadBackend(2)
+        cached.set_backend(backend, own=True)
+        cached.close()
+        assert backend.closed
+
 
 class TestQueryCounter:
     def test_counts_queries_in_scope(self, block):
