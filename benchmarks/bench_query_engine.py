@@ -77,6 +77,16 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--skip-matrix", action="store_true", help="skip the backend matrix"
     )
     parser.add_argument(
+        "--service-repeats",
+        type=int,
+        default=4,
+        help="how many times each block is requested in the service benchmark "
+        "(a serving workload re-sees hot blocks)",
+    )
+    parser.add_argument(
+        "--skip-service", action="store_true", help="skip the service benchmark"
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_query_engine.json"),
         help="where to write the JSON report",
@@ -206,6 +216,64 @@ def run_backend_matrix(args, blocks) -> dict:
     return matrix
 
 
+def run_service_bench(args, blocks) -> dict:
+    """Warm-session service vs a cold session per request.
+
+    The request stream visits each block ``--service-repeats`` times with the
+    same seed (interleaved) — the serving scenario the warm session exists
+    for: retries, several consumers of one report, fleet-wide hot blocks.
+    A repeated request's queries all hit the resident cache, where the cold
+    path rebuilds the model, session and cache from scratch every time.  The
+    simulator-backed matrix model is used because its per-query cost is what
+    a production cost model looks like; seeded results are identical on both
+    paths (the service's determinism contract), so this measures pure
+    serving overhead.
+    """
+    from repro.service import ExplanationService
+
+    config = explainer_config(batched=True)
+    model_name = args.matrix_model
+    stream = [
+        (block, args.seed)
+        for _repeat in range(args.service_repeats)
+        for block in blocks
+    ]
+
+    with ExplanationService(
+        model=model_name, uarch=args.microarch, config=config
+    ) as service:
+        start = time.perf_counter()
+        ids = [service.submit(block, seed=seed) for block, seed in stream]
+        for request_id in ids:
+            service.result(request_id)
+        warm_elapsed = time.perf_counter() - start
+        stats = service.stats()
+        warm_hit_rate = stats.session_stats[
+            (model_name, args.microarch)
+        ].cache_hit_rate
+
+    start = time.perf_counter()
+    for block, seed in stream:
+        with ExplanationService(
+            model=model_name, uarch=args.microarch, config=config
+        ) as cold:
+            cold.explain(block, seed=seed)
+    cold_elapsed = time.perf_counter() - start
+
+    return {
+        "model": model_name,
+        "requests": len(stream),
+        "distinct_blocks": len(blocks),
+        "repeats_per_block": args.service_repeats,
+        "warm_seconds": round(warm_elapsed, 4),
+        "warm_requests_per_sec": round(len(stream) / warm_elapsed, 4),
+        "warm_cache_hit_rate": round(warm_hit_rate, 4),
+        "cold_seconds": round(cold_elapsed, 4),
+        "cold_requests_per_sec": round(len(stream) / cold_elapsed, 4),
+        "warm_vs_cold_speedup": round(cold_elapsed / warm_elapsed, 2),
+    }
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     if args.quick:
@@ -246,6 +314,11 @@ def main(argv=None) -> int:
         matrix = run_backend_matrix(args, matrix_blocks)
         report["backend_matrix"] = matrix
 
+    service = None
+    if not args.skip_service:
+        service = run_service_bench(args, blocks[: args.matrix_blocks])
+        report["service"] = service
+
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -272,6 +345,21 @@ def main(argv=None) -> int:
                 f"{row['explanations_per_sec']:7.3f} expl/s"
             )
         print(f"  process vs thread: {matrix['process_vs_thread_speedup']}x")
+    if service is not None:
+        print(
+            f"service — model={service['model']} {service['requests']} requests "
+            f"({service['distinct_blocks']} blocks x{service['repeats_per_block']})"
+        )
+        print(
+            f"        warm: {service['warm_seconds']:7.2f}s  "
+            f"{service['warm_requests_per_sec']:7.3f} req/s  "
+            f"hit-rate {service['warm_cache_hit_rate']:.2%}"
+        )
+        print(
+            f"        cold: {service['cold_seconds']:7.2f}s  "
+            f"{service['cold_requests_per_sec']:7.3f} req/s"
+        )
+        print(f"  warm vs cold: {service['warm_vs_cold_speedup']:.2f}x requests/sec")
     print(f"  report written to {output}")
     return 0
 

@@ -9,6 +9,7 @@ The CLI exposes the public API for quick, scriptable use::
     python -m repro space    --block-file block.s
     python -m repro optimize --model uica  --block-file block.s --steps 40
     python -m repro dataset  --size 200 --output dataset.json
+    python -m repro serve    --model uica  --backend process --max-queue 128
 
 Blocks can be passed inline with ``--block`` (instructions separated by ``;``
 or newlines) or from a file with ``--block-file``.  The neural model is
@@ -75,15 +76,19 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
-    block = _read_block(args)
-    config = ExplainerConfig(
+def _explainer_config(args: argparse.Namespace) -> ExplainerConfig:
+    return ExplainerConfig(
         epsilon=args.epsilon,
         relative_epsilon=args.relative_epsilon,
         delta=args.delta,
         coverage_samples=args.coverage_samples,
         max_precision_samples=args.max_precision_samples,
     )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    block = _read_block(args)
+    config = _explainer_config(args)
     # The model owns the backend built by the registry; closing the model
     # releases any pooled workers before the process exits.
     with _build_model(args) as model:
@@ -156,6 +161,31 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExplanationService, serve_stream
+
+    service = ExplanationService(
+        model=args.model,
+        uarch=args.uarch,
+        config=_explainer_config(args),
+        backend=args.backend,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_sessions=args.max_sessions,
+    )
+    if args.requests:
+        source = Path(args.requests).read_text().splitlines()
+    else:
+        source = sys.stdin
+    try:
+        served = serve_stream(service, source, sys.stdout)
+        stats = service.stats()
+    finally:
+        service.close()
+    print(f"served {served} requests — {stats.describe()}", file=sys.stderr)
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     dataset = BHiveDataset.synthesize(
         args.size,
@@ -197,6 +227,16 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_explain_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epsilon", type=float, default=0.5, help="acceptance ball radius")
+    parser.add_argument(
+        "--relative-epsilon", type=float, default=0.1, help="relative ball component"
+    )
+    parser.add_argument("--delta", type=float, default=0.3, help="1 - precision threshold")
+    parser.add_argument("--coverage-samples", type=int, default=400)
+    parser.add_argument("--max-precision-samples", type=int, default=150)
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--model", default="uica", choices=_CLI_MODELS, help="cost model to query"
@@ -225,17 +265,38 @@ def build_parser() -> argparse.ArgumentParser:
     explain = subparsers.add_parser("explain", help="explain a cost model's prediction")
     _add_block_arguments(explain)
     _add_model_arguments(explain)
-    explain.add_argument("--epsilon", type=float, default=0.5, help="acceptance ball radius")
-    explain.add_argument(
-        "--relative-epsilon", type=float, default=0.1, help="relative ball component"
-    )
-    explain.add_argument("--delta", type=float, default=0.3, help="1 - precision threshold")
-    explain.add_argument("--coverage-samples", type=int, default=400)
-    explain.add_argument("--max-precision-samples", type=int, default=150)
+    _add_explain_config_arguments(explain)
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--json", action="store_true", help="emit JSON instead of text")
     _add_backend_arguments(explain)
     explain.set_defaults(func=_cmd_explain)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve explanation requests from a warm session "
+        "(JSON-lines on stdin/stdout)",
+    )
+    _add_model_arguments(serve)
+    _add_explain_config_arguments(serve)
+    _add_backend_arguments(serve)
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="bound on buffered requests (backpressure surface)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=4,
+        help="how many per-model warm sessions to keep resident",
+    )
+    serve.add_argument(
+        "--requests",
+        help="read request lines from this file instead of stdin "
+        "(one JSON object or block text per line)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     features = subparsers.add_parser("features", help="list a block's candidate features")
     _add_block_arguments(features)

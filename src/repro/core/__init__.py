@@ -30,6 +30,12 @@ from repro.runtime.backend import (
     resolve_backend,
 )
 from repro.runtime.session import ExplanationSession, SessionStats
+from repro.service.core import (
+    ExplanationRequest,
+    ExplanationService,
+    RequestStatus,
+    ServiceResult,
+)
 
 __all__ = [
     "BasicBlock",
@@ -60,4 +66,8 @@ __all__ = [
     "resolve_backend",
     "ExplanationSession",
     "SessionStats",
+    "ExplanationService",
+    "ExplanationRequest",
+    "ServiceResult",
+    "RequestStatus",
 ]

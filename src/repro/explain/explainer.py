@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.bb.block import BasicBlock
 from repro.explain.anchors import AnchorSearch
@@ -105,7 +105,11 @@ class CometExplainer:
         )
 
     def explain_many(
-        self, blocks: Sequence[BasicBlock], rng: RandomSource = None
+        self,
+        blocks: Sequence[BasicBlock],
+        rng: RandomSource = None,
+        *,
+        shards: Union[int, str, None] = None,
     ) -> List[Explanation]:
         """Explain several blocks with independent random streams.
 
@@ -115,9 +119,16 @@ class CometExplainer:
         streams are spawned exactly as they always were, so results for
         distinct blocks are bit-for-bit the explanations :meth:`explain`
         would have produced one at a time.
+
+        ``shards`` opts into block-level parallelism (``"auto"`` = one shard
+        per backend worker) on top of the query-level
+        batching: the fleet is partitioned across the backend's workers, each
+        shard runs full anchor searches, and results merge back in input
+        order, seeded-deterministic (see
+        :meth:`~repro.runtime.session.ExplanationSession.explain_many`).
         """
         with self.session() as session:
-            return session.explain_many(blocks, rng=rng)
+            return session.explain_many(blocks, rng=rng, shards=shards)
 
     # ------------------------------------------------------------- lifecycle
 

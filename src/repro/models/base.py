@@ -16,6 +16,7 @@ Queries come in two shapes:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -238,8 +239,23 @@ class CachedCostModel(CostModel):
         self.name = inner.name
         self.max_entries = max_entries
         self._cache: "OrderedDict[tuple, float]" = OrderedDict()
+        # Cache bookkeeping must survive concurrent callers (block-sharded
+        # explain_many runs shard threads against one shared wrapper): the
+        # lock covers lookups, stores, LRU eviction and the hit/miss
+        # counters.  It is never held while the inner model computes, so
+        # misses from different threads still run concurrently.
+        self._cache_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["_cache_lock"] = None  # locks do not pickle (process workers)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     @property
     def execution_backend(self) -> Optional[ExecutionBackend]:
@@ -280,14 +296,16 @@ class CachedCostModel(CostModel):
 
     def predict(self, block: BasicBlock) -> float:
         key = block.key()
-        value = self._lookup(key)
-        if value is not _MISSING:
-            self.hits += 1
-            return value
-        self.misses += 1
-        self.query_count += 1
+        with self._cache_lock:
+            value = self._lookup(key)
+            if value is not _MISSING:
+                self.hits += 1
+                return value
+            self.misses += 1
+            self.query_count += 1
         value = self.inner.predict(block)
-        self._store(key, value)
+        with self._cache_lock:
+            self._store(key, value)
         return value
 
     def predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
@@ -307,28 +325,31 @@ class CachedCostModel(CostModel):
         miss_order: List[tuple] = []
         miss_blocks: List[BasicBlock] = []
         pending: Dict[tuple, List[int]] = {}
-        for position, (block, key) in enumerate(zip(blocks, keys)):
-            if key in pending:
-                # Duplicate of a block already being queried in this batch.
-                self.hits += 1
-                pending[key].append(position)
-                continue
-            value = self._lookup(key)
-            if value is not _MISSING:
-                self.hits += 1
-                results[position] = value
-                continue
-            self.misses += 1
-            pending[key] = [position]
-            miss_order.append(key)
-            miss_blocks.append(block)
-        if miss_blocks:
-            self.query_count += len(miss_blocks)
-            values = self.inner.predict_batch(miss_blocks)
-            for key, value in zip(miss_order, values):
-                self._store(key, value)
-                for position in pending[key]:
+        with self._cache_lock:
+            for position, (block, key) in enumerate(zip(blocks, keys)):
+                if key in pending:
+                    # Duplicate of a block already being queried in this batch.
+                    self.hits += 1
+                    pending[key].append(position)
+                    continue
+                value = self._lookup(key)
+                if value is not _MISSING:
+                    self.hits += 1
                     results[position] = value
+                    continue
+                self.misses += 1
+                pending[key] = [position]
+                miss_order.append(key)
+                miss_blocks.append(block)
+            if miss_blocks:
+                self.query_count += len(miss_blocks)
+        if miss_blocks:
+            values = self.inner.predict_batch(miss_blocks)
+            with self._cache_lock:
+                for key, value in zip(miss_order, values):
+                    self._store(key, value)
+                    for position in pending[key]:
+                        results[position] = value
         return results  # type: ignore[return-value]
 
     @property

@@ -7,7 +7,7 @@ centralises their construction so every experiment builds them the same way.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.models.analytical import AnalyticalCostModel
 from repro.models.base import CachedCostModel, CostModel
@@ -16,6 +16,10 @@ from repro.models.mca import PortPressureCostModel
 from repro.models.uica import UiCACostModel
 from repro.runtime.backend import BackendSource, resolve_backend
 from repro.utils.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.explain.config import ExplainerConfig
+    from repro.runtime.session import ExplanationSession
 
 
 def available_cost_models() -> Tuple[str, ...]:
@@ -75,3 +79,40 @@ def build_cost_model(
     if backend is not None:
         wrapped.set_backend(resolve_backend(backend, workers), own=True)
     return wrapped
+
+
+def build_session(
+    name: str,
+    microarch="hsw",
+    *,
+    config: Optional["ExplainerConfig"] = None,
+    backend: BackendSource = None,
+    workers: Optional[int] = None,
+    rng=None,
+    cache_entries: int = 100_000,
+    max_population_records: int = 256,
+    **model_kwargs,
+) -> "ExplanationSession":
+    """Build a warm :class:`~repro.runtime.session.ExplanationSession` by model name.
+
+    This is the one construction path for every long-lived serving surface
+    (the explanation service's per-model pool, benchmark warm runs, scripts):
+    the registry builds the cached model, the session resolves — and owns —
+    the execution backend and the run-level shared state.  Closing the
+    returned session releases the backend; ``model_kwargs`` are forwarded to
+    :func:`build_cost_model` (e.g. ``training_blocks`` for ``"ithemal"``).
+    """
+    from repro.runtime.session import ExplanationSession
+
+    # The session wraps the raw model itself so ``cache_entries`` actually
+    # sizes the LRU (a pre-wrapped model would keep its own default bound).
+    model = build_cost_model(name, microarch, cached=False, **model_kwargs)
+    return ExplanationSession(
+        model,
+        config,
+        backend=backend,
+        workers=workers,
+        rng=rng,
+        cache_entries=cache_entries,
+        max_population_records=max_population_records,
+    )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
@@ -71,6 +72,13 @@ class ExecutionBackend(ABC):
 
     #: Short name used by the CLI/config layer (``serial``/``thread``/...).
     name: str = "backend"
+
+    #: Whether work dispatched to this backend runs in the caller's address
+    #: space.  In-process backends (serial, thread) see — and may mutate —
+    #: shared state such as a session's query cache and population records;
+    #: the process backend ships copies to its workers, so callers that shard
+    #: stateful work must pack everything a work item needs into the item.
+    shares_memory: bool = True
 
     def __init__(self) -> None:
         self._closed = False
@@ -165,19 +173,26 @@ class ThreadBackend(ExecutionBackend):
         # (matching the legacy batch_workers convention).
         self._workers = _default_workers() if workers is None else max(int(workers), 1)
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Concurrent shard threads may race the lazy pool construction
+        # (block-sharded explain_many issues first batches simultaneously);
+        # without the lock each racer would build — and leak — its own pool.
+        self._pool_lock = threading.Lock()
 
     def map_batch(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         self._check_open()
         if len(items) <= 1 or self._workers <= 1:
             return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self._workers)
-        return list(self._pool.map(fn, items))
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self._workers)
+            pool = self._pool
+        return list(pool.map(fn, items))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         super().close()
 
     @property
@@ -220,6 +235,7 @@ class ProcessBackend(ExecutionBackend):
     """
 
     name = "process"
+    shares_memory = False
 
     def __init__(self, workers: Optional[int] = None) -> None:
         super().__init__()

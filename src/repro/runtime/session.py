@@ -27,9 +27,13 @@ for.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.bb.block import BasicBlock
 from repro.explain.anchors import AnchorSearch
@@ -40,6 +44,62 @@ from repro.models.base import CachedCostModel, CostModel, QueryCounter
 from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backend
 from repro.utils.errors import BackendError
 from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+
+#: One unit of sharded work: (position in the fleet, block, its rng stream).
+_ShardItem = Tuple[int, BasicBlock, np.random.Generator]
+
+
+def _search_block(
+    model: CostModel,
+    block: BasicBlock,
+    config: ExplainerConfig,
+    generator: np.random.Generator,
+    record: Optional[PopulationRecord],
+) -> Explanation:
+    """Run one anchor search — the single code path every driver shares.
+
+    Used by :meth:`ExplanationSession.explain`, the in-process shard runner
+    and the process-shard worker, so a block's explanation is computed by
+    byte-identical code no matter where it executes.
+    """
+    with QueryCounter(model) as counter:
+        search = AnchorSearch(model, block, config, generator, coverage_record=record)
+        anchor = search.search()
+    return Explanation.from_search(search, anchor, num_queries=counter.queries)
+
+
+def _explain_shard(
+    model: CostModel, config: ExplainerConfig, shard: Sequence[_ShardItem]
+) -> List[Tuple[int, Explanation]]:
+    """Explain one shard with shard-local population records.
+
+    Every sharded path — in-process threads and process workers alike — runs
+    this exact loop, so shard results are byte-identical across backends.
+    Records are *scoped to the shard* on purpose: sharing the session's LRU
+    across concurrent shards would make reuse-vs-redraw depend on eviction
+    timing, and all occurrences of a block key are routed to one shard
+    anyway, so first-fill/reuse order within the shard matches the serial
+    loop exactly.
+    """
+    records: dict = {}
+    results: List[Tuple[int, Explanation]] = []
+    for position, block, stream in shard:
+        record = None
+        if config.shared_background:
+            key = (block.key(), config.coverage_samples)
+            record = records.setdefault(key, PopulationRecord())
+        results.append((position, _search_block(model, block, config, stream, record)))
+    return results
+
+
+def _explain_shard_remote(payload) -> List[Tuple[int, Explanation]]:
+    """Process-shard worker: the payload carries everything the shard needs
+    (model, config, items, cache bound) because workers share no memory with
+    the session.  Module-level so it pickles by reference."""
+    model, config, shard, cache_entries = payload
+    if not isinstance(model, CachedCostModel):
+        model = CachedCostModel(model, max_entries=cache_entries)
+    return _explain_shard(model, config, shard)
 
 
 @dataclass(frozen=True)
@@ -132,6 +192,10 @@ class ExplanationSession:
                 self.model.set_backend(self.backend)
         self._rng = as_rng(rng)
         self._records: "OrderedDict[Tuple, PopulationRecord]" = OrderedDict()
+        # Sharded explain_many runs shards on concurrent threads that all
+        # look up records through this session; the lock keeps the LRU
+        # bookkeeping (and record creation) race-free.
+        self._records_lock = threading.Lock()
         self.explanations_produced = 0
         self._query_base = self.model.query_count
         self._hit_base = self.model.hits
@@ -145,42 +209,161 @@ class ExplanationSession:
         if not self.config.shared_background:
             return None
         key = (block.key(), self.config.coverage_samples)
-        record = self._records.get(key)
-        if record is None:
-            record = self._records[key] = PopulationRecord()
-        self._records.move_to_end(key)
-        while len(self._records) > self.max_population_records:
-            self._records.popitem(last=False)
+        with self._records_lock:
+            record = self._records.get(key)
+            if record is None:
+                record = self._records[key] = PopulationRecord()
+            self._records.move_to_end(key)
+            while len(self._records) > self.max_population_records:
+                self._records.popitem(last=False)
         return record
+
+    def reset_population_records(self) -> None:
+        """Drop the per-block background populations (keep cache and backend).
+
+        Population reuse is *stateful*: a search whose block already has a
+        recorded population skips the draw and therefore consumes its random
+        stream differently than a fresh search would.  Callers that promise
+        history-independent seeded results — the explanation service resets
+        before every request — scope records with this; the query cache and
+        the backend stay warm because they never change what a search
+        computes, only how fast.
+        """
+        with self._records_lock:
+            self._records.clear()
 
     def explain(self, block: BasicBlock, rng: RandomSource = None) -> Explanation:
         """Explain one block using the session's shared state."""
         self._check_open()
         generator = as_rng(rng) if rng is not None else self._rng
-        with QueryCounter(self.model) as counter:
-            search = AnchorSearch(
-                self.model,
-                block,
-                self.config,
-                generator,
-                coverage_record=self.coverage_record(block),
-            )
-            anchor = search.search()
+        explanation = _search_block(
+            self.model, block, self.config, generator, self.coverage_record(block)
+        )
         self.explanations_produced += 1
-        return Explanation.from_search(search, anchor, num_queries=counter.queries)
+        return explanation
 
     def explain_many(
-        self, blocks: Sequence[BasicBlock], rng: RandomSource = None
+        self,
+        blocks: Sequence[BasicBlock],
+        rng: RandomSource = None,
+        *,
+        shards: Union[int, str, None] = None,
     ) -> List[Explanation]:
         """Explain a whole dataset with independent per-block random streams.
 
         Stream spawning matches the session-less ``explain_many`` exactly, so
         moving a fleet onto a session changes where the work runs and what is
         shared — never which random numbers each block's search consumes.
+
+        ``shards`` opts into block-level parallelism on top of the
+        query-level batching: the fleet is partitioned into that many shards,
+        each shard runs its full anchor searches on one backend worker, and
+        the results are merged back in input order.  ``"auto"`` sizes the
+        shard count to the backend's workers; an explicit count pins it;
+        ``None``/``0``/``1`` (the default) keep the sequential loop.
+        Sharding is seeded-deterministic and result-identical to the unsharded
+        path for a fresh run: all occurrences of one block key are routed to
+        the same shard in their original order, so population-record
+        first-fill/reuse happens exactly where the serial loop would have,
+        and every block consumes only its own spawned stream.  Two caveats,
+        both deterministic: records are scoped to the call (a sharded call
+        neither sees nor feeds the session's cross-call record cache), and
+        parity with the serial loop is exact as long as the fleet's distinct
+        blocks fit ``max_population_records`` — under eviction pressure the
+        serial loop redraws where shard-local records reuse.  Sharding is
+        opt-in because the per-explanation ``num_queries`` accounting is
+        substrate-dependent under it (concurrent shards interleave their
+        updates of the shared counter; process shards count against fresh
+        worker-side caches).
         """
+        self._check_open()
         blocks = list(blocks)
         streams = spawn_rngs(rng if rng is not None else self._rng, len(blocks))
-        return [self.explain(block, rng=stream) for block, stream in zip(blocks, streams)]
+        items: List[_ShardItem] = list(zip(range(len(blocks)), blocks, streams))
+        plan = self._shard_plan(blocks, shards)
+        if plan is None:
+            return [self.explain(block, rng=stream) for block, stream in zip(blocks, streams)]
+        shard_lists = [[items[i] for i in indices] for indices in plan]
+        if self.backend.shares_memory:
+            pairs = self._run_shards_inprocess(shard_lists)
+        else:
+            payloads = [
+                (self.model.inner, self.config, shard, self.model.max_entries)
+                for shard in shard_lists
+            ]
+            pairs = [
+                pair
+                for shard_result in self.backend.map_batch(
+                    _explain_shard_remote, payloads
+                )
+                for pair in shard_result
+            ]
+        self.explanations_produced += len(blocks)
+        results: List[Optional[Explanation]] = [None] * len(blocks)
+        for position, explanation in pairs:
+            results[position] = explanation
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- sharding
+
+    def _shard_plan(
+        self, blocks: Sequence[BasicBlock], shards: Union[int, str, None]
+    ) -> Optional[List[List[int]]]:
+        """Partition fleet positions into shards (``None`` = stay sequential).
+
+        Blocks are grouped by content key and whole groups are dealt
+        round-robin across shards in first-occurrence order; positions inside
+        a shard stay ascending.  Keeping a key's occurrences together is what
+        makes sharded output bit-for-bit equal to the serial loop: the first
+        occurrence fills the population record, later ones reuse it, exactly
+        as they would have serially.
+        """
+        if shards is None:
+            return None
+        if isinstance(shards, str):
+            if shards.strip().lower() != "auto":
+                raise BackendError(
+                    f"shards must be an integer, 'auto' or None, got {shards!r}"
+                )
+            requested = self.backend.workers
+        else:
+            requested = int(shards)
+        if requested <= 1 or len(blocks) <= 1:
+            return None
+        groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for position, block in enumerate(blocks):
+            groups.setdefault(block.key(), []).append(position)
+        count = min(requested, len(groups))
+        if count <= 1:
+            return None
+        plan: List[List[int]] = [[] for _ in range(count)]
+        for group_index, positions in enumerate(groups.values()):
+            plan[group_index % count].extend(positions)
+        for shard in plan:
+            shard.sort()
+        return plan
+
+    def _run_shards_inprocess(
+        self, shard_lists: List[List[_ShardItem]]
+    ) -> List[Tuple[int, Explanation]]:
+        """Run shards on session-owned threads (sharing the query cache).
+
+        A dedicated executor — not the backend's own pool — carries the
+        shards: a shard's searches fan their query batches out through the
+        backend, and routing both levels through one thread pool would let
+        shards occupy every worker and deadlock waiting for their own query
+        tasks.  Shard threads are cheap next to the seconds of search work
+        they carry.  The shared cache is safe (it locks internally and hits
+        never change values); population records are shard-local via
+        :func:`_explain_shard`, see there.
+        """
+
+        def run(shard: List[_ShardItem]) -> List[Tuple[int, Explanation]]:
+            return _explain_shard(self.model, self.config, shard)
+
+        with ThreadPoolExecutor(max_workers=len(shard_lists)) as executor:
+            shard_results = list(executor.map(run, shard_lists))
+        return [pair for shard_result in shard_results for pair in shard_result]
 
     def global_explainer(self, blocks: Sequence[BasicBlock], **kwargs):
         """A :class:`~repro.globalx.global_explainer.GlobalExplainer` whose

@@ -1,0 +1,40 @@
+"""The explanation service: a warm, request/response serving layer.
+
+The library's one-shot API pays the full setup cost — model construction,
+cache warm-up, backend pool spin-up, background populations — on every call.
+This package keeps all of that *resident*: an
+:class:`~repro.service.core.ExplanationService` owns one long-lived
+:class:`~repro.runtime.session.ExplanationSession` per requested model
+(pooled LRU through the model registry) and serves explanation requests
+against it with submit/poll/result semantics, a bounded request queue for
+backpressure, and a graceful shutdown that drains in-flight work before the
+backends are released.
+
+See ``docs/architecture.md`` ("The service layer") for the ownership rules.
+"""
+
+from repro.service.core import (
+    ExplanationRequest,
+    ExplanationService,
+    RequestStatus,
+    ServiceResult,
+    ServiceStats,
+)
+from repro.service.protocol import (
+    request_from_dict,
+    request_from_line,
+    result_to_dict,
+    serve_stream,
+)
+
+__all__ = [
+    "ExplanationRequest",
+    "ExplanationService",
+    "RequestStatus",
+    "ServiceResult",
+    "ServiceStats",
+    "request_from_dict",
+    "request_from_line",
+    "result_to_dict",
+    "serve_stream",
+]

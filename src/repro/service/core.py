@@ -1,0 +1,537 @@
+"""The warm-session explanation service.
+
+:class:`ExplanationService` turns the explanation library into a servable
+system: requests go into a bounded queue, one dispatcher thread executes them
+against long-lived, per-model :class:`~repro.runtime.session.ExplanationSession`
+instances (warm query cache, resident execution backend, LRU population
+records), and clients collect results with submit/poll/result semantics or
+the synchronous :meth:`ExplanationService.explain` convenience wrapper.
+
+Design decisions worth knowing:
+
+* **One dispatcher thread.**  Requests execute strictly in submission order
+  on one thread, so N concurrent clients sharing a warm session get exactly
+  the seeded results serial submission would produce — the service never
+  trades determinism for concurrency.  Parallelism lives *inside* a request:
+  each explanation fans its query batches out through the session's backend,
+  and fleet requests additionally shard their block list across backend
+  workers (see ``ExplanationSession.explain_many``).
+* **Bounded queue.**  ``max_queue`` caps buffered requests; a blocking
+  :meth:`submit` applies backpressure to producers, a non-blocking one
+  raises :class:`~repro.utils.errors.QueueFullError` so callers can shed
+  load instead of buffering without limit.
+* **Ownership.**  The service owns the sessions it builds (and closes them);
+  each session owns the backend it resolved (and closes it).  Nothing else
+  closes anything: callers that hand the service a ``session_factory``
+  producing sessions over caller-owned backends keep those backends open
+  across :meth:`close`, per the session's own ownership rules.
+
+Seeded results are bit-for-bit identical to calling
+:class:`~repro.explain.explainer.CometExplainer` directly: single-block
+requests run ``session.explain(block, rng=seed)`` and multi-block requests
+run ``session.explain_many(blocks, rng=seed)``, both of which are pinned
+against the one-shot API by the runtime's parity tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bb.block import BasicBlock
+from repro.explain.config import ExplainerConfig
+from repro.explain.explanation import Explanation
+from repro.runtime.session import ExplanationSession, SessionStats
+from repro.utils.errors import QueueFullError, ServiceClosedError, ServiceError
+
+#: Builds the session serving one (model, microarch) pair.
+SessionFactory = Callable[[str, str], ExplanationSession]
+
+
+class RequestStatus(Enum):
+    """Lifecycle of one request inside the service."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (RequestStatus.DONE, RequestStatus.FAILED, RequestStatus.CANCELLED)
+
+
+@dataclass(frozen=True)
+class ExplanationRequest:
+    """One unit of service work: explain some blocks under one seed.
+
+    ``model``/``uarch`` default to the service's configured model; ``shards``
+    is forwarded to ``explain_many`` for multi-block requests (``"auto"`` =
+    one shard per backend worker, ``None`` = sequential).
+    """
+
+    blocks: Tuple[BasicBlock, ...]
+    seed: int = 0
+    model: Optional[str] = None
+    uarch: Optional[str] = None
+    shards: Union[int, str, None] = None
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ServiceError("an explanation request needs at least one block")
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """The outcome of one request (inspect ``status`` before ``explanations``)."""
+
+    request_id: str
+    status: RequestStatus
+    explanations: Tuple[Explanation, ...]
+    error: Optional[str]
+    model: str
+    uarch: str
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.DONE
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Service-level accounting, snapshot via :meth:`ExplanationService.stats`."""
+
+    submitted: int
+    served: int
+    failed: int
+    cancelled: int
+    queue_depth: int
+    sessions: Tuple[Tuple[str, str], ...]
+    session_stats: Dict[Tuple[str, str], SessionStats] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"{self.served}/{self.submitted} requests served "
+            f"({self.failed} failed, {self.cancelled} cancelled), "
+            f"{self.queue_depth} queued, "
+            f"{len(self.sessions)} warm sessions"
+        )
+
+
+class _Ticket:
+    """Mutable per-request state shared between clients and the dispatcher."""
+
+    __slots__ = ("request_id", "request", "status", "result", "done")
+
+    def __init__(self, request_id: str, request: ExplanationRequest) -> None:
+        self.request_id = request_id
+        self.request = request
+        self.status = RequestStatus.QUEUED
+        self.result: Optional[ServiceResult] = None
+        self.done = threading.Event()
+
+
+#: Queue sentinel telling the dispatcher to exit.
+_SHUTDOWN = object()
+
+
+class ExplanationService:
+    """Serve explanation requests from warm, per-model sessions.
+
+    Parameters
+    ----------
+    model / uarch:
+        Defaults applied to requests that do not name a model.
+    config:
+        Explanation hyperparameters shared by every session the service
+        builds (per-request configs would defeat session warm-up).
+    backend / workers:
+        Execution substrate forwarded to each session (a short name or
+        ``None`` for the ``REPRO_BACKEND`` environment default).  Each
+        session resolves — and owns — its own backend instance.
+    max_queue:
+        Bound on buffered requests (backpressure surface).
+    max_sessions:
+        How many per-model sessions stay warm at once; the least recently
+        used session is closed when the pool overflows.
+    session_factory:
+        Override how sessions are built (tests inject toy models here).  The
+        default routes through :func:`repro.models.registry.build_session`.
+
+    Use as a context manager (or call :meth:`close`) so queued requests are
+    drained and pooled workers released deterministically::
+
+        with ExplanationService(model="uica", backend="process") as service:
+            explanations = service.explain([block], seed=0)
+    """
+
+    def __init__(
+        self,
+        *,
+        model: str = "crude",
+        uarch: str = "hsw",
+        config: Optional[ExplainerConfig] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        max_queue: int = 64,
+        max_sessions: int = 4,
+        cache_entries: int = 100_000,
+        session_factory: Optional[SessionFactory] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.default_model = model
+        self.default_uarch = uarch
+        self.config = config or ExplainerConfig()
+        self.max_sessions = max_sessions
+        self._backend = backend
+        self._workers = workers
+        self._cache_entries = cache_entries
+        self._session_factory = session_factory or self._build_session
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._tickets: Dict[str, _Ticket] = {}
+        self._sessions: "OrderedDict[Tuple[str, str], ExplanationSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._closed = False
+        self._submitted = 0
+        self._served = 0
+        self._failed = 0
+        self._cancelled = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ExplanationService":
+        """Start the dispatcher thread.  Idempotent; implied by ``submit``."""
+        if self._closed:
+            raise ServiceClosedError("this explanation service has been closed")
+        with self._lock:
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._run, name="repro-service-dispatcher", daemon=True
+                )
+                self._dispatcher.start()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted request has finished.
+
+        Returns ``False`` if ``timeout`` (seconds) elapsed first.  Draining a
+        service that never started (or is already idle) returns immediately.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._queue.all_tasks_done:
+            while self._queue.unfinished_tasks:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._queue.all_tasks_done.wait(remaining)
+        return True
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the service down.  Idempotent.
+
+        With ``drain`` (the default) all queued requests finish first; with
+        ``drain=False`` queued-but-unstarted requests are cancelled (their
+        tickets resolve with :attr:`RequestStatus.CANCELLED`) and only the
+        in-flight request completes.  Either way every warm session — and
+        therefore every backend a session owns — is closed before returning,
+        so no pooled workers outlive the service.
+        """
+        if self._closed:
+            return
+        self._closed = True  # reject new submissions immediately
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            if drain:
+                self.drain()
+            else:
+                self._cancel_queued()
+            self._queue.put(_SHUTDOWN)
+            dispatcher.join()
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def _cancel_ticket(self, ticket: "_Ticket") -> None:
+        self._resolve(
+            ticket,
+            ServiceResult(
+                request_id=ticket.request_id,
+                status=RequestStatus.CANCELLED,
+                explanations=(),
+                error="service closed before the request ran",
+                model=ticket.request.model or self.default_model,
+                uarch=ticket.request.uarch or self.default_uarch,
+                seconds=0.0,
+            ),
+        )
+
+    def _cancel_queued(self) -> None:
+        """Drop queued tickets, resolving each as cancelled."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SHUTDOWN:
+                self._cancel_ticket(item)
+            self._queue.task_done()
+
+    def __enter__(self) -> "ExplanationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        request: Union[ExplanationRequest, BasicBlock, Sequence[BasicBlock]],
+        *,
+        seed: int = 0,
+        model: Optional[str] = None,
+        uarch: Optional[str] = None,
+        shards: Union[int, str, None] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Enqueue a request and return its id (collect via :meth:`result`).
+
+        Accepts a prepared :class:`ExplanationRequest`, a single
+        :class:`~repro.bb.block.BasicBlock`, or a sequence of blocks (the
+        keyword arguments then describe the request).  When the bounded queue
+        is full, a blocking submit waits (``timeout`` seconds, or forever)
+        and a non-blocking one raises
+        :class:`~repro.utils.errors.QueueFullError` immediately.
+        """
+        if self._closed:
+            raise ServiceClosedError("this explanation service has been closed")
+        if not isinstance(request, ExplanationRequest):
+            blocks = (request,) if isinstance(request, BasicBlock) else tuple(request)
+            request = ExplanationRequest(
+                blocks=blocks, seed=seed, model=model, uarch=uarch, shards=shards
+            )
+        self.start()
+        ticket = _Ticket(f"req-{next(self._ids)}", request)
+        with self._lock:
+            self._tickets[ticket.request_id] = ticket
+            self._submitted += 1
+        try:
+            self._queue.put(ticket, block=block, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                del self._tickets[ticket.request_id]
+                self._submitted -= 1
+            raise QueueFullError(
+                f"service queue is full ({self._queue.maxsize} requests); "
+                f"retry, raise max_queue, or use a blocking submit"
+            ) from None
+        if self._closed:
+            # close() may have drained the queue and stopped the dispatcher
+            # between our closed-check and the put; nothing will service the
+            # ticket, so resolve it as cancelled here (idempotent — if the
+            # dispatcher did pick it up, _resolve is a no-op for the loser
+            # and the dispatcher skips already-resolved tickets).
+            self._cancel_ticket(ticket)
+        return ticket.request_id
+
+    def poll(self, request_id: str) -> RequestStatus:
+        """The current status of a submitted request."""
+        ticket = self._tickets.get(request_id)
+        if ticket is None:
+            raise ServiceError(f"unknown request id {request_id!r}")
+        return ticket.status
+
+    def result(self, request_id: str, timeout: Optional[float] = None) -> ServiceResult:
+        """Wait for — and consume — one request's result.
+
+        The ticket is released once collected, so a long-running service does
+        not accumulate per-request state; asking twice raises.  A ``timeout``
+        (seconds) elapsing raises :class:`~repro.utils.errors.ServiceError`
+        and leaves the ticket collectable.
+        """
+        ticket = self._tickets.get(request_id)
+        if ticket is None:
+            raise ServiceError(f"unknown request id {request_id!r}")
+        if not ticket.done.wait(timeout):
+            raise ServiceError(f"request {request_id!r} did not finish in {timeout}s")
+        with self._lock:
+            self._tickets.pop(request_id, None)
+        assert ticket.result is not None
+        return ticket.result
+
+    def explain(
+        self,
+        blocks: Union[BasicBlock, Sequence[BasicBlock]],
+        *,
+        seed: int = 0,
+        model: Optional[str] = None,
+        uarch: Optional[str] = None,
+        shards: Union[int, str, None] = None,
+        timeout: Optional[float] = None,
+    ) -> List[Explanation]:
+        """Synchronous convenience: submit, wait, unwrap (raises on failure)."""
+        request_id = self.submit(
+            blocks, seed=seed, model=model, uarch=uarch, shards=shards, timeout=timeout
+        )
+        result = self.result(request_id, timeout=timeout)
+        if not result.ok:
+            raise ServiceError(
+                f"request {request_id} {result.status.value}: {result.error}"
+            )
+        return list(result.explanations)
+
+    # ------------------------------------------------------------ dispatcher
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            ticket: _Ticket = item
+            with self._lock:
+                # Skip tickets already resolved (cancelled by a racing
+                # submit-after-close); claiming RUNNING under the lock means
+                # a concurrent _resolve cannot interleave between the check
+                # and the status write.
+                if ticket.done.is_set():
+                    self._queue.task_done()
+                    continue
+                ticket.status = RequestStatus.RUNNING
+            request = ticket.request
+            model_name = request.model or self.default_model
+            uarch = request.uarch or self.default_uarch
+            start = time.perf_counter()
+            try:
+                session = self._session_for(model_name, uarch)
+                # Request isolation: population records are stateful (a
+                # pre-filled record changes how a later search consumes its
+                # stream), so each request starts from a clean record space —
+                # results are then independent of what the warm session served
+                # before, and of concurrent-submission arrival order.  The
+                # query cache and backend stay warm; they are bit-safe.
+                session.reset_population_records()
+                if len(request.blocks) == 1:
+                    # Matches CometExplainer.explain(block, rng=seed) exactly:
+                    # the seed drives the search directly, no stream spawning.
+                    explanations = (session.explain(request.blocks[0], rng=request.seed),)
+                else:
+                    explanations = tuple(
+                        session.explain_many(
+                            request.blocks, rng=request.seed, shards=request.shards
+                        )
+                    )
+                result = ServiceResult(
+                    request_id=ticket.request_id,
+                    status=RequestStatus.DONE,
+                    explanations=explanations,
+                    error=None,
+                    model=model_name,
+                    uarch=uarch,
+                    seconds=time.perf_counter() - start,
+                )
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                result = ServiceResult(
+                    request_id=ticket.request_id,
+                    status=RequestStatus.FAILED,
+                    explanations=(),
+                    error=f"{type(error).__name__}: {error}",
+                    model=model_name,
+                    uarch=uarch,
+                    seconds=time.perf_counter() - start,
+                )
+            self._resolve(ticket, result)
+            self._queue.task_done()
+
+    def _resolve(self, ticket: _Ticket, result: ServiceResult) -> None:
+        """Publish a ticket's outcome exactly once (later resolvers lose)."""
+        with self._lock:
+            if ticket.done.is_set():
+                return
+            ticket.result = result
+            ticket.status = result.status
+            if result.status is RequestStatus.DONE:
+                self._served += 1
+            elif result.status is RequestStatus.FAILED:
+                self._failed += 1
+            else:
+                self._cancelled += 1
+            ticket.done.set()
+
+    # -------------------------------------------------------------- sessions
+
+    def _build_session(self, model_name: str, uarch: str) -> ExplanationSession:
+        from repro.models.registry import build_session
+
+        return build_session(
+            model_name,
+            uarch,
+            config=self.config,
+            backend=self._backend,
+            workers=self._workers,
+            cache_entries=self._cache_entries,
+        )
+
+    def _session_for(self, model_name: str, uarch: str) -> ExplanationSession:
+        """The warm session for one (model, uarch), LRU-pooled.
+
+        Only the dispatcher thread calls this; the lock protects the pool
+        against concurrent ``stats()``/``close()`` readers.
+        """
+        key = (model_name, uarch)
+        evicted: List[ExplanationSession] = []
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+        if session is None:
+            session = self._session_factory(model_name, uarch)
+            with self._lock:
+                self._sessions[key] = session
+                while len(self._sessions) > self.max_sessions:
+                    evicted.append(self._sessions.popitem(last=False)[1])
+        for old in evicted:
+            old.close()
+        return session
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> ServiceStats:
+        """Accounting snapshot (request counters plus per-session stats)."""
+        with self._lock:
+            sessions = dict(self._sessions)
+            submitted, served = self._submitted, self._served
+            failed, cancelled = self._failed, self._cancelled
+        return ServiceStats(
+            submitted=submitted,
+            served=served,
+            failed=failed,
+            cancelled=cancelled,
+            queue_depth=self._queue.qsize(),
+            sessions=tuple(sessions.keys()),
+            session_stats={
+                key: session.stats()
+                for key, session in sessions.items()
+                if not session.closed
+            },
+        )

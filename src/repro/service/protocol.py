@@ -1,0 +1,174 @@
+"""The service's wire format: JSON-lines requests in, JSON-lines results out.
+
+``repro serve`` speaks this protocol over stdin/stdout so any process that
+can write JSON can drive a warm explanation service.  One request per line::
+
+    {"id": "r1", "block": "add rcx, rax; mov rdx, rcx; pop rbx", "seed": 0}
+    {"id": "r2", "blocks": ["div rcx", "add rax, rbx"], "model": "uica"}
+    add rcx, rax; mov rdx, rcx        # bare text is sugar for {"block": ...}
+
+and one response line per request, in submission order::
+
+    {"id": "r1", "status": "done", "model": "crude", "uarch": "hsw",
+     "seconds": 0.41, "explanations": [{...}, ...]}
+
+``id`` is the client's correlation key (echoed verbatim; the service's own
+request id is returned as ``request_id``).  Failures come back in-band with
+``"status": "failed"`` and an ``error`` string — the stream keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, Optional, TextIO, Tuple
+
+from repro.bb.block import BasicBlock
+from repro.reporting.export import explanation_to_dict
+from repro.service.core import (
+    ExplanationRequest,
+    ExplanationService,
+    RequestStatus,
+    ServiceResult,
+)
+from repro.utils.errors import ReproError, ServiceError
+
+
+def request_from_dict(payload: Dict[str, object]) -> ExplanationRequest:
+    """Build an :class:`ExplanationRequest` from one decoded JSON object."""
+    if "block" in payload and "blocks" in payload:
+        raise ServiceError("request has both 'block' and 'blocks'")
+    if "block" in payload:
+        texts = [str(payload["block"])]
+    elif "blocks" in payload:
+        blocks_field = payload["blocks"]
+        if not isinstance(blocks_field, (list, tuple)):
+            raise ServiceError("'blocks' must be a list of block texts")
+        texts = [str(text) for text in blocks_field]
+    else:
+        raise ServiceError("request needs a 'block' or 'blocks' field")
+    blocks = tuple(
+        BasicBlock.from_text(text.replace(";", "\n")) for text in texts
+    )
+    shards = payload.get("shards")
+    if shards is not None and not isinstance(shards, str):
+        shards = int(shards)  # type: ignore[arg-type]
+    return ExplanationRequest(
+        blocks=blocks,
+        seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+        model=payload.get("model"),  # type: ignore[arg-type]
+        uarch=payload.get("uarch"),  # type: ignore[arg-type]
+        shards=shards,  # type: ignore[arg-type]
+    )
+
+
+def request_from_line(line: str) -> Tuple[Optional[str], ExplanationRequest]:
+    """Decode one protocol line into ``(client id, request)``.
+
+    Lines starting with ``{`` are JSON requests; anything else is treated as
+    bare block text (instructions separated by ``;`` or the line is one
+    instruction), with no client id.
+    """
+    stripped = line.strip()
+    if not stripped:
+        raise ServiceError("empty request line")
+    if stripped.startswith("["):
+        raise ServiceError("request line must decode to a JSON object")
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request line is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ServiceError("request line must decode to a JSON object")
+        raw_id = payload.get("id")
+        client_id = None if raw_id is None else str(raw_id)
+        try:
+            return client_id, request_from_dict(payload)
+        except ReproError as error:
+            # Tag the failure with the client's correlation id so the error
+            # response still routes back to the right request.
+            error.client_id = client_id  # type: ignore[attr-defined]
+            raise
+    return None, request_from_dict({"block": stripped})
+
+
+def result_to_dict(
+    result: ServiceResult, client_id: Optional[str] = None
+) -> Dict[str, object]:
+    """A JSON-safe dictionary for one service result."""
+    payload: Dict[str, object] = {
+        "id": client_id,
+        "request_id": result.request_id,
+        "status": result.status.value,
+        "model": result.model,
+        "uarch": result.uarch,
+        "seconds": round(result.seconds, 4),
+    }
+    if result.status is RequestStatus.DONE:
+        payload["explanations"] = [
+            explanation_to_dict(explanation) for explanation in result.explanations
+        ]
+    else:
+        payload["error"] = result.error
+    return payload
+
+
+def _error_line(client_id: Optional[str], message: str) -> str:
+    return json.dumps(
+        {"id": client_id, "status": "failed", "error": message}
+    )
+
+
+def serve_stream(
+    service: ExplanationService,
+    lines: Iterable[str],
+    out: TextIO,
+) -> int:
+    """Pump a request stream through ``service``; returns served-request count.
+
+    Requests are submitted as they are read — the bounded queue throttles
+    reading when the dispatcher falls behind — and responses are written in
+    submission order, flushed as soon as each one completes, so a slow later
+    request never delays an earlier answer and pipelined clients stream
+    results.  Undecodable lines produce an in-band ``failed`` response and do
+    not stop the stream.  The caller keeps ownership of ``service`` (and
+    closes it).
+    """
+    pending: "deque[Tuple[Optional[str], str]]" = deque()
+    served = 0
+
+    def flush(block: bool) -> int:
+        count = 0
+        while pending:
+            client_id, request_id = pending[0]
+            if not block and not service.poll(request_id).finished:
+                break
+            result = service.result(request_id)
+            out.write(json.dumps(result_to_dict(result, client_id)) + "\n")
+            out.flush()
+            pending.popleft()
+            count += 1
+        return count
+
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            client_id, request = request_from_line(line)
+        except ReproError as error:
+            out.write(
+                _error_line(getattr(error, "client_id", None), str(error)) + "\n"
+            )
+            out.flush()
+            continue
+        try:
+            request_id = service.submit(request)
+        except ReproError as error:
+            out.write(_error_line(client_id, str(error)) + "\n")
+            out.flush()
+            continue
+        pending.append((client_id, request_id))
+        served += flush(block=False)
+    served += flush(block=True)
+    return served

@@ -51,3 +51,15 @@ class ModelError(ReproError):
 
 class BackendError(ReproError):
     """Raised when an execution backend cannot run the requested workload."""
+
+
+class ServiceError(ReproError):
+    """Raised when the explanation service cannot accept or serve a request."""
+
+
+class QueueFullError(ServiceError):
+    """Raised when a non-blocking submit hits the service's bounded queue."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request reaches a service that has been shut down."""

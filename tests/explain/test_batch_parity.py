@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.bb.block import BasicBlock
-from repro.data.synthesis import BlockSynthesizer
 from repro.explain.config import ExplainerConfig
 from repro.explain.explainer import CometExplainer
 from repro.explain.precision import PrecisionEstimator
@@ -22,21 +21,7 @@ from repro.models.mca import PortPressureCostModel
 from repro.runtime.backend import available_backends, resolve_backend
 from repro.runtime.session import ExplanationSession
 
-FAST_CONFIG = ExplainerConfig(
-    epsilon=0.2,
-    relative_epsilon=0.0,
-    coverage_samples=120,
-    max_precision_samples=60,
-    min_precision_samples=16,
-    batch_size=8,
-)
-
-
-@pytest.fixture(scope="module")
-def blocks():
-    return BlockSynthesizer(rng=3).generate_many(
-        4, min_instructions=3, max_instructions=8, rng=4
-    )
+from tests.conftest import FAST_CONFIG
 
 
 def _explain(block, *, batched: bool, seed: int):
@@ -46,6 +31,9 @@ def _explain(block, *, batched: bool, seed: int):
 
 
 def _fingerprint(explanation):
+    # Deliberately local (not tests.conftest.explanation_fingerprint): this
+    # module pins num_queries parity too, which only holds for the unsharded
+    # paths compared here.
     return (
         tuple(f.describe() for f in explanation.features),
         explanation.precision,
@@ -58,8 +46,8 @@ def _fingerprint(explanation):
 
 class TestBatchedSequentialParity:
     @pytest.mark.parametrize("seed", [0, 1, 2, 5])
-    def test_seeded_explanations_identical(self, blocks, seed):
-        for block in blocks:
+    def test_seeded_explanations_identical(self, tiny_blocks, seed):
+        for block in tiny_blocks:
             batched = _explain(block, batched=True, seed=seed)
             sequential = _explain(block, batched=False, seed=seed)
             assert _fingerprint(batched) == _fingerprint(sequential)
@@ -75,9 +63,9 @@ class TestBatchedSequentialParity:
             )
 
     @pytest.mark.parametrize("batched", [True, False])
-    def test_seeded_determinism(self, blocks, batched):
-        first = _explain(blocks[0], batched=batched, seed=9)
-        second = _explain(blocks[0], batched=batched, seed=9)
+    def test_seeded_determinism(self, tiny_blocks, batched):
+        first = _explain(tiny_blocks[0], batched=batched, seed=9)
+        second = _explain(tiny_blocks[0], batched=batched, seed=9)
         assert _fingerprint(first) == _fingerprint(second)
 
     def test_batched_is_default(self):
@@ -94,31 +82,31 @@ class TestBackendParity:
     out) with the process path included.
     """
 
-    def _fleet(self, blocks, backend_name, seed):
+    def _fleet(self, tiny_blocks, backend_name, seed):
         model = CachedCostModel(PortPressureCostModel("hsw"))
         with ExplanationSession(
             model, FAST_CONFIG, backend=backend_name, workers=2
         ) as session:
-            return [_fingerprint(e) for e in session.explain_many(blocks, rng=seed)]
+            return [_fingerprint(e) for e in session.explain_many(tiny_blocks, rng=seed)]
 
     @pytest.mark.parametrize("backend_name", ["thread", "process"])
-    def test_explain_many_identical_across_backends(self, blocks, backend_name):
-        assert self._fleet(blocks[:2], "serial", 7) == self._fleet(
-            blocks[:2], backend_name, 7
+    def test_explain_many_identical_across_backends(self, tiny_blocks, backend_name):
+        assert self._fleet(tiny_blocks[:2], "serial", 7) == self._fleet(
+            tiny_blocks[:2], backend_name, 7
         )
 
     @pytest.mark.parametrize("backend_name", available_backends())
-    def test_explain_identical_across_backends(self, blocks, backend_name):
+    def test_explain_identical_across_backends(self, tiny_blocks, backend_name):
         baseline = CometExplainer(
             CachedCostModel(PortPressureCostModel("hsw")), FAST_CONFIG
-        ).explain(blocks[0], rng=13)
+        ).explain(tiny_blocks[0], rng=13)
         with resolve_backend(backend_name, 2) as backend:
             explainer = CometExplainer(
                 CachedCostModel(PortPressureCostModel("hsw")),
                 FAST_CONFIG,
                 backend=backend,
             )
-            routed = explainer.explain(blocks[0], rng=13)
+            routed = explainer.explain(tiny_blocks[0], rng=13)
         assert _fingerprint(baseline) == _fingerprint(routed)
 
 

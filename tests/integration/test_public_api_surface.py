@@ -29,6 +29,8 @@ PACKAGES = [
     "repro.train",
     "repro.globalx",
     "repro.reporting",
+    "repro.runtime",
+    "repro.service",
     "repro.utils",
 ]
 

@@ -1,0 +1,167 @@
+"""Property-based round-trip of the ISA text layer.
+
+For any parseable instruction text, ``format(parse(text))`` is the canonical
+spelling: re-parsing it yields the same :class:`Instruction` structure, and
+re-formatting is a fixed point.  The generators deliberately spell the same
+structure many ways — mixed case, ragged whitespace, hex and decimal
+immediates, ``reg*scale`` in both orders, explicit and inferred memory-size
+prefixes, negative displacements — which is exactly the corner-case surface
+the example-based formatter/parser tests do not reach.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.formatter import format_instruction
+from repro.isa.parser import parse_block_text, parse_instruction
+
+_SETTINGS = dict(max_examples=120, deadline=None)
+
+#: 64/32-bit GPRs usable in any operand position (stack/ip stay out, matching
+#: the synthesizer's conventions).
+_GPR64 = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r14")
+_GPR32 = ("eax", "ebx", "ecx", "edx", "esi", "edi", "r8d", "r11d")
+_XMM = ("xmm0", "xmm1", "xmm3", "xmm7", "xmm15")
+
+_gpr64 = st.sampled_from(_GPR64)
+_gpr32 = st.sampled_from(_GPR32)
+_xmm = st.sampled_from(_XMM)
+
+
+def _spell_int(value: int, hexadecimal: bool) -> str:
+    if not hexadecimal:
+        return str(value)
+    sign = "-" if value < 0 else ""
+    return f"{sign}0x{abs(value):x}"
+
+
+@st.composite
+def _immediates(draw):
+    value = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    return _spell_int(value, draw(st.booleans()))
+
+
+@st.composite
+def _memory_operands(draw, prefix="qword"):
+    """A memory reference: optional base, optional scaled index, displacement."""
+    base = draw(st.one_of(st.none(), _gpr64))
+    index = draw(st.one_of(st.none(), _gpr64))
+    scale = draw(st.sampled_from((1, 2, 4, 8)))
+    displacement = draw(st.integers(min_value=-4096, max_value=4096))
+    if base is None and index is None and displacement == 0:
+        # A bare [0] is not a representable memory operand.
+        displacement = draw(st.integers(min_value=1, max_value=4096))
+    terms = []
+    if base is not None:
+        terms.append(base)
+    if index is not None:
+        spelled = f"{index}*{scale}" if scale != 1 else index
+        if scale != 1 and draw(st.booleans()):
+            spelled = f"{scale}*{index}"  # the parser accepts both orders
+        terms.append(spelled)
+    expr = " + ".join(terms)
+    if displacement or not terms:
+        spelled = _spell_int(abs(displacement), draw(st.booleans()))
+        if expr:
+            expr = f"{expr} {'-' if displacement < 0 else '+'} {spelled}"
+        else:
+            expr = _spell_int(displacement, draw(st.booleans()))
+    with_prefix = draw(st.booleans())
+    body = f"[{expr}]"
+    if with_prefix and prefix:
+        ptr = " ptr" if draw(st.booleans()) else ""
+        return f"{prefix}{ptr} {body}"
+    return body
+
+
+@st.composite
+def _instruction_texts(draw):
+    """One legal instruction, spelled with deliberate syntactic variety."""
+    kind = draw(
+        st.sampled_from(
+            ("alu_rr", "alu_ri", "alu_rm", "mov_mr", "lea", "shift", "vec_rr",
+             "vec_rm", "unary", "noop")
+        )
+    )
+    if kind == "alu_rr":
+        mnemonic = draw(st.sampled_from(("add", "sub", "and", "or", "xor", "cmp", "test", "mov")))
+        wide = draw(st.booleans())
+        regs = _gpr64 if wide else _gpr32
+        text = f"{mnemonic} {draw(regs)}, {draw(regs)}"
+    elif kind == "alu_ri":
+        mnemonic = draw(st.sampled_from(("add", "sub", "and", "or", "xor", "cmp", "mov")))
+        text = f"{mnemonic} {draw(_gpr64)}, {draw(_immediates())}"
+    elif kind == "alu_rm":
+        mnemonic = draw(st.sampled_from(("add", "sub", "mov")))
+        text = f"{mnemonic} {draw(_gpr64)}, {draw(_memory_operands())}"
+    elif kind == "mov_mr":
+        text = f"mov {draw(_memory_operands())}, {draw(_gpr64)}"
+    elif kind == "lea":
+        # lea requires an address expression with at least one register.
+        base = draw(_gpr64)
+        displacement = draw(st.integers(min_value=-512, max_value=512))
+        suffix = f" + {displacement}" if displacement > 0 else (
+            f" - {abs(displacement)}" if displacement < 0 else ""
+        )
+        text = f"lea {draw(_gpr64)}, [{base}{suffix}]"
+    elif kind == "shift":
+        mnemonic = draw(st.sampled_from(("shl", "shr", "sar")))
+        amount = draw(st.integers(min_value=1, max_value=31))
+        text = f"{mnemonic} {draw(_gpr32)}, {amount}"
+    elif kind == "vec_rr":
+        mnemonic = draw(st.sampled_from(("addss", "mulss", "subsd", "movaps", "xorps")))
+        text = f"{mnemonic} {draw(_xmm)}, {draw(_xmm)}"
+    elif kind == "vec_rm":
+        text = f"movups {draw(_xmm)}, {draw(_memory_operands(prefix='xmmword'))}"
+    elif kind == "unary":
+        mnemonic = draw(st.sampled_from(("inc", "dec", "neg", "not", "pop", "push")))
+        text = f"{mnemonic} {draw(_gpr64)}"
+    else:
+        text = draw(st.sampled_from(("cdq", "cqo", "nop")))
+    # Syntactic noise the canonical form must absorb.
+    if draw(st.booleans()):
+        text = text.upper() if draw(st.booleans()) else text.title()
+    if draw(st.booleans()):
+        text = "  " + text.replace(", ", " ,  ").replace(" ", "  ", 1)
+    return text
+
+
+@given(text=_instruction_texts())
+@settings(**_SETTINGS)
+def test_format_parse_roundtrip_is_canonical(text):
+    parsed = parse_instruction(text)
+    canonical = format_instruction(parsed)
+    reparsed = parse_instruction(canonical)
+    # Canonical text denotes the same structure...
+    assert reparsed == parsed
+    # ...and is a fixed point of another format/parse trip.
+    assert format_instruction(reparsed) == canonical
+
+
+@given(
+    texts=st.lists(_instruction_texts(), min_size=1, max_size=6),
+    data=st.data(),
+)
+@settings(**_SETTINGS)
+def test_block_text_roundtrip(texts, data):
+    """Whole listings round-trip through the block parser/formatter too,
+    with comments, blank lines and paper-style line numbers stripped."""
+    from repro.isa.formatter import format_block_lines
+
+    lines = []
+    for number, text in enumerate(texts, start=1):
+        decorated = text
+        if data.draw(st.booleans(), label="line-number"):
+            decorated = f"{number}: {decorated}"
+        if data.draw(st.booleans(), label="comment"):
+            comment_char = data.draw(st.sampled_from("#;"), label="comment-char")
+            decorated = f"{decorated} {comment_char} throughput-critical"
+        lines.append(decorated)
+        if data.draw(st.booleans(), label="blank"):
+            lines.append("")
+    block_text = "\n".join(lines)
+    parsed = parse_block_text(block_text)
+    assert len(parsed) == len(texts)
+    canonical = format_block_lines(parsed)
+    assert parse_block_text(canonical) == parsed
+    assert format_block_lines(parse_block_text(canonical)) == canonical

@@ -7,42 +7,37 @@ from repro.models.base import CachedCostModel, CallableCostModel, CostModel, Que
 from repro.utils.errors import ModelError
 
 
-@pytest.fixture
-def block():
-    return BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
-
-
 class TestCallableCostModel:
-    def test_wraps_function(self, block):
+    def test_wraps_function(self, tiny_block):
         model = CallableCostModel(lambda b: float(b.num_instructions), name="toy")
-        assert model.predict(block) == 2.0
+        assert model.predict(tiny_block) == 2.0
         assert model.name == "toy"
 
-    def test_call_syntax(self, block):
+    def test_call_syntax(self, tiny_block):
         model = CallableCostModel(lambda b: 1.0)
-        assert model(block) == 1.0
+        assert model(tiny_block) == 1.0
 
-    def test_query_counter_increments(self, block):
+    def test_query_counter_increments(self, tiny_block):
         model = CallableCostModel(lambda b: 1.0)
-        model.predict(block)
-        model.predict(block)
+        model.predict(tiny_block)
+        model.predict(tiny_block)
         assert model.query_count == 2
 
-    def test_predict_many(self, block):
+    def test_predict_many(self, tiny_block):
         model = CallableCostModel(lambda b: float(b.num_instructions))
-        assert model.predict_many([block, block]) == [2.0, 2.0]
+        assert model.predict_many([tiny_block, tiny_block]) == [2.0, 2.0]
 
-    def test_invalid_prediction_rejected(self, block):
+    def test_invalid_prediction_rejected(self, tiny_block):
         model = CallableCostModel(lambda b: float("nan"))
         with pytest.raises(ModelError):
-            model.predict(block)
+            model.predict(tiny_block)
 
-    def test_negative_prediction_rejected(self, block):
+    def test_negative_prediction_rejected(self, tiny_block):
         model = CallableCostModel(lambda b: -1.0)
         with pytest.raises(ModelError):
-            model.predict(block)
+            model.predict(tiny_block)
 
-    def test_microarch_resolution(self, block):
+    def test_microarch_resolution(self, tiny_block):
         model = CallableCostModel(lambda b: 1.0, microarch="skl")
         assert model.microarch.short_name == "skl"
         assert "Skylake" in model.describe()
@@ -59,22 +54,22 @@ class TestCallableCostModel:
 
 
 class TestCachedCostModel:
-    def test_caches_identical_blocks(self, block):
+    def test_caches_identical_blocks(self, tiny_block):
         inner = CallableCostModel(lambda b: float(b.num_instructions), name="toy")
         cached = CachedCostModel(inner)
-        cached.predict(block)
-        cached.predict(BasicBlock.from_text(block.text))
+        cached.predict(tiny_block)
+        cached.predict(BasicBlock.from_text(tiny_block.text))
         assert inner.query_count == 1
         assert cached.hits == 1 and cached.misses == 1
         assert cached.hit_rate == pytest.approx(0.5)
 
-    def test_different_blocks_not_conflated(self, block):
+    def test_different_blocks_not_conflated(self, tiny_block):
         inner = CallableCostModel(lambda b: float(b.num_instructions))
         cached = CachedCostModel(inner)
         other = BasicBlock.from_text("add rcx, rax")
-        assert cached.predict(block) != cached.predict(other)
+        assert cached.predict(tiny_block) != cached.predict(other)
 
-    def test_name_propagated(self, block):
+    def test_name_propagated(self, tiny_block):
         inner = CallableCostModel(lambda b: 1.0, name="inner-model")
         assert CachedCostModel(inner).name == "inner-model"
 
@@ -145,8 +140,8 @@ class TestCachedCostModel:
         batched = CachedCostModel(CallableCostModel(lambda b: 1.0))
         batched.predict_batch([x, x, y])
         sequential = CachedCostModel(CallableCostModel(lambda b: 1.0))
-        for block in (x, x, y):
-            sequential.predict(block)
+        for one in (x, x, y):
+            sequential.predict(one)
         assert (batched.hits, batched.misses, batched.query_count) == (
             sequential.hits,
             sequential.misses,
@@ -155,9 +150,9 @@ class TestCachedCostModel:
 
 
 class TestModelLifecycle:
-    def test_models_are_context_managers(self, block):
+    def test_models_are_context_managers(self, tiny_block):
         with CallableCostModel(lambda b: 1.0) as model:
-            assert model.predict(block) == 1.0
+            assert model.predict(tiny_block) == 1.0
 
     def test_close_is_idempotent(self):
         model = CallableCostModel(lambda b: 1.0)
@@ -175,10 +170,10 @@ class TestModelLifecycle:
 
 
 class TestQueryCounter:
-    def test_counts_queries_in_scope(self, block):
+    def test_counts_queries_in_scope(self, tiny_block):
         model = CallableCostModel(lambda b: 1.0)
-        model.predict(block)
+        model.predict(tiny_block)
         with QueryCounter(model) as counter:
-            model.predict(block)
-            model.predict(block)
+            model.predict(tiny_block)
+            model.predict(tiny_block)
         assert counter.queries == 2

@@ -10,20 +10,12 @@ import numpy as np
 import pytest
 
 from repro.bb.block import BasicBlock
-from repro.data.synthesis import BlockSynthesizer
 from repro.models.analytical import AnalyticalCostModel
 from repro.models.base import CachedCostModel, CallableCostModel
 from repro.models.ithemal import IthemalConfig, IthemalCostModel
 from repro.models.mca import PortPressureCostModel
 from repro.models.uica import UiCACostModel
 from repro.utils.errors import ModelError
-
-
-@pytest.fixture(scope="module")
-def blocks():
-    return BlockSynthesizer(rng=0).generate_many(
-        25, min_instructions=2, max_instructions=10, rng=1
-    )
 
 
 def _exact_models():
@@ -40,17 +32,17 @@ def _exact_models():
 
 class TestPredictBatchParity:
     @pytest.mark.parametrize("model", _exact_models(), ids=lambda m: m.describe())
-    def test_exact_parity_with_predict_many(self, model, blocks):
-        sequential = model.predict_many(blocks)
-        batched = model.predict_batch(blocks)
+    def test_exact_parity_with_predict_many(self, model, block_fleet):
+        sequential = model.predict_many(block_fleet)
+        batched = model.predict_batch(block_fleet)
         assert batched == sequential
 
-    def test_ithemal_parity_within_float_tolerance(self, blocks):
+    def test_ithemal_parity_within_float_tolerance(self, block_fleet):
         model = IthemalCostModel(
             "hsw", IthemalConfig(embedding_size=8, hidden_size=8, epochs=0)
         )
-        sequential = model.predict_many(blocks)
-        batched = model.predict_batch(blocks)
+        sequential = model.predict_many(block_fleet)
+        batched = model.predict_batch(block_fleet)
         np.testing.assert_allclose(batched, sequential, rtol=1e-9)
 
     def test_empty_batch(self):
@@ -58,30 +50,30 @@ class TestPredictBatchParity:
         assert model.predict_batch([]) == []
         assert model.query_count == 0
 
-    def test_batch_counts_one_query_per_block(self, blocks):
+    def test_batch_counts_one_query_per_block(self, block_fleet):
         model = AnalyticalCostModel("hsw")
-        model.predict_batch(blocks)
-        assert model.query_count == len(blocks)
+        model.predict_batch(block_fleet)
+        assert model.query_count == len(block_fleet)
 
-    def test_batch_validates_predictions(self, blocks):
+    def test_batch_validates_predictions(self, block_fleet):
         model = CallableCostModel(lambda b: -1.0, name="negative")
         with pytest.raises(ModelError):
-            model.predict_batch(blocks[:3])
+            model.predict_batch(block_fleet[:3])
 
-    def test_default_batch_loops_predict(self, blocks):
+    def test_default_batch_loops_predict(self, block_fleet):
         """A model without a batched formulation still serves batches."""
         model = CallableCostModel(lambda b: float(len(b)), name="plain")
-        assert model.predict_batch(blocks[:5]) == [float(len(b)) for b in blocks[:5]]
+        assert model.predict_batch(block_fleet[:5]) == [float(len(b)) for b in block_fleet[:5]]
 
 class TestCachedBatchPath:
-    def test_batch_matches_sequential_values(self, blocks):
+    def test_batch_matches_sequential_values(self, block_fleet):
         cached = CachedCostModel(AnalyticalCostModel("hsw"))
-        expected = AnalyticalCostModel("hsw").predict_many(blocks)
-        assert cached.predict_batch(blocks) == expected
+        expected = AnalyticalCostModel("hsw").predict_many(block_fleet)
+        assert cached.predict_batch(block_fleet) == expected
 
-    def test_batch_dedupes_duplicate_blocks(self, blocks):
+    def test_batch_dedupes_duplicate_blocks(self, block_fleet):
         cached = CachedCostModel(AnalyticalCostModel("hsw"))
-        batch = list(blocks[:4]) + list(blocks[:4])
+        batch = list(block_fleet[:4]) + list(block_fleet[:4])
         values = cached.predict_batch(batch)
         assert values[:4] == values[4:]
         # Only the four distinct blocks reach the inner model.
@@ -89,17 +81,17 @@ class TestCachedBatchPath:
         assert cached.query_count == 4
         assert cached.hits == 4 and cached.misses == 4
 
-    def test_batch_serves_previous_results_from_cache(self, blocks):
+    def test_batch_serves_previous_results_from_cache(self, block_fleet):
         cached = CachedCostModel(AnalyticalCostModel("hsw"))
-        cached.predict_batch(blocks[:6])
-        cached.predict_batch(blocks[:6])
+        cached.predict_batch(block_fleet[:6])
+        cached.predict_batch(block_fleet[:6])
         assert cached.inner.query_count == 6
         assert cached.hits == 6
 
-    def test_query_count_ignores_cache_hits(self, blocks):
+    def test_query_count_ignores_cache_hits(self, block_fleet):
         """Regression: the wrapper used to count cache hits as queries."""
         cached = CachedCostModel(AnalyticalCostModel("hsw"))
-        block = blocks[0]
+        block = block_fleet[0]
         cached.predict(block)
         cached.predict(block)
         cached.predict(block)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bb.block import BasicBlock
-from repro.data.synthesis import BlockSynthesizer
 from repro.explain.config import ExplainerConfig
 from repro.explain.explainer import CometExplainer
 from repro.models.analytical import AnalyticalCostModel
@@ -12,85 +11,61 @@ from repro.runtime.backend import SerialBackend, ThreadBackend
 from repro.runtime.session import ExplanationSession
 from repro.utils.errors import BackendError
 
-FAST_CONFIG = ExplainerConfig(
-    epsilon=0.2,
-    relative_epsilon=0.0,
-    coverage_samples=80,
-    max_precision_samples=40,
-    min_precision_samples=12,
-    batch_size=8,
-)
-
-
-@pytest.fixture(scope="module")
-def blocks():
-    return BlockSynthesizer(rng=5).generate_many(
-        3, min_instructions=3, max_instructions=7, rng=6
-    )
-
-
-def _fingerprint(explanation):
-    return (
-        tuple(f.describe() for f in explanation.features),
-        explanation.precision,
-        explanation.coverage,
-        explanation.precision_samples,
-        explanation.meets_threshold,
-    )
+from tests.conftest import FAST_CONFIG, explanation_fingerprint as _fingerprint
 
 
 class TestSessionExplanations:
-    def test_first_explanation_matches_one_shot_explainer(self, blocks):
+    def test_first_explanation_matches_one_shot_explainer(self, tiny_blocks):
         one_shot = CometExplainer(
             CachedCostModel(AnalyticalCostModel("hsw")), FAST_CONFIG
-        ).explain(blocks[0], rng=3)
+        ).explain(tiny_blocks[0], rng=3)
         with ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG) as session:
-            in_session = session.explain(blocks[0], rng=3)
+            in_session = session.explain(tiny_blocks[0], rng=3)
         assert _fingerprint(one_shot) == _fingerprint(in_session)
 
-    def test_explain_many_matches_per_block_streams(self, blocks):
+    def test_explain_many_matches_per_block_streams(self, tiny_blocks):
         explainer = CometExplainer(
             CachedCostModel(AnalyticalCostModel("hsw")), FAST_CONFIG
         )
-        fleet = explainer.explain_many(blocks, rng=11)
+        fleet = explainer.explain_many(tiny_blocks, rng=11)
         with ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG) as session:
-            again = session.explain_many(blocks, rng=11)
+            again = session.explain_many(tiny_blocks, rng=11)
         assert [_fingerprint(e) for e in fleet] == [_fingerprint(e) for e in again]
 
-    def test_seeded_session_runs_are_deterministic(self, blocks):
+    def test_seeded_session_runs_are_deterministic(self, tiny_blocks):
         def run():
             with ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG) as s:
-                return [_fingerprint(e) for e in s.explain_many(blocks, rng=2)]
+                return [_fingerprint(e) for e in s.explain_many(tiny_blocks, rng=2)]
 
         assert run() == run()
 
 
 class TestSharedState:
-    def test_population_record_shared_across_explanations(self, blocks):
+    def test_population_record_shared_across_explanations(self, tiny_blocks):
         with ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG) as session:
-            record = session.coverage_record(blocks[0])
-            assert record is session.coverage_record(blocks[0])
-            session.explain(blocks[0], rng=0)
+            record = session.coverage_record(tiny_blocks[0])
+            assert record is session.coverage_record(tiny_blocks[0])
+            session.explain(tiny_blocks[0], rng=0)
             assert len(record.population) == FAST_CONFIG.coverage_samples
-            session.explain(blocks[0], rng=1)
+            session.explain(tiny_blocks[0], rng=1)
             assert session.stats().populations_cached == 1
 
-    def test_repeated_block_does_not_redraw_population(self, blocks):
+    def test_repeated_block_does_not_redraw_population(self, tiny_blocks):
         with ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG) as session:
-            session.explain(blocks[0], rng=0)
-            population = list(session.coverage_record(blocks[0]).population)
-            session.explain(blocks[0], rng=1)
-            assert session.coverage_record(blocks[0]).population == population
+            session.explain(tiny_blocks[0], rng=0)
+            population = list(session.coverage_record(tiny_blocks[0]).population)
+            session.explain(tiny_blocks[0], rng=1)
+            assert session.coverage_record(tiny_blocks[0]).population == population
 
-    def test_population_records_are_lru_bounded(self, blocks):
+    def test_population_records_are_lru_bounded(self, tiny_blocks):
         with ExplanationSession(
             AnalyticalCostModel("hsw"), FAST_CONFIG, max_population_records=1
         ) as session:
-            session.explain(blocks[0], rng=0)
-            session.explain(blocks[1], rng=0)
+            session.explain(tiny_blocks[0], rng=0)
+            session.explain(tiny_blocks[1], rng=0)
             assert session.stats().populations_cached == 1
             # The surviving record belongs to the most recent block.
-            assert session.coverage_record(blocks[1]).population
+            assert session.coverage_record(tiny_blocks[1]).population
 
     def test_invalid_population_bound_rejected(self):
         with pytest.raises(ValueError):
@@ -98,11 +73,11 @@ class TestSharedState:
                 AnalyticalCostModel("hsw"), FAST_CONFIG, max_population_records=0
             )
 
-    def test_shared_background_can_be_disabled(self, blocks):
+    def test_shared_background_can_be_disabled(self, tiny_blocks):
         config = FAST_CONFIG.with_overrides(shared_background=False)
         with ExplanationSession(AnalyticalCostModel("hsw"), config) as session:
-            assert session.coverage_record(blocks[0]) is None
-            session.explain(blocks[0], rng=0)
+            assert session.coverage_record(tiny_blocks[0]) is None
+            session.explain(tiny_blocks[0], rng=0)
             assert session.stats().populations_cached == 0
 
     def test_model_wrapped_in_cache_exactly_once(self):
@@ -116,11 +91,11 @@ class TestSharedState:
 
 
 class TestStats:
-    def test_stats_track_run_accounting(self, blocks):
+    def test_stats_track_run_accounting(self, tiny_blocks):
         with ExplanationSession(
             AnalyticalCostModel("hsw"), FAST_CONFIG, backend="serial"
         ) as session:
-            session.explain_many(blocks[:2], rng=0)
+            session.explain_many(tiny_blocks[:2], rng=0)
             stats = session.stats()
         assert stats.explanations == 2
         assert stats.model_queries > 0
@@ -130,21 +105,21 @@ class TestStats:
         assert "serial" in stats.backend
         assert "2 explanations" in stats.describe()
 
-    def test_stats_ignore_pre_session_history(self, blocks):
+    def test_stats_ignore_pre_session_history(self, tiny_blocks):
         cached = CachedCostModel(AnalyticalCostModel("hsw"))
-        cached.predict(blocks[0])
-        cached.predict(blocks[0])
+        cached.predict(tiny_blocks[0])
+        cached.predict(tiny_blocks[0])
         with ExplanationSession(cached, FAST_CONFIG) as session:
             assert session.stats().model_queries == 0
             assert session.stats().cache_hits == 0
 
 
 class TestLifecycle:
-    def test_explain_after_close_rejected(self, blocks):
+    def test_explain_after_close_rejected(self, tiny_blocks):
         session = ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG)
         session.close()
         with pytest.raises(BackendError):
-            session.explain(blocks[0], rng=0)
+            session.explain(tiny_blocks[0], rng=0)
 
     def test_close_is_idempotent(self):
         session = ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG)
@@ -183,12 +158,12 @@ class TestLifecycle:
         model.close()
         assert configured.closed
 
-    def test_explainer_fleet_api_leaves_model_usable(self, blocks):
+    def test_explainer_fleet_api_leaves_model_usable(self, tiny_blocks):
         model = CachedCostModel(AnalyticalCostModel("hsw"))
         explainer = CometExplainer(model, FAST_CONFIG, rng=4)
-        explainer.explain_many(blocks[:1])
+        explainer.explain_many(tiny_blocks[:1])
         # The transient session released its backend; one-shot use still works.
-        explainer.explain(blocks[0], rng=0)
+        explainer.explain(tiny_blocks[0], rng=0)
 
     def test_explainer_with_named_backend_closes_it(self):
         model = CachedCostModel(AnalyticalCostModel("hsw"))
@@ -200,28 +175,28 @@ class TestLifecycle:
 
 
 class TestGlobalExplainerIntegration:
-    def test_session_scores_block_set_through_its_model(self, blocks):
+    def test_session_scores_block_set_through_its_model(self, tiny_blocks):
         with ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG) as session:
-            global_explainer = session.global_explainer(blocks)
+            global_explainer = session.global_explainer(tiny_blocks)
             assert global_explainer.model is session.model
-            expected = [session.model.predict(block) for block in blocks]
+            expected = [session.model.predict(block) for block in tiny_blocks]
             assert global_explainer.predictions() == expected
 
-    def test_backend_parity_for_global_predictions(self, blocks):
+    def test_backend_parity_for_global_predictions(self, tiny_blocks):
         baseline = ExplanationSession(AnalyticalCostModel("hsw"), FAST_CONFIG)
-        serial = baseline.global_explainer(blocks).predictions()
+        serial = baseline.global_explainer(tiny_blocks).predictions()
         baseline.close()
         with ExplanationSession(
             AnalyticalCostModel("hsw"), FAST_CONFIG, backend="process", workers=2
         ) as session:
-            assert session.global_explainer(blocks).predictions() == serial
+            assert session.global_explainer(tiny_blocks).predictions() == serial
 
-    def test_global_explainer_backend_is_transient(self, blocks):
+    def test_global_explainer_backend_is_transient(self, tiny_blocks):
         from repro.globalx.global_explainer import GlobalExplainer
 
         model = CachedCostModel(AnalyticalCostModel("hsw"))
-        explainer = GlobalExplainer(model, blocks, backend="thread", workers=2)
+        explainer = GlobalExplainer(model, tiny_blocks, backend="thread", workers=2)
         # Scoring borrowed the backend; the model's substrate is untouched
         # and nothing pooled is left behind.
         assert model.execution_backend is None
-        assert len(explainer.predictions()) == len(blocks)
+        assert len(explainer.predictions()) == len(tiny_blocks)

@@ -1,0 +1,152 @@
+"""Service determinism: warm-session results equal direct explainer results,
+under serial and heavily concurrent submission alike.
+
+This is the acceptance surface of the service layer: a client must never be
+able to tell (from the explanation itself) whether their request went through
+a cold one-shot :class:`CometExplainer`, a warm shared session, or a warm
+session hammered by other clients at the same time.
+"""
+
+import threading
+
+import pytest
+
+from repro.explain.explainer import CometExplainer
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel
+from repro.service import ExplanationService
+
+from tests.conftest import explanation_fingerprint
+
+
+def _direct(block, seed, fast_config):
+    model = CachedCostModel(AnalyticalCostModel("hsw"))
+    return CometExplainer(model, fast_config).explain(block, rng=seed)
+
+
+class TestServiceParity:
+    def test_single_block_matches_direct_explainer_bit_for_bit(
+        self, fast_config, tiny_blocks
+    ):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            for seed, block in enumerate(tiny_blocks):
+                served = service.explain(block, seed=seed)[0]
+                direct = _direct(block, seed, fast_config)
+                assert explanation_fingerprint(served) == explanation_fingerprint(direct)
+                # Same prediction, precision and coverage to the last bit.
+                assert served.prediction == direct.prediction
+                assert served.precision == direct.precision
+                assert served.coverage == direct.coverage
+
+    def test_fleet_request_matches_direct_explain_many(self, fast_config, tiny_blocks):
+        direct = CometExplainer(
+            CachedCostModel(AnalyticalCostModel("hsw")), fast_config
+        ).explain_many(tiny_blocks, rng=9)
+        with ExplanationService(model="crude", config=fast_config) as service:
+            served = service.explain(tiny_blocks, seed=9)
+        assert [explanation_fingerprint(e) for e in served] == [
+            explanation_fingerprint(e) for e in direct
+        ]
+
+    @pytest.mark.parametrize("shards", ["auto", 2])
+    def test_sharded_fleet_request_matches_unsharded(
+        self, fast_config, tiny_blocks, shards
+    ):
+        workload = list(tiny_blocks) + [tiny_blocks[0]]  # include a repeat
+        with ExplanationService(
+            model="crude", config=fast_config, backend="thread", workers=2
+        ) as service:
+            unsharded = service.explain(workload, seed=4, shards=None)
+            sharded = service.explain(workload, seed=4, shards=shards)
+        assert [explanation_fingerprint(e) for e in sharded] == [
+            explanation_fingerprint(e) for e in unsharded
+        ]
+
+
+class TestConcurrentClients:
+    def test_concurrent_submission_equals_serial_submission(
+        self, fast_config, tiny_blocks
+    ):
+        """N threads through one warm session == the same requests serially.
+
+        Every client's (block, seed) pair must produce the identical seeded
+        explanation whether it queued alone or raced seven other threads —
+        the single-dispatcher design makes execution order irrelevant to
+        results because each request's rng is self-contained.
+        """
+        workload = [
+            (block, seed)
+            for seed in range(4)
+            for block in tiny_blocks
+        ]
+
+        # Serial reference: one warm service, requests submitted one by one.
+        with ExplanationService(model="crude", config=fast_config) as service:
+            serial = {
+                (block.key(), seed): explanation_fingerprint(
+                    service.explain(block, seed=seed)[0]
+                )
+                for block, seed in workload
+            }
+
+        # Concurrent run: one warm service, eight client threads.
+        with ExplanationService(model="crude", config=fast_config) as service:
+            results = {}
+            results_lock = threading.Lock()
+            errors = []
+            barrier = threading.Barrier(8)
+
+            def client(items):
+                try:
+                    barrier.wait(timeout=30)
+                    for block, seed in items:
+                        explanation = service.explain(block, seed=seed, timeout=60)[0]
+                        with results_lock:
+                            results[(block.key(), seed)] = explanation_fingerprint(
+                                explanation
+                            )
+                except Exception as error:  # surfaced to the main thread
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(workload[i::8],))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = service.stats()
+
+        assert not errors
+        assert results == serial
+        assert stats.served == len(workload)
+        assert stats.sessions == (("crude", "hsw"),)  # one warm session did it all
+
+    def test_concurrent_submit_then_collect(self, fast_config, tiny_blocks):
+        """The async surface (submit now, collect later) is race-free too."""
+        with ExplanationService(model="crude", config=fast_config) as service:
+            expected = {
+                seed: explanation_fingerprint(
+                    service.explain(tiny_blocks[0], seed=seed)[0]
+                )
+                for seed in range(6)
+            }
+            ids = {}
+            ids_lock = threading.Lock()
+
+            def submitter(seed):
+                request_id = service.submit(tiny_blocks[0], seed=seed, timeout=30)
+                with ids_lock:
+                    ids[seed] = request_id
+
+            threads = [threading.Thread(target=submitter, args=(s,)) for s in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(ids) == 6
+            for seed, request_id in ids.items():
+                result = service.result(request_id, timeout=60)
+                assert result.ok
+                assert explanation_fingerprint(result.explanations[0]) == expected[seed]

@@ -1,0 +1,189 @@
+"""Tests for the JSON-lines wire protocol and the ``repro serve`` loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.service import (
+    ExplanationService,
+    request_from_dict,
+    request_from_line,
+    result_to_dict,
+    serve_stream,
+)
+from repro.service.core import RequestStatus, ServiceResult
+from repro.utils.errors import ServiceError
+
+
+class TestRequestDecoding:
+    def test_single_block_with_semicolons(self):
+        request = request_from_dict({"block": "add rcx, rax; mov rdx, rcx"})
+        assert len(request.blocks) == 1
+        assert request.blocks[0].num_instructions == 2
+        assert request.seed == 0
+
+    def test_blocks_list_and_options(self):
+        request = request_from_dict(
+            {
+                "blocks": ["div rcx", "add rax, rbx"],
+                "seed": 7,
+                "model": "uica",
+                "uarch": "skl",
+                "shards": "auto",
+            }
+        )
+        assert len(request.blocks) == 2
+        assert (request.seed, request.model, request.uarch) == (7, "uica", "skl")
+        assert request.shards == "auto"
+
+    def test_integer_shards(self):
+        assert request_from_dict({"block": "div rcx", "shards": 3}).shards == 3
+
+    def test_block_and_blocks_together_rejected(self):
+        with pytest.raises(ServiceError):
+            request_from_dict({"block": "div rcx", "blocks": ["div rcx"]})
+
+    def test_missing_blocks_rejected(self):
+        with pytest.raises(ServiceError):
+            request_from_dict({"seed": 1})
+
+    def test_json_line(self):
+        client_id, request = request_from_line('{"id": 5, "block": "div rcx"}')
+        assert client_id == "5"
+        assert len(request.blocks) == 1
+
+    def test_bare_text_line(self):
+        client_id, request = request_from_line("add rcx, rax; pop rbx\n")
+        assert client_id is None
+        assert request.blocks[0].num_instructions == 2
+
+    def test_invalid_json_rejected_with_client_id_tagged(self):
+        with pytest.raises(ServiceError):
+            request_from_line("{not json")
+        with pytest.raises(ServiceError) as excinfo:
+            request_from_line('{"id": "r9", "seed": 1}')
+        assert excinfo.value.client_id == "r9"
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ServiceError):
+            request_from_line("[1, 2, 3]")
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ServiceError):
+            request_from_line("   ")
+
+
+class TestResultEncoding:
+    def test_failed_result_carries_error(self):
+        result = ServiceResult(
+            request_id="req-1",
+            status=RequestStatus.FAILED,
+            explanations=(),
+            error="boom",
+            model="crude",
+            uarch="hsw",
+            seconds=0.25,
+        )
+        payload = result_to_dict(result, "client-7")
+        assert payload["id"] == "client-7"
+        assert payload["status"] == "failed"
+        assert payload["error"] == "boom"
+        assert "explanations" not in payload
+
+
+class TestServeStream:
+    def _serve(self, lines, fast_config, **service_kwargs):
+        out = io.StringIO()
+        with ExplanationService(
+            model="crude", config=fast_config, **service_kwargs
+        ) as service:
+            served = serve_stream(service, lines, out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        return served, responses
+
+    def test_requests_answered_in_submission_order(self, fast_config):
+        lines = [
+            '{"id": "a", "block": "add rcx, rax; mov rdx, rcx; pop rbx", "seed": 0}',
+            "",  # blank lines are skipped
+            '{"id": "b", "block": "div rcx", "seed": 1}',
+            "xor edx, edx; div rcx",
+        ]
+        served, responses = self._serve(lines, fast_config)
+        assert served == 3
+        assert [r["id"] for r in responses] == ["a", "b", None]
+        for response in responses:
+            assert response["status"] == "done"
+            assert len(response["explanations"]) == 1
+            assert response["model"] == "crude"
+
+    def test_explanations_serialize_the_result_payload(self, fast_config):
+        _, responses = self._serve(['{"block": "div rcx", "seed": 3}'], fast_config)
+        explanation = responses[0]["explanations"][0]
+        assert explanation["block"] == ["div rcx"]
+        assert "precision" in explanation and "coverage" in explanation
+        assert isinstance(explanation["features"], list)
+
+    def test_bad_lines_fail_in_band_and_stream_continues(self, fast_config):
+        lines = [
+            "{broken json",
+            '{"id": "x", "seed": 2}',  # no block
+            '{"id": "y", "block": "not actual asm ???"}',  # parse failure
+            '{"id": "ok", "block": "div rcx"}',
+        ]
+        served, responses = self._serve(lines, fast_config)
+        assert served == 1
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[None]["status"] == "failed"  # broken json
+        assert by_id["x"]["status"] == "failed"
+        assert "block" in by_id["x"]["error"]
+        assert by_id["y"]["status"] == "failed"
+        assert "cannot parse" in by_id["y"]["error"]
+        assert by_id["ok"]["status"] == "done"
+
+    def test_multi_block_request_roundtrip(self, fast_config):
+        lines = ['{"id": "fleet", "blocks": ["div rcx", "add rax, rbx"], "seed": 2}']
+        served, responses = self._serve(lines, fast_config)
+        assert served == 1
+        assert len(responses[0]["explanations"]) == 2
+
+
+class TestServeCli:
+    def test_serve_subcommand_reads_request_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"id": "r1", "block": "add rcx, rax; mov rdx, rcx; pop rbx"}\n'
+            "div rcx; add rax, rbx\n"
+        )
+        code = main(
+            [
+                "serve",
+                "--model",
+                "crude",
+                "--requests",
+                str(requests),
+                "--coverage-samples",
+                "80",
+                "--max-precision-samples",
+                "40",
+                "--max-queue",
+                "4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["id"] for r in responses] == ["r1", None]
+        assert all(r["status"] == "done" for r in responses)
+        assert "served 2 requests" in captured.err
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.max_queue == 64
+        assert args.max_sessions == 4
+        assert args.requests is None
+        assert args.backend == "serial"

@@ -1,0 +1,306 @@
+"""Tests for the warm-session explanation service: lifecycle, queueing,
+session pooling and request semantics.
+
+Tests that inject toy (lambda-backed) models via ``session_factory`` pin the
+session backend to ``serial`` explicitly — lambdas cannot cross a process
+boundary, and the suite must pass under ``REPRO_BACKEND=process`` (CI runs
+it that way).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bb.block import BasicBlock
+from repro.models.base import CachedCostModel, CallableCostModel
+from repro.runtime.session import ExplanationSession
+from repro.service import ExplanationRequest, ExplanationService, RequestStatus
+from repro.utils.errors import (
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
+
+from tests.conftest import FAST_CONFIG
+
+
+def _toy_factory(fast_config, *, gate: "threading.Event" = None, built=None):
+    """A session factory over a cheap in-process model.
+
+    ``gate``, when given, makes every prediction wait — the dispatcher then
+    blocks mid-request, which is how the queueing tests create a backlog.
+    ``built`` collects one entry per factory call, for session-reuse tests.
+    """
+
+    def predict(block):
+        if gate is not None:
+            gate.wait(timeout=30)
+        return float(block.num_instructions)
+
+    def factory(model_name, uarch):
+        if built is not None:
+            built.append((model_name, uarch))
+        model = CachedCostModel(CallableCostModel(predict, name=model_name))
+        return ExplanationSession(model, fast_config, backend="serial")
+
+    return factory
+
+
+@pytest.fixture
+def service(fast_config):
+    instance = ExplanationService(
+        config=fast_config, session_factory=_toy_factory(fast_config)
+    )
+    yield instance
+    instance.close()
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, service):
+        assert service.start() is service
+        first = service._dispatcher
+        service.start()
+        assert service._dispatcher is first
+
+    def test_close_is_idempotent(self, service):
+        service.start()
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_close_without_start_is_fine(self, fast_config):
+        instance = ExplanationService(config=fast_config)
+        instance.close()
+        assert instance.closed
+
+    def test_drain_on_idle_service_returns_immediately(self, service):
+        assert service.drain(timeout=1.0)
+
+    def test_submit_after_close_rejected(self, service, tiny_block):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(tiny_block)
+
+    def test_start_after_close_rejected(self, service):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.start()
+
+    def test_context_manager_closes(self, fast_config, tiny_block):
+        with ExplanationService(
+            config=fast_config, session_factory=_toy_factory(fast_config)
+        ) as instance:
+            instance.explain(tiny_block)
+        assert instance.closed
+
+    def test_close_drains_queued_requests(self, fast_config, tiny_block):
+        instance = ExplanationService(
+            config=fast_config, session_factory=_toy_factory(fast_config)
+        )
+        ids = [instance.submit(tiny_block, seed=seed) for seed in range(4)]
+        instance.close()  # drain=True default: everything finishes first
+        assert instance.stats().served == 4
+        for request_id in ids:
+            assert instance.result(request_id, timeout=1.0).ok
+
+    def test_close_without_drain_cancels_queued(self, fast_config, tiny_block):
+        gate = threading.Event()
+        instance = ExplanationService(
+            config=fast_config,
+            session_factory=_toy_factory(fast_config, gate=gate),
+        )
+        first = instance.submit(tiny_block, seed=0)
+        backlog = [instance.submit(tiny_block, seed=s) for s in (1, 2)]
+        # Wait for the dispatcher to pick the first request up, then let it
+        # finish while the backlog is cancelled.
+        while instance.poll(first) is RequestStatus.QUEUED:
+            time.sleep(0.005)
+        gate.set()
+        instance.close(drain=False)
+        assert instance.result(first, timeout=5.0).ok
+        for request_id in backlog:
+            result = instance.result(request_id, timeout=1.0)
+            assert result.status is RequestStatus.CANCELLED
+            assert not result.ok
+        stats = instance.stats()
+        assert stats.cancelled == 2
+
+    def test_close_closes_sessions_and_backends(self, fast_config, tiny_block):
+        sessions = []
+
+        def factory(model_name, uarch):
+            session = ExplanationSession(
+                CachedCostModel(CallableCostModel(lambda b: 1.0)),
+                fast_config,
+                backend="thread",
+                workers=2,
+            )
+            sessions.append(session)
+            return session
+
+        with ExplanationService(config=fast_config, session_factory=factory) as svc:
+            svc.explain(tiny_block)
+            backend = sessions[0].backend
+            assert not backend.closed
+        assert sessions[0].closed
+        assert backend.closed
+
+
+class TestQueueing:
+    def test_invalid_bounds_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            ExplanationService(config=fast_config, max_queue=0)
+        with pytest.raises(ValueError):
+            ExplanationService(config=fast_config, max_sessions=0)
+
+    def test_bounded_queue_backpressure(self, fast_config, tiny_block):
+        gate = threading.Event()
+        instance = ExplanationService(
+            config=fast_config,
+            max_queue=1,
+            session_factory=_toy_factory(fast_config, gate=gate),
+        )
+        try:
+            first = instance.submit(tiny_block, seed=0)
+            # Dispatcher is now blocked on the gate; fill the 1-slot queue.
+            while instance.poll(first) is RequestStatus.QUEUED:
+                time.sleep(0.005)
+            instance.submit(tiny_block, seed=1)
+            with pytest.raises(QueueFullError):
+                instance.submit(tiny_block, seed=2, block=False)
+            with pytest.raises(QueueFullError):
+                instance.submit(tiny_block, seed=3, timeout=0.05)
+        finally:
+            gate.set()
+            instance.close()
+        # The rejected submissions left no tickets behind.
+        assert instance.stats().submitted == 2
+        assert instance.stats().served == 2
+
+    def test_blocking_submit_waits_for_room(self, fast_config, tiny_block):
+        gate = threading.Event()
+        instance = ExplanationService(
+            config=fast_config,
+            max_queue=1,
+            session_factory=_toy_factory(fast_config, gate=gate),
+        )
+        try:
+            instance.submit(tiny_block, seed=0)
+            releaser = threading.Timer(0.1, gate.set)
+            releaser.start()
+            # Blocks until the gate opens the pipeline, then succeeds.
+            second = instance.submit(tiny_block, seed=1, timeout=10.0)
+            assert instance.result(second, timeout=10.0).ok
+        finally:
+            gate.set()
+            instance.close()
+
+
+class TestRequestSemantics:
+    def test_submit_poll_result_roundtrip(self, service, tiny_block):
+        request_id = service.submit(tiny_block, seed=3)
+        result = service.result(request_id, timeout=10.0)
+        assert result.ok
+        assert result.request_id == request_id
+        assert len(result.explanations) == 1
+        assert result.seconds >= 0.0
+
+    def test_result_consumes_the_ticket(self, service, tiny_block):
+        request_id = service.submit(tiny_block)
+        service.result(request_id, timeout=10.0)
+        with pytest.raises(ServiceError):
+            service.poll(request_id)
+        with pytest.raises(ServiceError):
+            service.result(request_id)
+
+    def test_poll_unknown_id_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.poll("req-nope")
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(ServiceError):
+            ExplanationRequest(blocks=())
+
+    def test_failed_request_reported_in_band(self, fast_config):
+        block = BasicBlock.from_text("div rcx")
+        # The default (registry) factory actually validates model names.
+        with ExplanationService(config=fast_config) as instance:
+            request_id = instance.submit(block, model="no-such-model")
+            result = instance.result(request_id, timeout=10.0)
+            assert result.status is RequestStatus.FAILED
+            assert "unknown cost model" in result.error
+            assert not result.ok
+            with pytest.raises(ServiceError):
+                # The synchronous wrapper surfaces the failure as an exception.
+                instance.explain(block, model="no-such-model")
+            # The service keeps serving after a failure.
+            assert len(instance.explain(block)) == 1
+
+    def test_multi_block_request(self, service, tiny_blocks):
+        explanations = service.explain(tiny_blocks, seed=5)
+        assert len(explanations) == len(tiny_blocks)
+
+    def test_prepared_request_objects_accepted(self, service, tiny_blocks):
+        request = ExplanationRequest(blocks=tuple(tiny_blocks), seed=2)
+        request_id = service.submit(request)
+        assert service.result(request_id, timeout=30.0).ok
+
+
+class TestSessionPooling:
+    def test_same_model_reuses_one_session(self, fast_config, tiny_block):
+        built = []
+        with ExplanationService(
+            config=fast_config, session_factory=_toy_factory(fast_config, built=built)
+        ) as instance:
+            for seed in range(3):
+                instance.explain(tiny_block, seed=seed)
+            stats = instance.stats()
+        assert built == [("crude", "hsw")]
+        assert stats.sessions == (("crude", "hsw"),)
+        assert stats.session_stats[("crude", "hsw")].explanations == 3
+
+    def test_distinct_models_get_distinct_sessions(self, fast_config, tiny_block):
+        built = []
+        with ExplanationService(
+            config=fast_config, session_factory=_toy_factory(fast_config, built=built)
+        ) as instance:
+            instance.explain(tiny_block, model="crude")
+            instance.explain(tiny_block, model="uica")
+            instance.explain(tiny_block, model="crude", uarch="skl")
+        assert sorted(built) == [("crude", "hsw"), ("crude", "skl"), ("uica", "hsw")]
+
+    def test_lru_session_evicted_and_closed(self, fast_config, tiny_block):
+        built = []
+        with ExplanationService(
+            config=fast_config,
+            max_sessions=1,
+            session_factory=_toy_factory(fast_config, built=built),
+        ) as instance:
+            instance.explain(tiny_block, model="a")
+            first = instance._sessions[("a", "hsw")]
+            instance.explain(tiny_block, model="b")
+            assert first.closed
+            assert list(instance._sessions) == [("b", "hsw")]
+        assert built == [("a", "hsw"), ("b", "hsw")]
+
+    def test_stats_describe(self, service, tiny_block):
+        service.explain(tiny_block)
+        description = service.stats().describe()
+        assert "1/1 requests served" in description
+        assert "1 warm sessions" in description
+
+
+class TestRegistryIntegration:
+    def test_default_factory_builds_registry_models(self, fast_config, tiny_block):
+        with ExplanationService(model="crude", config=fast_config) as instance:
+            explanations = instance.explain(tiny_block, seed=0)
+        assert len(explanations) == 1
+        assert explanations[0].model_name == "crude-analytical-hsw"
+
+    def test_unknown_default_model_fails_per_request(self, fast_config, tiny_block):
+        with ExplanationService(model="nonsense", config=fast_config) as instance:
+            request_id = instance.submit(tiny_block)
+            result = instance.result(request_id, timeout=10.0)
+        assert result.status is RequestStatus.FAILED
+        assert "unknown cost model" in result.error
