@@ -87,6 +87,9 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--skip-service", action="store_true", help="skip the service benchmark"
     )
     parser.add_argument(
+        "--skip-socket", action="store_true", help="skip the socket-transport benchmark"
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_query_engine.json"),
         help="where to write the JSON report",
@@ -274,6 +277,60 @@ def run_service_bench(args, blocks) -> dict:
     }
 
 
+def run_socket_bench(args, blocks) -> dict:
+    """TCP transport overhead: the same warm stream, in-process vs socket.
+
+    Both runs drive one warm :class:`ExplanationService` with an identical
+    pipelined request stream (submit everything, then collect); the socket
+    run adds a loopback TCP hop, JSON serialisation of the responses and
+    the per-connection reader/writer threads.  The *cheap* analytical model
+    is used on purpose — under a simulator model the per-request compute
+    hides the transport entirely, and this section exists to measure the
+    transport.  Results are bit-identical on both paths (same service
+    semantics), so the delta is pure wire overhead.
+    """
+    from repro.service import ExplanationService, ServiceClient, SocketServer
+
+    config = explainer_config(batched=True)
+    stream = [
+        (block, args.seed)
+        for _repeat in range(args.service_repeats)
+        for block in blocks
+    ]
+
+    with ExplanationService(
+        model="crude", uarch=args.microarch, config=config, max_queue=len(stream)
+    ) as service:
+        start = time.perf_counter()
+        ids = [service.submit(block, seed=seed) for block, seed in stream]
+        for request_id in ids:
+            service.result(request_id)
+        direct_elapsed = time.perf_counter() - start
+
+    with ExplanationService(
+        model="crude", uarch=args.microarch, config=config, max_queue=len(stream)
+    ) as service:
+        with SocketServer(service, port=0) as server:
+            with ServiceClient(*server.address, timeout=600) as client:
+                start = time.perf_counter()
+                ids = [client.submit(block, seed=seed) for block, seed in stream]
+                for request_id in ids:
+                    client.result(request_id)
+                socket_elapsed = time.perf_counter() - start
+
+    overhead_ms = (socket_elapsed - direct_elapsed) * 1000.0 / len(stream)
+    return {
+        "model": "crude",
+        "requests": len(stream),
+        "direct_seconds": round(direct_elapsed, 4),
+        "direct_requests_per_sec": round(len(stream) / direct_elapsed, 4),
+        "socket_seconds": round(socket_elapsed, 4),
+        "socket_requests_per_sec": round(len(stream) / socket_elapsed, 4),
+        "socket_overhead_ms_per_request": round(overhead_ms, 3),
+        "socket_vs_direct": round(socket_elapsed / direct_elapsed, 3),
+    }
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     if args.quick:
@@ -319,6 +376,11 @@ def main(argv=None) -> int:
         service = run_service_bench(args, blocks[: args.matrix_blocks])
         report["service"] = service
 
+    socket_bench = None
+    if not args.skip_socket:
+        socket_bench = run_socket_bench(args, blocks[: args.matrix_blocks])
+        report["service_socket"] = socket_bench
+
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -360,6 +422,23 @@ def main(argv=None) -> int:
             f"{service['cold_requests_per_sec']:7.3f} req/s"
         )
         print(f"  warm vs cold: {service['warm_vs_cold_speedup']:.2f}x requests/sec")
+    if socket_bench is not None:
+        print(
+            f"socket transport — {socket_bench['requests']} requests on "
+            f"model={socket_bench['model']}"
+        )
+        print(
+            f"      direct: {socket_bench['direct_seconds']:7.2f}s  "
+            f"{socket_bench['direct_requests_per_sec']:7.3f} req/s"
+        )
+        print(
+            f"      socket: {socket_bench['socket_seconds']:7.2f}s  "
+            f"{socket_bench['socket_requests_per_sec']:7.3f} req/s"
+        )
+        print(
+            f"  overhead: {socket_bench['socket_overhead_ms_per_request']:.2f} ms/request "
+            f"({socket_bench['socket_vs_direct']:.3f}x elapsed)"
+        )
     print(f"  report written to {output}")
     return 0
 

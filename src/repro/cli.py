@@ -10,6 +10,7 @@ The CLI exposes the public API for quick, scriptable use::
     python -m repro optimize --model uica  --block-file block.s --steps 40
     python -m repro dataset  --size 200 --output dataset.json
     python -m repro serve    --model uica  --backend process --max-queue 128
+    python -m repro serve    --model crude --port 7421 --max-connections 16
 
 Blocks can be passed inline with ``--block`` (instructions separated by ``;``
 or newlines) or from a file with ``--block-file``.  The neural model is
@@ -173,6 +174,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         max_sessions=args.max_sessions,
     )
+    if args.port is not None:
+        if args.requests:
+            service.close()
+            raise ReproError(
+                "--requests reads a batch from a file and --port serves TCP; "
+                "use one or the other"
+            )
+        return _serve_socket(args, service)
     if args.requests:
         source = Path(args.requests).read_text().splitlines()
     else:
@@ -183,6 +192,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         service.close()
     print(f"served {served} requests — {stats.describe()}", file=sys.stderr)
+    return 0
+
+
+def _serve_socket(args: argparse.Namespace, service) -> int:
+    """Run the TCP front-end until SIGTERM/SIGINT, then drain gracefully."""
+    import signal
+    import threading
+
+    from repro.service import SocketServer
+
+    server = SocketServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+    )
+    shutdown_requested = threading.Event()
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001 - signal signature
+        # Signal handlers must stay tiny: flag only; the actual drain
+        # (joining connection threads, flushing responses) runs on the main
+        # thread below.
+        shutdown_requested.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_shutdown)
+    try:
+        host, port = server.start()
+        print(f"serving on {host}:{port} (ctrl-c or SIGTERM drains)", file=sys.stderr)
+        shutdown_requested.wait()
+        server.close(drain=True)
+        stats = service.stats()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        service.close()
+    print(f"drained — {stats.describe()}", file=sys.stderr)
     return 0
 
 
@@ -295,6 +343,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests",
         help="read request lines from this file instead of stdin "
         "(one JSON object or block text per line)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve the JSON-lines protocol over TCP on this port instead of "
+        "stdin/stdout (0 picks an ephemeral port; printed to stderr)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port (default: loopback only)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=8,
+        help="concurrent TCP client cap for --port; extra connections get an "
+        "in-band error and are closed",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="seconds a TCP connection may idle (no traffic, no response "
+        "owed) before the server hangs up (default: never)",
     )
     serve.set_defaults(func=_cmd_serve)
 

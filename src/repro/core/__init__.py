@@ -30,12 +30,14 @@ from repro.runtime.backend import (
     resolve_backend,
 )
 from repro.runtime.session import ExplanationSession, SessionStats
+from repro.service.client import ServiceClient
 from repro.service.core import (
     ExplanationRequest,
     ExplanationService,
     RequestStatus,
     ServiceResult,
 )
+from repro.service.transport import SocketServer
 
 __all__ = [
     "BasicBlock",
@@ -70,4 +72,6 @@ __all__ = [
     "ExplanationRequest",
     "ServiceResult",
     "RequestStatus",
+    "ServiceClient",
+    "SocketServer",
 ]

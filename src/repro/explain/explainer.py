@@ -109,7 +109,7 @@ class CometExplainer:
         blocks: Sequence[BasicBlock],
         rng: RandomSource = None,
         *,
-        shards: Union[int, str, None] = None,
+        shards: Union[int, str, None] = "auto",
     ) -> List[Explanation]:
         """Explain several blocks with independent random streams.
 
@@ -120,8 +120,9 @@ class CometExplainer:
         distinct blocks are bit-for-bit the explanations :meth:`explain`
         would have produced one at a time.
 
-        ``shards`` opts into block-level parallelism (``"auto"`` = one shard
-        per backend worker) on top of the query-level
+        ``shards`` controls block-level parallelism (``"auto"``, the default,
+        = one shard per backend worker, hence sequential on the serial
+        backend; ``None`` forces the sequential loop) on top of the query-level
         batching: the fleet is partitioned across the backend's workers, each
         shard runs full anchor searches, and results merge back in input
         order, seeded-deterministic (see

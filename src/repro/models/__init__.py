@@ -17,6 +17,7 @@ from repro.models.base import (
     CostModel,
     CachedCostModel,
     QueryCounter,
+    QueryTally,
     CallableCostModel,
 )
 from repro.models.analytical import (
@@ -40,6 +41,7 @@ __all__ = [
     "CostModel",
     "CachedCostModel",
     "QueryCounter",
+    "QueryTally",
     "CallableCostModel",
     "AnalyticalCostModel",
     "ground_truth_explanations",

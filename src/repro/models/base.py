@@ -20,6 +20,7 @@ import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.bb.block import BasicBlock
@@ -28,6 +29,39 @@ from repro.uarch.microarch import MicroArchitecture, get_microarch
 from repro.utils.errors import ModelError
 
 _MISSING = object()
+
+
+@dataclass(frozen=True)
+class QueryTally:
+    """A snapshot of one thread's query accounting on one model.
+
+    ``queries`` counts inner-model evaluations; ``hits``/``misses`` are the
+    cache-lookup split (always zero for uncached models).  Snapshots are
+    per-thread, so deltas taken around a piece of work measure exactly that
+    work even while other threads hammer the same shared model — which is
+    what makes per-explanation ``num_queries`` exact under block sharding.
+    """
+
+    queries: int
+    hits: int = 0
+    misses: int = 0
+
+    def delta(self, since: "QueryTally") -> "QueryTally":
+        """The accounting accrued between ``since`` and this snapshot."""
+        return QueryTally(
+            queries=self.queries - since.queries,
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+        )
+
+
+class _ThreadTallies(threading.local):
+    """Per-thread query/hit/miss accumulators (zero-initialised per thread)."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.hits = 0
+        self.misses = 0
 
 
 class CostModel(ABC):
@@ -39,6 +73,12 @@ class CostModel(ABC):
     def __init__(self, microarch="hsw") -> None:
         self.microarch: MicroArchitecture = get_microarch(microarch)
         self.query_count = 0
+        # Counter updates must be exact under concurrent callers (block
+        # sharding runs shard threads against one shared model): the lock
+        # makes the global totals lost-update-free, and the thread-local
+        # tallies give each caller an interference-free per-request view.
+        self._tally_lock = threading.Lock()
+        self._thread_tallies = _ThreadTallies()
         #: Number of workers :meth:`_fanout_predict_batch` may use when no
         #: explicit backend is installed; ``0``/``1`` keeps batch prediction
         #: sequential.  Simulator-style models expose this knob in their
@@ -145,11 +185,39 @@ class CostModel(ABC):
     def __getstate__(self) -> dict:
         # Backends hold live pools and must not travel with the model (the
         # process backend pickles models into its workers; a worker-side
-        # model predicts in-process).
+        # model predicts in-process).  Locks and thread-locals do not pickle;
+        # they are rebuilt fresh on the receiving side.
         state = dict(self.__dict__)
         state["_backend"] = None
         state["_owns_backend"] = False
+        state["_tally_lock"] = None
+        state["_thread_tallies"] = None
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tally_lock = threading.Lock()
+        self._thread_tallies = _ThreadTallies()
+
+    # ------------------------------------------------------ query accounting
+
+    def _count_queries(self, count: int) -> None:
+        """Record ``count`` inner-model evaluations, exactly.
+
+        The global total is updated under the tally lock (concurrent shard
+        threads must not lose updates); the calling thread's tally needs no
+        lock because only that thread touches it.
+        """
+        with self._tally_lock:
+            self.query_count += count
+        self._thread_tallies.queries += count
+
+    def query_tally(self) -> QueryTally:
+        """The calling thread's accounting snapshot (see :class:`QueryTally`)."""
+        tallies = self._thread_tallies
+        return QueryTally(
+            queries=tallies.queries, hits=tallies.hits, misses=tallies.misses
+        )
 
     def predict(self, block: BasicBlock) -> float:
         """Predicted throughput of ``block`` in cycles per iteration.
@@ -157,7 +225,7 @@ class CostModel(ABC):
         Increments the query counter; COMET's evaluation reports how many
         queries an explanation required.
         """
-        self.query_count += 1
+        self._count_queries(1)
         value = float(self._predict(block))
         if not value >= 0.0:
             raise ModelError(
@@ -174,7 +242,7 @@ class CostModel(ABC):
         blocks = list(blocks)
         if not blocks:
             return []
-        self.query_count += len(blocks)
+        self._count_queries(len(blocks))
         values = [float(v) for v in self._predict_batch(blocks)]
         if len(values) != len(blocks):
             raise ModelError(
@@ -228,7 +296,10 @@ class CachedCostModel(CostModel):
 
     Query accounting: :attr:`query_count` reflects *inner-model* work only —
     cache hits are free, so :class:`QueryCounter` reports how many real model
-    evaluations a piece of code cost.
+    evaluations a piece of code cost.  Global totals are exact under
+    concurrent callers (lock-protected), and every counting site also feeds
+    the calling thread's :meth:`~CostModel.query_tally` so per-request
+    deltas are interference-free under block sharding.
     """
 
     def __init__(self, inner: CostModel, max_entries: int = 100_000) -> None:
@@ -254,7 +325,7 @@ class CachedCostModel(CostModel):
         return state
 
     def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
+        super().__setstate__(state)
         self._cache_lock = threading.Lock()
 
     @property
@@ -296,13 +367,17 @@ class CachedCostModel(CostModel):
 
     def predict(self, block: BasicBlock) -> float:
         key = block.key()
+        tallies = self._thread_tallies
         with self._cache_lock:
             value = self._lookup(key)
             if value is not _MISSING:
                 self.hits += 1
+                tallies.hits += 1
                 return value
             self.misses += 1
             self.query_count += 1
+            tallies.misses += 1
+            tallies.queries += 1
         value = self.inner.predict(block)
         with self._cache_lock:
             self._store(key, value)
@@ -325,24 +400,29 @@ class CachedCostModel(CostModel):
         miss_order: List[tuple] = []
         miss_blocks: List[BasicBlock] = []
         pending: Dict[tuple, List[int]] = {}
+        tallies = self._thread_tallies
         with self._cache_lock:
             for position, (block, key) in enumerate(zip(blocks, keys)):
                 if key in pending:
                     # Duplicate of a block already being queried in this batch.
                     self.hits += 1
+                    tallies.hits += 1
                     pending[key].append(position)
                     continue
                 value = self._lookup(key)
                 if value is not _MISSING:
                     self.hits += 1
+                    tallies.hits += 1
                     results[position] = value
                     continue
                 self.misses += 1
+                tallies.misses += 1
                 pending[key] = [position]
                 miss_order.append(key)
                 miss_blocks.append(block)
             if miss_blocks:
                 self.query_count += len(miss_blocks)
+                tallies.queries += len(miss_blocks)
         if miss_blocks:
             values = self.inner.predict_batch(miss_blocks)
             with self._cache_lock:
@@ -360,16 +440,29 @@ class CachedCostModel(CostModel):
 
 
 class QueryCounter:
-    """Context manager measuring how many queries a piece of code issued."""
+    """Context manager measuring how many queries a piece of code issued.
+
+    The measurement is scoped to the *calling thread* (via
+    :meth:`CostModel.query_tally`), so a search running on one shard thread
+    counts exactly its own queries even while other shards hammer the same
+    shared model — this is what makes per-explanation ``num_queries``
+    identical between the sequential loop and sharded ``explain_many``.
+    ``hits``/``misses`` carry the cache-lookup split for cached models.
+    """
 
     def __init__(self, model: CostModel) -> None:
         self.model = model
-        self.start = 0
+        self.start = QueryTally(0)
         self.queries = 0
+        self.hits = 0
+        self.misses = 0
 
     def __enter__(self) -> "QueryCounter":
-        self.start = self.model.query_count
+        self.start = self.model.query_tally()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.queries = self.model.query_count - self.start
+        delta = self.model.query_tally().delta(self.start)
+        self.queries = delta.queries
+        self.hits = delta.hits
+        self.misses = delta.misses

@@ -484,6 +484,13 @@ class BlockPerturber:
                 root = str(payload)
                 if root in constraints.roots_locked_at(endpoint):
                     continue
+                if endpoint in constraints.locked_memory and self._memory_uses_root(
+                    instruction, root
+                ):
+                    # Renaming would rewrite the base/index of a memory
+                    # operand pinned by a preserved memory dependency,
+                    # silently moving the preserved address.
+                    continue
                 target_register = self._find_register_with_root(instruction, root)
                 if target_register is None:
                     continue
@@ -641,6 +648,15 @@ class BlockPerturber:
                 root = str(payload)
                 if root in constraints.roots_locked_at(endpoint):
                     continue
+                if endpoint in constraints.locked_memory and self._memory_uses_root(
+                    instruction, root
+                ):
+                    # A preserved memory dependency pins this instruction's
+                    # memory operand; renaming a register that operand
+                    # addresses through (base or index) would move the
+                    # preserved address even though the displacement is
+                    # untouched.  Treat the endpoint as locked for this root.
+                    continue
                 target_register = self._find_register_with_root(instruction, root)
                 if target_register is None:
                     continue
@@ -678,6 +694,14 @@ class BlockPerturber:
                 position = instruction.operands.index(memory)
                 working[endpoint] = instruction.with_operand(position, new_memory)
                 return endpoint
+
+    @staticmethod
+    def _memory_uses_root(instruction: Instruction, root: str) -> bool:
+        """Whether the instruction's memory operand addresses through ``root``."""
+        memory = instruction.memory_operand()
+        if memory is None:
+            return False
+        return any(reg.root == root for reg in memory.registers_read())
 
     @staticmethod
     def _find_register_with_root(instruction: Instruction, root: str):

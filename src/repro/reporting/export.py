@@ -58,6 +58,8 @@ def explanation_to_dict(explanation: Explanation) -> Dict[str, object]:
         "coverage": explanation.coverage,
         "meets_threshold": explanation.meets_threshold,
         "num_queries": explanation.num_queries,
+        "precision_samples": explanation.precision_samples,
+        "candidates_evaluated": explanation.candidates_evaluated,
         "features": [feature_to_dict(feature) for feature in explanation.features],
     }
 

@@ -247,7 +247,7 @@ class ExplanationSession:
         blocks: Sequence[BasicBlock],
         rng: RandomSource = None,
         *,
-        shards: Union[int, str, None] = None,
+        shards: Union[int, str, None] = "auto",
     ) -> List[Explanation]:
         """Explain a whole dataset with independent per-block random streams.
 
@@ -255,26 +255,30 @@ class ExplanationSession:
         moving a fleet onto a session changes where the work runs and what is
         shared — never which random numbers each block's search consumes.
 
-        ``shards`` opts into block-level parallelism on top of the
+        ``shards`` controls the block-level parallelism layered on top of the
         query-level batching: the fleet is partitioned into that many shards,
         each shard runs its full anchor searches on one backend worker, and
-        the results are merged back in input order.  ``"auto"`` sizes the
-        shard count to the backend's workers; an explicit count pins it;
-        ``None``/``0``/``1`` (the default) keep the sequential loop.
+        the results are merged back in input order.  ``"auto"`` (the default)
+        sizes the shard count to the backend's workers — on the serial
+        backend that is 1, so fleets stay sequential until a parallel
+        backend is selected; an explicit count pins it; ``None``/``0``/``1``
+        force the sequential loop.
         Sharding is seeded-deterministic and result-identical to the unsharded
         path for a fresh run: all occurrences of one block key are routed to
         the same shard in their original order, so population-record
         first-fill/reuse happens exactly where the serial loop would have,
-        and every block consumes only its own spawned stream.  Two caveats,
-        both deterministic: records are scoped to the call (a sharded call
+        and every block consumes only its own spawned stream.  Per-explanation
+        ``num_queries`` matches the sequential loop too: searches measure
+        their queries through thread-scoped tallies
+        (:meth:`~repro.models.base.CostModel.query_tally`), so concurrent
+        shards cannot pollute each other's counts (exact as long as distinct
+        block keys do not collide in the query cache, which key-grouped
+        sharding makes the overwhelmingly common case).  Two caveats, both
+        deterministic: records are scoped to the call (a sharded call
         neither sees nor feeds the session's cross-call record cache), and
         parity with the serial loop is exact as long as the fleet's distinct
         blocks fit ``max_population_records`` — under eviction pressure the
-        serial loop redraws where shard-local records reuse.  Sharding is
-        opt-in because the per-explanation ``num_queries`` accounting is
-        substrate-dependent under it (concurrent shards interleave their
-        updates of the shared counter; process shards count against fresh
-        worker-side caches).
+        serial loop redraws where shard-local records reuse.
         """
         self._check_open()
         blocks = list(blocks)

@@ -10,9 +10,15 @@ against it with submit/poll/result semantics, a bounded request queue for
 backpressure, and a graceful shutdown that drains in-flight work before the
 backends are released.
 
+The JSON-lines wire protocol (:mod:`repro.service.protocol`) is spoken over
+two transports: stdin/stdout (``repro serve``, the default) and TCP
+(:class:`~repro.service.transport.SocketServer` behind ``repro serve
+--port``, driven by :class:`~repro.service.client.ServiceClient`).
+
 See ``docs/architecture.md`` ("The service layer") for the ownership rules.
 """
 
+from repro.service.client import ServiceClient
 from repro.service.core import (
     ExplanationRequest,
     ExplanationService,
@@ -26,13 +32,16 @@ from repro.service.protocol import (
     result_to_dict,
     serve_stream,
 )
+from repro.service.transport import SocketServer
 
 __all__ = [
     "ExplanationRequest",
     "ExplanationService",
     "RequestStatus",
+    "ServiceClient",
     "ServiceResult",
     "ServiceStats",
+    "SocketServer",
     "request_from_dict",
     "request_from_line",
     "result_to_dict",

@@ -1,0 +1,322 @@
+"""A small TCP client for the explanation service's JSON-lines protocol.
+
+:class:`ServiceClient` is the caller-side counterpart of
+:class:`~repro.service.transport.SocketServer`: connect, submit requests
+(each tagged with a generated correlation id), poll or block for the
+responses, all over one socket.  Results arrive as the decoded JSON response
+objects of the wire protocol — ``status``/``explanations``/``error`` — not
+as live :class:`~repro.explain.explanation.Explanation` objects; the client
+is deliberately transport-thin so tests and benchmarks measure the wire, not
+a reconstruction layer.
+
+A background reader thread routes each response line to its submitter by
+correlation id, so several threads may share one client (submissions are
+serialised on a send lock) and slow requests never block the collection of
+fast ones::
+
+    with ServiceClient(host, port) as client:
+        request_id = client.submit("div rcx; add rax, rbx", seed=7)
+        response = client.result(request_id, timeout=60)
+        assert response["status"] == "done"
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.bb.block import BasicBlock
+from repro.utils.errors import ServiceError
+
+#: Anything accepted as the blocks of one request: inline text (instructions
+#: separated by ``;`` or newlines), a parsed block, or a sequence of either.
+BlockSource = Union[str, BasicBlock, Sequence[Union[str, BasicBlock]]]
+
+_UNSET = object()
+
+
+def _block_text(block: Union[str, BasicBlock]) -> str:
+    return block.text if isinstance(block, BasicBlock) else str(block)
+
+
+class ServiceClient:
+    """Drive a :class:`~repro.service.transport.SocketServer` over TCP.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bound address (``SocketServer.address``).
+    timeout:
+        Default number of seconds :meth:`result` waits before raising
+        (``None`` = wait forever); each call may override it.
+    connect_timeout:
+        Bound on the TCP connect itself.
+
+    The client is a context manager; :meth:`close` is idempotent and safe
+    while requests are outstanding (their :meth:`result` calls raise
+    :class:`~repro.utils.errors.ServiceError` instead of hanging).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._responses: Dict[str, dict] = {}
+        self._events: Dict[str, threading.Event] = {}
+        #: Outstanding request ids in submission order.  The server answers
+        #: each connection strictly in submission order, so an *id-less*
+        #: response (e.g. the in-band error for a line the server discarded
+        #: as oversized before it could read our id) is attributable to the
+        #: oldest outstanding request — without this, its waiter would hang.
+        self._order: "deque[str]" = deque()
+        #: Responses that matched no outstanding request (e.g. a capacity
+        #: refusal arriving before anything was submitted).
+        self.unmatched: List[dict] = []
+        self._closed = False
+        self._connection_error: Optional[str] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def connect(self) -> "ServiceClient":
+        """Open the socket and start the response reader.  Idempotent."""
+        if self._sock is not None:
+            return self
+        if self._closed:
+            raise ServiceError("this service client has been closed")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        # The reader blocks on recv as long as the connection lives; result()
+        # timeouts are enforced on the waiting side, not the socket.
+        self._sock.settimeout(None)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-client-reader", daemon=True
+        )
+        self._reader.start()
+        return self
+
+    def close(self) -> None:
+        """Close the socket and fail any still-waiting :meth:`result` calls."""
+        self._closed = True
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._reader is not None:
+            self._reader.join(5.0)
+        self._fail_waiters("client closed")
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        blocks: BlockSource,
+        *,
+        seed: int = 0,
+        model: Optional[str] = None,
+        uarch: Optional[str] = None,
+        shards=_UNSET,
+    ) -> str:
+        """Send one request; returns the correlation id to collect with.
+
+        ``model``/``uarch`` default to the server's configured model;
+        ``shards`` is sent only when given (the server's fleet default,
+        ``"auto"``, applies otherwise — pass ``None`` explicitly to force
+        the sequential loop).
+        """
+        self.connect()
+        request_id = f"c{next(self._ids)}"
+        payload: Dict[str, object] = {"id": request_id, "seed": int(seed)}
+        if isinstance(blocks, (str, BasicBlock)):
+            payload["block"] = _block_text(blocks)
+        else:
+            payload["blocks"] = [_block_text(block) for block in blocks]
+        if model is not None:
+            payload["model"] = model
+        if uarch is not None:
+            payload["uarch"] = uarch
+        if shards is not _UNSET:
+            payload["shards"] = shards
+        with self._lock:
+            if self._connection_error:
+                raise ServiceError(
+                    f"connection to {self.host}:{self.port} is gone: "
+                    f"{self._connection_error}"
+                )
+            # Snapshot under the lock: a concurrent close() swaps _sock to
+            # None, and this path must degrade to ServiceError, not crash.
+            sock = self._sock
+            if sock is None:
+                raise ServiceError("this service client has been closed")
+            self._events[request_id] = threading.Event()
+            self._order.append(request_id)
+        line = json.dumps(payload) + "\n"
+        try:
+            with self._send_lock:
+                sock.sendall(line.encode("utf-8"))
+        except OSError as error:
+            with self._lock:
+                self._events.pop(request_id, None)
+                try:
+                    self._order.remove(request_id)
+                except ValueError:
+                    pass
+            raise ServiceError(
+                f"cannot send to {self.host}:{self.port}: {error}"
+            ) from error
+        return request_id
+
+    # --------------------------------------------------------------- collect
+
+    def poll(self, request_id: str) -> Optional[dict]:
+        """The response for ``request_id`` if it has arrived, else ``None``.
+
+        Non-consuming: :meth:`result` still returns (and releases) it.
+        """
+        with self._lock:
+            if request_id not in self._events and request_id not in self._responses:
+                raise ServiceError(f"unknown request id {request_id!r}")
+            return self._responses.get(request_id)
+
+    def result(self, request_id: str, timeout: Optional[float] = _UNSET) -> dict:
+        """Wait for — and consume — one response object.
+
+        Raises :class:`~repro.utils.errors.ServiceError` when the timeout
+        elapses (the response stays collectable) or the connection died
+        before the response arrived.
+        """
+        if timeout is _UNSET:
+            timeout = self.timeout
+        with self._lock:
+            event = self._events.get(request_id)
+            if event is None and request_id not in self._responses:
+                raise ServiceError(f"unknown request id {request_id!r}")
+        if event is not None and not event.wait(timeout):
+            raise ServiceError(f"request {request_id!r} did not answer in {timeout}s")
+        with self._lock:
+            self._events.pop(request_id, None)
+            response = self._responses.pop(request_id, None)
+        if response is None:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} closed before request "
+                f"{request_id!r} was answered"
+                + (f" ({self._connection_error})" if self._connection_error else "")
+            )
+        return response
+
+    def explain(
+        self,
+        blocks: BlockSource,
+        *,
+        seed: int = 0,
+        model: Optional[str] = None,
+        uarch: Optional[str] = None,
+        shards=_UNSET,
+        timeout: Optional[float] = _UNSET,
+    ) -> List[dict]:
+        """Synchronous convenience: submit, wait, unwrap (raises on failure).
+
+        Returns the ``explanations`` payload — a list of JSON-safe
+        explanation dictionaries (see
+        :func:`repro.reporting.export.explanation_to_dict`).
+        """
+        request_id = self.submit(
+            blocks, seed=seed, model=model, uarch=uarch, shards=shards
+        )
+        response = self.result(request_id, timeout=timeout)
+        if response.get("status") != "done":
+            raise ServiceError(
+                f"request {request_id} {response.get('status')}: "
+                f"{response.get('error')}"
+            )
+        return list(response["explanations"])
+
+    # ---------------------------------------------------------------- reader
+
+    def _read_loop(self) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        buffer = bytearray()
+        reason = "server closed the connection"
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except OSError as error:
+                if not self._closed:
+                    reason = f"socket error: {error}"
+                chunk = b""
+            if not chunk:
+                break
+            buffer.extend(chunk)
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line = bytes(buffer[:newline]).decode("utf-8", errors="replace")
+                del buffer[: newline + 1]
+                if line.strip():
+                    self._route(line)
+        self._fail_waiters(reason)
+
+    def _route(self, line: str) -> None:
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError:
+            response = {"id": None, "status": "failed", "error": f"undecodable: {line}"}
+        if not isinstance(response, dict):
+            response = {"id": None, "status": "failed", "error": f"non-object: {line}"}
+        request_id = response.get("id")
+        with self._lock:
+            event = self._events.get(request_id) if request_id else None
+            if event is None and self._order:
+                # Per-connection responses arrive in submission order, so an
+                # uncorrelatable one answers the oldest outstanding request.
+                request_id = self._order[0]
+                event = self._events.get(request_id)
+            if event is None:
+                self.unmatched.append(response)
+                return
+            try:
+                self._order.remove(request_id)
+            except ValueError:
+                pass
+            self._responses[request_id] = response
+            event.set()
+
+    def _fail_waiters(self, reason: str) -> None:
+        """Wake every outstanding result() with the connection's epitaph."""
+        with self._lock:
+            self._connection_error = reason
+            events = list(self._events.values())
+        for event in events:
+            event.set()

@@ -73,15 +73,16 @@ class ExplanationRequest:
     """One unit of service work: explain some blocks under one seed.
 
     ``model``/``uarch`` default to the service's configured model; ``shards``
-    is forwarded to ``explain_many`` for multi-block requests (``"auto"`` =
-    one shard per backend worker, ``None`` = sequential).
+    is forwarded to ``explain_many`` for multi-block requests (``"auto"``,
+    the default, = one shard per backend worker — sequential on the serial
+    backend; ``None`` = force the sequential loop).
     """
 
     blocks: Tuple[BasicBlock, ...]
     seed: int = 0
     model: Optional[str] = None
     uarch: Optional[str] = None
-    shards: Union[int, str, None] = None
+    shards: Union[int, str, None] = "auto"
 
     def __post_init__(self) -> None:
         if not self.blocks:
@@ -310,7 +311,7 @@ class ExplanationService:
         seed: int = 0,
         model: Optional[str] = None,
         uarch: Optional[str] = None,
-        shards: Union[int, str, None] = None,
+        shards: Union[int, str, None] = "auto",
         block: bool = True,
         timeout: Optional[float] = None,
     ) -> str:
@@ -386,7 +387,7 @@ class ExplanationService:
         seed: int = 0,
         model: Optional[str] = None,
         uarch: Optional[str] = None,
-        shards: Union[int, str, None] = None,
+        shards: Union[int, str, None] = "auto",
         timeout: Optional[float] = None,
     ) -> List[Explanation]:
         """Synchronous convenience: submit, wait, unwrap (raises on failure)."""

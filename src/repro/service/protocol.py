@@ -50,12 +50,29 @@ def request_from_dict(payload: Dict[str, object]) -> ExplanationRequest:
     blocks = tuple(
         BasicBlock.from_text(text.replace(";", "\n")) for text in texts
     )
-    shards = payload.get("shards")
+    # Absent means the fleet default ("auto"); an explicit JSON null opts a
+    # request out of sharding (the sequential loop).
+    shards = payload.get("shards", "auto")
     if shards is not None and not isinstance(shards, str):
-        shards = int(shards)  # type: ignore[arg-type]
+        try:
+            shards = int(shards)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as error:
+            raise ServiceError(
+                f"'shards' must be an integer, a string or null, "
+                f"got {shards!r}"
+            ) from error
+    try:
+        seed = int(payload.get("seed", 0))  # type: ignore[arg-type]
+    except (TypeError, ValueError) as error:
+        # Must be a ServiceError: anything else would escape the in-band
+        # failure path and kill the stdio stream (or silently drop a socket
+        # connection) on one malformed request.
+        raise ServiceError(
+            f"'seed' must be an integer, got {payload.get('seed')!r}"
+        ) from error
     return ExplanationRequest(
         blocks=blocks,
-        seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+        seed=seed,
         model=payload.get("model"),  # type: ignore[arg-type]
         uarch=payload.get("uarch"),  # type: ignore[arg-type]
         shards=shards,  # type: ignore[arg-type]

@@ -1,0 +1,506 @@
+"""TCP front-end for the explanation service.
+
+The JSON-lines protocol (:mod:`repro.service.protocol`) is transport
+agnostic: one request object per line in, one result object per line out, in
+submission order, failures in-band.  :class:`SocketServer` binds that
+protocol to a TCP port so any process on the network — not just the child of
+a pipe — can drive one warm :class:`~repro.service.core.ExplanationService`:
+
+```
+client sockets ──▶ per-connection reader threads ──submit──▶ service queue
+      ▲                                                          │
+      └── per-connection writer threads ◀── result(ticket) ◀─────┘
+```
+
+* **One reader, one writer per connection.**  The reader decodes lines and
+  submits them (the service's bounded queue throttles a connection that
+  outpaces the dispatcher); the writer collects each ticket's result *in the
+  connection's submission order* and streams it back, so per-connection
+  ordering matches the stdio protocol exactly while connections interleave
+  freely through the shared dispatcher.
+* **Connection-scoped error isolation.**  Undecodable bytes, oversized
+  lines, submission failures and mid-request disconnects are handled inside
+  the offending connection — in-band ``failed`` responses while the socket
+  lives, silent ticket cleanup once it is gone.  Nothing a client sends (or
+  stops sending) can take down the server or another connection.
+* **Bounded admission.**  ``max_connections`` caps concurrent clients; a
+  connection over the cap is answered with one in-band error line and
+  closed.  ``max_line_bytes`` caps a single request line; overlong lines
+  are discarded (never buffered whole) and answered in-band.
+* **Graceful drain.**  :meth:`close` stops accepting, lets every submitted
+  request finish and flush, then closes the sockets; ``drain=False`` drops
+  connections immediately but still consumes their tickets so the service
+  leaks no per-request state.  The CLI wires SIGTERM/SIGINT to this.
+
+The server *borrows* the service (like :func:`~repro.service.protocol.serve_stream`);
+the caller that built the service closes it, after closing the server.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import selectors
+import socket
+import threading
+import time
+from typing import Optional, Set, Tuple
+
+from repro.service.core import ExplanationService
+from repro.service.protocol import request_from_line, result_to_dict
+from repro.utils.errors import ReproError, ServiceError
+
+#: Reader sentinels (distinct from any line payload).
+_EOF = object()
+_TIMEOUT = object()
+_OVERSIZED = object()
+
+#: Writer queue items are ("result", client_id, request_id) or
+#: ("error", client_id, message); this sentinel ends the writer.
+_WRITER_DONE = object()
+
+
+class _LineReader:
+    """Buffered line reading over a raw socket with a hard line-length cap.
+
+    ``socket.makefile`` is documented to require a blocking socket, and it
+    buffers without bound; this reader supports idle timeouts (surfaced as
+    :data:`_TIMEOUT`) and discards — rather than accumulates — lines longer
+    than ``max_line_bytes`` (surfaced as :data:`_OVERSIZED` once the line
+    finally ends).  EOF with a half-written line pending simply reports EOF:
+    the line never completed, so there is no request to answer.
+
+    The idle timeout is enforced with a read-side selector only — never via
+    ``settimeout``, which would also bound the *writer's* ``sendall`` on the
+    shared socket and could corrupt a response stream to a slow-reading
+    client with a mid-send timeout.  ``selectors.DefaultSelector`` (epoll on
+    Linux) is used instead of ``select.select`` so file descriptors beyond
+    ``FD_SETSIZE`` work in high-fd processes.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_line_bytes: int,
+        idle_timeout: Optional[float] = None,
+    ) -> None:
+        self._sock = sock
+        self._max_line_bytes = max_line_bytes
+        self._idle_timeout = idle_timeout
+        self._selector: Optional[selectors.BaseSelector] = None
+        if idle_timeout is not None:
+            self._selector = selectors.DefaultSelector()
+            self._selector.register(sock, selectors.EVENT_READ)
+        self._buffer = bytearray()
+        self._discarding = False
+        self._eof = False
+
+    def readline(self):
+        """The next complete line (bytes), or a sentinel."""
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                if self._discarding:
+                    # The tail of an overlong line; report it once, now that
+                    # we know where it ended.
+                    self._discarding = False
+                    return _OVERSIZED
+                if len(line) > self._max_line_bytes:
+                    # The whole overlong line arrived in one recv, so it was
+                    # never streamed through the discard path above.
+                    return _OVERSIZED
+                return line
+            if self._discarding:
+                # Drop the buffered middle of an overlong line.
+                self._buffer.clear()
+            elif len(self._buffer) > self._max_line_bytes:
+                self._discarding = True
+                self._buffer.clear()
+            if self._eof:
+                return _EOF
+            try:
+                if self._selector is not None:
+                    if not self._selector.select(self._idle_timeout):
+                        return _TIMEOUT
+                chunk = self._sock.recv(65536)
+            except (OSError, ValueError):
+                # ValueError: selector on a socket already closed under us.
+                chunk = b""
+            if not chunk:
+                self._eof = True
+                if self._buffer and not self._discarding:
+                    # Half-written final line: it never completed, so there
+                    # is nothing to answer — but do not loop forever on it.
+                    self._buffer.clear()
+                return _EOF
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        """Release the selector's file descriptor (the socket stays open)."""
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+
+
+class _Connection:
+    """One client connection: reader + writer thread pair over one socket."""
+
+    def __init__(self, server: "SocketServer", sock: socket.socket, peer) -> None:
+        self.server = server
+        self.sock = sock
+        self.peer = peer
+        self.closed = threading.Event()
+        self._writer_queue: "queue.Queue" = queue.Queue()
+        #: Requests submitted but not yet answered on this connection; the
+        #: idle timeout must not fire while a response is still owed.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._send_failed = False
+        name = f"repro-socket-{peer[0]}:{peer[1]}"
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"{name}-reader", daemon=True
+        )
+        self._writer = threading.Thread(
+            target=self._write_loop, name=f"{name}-writer", daemon=True
+        )
+
+    def start(self) -> None:
+        self._reader.start()
+        self._writer.start()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _track(self, delta: int) -> int:
+        with self._inflight_lock:
+            self._inflight += delta
+            return self._inflight
+
+    def _send_line(self, payload: str) -> None:
+        """Best-effort send; after the first failure the connection only
+        drains (tickets must still be consumed to free service state)."""
+        if self._send_failed:
+            return
+        try:
+            with self._send_lock:
+                self.sock.sendall(payload.encode("utf-8") + b"\n")
+        except OSError:
+            self._send_failed = True
+
+    def _enqueue_error(self, client_id: Optional[str], message: str) -> None:
+        self._track(1)
+        self._writer_queue.put(("error", client_id, message))
+
+    # ----------------------------------------------------------------- reader
+
+    def _read_loop(self) -> None:
+        reader = None
+        try:
+            reader = _LineReader(
+                self.sock, self.server.max_line_bytes, self.server.idle_timeout
+            )
+            while not self.server.closing:
+                item = reader.readline()
+                if item is _EOF:
+                    break
+                if item is _TIMEOUT:
+                    if self._track(0) == 0:
+                        # Idle past the deadline with nothing owed: hang up.
+                        break
+                    continue
+                if item is _OVERSIZED:
+                    self._enqueue_error(
+                        None,
+                        f"request line exceeds {self.server.max_line_bytes} "
+                        f"bytes and was discarded",
+                    )
+                    continue
+                try:
+                    line = item.decode("utf-8")
+                except UnicodeDecodeError as error:
+                    self._enqueue_error(None, f"request line is not UTF-8: {error}")
+                    continue
+                if not line.strip():
+                    continue
+                try:
+                    client_id, request = request_from_line(line)
+                except ReproError as error:
+                    self._enqueue_error(getattr(error, "client_id", None), str(error))
+                    continue
+                try:
+                    request_id = self.server.service.submit(request)
+                except ReproError as error:
+                    self._enqueue_error(client_id, str(error))
+                    continue
+                self._track(1)
+                self._writer_queue.put(("result", client_id, request_id))
+        except Exception:  # noqa: BLE001 - isolation: never kill the server
+            pass
+        finally:
+            if reader is not None:
+                reader.close()
+            self._writer_queue.put(_WRITER_DONE)
+
+    # ----------------------------------------------------------------- writer
+
+    def _write_loop(self) -> None:
+        try:
+            while True:
+                item = self._writer_queue.get()
+                if item is _WRITER_DONE:
+                    break
+                kind, client_id, payload = item
+                if kind == "error":
+                    line = json.dumps(
+                        {"id": client_id, "status": "failed", "error": payload}
+                    )
+                else:
+                    # Blocks until the dispatcher resolves this connection's
+                    # oldest outstanding ticket — which is exactly what keeps
+                    # responses in per-connection submission order.
+                    result = self.server.service.result(payload)
+                    line = json.dumps(result_to_dict(result, client_id))
+                self._send_line(line)
+                self._track(-1)
+        except Exception:  # noqa: BLE001 - isolation: never kill the server
+            pass
+        finally:
+            self._shutdown_socket()
+            self.closed.set()
+            self.server._forget(self)
+
+    def _shutdown_socket(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- lifecycle
+
+    def interrupt(self) -> None:
+        """Unblock the reader (used by server close): half-close the read
+        side so a blocked ``recv`` returns EOF and the writer drains."""
+        try:
+            self.sock.shutdown(socket.SHUT_RD)
+        except OSError:
+            pass
+
+    def abort(self) -> None:
+        """Tear the socket down now; the writer still consumes its tickets."""
+        self._send_failed = True
+        self._shutdown_socket()
+
+    def join(self, timeout: Optional[float]) -> None:
+        self._reader.join(timeout)
+        self._writer.join(timeout)
+
+
+class SocketServer:
+    """Serve the JSON-lines explanation protocol over TCP.
+
+    Parameters
+    ----------
+    service:
+        The (started or startable) :class:`ExplanationService` every
+        connection shares.  Borrowed, never closed — close the server first,
+        then the service.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read it back from
+        :attr:`address` (tests and the benchmark do).
+    max_connections:
+        Concurrent-client cap; connections over it get one in-band error
+        line and are closed.
+    idle_timeout:
+        Seconds a connection may sit with no traffic *and* no response owed
+        before the server hangs up (``None`` = never).
+    max_line_bytes:
+        Hard cap on one request line; longer lines are discarded as they
+        stream in and answered with an in-band error.
+
+    Use as a context manager, or pair :meth:`start` with :meth:`close`::
+
+        with ExplanationService(model="crude") as service:
+            with SocketServer(service, port=0) as server:
+                host, port = server.address
+                ...  # point ServiceClient(host, port) at it
+    """
+
+    def __init__(
+        self,
+        service: ExplanationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 8,
+        idle_timeout: Optional[float] = None,
+        max_line_bytes: int = 1 << 20,
+    ) -> None:
+        if max_connections < 1:
+            raise ServiceError("max_connections must be >= 1")
+        if max_line_bytes < 2:
+            raise ServiceError("max_line_bytes must be >= 2")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ServiceError("idle_timeout must be positive (or None)")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.max_line_bytes = max_line_bytes
+        self.closing = False
+        self._listener: Optional[socket.socket] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._connections: Set[_Connection] = set()
+        self._conn_lock = threading.Lock()
+        self._closed_event = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and start accepting; returns the bound address."""
+        if self._started:
+            raise ServiceError("this socket server has already been started")
+        self._started = True
+        self.service.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(self.max_connections * 2)
+        except OSError:
+            listener.close()
+            raise
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-socket-acceptor", daemon=True
+        )
+        self._acceptor.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (meaningful after :meth:`start`)."""
+        return (self.host, self.port)
+
+    @property
+    def connections(self) -> int:
+        """How many client connections are currently live."""
+        with self._conn_lock:
+            return len(self._connections)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server is closed (the CLI parks here).
+
+        Returns ``False`` if ``timeout`` (seconds) elapsed first.
+        """
+        return self._closed_event.wait(timeout)
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting and shut every connection down.  Idempotent.
+
+        With ``drain`` (the default) each connection's submitted requests
+        finish and their responses flush before its socket closes; with
+        ``drain=False`` sockets drop immediately (pending tickets are still
+        consumed internally, so the service retains no per-request state).
+        ``timeout`` bounds the per-phase waits so a wedged client cannot
+        hold shutdown hostage.
+        """
+        if self.closing:
+            self._closed_event.wait(timeout)
+            return
+        self.closing = True
+        if self._listener is not None:
+            # Closing an fd does not wake a thread blocked in accept() (on
+            # Linux the syscall just keeps waiting); shutdown() does.  Where
+            # shutdown on a listener is rejected (ENOTCONN on some
+            # platforms), fall back to a self-connection, which the accept
+            # loop answers with a shutting-down refusal.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                try:
+                    socket.create_connection(self.address, timeout=0.5).close()
+                except OSError:
+                    pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout)
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            if drain:
+                connection.interrupt()
+            else:
+                connection.abort()
+        for connection in connections:
+            connection.join(timeout)
+        self._closed_event.set()
+
+    def __enter__(self) -> "SocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- acceptor
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self.closing:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                if self.closing:
+                    return  # listener closed (server shutting down)
+                # Transient accept failure (ECONNABORTED, fd pressure from
+                # an abusive reconnect flood): back off briefly and keep
+                # accepting — one bad moment must not turn into a server
+                # that looks alive but refuses every future client.
+                time.sleep(0.05)
+                continue
+            if self.closing:
+                self._refuse(sock, "server is shutting down")
+                continue
+            with self._conn_lock:
+                at_capacity = len(self._connections) >= self.max_connections
+            if at_capacity:
+                self._refuse(
+                    sock,
+                    f"server at capacity ({self.max_connections} connections); "
+                    f"retry later",
+                )
+                continue
+            connection = _Connection(self, sock, peer)
+            with self._conn_lock:
+                self._connections.add(connection)
+            connection.start()
+
+    @staticmethod
+    def _refuse(sock: socket.socket, message: str) -> None:
+        """One in-band error line, then hang up (best effort)."""
+        try:
+            line = json.dumps({"id": None, "status": "failed", "error": message})
+            sock.sendall(line.encode("utf-8") + b"\n")
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _forget(self, connection: _Connection) -> None:
+        with self._conn_lock:
+            self._connections.discard(connection)

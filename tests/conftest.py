@@ -95,3 +95,27 @@ def explanation_fingerprint(explanation):
         explanation.precision_samples,
         explanation.candidates_evaluated,
     )
+
+
+def explanation_dict_fingerprint(payload):
+    """The wire-format companion of :func:`explanation_fingerprint`.
+
+    Socket clients receive explanations as the JSON dictionaries of
+    :func:`repro.reporting.export.explanation_to_dict`; this extracts the
+    same result-defining payload (floats survive a JSON round-trip exactly,
+    so equality against a locally-computed dict is still bit-for-bit).
+    ``num_queries`` is excluded for the same reason as in
+    :func:`explanation_fingerprint`: it reflects shared-cache warmth.
+    """
+    return (
+        tuple(payload["block"]),
+        payload["model"],
+        payload["prediction"],
+        tuple(f["description"] for f in payload["features"]),
+        payload["precision"],
+        payload["coverage"],
+        payload["meets_threshold"],
+        payload["epsilon"],
+        payload["precision_samples"],
+        payload["candidates_evaluated"],
+    )

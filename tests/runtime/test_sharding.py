@@ -199,6 +199,63 @@ class TestRuntimeLazyExports:
 
 
 class TestShardedAccounting:
+    """Per-explanation ``num_queries`` must not depend on the substrate.
+
+    Searches measure their queries through thread-scoped tallies
+    (``CostModel.query_tally``), so a shard thread counts only its own
+    cache misses — concurrent shards cannot pollute each other — and the
+    key-grouped partitioning keeps each block's cache history identical to
+    the serial loop's.  The result: the *whole* ``num_queries`` vector of a
+    fresh fleet run is equal on every backend, sharded or not, repeats
+    included.
+    """
+
+    @pytest.fixture(scope="class")
+    def baseline_queries(self, tiny_blocks):
+        model = CachedCostModel(AnalyticalCostModel("hsw"))
+        with ExplanationSession(model, FAST_CONFIG, backend="serial") as session:
+            return [
+                e.num_queries
+                for e in session.explain_many(_workload(tiny_blocks), rng=11, shards=None)
+            ]
+
+    @pytest.mark.parametrize(
+        "backend,shards",
+        [
+            ("serial", None),
+            ("serial", 3),
+            ("thread", "auto"),
+            ("thread", 2),
+            ("process", "auto"),
+            ("process", 5),
+        ],
+    )
+    def test_num_queries_matches_unsharded_serial(
+        self, tiny_blocks, baseline_queries, backend, shards
+    ):
+        model = CachedCostModel(AnalyticalCostModel("hsw"))
+        with ExplanationSession(
+            model, FAST_CONFIG, backend=backend, workers=3
+        ) as session:
+            queries = [
+                e.num_queries
+                for e in session.explain_many(_workload(tiny_blocks), rng=11, shards=shards)
+            ]
+        assert queries == baseline_queries
+        assert all(q > 0 for q in queries[: len(tiny_blocks)])  # fresh blocks query
+
+    def test_auto_sharding_is_now_the_fleet_default(self, tiny_blocks):
+        """The default ``shards="auto"`` actually shards on parallel backends."""
+        with ExplanationSession(
+            AnalyticalCostModel("hsw"), FAST_CONFIG, backend="thread", workers=2
+        ) as session:
+            plan = session._shard_plan(_workload(tiny_blocks), "auto")
+            assert plan is not None and len(plan) == 2
+            import inspect
+
+            signature = inspect.signature(session.explain_many)
+            assert signature.parameters["shards"].default == "auto"
+
     def test_session_counts_every_explanation(self, tiny_blocks):
         with ExplanationSession(
             AnalyticalCostModel("hsw"), FAST_CONFIG, backend="thread", workers=2

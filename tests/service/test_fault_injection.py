@@ -1,0 +1,272 @@
+"""Fault injection against the socket front-end: the server must not die.
+
+Each scenario attacks one trust boundary — a client that vanishes
+mid-request, a half-written line, a payload bomb, a model that throws — and
+then proves the same three things: the server process is still serving, an
+unrelated well-behaved client gets correct answers, and whatever could be
+reported was reported in-band rather than by tearing anything down.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.explain.config import ExplainerConfig
+from repro.models.base import CostModel
+from repro.runtime.session import ExplanationSession
+from repro.service import ExplanationService, ServiceClient, SocketServer
+from repro.utils.errors import ModelError
+
+from tests.conftest import FAST_CONFIG
+
+
+def _probe(server, text="div rcx; add rax, rbx", seed=9):
+    """One well-behaved request proving the server still serves correctly."""
+    with ServiceClient(*server.address, timeout=60) as client:
+        payloads = client.explain(text, seed=seed)
+    assert payloads and payloads[0]["prediction"] > 0
+    return payloads
+
+
+def _wait_connections(server, count, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while server.connections != count:
+        assert time.monotonic() < deadline, (
+            f"server never reached {count} connections ({server.connections} live)"
+        )
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def served():
+    with ExplanationService(model="crude", config=FAST_CONFIG) as service:
+        with SocketServer(service, port=0, max_line_bytes=4096) as server:
+            yield service, server
+
+
+class TestClientDisconnects:
+    def test_disconnect_with_request_in_flight(self, served):
+        service, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        sock.sendall(b'{"id": "doomed", "block": "div rcx; add rax, rbx"}\n')
+        sock.close()  # gone before the answer exists
+        # The orphaned request still runs to completion and its ticket is
+        # consumed (no leak), then the connection unwinds fully.
+        assert service.drain(timeout=60)
+        _wait_connections(server, 0)
+        assert not service._tickets
+        _probe(server)
+
+    def test_disconnect_mid_line(self, served):
+        service, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        sock.sendall(b'{"id": "half", "block": "div rc')  # no newline, ever
+        sock.close()
+        _wait_connections(server, 0)
+        _probe(server)
+        assert service.stats().failed == 0  # nothing was even submitted
+
+    def test_abrupt_reset_while_others_are_served(self, served, tiny_blocks):
+        _, server = served
+        victims = []
+        for _ in range(3):
+            sock = socket.create_connection(server.address, timeout=10)
+            sock.sendall(b'{"id": "v", "block": "div rcx"}\n')
+            # RST instead of FIN: linger 0 makes close() send a hard reset.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+            victims.append(sock)
+        for sock in victims:
+            sock.close()
+        _wait_connections(server, 0)
+        _probe(server)
+
+
+class TestMalformedInput:
+    def test_half_written_then_completed_line_fails_in_band(self, served):
+        _, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        lines = sock.makefile("r", encoding="utf-8")
+        sock.sendall(b'{"id": "x", "bl')
+        time.sleep(0.05)  # force the split across reads
+        sock.sendall(b"ock\": broken}\n")
+        response = json.loads(lines.readline())
+        assert response["status"] == "failed"
+        # The same connection keeps working afterwards.
+        sock.sendall(b'{"id": "y", "block": "div rcx"}\n')
+        assert json.loads(lines.readline())["status"] == "done"
+        sock.close()
+
+    def test_non_integer_seed_fails_in_band(self, served):
+        """A ValueError-shaped payload must come back as a ServiceError line,
+        not escape the protocol layer (which would kill a stdio stream and
+        silently drop a socket connection)."""
+        _, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        lines = sock.makefile("r", encoding="utf-8")
+        for payload in (
+            b'{"id": "s1", "block": "div rcx", "seed": "abc"}\n',
+            b'{"id": "s2", "block": "div rcx", "seed": null}\n',
+            b'{"id": "s3", "block": "div rcx", "shards": {}}\n',
+        ):
+            sock.sendall(payload)
+        responses = [json.loads(lines.readline()) for _ in range(3)]
+        assert [r["status"] for r in responses] == ["failed"] * 3
+        assert [r["id"] for r in responses] == ["s1", "s2", "s3"]
+        sock.sendall(b'{"id": "ok", "block": "div rcx"}\n')
+        assert json.loads(lines.readline())["status"] == "done"
+        sock.close()
+
+    def test_non_integer_seed_fails_in_band_on_stdio_too(self):
+        """The stdio loop survives the same payloads (serve_stream only
+        catches ReproError, so the coercion must raise inside that family)."""
+        import io
+
+        from repro.service import ExplanationService, serve_stream
+
+        lines = [
+            '{"id": "s1", "block": "div rcx", "seed": "abc"}',
+            '{"id": "ok", "block": "add rax, rbx", "seed": 1}',
+        ]
+        out = io.StringIO()
+        with ExplanationService(model="crude", config=FAST_CONFIG) as service:
+            served = serve_stream(service, lines, out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert served == 1
+        assert [r["status"] for r in responses] == ["failed", "done"]
+        assert "seed" in responses[0]["error"]
+
+    def test_non_utf8_bytes_fail_in_band(self, served):
+        _, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        lines = sock.makefile("r", encoding="utf-8")
+        sock.sendall(b"\xff\xfe\x80garbage\n")
+        response = json.loads(lines.readline())
+        assert response["status"] == "failed"
+        assert "UTF-8" in response["error"]
+        sock.close()
+
+    def test_oversized_payload_reported_and_discarded(self, served):
+        _, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        lines = sock.makefile("r", encoding="utf-8")
+        # 1 MiB of junk against a 4 KiB line cap, then a good request.
+        sock.sendall(b'{"id": "bomb", "block": "' + b"A" * (1 << 20) + b'"}\n')
+        sock.sendall(b'{"id": "good", "block": "div rcx"}\n')
+        bomb = json.loads(lines.readline())
+        assert bomb["status"] == "failed"
+        assert "exceeds" in bomb["error"]
+        good = json.loads(lines.readline())
+        assert good["id"] == "good"
+        assert good["status"] == "done"
+        sock.close()
+
+    def test_oversized_client_request_resolves_instead_of_hanging(self, served):
+        """The server discards an overlong line before it can read the
+        client's correlation id, so the error comes back id-less; the
+        client must attribute it by submission order — a waiter that hangs
+        forever would be a livelock, not fault isolation."""
+        _, server = served
+        giant = "add rax, rbx; " * 1000  # ~14 KB against the 4 KB line cap
+        with ServiceClient(*server.address) as client:
+            big_id = client.submit(giant, seed=0)
+            ok_id = client.submit("div rcx", seed=0)
+            big = client.result(big_id, timeout=60)
+            assert big["status"] == "failed"
+            assert "exceeds" in big["error"]
+            assert client.result(ok_id, timeout=60)["status"] == "done"
+
+    def test_oversized_payload_never_buffers_whole_line(self, served):
+        """The cap bounds memory: a 64 MiB line streams through a reader
+        whose buffer stays under one recv chunk past the cap."""
+        _, server = served
+        sock = socket.create_connection(server.address, timeout=10)
+        lines = sock.makefile("r", encoding="utf-8")
+        chunk = b"B" * (1 << 16)
+        for _ in range(1024):  # 64 MiB total, no newline until the end
+            sock.sendall(chunk)
+        sock.sendall(b"\n")
+        assert json.loads(lines.readline())["status"] == "failed"
+        sock.close()
+
+
+class _ExplodingModel(CostModel):
+    """Predicts fine until it meets a ``div`` — then throws mid-search."""
+
+    name = "exploding"
+
+    def _predict(self, block) -> float:
+        if any(inst.mnemonic == "div" for inst in block.instructions):
+            raise ModelError("simulated model crash on div")
+        return float(block.num_instructions)
+
+
+class TestModelFailures:
+    @pytest.fixture
+    def exploding_served(self):
+        def factory(name, uarch):
+            return ExplanationSession(_ExplodingModel(), FAST_CONFIG)
+
+        with ExplanationService(
+            model="exploding", config=FAST_CONFIG, session_factory=factory
+        ) as service:
+            with SocketServer(service, port=0) as server:
+                yield service, server
+
+    def test_raising_predict_fails_in_band_and_server_survives(
+        self, exploding_served
+    ):
+        service, server = exploding_served
+        with ServiceClient(*server.address, timeout=60) as client:
+            # The poisoned block: the model raises mid-anchor-search.
+            boom = client.result(client.submit("div rcx; add rax, rbx", seed=0))
+            assert boom["status"] == "failed"
+            assert "simulated model crash" in boom["error"]
+            # The same warm session keeps serving blocks the model accepts.
+            fine = client.result(client.submit("add rax, rbx; mov rdx, rcx", seed=0))
+            assert fine["status"] == "done"
+            assert fine["explanations"][0]["prediction"] == 2.0
+        stats = service.stats()
+        assert stats.failed == 1
+        assert stats.served >= 1
+
+    def test_failure_isolated_from_concurrent_client(self, exploding_served):
+        _, server = exploding_served
+        with ServiceClient(*server.address, timeout=60) as bad_client:
+            with ServiceClient(*server.address, timeout=60) as good_client:
+                bad_id = bad_client.submit("div rcx; add rax, rbx", seed=1)
+                good_id = good_client.submit("add rax, rbx; mov rdx, rcx", seed=1)
+                assert bad_client.result(bad_id)["status"] == "failed"
+                assert good_client.result(good_id)["status"] == "done"
+
+
+class TestServerStaysUpUnderMixedAbuse:
+    def test_every_fault_in_one_session(self, served):
+        """All scenarios back to back against one server, then a clean run."""
+        service, server = served
+        # 1: disconnect mid-request
+        sock = socket.create_connection(server.address, timeout=10)
+        sock.sendall(b'{"id": "gone", "block": "div rcx"}\n')
+        sock.close()
+        # 2: half-written line then disconnect
+        sock = socket.create_connection(server.address, timeout=10)
+        sock.sendall(b'{"half": ')
+        sock.close()
+        # 3: garbage + oversize + good request interleaved
+        sock = socket.create_connection(server.address, timeout=10)
+        lines = sock.makefile("r", encoding="utf-8")
+        sock.sendall(b"not json at all{{{\n")
+        sock.sendall(b"C" * 9000 + b"\n")
+        sock.sendall(b'{"id": "ok", "block": "add rax, rbx"}\n')
+        statuses = [json.loads(lines.readline())["status"] for _ in range(3)]
+        assert statuses == ["failed", "failed", "done"]
+        lines.close()  # makefile keeps the fd alive; close it to send FIN
+        sock.close()
+        assert service.drain(timeout=60)
+        _wait_connections(server, 0)
+        _probe(server)
+        assert not service.closed

@@ -1,0 +1,392 @@
+"""The TCP front-end: SocketServer + ServiceClient over a shared service.
+
+The contract under test: the socket transport is *transparent* — a client
+talking TCP gets byte-identical protocol behaviour to one piping JSON lines
+through stdin/stdout (per-connection submission-order responses, in-band
+failures), and the seeded explanation payloads are bit-for-bit what the
+direct, in-process :class:`CometExplainer` produces, no matter how many
+clients hammer the server at once.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.explain.explainer import CometExplainer
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel
+from repro.reporting.export import explanation_to_dict
+from repro.service import ExplanationService, ServiceClient, SocketServer
+from repro.service.transport import _EOF, _OVERSIZED, _TIMEOUT, _LineReader
+from repro.utils.errors import ServiceError
+
+from tests.conftest import FAST_CONFIG, explanation_dict_fingerprint
+
+
+@pytest.fixture
+def served():
+    """A started service + socket server on an ephemeral loopback port."""
+    with ExplanationService(model="crude", config=FAST_CONFIG) as service:
+        with SocketServer(service, port=0) as server:
+            yield service, server
+
+
+def _raw_connect(server, timeout=30.0):
+    sock = socket.create_connection(server.address, timeout=timeout)
+    return sock, sock.makefile("r", encoding="utf-8")
+
+
+class TestLineReader:
+    def _pair(self, max_line_bytes=64, idle_timeout=None):
+        left, right = socket.socketpair()
+        return left, _LineReader(right, max_line_bytes, idle_timeout), right
+
+    def test_lines_split_across_chunks(self):
+        left, reader, right = self._pair()
+        left.sendall(b"hello ")
+        left.sendall(b"world\nsecond")
+        assert reader.readline() == b"hello world"
+        left.sendall(b" line\n")
+        assert reader.readline() == b"second line"
+        left.close()
+        assert reader.readline() is _EOF
+        right.close()
+
+    def test_oversized_line_is_discarded_not_buffered(self):
+        left, reader, right = self._pair(max_line_bytes=16)
+        left.sendall(b"x" * 4096 + b"\nafter\n")
+        assert reader.readline() is _OVERSIZED
+        assert reader.readline() == b"after"
+        left.close()
+        right.close()
+
+    def test_half_written_line_at_eof_reports_eof(self):
+        left, reader, right = self._pair()
+        left.sendall(b'{"id": "x", "bl')
+        left.close()
+        assert reader.readline() is _EOF
+        assert reader.readline() is _EOF  # stable, no spin
+        right.close()
+
+    def test_timeout_surfaces_without_losing_buffer(self):
+        left, reader, right = self._pair(idle_timeout=0.05)
+        left.sendall(b"partial")
+        assert reader.readline() is _TIMEOUT
+        left.sendall(b" done\n")
+        assert reader.readline() == b"partial done"
+        left.close()
+        right.close()
+
+
+class TestSocketRoundTrip:
+    def test_single_block_request(self, served, tiny_blocks):
+        _, server = served
+        with ServiceClient(*server.address) as client:
+            response = client.result(
+                client.submit(tiny_blocks[0], seed=5), timeout=60
+            )
+        assert response["status"] == "done"
+        direct = CometExplainer(
+            CachedCostModel(AnalyticalCostModel("hsw")), FAST_CONFIG
+        ).explain(tiny_blocks[0], rng=5)
+        assert explanation_dict_fingerprint(
+            response["explanations"][0]
+        ) == explanation_dict_fingerprint(explanation_to_dict(direct))
+
+    def test_bare_text_line_sugar(self, served):
+        _, server = served
+        sock, lines = _raw_connect(server)
+        sock.sendall(b"div rcx; add rax, rbx\n")
+        response = json.loads(lines.readline())
+        assert response["status"] == "done"
+        assert response["id"] is None
+        sock.close()
+
+    def test_responses_in_submission_order_per_connection(self, served, tiny_blocks):
+        _, server = served
+        with ServiceClient(*server.address) as client:
+            ids = [client.submit(block, seed=index) for index, block in enumerate(tiny_blocks)]
+            # Collect out of submission order on purpose; correlation ids
+            # still route each response to its request.
+            responses = {rid: client.result(rid, timeout=60) for rid in reversed(ids)}
+        assert all(responses[rid]["status"] == "done" for rid in ids)
+        # And on the raw wire the three lines arrived in submission order:
+        # their echoed ids are c1, c2, c3.
+        assert [responses[rid]["id"] for rid in ids] == ["c1", "c2", "c3"]
+
+    def test_malformed_json_fails_in_band_and_connection_survives(self, served):
+        _, server = served
+        sock, lines = _raw_connect(server)
+        sock.sendall(b'{"id": "bad", not json}\n')
+        response = json.loads(lines.readline())
+        assert response["status"] == "failed"
+        assert "JSON" in response["error"]
+        sock.sendall(b'{"id": "ok", "block": "div rcx"}\n')
+        response = json.loads(lines.readline())
+        assert response == {**response, "id": "ok", "status": "done"}
+        sock.close()
+
+    def test_poll_before_and_after_arrival(self, served, tiny_blocks):
+        _, server = served
+        with ServiceClient(*server.address) as client:
+            request_id = client.submit(tiny_blocks[0], seed=0)
+            deadline = time.monotonic() + 60
+            while client.poll(request_id) is None:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert client.poll(request_id)["status"] == "done"
+            assert client.result(request_id, timeout=1)["status"] == "done"
+            with pytest.raises(ServiceError):
+                client.poll(request_id)  # consumed
+
+    def test_client_timeout_leaves_result_collectable(self, served, tiny_blocks):
+        _, server = served
+        with ServiceClient(*server.address) as client:
+            request_id = client.submit(tiny_blocks[0], seed=1)
+            with pytest.raises(ServiceError):
+                client.result(request_id, timeout=0.0)
+            assert client.result(request_id, timeout=60)["status"] == "done"
+
+
+class TestServerLimits:
+    def test_max_connections_refused_in_band(self, fast_config):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            with SocketServer(service, port=0, max_connections=2) as server:
+                keep = [_raw_connect(server) for _ in range(2)]
+                # Wait until both connections are registered (accept loop).
+                deadline = time.monotonic() + 10
+                while server.connections < 2 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                extra_sock, extra_lines = _raw_connect(server)
+                refusal = json.loads(extra_lines.readline())
+                assert refusal["status"] == "failed"
+                assert "capacity" in refusal["error"]
+                assert extra_lines.readline() == ""  # then hung up
+                extra_sock.close()
+                # The capped connections still work.
+                sock, lines = keep[0]
+                sock.sendall(b'{"id": "r", "block": "div rcx"}\n')
+                assert json.loads(lines.readline())["status"] == "done"
+                for sock, _ in keep:
+                    sock.close()
+
+    def test_idle_timeout_closes_quiet_connections(self, fast_config):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            with SocketServer(service, port=0, idle_timeout=0.2) as server:
+                sock, lines = _raw_connect(server)
+                assert lines.readline() == ""  # server hung up on the idler
+                sock.close()
+                # A busy connection within the window is unaffected.
+                sock, lines = _raw_connect(server)
+                sock.sendall(b'{"id": "r", "block": "div rcx"}\n')
+                assert json.loads(lines.readline())["status"] == "done"
+                sock.close()
+
+    def test_double_start_rejected(self, fast_config):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            with SocketServer(service, port=0) as server:
+                with pytest.raises(ServiceError):
+                    server.start()
+
+    def test_invalid_parameters_rejected(self, fast_config):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            with pytest.raises(ServiceError):
+                SocketServer(service, max_connections=0)
+            with pytest.raises(ServiceError):
+                SocketServer(service, idle_timeout=0.0)
+            with pytest.raises(ServiceError):
+                SocketServer(service, max_line_bytes=1)
+
+
+class TestGracefulShutdown:
+    def test_close_drains_pending_responses(self, fast_config, tiny_blocks):
+        service = ExplanationService(model="crude", config=fast_config)
+        server = SocketServer(service, port=0)
+        server.start()
+        try:
+            with ServiceClient(*server.address) as client:
+                ids = [client.submit(block, seed=2) for block in tiny_blocks]
+                # Drain covers requests the server has *ingested*; wait until
+                # the reader has submitted all three before pulling the plug
+                # (bytes still in the socket buffer are legitimately dropped).
+                deadline = time.monotonic() + 30
+                while service.stats().submitted < len(ids):
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                closer = threading.Thread(target=server.close)
+                closer.start()
+                # Every already-submitted request is answered before the
+                # socket goes away.
+                for request_id in ids:
+                    assert client.result(request_id, timeout=60)["status"] == "done"
+                closer.join(timeout=60)
+                assert not closer.is_alive()
+            assert server.wait(timeout=1)
+        finally:
+            server.close()
+            service.close()
+
+    def test_abrupt_close_consumes_tickets(self, fast_config, tiny_blocks):
+        """drain=False drops sockets, but the service leaks no ticket state."""
+        service = ExplanationService(model="crude", config=fast_config)
+        server = SocketServer(service, port=0)
+        server.start()
+        try:
+            client = ServiceClient(*server.address).connect()
+            for block in tiny_blocks:
+                client.submit(block, seed=3)
+            server.close(drain=False)
+            client.close()
+            assert service.drain(timeout=60)
+            # All tickets were consumed by the connection's writer: nothing
+            # is left pending inside the service.
+            assert not service._tickets
+        finally:
+            server.close()
+            service.close()
+
+    def test_connections_refused_after_close(self, fast_config):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            server = SocketServer(service, port=0)
+            server.start()
+            server.close()
+            with pytest.raises(OSError):
+                socket.create_connection(server.address, timeout=2)
+
+
+class TestServeCliSocket:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None  # stdin/stdout stays the default transport
+        assert args.host == "127.0.0.1"
+        assert args.max_connections == 8
+        assert args.idle_timeout is None
+
+    def test_requests_file_and_port_are_mutually_exclusive(self, tmp_path, capsys):
+        from repro.cli import main
+
+        requests_file = tmp_path / "reqs.jsonl"
+        requests_file.write_text('{"block": "div rcx"}\n')
+        code = main(["serve", "--requests", str(requests_file), "--port", "0"])
+        assert code == 2
+        assert "one or the other" in capsys.readouterr().err
+
+    def test_serve_port_sigterm_drains(self, tmp_path):
+        """``repro serve --port`` serves TCP and SIGTERM drains gracefully."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONPATH="src")
+        env.pop("REPRO_BACKEND", None)  # keep the subprocess serial and fast
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--model", "crude", "--port", "0",
+                "--epsilon", "0.2", "--relative-epsilon", "0.0",
+                "--coverage-samples", "80", "--max-precision-samples", "40",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stderr.readline()
+            assert "serving on" in banner, banner
+            host, port = banner.split()[2].rsplit(":", 1)
+            with ServiceClient(host, int(port), timeout=60) as client:
+                payloads = client.explain("div rcx; add rax, rbx", seed=1)
+                assert payloads and payloads[0]["features"]
+                process.send_signal(signal.SIGTERM)
+                assert process.wait(timeout=60) == 0
+            remainder = process.stderr.read()
+            assert "drained" in remainder
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+class TestMultiClientStress:
+    def test_eight_concurrent_clients_match_serial_direct_explainer(
+        self, fast_config, tiny_blocks
+    ):
+        """The acceptance bar: 8 TCP clients, one warm server, same fleet.
+
+        Every client submits the same seeded fleet — each block as a
+        single-block request plus the whole list as one fleet request — and
+        every client's payloads must be bit-for-bit the serial, direct,
+        in-process explanations.  Nothing about racing seven other sockets
+        may leak into the result.
+        """
+        workload = [(block, seed) for seed, block in enumerate(tiny_blocks)]
+        direct_model = CachedCostModel(AnalyticalCostModel("hsw"))
+        expected_single = {
+            (block.key(), seed): explanation_dict_fingerprint(
+                explanation_to_dict(
+                    CometExplainer(direct_model, fast_config).explain(block, rng=seed)
+                )
+            )
+            for block, seed in workload
+        }
+        expected_fleet = [
+            explanation_dict_fingerprint(explanation_to_dict(explanation))
+            for explanation in CometExplainer(
+                CachedCostModel(AnalyticalCostModel("hsw")), fast_config
+            ).explain_many(tiny_blocks, rng=77)
+        ]
+
+        with ExplanationService(model="crude", config=fast_config) as service:
+            with SocketServer(service, port=0, max_connections=8) as server:
+                errors = []
+                mismatches = []
+                barrier = threading.Barrier(8)
+
+                def client_run(index):
+                    try:
+                        with ServiceClient(*server.address) as client:
+                            barrier.wait(timeout=30)
+                            ids = [
+                                (block.key(), seed, client.submit(block, seed=seed))
+                                for block, seed in workload
+                            ]
+                            fleet_id = client.submit(tiny_blocks, seed=77)
+                            for key, seed, request_id in ids:
+                                response = client.result(request_id, timeout=120)
+                                assert response["status"] == "done", response
+                                got = explanation_dict_fingerprint(
+                                    response["explanations"][0]
+                                )
+                                if got != expected_single[(key, seed)]:
+                                    mismatches.append((index, key, seed))
+                            fleet = client.result(fleet_id, timeout=120)
+                            assert fleet["status"] == "done", fleet
+                            got_fleet = [
+                                explanation_dict_fingerprint(payload)
+                                for payload in fleet["explanations"]
+                            ]
+                            if got_fleet != expected_fleet:
+                                mismatches.append((index, "fleet"))
+                    except Exception as error:  # surfaced to the main thread
+                        errors.append((index, error))
+
+                threads = [
+                    threading.Thread(target=client_run, args=(i,)) for i in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=300)
+                assert not any(thread.is_alive() for thread in threads)
+                stats = service.stats()
+
+        assert not errors
+        assert not mismatches
+        assert stats.served == 8 * (len(workload) + 1)
+        assert stats.failed == 0
