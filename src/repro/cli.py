@@ -11,6 +11,7 @@ The CLI exposes the public API for quick, scriptable use::
     python -m repro dataset  --size 200 --output dataset.json
     python -m repro serve    --model uica  --backend process --max-queue 128
     python -m repro serve    --model crude --port 7421 --max-connections 16
+    python -m repro serve    --model crude --port 0    --dispatchers 4
 
 Blocks can be passed inline with ``--block`` (instructions separated by ``;``
 or newlines) or from a file with ``--block-file``.  The neural model is
@@ -171,6 +172,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=_explainer_config(args),
         backend=args.backend,
         workers=args.workers,
+        dispatchers=args.dispatchers,
         max_queue=args.max_queue,
         max_sessions=args.max_sessions,
     )
@@ -327,6 +329,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(serve)
     _add_explain_config_arguments(serve)
     _add_backend_arguments(serve)
+    serve.add_argument(
+        "--dispatchers",
+        type=int,
+        default=None,
+        help="dispatcher threads serving the request queue (default: the "
+        "REPRO_DISPATCHERS environment variable, or 1); requests are routed "
+        "by (model, uarch) key, so seeded results are identical at any "
+        "dispatcher count while distinct models run in parallel",
+    )
     serve.add_argument(
         "--max-queue",
         type=int,

@@ -29,6 +29,7 @@ from repro.runtime.backend import (
     ThreadBackend,
     resolve_backend,
 )
+from repro.runtime.pool import PoolStats, SessionPool
 from repro.runtime.session import ExplanationSession, SessionStats
 from repro.service.client import ServiceClient
 from repro.service.core import (
@@ -36,7 +37,9 @@ from repro.service.core import (
     ExplanationService,
     RequestStatus,
     ServiceResult,
+    ServiceStats,
 )
+from repro.service.scheduler import Scheduler, SchedulerStats
 from repro.service.transport import SocketServer
 
 __all__ = [
@@ -71,7 +74,12 @@ __all__ = [
     "ExplanationService",
     "ExplanationRequest",
     "ServiceResult",
+    "ServiceStats",
     "RequestStatus",
     "ServiceClient",
     "SocketServer",
+    "Scheduler",
+    "SchedulerStats",
+    "SessionPool",
+    "PoolStats",
 ]

@@ -8,11 +8,14 @@ cost-model queries) from its *execution substrate*:
 * :mod:`repro.runtime.session` — :class:`ExplanationSession`, which owns the
   state shared across one explanation run: the cache wrapper, the execution
   backend, and the per-block background populations reused across anchor beam
-  levels and repeated explanations.
+  levels and repeated explanations,
+* :mod:`repro.runtime.pool` — :class:`SessionPool`, a leased LRU pool of
+  warm sessions keyed by (model, microarch), shared by the explanation
+  service's dispatcher fleet and library callers alike.
 
-``ExplanationSession`` is imported lazily (PEP 562): the session layer sits
-on top of :mod:`repro.explain`, which itself builds on models that import
-this package for backend support.
+``ExplanationSession`` and ``SessionPool`` are imported lazily (PEP 562):
+the session layer sits on top of :mod:`repro.explain`, which itself builds
+on models that import this package for backend support.
 """
 
 from repro.runtime.backend import (
@@ -39,14 +42,21 @@ __all__ = [
     "resolve_backend",
     "ExplanationSession",
     "SessionStats",
+    "SessionPool",
+    "PoolStats",
 ]
 
-_LAZY = ("ExplanationSession", "SessionStats")
+_LAZY_SESSION = ("ExplanationSession", "SessionStats")
+_LAZY_POOL = ("SessionPool", "PoolStats")
 
 
 def __getattr__(name):
-    if name in _LAZY:
+    if name in _LAZY_SESSION:
         from repro.runtime import session
 
         return getattr(session, name)
+    if name in _LAZY_POOL:
+        from repro.runtime import pool
+
+        return getattr(pool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,47 +3,71 @@
 The library's one-shot API pays the full setup cost — model construction,
 cache warm-up, backend pool spin-up, background populations — on every call.
 This package keeps all of that *resident*: an
-:class:`~repro.service.core.ExplanationService` owns one long-lived
-:class:`~repro.runtime.session.ExplanationSession` per requested model
-(pooled LRU through the model registry) and serves explanation requests
-against it with submit/poll/result semantics, a bounded request queue for
-backpressure, and a graceful shutdown that drains in-flight work before the
-backends are released.
+:class:`~repro.service.core.ExplanationService` leases long-lived
+:class:`~repro.runtime.session.ExplanationSession` instances from a shared
+:class:`~repro.runtime.pool.SessionPool` (LRU per (model, microarch)) and
+serves explanation requests against them with submit/poll/result semantics,
+a bounded request queue for backpressure, and a graceful shutdown that
+drains in-flight work before the backends are released.
+
+Requests are executed by the :class:`~repro.service.scheduler.Scheduler` —
+N dispatcher threads with deterministic per-key affinity routing, work
+stealing, per-key fairness and admission control — so distinct (model,
+microarch) keys execute concurrently while every single request still
+produces the bit-for-bit seeded result of serial submission.
 
 The JSON-lines wire protocol (:mod:`repro.service.protocol`) is spoken over
 two transports: stdin/stdout (``repro serve``, the default) and TCP
 (:class:`~repro.service.transport.SocketServer` behind ``repro serve
---port``, driven by :class:`~repro.service.client.ServiceClient`).
+--port``, driven by :class:`~repro.service.client.ServiceClient`).  Besides
+explanation requests it answers a ``stats`` op (queue depth, pool occupancy,
+per-dispatcher counters), surfaced client-side as
+:meth:`ServiceClient.stats`.
 
 See ``docs/architecture.md`` ("The service layer") for the ownership rules.
 """
 
+from repro.runtime.pool import PoolStats, SessionPool
 from repro.service.client import ServiceClient
 from repro.service.core import (
+    DISPATCHERS_ENV_VAR,
     ExplanationRequest,
     ExplanationService,
     RequestStatus,
     ServiceResult,
     ServiceStats,
+    default_dispatchers,
 )
 from repro.service.protocol import (
+    ServiceOp,
     request_from_dict,
     request_from_line,
     result_to_dict,
     serve_stream,
+    stats_to_dict,
 )
+from repro.service.scheduler import DispatcherStats, Scheduler, SchedulerStats
 from repro.service.transport import SocketServer
 
 __all__ = [
+    "DISPATCHERS_ENV_VAR",
+    "DispatcherStats",
     "ExplanationRequest",
     "ExplanationService",
+    "PoolStats",
     "RequestStatus",
+    "Scheduler",
+    "SchedulerStats",
     "ServiceClient",
+    "ServiceOp",
     "ServiceResult",
     "ServiceStats",
+    "SessionPool",
     "SocketServer",
+    "default_dispatchers",
     "request_from_dict",
     "request_from_line",
     "result_to_dict",
     "serve_stream",
+    "stats_to_dict",
 ]

@@ -95,27 +95,53 @@ class ServiceClient:
     # ------------------------------------------------------------- lifecycle
 
     def connect(self) -> "ServiceClient":
-        """Open the socket and start the response reader.  Idempotent."""
-        if self._sock is not None:
-            return self
-        if self._closed:
-            raise ServiceError("this service client has been closed")
-        self._sock = socket.create_connection(
+        """Open the socket and start the response reader.  Idempotent.
+
+        The TCP dial happens *outside* the lock (a black-holed host must
+        not stall concurrent ``close()``/``result()`` callers for the whole
+        connect timeout) and the winner installs under it: racing first
+        submits share one connection, a losing dial is closed on the spot,
+        and a dial finishing after ``close()`` never installs a socket on a
+        closed client.
+        """
+        with self._lock:
+            if self._sock is not None:
+                return self
+            if self._closed:
+                raise ServiceError("this service client has been closed")
+        sock = socket.create_connection(
             (self.host, self.port), timeout=self.connect_timeout
         )
-        # The reader blocks on recv as long as the connection lives; result()
-        # timeouts are enforced on the waiting side, not the socket.
-        self._sock.settimeout(None)
-        self._reader = threading.Thread(
-            target=self._read_loop, name="repro-client-reader", daemon=True
-        )
-        self._reader.start()
-        return self
+        # The reader blocks on recv as long as the connection lives;
+        # result() timeouts are enforced on the waiting side, not the
+        # socket.
+        sock.settimeout(None)
+        with self._lock:
+            if not self._closed and self._sock is None:
+                self._sock = sock
+                self._reader = threading.Thread(
+                    target=self._read_loop, name="repro-client-reader", daemon=True
+                )
+                self._reader.start()
+                return self
+            lost_to_peer = self._sock is not None
+        try:
+            sock.close()
+        except OSError:
+            pass
+        if lost_to_peer:
+            return self  # another thread's dial won; share its connection
+        raise ServiceError("this service client has been closed")
 
     def close(self) -> None:
         """Close the socket and fail any still-waiting :meth:`result` calls."""
-        self._closed = True
-        sock, self._sock = self._sock, None
+        with self._lock:
+            # Under the same lock as connect(): a close racing a first
+            # submit must either see the new socket (and close it) or make
+            # the in-flight connect's _closed check fail — never let a
+            # socket and reader thread be installed on a closed client.
+            self._closed = True
+            sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -153,9 +179,7 @@ class ServiceClient:
         ``"auto"``, applies otherwise — pass ``None`` explicitly to force
         the sequential loop).
         """
-        self.connect()
-        request_id = f"c{next(self._ids)}"
-        payload: Dict[str, object] = {"id": request_id, "seed": int(seed)}
+        payload: Dict[str, object] = {"seed": int(seed)}
         if isinstance(blocks, (str, BasicBlock)):
             payload["block"] = _block_text(blocks)
         else:
@@ -166,33 +190,50 @@ class ServiceClient:
             payload["uarch"] = uarch
         if shards is not _UNSET:
             payload["shards"] = shards
-        with self._lock:
-            if self._connection_error:
-                raise ServiceError(
-                    f"connection to {self.host}:{self.port} is gone: "
-                    f"{self._connection_error}"
-                )
-            # Snapshot under the lock: a concurrent close() swaps _sock to
-            # None, and this path must degrade to ServiceError, not crash.
-            sock = self._sock
-            if sock is None:
-                raise ServiceError("this service client has been closed")
-            self._events[request_id] = threading.Event()
-            self._order.append(request_id)
-        line = json.dumps(payload) + "\n"
-        try:
-            with self._send_lock:
-                sock.sendall(line.encode("utf-8"))
-        except OSError as error:
+        return self._post(payload)
+
+    def _post(self, payload: Dict[str, object]) -> str:
+        """Tag ``payload`` with a fresh correlation id and send it.
+
+        The ``_order`` registration and the socket send happen under one
+        ``_send_lock`` hold: were they separate, two racing submitters
+        could register in one order and hit the wire in the other, and the
+        oldest-outstanding attribution of id-less responses (see
+        ``_order``) would cross-wire their replies.
+        """
+        self.connect()
+        request_id = f"c{next(self._ids)}"
+        # Serialize before registering the id: a non-JSON-safe payload must
+        # raise with no state behind, not leave a phantom entry in _order
+        # that id-less responses would be misattributed to.
+        line = json.dumps({"id": request_id, **payload}) + "\n"
+        with self._send_lock:
             with self._lock:
-                self._events.pop(request_id, None)
-                try:
-                    self._order.remove(request_id)
-                except ValueError:
-                    pass
-            raise ServiceError(
-                f"cannot send to {self.host}:{self.port}: {error}"
-            ) from error
+                if self._connection_error:
+                    raise ServiceError(
+                        f"connection to {self.host}:{self.port} is gone: "
+                        f"{self._connection_error}"
+                    )
+                # Snapshot under the lock: a concurrent close() swaps _sock
+                # to None, and this path must degrade to ServiceError, not
+                # crash.
+                sock = self._sock
+                if sock is None:
+                    raise ServiceError("this service client has been closed")
+                self._events[request_id] = threading.Event()
+                self._order.append(request_id)
+            try:
+                sock.sendall(line.encode("utf-8"))
+            except OSError as error:
+                with self._lock:
+                    self._events.pop(request_id, None)
+                    try:
+                        self._order.remove(request_id)
+                    except ValueError:
+                        pass
+                raise ServiceError(
+                    f"cannot send to {self.host}:{self.port}: {error}"
+                ) from error
         return request_id
 
     # --------------------------------------------------------------- collect
@@ -259,6 +300,23 @@ class ServiceClient:
                 f"{response.get('error')}"
             )
         return list(response["explanations"])
+
+    def stats(self, *, timeout: Optional[float] = _UNSET) -> dict:
+        """The server's accounting snapshot, via the ``stats`` op.
+
+        Returns the decoded ``stats`` payload — request counters, queue
+        depth, per-dispatcher counters and session-pool occupancy (see
+        :func:`repro.service.protocol.stats_to_dict`).  Answered in this
+        connection's submission order like every other request.
+        """
+        request_id = self._post({"op": "stats"})
+        response = self.result(request_id, timeout=timeout)
+        if response.get("status") != "done":
+            raise ServiceError(
+                f"stats request {request_id} {response.get('status')}: "
+                f"{response.get('error')}"
+            )
+        return dict(response["stats"])
 
     # ---------------------------------------------------------------- reader
 

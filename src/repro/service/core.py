@@ -1,57 +1,87 @@
 """The warm-session explanation service.
 
 :class:`ExplanationService` turns the explanation library into a servable
-system: requests go into a bounded queue, one dispatcher thread executes them
-against long-lived, per-model :class:`~repro.runtime.session.ExplanationSession`
-instances (warm query cache, resident execution backend, LRU population
-records), and clients collect results with submit/poll/result semantics or
-the synchronous :meth:`ExplanationService.explain` convenience wrapper.
+system: requests go into an admission-controlled scheduler, a fleet of
+dispatcher threads executes them against long-lived, per-model
+:class:`~repro.runtime.session.ExplanationSession` instances (warm query
+cache, resident execution backend, LRU population records) leased from a
+shared :class:`~repro.runtime.pool.SessionPool`, and clients collect results
+with submit/poll/result semantics or the synchronous
+:meth:`ExplanationService.explain` convenience wrapper.
 
 Design decisions worth knowing:
 
-* **One dispatcher thread.**  Requests execute strictly in submission order
-  on one thread, so N concurrent clients sharing a warm session get exactly
-  the seeded results serial submission would produce — the service never
-  trades determinism for concurrency.  Parallelism lives *inside* a request:
-  each explanation fans its query batches out through the session's backend,
-  and fleet requests additionally shard their block list across backend
-  workers (see ``ExplanationSession.explain_many``).
-* **Bounded queue.**  ``max_queue`` caps buffered requests; a blocking
-  :meth:`submit` applies backpressure to producers, a non-blocking one
-  raises :class:`~repro.utils.errors.QueueFullError` so callers can shed
-  load instead of buffering without limit.
-* **Ownership.**  The service owns the sessions it builds (and closes them);
-  each session owns the backend it resolved (and closes it).  Nothing else
-  closes anything: callers that hand the service a ``session_factory``
-  producing sessions over caller-owned backends keep those backends open
-  across :meth:`close`, per the session's own ownership rules.
+* **Key-affine dispatchers.**  The :class:`~repro.service.scheduler.Scheduler`
+  routes every request by its session key — ``(model, microarch)`` — to one
+  home dispatcher and never runs two requests of one key concurrently, so N
+  concurrent clients sharing a warm session get exactly the seeded results
+  serial submission would produce while *distinct* keys execute in parallel.
+  ``dispatchers=1`` (the default) is the original single-threaded service
+  and stays the behavioral oracle in tests.  Parallelism also lives *inside*
+  a request: each explanation fans its query batches out through the
+  session's backend, and fleet requests additionally shard their block list
+  across backend workers (see ``ExplanationSession.explain_many``).
+* **Bounded queue.**  ``max_queue`` caps buffered requests across the whole
+  dispatcher fleet; a blocking :meth:`submit` applies backpressure to
+  producers, a non-blocking one raises
+  :class:`~repro.utils.errors.QueueFullError` so callers can shed load
+  instead of buffering without limit.  Within the bound, queued keys
+  round-robin per dispatcher, so one hot model cannot starve the rest.
+* **Ownership.**  The service owns its session pool, which owns the
+  sessions it builds (and closes them); each session owns the backend it
+  resolved (and closes it).  Nothing else closes anything: callers that
+  hand the service a ``session_factory`` producing sessions over
+  caller-owned backends keep those backends open across :meth:`close`, per
+  the session's own ownership rules.
 
 Seeded results are bit-for-bit identical to calling
 :class:`~repro.explain.explainer.CometExplainer` directly: single-block
 requests run ``session.explain(block, rng=seed)`` and multi-block requests
 run ``session.explain_many(blocks, rng=seed)``, both of which are pinned
-against the one-shot API by the runtime's parity tests.
+against the one-shot API by the runtime's parity tests — under any
+dispatcher count, which the service's parity tests pin against the
+single-dispatcher oracle.
 """
 
 from __future__ import annotations
 
 import itertools
-import queue
+import os
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bb.block import BasicBlock
 from repro.explain.config import ExplainerConfig
 from repro.explain.explanation import Explanation
+from repro.runtime.pool import PoolStats, SessionFactory, SessionPool
 from repro.runtime.session import ExplanationSession, SessionStats
+from repro.service.scheduler import DispatcherStats, Scheduler
 from repro.utils.errors import QueueFullError, ServiceClosedError, ServiceError
 
-#: Builds the session serving one (model, microarch) pair.
-SessionFactory = Callable[[str, str], ExplanationSession]
+#: Environment override for the default dispatcher count (like
+#: ``REPRO_BACKEND`` for backends; CI uses it to run suites multi-dispatch).
+DISPATCHERS_ENV_VAR = "REPRO_DISPATCHERS"
+
+
+def default_dispatchers() -> int:
+    """The ambient dispatcher count: ``REPRO_DISPATCHERS`` or 1."""
+    raw = os.environ.get(DISPATCHERS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ServiceError(
+            f"{DISPATCHERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from error
+    if value < 1:
+        raise ServiceError(
+            f"{DISPATCHERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        )
+    return value
 
 
 class RequestStatus(Enum):
@@ -117,18 +147,23 @@ class ServiceStats:
     queue_depth: int
     sessions: Tuple[Tuple[str, str], ...]
     session_stats: Dict[Tuple[str, str], SessionStats] = field(default_factory=dict)
+    dispatchers: int = 1
+    in_flight: int = 0
+    dispatcher_stats: Tuple[DispatcherStats, ...] = ()
+    pool: Optional[PoolStats] = None
 
     def describe(self) -> str:
         return (
             f"{self.served}/{self.submitted} requests served "
             f"({self.failed} failed, {self.cancelled} cancelled), "
             f"{self.queue_depth} queued, "
-            f"{len(self.sessions)} warm sessions"
+            f"{len(self.sessions)} warm sessions, "
+            f"{self.dispatchers} dispatchers"
         )
 
 
 class _Ticket:
-    """Mutable per-request state shared between clients and the dispatcher."""
+    """Mutable per-request state shared between clients and dispatchers."""
 
     __slots__ = ("request_id", "request", "status", "result", "done")
 
@@ -138,10 +173,6 @@ class _Ticket:
         self.status = RequestStatus.QUEUED
         self.result: Optional[ServiceResult] = None
         self.done = threading.Event()
-
-
-#: Queue sentinel telling the dispatcher to exit.
-_SHUTDOWN = object()
 
 
 class ExplanationService:
@@ -158,11 +189,18 @@ class ExplanationService:
         Execution substrate forwarded to each session (a short name or
         ``None`` for the ``REPRO_BACKEND`` environment default).  Each
         session resolves — and owns — its own backend instance.
+    dispatchers:
+        How many dispatcher threads serve the queue (``None`` = the
+        ``REPRO_DISPATCHERS`` environment default, normally 1).  Requests
+        are routed by session key: one key never runs concurrently with
+        itself, so any dispatcher count preserves per-request seeded
+        results bit-for-bit; more dispatchers let distinct (model, uarch)
+        keys execute in parallel.
     max_queue:
         Bound on buffered requests (backpressure surface).
     max_sessions:
         How many per-model sessions stay warm at once; the least recently
-        used session is closed when the pool overflows.
+        used idle session is closed when the pool overflows.
     session_factory:
         Override how sessions are built (tests inject toy models here).  The
         default routes through :func:`repro.models.registry.build_session`.
@@ -170,7 +208,7 @@ class ExplanationService:
     Use as a context manager (or call :meth:`close`) so queued requests are
     drained and pooled workers released deterministically::
 
-        with ExplanationService(model="uica", backend="process") as service:
+        with ExplanationService(model="uica", backend="process", dispatchers=4) as service:
             explanations = service.explain([block], seed=0)
     """
 
@@ -182,6 +220,7 @@ class ExplanationService:
         config: Optional[ExplainerConfig] = None,
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        dispatchers: Optional[int] = None,
         max_queue: int = 64,
         max_sessions: int = 4,
         cache_entries: int = 100_000,
@@ -191,21 +230,28 @@ class ExplanationService:
             raise ValueError("max_queue must be >= 1")
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if dispatchers is None:
+            dispatchers = default_dispatchers()
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be >= 1")
         self.default_model = model
         self.default_uarch = uarch
         self.config = config or ExplainerConfig()
+        self.dispatchers = dispatchers
+        self.max_queue = max_queue
         self.max_sessions = max_sessions
         self._backend = backend
         self._workers = workers
         self._cache_entries = cache_entries
-        self._session_factory = session_factory or self._build_session
-        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._pool = SessionPool(
+            session_factory or self._build_session, max_sessions=max_sessions
+        )
         self._tickets: Dict[str, _Ticket] = {}
-        self._sessions: "OrderedDict[Tuple[str, str], ExplanationSession]" = OrderedDict()
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
-        self._dispatcher: Optional[threading.Thread] = None
+        self._scheduler: Optional[Scheduler] = None
         self._closed = False
+        self._close_done = threading.Event()
         self._submitted = 0
         self._served = 0
         self._failed = 0
@@ -214,15 +260,19 @@ class ExplanationService:
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> "ExplanationService":
-        """Start the dispatcher thread.  Idempotent; implied by ``submit``."""
-        if self._closed:
-            raise ServiceClosedError("this explanation service has been closed")
+        """Start the dispatcher fleet.  Idempotent; implied by ``submit``."""
         with self._lock:
-            if self._dispatcher is None:
-                self._dispatcher = threading.Thread(
-                    target=self._run, name="repro-service-dispatcher", daemon=True
+            # The closed check must live under the lock: a start racing
+            # close() past an unlocked check would build a fresh dispatcher
+            # fleet on a service whose close already ran — and leak it.
+            if self._closed:
+                raise ServiceClosedError("this explanation service has been closed")
+            if self._scheduler is None:
+                self._scheduler = Scheduler(
+                    self._execute,
+                    dispatchers=self.dispatchers,
+                    max_queue=self.max_queue,
                 )
-                self._dispatcher.start()
         return self
 
     @property
@@ -235,41 +285,41 @@ class ExplanationService:
         Returns ``False`` if ``timeout`` (seconds) elapsed first.  Draining a
         service that never started (or is already idle) returns immediately.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._queue.all_tasks_done:
-            while self._queue.unfinished_tasks:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    return False
-                self._queue.all_tasks_done.wait(remaining)
-        return True
+        scheduler = self._scheduler
+        if scheduler is None:
+            return True
+        return scheduler.drain(timeout)
 
     def close(self, *, drain: bool = True) -> None:
-        """Shut the service down.  Idempotent.
+        """Shut the service down.  Idempotent (and safe to race).
 
         With ``drain`` (the default) all queued requests finish first; with
         ``drain=False`` queued-but-unstarted requests are cancelled (their
-        tickets resolve with :attr:`RequestStatus.CANCELLED`) and only the
-        in-flight request completes.  Either way every warm session — and
+        tickets resolve with :attr:`RequestStatus.CANCELLED`) and only
+        in-flight requests complete.  Either way every warm session — and
         therefore every backend a session owns — is closed before returning,
-        so no pooled workers outlive the service.
+        so no pooled workers outlive the service.  A concurrent second
+        ``close`` simply waits until the first one has finished.
         """
-        if self._closed:
-            return
-        self._closed = True  # reject new submissions immediately
-        dispatcher = self._dispatcher
-        if dispatcher is not None:
-            if drain:
-                self.drain()
-            else:
-                self._cancel_queued()
-            self._queue.put(_SHUTDOWN)
-            dispatcher.join()
         with self._lock:
-            sessions = list(self._sessions.values())
-            self._sessions.clear()
-        for session in sessions:
-            session.close()
+            first = not self._closed
+            self._closed = True  # reject new submissions immediately
+        if not first:
+            self._close_done.wait()
+            return
+        try:
+            scheduler = self._scheduler
+            if scheduler is not None:
+                if drain:
+                    scheduler.drain()
+                # Dispatchers still drain anything that raced past the
+                # closed check above; with cancel=True the backlog comes
+                # back to us to resolve instead.
+                for ticket in scheduler.close(cancel=not drain):
+                    self._cancel_ticket(ticket)
+            self._pool.close()
+        finally:
+            self._close_done.set()
 
     def _cancel_ticket(self, ticket: "_Ticket") -> None:
         self._resolve(
@@ -285,17 +335,6 @@ class ExplanationService:
             ),
         )
 
-    def _cancel_queued(self) -> None:
-        """Drop queued tickets, resolving each as cancelled."""
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if item is not _SHUTDOWN:
-                self._cancel_ticket(item)
-            self._queue.task_done()
-
     def __enter__(self) -> "ExplanationService":
         return self.start()
 
@@ -303,6 +342,13 @@ class ExplanationService:
         self.close()
 
     # ---------------------------------------------------------------- submit
+
+    def _request_key(self, request: ExplanationRequest) -> Tuple[str, str]:
+        """The session key a request routes (and serializes) on."""
+        return (
+            request.model or self.default_model,
+            request.uarch or self.default_uarch,
+        )
 
     def submit(
         self,
@@ -322,7 +368,9 @@ class ExplanationService:
         keyword arguments then describe the request).  When the bounded queue
         is full, a blocking submit waits (``timeout`` seconds, or forever)
         and a non-blocking one raises
-        :class:`~repro.utils.errors.QueueFullError` immediately.
+        :class:`~repro.utils.errors.QueueFullError` immediately.  Submitting
+        to a closed service raises
+        :class:`~repro.utils.errors.ServiceClosedError`.
         """
         if self._closed:
             raise ServiceClosedError("this explanation service has been closed")
@@ -332,27 +380,32 @@ class ExplanationService:
                 blocks=blocks, seed=seed, model=model, uarch=uarch, shards=shards
             )
         self.start()
+        scheduler = self._scheduler
+        assert scheduler is not None
         ticket = _Ticket(f"req-{next(self._ids)}", request)
         with self._lock:
             self._tickets[ticket.request_id] = ticket
             self._submitted += 1
         try:
-            self._queue.put(ticket, block=block, timeout=timeout)
-        except queue.Full:
+            scheduler.submit(
+                self._request_key(request), ticket, block=block, timeout=timeout
+            )
+        except QueueFullError:
             with self._lock:
                 del self._tickets[ticket.request_id]
                 self._submitted -= 1
-            raise QueueFullError(
-                f"service queue is full ({self._queue.maxsize} requests); "
-                f"retry, raise max_queue, or use a blocking submit"
+            # The scheduler's message already distinguishes "full right
+            # now" from "stayed full for your whole timeout"; re-raise it.
+            raise
+        except ServiceClosedError:
+            # close() won the race between our closed-check and the
+            # scheduler put; the ticket never entered the queue.
+            with self._lock:
+                del self._tickets[ticket.request_id]
+                self._submitted -= 1
+            raise ServiceClosedError(
+                "this explanation service has been closed"
             ) from None
-        if self._closed:
-            # close() may have drained the queue and stopped the dispatcher
-            # between our closed-check and the put; nothing will service the
-            # ticket, so resolve it as cancelled here (idempotent — if the
-            # dispatcher did pick it up, _resolve is a no-op for the loser
-            # and the dispatcher skips already-resolved tickets).
-            self._cancel_ticket(ticket)
         return ticket.request_id
 
     def poll(self, request_id: str) -> RequestStatus:
@@ -403,28 +456,25 @@ class ExplanationService:
 
     # ------------------------------------------------------------ dispatcher
 
-    def _run(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
-                self._queue.task_done()
+    def _execute(self, ticket: _Ticket) -> None:
+        """Run one claimed request on a dispatcher thread.
+
+        The scheduler guarantees per-key mutual exclusion, so this request
+        has its session to itself for the duration; the pool lease pins the
+        session against a concurrent eviction triggered by another key.
+        """
+        with self._lock:
+            # Skip tickets already resolved (cancelled by a racing close);
+            # claiming RUNNING under the lock means a concurrent _resolve
+            # cannot interleave between the check and the status write.
+            if ticket.done.is_set():
                 return
-            ticket: _Ticket = item
-            with self._lock:
-                # Skip tickets already resolved (cancelled by a racing
-                # submit-after-close); claiming RUNNING under the lock means
-                # a concurrent _resolve cannot interleave between the check
-                # and the status write.
-                if ticket.done.is_set():
-                    self._queue.task_done()
-                    continue
-                ticket.status = RequestStatus.RUNNING
-            request = ticket.request
-            model_name = request.model or self.default_model
-            uarch = request.uarch or self.default_uarch
-            start = time.perf_counter()
-            try:
-                session = self._session_for(model_name, uarch)
+            ticket.status = RequestStatus.RUNNING
+        request = ticket.request
+        model_name, uarch = self._request_key(request)
+        start = time.perf_counter()
+        try:
+            with self._pool.leased(model_name, uarch) as session:
                 # Request isolation: population records are stateful (a
                 # pre-filled record changes how a later search consumes its
                 # stream), so each request starts from a clean record space —
@@ -442,27 +492,26 @@ class ExplanationService:
                             request.blocks, rng=request.seed, shards=request.shards
                         )
                     )
-                result = ServiceResult(
-                    request_id=ticket.request_id,
-                    status=RequestStatus.DONE,
-                    explanations=explanations,
-                    error=None,
-                    model=model_name,
-                    uarch=uarch,
-                    seconds=time.perf_counter() - start,
-                )
-            except Exception as error:  # noqa: BLE001 - reported to the client
-                result = ServiceResult(
-                    request_id=ticket.request_id,
-                    status=RequestStatus.FAILED,
-                    explanations=(),
-                    error=f"{type(error).__name__}: {error}",
-                    model=model_name,
-                    uarch=uarch,
-                    seconds=time.perf_counter() - start,
-                )
-            self._resolve(ticket, result)
-            self._queue.task_done()
+            result = ServiceResult(
+                request_id=ticket.request_id,
+                status=RequestStatus.DONE,
+                explanations=explanations,
+                error=None,
+                model=model_name,
+                uarch=uarch,
+                seconds=time.perf_counter() - start,
+            )
+        except Exception as error:  # noqa: BLE001 - reported to the client
+            result = ServiceResult(
+                request_id=ticket.request_id,
+                status=RequestStatus.FAILED,
+                explanations=(),
+                error=f"{type(error).__name__}: {error}",
+                model=model_name,
+                uarch=uarch,
+                seconds=time.perf_counter() - start,
+            )
+        self._resolve(ticket, result)
 
     def _resolve(self, ticket: _Ticket, result: ServiceResult) -> None:
         """Publish a ticket's outcome exactly once (later resolvers lose)."""
@@ -481,6 +530,11 @@ class ExplanationService:
 
     # -------------------------------------------------------------- sessions
 
+    @property
+    def pool(self) -> SessionPool:
+        """The service's session pool (shared with library callers)."""
+        return self._pool
+
     def _build_session(self, model_name: str, uarch: str) -> ExplanationSession:
         from repro.models.registry import build_session
 
@@ -493,46 +547,29 @@ class ExplanationService:
             cache_entries=self._cache_entries,
         )
 
-    def _session_for(self, model_name: str, uarch: str) -> ExplanationSession:
-        """The warm session for one (model, uarch), LRU-pooled.
-
-        Only the dispatcher thread calls this; the lock protects the pool
-        against concurrent ``stats()``/``close()`` readers.
-        """
-        key = (model_name, uarch)
-        evicted: List[ExplanationSession] = []
-        with self._lock:
-            session = self._sessions.get(key)
-            if session is not None:
-                self._sessions.move_to_end(key)
-        if session is None:
-            session = self._session_factory(model_name, uarch)
-            with self._lock:
-                self._sessions[key] = session
-                while len(self._sessions) > self.max_sessions:
-                    evicted.append(self._sessions.popitem(last=False)[1])
-        for old in evicted:
-            old.close()
-        return session
-
     # ----------------------------------------------------------------- stats
 
     def stats(self) -> ServiceStats:
-        """Accounting snapshot (request counters plus per-session stats)."""
+        """Accounting snapshot: request counters, scheduler queue/flight
+        depth, per-dispatcher counters, pool occupancy and per-session stats."""
         with self._lock:
-            sessions = dict(self._sessions)
             submitted, served = self._submitted, self._served
             failed, cancelled = self._failed, self._cancelled
+            scheduler = self._scheduler
+        scheduler_stats = scheduler.stats() if scheduler is not None else None
+        keys, pool_stats, session_stats = self._pool.snapshot()
         return ServiceStats(
             submitted=submitted,
             served=served,
             failed=failed,
             cancelled=cancelled,
-            queue_depth=self._queue.qsize(),
-            sessions=tuple(sessions.keys()),
-            session_stats={
-                key: session.stats()
-                for key, session in sessions.items()
-                if not session.closed
-            },
+            queue_depth=scheduler_stats.queue_depth if scheduler_stats else 0,
+            sessions=keys,
+            session_stats=session_stats,
+            dispatchers=self.dispatchers,
+            in_flight=scheduler_stats.in_flight if scheduler_stats else 0,
+            dispatcher_stats=(
+                scheduler_stats.dispatcher_stats if scheduler_stats else ()
+            ),
+            pool=pool_stats,
         )

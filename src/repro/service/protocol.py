@@ -5,6 +5,7 @@ can write JSON can drive a warm explanation service.  One request per line::
 
     {"id": "r1", "block": "add rcx, rax; mov rdx, rcx; pop rbx", "seed": 0}
     {"id": "r2", "blocks": ["div rcx", "add rax, rbx"], "model": "uica"}
+    {"id": "r3", "op": "stats"}       # introspection, answered in-band
     add rcx, rax; mov rdx, rcx        # bare text is sugar for {"block": ...}
 
 and one response line per request, in submission order::
@@ -15,13 +16,20 @@ and one response line per request, in submission order::
 ``id`` is the client's correlation key (echoed verbatim; the service's own
 request id is returned as ``request_id``).  Failures come back in-band with
 ``"status": "failed"`` and an ``error`` string — the stream keeps serving.
+
+Besides explanation requests the protocol carries *operations* — currently
+only ``{"op": "stats"}``, which answers with the service's accounting
+snapshot (queue depth, pool occupancy, per-dispatcher counters; see
+:func:`stats_to_dict`) in the same per-connection submission order as every
+other response.
 """
 
 from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Dict, Iterable, Optional, TextIO, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, TextIO, Tuple, Union
 
 from repro.bb.block import BasicBlock
 from repro.reporting.export import explanation_to_dict
@@ -30,8 +38,30 @@ from repro.service.core import (
     ExplanationService,
     RequestStatus,
     ServiceResult,
+    ServiceStats,
 )
 from repro.utils.errors import ReproError, ServiceError
+
+#: Operation names the protocol understands besides explanation requests.
+KNOWN_OPS = ("stats",)
+
+#: Every field an explanation request may carry on the wire (the schema
+#: :func:`request_from_dict` reads).  The op/request mixing guard checks
+#: against this same set, so adding a field here keeps both in step.
+REQUEST_FIELDS = frozenset({"block", "blocks", "seed", "model", "uarch", "shards"})
+
+
+@dataclass(frozen=True)
+class ServiceOp:
+    """A non-explanation protocol request (``{"op": "stats"}``)."""
+
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in KNOWN_OPS:
+            raise ServiceError(
+                f"unknown op {self.op!r}; known ops: {', '.join(KNOWN_OPS)}"
+            )
 
 
 def request_from_dict(payload: Dict[str, object]) -> ExplanationRequest:
@@ -79,12 +109,15 @@ def request_from_dict(payload: Dict[str, object]) -> ExplanationRequest:
     )
 
 
-def request_from_line(line: str) -> Tuple[Optional[str], ExplanationRequest]:
-    """Decode one protocol line into ``(client id, request)``.
+def request_from_line(
+    line: str,
+) -> Tuple[Optional[str], Union[ExplanationRequest, ServiceOp]]:
+    """Decode one protocol line into ``(client id, request-or-op)``.
 
     Lines starting with ``{`` are JSON requests; anything else is treated as
     bare block text (instructions separated by ``;`` or the line is one
-    instruction), with no client id.
+    instruction), with no client id.  A JSON object carrying an ``op`` field
+    decodes to a :class:`ServiceOp` instead of an explanation request.
     """
     stripped = line.strip()
     if not stripped:
@@ -101,6 +134,16 @@ def request_from_line(line: str) -> Tuple[Optional[str], ExplanationRequest]:
         raw_id = payload.get("id")
         client_id = None if raw_id is None else str(raw_id)
         try:
+            if "op" in payload:
+                mixed = sorted(REQUEST_FIELDS & payload.keys())
+                if mixed:
+                    # Answering the op would silently drop the explanation
+                    # payload; surface the client bug instead.
+                    raise ServiceError(
+                        f"an op request cannot carry explanation fields "
+                        f"({', '.join(mixed)})"
+                    )
+                return client_id, ServiceOp(str(payload["op"]))
             return client_id, request_from_dict(payload)
         except ReproError as error:
             # Tag the failure with the client's correlation id so the error
@@ -131,6 +174,49 @@ def result_to_dict(
     return payload
 
 
+def stats_to_dict(
+    stats: ServiceStats, client_id: Optional[str] = None
+) -> Dict[str, object]:
+    """The wire response for a ``stats`` op: queue depth, pool occupancy and
+    per-dispatcher counters, JSON-safe."""
+    pool = stats.pool
+    return {
+        "id": client_id,
+        "status": "done",
+        "op": "stats",
+        "stats": {
+            "submitted": stats.submitted,
+            "served": stats.served,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+            "queue_depth": stats.queue_depth,
+            "in_flight": stats.in_flight,
+            "dispatchers": stats.dispatchers,
+            "dispatcher_stats": [
+                {
+                    "index": d.index,
+                    "executed": d.executed,
+                    "stolen": d.stolen,
+                    "busy": d.busy,
+                }
+                for d in stats.dispatcher_stats
+            ],
+            "pool": None
+            if pool is None
+            else {
+                "sessions": pool.sessions,
+                "max_sessions": pool.max_sessions,
+                "leased": pool.leased,
+                "occupancy": round(pool.occupancy, 4),
+                "builds": pool.builds,
+                "hits": pool.hits,
+                "evictions": pool.evictions,
+            },
+            "sessions": [list(key) for key in stats.sessions],
+        },
+    }
+
+
 def _error_line(client_id: Optional[str], message: str) -> str:
     return json.dumps(
         {"id": client_id, "status": "failed", "error": message}
@@ -141,31 +227,44 @@ def serve_stream(
     service: ExplanationService,
     lines: Iterable[str],
     out: TextIO,
+    max_pending: int = 1024,
 ) -> int:
     """Pump a request stream through ``service``; returns served-request count.
 
     Requests are submitted as they are read — the bounded queue throttles
-    reading when the dispatcher falls behind — and responses are written in
+    reading when the dispatchers fall behind — and responses are written in
     submission order, flushed as soon as each one completes, so a slow later
     request never delays an earlier answer and pipelined clients stream
-    results.  Undecodable lines produce an in-band ``failed`` response and do
-    not stop the stream.  The caller keeps ownership of ``service`` (and
-    closes it).
+    results.  A ``stats`` op is answered in the same submission order, its
+    snapshot taken when its turn to answer comes.  Ops and undecodable
+    lines never transit the service queue, so the response backlog gets
+    its own bound: past ``max_pending`` outstanding responses the stream
+    stops reading until the backlog drains (pure backpressure — nothing is
+    dropped).  Undecodable lines produce an in-band ``failed`` response
+    and do not stop the stream.  The caller keeps ownership of ``service``
+    (and closes it).
     """
-    pending: "deque[Tuple[Optional[str], str]]" = deque()
+    #: (client id, service request id or None for a stats op).
+    pending: "deque[Tuple[Optional[str], Optional[str]]]" = deque()
     served = 0
 
     def flush(block: bool) -> int:
         count = 0
         while pending:
             client_id, request_id = pending[0]
-            if not block and not service.poll(request_id).finished:
-                break
-            result = service.result(request_id)
-            out.write(json.dumps(result_to_dict(result, client_id)) + "\n")
+            if request_id is None:
+                # Ops are answered but not counted: the served total must
+                # agree with the service's own `served` accounting, which
+                # counts explanation requests only.
+                payload = stats_to_dict(service.stats(), client_id)
+            else:
+                if not block and not service.poll(request_id).finished:
+                    break
+                payload = result_to_dict(service.result(request_id), client_id)
+                count += 1
+            out.write(json.dumps(payload) + "\n")
             out.flush()
             pending.popleft()
-            count += 1
         return count
 
     for line in lines:
@@ -179,6 +278,12 @@ def serve_stream(
             )
             out.flush()
             continue
+        if isinstance(request, ServiceOp):
+            pending.append((client_id, None))
+            served += flush(block=False)
+            if len(pending) >= max_pending:
+                served += flush(block=True)
+            continue
         try:
             request_id = service.submit(request)
         except ReproError as error:
@@ -187,5 +292,7 @@ def serve_stream(
             continue
         pending.append((client_id, request_id))
         served += flush(block=False)
+        if len(pending) >= max_pending:
+            served += flush(block=True)
     served += flush(block=True)
     return served

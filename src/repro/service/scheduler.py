@@ -1,0 +1,328 @@
+"""The multi-dispatcher scheduler behind the explanation service.
+
+One dispatcher thread was the service's original concurrency story: strict
+submission order on one thread made determinism trivial and throughput
+single-core.  This module scales the *serving* path without giving up the
+determinism contract, by making the session key — ``(model, microarch)`` —
+the unit of both routing and mutual exclusion:
+
+* **Partitioned affinity routing.**  Every key has a *home* dispatcher,
+  chosen by a stable hash (CRC-32 of the key, reproducible across runs and
+  processes).  New work for a key is queued under the key and the key is
+  made ready on its home dispatcher's list, so one hot key always executes
+  on one thread while distinct keys spread across dispatchers.
+* **Per-key mutual exclusion.**  A key is *ready* (claimable) only while no
+  request of that key is in flight; claiming a key takes exactly one queued
+  request and marks the key in flight until that request finishes.  Two
+  requests of one key therefore never run concurrently — which is what
+  keeps warm-session results bit-for-bit equal to serial submission: each
+  request runs alone on its session, resets the session's population
+  records, and drives the search from its own seed, so neither thread
+  placement nor arrival order can leak into a result.
+* **Work stealing.**  A dispatcher with no ready keys of its own claims a
+  ready key from another dispatcher before sleeping.  Ready keys have no
+  in-flight request *by construction*, so stealing preserves the mutual
+  exclusion above; when a stolen key has more work, it is re-listed on its
+  home dispatcher, so stealing moves single requests, not residency.
+* **Per-key fairness.**  A claim takes one request, then the key goes to
+  the back of its home dispatcher's ready list.  Keys round-robin: a hot
+  model with a deep backlog cannot starve other models routed to the same
+  dispatcher.
+* **Admission control.**  One global bound caps queued-but-unclaimed work
+  across all dispatchers.  Blocking submits wait for space (backpressure),
+  non-blocking ones raise :class:`~repro.utils.errors.QueueFullError`.
+
+The scheduler is generic over its work items: the service hands it opaque
+tickets plus an ``execute`` callable and keeps all request semantics
+(status, results, failure capture) to itself.  ``dispatchers=1`` degrades
+to a single worker thread over the same code path — the behavioral oracle
+the multi-dispatcher configurations are pinned against in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.utils.errors import QueueFullError, ServiceClosedError
+
+#: Runs one claimed work item; must not raise (the service catches and
+#: converts failures into failed results itself).
+Executor = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class DispatcherStats:
+    """One dispatcher thread's counters."""
+
+    index: int
+    executed: int
+    stolen: int
+    busy: bool
+
+    def describe(self) -> str:
+        state = "busy" if self.busy else "idle"
+        return f"dispatcher {self.index}: {self.executed} executed ({self.stolen} stolen), {state}"
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Queue/flight snapshot across the dispatcher fleet."""
+
+    dispatchers: int
+    queue_depth: int
+    in_flight: int
+    keys: int
+    dispatcher_stats: Tuple[DispatcherStats, ...]
+
+
+class _KeyState:
+    """One session key's backlog and flight state."""
+
+    __slots__ = ("queue", "inflight", "ready", "home")
+
+    def __init__(self, home: int) -> None:
+        self.queue: Deque[Any] = deque()
+        self.inflight = False   # a request of this key is executing
+        self.ready = False      # the key sits on exactly one ready list
+        self.home = home
+
+
+class Scheduler:
+    """N dispatcher threads over key-partitioned work queues.
+
+    Parameters
+    ----------
+    execute:
+        Called (on a dispatcher thread) with each claimed item.  Items of
+        one key are executed one at a time, FIFO; distinct keys execute
+        concurrently.
+    dispatchers:
+        Worker thread count.  ``1`` reproduces the single-dispatcher
+        service exactly (modulo cross-key fairness, which cannot change
+        results).
+    max_queue:
+        Global bound on queued-but-unclaimed items (admission control).
+    steal:
+        Allow idle dispatchers to claim ready keys homed elsewhere.
+    """
+
+    def __init__(
+        self,
+        execute: Executor,
+        *,
+        dispatchers: int = 1,
+        max_queue: int = 64,
+        steal: bool = True,
+    ) -> None:
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._execute = execute
+        self.dispatchers = dispatchers
+        self.max_queue = max_queue
+        self.steal = steal
+        self._lock = threading.Lock()
+        #: Dispatchers sleep here; submit/finish notify it.
+        self._work = threading.Condition(self._lock)
+        #: Blocking submitters wait here; claims notify it.
+        self._space = threading.Condition(self._lock)
+        #: drain() waits here; the last finishing item notifies it.
+        self._idle = threading.Condition(self._lock)
+        self._keys: Dict[Hashable, _KeyState] = {}
+        self._ready: List[Deque[Hashable]] = [deque() for _ in range(dispatchers)]
+        self._queued = 0     # admission-controlled backlog
+        self._pending = 0    # queued + in flight (drain waits on zero)
+        self._executed = [0] * dispatchers
+        self._stolen = [0] * dispatchers
+        self._busy = [False] * dispatchers
+        self._stop = False
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(index,),
+                name=f"repro-dispatcher-{index}", daemon=True,
+            )
+            for index in range(dispatchers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # --------------------------------------------------------------- routing
+
+    def home(self, key: Hashable) -> int:
+        """The dispatcher a key is affine to — a stable, seedless hash, so
+        routing is reproducible across runs (``hash()`` is randomized)."""
+        digest = zlib.crc32(repr(key).encode("utf-8"))
+        return digest % self.dispatchers
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        key: Hashable,
+        item: Any,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Queue ``item`` under ``key``.
+
+        Raises :class:`QueueFullError` when the global bound is hit and the
+        submit is non-blocking (or the blocking wait times out), and
+        :class:`ServiceClosedError` once the scheduler is closing.
+        """
+        with self._space:
+            if self._stop:
+                raise ServiceClosedError("the scheduler has been closed")
+            if self._queued >= self.max_queue:
+                if not block:
+                    raise QueueFullError(
+                        f"request queue is full ({self.max_queue} requests); "
+                        f"retry, raise max_queue, or use a blocking submit"
+                    )
+                if not self._space.wait_for(
+                    lambda: self._stop or self._queued < self.max_queue,
+                    timeout,
+                ):
+                    raise QueueFullError(
+                        f"request queue stayed full ({self.max_queue} "
+                        f"requests) for {timeout}s"
+                    )
+                if self._stop:
+                    raise ServiceClosedError("the scheduler has been closed")
+            state = self._keys.get(key)
+            if state is None:
+                state = self._keys[key] = _KeyState(self.home(key))
+            state.queue.append(item)
+            self._queued += 1
+            self._pending += 1
+            self._mark_ready_locked(key, state)
+
+    def _mark_ready_locked(self, key: Hashable, state: _KeyState) -> None:
+        """List a key on its home dispatcher if it is claimable."""
+        if state.queue and not state.inflight and not state.ready:
+            state.ready = True
+            self._ready[state.home].append(key)
+            self._work.notify_all()
+
+    # ------------------------------------------------------------ dispatchers
+
+    def _claim_locked(self, me: int) -> Optional[Tuple[Hashable, _KeyState, Any]]:
+        """Take one item: own ready keys first, then steal.
+
+        Ready keys have no in-flight request by construction, so a steal
+        can never run a key concurrently with its home dispatcher.
+        """
+        key: Optional[Hashable] = None
+        if self._ready[me]:
+            key = self._ready[me].popleft()
+        elif self.steal:
+            for offset in range(1, self.dispatchers):
+                other = (me + offset) % self.dispatchers
+                if self._ready[other]:
+                    key = self._ready[other].popleft()
+                    self._stolen[me] += 1
+                    break
+        if key is None:
+            return None
+        state = self._keys[key]
+        state.ready = False
+        state.inflight = True
+        item = state.queue.popleft()
+        self._queued -= 1
+        self._space.notify_all()
+        return key, state, item
+
+    def _run(self, me: int) -> None:
+        while True:
+            with self._work:
+                claimed = self._claim_locked(me)
+                while claimed is None:
+                    if self._stop:
+                        return  # nothing claimable anywhere: drained
+                    self._work.wait()
+                    claimed = self._claim_locked(me)
+                self._busy[me] = True
+            key, state, item = claimed
+            try:
+                self._execute(item)
+            finally:
+                with self._lock:
+                    self._busy[me] = False
+                    self._executed[me] += 1
+                    state.inflight = False
+                    self._pending -= 1
+                    if state.queue:
+                        # Back of the *home* list: fairness round-robin, and
+                        # stolen keys return to their own dispatcher.
+                        self._mark_ready_locked(key, state)
+                    else:
+                        # Keep the key space bounded: an idle, empty key is
+                        # rebuilt from the hash on its next submission.
+                        self._keys.pop(key, None)
+                    if self._pending == 0:
+                        self._idle.notify_all()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no work is queued or in flight (``False`` on timeout)."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0, timeout)
+
+    def close(self, *, cancel: bool = False) -> List[Any]:
+        """Stop the dispatcher fleet.  Idempotent.
+
+        With ``cancel=False`` dispatchers finish every queued item before
+        exiting; with ``cancel=True`` queued items are withdrawn and
+        returned to the caller (to resolve as cancelled) and only in-flight
+        items complete.  Blocking submitters are woken with
+        :class:`ServiceClosedError` either way.
+        """
+        cancelled: List[Any] = []
+        with self._lock:
+            self._stop = True
+            if cancel:
+                for key in list(self._keys):
+                    state = self._keys[key]
+                    cancelled.extend(state.queue)
+                    state.queue.clear()
+                    state.ready = False
+                    if not state.inflight:
+                        self._keys.pop(key)
+                for ready in self._ready:
+                    ready.clear()
+                self._queued -= len(cancelled)
+                self._pending -= len(cancelled)
+                if self._pending == 0:
+                    self._idle.notify_all()
+            self._work.notify_all()
+            self._space.notify_all()
+        for thread in self._threads:
+            thread.join()
+        return cancelled
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> SchedulerStats:
+        """Snapshot of queue depth, flight count and per-dispatcher counters."""
+        with self._lock:
+            return SchedulerStats(
+                dispatchers=self.dispatchers,
+                queue_depth=self._queued,
+                in_flight=self._pending - self._queued,
+                keys=len(self._keys),
+                dispatcher_stats=tuple(
+                    DispatcherStats(
+                        index=index,
+                        executed=self._executed[index],
+                        stolen=self._stolen[index],
+                        busy=self._busy[index],
+                    )
+                    for index in range(self.dispatchers)
+                ),
+            )

@@ -47,7 +47,12 @@ import time
 from typing import Optional, Set, Tuple
 
 from repro.service.core import ExplanationService
-from repro.service.protocol import request_from_line, result_to_dict
+from repro.service.protocol import (
+    ServiceOp,
+    request_from_line,
+    result_to_dict,
+    stats_to_dict,
+)
 from repro.utils.errors import ReproError, ServiceError
 
 #: Reader sentinels (distinct from any line payload).
@@ -156,6 +161,9 @@ class _Connection:
         #: Requests submitted but not yet answered on this connection; the
         #: idle timeout must not fire while a response is still owed.
         self._inflight = 0
+        #: The subset answered connection-locally (errors and ops): these
+        #: bypass the service's bounded queue, so they get their own cap.
+        self._local_pending = 0
         self._inflight_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._send_failed = False
@@ -178,6 +186,12 @@ class _Connection:
             self._inflight += delta
             return self._inflight
 
+    def _track_local(self, delta: int) -> int:
+        with self._inflight_lock:
+            self._inflight += delta
+            self._local_pending += delta
+            return self._local_pending
+
     def _send_line(self, payload: str) -> None:
         """Best-effort send; after the first failure the connection only
         drains (tickets must still be consumed to free service state)."""
@@ -190,7 +204,7 @@ class _Connection:
             self._send_failed = True
 
     def _enqueue_error(self, client_id: Optional[str], message: str) -> None:
-        self._track(1)
+        self._track_local(1)
         self._writer_queue.put(("error", client_id, message))
 
     # ----------------------------------------------------------------- reader
@@ -202,6 +216,16 @@ class _Connection:
                 self.sock, self.server.max_line_bytes, self.server.idle_timeout
             )
             while not self.server.closing:
+                if self._track_local(0) >= self.server.max_pending_responses:
+                    # The writer owes this client more *connection-local*
+                    # responses (errors/ops) than any sane pipelining
+                    # window.  Explanation requests are backpressured by
+                    # the service queue and do not count here — a
+                    # legitimately deep explanation pipeline must not be
+                    # disconnected — but a client flooding ops/errors is
+                    # abusing the protocol: hang up rather than buffer
+                    # without limit.
+                    break
                 item = reader.readline()
                 if item is _EOF:
                     break
@@ -228,6 +252,12 @@ class _Connection:
                     client_id, request = request_from_line(line)
                 except ReproError as error:
                     self._enqueue_error(getattr(error, "client_id", None), str(error))
+                    continue
+                if isinstance(request, ServiceOp):
+                    # Answered by the writer in this connection's submission
+                    # order; the stats snapshot is taken when its turn comes.
+                    self._track_local(1)
+                    self._writer_queue.put(("stats", client_id, None))
                     continue
                 try:
                     request_id = self.server.service.submit(request)
@@ -256,6 +286,10 @@ class _Connection:
                     line = json.dumps(
                         {"id": client_id, "status": "failed", "error": payload}
                     )
+                elif kind == "stats":
+                    line = json.dumps(
+                        stats_to_dict(self.server.service.stats(), client_id)
+                    )
                 else:
                     # Blocks until the dispatcher resolves this connection's
                     # oldest outstanding ticket — which is exactly what keeps
@@ -263,7 +297,10 @@ class _Connection:
                     result = self.server.service.result(payload)
                     line = json.dumps(result_to_dict(result, client_id))
                 self._send_line(line)
-                self._track(-1)
+                if kind == "result":
+                    self._track(-1)
+                else:
+                    self._track_local(-1)
         except Exception:  # noqa: BLE001 - isolation: never kill the server
             pass
         finally:
@@ -322,6 +359,14 @@ class SocketServer:
     max_line_bytes:
         Hard cap on one request line; longer lines are discarded as they
         stream in and answered with an in-band error.
+    max_pending_responses:
+        Hard cap on *connection-local* responses owed to one connection.
+        Explanation requests are backpressured by the service's bounded
+        queue and are exempt (a deep but legitimate explanation pipeline
+        is never disconnected), but error and ``stats`` responses are
+        answered connection-locally — a client pipelining those past any
+        reasonable window is abusing the protocol and is hung up on, so
+        per-connection memory stays bounded.
 
     Use as a context manager, or pair :meth:`start` with :meth:`close`::
 
@@ -340,6 +385,7 @@ class SocketServer:
         max_connections: int = 8,
         idle_timeout: Optional[float] = None,
         max_line_bytes: int = 1 << 20,
+        max_pending_responses: int = 1024,
     ) -> None:
         if max_connections < 1:
             raise ServiceError("max_connections must be >= 1")
@@ -347,12 +393,15 @@ class SocketServer:
             raise ServiceError("max_line_bytes must be >= 2")
         if idle_timeout is not None and idle_timeout <= 0:
             raise ServiceError("idle_timeout must be positive (or None)")
+        if max_pending_responses < 1:
+            raise ServiceError("max_pending_responses must be >= 1")
         self.service = service
         self.host = host
         self.port = port
         self.max_connections = max_connections
         self.idle_timeout = idle_timeout
         self.max_line_bytes = max_line_bytes
+        self.max_pending_responses = max_pending_responses
         self.closing = False
         self._listener: Optional[socket.socket] = None
         self._acceptor: Optional[threading.Thread] = None

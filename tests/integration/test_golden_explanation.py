@@ -97,9 +97,14 @@ class TestGoldenExplanation:
                     "meets_threshold", "features", "num_queries"):
             assert payload[key] == golden[key], key
 
-    def test_warm_service_reproduces_golden(self, golden):
+    @pytest.mark.parametrize("dispatchers", [1, 4])
+    def test_warm_service_reproduces_golden(self, golden, dispatchers):
+        """The single-dispatcher oracle and the 4-dispatcher scheduler must
+        both serve the golden payload, warm and cold alike."""
         block = BasicBlock.from_text(GOLDEN_BLOCK)
-        with ExplanationService(model="crude", config=GOLDEN_CONFIG) as service:
+        with ExplanationService(
+            model="crude", config=GOLDEN_CONFIG, dispatchers=dispatchers
+        ) as service:
             # Twice: the warm (second) request must be as golden as the first.
             first = service.explain(block, seed=GOLDEN_SEED)[0]
             second = service.explain(block, seed=GOLDEN_SEED)[0]

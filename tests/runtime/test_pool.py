@@ -1,0 +1,274 @@
+"""SessionPool: lease/release accounting, LRU eviction (immediate and
+deferred), build failure propagation, occupancy stats and lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.models.base import CachedCostModel, CallableCostModel
+from repro.runtime.pool import SessionPool
+from repro.runtime.session import ExplanationSession
+from repro.utils.errors import BackendError
+
+from tests.conftest import FAST_CONFIG
+
+
+def _factory(built=None, delay=0.0, fail_for=()):
+    def build(model_name, uarch):
+        if delay:
+            time.sleep(delay)
+        if model_name in fail_for:
+            raise RuntimeError(f"cannot build {model_name}")
+        if built is not None:
+            built.append((model_name, uarch))
+        model = CachedCostModel(
+            CallableCostModel(lambda b: float(b.num_instructions), name=model_name)
+        )
+        return ExplanationSession(model, FAST_CONFIG, backend="serial")
+
+    return build
+
+
+class TestLeasing:
+    def test_lease_builds_once_and_reuses(self):
+        built = []
+        with SessionPool(_factory(built)) as pool:
+            first = pool.lease("m", "hsw")
+            pool.release("m", "hsw")
+            second = pool.lease("m", "hsw")
+            pool.release("m", "hsw")
+            assert first is second
+            assert built == [("m", "hsw")]
+            stats = pool.stats()
+            assert stats.builds == 1
+            assert stats.hits == 1
+            assert stats.leased == 0
+
+    def test_leased_context_manager_pairs(self):
+        with SessionPool(_factory()) as pool:
+            with pool.leased("m", "hsw") as session:
+                assert pool.stats().leased == 1
+                assert not session.closed
+            assert pool.stats().leased == 0
+
+    def test_release_without_lease_rejected(self):
+        with SessionPool(_factory()) as pool:
+            with pytest.raises(BackendError):
+                pool.release("m", "hsw")
+            with pool.leased("m", "hsw"):
+                pass
+            with pytest.raises(BackendError):
+                pool.release("m", "hsw")  # lease already returned
+
+    def test_concurrent_leases_of_one_key_share_one_build(self):
+        built = []
+        with SessionPool(_factory(built, delay=0.05)) as pool:
+            sessions = []
+            lock = threading.Lock()
+
+            def leaser():
+                session = pool.lease("m", "hsw")
+                with lock:
+                    sessions.append(session)
+
+            threads = [threading.Thread(target=leaser) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+            assert built == [("m", "hsw")]
+            assert len(set(map(id, sessions))) == 1
+            assert pool.stats().leased == 1  # one entry, four leases on it
+            for _ in range(4):
+                pool.release("m", "hsw")
+
+    def test_build_failure_propagates_and_leaves_pool_clean(self):
+        with SessionPool(_factory(fail_for=("bad",))) as pool:
+            with pytest.raises(RuntimeError):
+                pool.lease("bad", "hsw")
+            assert pool.stats().sessions == 0
+            # The pool still works for (and after) the failure.
+            with pool.leased("good", "hsw"):
+                pass
+            with pytest.raises(RuntimeError):
+                pool.lease("bad", "hsw")  # fails again, not poisoned
+
+
+class TestEviction:
+    def test_idle_lru_session_evicted_at_capacity(self):
+        with SessionPool(_factory(), max_sessions=2) as pool:
+            with pool.leased("a", "hsw") as a_session:
+                pass
+            with pool.leased("b", "hsw"):
+                pass
+            with pool.leased("c", "hsw"):
+                pass
+            assert a_session.closed
+            assert pool.keys() == (("b", "hsw"), ("c", "hsw"))
+            assert pool.stats().evictions == 1
+
+    def test_lease_order_decides_the_victim(self):
+        with SessionPool(_factory(), max_sessions=2) as pool:
+            with pool.leased("a", "hsw"):
+                pass
+            with pool.leased("b", "hsw") as b_session:
+                pass
+            with pool.leased("a", "hsw"):  # refresh a: b is now LRU
+                pass
+            with pool.leased("c", "hsw"):
+                pass
+            assert b_session.closed
+            assert pool.keys() == (("a", "hsw"), ("c", "hsw"))
+
+    def test_leased_session_never_closed_under_a_request(self):
+        """Overflow while the LRU session is leased: eviction is deferred to
+        the final release instead of closing a session mid-request."""
+        with SessionPool(_factory(), max_sessions=1) as pool:
+            a_session = pool.lease("a", "hsw")
+            with pool.leased("b", "hsw"):
+                # "a" is marked for eviction but must still be open: a
+                # request may be running on it right now.
+                assert not a_session.closed
+            assert not a_session.closed
+            pool.release("a", "hsw")
+            assert a_session.closed  # final release completed the eviction
+            assert pool.keys() == (("b", "hsw"),)
+
+    def test_hot_session_leased_again_is_resurrected_not_doomed(self):
+        """Re-leasing a deferred-evicted session clears the mark and picks
+        another victim, so a hot key is never closed-and-cold-rebuilt just
+        because the pool briefly overflowed while it was busy."""
+        with SessionPool(_factory(), max_sessions=1) as pool:
+            hot = pool.lease("hot", "hsw")
+            with pool.leased("other", "hsw") as other:
+                # Overflow marked "hot" (leased, so deferred)...
+                hot_again = pool.lease("hot", "hsw")  # ...but it is hot again
+                assert hot_again is hot
+            # "other" (idle once released) became the victim instead.
+            assert other.closed
+            pool.release("hot", "hsw")
+            pool.release("hot", "hsw")
+            assert not hot.closed  # survives: the resurrection stuck
+            assert pool.keys() == (("hot", "hsw"),)
+            # Occupancy no longer over-reports a permanently evicted ghost.
+            assert pool.stats().sessions == 1
+
+    def test_occupancy_stats(self):
+        with SessionPool(_factory(), max_sessions=4) as pool:
+            with pool.leased("a", "hsw"):
+                with pool.leased("b", "hsw"):
+                    stats = pool.stats()
+                    assert stats.sessions == 2
+                    assert stats.leased == 2
+                    assert stats.occupancy == 0.5
+            assert "2/4 sessions" in pool.stats().describe()
+
+    def test_snapshot_is_internally_consistent(self):
+        with SessionPool(_factory(), max_sessions=4) as pool:
+            with pool.leased("a", "hsw"):
+                with pool.leased("b", "hsw"):
+                    keys, stats, session_stats = pool.snapshot()
+        assert keys == (("a", "hsw"), ("b", "hsw"))
+        assert stats.sessions == len(keys) == 2
+        assert stats.leased == 2
+        assert set(session_stats) == set(keys)
+
+    def test_session_stats_relayed(self):
+        from repro.bb.block import BasicBlock
+
+        block = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        with SessionPool(_factory()) as pool:
+            with pool.leased("m", "hsw") as session:
+                session.explain(block, rng=0)
+            per_session = pool.session_stats()
+        assert per_session[("m", "hsw")].explanations == 1
+
+
+class TestLifecycle:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SessionPool(_factory(), max_sessions=0)
+
+    def test_close_closes_all_sessions_idempotently(self):
+        pool = SessionPool(_factory())
+        a = pool.lease("a", "hsw")
+        pool.release("a", "hsw")
+        b = pool.lease("b", "hsw")
+        pool.release("b", "hsw")
+        pool.close()
+        pool.close()
+        assert a.closed and b.closed
+        assert pool.closed
+        assert pool.keys() == ()
+
+    def test_lease_after_close_rejected(self):
+        pool = SessionPool(_factory())
+        pool.close()
+        with pytest.raises(BackendError):
+            pool.lease("m", "hsw")
+
+    def test_release_after_close_is_harmless(self):
+        pool = SessionPool(_factory())
+        session = pool.lease("m", "hsw")
+        pool.close()
+        # The live lease shields the session: close() defers to the final
+        # release instead of killing a possibly-running request.
+        assert not session.closed
+        pool.release("m", "hsw")  # must not raise, and completes the close
+        assert session.closed
+        pool.release("m", "hsw")  # a genuinely straggling duplicate: no-op
+
+    def test_close_defers_to_live_leases(self):
+        pool = SessionPool(_factory())
+        idle = pool.lease("idle", "hsw")
+        pool.release("idle", "hsw")
+        with pool.leased("busy", "hsw") as busy:
+            pool.close()
+            assert idle.closed        # idle session closed immediately
+            assert not busy.closed    # leased session survives its request
+        assert busy.closed            # ...and closes on release
+
+    def test_close_racing_a_build_leaks_no_session(self):
+        """close() while a factory call is in flight: the late-built session
+        must still be closed and the leaser must see a clean rejection."""
+        build_started = threading.Event()
+        build_release = threading.Event()
+        built_sessions = []
+        base = _factory()
+
+        def slow_build(model_name, uarch):
+            build_started.set()
+            build_release.wait(timeout=30)
+            session = base(model_name, uarch)
+            built_sessions.append(session)
+            return session
+
+        pool = SessionPool(slow_build)
+        outcomes = []
+
+        def leaser():
+            try:
+                outcomes.append(pool.lease("m", "hsw"))
+            except BackendError as error:
+                outcomes.append(str(error))
+
+        thread = threading.Thread(target=leaser)
+        thread.start()
+        assert build_started.wait(timeout=10)
+        pool.close()          # races the in-flight build
+        build_release.set()   # let the factory finish late
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert outcomes == ["this session pool has been closed"]
+        assert built_sessions and built_sessions[0].closed  # not leaked
+
+    def test_from_registry_builds_real_sessions(self):
+        from repro.bb.block import BasicBlock
+
+        block = BasicBlock.from_text("div rcx")
+        with SessionPool.from_registry(config=FAST_CONFIG, backend="serial") as pool:
+            with pool.leased("crude", "hsw") as session:
+                explanation = session.explain(block, rng=0)
+        assert explanation.model_name == "crude-analytical-hsw"

@@ -63,6 +63,98 @@ class TestServiceParity:
         ]
 
 
+class TestMultiDispatcherParity:
+    """The multi-dispatcher acceptance bar: a 4-dispatcher service answers
+    every request bit-for-bit like the single-dispatcher oracle, under
+    serial and concurrent submission, same-key and cross-key workloads."""
+
+    def _workload(self, tiny_blocks):
+        # Mixed keys: the same blocks explained on both microarchitectures,
+        # several seeds each — distinct keys actually exercise concurrent
+        # dispatchers while same-key requests exercise mutual exclusion.
+        return [
+            (block, seed, uarch)
+            for uarch in ("hsw", "skl")
+            for seed in range(2)
+            for block in tiny_blocks
+        ]
+
+    def _serve_all(self, fast_config, workload, dispatchers, concurrent=False):
+        with ExplanationService(
+            model="crude", config=fast_config, dispatchers=dispatchers
+        ) as service:
+            if not concurrent:
+                return {
+                    (block.key(), seed, uarch): explanation_fingerprint(
+                        service.explain(block, seed=seed, uarch=uarch)[0]
+                    )
+                    for block, seed, uarch in workload
+                }
+            results = {}
+            results_lock = threading.Lock()
+            errors = []
+            barrier = threading.Barrier(8)
+
+            def client(items):
+                try:
+                    barrier.wait(timeout=30)
+                    for block, seed, uarch in items:
+                        explanation = service.explain(
+                            block, seed=seed, uarch=uarch, timeout=120
+                        )[0]
+                        with results_lock:
+                            results[(block.key(), seed, uarch)] = (
+                                explanation_fingerprint(explanation)
+                            )
+                except Exception as error:  # surfaced to the main thread
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(workload[i::8],))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not errors
+            return results
+
+    def test_four_dispatchers_match_single_dispatcher_oracle(
+        self, fast_config, tiny_blocks
+    ):
+        workload = self._workload(tiny_blocks)
+        oracle = self._serve_all(fast_config, workload, dispatchers=1)
+        served = self._serve_all(fast_config, workload, dispatchers=4)
+        assert served == oracle
+
+    def test_concurrent_clients_on_four_dispatchers_match_oracle(
+        self, fast_config, tiny_blocks
+    ):
+        workload = self._workload(tiny_blocks)
+        oracle = self._serve_all(fast_config, workload, dispatchers=1)
+        served = self._serve_all(
+            fast_config, workload, dispatchers=4, concurrent=True
+        )
+        assert served == oracle
+
+    def test_fleet_requests_match_oracle_across_dispatchers(
+        self, fast_config, tiny_blocks
+    ):
+        workload = list(tiny_blocks) + [tiny_blocks[0]]  # include a repeat
+        with ExplanationService(
+            model="crude", config=fast_config, dispatchers=1
+        ) as service:
+            oracle = service.explain(workload, seed=11)
+        with ExplanationService(
+            model="crude", config=fast_config, dispatchers=4
+        ) as service:
+            served = service.explain(workload, seed=11)
+        assert [explanation_fingerprint(e) for e in served] == [
+            explanation_fingerprint(e) for e in oracle
+        ]
+
+
 class TestConcurrentClients:
     def test_concurrent_submission_equals_serial_submission(
         self, fast_config, tiny_blocks

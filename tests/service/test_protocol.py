@@ -5,12 +5,15 @@ import json
 
 import pytest
 
+from repro.bb.block import BasicBlock
 from repro.service import (
     ExplanationService,
+    ServiceOp,
     request_from_dict,
     request_from_line,
     result_to_dict,
     serve_stream,
+    stats_to_dict,
 )
 from repro.service.core import RequestStatus, ServiceResult
 from repro.utils.errors import ServiceError
@@ -72,6 +75,25 @@ class TestRequestDecoding:
     def test_empty_line_rejected(self):
         with pytest.raises(ServiceError):
             request_from_line("   ")
+
+    def test_stats_op_line(self):
+        client_id, request = request_from_line('{"id": "s1", "op": "stats"}')
+        assert client_id == "s1"
+        assert isinstance(request, ServiceOp)
+        assert request.op == "stats"
+
+    def test_unknown_op_rejected_with_client_id_tagged(self):
+        with pytest.raises(ServiceError) as excinfo:
+            request_from_line('{"id": "s2", "op": "frobnicate"}')
+        assert "unknown op" in str(excinfo.value)
+        assert excinfo.value.client_id == "s2"
+
+    def test_op_mixed_with_explanation_fields_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            request_from_line('{"id": "s3", "op": "stats", "block": "div rcx", "seed": 3}')
+        assert "cannot carry explanation fields" in str(excinfo.value)
+        assert "block" in str(excinfo.value) and "seed" in str(excinfo.value)
+        assert excinfo.value.client_id == "s3"
 
 
 class TestResultEncoding:
@@ -146,6 +168,52 @@ class TestServeStream:
         served, responses = self._serve(lines, fast_config)
         assert served == 1
         assert len(responses[0]["explanations"]) == 2
+
+    def test_stats_op_answered_in_submission_order(self, fast_config):
+        lines = [
+            '{"id": "a", "block": "div rcx", "seed": 0}',
+            '{"id": "s", "op": "stats"}',
+            '{"id": "b", "block": "add rax, rbx", "seed": 1}',
+        ]
+        served, responses = self._serve(lines, fast_config, dispatchers=2)
+        # Ops are answered but not counted as served requests (the stream's
+        # served total agrees with the service's own accounting).
+        assert served == 2
+        assert [r["id"] for r in responses] == ["a", "s", "b"]
+        stats_response = responses[1]
+        assert stats_response["status"] == "done"
+        assert stats_response["op"] == "stats"
+        stats = stats_response["stats"]
+        # The snapshot is taken when its turn to answer comes: request "a"
+        # has been served by then.
+        assert stats["served"] >= 1
+        assert stats["dispatchers"] == 2
+        assert len(stats["dispatcher_stats"]) == 2
+        assert stats["pool"]["sessions"] == 1
+        assert stats["sessions"] == [["crude", "hsw"]]
+
+    def test_pending_backlog_is_bounded_by_backpressure(self, fast_config):
+        """An op flood on stdio stalls reading (flush) instead of buffering
+        without limit — and every op is still answered, in order."""
+        lines = ['{"id": "e", "block": "div rcx", "seed": 0}'] + [
+            f'{{"id": "s{index}", "op": "stats"}}' for index in range(10)
+        ]
+        out = io.StringIO()
+        with ExplanationService(model="crude", config=fast_config) as service:
+            served = serve_stream(service, lines, out, max_pending=3)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert served == 1  # ops are not counted as served requests
+        assert [r["id"] for r in responses] == ["e"] + [f"s{i}" for i in range(10)]
+        assert all(r["status"] == "done" for r in responses)
+
+    def test_stats_to_dict_is_json_safe(self, fast_config):
+        with ExplanationService(model="crude", config=fast_config) as service:
+            service.explain(BasicBlock.from_text("div rcx"))
+            payload = stats_to_dict(service.stats(), "c9")
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["id"] == "c9"
+        assert decoded["stats"]["submitted"] == 1
+        assert decoded["stats"]["pool"]["builds"] == 1
 
 
 class TestServeCli:

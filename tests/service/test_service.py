@@ -59,15 +59,50 @@ def service(fast_config):
 class TestLifecycle:
     def test_start_is_idempotent(self, service):
         assert service.start() is service
-        first = service._dispatcher
+        first = service._scheduler
         service.start()
-        assert service._dispatcher is first
+        assert service._scheduler is first
 
     def test_close_is_idempotent(self, service):
         service.start()
         service.close()
         service.close()
         assert service.closed
+
+    def test_close_is_idempotent_without_drain(self, service):
+        service.start()
+        service.close(drain=False)
+        service.close(drain=False)
+        service.close()  # and mixing drain modes after the fact is fine too
+        assert service.closed
+
+    def test_concurrent_close_is_safe(self, fast_config, tiny_block):
+        """Racing close() calls: every caller returns only once the service
+        is fully shut down, and the shutdown happens exactly once."""
+        instance = ExplanationService(
+            config=fast_config, session_factory=_toy_factory(fast_config)
+        )
+        instance.explain(tiny_block)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def closer():
+            try:
+                barrier.wait(timeout=10)
+                instance.close()
+                # By the time any close() returns, the pool must be gone.
+                assert instance.pool.closed
+            except Exception as error:  # surfaced to the main thread
+                errors.append(error)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors
+        assert instance.closed
 
     def test_close_without_start_is_fine(self, fast_config):
         instance = ExplanationService(config=fast_config)
@@ -82,10 +117,58 @@ class TestLifecycle:
         with pytest.raises(ServiceClosedError):
             service.submit(tiny_block)
 
+    def test_submit_after_close_without_drain_rejected(self, service, tiny_block):
+        # ServiceClosedError is a ServiceError: both spellings must catch.
+        service.close(drain=False)
+        with pytest.raises(ServiceError):
+            service.submit(tiny_block)
+        with pytest.raises(ServiceClosedError):
+            service.explain(tiny_block)
+
+    def test_submit_racing_close_never_hangs(self, fast_config, tiny_block):
+        """Submissions racing close() either raise ServiceClosedError or get
+        a resolvable ticket — no request may be silently dropped."""
+        gate = threading.Event()
+        instance = ExplanationService(
+            config=fast_config,
+            session_factory=_toy_factory(fast_config, gate=gate),
+        )
+        first = instance.submit(tiny_block, seed=0)
+        while instance.poll(first) is RequestStatus.QUEUED:
+            time.sleep(0.005)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def submitter(seed):
+            try:
+                request_id = instance.submit(tiny_block, seed=seed)
+                result = instance.result(request_id, timeout=30)
+                with outcomes_lock:
+                    outcomes.append(result.status)
+            except ServiceClosedError:
+                with outcomes_lock:
+                    outcomes.append("rejected")
+
+        threads = [threading.Thread(target=submitter, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        instance.close()  # drain: whatever got in, finishes
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) == 8
+        assert all(
+            outcome in ("rejected", RequestStatus.DONE, RequestStatus.CANCELLED)
+            for outcome in outcomes
+        )
+
     def test_start_after_close_rejected(self, service):
         service.close()
         with pytest.raises(ServiceClosedError):
             service.start()
+        # And no dispatcher fleet was built by the refused start.
+        assert service._scheduler is None
 
     def test_context_manager_closes(self, fast_config, tiny_block):
         with ExplanationService(
@@ -272,16 +355,21 @@ class TestSessionPooling:
 
     def test_lru_session_evicted_and_closed(self, fast_config, tiny_block):
         built = []
+        sessions = {}
+
+        def factory(model_name, uarch):
+            session = _toy_factory(fast_config, built=built)(model_name, uarch)
+            sessions[(model_name, uarch)] = session
+            return session
+
         with ExplanationService(
-            config=fast_config,
-            max_sessions=1,
-            session_factory=_toy_factory(fast_config, built=built),
+            config=fast_config, max_sessions=1, session_factory=factory
         ) as instance:
             instance.explain(tiny_block, model="a")
-            first = instance._sessions[("a", "hsw")]
             instance.explain(tiny_block, model="b")
-            assert first.closed
-            assert list(instance._sessions) == [("b", "hsw")]
+            assert sessions[("a", "hsw")].closed
+            assert instance.pool.keys() == (("b", "hsw"),)
+            assert instance.pool.stats().evictions == 1
         assert built == [("a", "hsw"), ("b", "hsw")]
 
     def test_stats_describe(self, service, tiny_block):
@@ -289,6 +377,106 @@ class TestSessionPooling:
         description = service.stats().describe()
         assert "1/1 requests served" in description
         assert "1 warm sessions" in description
+
+
+class TestMultiDispatcher:
+    def test_invalid_dispatcher_count_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            ExplanationService(config=fast_config, dispatchers=0)
+
+    def test_env_default_dispatchers(self, fast_config, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCHERS", "3")
+        instance = ExplanationService(
+            config=fast_config, session_factory=_toy_factory(fast_config)
+        )
+        try:
+            assert instance.dispatchers == 3
+        finally:
+            instance.close()
+        # An explicit argument beats the environment.
+        instance = ExplanationService(
+            config=fast_config, dispatchers=2,
+            session_factory=_toy_factory(fast_config),
+        )
+        try:
+            assert instance.dispatchers == 2
+        finally:
+            instance.close()
+
+    def test_invalid_env_dispatchers_rejected(self, fast_config, monkeypatch):
+        for bad in ("zero", "0", "-2"):
+            monkeypatch.setenv("REPRO_DISPATCHERS", bad)
+            with pytest.raises(ServiceError):
+                ExplanationService(config=fast_config)
+
+    def test_distinct_keys_run_concurrently(self, fast_config, tiny_block):
+        """Two models in flight at once — the whole point of the fleet."""
+        gate = threading.Event()
+        instance = ExplanationService(
+            config=fast_config,
+            dispatchers=2,
+            session_factory=_toy_factory(fast_config, gate=gate),
+        )
+        try:
+            first = instance.submit(tiny_block, model="a", seed=0)
+            second = instance.submit(tiny_block, model="b", seed=0)
+            deadline = time.monotonic() + 30
+            while not (
+                instance.poll(first) is RequestStatus.RUNNING
+                and instance.poll(second) is RequestStatus.RUNNING
+            ):
+                assert time.monotonic() < deadline, (
+                    instance.poll(first), instance.poll(second)
+                )
+                time.sleep(0.005)
+            stats = instance.stats()
+            assert stats.in_flight == 2
+            assert sum(d.busy for d in stats.dispatcher_stats) == 2
+        finally:
+            gate.set()
+            instance.close()
+        assert instance.stats().served == 2
+
+    def test_same_key_never_runs_concurrently(self, fast_config, tiny_block):
+        """Per-key mutual exclusion: the second request of one key stays
+        queued while the first runs, even with idle dispatchers around."""
+        gate = threading.Event()
+        instance = ExplanationService(
+            config=fast_config,
+            dispatchers=4,
+            session_factory=_toy_factory(fast_config, gate=gate),
+        )
+        try:
+            first = instance.submit(tiny_block, seed=0)
+            second = instance.submit(tiny_block, seed=1)
+            while instance.poll(first) is not RequestStatus.RUNNING:
+                time.sleep(0.005)
+            # Give the three idle dispatchers every chance to misbehave.
+            time.sleep(0.1)
+            assert instance.poll(second) is RequestStatus.QUEUED
+            assert instance.stats().in_flight == 1
+        finally:
+            gate.set()
+            instance.close()
+        assert instance.stats().served == 2
+
+    def test_dispatcher_counters_account_for_all_requests(
+        self, fast_config, tiny_block
+    ):
+        with ExplanationService(
+            config=fast_config,
+            dispatchers=2,
+            session_factory=_toy_factory(fast_config),
+        ) as instance:
+            for seed in range(5):
+                instance.explain(tiny_block, seed=seed, model=f"m{seed % 3}")
+            stats = instance.stats()
+        assert stats.dispatchers == 2
+        assert len(stats.dispatcher_stats) == 2
+        assert sum(d.executed for d in stats.dispatcher_stats) == 5
+        assert stats.pool is not None
+        assert stats.pool.sessions == 3
+        assert stats.pool.builds == 3
 
 
 class TestRegistryIntegration:

@@ -151,6 +151,229 @@ class TestSocketRoundTrip:
             assert client.result(request_id, timeout=60)["status"] == "done"
 
 
+class TestStatsOp:
+    def test_stats_round_trip_over_tcp(self, served, tiny_blocks):
+        """The acceptance pin: a ``stats`` op answered through ServiceClient."""
+        service, server = served
+        with ServiceClient(*server.address, timeout=60) as client:
+            client.explain(tiny_blocks[0], seed=0)
+            stats = client.stats()
+        local = service.stats()
+        assert stats["served"] == local.served == 1
+        assert stats["dispatchers"] == local.dispatchers
+        assert stats["queue_depth"] == 0
+        assert [tuple(key) for key in stats["sessions"]] == list(local.sessions)
+        assert stats["pool"]["sessions"] == 1
+        assert stats["pool"]["max_sessions"] == 4
+        assert sum(d["executed"] for d in stats["dispatcher_stats"]) == 1
+
+    def test_stats_keeps_submission_order(self, served, tiny_blocks):
+        _, server = served
+        with ServiceClient(*server.address, timeout=60) as client:
+            explain_id = client.submit(tiny_blocks[0], seed=0)
+            stats_id = client._post({"op": "stats"})
+            stats_response = client.result(stats_id, timeout=60)
+            # The stats answer waited behind the explanation, so the
+            # snapshot already accounts for it.
+            assert stats_response["stats"]["served"] >= 1
+            assert client.result(explain_id, timeout=60)["status"] == "done"
+
+    def test_raw_stats_line(self, served):
+        _, server = served
+        sock, lines = _raw_connect(server)
+        sock.sendall(b'{"id": "s", "op": "stats"}\n')
+        response = json.loads(lines.readline())
+        assert response["id"] == "s"
+        assert response["op"] == "stats"
+        assert response["stats"]["dispatchers"] >= 1
+        sock.close()
+
+    def test_unknown_op_fails_in_band(self, served):
+        _, server = served
+        sock, lines = _raw_connect(server)
+        sock.sendall(b'{"id": "s", "op": "nope"}\n')
+        response = json.loads(lines.readline())
+        assert response["status"] == "failed"
+        assert "unknown op" in response["error"]
+        sock.close()
+
+
+class TestClientDeadlinesAndFailures:
+    """The ServiceClient under deadlines and a dying server: expiry leaves
+    results collectable, mid-wait closure raises instead of hanging, and a
+    closed client stays closed."""
+
+    @staticmethod
+    def _gated_service(gate):
+        from repro.models.base import CachedCostModel, CallableCostModel
+        from repro.runtime.session import ExplanationSession
+
+        def predict(block):
+            gate.wait(timeout=30)
+            return float(block.num_instructions)
+
+        def factory(model_name, uarch):
+            return ExplanationSession(
+                CachedCostModel(CallableCostModel(predict, name=model_name)),
+                FAST_CONFIG,
+                backend="serial",
+            )
+
+        return ExplanationService(config=FAST_CONFIG, session_factory=factory)
+
+    def test_result_deadline_expiry_then_collectable(self, tiny_blocks):
+        gate = threading.Event()
+        with self._gated_service(gate) as service:
+            with SocketServer(service, port=0) as server:
+                with ServiceClient(*server.address) as client:
+                    request_id = client.submit(tiny_blocks[0], seed=0)
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.result(request_id, timeout=0.2)
+                    assert "did not answer" in str(excinfo.value)
+                    gate.set()
+                    # The expiry consumed nothing: the response arrives.
+                    assert client.result(request_id, timeout=60)["status"] == "done"
+
+    def test_default_timeout_applies_and_overrides(self, tiny_blocks):
+        gate = threading.Event()
+        with self._gated_service(gate) as service:
+            with SocketServer(service, port=0) as server:
+                with ServiceClient(*server.address, timeout=0.2) as client:
+                    request_id = client.submit(tiny_blocks[0], seed=0)
+                    with pytest.raises(ServiceError):
+                        client.result(request_id)  # constructor default: 0.2s
+                    gate.set()
+                    assert (
+                        client.result(request_id, timeout=60)["status"] == "done"
+                    )  # per-call override beats the default
+
+    def test_server_closing_mid_wait_raises_not_hangs(self, tiny_blocks):
+        gate = threading.Event()
+        service = self._gated_service(gate)
+        server = SocketServer(service, port=0)
+        server.start()
+        try:
+            client = ServiceClient(*server.address).connect()
+            request_id = client.submit(tiny_blocks[0], seed=0)
+            failures = []
+
+            def waiter():
+                try:
+                    client.result(request_id, timeout=60)
+                except ServiceError as error:
+                    failures.append(str(error))
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.1)  # let the waiter block on the pending response
+            # Drop the socket under the client.  The close itself drains the
+            # orphaned ticket, which needs the gate — so close in the
+            # background and open the gate once the waiter has failed.
+            closer = threading.Thread(target=lambda: server.close(drain=False))
+            closer.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert len(failures) == 1
+            assert "closed" in failures[0] or "gone" in failures[0]
+            gate.set()
+            closer.join(timeout=60)
+            assert not closer.is_alive()
+            client.close()
+        finally:
+            gate.set()
+            server.close()
+            service.close()
+
+    def test_submit_after_server_death_raises_cleanly(self, fast_config, tiny_blocks):
+        service = ExplanationService(model="crude", config=fast_config)
+        server = SocketServer(service, port=0)
+        server.start()
+        client = ServiceClient(*server.address).connect()
+        try:
+            assert client.explain(tiny_blocks[0], seed=0, timeout=60)
+            server.close(drain=False)
+            # The dead-connection report may take a send or two to propagate
+            # (the OS buffers the first write); soon submit must raise.
+            deadline = time.monotonic() + 10
+            while True:
+                try:
+                    client.submit(tiny_blocks[0], seed=1)
+                except ServiceError:
+                    break
+                assert time.monotonic() < deadline, (
+                    "submit kept succeeding after server death"
+                )
+                time.sleep(0.01)
+        finally:
+            client.close()
+            server.close()
+            service.close()
+
+    def test_concurrent_first_submits_share_one_connection(
+        self, served, tiny_blocks
+    ):
+        """Racing the implicit connect: all threads must share one socket
+        (a duplicate connection would leak a server slot and split the
+        per-connection response order)."""
+        _, server = served
+        client = ServiceClient(*server.address)
+        try:
+            barrier = threading.Barrier(4)
+            ids, errors = [], []
+            ids_lock = threading.Lock()
+
+            def racer():
+                try:
+                    barrier.wait(timeout=10)
+                    request_id = client.submit(tiny_blocks[0], seed=0)
+                    with ids_lock:
+                        ids.append(request_id)
+                except Exception as error:  # surfaced to the main thread
+                    errors.append(error)
+
+            threads = [threading.Thread(target=racer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            assert len(ids) == len(set(ids)) == 4
+            for request_id in ids:
+                assert client.result(request_id, timeout=60)["status"] == "done"
+            assert server.connections == 1
+        finally:
+            client.close()
+
+    def test_unserializable_payload_leaves_no_phantom_request(
+        self, served, tiny_blocks
+    ):
+        """A submit whose payload cannot be JSON-encoded must raise before
+        registering anything: a phantom _order entry would swallow the next
+        id-less server response."""
+        _, server = served
+        with ServiceClient(*server.address) as client:
+            with pytest.raises(TypeError):
+                client.submit(tiny_blocks[0], seed=0, shards={1, 2})  # a set
+            assert not client._order and not client._events
+            # The connection still works and ordering is intact.
+            assert client.explain(tiny_blocks[0], seed=0, timeout=60)
+
+    def test_reconnect_after_close_raises(self, served, tiny_blocks):
+        _, server = served
+        client = ServiceClient(*server.address).connect()
+        assert client.explain(tiny_blocks[0], seed=0, timeout=60)
+        client.close()
+        with pytest.raises(ServiceError) as excinfo:
+            client.connect()
+        assert "closed" in str(excinfo.value)
+        with pytest.raises(ServiceError):
+            client.submit(tiny_blocks[0])
+        with pytest.raises(ServiceError):
+            client.stats()
+        # close() stays idempotent after the refused reconnect.
+        client.close()
+
+
 class TestServerLimits:
     def test_max_connections_refused_in_band(self, fast_config):
         with ExplanationService(model="crude", config=fast_config) as service:
@@ -199,6 +422,57 @@ class TestServerLimits:
                 SocketServer(service, idle_timeout=0.0)
             with pytest.raises(ServiceError):
                 SocketServer(service, max_line_bytes=1)
+            with pytest.raises(ServiceError):
+                SocketServer(service, max_pending_responses=0)
+
+    def test_deep_explanation_pipeline_is_not_capped(self, fast_config, tiny_blocks):
+        """Only connection-local (op/error) responses count against the
+        pending cap: a legitimate explanation pipeline deeper than the cap
+        must be served completely."""
+        with ExplanationService(model="crude", config=fast_config) as service:
+            with SocketServer(service, port=0, max_pending_responses=2) as server:
+                with ServiceClient(*server.address, timeout=120) as client:
+                    ids = [
+                        client.submit(tiny_blocks[index % len(tiny_blocks)], seed=index)
+                        for index in range(6)  # 3x the cap
+                    ]
+                    for request_id in ids:
+                        assert client.result(request_id, timeout=120)["status"] == "done"
+
+    def test_op_flood_past_pending_cap_hangs_up(self, fast_config):
+        """Ops bypass the service queue, so the per-connection pending cap
+        is what bounds a stats/error pipelining flood.  The writer is
+        pinned behind a gated explanation so the flood cannot drain."""
+        gate = threading.Event()
+        service = TestClientDeadlinesAndFailures._gated_service(gate)
+        server = SocketServer(service, port=0, max_pending_responses=8)
+        try:
+            service.start()
+            server.start()
+            sock, lines = _raw_connect(server)
+            sock.sendall(b'{"id": "slow", "block": "div rcx"}\n')
+            deadline = time.monotonic() + 30
+            while service.stats().submitted < 1:  # writer now owes "slow"
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            for _ in range(64):  # well past the cap of 8
+                sock.sendall(b'{"op": "stats"}\n')
+            gate.set()  # release the writer; it drains what was accepted
+            answered = 0
+            while lines.readline():
+                answered += 1
+            # "slow" plus at most cap stats answers, then hang-up — not 65.
+            assert 1 <= answered <= 9, answered
+            sock.close()
+            # The server itself survives: a fresh connection works.
+            sock, lines = _raw_connect(server)
+            sock.sendall(b'{"id": "r", "block": "div rcx"}\n')
+            assert json.loads(lines.readline())["status"] == "done"
+            sock.close()
+        finally:
+            gate.set()
+            server.close()
+            service.close()
 
 
 class TestGracefulShutdown:
@@ -314,8 +588,9 @@ class TestServeCliSocket:
 
 
 class TestMultiClientStress:
+    @pytest.mark.parametrize("dispatchers", [1, 4])
     def test_eight_concurrent_clients_match_serial_direct_explainer(
-        self, fast_config, tiny_blocks
+        self, fast_config, tiny_blocks, dispatchers
     ):
         """The acceptance bar: 8 TCP clients, one warm server, same fleet.
 
@@ -323,7 +598,8 @@ class TestMultiClientStress:
         single-block request plus the whole list as one fleet request — and
         every client's payloads must be bit-for-bit the serial, direct,
         in-process explanations.  Nothing about racing seven other sockets
-        may leak into the result.
+        may leak into the result — under the single-dispatcher oracle
+        configuration and the 4-dispatcher fleet alike.
         """
         workload = [(block, seed) for seed, block in enumerate(tiny_blocks)]
         direct_model = CachedCostModel(AnalyticalCostModel("hsw"))
@@ -342,7 +618,9 @@ class TestMultiClientStress:
             ).explain_many(tiny_blocks, rng=77)
         ]
 
-        with ExplanationService(model="crude", config=fast_config) as service:
+        with ExplanationService(
+            model="crude", config=fast_config, dispatchers=dispatchers
+        ) as service:
             with SocketServer(service, port=0, max_connections=8) as server:
                 errors = []
                 mismatches = []
