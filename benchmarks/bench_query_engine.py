@@ -109,6 +109,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="skip the dispatcher-scaling matrix",
     )
     parser.add_argument(
+        "--skip-resilience",
+        action="store_true",
+        help="skip the fault-recovery benchmark",
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_query_engine.json"),
         help="where to write the JSON report",
@@ -429,6 +434,78 @@ def run_dispatcher_matrix(args, blocks) -> dict:
     return matrix
 
 
+def run_resilience_bench(args, blocks) -> dict:
+    """Price of fault tolerance: SIGKILL recovery and checkpoint replay.
+
+    Two measurements.  First, the supervised process backend predicts the
+    same batch healthy and then with every pool worker SIGKILLed — the
+    recovery run pays broken-pool detection, a pool rebuild and one full
+    retry, so the ratio is the worst-case stall one worker OOM-kill
+    inflicts on a batch.  Second, a checkpointed ``explain_many`` runs
+    fresh and then resumes over its own completed journal — the replay
+    ratio is what a crash-and-restart costs relative to the work the
+    journal saved.  Both recoveries are bit-for-bit (pinned by
+    tests/runtime/test_supervision.py and test_checkpoint.py); this
+    section records only their speed.
+    """
+    import signal
+    import tempfile
+
+    from repro.runtime.backend import BackendRetryPolicy, ProcessBackend
+
+    workers = 2
+    model = build_cost_model(args.matrix_model, args.microarch, cached=False)
+    retry = BackendRetryPolicy(backoff=0.0, max_backoff=0.0)
+    with ProcessBackend(workers, retry=retry) as backend:
+        backend.predict_blocks(model, blocks)  # warm the pool
+        start = time.perf_counter()
+        healthy = backend.predict_blocks(model, blocks)
+        healthy_elapsed = time.perf_counter() - start
+
+        pool = backend._pool
+        for pid in list(pool._processes):
+            os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        for process in list(pool._processes.values()):
+            process.join(max(deadline - time.monotonic(), 0.1))
+
+        start = time.perf_counter()
+        recovered = backend.predict_blocks(model, blocks)
+        recovery_elapsed = time.perf_counter() - start
+        stats = backend.worker_stats()
+    if recovered != healthy:  # bit-for-bit, or the timings are meaningless
+        raise RuntimeError("recovered batch diverged from the healthy batch")
+
+    config = explainer_config(batched=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "bench.jsonl"
+        with ExplanationSession(build_model(args), config) as session:
+            start = time.perf_counter()
+            session.explain_many(blocks, rng=args.seed, checkpoint=journal)
+            fresh_elapsed = time.perf_counter() - start
+        with ExplanationSession(build_model(args), config) as session:
+            start = time.perf_counter()
+            session.explain_many(blocks, rng=args.seed, checkpoint=journal)
+            replay_elapsed = time.perf_counter() - start
+            skips = session.stats().checkpoint_skips
+
+    return {
+        "model": args.matrix_model,
+        "blocks": len(blocks),
+        "workers": workers,
+        "healthy_batch_seconds": round(healthy_elapsed, 4),
+        "sigkill_recovery_seconds": round(recovery_elapsed, 4),
+        "recovery_vs_healthy": round(recovery_elapsed / healthy_elapsed, 2),
+        "worker_restarts": stats["restarts"],
+        "batch_retries": stats["retries"],
+        "checkpoint_model": args.model,
+        "checkpoint_fresh_seconds": round(fresh_elapsed, 4),
+        "checkpoint_replay_seconds": round(replay_elapsed, 4),
+        "checkpoint_replay_speedup": round(fresh_elapsed / replay_elapsed, 2),
+        "checkpoint_skips": skips,
+    }
+
+
 def stamp_host_cpus(report: dict) -> None:
     """Stamp the host CPU count into the report and every section.
 
@@ -499,6 +576,11 @@ def main(argv=None) -> int:
     if not args.skip_dispatchers:
         dispatcher_matrix = run_dispatcher_matrix(args, blocks[: args.matrix_blocks])
         report["dispatcher_matrix"] = dispatcher_matrix
+
+    resilience = None
+    if not args.skip_resilience:
+        resilience = run_resilience_bench(args, blocks[: args.matrix_blocks])
+        report["resilience"] = resilience
 
     stamp_host_cpus(report)
 
@@ -577,6 +659,23 @@ def main(argv=None) -> int:
                 f"  scaling vs single dispatcher: "
                 f"{dispatcher_matrix['scaling_vs_single']}x"
             )
+    if resilience is not None:
+        print(
+            f"resilience — model={resilience['model']} "
+            f"{resilience['blocks']} blocks, {resilience['workers']} workers"
+        )
+        print(
+            f"     healthy batch: {resilience['healthy_batch_seconds']:7.2f}s   "
+            f"sigkill recovery: {resilience['sigkill_recovery_seconds']:7.2f}s  "
+            f"({resilience['recovery_vs_healthy']:.2f}x, "
+            f"{resilience['worker_restarts']} restarts)"
+        )
+        print(
+            f"  checkpoint fresh: {resilience['checkpoint_fresh_seconds']:7.2f}s   "
+            f"journal replay: {resilience['checkpoint_replay_seconds']:7.2f}s  "
+            f"({resilience['checkpoint_replay_speedup']:.2f}x, "
+            f"{resilience['checkpoint_skips']} skips)"
+        )
     print(f"  report written to {output}")
     return 0
 

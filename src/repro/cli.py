@@ -4,6 +4,7 @@ The CLI exposes the public API for quick, scriptable use::
 
     python -m repro predict  --model uica  --block "add rcx, rax; mov rdx, rcx"
     python -m repro explain  --model uica  --block-file block.s --json
+    python -m repro explain  --model uica  --blocks-file fleet.txt --checkpoint run.jsonl
     python -m repro features --block "add rcx, rax; mov rdx, rcx; pop rbx"
     python -m repro perturb  --block-file block.s --count 5 --preserve-count
     python -m repro space    --block-file block.s
@@ -12,6 +13,7 @@ The CLI exposes the public API for quick, scriptable use::
     python -m repro serve    --model uica  --backend process --max-queue 128
     python -m repro serve    --model crude --port 7421 --max-connections 16
     python -m repro serve    --model crude --port 0    --dispatchers 4
+    python -m repro serve    --model crude --request-timeout 120
 
 Blocks can be passed inline with ``--block`` (instructions separated by ``;``
 or newlines) or from a file with ``--block-file``.  The neural model is
@@ -89,8 +91,14 @@ def _explainer_config(args: argparse.Namespace) -> ExplainerConfig:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    block = _read_block(args)
     config = _explainer_config(args)
+    if args.blocks_file:
+        return _cmd_explain_fleet(args, config)
+    if args.checkpoint:
+        raise ReproError(
+            "--checkpoint journals a fleet run; use it with --blocks-file"
+        )
+    block = _read_block(args)
     # The model owns the backend built by the registry; closing the model
     # releases any pooled workers before the process exits.
     with _build_model(args) as model:
@@ -100,6 +108,53 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(explanation_to_json(explanation))
     else:
         print(explanation.describe())
+    return 0
+
+
+def _cmd_explain_fleet(args: argparse.Namespace, config: ExplainerConfig) -> int:
+    """Explain a whole fleet (one block per line), optionally checkpointed.
+
+    With ``--checkpoint`` the run is crash-safe: rerunning the same command
+    after an interruption skips the journaled blocks and produces results
+    bit-for-bit identical to an uninterrupted run.
+    """
+    import json as json_module
+
+    from repro.reporting.export import explanation_to_dict
+    from repro.runtime.session import ExplanationSession
+
+    texts = [
+        line.strip()
+        for line in Path(args.blocks_file).read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not texts:
+        raise ReproError(f"no blocks in {args.blocks_file}")
+    blocks = [BasicBlock.from_text(text.replace(";", "\n")) for text in texts]
+    with _build_model(args) as model:
+        with ExplanationSession(model, config) as session:
+            explanations = session.explain_many(
+                blocks, rng=args.seed, checkpoint=args.checkpoint
+            )
+            stats = session.stats()
+    if args.json:
+        print(
+            json_module.dumps(
+                [explanation_to_dict(explanation) for explanation in explanations],
+                indent=2,
+            )
+        )
+    else:
+        for index, explanation in enumerate(explanations):
+            print(f"# block {index + 1}")
+            print(explanation.describe())
+            print()
+    if args.checkpoint:
+        print(
+            f"checkpoint {args.checkpoint}: {stats.checkpoint_skips} of "
+            f"{len(blocks)} blocks recovered from the journal",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -175,6 +230,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dispatchers=args.dispatchers,
         max_queue=args.max_queue,
         max_sessions=args.max_sessions,
+        default_deadline=args.request_timeout,
     )
     if args.port is not None:
         if args.requests:
@@ -318,6 +374,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_explain_config_arguments(explain)
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    explain.add_argument(
+        "--blocks-file",
+        help="explain a whole fleet: a file with one block per line "
+        "(instructions separated by ';'; blank and '#' lines are skipped)",
+    )
+    explain.add_argument(
+        "--checkpoint",
+        help="journal path for a crash-safe --blocks-file run; rerunning the "
+        "same command resumes where the interrupted run stopped and yields "
+        "bit-for-bit identical results",
+    )
     _add_backend_arguments(explain)
     explain.set_defaults(func=_cmd_explain)
 
@@ -349,6 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="how many per-model warm sessions to keep resident",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="server-side deadline in seconds applied to every request that "
+        "does not carry its own; enforced while queued and cooperatively "
+        "between estimation rounds while running (default: none)",
     )
     serve.add_argument(
         "--requests",

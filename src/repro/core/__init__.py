@@ -23,15 +23,17 @@ from repro.models.ithemal import IthemalConfig, IthemalCostModel, train_ithemal
 from repro.models.uica import UiCACostModel
 from repro.perturb.config import PerturbationConfig
 from repro.runtime.backend import (
+    BackendRetryPolicy,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     resolve_backend,
 )
+from repro.runtime.checkpoint import CheckpointJournal, run_fingerprint
 from repro.runtime.pool import PoolStats, SessionPool
 from repro.runtime.session import ExplanationSession, SessionStats
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.core import (
     ExplanationRequest,
     ExplanationService,
@@ -41,6 +43,13 @@ from repro.service.core import (
 )
 from repro.service.scheduler import Scheduler, SchedulerStats
 from repro.service.transport import SocketServer
+from repro.utils.cancellation import CancelToken
+from repro.utils.errors import (
+    CheckpointError,
+    DeadlineExceededError,
+    RequestCancelledError,
+    ServiceTimeoutError,
+)
 
 __all__ = [
     "BasicBlock",
@@ -68,9 +77,18 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "BackendRetryPolicy",
     "resolve_backend",
     "ExplanationSession",
     "SessionStats",
+    "CheckpointJournal",
+    "run_fingerprint",
+    "CheckpointError",
+    "CancelToken",
+    "ServiceTimeoutError",
+    "RequestCancelledError",
+    "DeadlineExceededError",
+    "RetryPolicy",
     "ExplanationService",
     "ExplanationRequest",
     "ServiceResult",

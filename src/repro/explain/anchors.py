@@ -23,6 +23,7 @@ from repro.explain.coverage import CoverageEstimator, PopulationRecord
 from repro.explain.precision import PrecisionEstimator
 from repro.models.base import CostModel
 from repro.perturb.sampler import PerturbationSampler
+from repro.utils.cancellation import CancelToken
 from repro.utils.rng import RandomSource
 
 
@@ -52,10 +53,14 @@ class AnchorSearch:
         rng: RandomSource = None,
         *,
         coverage_record: Optional[PopulationRecord] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         self.model = model
         self.block = block
         self.config = config or ExplainerConfig()
+        # Checked cooperatively between KL-LUCB rounds and beam levels; a
+        # token that never fires leaves the random stream untouched.
+        self.cancel = cancel
         self.sampler = PerturbationSampler(block, self.config.perturbation, rng)
         # An injected record shares one background population across repeated
         # searches over the same block (see ExplanationSession); without one
@@ -133,6 +138,7 @@ class AnchorSearch:
             batch_size=config.batch_size,
             min_samples=config.min_precision_samples,
             max_samples=config.max_precision_samples,
+            cancel=self.cancel,
         )
         if config.batch_queries:
             return PrecisionEstimator(
@@ -183,6 +189,8 @@ class AnchorSearch:
         seen: set = set()
 
         for _ in range(config.max_anchor_size):
+            if self.cancel is not None:
+                self.cancel.check()
             candidates: List[Tuple[Feature, ...]] = []
             for beam in beams:
                 beam_set = frozenset(beam)

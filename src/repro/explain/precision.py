@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.cancellation import CancelToken
+
 
 def kl_bernoulli(p: float, q: float) -> float:
     """KL divergence between Bernoulli(p) and Bernoulli(q)."""
@@ -183,6 +185,12 @@ class PrecisionEstimator:
         Number of fresh samples drawn per arm per refinement step.
     min_samples / max_samples:
         Per-arm sampling budget.
+    cancel:
+        Optional :class:`~repro.utils.cancellation.CancelToken`, checked at
+        the top of every refinement round (the natural boundary between two
+        batched cost-model queries).  A token that never fires does not
+        touch the sampling loop, so seeded results are bit-for-bit
+        unchanged by passing one.
     """
 
     def __init__(
@@ -195,6 +203,7 @@ class PrecisionEstimator:
         batch_size: int = 12,
         min_samples: int = 20,
         max_samples: int = 150,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         if batch_sampler is not None:
             if sample_functions:
@@ -215,6 +224,7 @@ class PrecisionEstimator:
         self.max_samples = max_samples
         self.stats: List[ArmStatistics] = [ArmStatistics() for _ in range(arms)]
         self.rounds = 0
+        self.cancel = cancel
 
     # ------------------------------------------------------------- sampling
 
@@ -278,6 +288,8 @@ class PrecisionEstimator:
         self._ensure_minimum()
 
         while True:
+            if self.cancel is not None:
+                self.cancel.check()
             self.rounds += 1
             beta = confidence_beta(num_arms, self.rounds, self.confidence_delta)
             means = np.array([s.mean for s in self.stats])
@@ -333,6 +345,8 @@ class PrecisionEstimator:
         if stats.samples < self.min_samples:
             self._draw(arm, self.min_samples - stats.samples)
         while True:
+            if self.cancel is not None:
+                self.cancel.check()
             self.rounds += 1
             beta = confidence_beta(len(self.stats), self.rounds, self.confidence_delta)
             lower = stats.lower(beta)

@@ -29,9 +29,12 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from repro.utils.errors import BackendError
 
@@ -46,6 +49,54 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 #: Anything accepted where a backend is expected: an instance, a short name,
 #: or ``None`` for the environment-controlled default.
 BackendSource = Union[None, str, "ExecutionBackend"]
+
+
+@dataclass(frozen=True)
+class BackendRetryPolicy:
+    """How a supervised backend reacts to worker death.
+
+    A process-pool worker that is OOM-killed or segfaults poisons the whole
+    ``ProcessPoolExecutor``: every future call raises ``BrokenProcessPool``
+    forever.  The supervised :class:`ProcessBackend` instead rebuilds the
+    pool (re-installing the resident model) and retries the failed batch —
+    deterministic models make the retry bit-for-bit equivalent to a run
+    that never crashed.
+
+    Parameters
+    ----------
+    max_restarts:
+        Pool rebuilds allowed per batch before giving up.  ``0`` disables
+        supervision (the first worker death raises).
+    backoff:
+        Base sleep before the first retry; doubles per attempt (capped at
+        ``max_backoff``) so a crash-looping worker does not spin the host.
+    max_backoff:
+        Upper bound on one retry sleep, in seconds.
+    fallback:
+        What to do once restarts are exhausted: ``None`` (the default)
+        raises :class:`~repro.utils.errors.BackendError` so CI and
+        operators see hard failures, ``"serial"`` degrades gracefully by
+        running the batch in-process — slower, but the request completes.
+    """
+
+    max_restarts: int = 2
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    fallback: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff values must be >= 0")
+        if self.fallback not in (None, "serial"):
+            raise ValueError(
+                f"fallback must be None or 'serial', got {self.fallback!r}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """The capped-exponential sleep before retry number ``attempt``."""
+        return min(self.backoff * (2**attempt), self.max_backoff)
 
 
 def _default_workers() -> int:
@@ -136,6 +187,15 @@ class ExecutionBackend(ABC):
     def describe(self) -> str:
         """One-line description used in logs and benchmark reports."""
         return f"{self.name} (workers={self.workers})"
+
+    def worker_stats(self) -> Dict[str, int]:
+        """Failure-surface counters for this backend.
+
+        In-process backends have no workers to lose, so the base
+        implementation reports zeros; the supervised process backend
+        overrides this with its real restart/retry/fallback tallies.
+        """
+        return {"workers": self.workers, "restarts": 0, "retries": 0, "fallbacks": 0}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"
@@ -232,18 +292,39 @@ class ProcessBackend(ExecutionBackend):
     an actionable error) and ``_predict`` must be deterministic, which every
     bundled model satisfies.  Worker-side ``query_count`` drift is invisible:
     accounting happens in the parent's ``predict_batch``.
+
+    The backend is *supervised*: a worker death (OOM kill, segfault) breaks
+    the whole pool, but instead of surfacing ``BrokenProcessPool`` to the
+    explanation loop — which would poison every later request through this
+    backend — the pool is rebuilt (re-installing the resident model) and the
+    failed batch retried under the :class:`BackendRetryPolicy`.  Retries are
+    whole-batch and the models are deterministic, so a recovered run is
+    bit-for-bit identical to one that never crashed.  Restart, retry and
+    fallback tallies are surfaced via :meth:`worker_stats`.
     """
 
     name = "process"
     shares_memory = False
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        retry: Optional[BackendRetryPolicy] = None,
+    ) -> None:
         super().__init__()
         self._workers = _default_workers() if workers is None else max(int(workers), 1)
         self._pool: Optional[ProcessPoolExecutor] = None
         # Strong reference to the model the pool workers hold resident; also
         # prevents id-reuse confusion if the caller drops their reference.
         self._bound_model = None
+        self.retry_policy = retry if retry is not None else BackendRetryPolicy()
+        # Failure-surface counters (worker_stats); guarded by a lock because
+        # concurrent shard threads may fan batches through one backend.
+        self._stats_lock = threading.Lock()
+        self._restarts = 0
+        self._retries = 0
+        self._fallbacks = 0
 
     # ------------------------------------------------------------- validation
 
@@ -273,17 +354,75 @@ class ProcessBackend(ExecutionBackend):
         self._check_open()
         if len(items) <= 1 or self._workers <= 1:
             return [fn(item) for item in items]
-        pool = self._generic_pool()
-        return list(pool.map(fn, items, chunksize=self._chunksize(len(items))))
+        return self._supervised(
+            lambda: list(
+                self._generic_pool().map(
+                    fn, items, chunksize=self._chunksize(len(items))
+                )
+            ),
+            lambda: [fn(item) for item in items],
+        )
 
     def predict_blocks(self, model, blocks: Sequence) -> List[float]:
         self._check_open()
         if len(blocks) <= 1 or self._workers <= 1:
             return [float(model._predict(block)) for block in blocks]
-        pool = self._model_pool(model)
-        return list(
-            pool.map(_worker_predict, blocks, chunksize=self._chunksize(len(blocks)))
+        return self._supervised(
+            lambda: list(
+                self._model_pool(model).map(
+                    _worker_predict, blocks, chunksize=self._chunksize(len(blocks))
+                )
+            ),
+            lambda: [float(model._predict(block)) for block in blocks],
         )
+
+    # ------------------------------------------------------------ supervision
+
+    def _supervised(self, run: Callable[[], List[R]], serial: Callable[[], List[R]]) -> List[R]:
+        """Run one batch, restarting the pool on worker death.
+
+        ``run`` acquires its pool lazily on every attempt (``_model_pool`` /
+        ``_generic_pool`` rebuild a pool that was shut down), so each retry
+        starts from a fresh worker fleet with the model re-installed.  After
+        ``max_restarts`` rebuilds the policy decides: raise a
+        :class:`~repro.utils.errors.BackendError` (default — failures stay
+        loud) or degrade to ``serial``, the in-process fallback.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return run()
+            except BrokenProcessPool as error:
+                # The pool is unusable no matter what happens next; tear it
+                # down so the next attempt (or the next caller) rebuilds.
+                self._shutdown_pool()
+                if attempt >= policy.max_restarts:
+                    if policy.fallback == "serial":
+                        with self._stats_lock:
+                            self._fallbacks += 1
+                        return serial()
+                    raise BackendError(
+                        f"process-pool worker died and the pool could not be "
+                        f"restored after {policy.max_restarts} restart(s); "
+                        f"set BackendRetryPolicy(fallback='serial') to degrade "
+                        f"to in-process execution instead ({error})"
+                    ) from error
+                with self._stats_lock:
+                    self._restarts += 1
+                    self._retries += 1
+                time.sleep(policy.delay(attempt))
+                attempt += 1
+
+    def worker_stats(self) -> Dict[str, int]:
+        """Restart/retry/fallback counters accumulated over this backend's life."""
+        with self._stats_lock:
+            return {
+                "workers": self._workers,
+                "restarts": self._restarts,
+                "retries": self._retries,
+                "fallbacks": self._fallbacks,
+            }
 
     # ----------------------------------------------------------------- pools
 

@@ -31,6 +31,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -42,7 +43,9 @@ from repro.explain.coverage import PopulationRecord
 from repro.explain.explanation import Explanation
 from repro.models.base import CachedCostModel, CostModel, QueryCounter
 from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backend
-from repro.utils.errors import BackendError
+from repro.runtime.checkpoint import CheckpointJournal, run_fingerprint
+from repro.utils.cancellation import CancelToken
+from repro.utils.errors import BackendError, CheckpointError
 from repro.utils.rng import RandomSource, as_rng, spawn_rngs
 
 #: One unit of sharded work: (position in the fleet, block, its rng stream).
@@ -55,21 +58,29 @@ def _search_block(
     config: ExplainerConfig,
     generator: np.random.Generator,
     record: Optional[PopulationRecord],
+    cancel: Optional[CancelToken] = None,
 ) -> Explanation:
     """Run one anchor search — the single code path every driver shares.
 
     Used by :meth:`ExplanationSession.explain`, the in-process shard runner
     and the process-shard worker, so a block's explanation is computed by
-    byte-identical code no matter where it executes.
+    byte-identical code no matter where it executes.  A ``cancel`` token is
+    checked cooperatively between KL-LUCB rounds; a token that never fires
+    leaves the random stream untouched.
     """
     with QueryCounter(model) as counter:
-        search = AnchorSearch(model, block, config, generator, coverage_record=record)
+        search = AnchorSearch(
+            model, block, config, generator, coverage_record=record, cancel=cancel
+        )
         anchor = search.search()
     return Explanation.from_search(search, anchor, num_queries=counter.queries)
 
 
 def _explain_shard(
-    model: CostModel, config: ExplainerConfig, shard: Sequence[_ShardItem]
+    model: CostModel,
+    config: ExplainerConfig,
+    shard: Sequence[_ShardItem],
+    cancel: Optional[CancelToken] = None,
 ) -> List[Tuple[int, Explanation]]:
     """Explain one shard with shard-local population records.
 
@@ -84,11 +95,15 @@ def _explain_shard(
     records: dict = {}
     results: List[Tuple[int, Explanation]] = []
     for position, block, stream in shard:
+        if cancel is not None:
+            cancel.check()
         record = None
         if config.shared_background:
             key = (block.key(), config.coverage_samples)
             record = records.setdefault(key, PopulationRecord())
-        results.append((position, _search_block(model, block, config, stream, record)))
+        results.append(
+            (position, _search_block(model, block, config, stream, record, cancel))
+        )
     return results
 
 
@@ -113,13 +128,24 @@ class SessionStats:
     cache_hit_rate: float
     populations_cached: int
     backend: str
+    worker_restarts: int = 0
+    worker_retries: int = 0
+    worker_fallbacks: int = 0
+    checkpoint_skips: int = 0
 
     def describe(self) -> str:
+        resilience = ""
+        if self.worker_restarts or self.worker_fallbacks or self.checkpoint_skips:
+            resilience = (
+                f", {self.worker_restarts} worker restarts "
+                f"({self.worker_fallbacks} serial fallbacks), "
+                f"{self.checkpoint_skips} checkpoint skips"
+            )
         return (
             f"{self.explanations} explanations, {self.model_queries} model "
             f"queries ({self.cache_hit_rate:.1%} cache hit rate), "
             f"{self.populations_cached} background populations, "
-            f"backend {self.backend}"
+            f"backend {self.backend}{resilience}"
         )
 
 
@@ -197,6 +223,7 @@ class ExplanationSession:
         # bookkeeping (and record creation) race-free.
         self._records_lock = threading.Lock()
         self.explanations_produced = 0
+        self.checkpoint_skips = 0
         self._query_base = self.model.query_count
         self._hit_base = self.model.hits
         self._miss_base = self.model.misses
@@ -232,12 +259,27 @@ class ExplanationSession:
         with self._records_lock:
             self._records.clear()
 
-    def explain(self, block: BasicBlock, rng: RandomSource = None) -> Explanation:
-        """Explain one block using the session's shared state."""
+    def explain(
+        self,
+        block: BasicBlock,
+        rng: RandomSource = None,
+        *,
+        cancel: Optional[CancelToken] = None,
+    ) -> Explanation:
+        """Explain one block using the session's shared state.
+
+        ``cancel`` is checked cooperatively between KL-LUCB rounds; a token
+        that never fires leaves the result bit-for-bit unchanged.
+        """
         self._check_open()
         generator = as_rng(rng) if rng is not None else self._rng
         explanation = _search_block(
-            self.model, block, self.config, generator, self.coverage_record(block)
+            self.model,
+            block,
+            self.config,
+            generator,
+            self.coverage_record(block),
+            cancel,
         )
         self.explanations_produced += 1
         return explanation
@@ -248,6 +290,8 @@ class ExplanationSession:
         rng: RandomSource = None,
         *,
         shards: Union[int, str, None] = "auto",
+        checkpoint: Union[str, Path, None] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> List[Explanation]:
         """Explain a whole dataset with independent per-block random streams.
 
@@ -279,18 +323,43 @@ class ExplanationSession:
         parity with the serial loop is exact as long as the fleet's distinct
         blocks fit ``max_population_records`` — under eviction pressure the
         serial loop redraws where shard-local records reuse.
+
+        ``checkpoint`` names a crash-safe journal file: every completed
+        explanation is journaled as it finishes, and re-running the *same*
+        call (same blocks, model, config, integer seed) after an
+        interruption skips the journaled positions and produces results
+        bit-for-bit identical to an uninterrupted run.  Checkpointed runs
+        require an integer ``rng`` seed (a live generator's state dies with
+        the crash) and run block-sequentially with position-independent
+        searches — each position draws its own background population — so
+        which positions were already journaled can never change what the
+        remaining positions compute.
+
+        ``cancel`` is checked between blocks and between KL-LUCB rounds on
+        the in-process paths (serial and thread backends, and all
+        checkpointed runs); process-sharded fleets check between shards
+        only, since the token cannot cross a process boundary.
         """
         self._check_open()
         blocks = list(blocks)
+        if checkpoint is not None:
+            return self._explain_many_checkpointed(
+                blocks, rng, checkpoint=checkpoint, shards=shards, cancel=cancel
+            )
         streams = spawn_rngs(rng if rng is not None else self._rng, len(blocks))
         items: List[_ShardItem] = list(zip(range(len(blocks)), blocks, streams))
         plan = self._shard_plan(blocks, shards)
         if plan is None:
-            return [self.explain(block, rng=stream) for block, stream in zip(blocks, streams)]
+            return [
+                self.explain(block, rng=stream, cancel=cancel)
+                for block, stream in zip(blocks, streams)
+            ]
         shard_lists = [[items[i] for i in indices] for indices in plan]
         if self.backend.shares_memory:
-            pairs = self._run_shards_inprocess(shard_lists)
+            pairs = self._run_shards_inprocess(shard_lists, cancel=cancel)
         else:
+            if cancel is not None:
+                cancel.check()
             payloads = [
                 (self.model.inner, self.config, shard, self.model.max_entries)
                 for shard in shard_lists
@@ -306,6 +375,61 @@ class ExplanationSession:
         results: List[Optional[Explanation]] = [None] * len(blocks)
         for position, explanation in pairs:
             results[position] = explanation
+        return results  # type: ignore[return-value]
+
+    def _explain_many_checkpointed(
+        self,
+        blocks: List[BasicBlock],
+        rng: RandomSource,
+        *,
+        checkpoint: Union[str, Path],
+        shards: Union[int, str, None],
+        cancel: Optional[CancelToken],
+    ) -> List[Explanation]:
+        """The journaled ``explain_many`` path — see the public docstring.
+
+        Sequential with ``record=None`` per position on purpose: population
+        reuse and sharding both make a position's result depend on which
+        *other* positions ran in this process, and a resumed run has not run
+        the journaled ones.  Position-independent searches are what make
+        skip-and-resume provably bit-for-bit; each position still fans its
+        query batches out through the session's backend, so the run keeps
+        its batch-level parallelism.
+        """
+        if not isinstance(rng, (int, np.integer)) or isinstance(rng, bool):
+            raise CheckpointError(
+                "checkpointed explain_many requires an integer seed: resuming "
+                "a run driven by a live generator is unreproducible (its "
+                f"state advanced with the crash); got {type(rng).__name__}"
+            )
+        fingerprint = run_fingerprint(
+            blocks=blocks,
+            model_name=self.model.name,
+            uarch=self.model.microarch,
+            config=self.config,
+            seed=int(rng),
+            shards_normalised=str(shards),
+        )
+        streams = spawn_rngs(int(rng), len(blocks))
+        results: List[Optional[Explanation]] = [None] * len(blocks)
+        with CheckpointJournal(
+            checkpoint, fingerprint=fingerprint, fleet_size=len(blocks)
+        ) as journal:
+            journal.verify_entry_keys(blocks)
+            for position, explanation in journal.completed.items():
+                results[position] = explanation
+            self.checkpoint_skips += journal.skipped
+            for position, (block, stream) in enumerate(zip(blocks, streams)):
+                if results[position] is not None:
+                    continue
+                if cancel is not None:
+                    cancel.check()
+                explanation = _search_block(
+                    self.model, block, self.config, stream, None, cancel
+                )
+                journal.record(position, block, explanation)
+                results[position] = explanation
+                self.explanations_produced += 1
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------- sharding
@@ -348,7 +472,9 @@ class ExplanationSession:
         return plan
 
     def _run_shards_inprocess(
-        self, shard_lists: List[List[_ShardItem]]
+        self,
+        shard_lists: List[List[_ShardItem]],
+        cancel: Optional[CancelToken] = None,
     ) -> List[Tuple[int, Explanation]]:
         """Run shards on session-owned threads (sharing the query cache).
 
@@ -363,7 +489,7 @@ class ExplanationSession:
         """
 
         def run(shard: List[_ShardItem]) -> List[Tuple[int, Explanation]]:
-            return _explain_shard(self.model, self.config, shard)
+            return _explain_shard(self.model, self.config, shard, cancel)
 
         with ThreadPoolExecutor(max_workers=len(shard_lists)) as executor:
             shard_results = list(executor.map(run, shard_lists))
@@ -385,6 +511,7 @@ class ExplanationSession:
         hits = self.model.hits - self._hit_base
         misses = self.model.misses - self._miss_base
         lookups = hits + misses
+        worker = self.backend.worker_stats()
         return SessionStats(
             explanations=self.explanations_produced,
             model_queries=self.model.query_count - self._query_base,
@@ -393,6 +520,10 @@ class ExplanationSession:
             cache_hit_rate=hits / lookups if lookups else 0.0,
             populations_cached=len(self._records),
             backend=self.backend.describe(),
+            worker_restarts=worker.get("restarts", 0),
+            worker_retries=worker.get("retries", 0),
+            worker_fallbacks=worker.get("fallbacks", 0),
+            checkpoint_skips=self.checkpoint_skips,
         )
 
     # ------------------------------------------------------------- lifecycle

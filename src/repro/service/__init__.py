@@ -21,14 +21,23 @@ two transports: stdin/stdout (``repro serve``, the default) and TCP
 (:class:`~repro.service.transport.SocketServer` behind ``repro serve
 --port``, driven by :class:`~repro.service.client.ServiceClient`).  Besides
 explanation requests it answers a ``stats`` op (queue depth, pool occupancy,
-per-dispatcher counters), surfaced client-side as
-:meth:`ServiceClient.stats`.
+per-dispatcher and failure counters), surfaced client-side as
+:meth:`ServiceClient.stats`, and a ``cancel`` op
+(:meth:`ServiceClient.cancel`) that cancels a still-outstanding request the
+moment the server reads it.  Requests may carry a server-side ``deadline``
+(seconds from admission), enforced while queued and cooperatively between
+KL-LUCB rounds while running; the failure surface is typed —
+:class:`~repro.utils.errors.ServiceTimeoutError` (the *caller's* wait
+expired; the result stays collectable),
+:class:`~repro.utils.errors.RequestCancelledError` and
+:class:`~repro.utils.errors.DeadlineExceededError`.
 
-See ``docs/architecture.md`` ("The service layer") for the ownership rules.
+See ``docs/architecture.md`` ("The service layer" and "Failure modes &
+recovery") for the ownership and recovery rules.
 """
 
 from repro.runtime.pool import PoolStats, SessionPool
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.core import (
     DISPATCHERS_ENV_VAR,
     ExplanationRequest,
@@ -40,6 +49,7 @@ from repro.service.core import (
 )
 from repro.service.protocol import (
     ServiceOp,
+    cancel_to_dict,
     request_from_dict,
     request_from_line,
     result_to_dict,
@@ -48,22 +58,40 @@ from repro.service.protocol import (
 )
 from repro.service.scheduler import DispatcherStats, Scheduler, SchedulerStats
 from repro.service.transport import SocketServer
+from repro.utils.cancellation import CancelToken
+from repro.utils.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    RequestCancelledError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceTimeoutError,
+)
 
 __all__ = [
+    "CancelToken",
     "DISPATCHERS_ENV_VAR",
+    "DeadlineExceededError",
     "DispatcherStats",
     "ExplanationRequest",
     "ExplanationService",
     "PoolStats",
+    "QueueFullError",
+    "RequestCancelledError",
     "RequestStatus",
+    "RetryPolicy",
     "Scheduler",
     "SchedulerStats",
     "ServiceClient",
+    "ServiceClosedError",
+    "ServiceError",
     "ServiceOp",
     "ServiceResult",
     "ServiceStats",
+    "ServiceTimeoutError",
     "SessionPool",
     "SocketServer",
+    "cancel_to_dict",
     "default_dispatchers",
     "request_from_dict",
     "request_from_line",

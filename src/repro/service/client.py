@@ -18,6 +18,16 @@ fast ones::
         request_id = client.submit("div rcx; add rax, rbx", seed=7)
         response = client.result(request_id, timeout=60)
         assert response["status"] == "done"
+
+The client is resilient by default (tunable via :class:`RetryPolicy`):
+the TCP dial retries with capped exponential backoff, a submission that
+finds the connection dead reconnects and resubmits under the same
+correlation id (idempotent: the old connection's copy died with the
+connection — the server answers per connection, so no duplicate response
+can arrive), and :meth:`explain` retries requests the server sheds with a
+queue-full failure.  Requests that were *in flight* when the connection
+died are failed, never silently retried: the client cannot know whether
+the server ran them.
 """
 
 from __future__ import annotations
@@ -26,17 +36,49 @@ import itertools
 import json
 import socket
 import threading
+import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bb.block import BasicBlock
-from repro.utils.errors import ServiceError
+from repro.utils.errors import ServiceError, ServiceTimeoutError
 
 #: Anything accepted as the blocks of one request: inline text (instructions
 #: separated by ``;`` or newlines), a parsed block, or a sequence of either.
 BlockSource = Union[str, BasicBlock, Sequence[Union[str, BasicBlock]]]
 
 _UNSET = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the client tries before giving up on the network.
+
+    ``attempts`` counts *retries* (0 disables them: first failure raises).
+    One policy governs all three retry surfaces — the TCP dial, the
+    reconnect-and-resubmit on a dead connection, and :meth:`ServiceClient.explain`'s
+    queue-full retries — because they share one character: the server is
+    healthy, the path to it momentarily is not.  Delays grow exponentially
+    from ``backoff``, capped at ``max_backoff``; deterministic on purpose
+    (seeded tests must not race a random sleep).
+    """
+
+    attempts: int = 2
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0:
+            raise ValueError("attempts must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.max_backoff < self.backoff:
+            raise ValueError("max_backoff must be >= backoff")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        return min(self.backoff * (2.0**attempt), self.max_backoff)
 
 
 def _block_text(block: Union[str, BasicBlock]) -> str:
@@ -55,6 +97,10 @@ class ServiceClient:
         (``None`` = wait forever); each call may override it.
     connect_timeout:
         Bound on the TCP connect itself.
+    retry:
+        The client's :class:`RetryPolicy` (``None`` = the defaults: two
+        retries, 50 ms exponential backoff).  ``RetryPolicy(attempts=0)``
+        restores fail-fast behaviour.
 
     The client is a context manager; :meth:`close` is idempotent and safe
     while requests are outstanding (their :meth:`result` calls raise
@@ -68,11 +114,13 @@ class ServiceClient:
         *,
         timeout: Optional[float] = None,
         connect_timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.connect_timeout = connect_timeout
+        self.retry = retry or RetryPolicy()
         self._sock: Optional[socket.socket] = None
         self._reader: Optional[threading.Thread] = None
         self._ids = itertools.count(1)
@@ -102,16 +150,28 @@ class ServiceClient:
         connect timeout) and the winner installs under it: racing first
         submits share one connection, a losing dial is closed on the spot,
         and a dial finishing after ``close()`` never installs a socket on a
-        closed client.
+        closed client.  A refused or failed dial is retried with the
+        client's :class:`RetryPolicy` backoff (a server mid-restart is the
+        expected cause); the last attempt's ``OSError`` propagates once the
+        retries are spent.
         """
         with self._lock:
             if self._sock is not None:
                 return self
             if self._closed:
                 raise ServiceError("this service client has been closed")
-        sock = socket.create_connection(
-            (self.host, self.port), timeout=self.connect_timeout
-        )
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                break
+            except OSError:
+                if attempt >= self.retry.attempts or self._closed:
+                    raise
+                time.sleep(self.retry.delay(attempt))
+                attempt += 1
         # The reader blocks on recv as long as the connection lives;
         # result() timeouts are enforced on the waiting side, not the
         # socket.
@@ -171,13 +231,15 @@ class ServiceClient:
         model: Optional[str] = None,
         uarch: Optional[str] = None,
         shards=_UNSET,
+        deadline: Optional[float] = None,
     ) -> str:
         """Send one request; returns the correlation id to collect with.
 
         ``model``/``uarch`` default to the server's configured model;
         ``shards`` is sent only when given (the server's fleet default,
         ``"auto"``, applies otherwise — pass ``None`` explicitly to force
-        the sequential loop).
+        the sequential loop).  ``deadline`` is the request's server-side
+        budget in seconds from admission (``None`` = the server default).
         """
         payload: Dict[str, object] = {"seed": int(seed)}
         if isinstance(blocks, (str, BasicBlock)):
@@ -190,10 +252,48 @@ class ServiceClient:
             payload["uarch"] = uarch
         if shards is not _UNSET:
             payload["shards"] = shards
+        if deadline is not None:
+            payload["deadline"] = float(deadline)
         return self._post(payload)
 
     def _post(self, payload: Dict[str, object]) -> str:
         """Tag ``payload`` with a fresh correlation id and send it.
+
+        A send that finds the connection dead — a reconnect-worthy failure,
+        not a closed client — tears the old socket down and resubmits the
+        *same* line over a fresh connection (same correlation id, so the
+        caller's handle stays valid).  The resubmit is idempotent: this
+        request never reached the wire on the old connection, and the
+        server answers per connection, so no duplicate response exists.
+        """
+        request_id = f"c{next(self._ids)}"
+        # Serialize before registering the id: a non-JSON-safe payload must
+        # raise with no state behind, not leave a phantom entry in _order
+        # that id-less responses would be misattributed to.
+        line = json.dumps({"id": request_id, **payload}) + "\n"
+        attempt = 0
+        while True:
+            self.connect()
+            try:
+                self._send(request_id, line)
+                return request_id
+            except ServiceError:
+                if self._closed or attempt >= self.retry.attempts:
+                    raise
+                time.sleep(self.retry.delay(attempt))
+                attempt += 1
+                try:
+                    self._reconnect()
+                except OSError as error:
+                    # The server was reachable once (we had a connection) and
+                    # is not any more: keep submit's failure contract in-band
+                    # rather than leaking the redial's socket error.
+                    raise ServiceError(
+                        f"cannot reconnect to {self.host}:{self.port}: {error}"
+                    ) from error
+
+    def _send(self, request_id: str, line: str) -> None:
+        """Register the id and put ``line`` on the wire, atomically.
 
         The ``_order`` registration and the socket send happen under one
         ``_send_lock`` hold: were they separate, two racing submitters
@@ -201,12 +301,6 @@ class ServiceClient:
         oldest-outstanding attribution of id-less responses (see
         ``_order``) would cross-wire their replies.
         """
-        self.connect()
-        request_id = f"c{next(self._ids)}"
-        # Serialize before registering the id: a non-JSON-safe payload must
-        # raise with no state behind, not leave a phantom entry in _order
-        # that id-less responses would be misattributed to.
-        line = json.dumps({"id": request_id, **payload}) + "\n"
         with self._send_lock:
             with self._lock:
                 if self._connection_error:
@@ -234,7 +328,38 @@ class ServiceClient:
                 raise ServiceError(
                     f"cannot send to {self.host}:{self.port}: {error}"
                 ) from error
-        return request_id
+
+    def _reconnect(self) -> None:
+        """Replace a dead connection with a fresh one.
+
+        Requests that were outstanding on the old connection have already
+        been failed by its reader (``_fail_waiters``): the client cannot
+        know whether the server ran them, so they are never retried here —
+        only the *current* submission, which provably never reached the
+        old wire, is.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("this service client has been closed")
+            sock, self._sock = self._sock, None
+            reader, self._reader = self._reader, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if reader is not None:
+            # The old reader must finish its epitaph before the error slate
+            # is wiped, or its _fail_waiters could repoison the new
+            # connection's state.
+            reader.join(5.0)
+        with self._lock:
+            self._connection_error = None
+        self.connect()
 
     # --------------------------------------------------------------- collect
 
@@ -251,8 +376,9 @@ class ServiceClient:
     def result(self, request_id: str, timeout: Optional[float] = _UNSET) -> dict:
         """Wait for — and consume — one response object.
 
-        Raises :class:`~repro.utils.errors.ServiceError` when the timeout
-        elapses (the response stays collectable) or the connection died
+        Raises :class:`~repro.utils.errors.ServiceTimeoutError` when the
+        timeout elapses (the response stays collectable) and plain
+        :class:`~repro.utils.errors.ServiceError` when the connection died
         before the response arrived.
         """
         if timeout is _UNSET:
@@ -262,7 +388,9 @@ class ServiceClient:
             if event is None and request_id not in self._responses:
                 raise ServiceError(f"unknown request id {request_id!r}")
         if event is not None and not event.wait(timeout):
-            raise ServiceError(f"request {request_id!r} did not answer in {timeout}s")
+            raise ServiceTimeoutError(
+                f"request {request_id!r} did not answer in {timeout}s"
+            )
         with self._lock:
             self._events.pop(request_id, None)
             response = self._responses.pop(request_id, None)
@@ -282,24 +410,61 @@ class ServiceClient:
         model: Optional[str] = None,
         uarch: Optional[str] = None,
         shards=_UNSET,
+        deadline: Optional[float] = None,
         timeout: Optional[float] = _UNSET,
     ) -> List[dict]:
         """Synchronous convenience: submit, wait, unwrap (raises on failure).
 
         Returns the ``explanations`` payload — a list of JSON-safe
         explanation dictionaries (see
-        :func:`repro.reporting.export.explanation_to_dict`).
+        :func:`repro.reporting.export.explanation_to_dict`).  A request the
+        server sheds with a queue-full failure is resubmitted with the
+        client's :class:`RetryPolicy` backoff before the failure is raised:
+        shedding asks producers to back off and come back, so the client
+        does exactly that.
         """
-        request_id = self.submit(
-            blocks, seed=seed, model=model, uarch=uarch, shards=shards
-        )
-        response = self.result(request_id, timeout=timeout)
-        if response.get("status") != "done":
+        attempt = 0
+        while True:
+            request_id = self.submit(
+                blocks,
+                seed=seed,
+                model=model,
+                uarch=uarch,
+                shards=shards,
+                deadline=deadline,
+            )
+            response = self.result(request_id, timeout=timeout)
+            if response.get("status") == "done":
+                return list(response["explanations"])
+            error = str(response.get("error") or "")
+            shed = "queue is full" in error or "queue stayed full" in error
+            if shed and attempt < self.retry.attempts:
+                time.sleep(self.retry.delay(attempt))
+                attempt += 1
+                continue
             raise ServiceError(
                 f"request {request_id} {response.get('status')}: "
                 f"{response.get('error')}"
             )
-        return list(response["explanations"])
+
+    def cancel(self, request_id: str, *, timeout: Optional[float] = _UNSET) -> bool:
+        """Cancel an outstanding request via the ``cancel`` op.
+
+        ``request_id`` is the correlation id :meth:`submit` returned.  The
+        cancellation acts the moment the server reads the op line; the
+        returned flag is the server's ``cancelled`` acknowledgement
+        (``False`` = the request had already finished, its normal response
+        stands).  The target's own :meth:`result` resolves either way —
+        with ``status`` ``cancelled`` when the cancellation landed.
+        """
+        op_id = self._post({"op": "cancel", "target": request_id})
+        response = self.result(op_id, timeout=timeout)
+        if response.get("status") != "done":
+            raise ServiceError(
+                f"cancel of {request_id!r} {response.get('status')}: "
+                f"{response.get('error')}"
+            )
+        return bool(response.get("cancelled"))
 
     def stats(self, *, timeout: Optional[float] = _UNSET) -> dict:
         """The server's accounting snapshot, via the ``stats`` op.

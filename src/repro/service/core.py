@@ -59,7 +59,15 @@ from repro.explain.explanation import Explanation
 from repro.runtime.pool import PoolStats, SessionFactory, SessionPool
 from repro.runtime.session import ExplanationSession, SessionStats
 from repro.service.scheduler import DispatcherStats, Scheduler
-from repro.utils.errors import QueueFullError, ServiceClosedError, ServiceError
+from repro.utils.cancellation import CancelToken
+from repro.utils.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    RequestCancelledError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceTimeoutError,
+)
 
 #: Environment override for the default dispatcher count (like
 #: ``REPRO_BACKEND`` for backends; CI uses it to run suites multi-dispatch).
@@ -113,10 +121,19 @@ class ExplanationRequest:
     model: Optional[str] = None
     uarch: Optional[str] = None
     shards: Union[int, str, None] = "auto"
+    #: Server-side budget in seconds, counted from admission.  A request
+    #: whose deadline lapses while queued fails fast without touching a
+    #: session; one that lapses mid-run stops cooperatively at the next
+    #: KL-LUCB round boundary.  ``None`` inherits the service default.
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.blocks:
             raise ServiceError("an explanation request needs at least one block")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ServiceError(
+                f"request deadline must be positive seconds, got {self.deadline!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -151,28 +168,47 @@ class ServiceStats:
     in_flight: int = 0
     dispatcher_stats: Tuple[DispatcherStats, ...] = ()
     pool: Optional[PoolStats] = None
+    #: Failure/resilience accounting: server-side deadline expirations
+    #: (queued fail-fast and mid-run alike), plus worker-supervision and
+    #: checkpoint counters aggregated over every warm session.
+    deadline_expired: int = 0
+    worker_restarts: int = 0
+    worker_retries: int = 0
+    worker_fallbacks: int = 0
+    checkpoint_skips: int = 0
 
     def describe(self) -> str:
+        resilience = ""
+        if self.deadline_expired or self.worker_restarts:
+            resilience = (
+                f", {self.deadline_expired} deadlines expired, "
+                f"{self.worker_restarts} worker restarts"
+            )
         return (
             f"{self.served}/{self.submitted} requests served "
             f"({self.failed} failed, {self.cancelled} cancelled), "
             f"{self.queue_depth} queued, "
             f"{len(self.sessions)} warm sessions, "
-            f"{self.dispatchers} dispatchers"
+            f"{self.dispatchers} dispatchers{resilience}"
         )
 
 
 class _Ticket:
     """Mutable per-request state shared between clients and dispatchers."""
 
-    __slots__ = ("request_id", "request", "status", "result", "done")
+    __slots__ = ("request_id", "request", "status", "result", "done", "token")
 
-    def __init__(self, request_id: str, request: ExplanationRequest) -> None:
+    def __init__(
+        self, request_id: str, request: ExplanationRequest, token: CancelToken
+    ) -> None:
         self.request_id = request_id
         self.request = request
         self.status = RequestStatus.QUEUED
         self.result: Optional[ServiceResult] = None
         self.done = threading.Event()
+        #: The request's cancel/deadline token, threaded into the session's
+        #: KL-LUCB loops while the request runs.
+        self.token = token
 
 
 class ExplanationService:
@@ -201,6 +237,10 @@ class ExplanationService:
     max_sessions:
         How many per-model sessions stay warm at once; the least recently
         used idle session is closed when the pool overflows.
+    default_deadline:
+        Server-side deadline (seconds from admission) applied to requests
+        that do not carry their own; ``None`` (the default) leaves requests
+        unbounded.  A request's explicit ``deadline`` always wins.
     session_factory:
         Override how sessions are built (tests inject toy models here).  The
         default routes through :func:`repro.models.registry.build_session`.
@@ -225,17 +265,21 @@ class ExplanationService:
         max_sessions: int = 4,
         cache_entries: int = 100_000,
         session_factory: Optional[SessionFactory] = None,
+        default_deadline: Optional[float] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive seconds")
         if dispatchers is None:
             dispatchers = default_dispatchers()
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
         self.default_model = model
         self.default_uarch = uarch
+        self.default_deadline = default_deadline
         self.config = config or ExplainerConfig()
         self.dispatchers = dispatchers
         self.max_queue = max_queue
@@ -256,6 +300,7 @@ class ExplanationService:
         self._served = 0
         self._failed = 0
         self._cancelled = 0
+        self._deadline_expired = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -358,6 +403,7 @@ class ExplanationService:
         model: Optional[str] = None,
         uarch: Optional[str] = None,
         shards: Union[int, str, None] = "auto",
+        deadline: Optional[float] = None,
         block: bool = True,
         timeout: Optional[float] = None,
     ) -> str:
@@ -371,18 +417,32 @@ class ExplanationService:
         :class:`~repro.utils.errors.QueueFullError` immediately.  Submitting
         to a closed service raises
         :class:`~repro.utils.errors.ServiceClosedError`.
+
+        ``deadline`` is the request's server-side budget in seconds, counted
+        from admission (``None`` inherits the service default): a request
+        still queued when it lapses fails fast without touching a session,
+        and a running one stops cooperatively at the next KL-LUCB round.
         """
         if self._closed:
             raise ServiceClosedError("this explanation service has been closed")
         if not isinstance(request, ExplanationRequest):
             blocks = (request,) if isinstance(request, BasicBlock) else tuple(request)
             request = ExplanationRequest(
-                blocks=blocks, seed=seed, model=model, uarch=uarch, shards=shards
+                blocks=blocks,
+                seed=seed,
+                model=model,
+                uarch=uarch,
+                shards=shards,
+                deadline=deadline,
             )
         self.start()
         scheduler = self._scheduler
         assert scheduler is not None
-        ticket = _Ticket(f"req-{next(self._ids)}", request)
+        request_id = f"req-{next(self._ids)}"
+        budget = request.deadline if request.deadline is not None else self.default_deadline
+        ticket = _Ticket(
+            request_id, request, CancelToken.with_timeout(budget, name=request_id)
+        )
         with self._lock:
             self._tickets[ticket.request_id] = ticket
             self._submitted += 1
@@ -427,11 +487,51 @@ class ExplanationService:
         if ticket is None:
             raise ServiceError(f"unknown request id {request_id!r}")
         if not ticket.done.wait(timeout):
-            raise ServiceError(f"request {request_id!r} did not finish in {timeout}s")
+            raise ServiceTimeoutError(
+                f"request {request_id!r} did not finish in {timeout}s"
+            )
         with self._lock:
             self._tickets.pop(request_id, None)
         assert ticket.result is not None
         return ticket.result
+
+    def cancel(self, request_id: str) -> bool:
+        """Cancel a submitted request (idempotent; unknown ids raise).
+
+        Returns ``True`` when the cancellation can still take effect — the
+        request was withdrawn from the queue (its ticket resolves
+        :attr:`RequestStatus.CANCELLED` immediately) or is running and will
+        stop at its next KL-LUCB round boundary — and ``False`` when the
+        request had already finished.  Either way the ticket stays
+        collectable via :meth:`result`, and the request's dispatcher and
+        session key are freed for the next request the moment it stops.
+        """
+        ticket = self._tickets.get(request_id)
+        if ticket is None:
+            raise ServiceError(f"unknown request id {request_id!r}")
+        if ticket.done.is_set():
+            return False
+        # Setting the token first closes the claim race: a dispatcher that
+        # dequeues the ticket after a failed withdraw still sees the token
+        # at its first round boundary.
+        ticket.token.cancel("cancelled by client")
+        scheduler = self._scheduler
+        if scheduler is not None and scheduler.withdraw(
+            self._request_key(ticket.request), ticket
+        ):
+            self._resolve(
+                ticket,
+                ServiceResult(
+                    request_id=ticket.request_id,
+                    status=RequestStatus.CANCELLED,
+                    explanations=(),
+                    error="request cancelled before it ran",
+                    model=ticket.request.model or self.default_model,
+                    uarch=ticket.request.uarch or self.default_uarch,
+                    seconds=0.0,
+                ),
+            )
+        return True
 
     def explain(
         self,
@@ -464,16 +564,22 @@ class ExplanationService:
         session against a concurrent eviction triggered by another key.
         """
         with self._lock:
-            # Skip tickets already resolved (cancelled by a racing close);
-            # claiming RUNNING under the lock means a concurrent _resolve
-            # cannot interleave between the check and the status write.
+            # Skip tickets already resolved (cancelled by a racing close or
+            # a queue withdraw); claiming RUNNING under the lock means a
+            # concurrent _resolve cannot interleave between the check and
+            # the status write.
             if ticket.done.is_set():
                 return
             ticket.status = RequestStatus.RUNNING
         request = ticket.request
         model_name, uarch = self._request_key(request)
         start = time.perf_counter()
+        deadline_expired = False
         try:
+            # Fail fast before leasing anything: a request whose deadline
+            # lapsed (or that was cancelled) while queued must not spend a
+            # warm session computing an answer nobody will read.
+            ticket.token.check()
             with self._pool.leased(model_name, uarch) as session:
                 # Request isolation: population records are stateful (a
                 # pre-filled record changes how a later search consumes its
@@ -485,11 +591,18 @@ class ExplanationService:
                 if len(request.blocks) == 1:
                     # Matches CometExplainer.explain(block, rng=seed) exactly:
                     # the seed drives the search directly, no stream spawning.
-                    explanations = (session.explain(request.blocks[0], rng=request.seed),)
+                    explanations = (
+                        session.explain(
+                            request.blocks[0], rng=request.seed, cancel=ticket.token
+                        ),
+                    )
                 else:
                     explanations = tuple(
                         session.explain_many(
-                            request.blocks, rng=request.seed, shards=request.shards
+                            request.blocks,
+                            rng=request.seed,
+                            shards=request.shards,
+                            cancel=ticket.token,
                         )
                     )
             result = ServiceResult(
@@ -501,7 +614,18 @@ class ExplanationService:
                 uarch=uarch,
                 seconds=time.perf_counter() - start,
             )
+        except RequestCancelledError as error:
+            result = ServiceResult(
+                request_id=ticket.request_id,
+                status=RequestStatus.CANCELLED,
+                explanations=(),
+                error=f"{type(error).__name__}: {error}",
+                model=model_name,
+                uarch=uarch,
+                seconds=time.perf_counter() - start,
+            )
         except Exception as error:  # noqa: BLE001 - reported to the client
+            deadline_expired = isinstance(error, DeadlineExceededError)
             result = ServiceResult(
                 request_id=ticket.request_id,
                 status=RequestStatus.FAILED,
@@ -511,9 +635,15 @@ class ExplanationService:
                 uarch=uarch,
                 seconds=time.perf_counter() - start,
             )
-        self._resolve(ticket, result)
+        self._resolve(ticket, result, deadline_expired=deadline_expired)
 
-    def _resolve(self, ticket: _Ticket, result: ServiceResult) -> None:
+    def _resolve(
+        self,
+        ticket: _Ticket,
+        result: ServiceResult,
+        *,
+        deadline_expired: bool = False,
+    ) -> None:
         """Publish a ticket's outcome exactly once (later resolvers lose)."""
         with self._lock:
             if ticket.done.is_set():
@@ -524,6 +654,8 @@ class ExplanationService:
                 self._served += 1
             elif result.status is RequestStatus.FAILED:
                 self._failed += 1
+                if deadline_expired:
+                    self._deadline_expired += 1
             else:
                 self._cancelled += 1
             ticket.done.set()
@@ -555,6 +687,7 @@ class ExplanationService:
         with self._lock:
             submitted, served = self._submitted, self._served
             failed, cancelled = self._failed, self._cancelled
+            deadline_expired = self._deadline_expired
             scheduler = self._scheduler
         scheduler_stats = scheduler.stats() if scheduler is not None else None
         keys, pool_stats, session_stats = self._pool.snapshot()
@@ -572,4 +705,9 @@ class ExplanationService:
                 scheduler_stats.dispatcher_stats if scheduler_stats else ()
             ),
             pool=pool_stats,
+            deadline_expired=deadline_expired,
+            worker_restarts=sum(s.worker_restarts for s in session_stats.values()),
+            worker_retries=sum(s.worker_retries for s in session_stats.values()),
+            worker_fallbacks=sum(s.worker_fallbacks for s in session_stats.values()),
+            checkpoint_skips=sum(s.checkpoint_skips for s in session_stats.values()),
         )

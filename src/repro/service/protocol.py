@@ -17,11 +17,16 @@ and one response line per request, in submission order::
 request id is returned as ``request_id``).  Failures come back in-band with
 ``"status": "failed"`` and an ``error`` string — the stream keeps serving.
 
-Besides explanation requests the protocol carries *operations* — currently
-only ``{"op": "stats"}``, which answers with the service's accounting
-snapshot (queue depth, pool occupancy, per-dispatcher counters; see
-:func:`stats_to_dict`) in the same per-connection submission order as every
-other response.
+Besides explanation requests the protocol carries *operations*:
+``{"op": "stats"}`` answers with the service's accounting snapshot (queue
+depth, pool occupancy, per-dispatcher counters, failure/resilience
+counters; see :func:`stats_to_dict`), and ``{"op": "cancel", "target":
+"r1"}`` cancels the caller's still-outstanding request whose client id is
+``target`` — the cancellation *acts* the moment the op line is read (a
+queued request is withdrawn, a running one stops at its next KL-LUCB
+round), while the op's own response is answered in the same per-connection
+submission order as every other response.  Explanation requests may carry
+``"deadline"``: a server-side budget in seconds from admission.
 """
 
 from __future__ import annotations
@@ -43,24 +48,33 @@ from repro.service.core import (
 from repro.utils.errors import ReproError, ServiceError
 
 #: Operation names the protocol understands besides explanation requests.
-KNOWN_OPS = ("stats",)
+KNOWN_OPS = ("stats", "cancel")
 
 #: Every field an explanation request may carry on the wire (the schema
 #: :func:`request_from_dict` reads).  The op/request mixing guard checks
 #: against this same set, so adding a field here keeps both in step.
-REQUEST_FIELDS = frozenset({"block", "blocks", "seed", "model", "uarch", "shards"})
+REQUEST_FIELDS = frozenset(
+    {"block", "blocks", "seed", "model", "uarch", "shards", "deadline"}
+)
 
 
 @dataclass(frozen=True)
 class ServiceOp:
-    """A non-explanation protocol request (``{"op": "stats"}``)."""
+    """A non-explanation protocol request (``{"op": "stats"}`` or
+    ``{"op": "cancel", "target": <client id>}``)."""
 
     op: str
+    target: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.op not in KNOWN_OPS:
             raise ServiceError(
                 f"unknown op {self.op!r}; known ops: {', '.join(KNOWN_OPS)}"
+            )
+        if self.op == "cancel" and not self.target:
+            raise ServiceError(
+                "a cancel op needs a 'target' (the client id of the request "
+                "to cancel)"
             )
 
 
@@ -100,12 +114,22 @@ def request_from_dict(payload: Dict[str, object]) -> ExplanationRequest:
         raise ServiceError(
             f"'seed' must be an integer, got {payload.get('seed')!r}"
         ) from error
+    deadline = payload.get("deadline")
+    if deadline is not None:
+        try:
+            deadline = float(deadline)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as error:
+            raise ServiceError(
+                f"'deadline' must be positive seconds, got "
+                f"{payload.get('deadline')!r}"
+            ) from error
     return ExplanationRequest(
         blocks=blocks,
         seed=seed,
         model=payload.get("model"),  # type: ignore[arg-type]
         uarch=payload.get("uarch"),  # type: ignore[arg-type]
         shards=shards,  # type: ignore[arg-type]
+        deadline=deadline,  # type: ignore[arg-type]
     )
 
 
@@ -143,7 +167,9 @@ def request_from_line(
                         f"an op request cannot carry explanation fields "
                         f"({', '.join(mixed)})"
                     )
-                return client_id, ServiceOp(str(payload["op"]))
+                raw_target = payload.get("target")
+                target = None if raw_target is None else str(raw_target)
+                return client_id, ServiceOp(str(payload["op"]), target=target)
             return client_id, request_from_dict(payload)
         except ReproError as error:
             # Tag the failure with the client's correlation id so the error
@@ -192,6 +218,13 @@ def stats_to_dict(
             "queue_depth": stats.queue_depth,
             "in_flight": stats.in_flight,
             "dispatchers": stats.dispatchers,
+            "resilience": {
+                "deadline_expired": stats.deadline_expired,
+                "worker_restarts": stats.worker_restarts,
+                "worker_retries": stats.worker_retries,
+                "worker_fallbacks": stats.worker_fallbacks,
+                "checkpoint_skips": stats.checkpoint_skips,
+            },
             "dispatcher_stats": [
                 {
                     "index": d.index,
@@ -223,6 +256,45 @@ def _error_line(client_id: Optional[str], message: str) -> str:
     )
 
 
+def cancel_to_dict(
+    service: ExplanationService,
+    live_requests: Dict[str, str],
+    client_id: Optional[str],
+    target: str,
+) -> Dict[str, object]:
+    """Act on one cancel op and build its response payload.
+
+    ``live_requests`` maps the stream's outstanding client ids to service
+    request ids; an unknown target (never submitted, bare-text, or already
+    answered) fails in-band without touching the service.  ``cancelled``
+    reports whether the cancellation could still take effect (the target's
+    own response will show ``cancelled``/``failed`` accordingly).
+    """
+    request_id = live_requests.get(target)
+    if request_id is None:
+        return {
+            "id": client_id,
+            "status": "failed",
+            "op": "cancel",
+            "target": target,
+            "error": (
+                f"unknown cancel target {target!r} "
+                f"(never submitted, or already answered)"
+            ),
+        }
+    try:
+        effective = service.cancel(request_id)
+    except ServiceError:
+        effective = False  # finished and collected between lookup and cancel
+    return {
+        "id": client_id,
+        "status": "done",
+        "op": "cancel",
+        "target": target,
+        "cancelled": bool(effective),
+    }
+
+
 def serve_stream(
     service: ExplanationService,
     lines: Iterable[str],
@@ -241,26 +313,42 @@ def serve_stream(
     its own bound: past ``max_pending`` outstanding responses the stream
     stops reading until the backlog drains (pure backpressure — nothing is
     dropped).  Undecodable lines produce an in-band ``failed`` response
-    and do not stop the stream.  The caller keeps ownership of ``service``
+    and do not stop the stream.  A ``cancel`` op acts the moment its line
+    is read — that is the whole point: the target may be queued or running
+    *right now* — while its acknowledgement keeps submission order like
+    every other response.  The caller keeps ownership of ``service``
     (and closes it).
     """
-    #: (client id, service request id or None for a stats op).
-    pending: "deque[Tuple[Optional[str], Optional[str]]]" = deque()
+    #: Submission-ordered response backlog.  Entries are tagged:
+    #: ``("req", client id, request id)`` waits on the service,
+    #: ``("stats", client id, None)`` snapshots when its turn comes, and
+    #: ``("done", client id, payload)`` was answered at read time (cancel
+    #: acknowledgements).
+    pending: "deque[Tuple[str, Optional[str], object]]" = deque()
+    #: Outstanding client id → service request id (cancel targeting);
+    #: entries leave as their responses flush, so a reused client id
+    #: always targets its latest outstanding request.
+    live_requests: Dict[str, str] = {}
     served = 0
 
     def flush(block: bool) -> int:
         count = 0
         while pending:
-            client_id, request_id = pending[0]
-            if request_id is None:
+            kind, client_id, extra = pending[0]
+            if kind == "stats":
                 # Ops are answered but not counted: the served total must
                 # agree with the service's own `served` accounting, which
                 # counts explanation requests only.
                 payload = stats_to_dict(service.stats(), client_id)
+            elif kind == "done":
+                payload = extra  # type: ignore[assignment]
             else:
+                request_id = str(extra)
                 if not block and not service.poll(request_id).finished:
                     break
                 payload = result_to_dict(service.result(request_id), client_id)
+                if client_id is not None and live_requests.get(client_id) == request_id:
+                    del live_requests[client_id]
                 count += 1
             out.write(json.dumps(payload) + "\n")
             out.flush()
@@ -279,7 +367,14 @@ def serve_stream(
             out.flush()
             continue
         if isinstance(request, ServiceOp):
-            pending.append((client_id, None))
+            if request.op == "cancel":
+                assert request.target is not None
+                payload = cancel_to_dict(
+                    service, live_requests, client_id, request.target
+                )
+                pending.append(("done", client_id, payload))
+            else:
+                pending.append(("stats", client_id, None))
             served += flush(block=False)
             if len(pending) >= max_pending:
                 served += flush(block=True)
@@ -290,7 +385,9 @@ def serve_stream(
             out.write(_error_line(client_id, str(error)) + "\n")
             out.flush()
             continue
-        pending.append((client_id, request_id))
+        if client_id is not None:
+            live_requests[client_id] = request_id
+        pending.append(("req", client_id, request_id))
         served += flush(block=False)
         if len(pending) >= max_pending:
             served += flush(block=True)

@@ -209,6 +209,42 @@ class Scheduler:
             self._ready[state.home].append(key)
             self._work.notify_all()
 
+    def withdraw(self, key: Hashable, item: Any) -> bool:
+        """Remove one still-queued item (``False`` if already claimed).
+
+        The cancellation fast path: a withdrawn item never reaches a
+        dispatcher, its queue slot is released to blocking submitters, and
+        an emptied key is delisted so it cannot wake a dispatcher for
+        nothing.  Items already claimed (in flight) are left alone — their
+        cancellation happens cooperatively inside ``execute``.
+        """
+        with self._lock:
+            state = self._keys.get(key)
+            if state is None:
+                return False
+            try:
+                state.queue.remove(item)
+            except ValueError:
+                return False
+            self._queued -= 1
+            self._pending -= 1
+            self._space.notify_all()
+            if not state.queue and state.ready:
+                # Delist the key wherever it sits: stealing may have parked
+                # it on a non-home ready list.
+                state.ready = False
+                for ready in self._ready:
+                    try:
+                        ready.remove(key)
+                        break
+                    except ValueError:
+                        continue
+            if not state.queue and not state.inflight:
+                self._keys.pop(key, None)
+            if self._pending == 0:
+                self._idle.notify_all()
+            return True
+
     # ------------------------------------------------------------ dispatchers
 
     def _claim_locked(self, me: int) -> Optional[Tuple[Hashable, _KeyState, Any]]:

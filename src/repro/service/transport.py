@@ -44,11 +44,12 @@ import selectors
 import socket
 import threading
 import time
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.service.core import ExplanationService
 from repro.service.protocol import (
     ServiceOp,
+    cancel_to_dict,
     request_from_line,
     result_to_dict,
     stats_to_dict,
@@ -164,6 +165,10 @@ class _Connection:
         #: The subset answered connection-locally (errors and ops): these
         #: bypass the service's bounded queue, so they get their own cap.
         self._local_pending = 0
+        #: Outstanding client id → service request id on this connection —
+        #: the targets a ``cancel`` op can name.  Written by the reader at
+        #: submit time, pruned by the writer as responses flush.
+        self._requests: Dict[str, str] = {}
         self._inflight_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._send_failed = False
@@ -256,14 +261,29 @@ class _Connection:
                 if isinstance(request, ServiceOp):
                     # Answered by the writer in this connection's submission
                     # order; the stats snapshot is taken when its turn comes.
+                    # A cancel *acts* right here at read time — the target
+                    # may be queued or running now — and only its
+                    # acknowledgement waits for its turn.
                     self._track_local(1)
-                    self._writer_queue.put(("stats", client_id, None))
+                    if request.op == "cancel":
+                        assert request.target is not None
+                        payload = cancel_to_dict(
+                            self.server.service,
+                            self._requests,
+                            client_id,
+                            request.target,
+                        )
+                        self._writer_queue.put(("done", client_id, payload))
+                    else:
+                        self._writer_queue.put(("stats", client_id, None))
                     continue
                 try:
                     request_id = self.server.service.submit(request)
                 except ReproError as error:
                     self._enqueue_error(client_id, str(error))
                     continue
+                if client_id is not None:
+                    self._requests[client_id] = request_id
                 self._track(1)
                 self._writer_queue.put(("result", client_id, request_id))
         except Exception:  # noqa: BLE001 - isolation: never kill the server
@@ -290,12 +310,20 @@ class _Connection:
                     line = json.dumps(
                         stats_to_dict(self.server.service.stats(), client_id)
                     )
+                elif kind == "done":
+                    # Pre-built at read time (cancel acknowledgements).
+                    line = json.dumps(payload)
                 else:
                     # Blocks until the dispatcher resolves this connection's
                     # oldest outstanding ticket — which is exactly what keeps
                     # responses in per-connection submission order.
                     result = self.server.service.result(payload)
                     line = json.dumps(result_to_dict(result, client_id))
+                    if (
+                        client_id is not None
+                        and self._requests.get(client_id) == payload
+                    ):
+                        del self._requests[client_id]
                 self._send_line(line)
                 if kind == "result":
                     self._track(-1)

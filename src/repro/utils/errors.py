@@ -53,6 +53,10 @@ class BackendError(ReproError):
     """Raised when an execution backend cannot run the requested workload."""
 
 
+class CheckpointError(ReproError):
+    """Raised when a checkpoint journal cannot be read, written or resumed."""
+
+
 class ServiceError(ReproError):
     """Raised when the explanation service cannot accept or serve a request."""
 
@@ -63,3 +67,24 @@ class QueueFullError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """Raised when a request reaches a service that has been shut down."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a client-side wait (``result(timeout=...)``) expires.
+
+    Distinct from the server-side deadline family below: the request may
+    still be queued or running — only *this caller's patience* ran out, and
+    the result stays collectable.
+    """
+
+
+class RequestCancelledError(ServiceError):
+    """Raised inside a request whose :class:`~repro.utils.cancellation.CancelToken`
+    was cancelled (client abandoned it); the service reports the request as
+    cancelled and frees its dispatcher and session key."""
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's server-side deadline expires — either while
+    still queued (failed fast, no session touched) or cooperatively between
+    KL-LUCB rounds while running."""

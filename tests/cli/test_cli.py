@@ -178,6 +178,91 @@ class TestExplain:
         assert isinstance(payload["features"], list)
 
 
+class TestExplainFleet:
+    _FAST = [
+        "--epsilon", "0.25", "--relative-epsilon", "0.0",
+        "--coverage-samples", "60", "--max-precision-samples", "40",
+    ]
+
+    @pytest.fixture
+    def fleet_file(self, tmp_path):
+        path = tmp_path / "fleet.txt"
+        path.write_text(
+            "# comment lines and blanks are skipped\n"
+            "\n"
+            "add rcx, rax; mov rdx, rcx\n"
+            "xor edx, edx; div rcx\n"
+        )
+        return path
+
+    def test_blocks_file_explains_every_block(self, fleet_file, capsys):
+        code = main(
+            ["explain", "--model", "crude", "--blocks-file", str(fleet_file),
+             "--json", *self._FAST]
+        )
+        assert code == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert len(payloads) == 2
+        assert all(p["model"].startswith("crude") for p in payloads)
+
+    def test_checkpointed_rerun_is_a_pure_replay(self, fleet_file, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        argv = [
+            "explain", "--model", "crude", "--blocks-file", str(fleet_file),
+            "--checkpoint", str(journal), "--json", "--seed", "3", *self._FAST,
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        first = json.loads(captured.out)
+        assert "0 of 2 blocks recovered" in captured.err
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == first  # bit-for-bit replay
+        assert "2 of 2 blocks recovered" in captured.err
+
+    def test_checkpoint_without_blocks_file_is_a_cli_error(self, tmp_path, capsys):
+        code = main(
+            ["explain", "--model", "crude", "--block", BLOCK_INLINE,
+             "--checkpoint", str(tmp_path / "run.jsonl")]
+        )
+        assert code == 2
+        assert "--blocks-file" in capsys.readouterr().err
+
+    def test_empty_fleet_is_a_cli_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing here\n")
+        code = main(
+            ["explain", "--model", "crude", "--blocks-file", str(empty)]
+        )
+        assert code == 2
+        assert "no blocks" in capsys.readouterr().err
+
+
+class TestServeFlags:
+    def test_request_timeout_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "crude", "--request-timeout", "30"]
+        )
+        assert args.request_timeout == 30.0
+
+    def test_request_timeout_defaults_to_none(self):
+        args = build_parser().parse_args(["serve", "--model", "crude"])
+        assert args.request_timeout is None
+
+    def test_served_batch_honours_request_timeout(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"id": "a", "block": "add rcx, rax", "seed": 1}\n')
+        code = main(
+            ["serve", "--model", "crude", "--requests", str(requests),
+             "--request-timeout", "60",
+             "--coverage-samples", "60", "--max-precision-samples", "40"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        response = json.loads(captured.out.splitlines()[0])
+        assert response["status"] == "done"
+
+
 class TestOptimize:
     def test_optimize_reports_costs(self, capsys):
         code = main(
