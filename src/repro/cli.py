@@ -14,6 +14,7 @@ The CLI exposes the public API for quick, scriptable use::
     python -m repro serve    --model crude --port 7421 --max-connections 16
     python -m repro serve    --model crude --port 0    --dispatchers 4
     python -m repro serve    --model crude --request-timeout 120
+    python -m repro serve    --model crude --port 0    --continuous-batching
 
 Blocks can be passed inline with ``--block`` (instructions separated by ``;``
 or newlines) or from a file with ``--block-file``.  The neural model is
@@ -228,6 +229,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         dispatchers=args.dispatchers,
+        continuous_batching=args.continuous_batching,
+        max_fused_requests=args.max_fused_requests,
         max_queue=args.max_queue,
         max_sessions=args.max_sessions,
         default_deadline=args.request_timeout,
@@ -404,6 +407,22 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_DISPATCHERS environment variable, or 1); requests are routed "
         "by (model, uarch) key, so seeded results are identical at any "
         "dispatcher count while distinct models run in parallel",
+    )
+    serve.add_argument(
+        "--continuous-batching",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="fuse concurrent same-(model, uarch) requests into shared "
+        "predict_batch ticks at KL-LUCB round granularity (default: the "
+        "REPRO_FUSED environment variable, or off); per-request results "
+        "stay bit-for-bit identical to unfused serving",
+    )
+    serve.add_argument(
+        "--max-fused-requests",
+        type=int,
+        default=None,
+        help="cap on requests resident in one fused tick group (default: "
+        "the REPRO_MAX_FUSED environment variable, or 8)",
     )
     serve.add_argument(
         "--max-queue",

@@ -12,7 +12,7 @@ valid candidates of that level the one with maximum coverage is returned.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,86 +75,98 @@ class AnchorSearch:
 
     # ------------------------------------------------------------- sampling
 
-    def _outcome_sampler(self, features: Tuple[Feature, ...]) -> Callable[[int], List[bool]]:
-        """Bernoulli sampler for one candidate: perturb, query, compare.
-
-        The legacy sequential path (``config.batch_queries = False``): each
-        perturbed block is queried through ``model.predict`` on its own.
-        """
-
-        def draw(count: int) -> List[bool]:
-            perturbed = self.sampler.sample(features, count)
-            outcomes = []
-            for candidate in perturbed:
-                prediction = self.model.predict(candidate)
-                outcomes.append(
-                    abs(prediction - self.original_prediction) <= self.tolerance
-                )
-            return outcomes
-
-        return draw
-
-    def _outcome_batch_sampler(
-        self, candidates: Sequence[Tuple[Feature, ...]]
-    ) -> Callable[[Sequence[Tuple[int, int]]], List[np.ndarray]]:
-        """Round-level Bernoulli sampler over a whole candidate level.
-
-        All perturbed blocks of one refinement round — across every arm the
-        estimator refines — flow through a single ``predict_batch`` call, and
-        the tolerance-ball comparison is vectorized with numpy.  Perturbations
-        are drawn per request in request order, so the random stream is
-        consumed exactly as the sequential path would.
-        """
-
-        def draw_many(requests: Sequence[Tuple[int, int]]) -> List[np.ndarray]:
-            segment_sizes: List[int] = []
-            blocks: List[BasicBlock] = []
-            for arm, count in requests:
-                perturbed = self.sampler.sample(candidates[arm], count)
-                segment_sizes.append(len(perturbed))
-                blocks.extend(perturbed)
-            if not blocks:
-                return [np.zeros(0, dtype=bool) for _ in requests]
-            predictions = np.asarray(self.model.predict_batch(blocks))
-            outcomes = (
-                np.abs(predictions - self.original_prediction) <= self.tolerance
-            )
-            segments: List[np.ndarray] = []
-            offset = 0
-            for size in segment_sizes:
-                segments.append(outcomes[offset : offset + size])
-                offset += size
-            return segments
-
-        return draw_many
-
     def _make_estimator(
         self, candidates: Sequence[Tuple[Feature, ...]]
     ) -> PrecisionEstimator:
-        """Estimator over ``candidates``, batched or sequential per config."""
+        """Externally-served estimator over ``candidates``.
+
+        The estimator only tracks arm statistics and round structure; its
+        draw requests are served by :meth:`_serve_requests` (batched or
+        sequential per config) through the round-generator protocol.
+        """
         config = self.config
-        common = dict(
+        return PrecisionEstimator(
+            num_arms=len(candidates),
             confidence_delta=config.confidence_delta,
             batch_size=config.batch_size,
             min_samples=config.min_precision_samples,
             max_samples=config.max_precision_samples,
             cancel=self.cancel,
         )
-        if config.batch_queries:
-            return PrecisionEstimator(
-                batch_sampler=self._outcome_batch_sampler(candidates),
-                num_arms=len(candidates),
-                **common,
-            )
-        return PrecisionEstimator(
-            [self._outcome_sampler(candidate) for candidate in candidates], **common
+
+    def _serve_requests(
+        self, requests: Sequence[Tuple[int, int]], candidates: Sequence[Tuple[Feature, ...]]
+    ):
+        """Serve one refinement round of ``(arm, count)`` draw requests.
+
+        Sub-generator of :meth:`search_rounds`.  Perturbations are drawn per
+        request in request order, so the random stream is consumed exactly the
+        same way in both modes.  In batched mode the round's blocks are yielded
+        outward — the driver answers with one prediction array, typically from
+        a single ``predict_batch`` call (possibly fused with other requests'
+        rounds) — and the tolerance-ball comparison is vectorized.  In
+        sequential mode (``config.batch_queries = False``) each perturbed
+        block is queried through ``model.predict`` on its own, and nothing is
+        yielded.
+        """
+        if not self.config.batch_queries:
+            outcome_batches: List[List[bool]] = []
+            for arm, count in requests:
+                perturbed = self.sampler.sample(candidates[arm], count)
+                outcomes = []
+                for candidate in perturbed:
+                    prediction = self.model.predict(candidate)
+                    outcomes.append(
+                        abs(prediction - self.original_prediction) <= self.tolerance
+                    )
+                outcome_batches.append(outcomes)
+            return outcome_batches
+
+        segment_sizes: List[int] = []
+        blocks: List[BasicBlock] = []
+        for arm, count in requests:
+            perturbed = self.sampler.sample(candidates[arm], count)
+            segment_sizes.append(len(perturbed))
+            blocks.extend(perturbed)
+        if not blocks:
+            return [np.zeros(0, dtype=bool) for _ in requests]
+        predictions = yield blocks
+        outcomes = (
+            np.abs(np.asarray(predictions) - self.original_prediction) <= self.tolerance
         )
+        segments: List[np.ndarray] = []
+        offset = 0
+        for size in segment_sizes:
+            segments.append(outcomes[offset : offset + size])
+            offset += size
+        return segments
+
+    def _pump(self, estimator_rounds, candidates: Sequence[Tuple[Feature, ...]]):
+        """Drive an estimator round generator, serving each round it requests.
+
+        Sub-generator: block batches needed by the rounds propagate outward
+        through ``yield`` (see :meth:`_serve_requests`) and the estimator
+        generator's final value is returned.
+        """
+        payload = None
+        while True:
+            try:
+                requests = estimator_rounds.send(payload)
+            except StopIteration as stop:
+                return stop.value
+            payload = yield from self._serve_requests(requests, candidates)
 
     def _evaluate(
-        self, estimator: PrecisionEstimator, arm: int, features: Tuple[Feature, ...]
-    ) -> AnchorCandidate:
-        meets, stats = estimator.certify_threshold(
-            arm, self.config.precision_threshold
+        self,
+        estimator: PrecisionEstimator,
+        arm: int,
+        features: Tuple[Feature, ...],
+        candidates: Sequence[Tuple[Feature, ...]],
+    ):
+        """Certify one candidate (sub-generator; see :meth:`search_rounds`)."""
+        meets, stats = yield from self._pump(
+            estimator.certify_threshold_rounds(arm, self.config.precision_threshold),
+            candidates,
         )
         candidate = AnchorCandidate(
             features=features,
@@ -175,12 +187,37 @@ class AnchorSearch:
         ``max_anchor_size`` features, the most precise candidate found is
         returned with ``meets_threshold=False`` (callers can inspect the flag).
         """
+        generator = self.search_rounds()
+        payload = None
+        while True:
+            try:
+                blocks = generator.send(payload)
+            except StopIteration as stop:
+                return stop.value
+            payload = np.asarray(self.model.predict_batch(blocks))
+
+    def search_rounds(self):
+        """Generator form of :meth:`search`, resumable at round granularity.
+
+        Yields the perturbed-block batch each KL-LUCB round needs and expects
+        the corresponding prediction array back via ``send``; the selected
+        :class:`AnchorCandidate` arrives through ``StopIteration.value``.
+        :meth:`search` is a driver that answers every round with its own
+        ``predict_batch`` call; the service layer's continuous batcher instead
+        interleaves the rounds of many concurrent searches and answers them
+        from fused cost-model queries.  In sequential mode
+        (``config.batch_queries = False``) queries are issued inline and the
+        generator finishes without yielding at all.
+        """
         config = self.config
 
         # The empty anchor: if the model's prediction is already stable under
         # arbitrary perturbations, no feature is needed to explain it.
-        empty_estimator = self._make_estimator([()])
-        empty_candidate = self._evaluate(empty_estimator, 0, ())
+        empty_candidates: List[Tuple[Feature, ...]] = [()]
+        empty_estimator = self._make_estimator(empty_candidates)
+        empty_candidate = yield from self._evaluate(
+            empty_estimator, 0, (), empty_candidates
+        )
         if empty_candidate.meets_threshold:
             return empty_candidate
 
@@ -207,14 +244,19 @@ class AnchorSearch:
                 break
 
             estimator = self._make_estimator(candidates)
-            top_arms = estimator.select_top(
-                config.beam_width, tolerance=config.lucb_tolerance
+            top_arms = yield from self._pump(
+                estimator.select_top_rounds(
+                    config.beam_width, tolerance=config.lucb_tolerance
+                ),
+                candidates,
             )
 
             valid: List[AnchorCandidate] = []
             level_candidates: List[AnchorCandidate] = []
             for arm in top_arms:
-                candidate = self._evaluate(estimator, arm, candidates[arm])
+                candidate = yield from self._evaluate(
+                    estimator, arm, candidates[arm], candidates
+                )
                 level_candidates.append(candidate)
                 if candidate.meets_threshold:
                     valid.append(candidate)

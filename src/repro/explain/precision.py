@@ -161,6 +161,14 @@ SampleFunction = Callable[[int], Sequence[bool]]
 #: cost-model queries through a single ``predict_batch`` call.
 BatchSampleFunction = Callable[[Sequence[Tuple[int, int]]], Sequence[Sequence[bool]]]
 
+#: One refinement round of already-clamped ``(arm, count)`` draw requests.
+RoundRequest = List[Tuple[int, int]]
+
+#: The generator form of an estimator run: yields :data:`RoundRequest` rounds,
+#: receives one outcome sequence per request (via ``send``), and returns the
+#: final result through ``StopIteration.value``.
+RoundOutcomes = Sequence[Sequence[bool]]
+
 
 class PrecisionEstimator:
     """KL-LUCB estimator over a set of candidate arms.
@@ -212,11 +220,16 @@ class PrecisionEstimator:
                 raise ValueError("batch_sampler requires num_arms >= 1")
             self.sample_functions: Optional[List[SampleFunction]] = None
             arms = num_arms
-        else:
-            if not sample_functions:
-                raise ValueError("need at least one arm")
+        elif sample_functions:
             self.sample_functions = list(sample_functions)
             arms = len(self.sample_functions)
+        elif num_arms and num_arms >= 1:
+            # Externally served: the caller drives the ``*_rounds`` generators
+            # and supplies each round's outcomes itself (continuous batching).
+            self.sample_functions = None
+            arms = num_arms
+        else:
+            raise ValueError("need at least one arm")
         self.batch_sampler = batch_sampler
         self.confidence_delta = confidence_delta
         self.batch_size = batch_size
@@ -228,16 +241,13 @@ class PrecisionEstimator:
 
     # ------------------------------------------------------------- sampling
 
-    def _draw_many(self, requests: Sequence[Tuple[int, int]]) -> None:
-        """Draw fresh outcomes for several arms in one refinement round.
+    def _clamp_round(self, requests: Sequence[Tuple[int, int]]) -> RoundRequest:
+        """Clamp a round's draw requests to each arm's remaining budget.
 
-        Counts are clamped to each arm's remaining budget (tracking repeats
-        of the same arm within one round) and the surviving requests are
-        served either by the round-level ``batch_sampler`` — one batched
-        cost-model query for the whole round — or arm by arm through the
-        per-arm sample functions.
+        Repeats of the same arm within one round are tracked so the combined
+        count never exceeds ``max_samples``; zero-count requests are dropped.
         """
-        clamped: List[Tuple[int, int]] = []
+        clamped: RoundRequest = []
         pending: Dict[int, int] = {}
         for arm, count in requests:
             taken = self.stats[arm].samples + pending.get(arm, 0)
@@ -246,33 +256,74 @@ class PrecisionEstimator:
                 continue
             pending[arm] = pending.get(arm, 0) + count
             clamped.append((arm, count))
+        return clamped
+
+    def _record_round(self, clamped: RoundRequest, outcome_batches: RoundOutcomes) -> None:
+        """Fold one served round's outcomes into the arm statistics."""
+        if len(outcome_batches) != len(clamped):
+            raise ValueError(
+                f"batch sampler returned {len(outcome_batches)} outcome "
+                f"sequences for {len(clamped)} requests"
+            )
+        for (arm, _), outcomes in zip(clamped, outcome_batches):
+            self.stats[arm].update(outcomes)
+
+    def _request_round(self, requests: Sequence[Tuple[int, int]]):
+        """Generator step: clamp a round, yield it for serving, record outcomes.
+
+        The shared building block of the ``*_rounds`` generators: a round that
+        clamps to nothing is skipped without yielding, so external drivers only
+        ever see rounds that actually need cost-model queries.
+        """
+        clamped = self._clamp_round(requests)
         if not clamped:
             return
+        outcome_batches = yield clamped
+        self._record_round(clamped, outcome_batches)
+
+    def _serve_round(self, clamped: RoundRequest) -> RoundOutcomes:
+        """Serve one clamped round through the configured sampler.
+
+        Used by the blocking API (:meth:`select_top` / :meth:`certify_threshold`)
+        to drive the round generators in-process; requests are served either by
+        the round-level ``batch_sampler`` — one batched cost-model query for the
+        whole round — or arm by arm through the per-arm sample functions.
+        """
         if self.batch_sampler is not None:
-            outcome_batches = self.batch_sampler(clamped)
-            if len(outcome_batches) != len(clamped):
-                raise ValueError(
-                    f"batch sampler returned {len(outcome_batches)} outcome "
-                    f"sequences for {len(clamped)} requests"
-                )
-            for (arm, _), outcomes in zip(clamped, outcome_batches):
-                self.stats[arm].update(outcomes)
-        else:
-            assert self.sample_functions is not None
-            for arm, count in clamped:
-                self.stats[arm].update(self.sample_functions[arm](count))
+            return self.batch_sampler(clamped)
+        if self.sample_functions is None:
+            raise ValueError(
+                "estimator has no sampler configured; drive the *_rounds "
+                "generators externally instead"
+            )
+        return [self.sample_functions[arm](count) for arm, count in clamped]
+
+    def _drive(self, generator):
+        """Run a round generator to completion with the in-process sampler."""
+        payload: Optional[RoundOutcomes] = None
+        while True:
+            try:
+                clamped = generator.send(payload)
+            except StopIteration as stop:
+                return stop.value
+            payload = self._serve_round(clamped)
+
+    def _draw_many(self, requests: Sequence[Tuple[int, int]]) -> None:
+        """Draw fresh outcomes for several arms in one refinement round."""
+        self._drive(self._request_round(requests))
 
     def _draw(self, arm: int, count: int) -> None:
         self._draw_many([(arm, count)])
 
+    def _minimum_fill_requests(self) -> List[Tuple[int, int]]:
+        return [
+            (arm, self.min_samples - self.stats[arm].samples)
+            for arm in range(len(self.stats))
+            if self.stats[arm].samples < self.min_samples
+        ]
+
     def _ensure_minimum(self) -> None:
-        self._draw_many(
-            [
-                (arm, self.min_samples - self.stats[arm].samples)
-                for arm in range(len(self.stats))
-                if self.stats[arm].samples < self.min_samples
-            ]
-        )
+        self._draw_many(self._minimum_fill_requests())
 
     # ------------------------------------------------------- top-n selection
 
@@ -283,9 +334,23 @@ class PrecisionEstimator:
         lower bounds and the best challenger's upper bound until they are
         separated by ``tolerance`` or the sampling budget runs out.
         """
+        return self._drive(self.select_top_rounds(top_n, tolerance))
+
+    def select_top_rounds(self, top_n: int, tolerance: float = 0.15):
+        """Round-generator form of :meth:`select_top`.
+
+        Yields one clamped :data:`RoundRequest` per refinement round and
+        expects the served outcome sequences back via ``send``; the winner
+        list arrives through ``StopIteration.value``.  This is the estimator
+        half of the continuous-batching step API: an external driver can
+        interleave many estimators' rounds into fused cost-model queries.
+        The round structure, clamping and rng-relevant request order are
+        identical to the blocking method, which is just a driver over this
+        generator.
+        """
         num_arms = len(self.stats)
         top_n = min(top_n, num_arms)
-        self._ensure_minimum()
+        yield from self._request_round(self._minimum_fill_requests())
 
         while True:
             if self.cancel is not None:
@@ -328,7 +393,7 @@ class PrecisionEstimator:
                 round_requests.append((weakest_winner, self.batch_size))
             if not exhausted_challenger:
                 round_requests.append((strongest_challenger, self.batch_size))
-            self._draw_many(round_requests)
+            yield from self._request_round(round_requests)
 
     # ------------------------------------------------------ threshold check
 
@@ -341,9 +406,19 @@ class PrecisionEstimator:
         one side (within ``tolerance``) or the budget is exhausted; returns
         the decision and the final statistics.
         """
+        return self._drive(self.certify_threshold_rounds(arm, threshold, tolerance))
+
+    def certify_threshold_rounds(
+        self, arm: int, threshold: float, tolerance: float = 0.05
+    ):
+        """Round-generator form of :meth:`certify_threshold`.
+
+        Same protocol as :meth:`select_top_rounds`; the ``(meets, stats)``
+        decision arrives through ``StopIteration.value``.
+        """
         stats = self.stats[arm]
         if stats.samples < self.min_samples:
-            self._draw(arm, self.min_samples - stats.samples)
+            yield from self._request_round([(arm, self.min_samples - stats.samples)])
         while True:
             if self.cancel is not None:
                 self.cancel.check()
@@ -357,7 +432,7 @@ class PrecisionEstimator:
                 return False, stats
             if stats.samples >= self.max_samples:
                 return stats.mean >= threshold, stats
-            self._draw(arm, self.batch_size)
+            yield from self._request_round([(arm, self.batch_size)])
 
     # ------------------------------------------------------------ reporting
 

@@ -678,6 +678,11 @@ def block_legal_mnemonics() -> List[str]:
     return sorted(m for m, spec in OPCODES.items() if spec.allowed_in_block)
 
 
+#: Signature matching depends only on each operand's (kind, size), so the
+#: candidate scan over the whole opcode database is memoised per shape.
+_REPLACEMENT_CACHE: Dict[tuple, Tuple[str, ...]] = {}
+
+
 def replacement_candidates(
     mnemonic: str, operands: Sequence[Operand]
 ) -> List[str]:
@@ -690,13 +695,17 @@ def replacement_candidates(
     it uniformly.
     """
     original = mnemonic.lower()
-    out = []
-    for name, spec in OPCODES.items():
-        if name == original or not spec.allowed_in_block:
-            continue
-        if spec.matches(operands):
-            out.append(name)
-    return sorted(out)
+    shape = (original, tuple((op.kind, op.size) for op in operands))
+    cached = _REPLACEMENT_CACHE.get(shape)
+    if cached is None:
+        out = []
+        for name, spec in OPCODES.items():
+            if name == original or not spec.allowed_in_block:
+                continue
+            if spec.matches(operands):
+                out.append(name)
+        cached = _REPLACEMENT_CACHE[shape] = tuple(sorted(out))
+    return list(cached)
 
 
 def categories() -> List[str]:

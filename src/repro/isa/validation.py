@@ -55,20 +55,36 @@ def validate_instruction(instruction: Instruction) -> None:
                 )
 
 
+#: Every check in :func:`validate_instruction` depends only on the mnemonic
+#: and each operand's (class, kind, size) — never on register identity or
+#: immediate value — so validity is memoised per shape across instances.
+_VALIDITY_CACHE: dict = {}
+
+
 def is_valid_instruction(instruction: Instruction) -> bool:
     """Boolean form of :func:`validate_instruction`.
 
-    Memoised per instance: instructions are immutable and the perturbation
-    algorithm shares instruction objects across thousands of perturbed
-    blocks, so validity is checked once per distinct object.
+    Memoised twice over: per instance (instructions are immutable and the
+    perturbation algorithm shares objects across thousands of perturbed
+    blocks) and per shape (fresh replacement instructions recur with the
+    same mnemonic/operand shapes, which is all validity depends on).
     """
     cached = instruction.__dict__.get("_is_valid")
     if cached is None:
-        try:
-            validate_instruction(instruction)
-            cached = True
-        except ValidationError:
-            cached = False
+        shape = (
+            instruction.mnemonic,
+            tuple(
+                (type(op), op.kind, op.size) for op in instruction.operands
+            ),
+        )
+        cached = _VALIDITY_CACHE.get(shape)
+        if cached is None:
+            try:
+                validate_instruction(instruction)
+                cached = True
+            except ValidationError:
+                cached = False
+            _VALIDITY_CACHE[shape] = cached
         instruction.__dict__["_is_valid"] = cached
     return cached
 

@@ -21,7 +21,7 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bb.block import BasicBlock
 from repro.runtime.backend import ExecutionBackend, ThreadBackend
@@ -256,6 +256,35 @@ class CostModel(ABC):
                 )
         return values
 
+    def predict_batch_segmented(
+        self, segments: Sequence[Sequence[BasicBlock]]
+    ) -> Tuple[List[List[float]], List[QueryTally], int]:
+        """Predict several callers' block batches in one fused invocation.
+
+        ``segments`` holds one block batch per logical caller (e.g. one per
+        request whose KL-LUCB round was fused into this tick).  The
+        concatenation is evaluated through a single :meth:`predict_batch`
+        call and the predictions are split back per segment.
+
+        Returns ``(values, tallies, shared_hits)``: ``values[i]`` are segment
+        ``i``'s predictions in order, ``tallies[i]`` is its exact share of
+        the query accounting (the tallies sum to what one fused
+        :meth:`predict_batch` charges in total), and ``shared_hits`` counts
+        lookups served by work another segment of the same fused batch paid
+        for — always zero for uncached models, where every block is an
+        inner evaluation charged to its own segment.
+        """
+        batches = [list(batch) for batch in segments]
+        flat = [block for batch in batches for block in batch]
+        values = self.predict_batch(flat)
+        out: List[List[float]] = []
+        offset = 0
+        for batch in batches:
+            out.append(values[offset : offset + len(batch)])
+            offset += len(batch)
+        tallies = [QueryTally(queries=len(batch)) for batch in batches]
+        return out, tallies, 0
+
     def predict_many(self, blocks: Iterable[BasicBlock]) -> List[float]:
         """Predict a batch of blocks (sequentially by default)."""
         return [self.predict(block) for block in blocks]
@@ -431,6 +460,75 @@ class CachedCostModel(CostModel):
                     for position in pending[key]:
                         results[position] = value
         return results  # type: ignore[return-value]
+
+    def predict_batch_segmented(
+        self, segments: Sequence[Sequence[BasicBlock]]
+    ) -> Tuple[List[List[float]], List[QueryTally], int]:
+        """Fused batch prediction with per-segment query accounting.
+
+        Cache semantics match :meth:`predict_batch` on the concatenation
+        exactly — same dedup, same global totals, same single
+        ``inner.predict_batch`` call.  On top of that, every lookup is
+        attributed to the segment it belongs to: a distinct missing block is
+        a miss (and one inner query) for the *first* segment that asks for
+        it; later occurrences anywhere in the fused batch are hits for the
+        segment they appear in, and those served across segment boundaries
+        are additionally reported as ``shared_hits`` — the dedupe the fused
+        tick got for free by batching requests together.
+        """
+        batches = [list(batch) for batch in segments]
+        results: List[List[Optional[float]]] = [[None] * len(batch) for batch in batches]
+        miss_order: List[tuple] = []
+        miss_blocks: List[BasicBlock] = []
+        pending: Dict[tuple, List[Tuple[int, int]]] = {}
+        first_segment: Dict[tuple, int] = {}
+        per_segment = [[0, 0, 0] for _ in batches]  # queries, hits, misses
+        shared_hits = 0
+        tallies = self._thread_tallies
+        with self._cache_lock:
+            for index, batch in enumerate(batches):
+                for position, block in enumerate(batch):
+                    key = block.key()
+                    if key in pending:
+                        # Duplicate of a block already being queried in this
+                        # fused batch (same or earlier segment).
+                        self.hits += 1
+                        tallies.hits += 1
+                        per_segment[index][1] += 1
+                        if first_segment[key] != index:
+                            shared_hits += 1
+                        pending[key].append((index, position))
+                        continue
+                    value = self._lookup(key)
+                    if value is not _MISSING:
+                        self.hits += 1
+                        tallies.hits += 1
+                        per_segment[index][1] += 1
+                        results[index][position] = value
+                        continue
+                    self.misses += 1
+                    tallies.misses += 1
+                    per_segment[index][2] += 1
+                    pending[key] = [(index, position)]
+                    first_segment[key] = index
+                    miss_order.append(key)
+                    miss_blocks.append(block)
+            if miss_blocks:
+                self.query_count += len(miss_blocks)
+                tallies.queries += len(miss_blocks)
+                for key in miss_order:
+                    per_segment[first_segment[key]][0] += 1
+        if miss_blocks:
+            values = self.inner.predict_batch(miss_blocks)
+            with self._cache_lock:
+                for key, value in zip(miss_order, values):
+                    self._store(key, value)
+                    for index, position in pending[key]:
+                        results[index][position] = value
+        segment_tallies = [
+            QueryTally(queries=q, hits=h, misses=m) for q, h, m in per_segment
+        ]
+        return results, segment_tallies, shared_hits  # type: ignore[return-value]
 
     @property
     def hit_rate(self) -> float:

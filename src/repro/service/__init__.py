@@ -37,15 +37,20 @@ recovery") for the ownership and recovery rules.
 """
 
 from repro.runtime.pool import PoolStats, SessionPool
+from repro.service.batching import FusionCounters, FusionStats, run_fused_group
 from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.core import (
     DISPATCHERS_ENV_VAR,
+    FUSED_ENV_VAR,
+    MAX_FUSED_ENV_VAR,
     ExplanationRequest,
     ExplanationService,
     RequestStatus,
     ServiceResult,
     ServiceStats,
+    default_continuous_batching,
     default_dispatchers,
+    default_max_fused,
 )
 from repro.service.protocol import (
     ServiceOp,
@@ -75,6 +80,10 @@ __all__ = [
     "DispatcherStats",
     "ExplanationRequest",
     "ExplanationService",
+    "FUSED_ENV_VAR",
+    "FusionCounters",
+    "FusionStats",
+    "MAX_FUSED_ENV_VAR",
     "PoolStats",
     "QueueFullError",
     "RequestCancelledError",
@@ -92,10 +101,13 @@ __all__ = [
     "SessionPool",
     "SocketServer",
     "cancel_to_dict",
+    "default_continuous_batching",
     "default_dispatchers",
+    "default_max_fused",
     "request_from_dict",
     "request_from_line",
     "result_to_dict",
+    "run_fused_group",
     "serve_stream",
     "stats_to_dict",
 ]

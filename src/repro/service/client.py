@@ -470,7 +470,8 @@ class ServiceClient:
         """The server's accounting snapshot, via the ``stats`` op.
 
         Returns the decoded ``stats`` payload — request counters, queue
-        depth, per-dispatcher counters and session-pool occupancy (see
+        depth, per-dispatcher counters, session-pool occupancy and the
+        continuous-batching (``fusion``) counters (see
         :func:`repro.service.protocol.stats_to_dict`).  Answered in this
         connection's submission order like every other request.
         """

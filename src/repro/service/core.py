@@ -58,6 +58,12 @@ from repro.explain.config import ExplainerConfig
 from repro.explain.explanation import Explanation
 from repro.runtime.pool import PoolStats, SessionFactory, SessionPool
 from repro.runtime.session import ExplanationSession, SessionStats
+from repro.service.batching import (
+    FusedEntry,
+    FusionCounters,
+    FusionStats,
+    run_fused_group,
+)
 from repro.service.scheduler import DispatcherStats, Scheduler
 from repro.utils.cancellation import CancelToken
 from repro.utils.errors import (
@@ -72,6 +78,13 @@ from repro.utils.errors import (
 #: Environment override for the default dispatcher count (like
 #: ``REPRO_BACKEND`` for backends; CI uses it to run suites multi-dispatch).
 DISPATCHERS_ENV_VAR = "REPRO_DISPATCHERS"
+
+#: Environment override turning cross-request continuous batching on by
+#: default (``1``/``true``/``on``); CI uses it to run suites fused.
+FUSED_ENV_VAR = "REPRO_FUSED"
+
+#: Environment override for the default fused-group size bound.
+MAX_FUSED_ENV_VAR = "REPRO_MAX_FUSED"
 
 
 def default_dispatchers() -> int:
@@ -88,6 +101,36 @@ def default_dispatchers() -> int:
     if value < 1:
         raise ServiceError(
             f"{DISPATCHERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def default_continuous_batching() -> bool:
+    """The ambient fusion default: ``REPRO_FUSED`` or off."""
+    raw = os.environ.get(FUSED_ENV_VAR, "").strip().lower()
+    if not raw:
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    raise ServiceError(f"{FUSED_ENV_VAR} must be a boolean flag, got {raw!r}")
+
+
+def default_max_fused() -> int:
+    """The ambient fused-group size bound: ``REPRO_MAX_FUSED`` or 8."""
+    raw = os.environ.get(MAX_FUSED_ENV_VAR, "").strip()
+    if not raw:
+        return 8
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ServiceError(
+            f"{MAX_FUSED_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from error
+    if value < 1:
+        raise ServiceError(
+            f"{MAX_FUSED_ENV_VAR} must be a positive integer, got {raw!r}"
         )
     return value
 
@@ -176,6 +219,12 @@ class ServiceStats:
     worker_retries: int = 0
     worker_fallbacks: int = 0
     checkpoint_skips: int = 0
+    #: Continuous-batching counters (fused ticks, occupancy, shared hits);
+    #: always present, with ``enabled=False`` when the service runs unfused.
+    fusion: Optional[FusionStats] = None
+    #: Requests absorbed into an already-running same-key fused group
+    #: instead of waiting for their own scheduler claim.
+    absorbed: int = 0
 
     def describe(self) -> str:
         resilience = ""
@@ -184,12 +233,15 @@ class ServiceStats:
                 f", {self.deadline_expired} deadlines expired, "
                 f"{self.worker_restarts} worker restarts"
             )
+        fused = ""
+        if self.fusion is not None and self.fusion.enabled:
+            fused = f", {self.fusion.describe()}, {self.absorbed} absorbed"
         return (
             f"{self.served}/{self.submitted} requests served "
             f"({self.failed} failed, {self.cancelled} cancelled), "
             f"{self.queue_depth} queued, "
             f"{len(self.sessions)} warm sessions, "
-            f"{self.dispatchers} dispatchers{resilience}"
+            f"{self.dispatchers} dispatchers{resilience}{fused}"
         )
 
 
@@ -241,6 +293,16 @@ class ExplanationService:
         Server-side deadline (seconds from admission) applied to requests
         that do not carry their own; ``None`` (the default) leaves requests
         unbounded.  A request's explicit ``deadline`` always wins.
+    continuous_batching:
+        Fuse concurrent same-key requests into shared ``predict_batch``
+        ticks (``None`` = the ``REPRO_FUSED`` environment default, normally
+        off).  Fused results are bit-for-bit identical to the unfused
+        oracle — each request keeps its own seeded stream and request-scoped
+        records — fusion only changes how many requests one warm model
+        invocation serves.
+    max_fused_requests:
+        How many requests one fused tick group may hold at once (``None`` =
+        the ``REPRO_MAX_FUSED`` environment default, normally 8).
     session_factory:
         Override how sessions are built (tests inject toy models here).  The
         default routes through :func:`repro.models.registry.build_session`.
@@ -266,6 +328,8 @@ class ExplanationService:
         cache_entries: int = 100_000,
         session_factory: Optional[SessionFactory] = None,
         default_deadline: Optional[float] = None,
+        continuous_batching: Optional[bool] = None,
+        max_fused_requests: Optional[int] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -277,11 +341,20 @@ class ExplanationService:
             dispatchers = default_dispatchers()
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
+        if continuous_batching is None:
+            continuous_batching = default_continuous_batching()
+        if max_fused_requests is None:
+            max_fused_requests = default_max_fused()
+        if max_fused_requests < 1:
+            raise ValueError("max_fused_requests must be >= 1")
         self.default_model = model
         self.default_uarch = uarch
         self.default_deadline = default_deadline
         self.config = config or ExplainerConfig()
         self.dispatchers = dispatchers
+        self.continuous_batching = continuous_batching
+        self.max_fused_requests = max_fused_requests
+        self._fusion_counters = FusionCounters()
         self.max_queue = max_queue
         self.max_sessions = max_sessions
         self._backend = backend
@@ -562,7 +635,17 @@ class ExplanationService:
         The scheduler guarantees per-key mutual exclusion, so this request
         has its session to itself for the duration; the pool lease pins the
         session against a concurrent eviction triggered by another key.
+        With continuous batching on, the claimed request seeds a fused tick
+        group that also serves — and keeps absorbing — other outstanding
+        requests of the same key (see :mod:`repro.service.batching`).
         """
+        if self.continuous_batching:
+            self._execute_fused(ticket)
+        else:
+            self._execute_single(ticket)
+
+    def _execute_single(self, ticket: _Ticket) -> None:
+        """The unfused execution path — the service's behavioral oracle."""
         with self._lock:
             # Skip tickets already resolved (cancelled by a racing close or
             # a queue withdraw); claiming RUNNING under the lock means a
@@ -637,6 +720,129 @@ class ExplanationService:
             )
         self._resolve(ticket, result, deadline_expired=deadline_expired)
 
+    def _execute_fused(self, primary: _Ticket) -> None:
+        """Run one claimed request as the seed of a fused tick group.
+
+        Still one key, one thread: the scheduler's mutual exclusion holds,
+        but between fused ticks the group absorbs newly queued same-key
+        requests (``claim_extra``) so concurrent users share each warm
+        cost-model invocation.  Every member request resolves through its
+        own callbacks — results, cancellation and deadline expiry stay
+        per-request — and absorbed members release their scheduler
+        accounting (``extra_done``) exactly once when they retire.
+        """
+        key = self._request_key(primary.request)
+        model_name, uarch = key
+        scheduler = self._scheduler
+        assert scheduler is not None
+        members: List[Tuple[_Ticket, bool]] = []
+
+        def entry_for(ticket: _Ticket, absorbed: bool) -> FusedEntry:
+            start = time.perf_counter()
+
+            def settle(result: ServiceResult, *, deadline_expired: bool = False) -> None:
+                self._resolve(ticket, result, deadline_expired=deadline_expired)
+                if absorbed:
+                    scheduler.extra_done(key)
+
+            def finish(explanations: List[Explanation]) -> None:
+                settle(
+                    ServiceResult(
+                        request_id=ticket.request_id,
+                        status=RequestStatus.DONE,
+                        explanations=tuple(explanations),
+                        error=None,
+                        model=model_name,
+                        uarch=uarch,
+                        seconds=time.perf_counter() - start,
+                    )
+                )
+
+            def fail(error: BaseException) -> None:
+                cancelled = isinstance(error, RequestCancelledError)
+                settle(
+                    ServiceResult(
+                        request_id=ticket.request_id,
+                        status=(
+                            RequestStatus.CANCELLED
+                            if cancelled
+                            else RequestStatus.FAILED
+                        ),
+                        explanations=(),
+                        error=f"{type(error).__name__}: {error}",
+                        model=model_name,
+                        uarch=uarch,
+                        seconds=time.perf_counter() - start,
+                    ),
+                    deadline_expired=isinstance(error, DeadlineExceededError),
+                )
+
+            return FusedEntry(
+                blocks=ticket.request.blocks,
+                seed=ticket.request.seed,
+                token=ticket.token,
+                finish=finish,
+                fail=fail,
+            )
+
+        def claim(ticket: _Ticket, absorbed: bool) -> Optional[FusedEntry]:
+            """Mark a ticket RUNNING, or drop one a racing cancel resolved."""
+            with self._lock:
+                if ticket.done.is_set():
+                    if absorbed:
+                        scheduler.extra_done(key)
+                    return None
+                ticket.status = RequestStatus.RUNNING
+            members.append((ticket, absorbed))
+            return entry_for(ticket, absorbed)
+
+        def absorb(limit: int) -> List[FusedEntry]:
+            entries = []
+            for ticket in scheduler.claim_extra(key, limit):
+                entry = claim(ticket, absorbed=True)
+                if entry is not None:
+                    entries.append(entry)
+            return entries
+
+        primary_entry = claim(primary, absorbed=False)
+        if primary_entry is None:
+            return
+        try:
+            with self._pool.leased(model_name, uarch) as session:
+                # Same request isolation as the unfused path: the batcher
+                # scopes population records per request, and the session's
+                # cross-request record cache stays out of fused results.
+                session.reset_population_records()
+                run_fused_group(
+                    session,
+                    [primary_entry],
+                    absorb=absorb,
+                    max_fused_requests=self.max_fused_requests,
+                    counters=self._fusion_counters,
+                )
+        except Exception as error:  # noqa: BLE001 - group-level failure
+            # Leasing or group machinery failed before the batcher could
+            # retire everyone: resolve whichever members are still open.
+            deadline_expired = isinstance(error, DeadlineExceededError)
+            for ticket, absorbed in members:
+                if ticket.done.is_set():
+                    continue
+                self._resolve(
+                    ticket,
+                    ServiceResult(
+                        request_id=ticket.request_id,
+                        status=RequestStatus.FAILED,
+                        explanations=(),
+                        error=f"{type(error).__name__}: {error}",
+                        model=model_name,
+                        uarch=uarch,
+                        seconds=0.0,
+                    ),
+                    deadline_expired=deadline_expired,
+                )
+                if absorbed:
+                    scheduler.extra_done(key)
+
     def _resolve(
         self,
         ticket: _Ticket,
@@ -710,4 +916,9 @@ class ExplanationService:
             worker_retries=sum(s.worker_retries for s in session_stats.values()),
             worker_fallbacks=sum(s.worker_fallbacks for s in session_stats.values()),
             checkpoint_skips=sum(s.checkpoint_skips for s in session_stats.values()),
+            fusion=self._fusion_counters.snapshot(
+                enabled=self.continuous_batching,
+                max_fused_requests=self.max_fused_requests,
+            ),
+            absorbed=scheduler_stats.absorbed if scheduler_stats else 0,
         )

@@ -19,8 +19,9 @@ request id is returned as ``request_id``).  Failures come back in-band with
 
 Besides explanation requests the protocol carries *operations*:
 ``{"op": "stats"}`` answers with the service's accounting snapshot (queue
-depth, pool occupancy, per-dispatcher counters, failure/resilience
-counters; see :func:`stats_to_dict`), and ``{"op": "cancel", "target":
+depth, pool occupancy, per-dispatcher counters, failure/resilience and
+continuous-batching/fusion counters; see :func:`stats_to_dict`), and
+``{"op": "cancel", "target":
 "r1"}`` cancels the caller's still-outstanding request whose client id is
 ``target`` — the cancellation *acts* the moment the op line is read (a
 queued request is withdrawn, a running one stops at its next KL-LUCB
@@ -224,6 +225,22 @@ def stats_to_dict(
                 "worker_retries": stats.worker_retries,
                 "worker_fallbacks": stats.worker_fallbacks,
                 "checkpoint_skips": stats.checkpoint_skips,
+            },
+            "fusion": None
+            if stats.fusion is None
+            else {
+                "enabled": stats.fusion.enabled,
+                "max_fused_requests": stats.fusion.max_fused_requests,
+                "ticks": stats.fusion.ticks,
+                "rounds_fused": stats.fusion.rounds_fused,
+                "requests_fused": stats.fusion.requests_fused,
+                "shared_hits": stats.fusion.shared_hits,
+                "mean_occupancy": round(stats.fusion.mean_occupancy, 4),
+                "occupancy": {
+                    str(occupancy): ticks
+                    for occupancy, ticks in stats.fusion.occupancy
+                },
+                "absorbed": stats.absorbed,
             },
             "dispatcher_stats": [
                 {

@@ -24,6 +24,16 @@ the unit of both routing and mutual exclusion:
   in-flight request *by construction*, so stealing preserves the mutual
   exclusion above; when a stolen key has more work, it is re-listed on its
   home dispatcher, so stealing moves single requests, not residency.
+* **Absorption.**  Per-key mutual exclusion used to mean same-key work
+  always *parked* behind the in-flight request — stealing is restricted to
+  keys with no in-flight request, so no other dispatcher could touch it
+  either.  A fused executor (the service's continuous batcher) instead
+  calls :meth:`claim_extra` between ticks to absorb newly queued or stolen
+  same-key work into its own running group: the work joins the next fused
+  tick on the thread already holding the key instead of waiting for the
+  whole flight to end.  Each absorbed item is accounted like a claimed one
+  (admission slot released on absorb, ``extra_done`` per item on finish),
+  and execution stays single-threaded per key.
 * **Per-key fairness.**  A claim takes one request, then the key goes to
   the back of its home dispatcher's ready list.  Keys round-robin: a hot
   model with a deep backlog cannot starve other models routed to the same
@@ -77,6 +87,10 @@ class SchedulerStats:
     in_flight: int
     keys: int
     dispatcher_stats: Tuple[DispatcherStats, ...]
+    #: Items pulled into an already-running same-key group via
+    #: :meth:`Scheduler.claim_extra` (continuous batching) instead of
+    #: waiting for their own claim.
+    absorbed: int = 0
 
 
 class _KeyState:
@@ -140,6 +154,7 @@ class Scheduler:
         self._executed = [0] * dispatchers
         self._stolen = [0] * dispatchers
         self._busy = [False] * dispatchers
+        self._absorbed = 0
         self._stop = False
         self._threads = [
             threading.Thread(
@@ -273,6 +288,40 @@ class Scheduler:
         self._space.notify_all()
         return key, state, item
 
+    def claim_extra(self, key: Hashable, limit: int) -> List[Any]:
+        """Absorb up to ``limit`` queued items of a key currently in flight.
+
+        Called by a fused executor *while it holds the key* (between ticks),
+        so the items it receives still execute one key at a time, on the one
+        thread already running the key — the work-stealing restriction is
+        relaxed by absorption rather than by concurrent claims.  Each item's
+        admission slot is released immediately; the caller must report every
+        absorbed item finished via :meth:`extra_done` (the primary claimed
+        item stays accounted by the dispatcher loop as usual).  Returns an
+        empty list when the key is not in flight or has no backlog.
+        """
+        if limit <= 0:
+            return []
+        with self._lock:
+            state = self._keys.get(key)
+            if state is None or not state.inflight:
+                return []
+            items: List[Any] = []
+            while state.queue and len(items) < limit:
+                items.append(state.queue.popleft())
+            if items:
+                self._queued -= len(items)
+                self._absorbed += len(items)
+                self._space.notify_all()
+            return items
+
+    def extra_done(self, key: Hashable) -> None:
+        """Report one absorbed item finished (pairs with :meth:`claim_extra`)."""
+        with self._lock:
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.notify_all()
+
     def _run(self, me: int) -> None:
         while True:
             with self._work:
@@ -361,4 +410,5 @@ class Scheduler:
                     )
                     for index in range(self.dispatchers)
                 ),
+                absorbed=self._absorbed,
             )

@@ -249,6 +249,43 @@ class TestServeFlags:
         args = build_parser().parse_args(["serve", "--model", "crude"])
         assert args.request_timeout is None
 
+    def test_continuous_batching_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "crude", "--continuous-batching",
+             "--max-fused-requests", "4"]
+        )
+        assert args.continuous_batching is True
+        assert args.max_fused_requests == 4
+
+    def test_no_continuous_batching_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "crude", "--no-continuous-batching"]
+        )
+        assert args.continuous_batching is False
+
+    def test_continuous_batching_defaults_to_env(self):
+        # None defers to REPRO_FUSED / REPRO_MAX_FUSED at service construction.
+        args = build_parser().parse_args(["serve", "--model", "crude"])
+        assert args.continuous_batching is None
+        assert args.max_fused_requests is None
+
+    def test_served_batch_runs_fused(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"id": "a", "block": "add rcx, rax", "seed": 1}\n'
+            '{"id": "b", "block": "add rcx, rax", "seed": 2}\n'
+        )
+        code = main(
+            ["serve", "--model", "crude", "--requests", str(requests),
+             "--continuous-batching",
+             "--coverage-samples", "60", "--max-precision-samples", "40"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        statuses = [json.loads(line)["status"] for line in captured.out.splitlines()]
+        assert statuses == ["done", "done"]
+        assert "fused ticks" in captured.err
+
     def test_served_batch_honours_request_timeout(self, tmp_path, capsys):
         requests = tmp_path / "requests.jsonl"
         requests.write_text('{"id": "a", "block": "add rcx, rax", "seed": 1}\n')

@@ -103,11 +103,16 @@ class TestMalformedBlocks:
             BasicBlock(instructions=())
 
 
+def _const_one(block):
+    # Module-level so the model pickles to process-backend workers.
+    return 1.0
+
+
 class TestNonFiniteTargets:
     def test_selection_accepts_but_flags_degenerate_targets(self):
         # Zero targets are clamped by the metric (no division by zero), so the
         # score is finite even for a pathological labelled set.
-        model = CallableCostModel(lambda b: 1.0, name="const")
+        model = CallableCostModel(_const_one, name="const")
         score = score_model(
             model, [BLOCK], [0.0], config=FAST_EXPLAINER, seed=0
         )

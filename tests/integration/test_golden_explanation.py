@@ -98,12 +98,19 @@ class TestGoldenExplanation:
             assert payload[key] == golden[key], key
 
     @pytest.mark.parametrize("dispatchers", [1, 4])
-    def test_warm_service_reproduces_golden(self, golden, dispatchers):
-        """The single-dispatcher oracle and the 4-dispatcher scheduler must
-        both serve the golden payload, warm and cold alike."""
+    @pytest.mark.parametrize("continuous_batching", [False, True])
+    def test_warm_service_reproduces_golden(
+        self, golden, dispatchers, continuous_batching
+    ):
+        """The single-dispatcher oracle, the 4-dispatcher scheduler and the
+        continuous batcher must all serve the golden payload, warm and cold
+        alike."""
         block = BasicBlock.from_text(GOLDEN_BLOCK)
         with ExplanationService(
-            model="crude", config=GOLDEN_CONFIG, dispatchers=dispatchers
+            model="crude",
+            config=GOLDEN_CONFIG,
+            dispatchers=dispatchers,
+            continuous_batching=continuous_batching,
         ) as service:
             # Twice: the warm (second) request must be as golden as the first.
             first = service.explain(block, seed=GOLDEN_SEED)[0]

@@ -288,7 +288,9 @@ def gated_service():
     gate = threading.Event()
 
     def factory(name, uarch):
-        return ExplanationSession(_GateModel(gate), FAST_CONFIG)
+        # The gate Event must stay in-process, so the session is pinned to
+        # the serial backend regardless of REPRO_BACKEND.
+        return ExplanationSession(_GateModel(gate), FAST_CONFIG, backend="serial")
 
     with ExplanationService(
         model="gated", config=FAST_CONFIG, session_factory=factory, dispatchers=1
@@ -343,7 +345,8 @@ class TestDeadlines:
         gate = threading.Event()
 
         def factory(name, uarch):
-            return ExplanationSession(_GateModel(gate), FAST_CONFIG)
+            # In-process gate — pin the serial backend like gated_service.
+            return ExplanationSession(_GateModel(gate), FAST_CONFIG, backend="serial")
 
         with ExplanationService(
             model="gated",
@@ -541,8 +544,14 @@ class TestWorkerDeathThroughTheService:
                 AnalyticalCostModel("hsw"), FAST_CONFIG, backend=backend
             )
 
+        # Worker death only matters on the backend sharding path; fused
+        # execution answers rounds inline through the model and would never
+        # warm the pool this test SIGKILLs.
         with ExplanationService(
-            model="crude", config=FAST_CONFIG, session_factory=factory
+            model="crude",
+            config=FAST_CONFIG,
+            session_factory=factory,
+            continuous_batching=False,
         ) as service:
             with SocketServer(service, port=0) as server:
                 yield service, server, holder

@@ -79,9 +79,14 @@ class TestMultiDispatcherParity:
             for block in tiny_blocks
         ]
 
-    def _serve_all(self, fast_config, workload, dispatchers, concurrent=False):
+    def _serve_all(
+        self, fast_config, workload, dispatchers, concurrent=False, fused=False
+    ):
         with ExplanationService(
-            model="crude", config=fast_config, dispatchers=dispatchers
+            model="crude",
+            config=fast_config,
+            dispatchers=dispatchers,
+            continuous_batching=fused,
         ) as service:
             if not concurrent:
                 return {
@@ -135,6 +140,16 @@ class TestMultiDispatcherParity:
         oracle = self._serve_all(fast_config, workload, dispatchers=1)
         served = self._serve_all(
             fast_config, workload, dispatchers=4, concurrent=True
+        )
+        assert served == oracle
+
+    def test_fused_concurrent_clients_match_oracle(self, fast_config, tiny_blocks):
+        """Continuous batching on top of 4 dispatchers: same-key requests
+        share fused ticks, yet every client still gets the oracle's bits."""
+        workload = self._workload(tiny_blocks)
+        oracle = self._serve_all(fast_config, workload, dispatchers=1)
+        served = self._serve_all(
+            fast_config, workload, dispatchers=4, concurrent=True, fused=True
         )
         assert served == oracle
 

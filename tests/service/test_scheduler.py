@@ -223,6 +223,89 @@ class TestAdmissionControl:
             scheduler.close()
 
 
+class TestAbsorption:
+    """``claim_extra``: an executor holding a key may pull newly queued
+    same-key work into its own run instead of parking it behind the claim."""
+
+    def test_claim_extra_absorbs_queued_same_key_work(self):
+        claimed = threading.Event()
+        release = threading.Event()
+        holder = {}
+        executed = []
+        absorbed = []
+
+        def executor(item):
+            executed.append(item)
+            claimed.set()
+            release.wait(timeout=30)
+            scheduler = holder["scheduler"]
+            extras = scheduler.claim_extra("hot", 10)
+            absorbed.extend(extras)
+            for _ in extras:
+                scheduler.extra_done("hot")
+
+        scheduler = holder["scheduler"] = Scheduler(
+            executor, dispatchers=1, max_queue=16
+        )
+        try:
+            scheduler.submit("hot", "primary")
+            assert claimed.wait(timeout=30)
+            # Queued behind an inflight key: normally these wait for the
+            # claim to finish; the executor absorbs them instead.
+            scheduler.submit("hot", "x1")
+            scheduler.submit("hot", "x2")
+            release.set()
+            assert scheduler.drain(timeout=30)
+            stats = scheduler.stats()
+        finally:
+            scheduler.close()
+        # Absorbed items left the queue in FIFO order and never reached the
+        # executor on their own; the drain still accounted for all three.
+        assert executed == ["primary"]
+        assert absorbed == ["x1", "x2"]
+        assert stats.absorbed == 2
+        assert stats.queue_depth == 0
+
+    def test_claim_extra_respects_limit(self):
+        claimed = threading.Event()
+        release = threading.Event()
+        holder = {}
+        absorbed = []
+
+        def executor(item):
+            claimed.set()
+            release.wait(timeout=30)
+            scheduler = holder["scheduler"]
+            extras = scheduler.claim_extra("hot", 1)
+            absorbed.extend(extras)
+            for _ in extras:
+                scheduler.extra_done("hot")
+
+        scheduler = holder["scheduler"] = Scheduler(
+            executor, dispatchers=1, max_queue=16
+        )
+        try:
+            scheduler.submit("hot", "primary")
+            assert claimed.wait(timeout=30)
+            scheduler.submit("hot", "x1")
+            scheduler.submit("hot", "x2")
+            release.set()
+            assert scheduler.drain(timeout=30)
+        finally:
+            scheduler.close()
+        # Only one absorbed; the other executed through a normal claim.
+        assert absorbed == ["x1"]
+
+    def test_claim_extra_requires_an_inflight_key(self):
+        scheduler = Scheduler(lambda item: None, dispatchers=1)
+        try:
+            assert scheduler.claim_extra("idle", 4) == []
+            assert scheduler.claim_extra("idle", 0) == []
+        finally:
+            scheduler.close()
+        assert scheduler.stats().absorbed == 0
+
+
 class TestLifecycle:
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
