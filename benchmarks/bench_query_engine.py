@@ -134,6 +134,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="skip the continuous-batching benchmark",
     )
     parser.add_argument(
+        "--skip-result-cache",
+        action="store_true",
+        help="skip the persistent result-cache benchmark",
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_query_engine.json"),
         help="where to write the JSON report",
@@ -575,6 +580,112 @@ def run_continuous_batching_bench(args) -> dict:
     return section
 
 
+def run_result_cache_bench(args, blocks) -> dict:
+    """The persistent result cache: disabled vs cold vs warm vs restart.
+
+    A seeded explanation is a pure function of its fingerprint, so the
+    result cache memoizes *whole explanations* — a warm hit skips the
+    entire anchor search, not just inner-model queries.  The stream
+    requests each block under two seeds; every configuration serves that
+    identical stream twice through the simulator-backed matrix model (per
+    request compute is what makes the memo worth keeping):
+
+    * ``disabled`` — ``result_cache=False``; the second pass recomputes
+      every search (only the session's query LRU is warm, so this second
+      pass — not the cold first — is the honest baseline for a warm hit);
+    * ``cold`` — a fresh on-disk store; first pass computes and writes
+      through;
+    * ``warm`` — the same service's second pass, served from tier 0;
+    * ``warm_restart`` — a *new* service over the same store file, served
+      from the on-disk tier (scan, CRC check, unpickle, promote).
+
+    Results are bit-identical in every configuration (the cache-state
+    parity matrix in tests/integration pins this), so the deltas are
+    purely what memoization saves and what the store costs.
+    """
+    import tempfile
+
+    from repro.service import ExplanationService
+
+    config = explainer_config(batched=True)
+    model_name = args.matrix_model
+    stream = [
+        (block, args.seed + repeat)
+        for repeat in range(2)
+        for block in blocks
+    ]
+
+    def serve_pass(service) -> float:
+        start = time.perf_counter()
+        ids = [service.submit(block, seed=seed) for block, seed in stream]
+        for request_id in ids:
+            service.result(request_id)
+        return time.perf_counter() - start
+
+    def rps(elapsed: float) -> float:
+        return round(len(stream) / elapsed, 4)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "bench.cache"
+        with ExplanationService(
+            model=model_name,
+            uarch=args.microarch,
+            config=config,
+            result_cache=False,
+            max_queue=len(stream),
+        ) as service:
+            # The first pass doubles as the cold baseline: a fresh
+            # session with nothing memoized, exactly what the cold cached
+            # run pays *minus* the write-through — their ratio isolates
+            # the store's cost.  The second pass has the query LRU warm,
+            # which is what a long-lived uncached service looks like, so
+            # it is the honest baseline for a warm hit.
+            disabled_first_elapsed = serve_pass(service)
+            disabled_elapsed = serve_pass(service)
+        with ExplanationService(
+            model=model_name,
+            uarch=args.microarch,
+            config=config,
+            result_cache=str(store),
+            max_queue=len(stream),
+        ) as service:
+            cold_elapsed = serve_pass(service)
+            warm_elapsed = serve_pass(service)
+            warm_stats = service.stats().result_cache
+        with ExplanationService(
+            model=model_name,
+            uarch=args.microarch,
+            config=config,
+            result_cache=str(store),
+            max_queue=len(stream),
+        ) as service:
+            restart_elapsed = serve_pass(service)
+            restart_stats = service.stats().result_cache
+
+    return {
+        "model": model_name,
+        "requests": len(stream),
+        "distinct_blocks": len(blocks),
+        "seeds_per_block": 2,
+        "disabled_first_pass_seconds": round(disabled_first_elapsed, 4),
+        "disabled_seconds": round(disabled_elapsed, 4),
+        "disabled_requests_per_sec": rps(disabled_elapsed),
+        "cold_seconds": round(cold_elapsed, 4),
+        "cold_requests_per_sec": rps(cold_elapsed),
+        "warm_seconds": round(warm_elapsed, 4),
+        "warm_requests_per_sec": rps(warm_elapsed),
+        "warm_hit_rate": round(warm_stats.hit_rate, 4),
+        "warm_restart_seconds": round(restart_elapsed, 4),
+        "warm_restart_requests_per_sec": rps(restart_elapsed),
+        "restart_disk_hits": restart_stats.disk.hits,
+        "store_bytes": warm_stats.disk.bytes,
+        "warm_vs_disabled_speedup": round(disabled_elapsed / warm_elapsed, 2),
+        "cold_write_through_overhead": round(
+            cold_elapsed / disabled_first_elapsed, 3
+        ),
+    }
+
+
 def run_resilience_bench(args, blocks) -> dict:
     """Price of fault tolerance: SIGKILL recovery and checkpoint replay.
 
@@ -724,6 +835,11 @@ def main(argv=None) -> int:
         continuous = run_continuous_batching_bench(args)
         report["continuous_batching"] = continuous
 
+    result_cache = None
+    if not args.skip_result_cache:
+        result_cache = run_result_cache_bench(args, blocks[: args.matrix_blocks])
+        report["result_cache"] = result_cache
+
     resilience = None
     if not args.skip_resilience:
         resilience = run_resilience_bench(args, blocks[: args.matrix_blocks])
@@ -825,6 +941,36 @@ def main(argv=None) -> int:
                 f"{row['mean_rounds_per_tick']:.2f} rounds/tick, "
                 f"{row['model_calls_saved']} calls saved)"
             )
+    if result_cache is not None:
+        print(
+            f"result cache — model={result_cache['model']} "
+            f"{result_cache['requests']} requests "
+            f"({result_cache['distinct_blocks']} blocks x"
+            f"{result_cache['seeds_per_block']} seeds)"
+        )
+        print(
+            f"      disabled: {result_cache['disabled_seconds']:7.2f}s  "
+            f"{result_cache['disabled_requests_per_sec']:7.3f} req/s"
+        )
+        print(
+            f"          cold: {result_cache['cold_seconds']:7.2f}s  "
+            f"{result_cache['cold_requests_per_sec']:7.3f} req/s  "
+            f"(write-through {result_cache['cold_write_through_overhead']:.3f}x)"
+        )
+        print(
+            f"          warm: {result_cache['warm_seconds']:7.2f}s  "
+            f"{result_cache['warm_requests_per_sec']:7.3f} req/s  "
+            f"hit-rate {result_cache['warm_hit_rate']:.2%}"
+        )
+        print(
+            f"       restart: {result_cache['warm_restart_seconds']:7.2f}s  "
+            f"{result_cache['warm_restart_requests_per_sec']:7.3f} req/s  "
+            f"({result_cache['restart_disk_hits']} disk hits)"
+        )
+        print(
+            f"  warm vs disabled: "
+            f"{result_cache['warm_vs_disabled_speedup']:.2f}x requests/sec"
+        )
     if resilience is not None:
         print(
             f"resilience — model={resilience['model']} "

@@ -1,0 +1,73 @@
+"""Canonical result fingerprints: the identity of one memoizable explanation.
+
+An explanation is a pure function of *(block, model, uarch, config, seed)* —
+the block's content key pins the program, the model name and
+microarchitecture pin the cost function, the explainer config pins every
+hyperparameter the search reads, and the integer seed pins the random stream
+(``np.random.default_rng(seed)``) that drives it.  Hash all five and you have
+a key under which whole :class:`~repro.explain.explanation.Explanation`
+objects can be stored and replayed bit-for-bit, across processes and across
+restarts.
+
+Two callers share this identity on purpose:
+
+* ``ExplanationSession.explain(block, rng=seed)`` runs its search on
+  ``default_rng(seed)``;
+* each position of ``explain_many(blocks, rng=seed)`` runs on
+  ``default_rng(child_seed)`` where the child seeds are spawned from the run
+  seed (:func:`~repro.utils.rng.spawn_seeds`).
+
+Both are "a search driven by ``default_rng(s)``", so a fleet position and a
+single-block request that land on the same ``s`` genuinely compute the same
+result and may share one cache entry.
+
+The fields are hashed as a ``repr``-ed tuple of strings, not a joined
+string, so a ``"|"`` inside a model name can never alias another request's
+key.  ``CACHE_VERSION`` is baked into the digest: bump it when the meaning
+of any field changes and every old entry misses instead of being misread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Fingerprint schema version — part of every digest, so a format change
+#: invalidates old stores wholesale instead of serving stale entries.
+CACHE_VERSION = 1
+
+
+def cacheable_seed(rng) -> bool:
+    """Whether ``rng`` is an integer seed a result can be memoized under.
+
+    Live ``Generator`` objects (and ``None``, which falls back to one) carry
+    hidden stream state, so results computed from them are history-dependent
+    and must never be cached.  ``bool`` is excluded explicitly: ``True`` is
+    an ``int`` in Python but almost certainly a caller bug.
+    """
+    return isinstance(rng, (int, np.integer)) and not isinstance(rng, bool)
+
+
+def result_fingerprint(*, block, model_name: str, uarch, config, seed: int) -> str:
+    """The stable hex identity of one (block, model, uarch, config, seed).
+
+    ``block`` is hashed via its content ``key()`` (instruction-level
+    identity, whitespace/case normalised), ``config`` via its ``repr``
+    (dataclass reprs enumerate every field, so any hyperparameter change
+    produces a new key), and ``seed`` must be the integer that seeds the
+    search's generator.
+    """
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        raise TypeError(
+            f"result_fingerprint requires an integer seed, got {type(seed).__name__}"
+        )
+    parts = (
+        f"rc{CACHE_VERSION}",
+        str(model_name),
+        str(uarch),
+        str(int(seed)),
+        repr(config),
+        repr(block.key()),
+    )
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()

@@ -15,6 +15,8 @@ The CLI exposes the public API for quick, scriptable use::
     python -m repro serve    --model crude --port 0    --dispatchers 4
     python -m repro serve    --model crude --request-timeout 120
     python -m repro serve    --model crude --port 0    --continuous-batching
+    python -m repro serve    --model crude --result-cache results.cache
+    python -m repro route    --nodes 127.0.0.1:7421,127.0.0.1:7422
 
 Blocks can be passed inline with ``--block`` (instructions separated by ``;``
 or newlines) or from a file with ``--block-file``.  The neural model is
@@ -222,6 +224,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ExplanationService, serve_stream
 
+    # args.result_cache: a path (--result-cache), False (--no-result-cache,
+    # pinning the cache off even when REPRO_RESULT_CACHE is set), or None
+    # (defer to the environment variable).
     service = ExplanationService(
         model=args.model,
         uarch=args.uarch,
@@ -234,6 +239,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         max_sessions=args.max_sessions,
         default_deadline=args.request_timeout,
+        result_cache=args.result_cache,
     )
     if args.port is not None:
         if args.requests:
@@ -292,6 +298,42 @@ def _serve_socket(args: argparse.Namespace, service) -> int:
             signal.signal(signum, handler)
         service.close()
     print(f"drained — {stats.describe()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Front a fleet of ``repro serve --port`` nodes with consistent-hash
+    routing: JSON-lines in, JSON-lines out, each response stamped with the
+    node that served it."""
+    from repro.service import Router, route_stream
+
+    router = Router(
+        args.nodes,
+        replicas=args.replicas,
+        timeout=args.request_timeout,
+    )
+    if args.requests:
+        source = Path(args.requests).read_text().splitlines()
+    else:
+        source = sys.stdin
+    try:
+        with router:
+            routed = route_stream(router, source, sys.stdout)
+            stats = router.stats()
+    except OSError as error:
+        raise ReproError(f"fleet unreachable: {error}") from error
+    cache = stats.get("result_cache")
+    cache_note = (
+        ""
+        if not isinstance(cache, dict)
+        else f", result-cache hit rate {cache.get('hit_rate', 0.0):.0%}"
+    )
+    print(
+        f"routed {routed} requests across {len(router.ring)} nodes — "
+        f"fleet served {stats.get('served', 0)}, failed {stats.get('failed', 0)}"
+        f"{cache_note}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -475,7 +517,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a TCP connection may idle (no traffic, no response "
         "owed) before the server hangs up (default: never)",
     )
+    serve.add_argument(
+        "--result-cache",
+        default=None,
+        metavar="PATH",
+        help="persist whole explanations to this on-disk store and serve "
+        "repeats from it (tier-0 in-process LRU over a tier-1 append-only "
+        "log; default: the REPRO_RESULT_CACHE environment variable, or off)",
+    )
+    serve.add_argument(
+        "--no-result-cache",
+        dest="result_cache",
+        action="store_false",
+        help="disable the result cache even when REPRO_RESULT_CACHE is set",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    route = subparsers.add_parser(
+        "route",
+        help="front a fleet of 'repro serve --port' nodes with "
+        "consistent-hash routing (JSON-lines on stdin/stdout)",
+    )
+    route.add_argument(
+        "--nodes",
+        required=True,
+        help="comma-separated fleet addresses, host:port,host:port,... "
+        "(each a running 'repro serve --port' process); requests route by "
+        "(model, uarch, blocks) so repeats of a request always land on the "
+        "node whose caches are already warm for it",
+    )
+    route.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual points per node on the hash ring (more = smoother "
+        "load split; placement stays deterministic at any count)",
+    )
+    route.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="seconds to wait for each routed response (default: forever)",
+    )
+    route.add_argument(
+        "--requests",
+        help="read request lines from this file instead of stdin "
+        "(one JSON object or block text per line)",
+    )
+    route.set_defaults(func=_cmd_route)
 
     features = subparsers.add_parser("features", help="list a block's candidate features")
     _add_block_arguments(features)

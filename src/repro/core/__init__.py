@@ -6,6 +6,8 @@ cost models shipped with the reproduction.
 """
 
 from repro.bb.block import BasicBlock, BlockCategory
+from repro.cache.fingerprint import result_fingerprint
+from repro.cache.store import CacheStats, ResultCache, TierStats
 from repro.bb.features import (
     DependencyFeature,
     Feature,
@@ -41,10 +43,12 @@ from repro.service.core import (
     ServiceResult,
     ServiceStats,
 )
+from repro.service.router import HashRing, Router, route_stream, routing_key
 from repro.service.scheduler import Scheduler, SchedulerStats
 from repro.service.transport import SocketServer
 from repro.utils.cancellation import CancelToken
 from repro.utils.errors import (
+    CacheError,
     CheckpointError,
     DeadlineExceededError,
     RequestCancelledError,
@@ -100,4 +104,13 @@ __all__ = [
     "SchedulerStats",
     "SessionPool",
     "PoolStats",
+    "ResultCache",
+    "CacheStats",
+    "TierStats",
+    "CacheError",
+    "result_fingerprint",
+    "HashRing",
+    "Router",
+    "route_stream",
+    "routing_key",
 ]

@@ -91,6 +91,7 @@ def build_session(
     rng=None,
     cache_entries: int = 100_000,
     max_population_records: int = 256,
+    result_cache=None,
     **model_kwargs,
 ) -> "ExplanationSession":
     """Build a warm :class:`~repro.runtime.session.ExplanationSession` by model name.
@@ -115,4 +116,5 @@ def build_session(
         rng=rng,
         cache_entries=cache_entries,
         max_population_records=max_population_records,
+        result_cache=result_cache,
     )

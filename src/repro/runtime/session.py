@@ -37,6 +37,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.bb.block import BasicBlock
+from repro.cache.fingerprint import cacheable_seed, result_fingerprint
+from repro.cache.store import CacheStats, ResultCache
 from repro.explain.anchors import AnchorSearch
 from repro.explain.config import ExplainerConfig
 from repro.explain.coverage import PopulationRecord
@@ -46,7 +48,7 @@ from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backe
 from repro.runtime.checkpoint import CheckpointJournal, run_fingerprint
 from repro.utils.cancellation import CancelToken
 from repro.utils.errors import BackendError, CheckpointError
-from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs, spawn_seeds
 
 #: One unit of sharded work: (position in the fleet, block, its rng stream).
 _ShardItem = Tuple[int, BasicBlock, np.random.Generator]
@@ -132,6 +134,7 @@ class SessionStats:
     worker_retries: int = 0
     worker_fallbacks: int = 0
     checkpoint_skips: int = 0
+    result_cache: Optional[CacheStats] = None
 
     def describe(self) -> str:
         resilience = ""
@@ -141,11 +144,14 @@ class SessionStats:
                 f"({self.worker_fallbacks} serial fallbacks), "
                 f"{self.checkpoint_skips} checkpoint skips"
             )
+        memo = ""
+        if self.result_cache is not None:
+            memo = f", {self.result_cache.describe()}"
         return (
             f"{self.explanations} explanations, {self.model_queries} model "
             f"queries ({self.cache_hit_rate:.1%} cache hit rate), "
             f"{self.populations_cached} background populations, "
-            f"backend {self.backend}{resilience}"
+            f"backend {self.backend}{resilience}{memo}"
         )
 
 
@@ -175,6 +181,18 @@ class ExplanationSession:
         the session keeps alive at once, least-recently-used first.  Bounds
         memory on fleets of distinct blocks, where a record pays off only if
         its block comes around again.
+    result_cache:
+        Whole-explanation memoization: a :class:`~repro.cache.ResultCache`
+        instance (caller-owned), a path to build a disk-backed store from
+        (session-owned, closed with the session), or ``None`` to disable.
+        With a cache installed, every *cache-eligible* computation — one
+        driven by an integer seed — runs **history-free** with call-scoped
+        population records (the same semantics the explanation service
+        applies per request), so each memoized result is a pure function of
+        ``(block, model, uarch, config, seed)`` and a hit is bit-for-bit
+        what the computation would have produced.  Explanations driven by a
+        live generator (or the session's ambient rng) bypass the cache and
+        keep the legacy session-scoped record sharing.
 
     Use as a context manager (or call :meth:`close`) so pooled workers are
     released deterministically::
@@ -194,6 +212,7 @@ class ExplanationSession:
         rng: RandomSource = None,
         cache_entries: int = 100_000,
         max_population_records: int = 256,
+        result_cache: Union["ResultCache", str, Path, None] = None,
     ) -> None:
         if max_population_records < 1:
             raise ValueError("max_population_records must be >= 1")
@@ -217,6 +236,15 @@ class ExplanationSession:
             if installed is not self.backend:
                 self.model.set_backend(self.backend)
         self._rng = as_rng(rng)
+        if isinstance(result_cache, ResultCache):
+            self.result_cache: Optional[ResultCache] = result_cache
+            self._owns_result_cache = False
+        elif result_cache is not None:
+            self.result_cache = ResultCache(result_cache)
+            self._owns_result_cache = True
+        else:
+            self.result_cache = None
+            self._owns_result_cache = False
         self._records: "OrderedDict[Tuple, PopulationRecord]" = OrderedDict()
         # Sharded explain_many runs shards on concurrent threads that all
         # look up records through this session; the lock keeps the LRU
@@ -259,6 +287,46 @@ class ExplanationSession:
         with self._records_lock:
             self._records.clear()
 
+    # --------------------------------------------------------- result cache
+
+    def _result_fingerprint(self, block: BasicBlock, seed: int) -> str:
+        return result_fingerprint(
+            block=block,
+            model_name=self.model.name,
+            uarch=self.model.microarch,
+            config=self.config,
+            seed=int(seed),
+        )
+
+    def result_cache_lookup(
+        self, block: BasicBlock, seed: RandomSource
+    ) -> Optional[Explanation]:
+        """The memoized explanation for ``(block, seed)``, or ``None``.
+
+        ``None`` when there is no cache, the seed is not an integer (live
+        generators are history-dependent and never memoized), or the entry
+        is simply absent.  Used by the fused batching tick so cache-hit
+        requests retire without consuming a KL-LUCB round.
+        """
+        if self.result_cache is None or not cacheable_seed(seed):
+            return None
+        return self.result_cache.get(self._result_fingerprint(block, int(seed)))
+
+    def result_cache_store(
+        self, block: BasicBlock, seed: RandomSource, explanation: Explanation
+    ) -> None:
+        """Memoize a history-free result computed for ``(block, seed)``.
+
+        The caller asserts purity: the explanation must have been computed
+        with a fresh (call-scoped) population record from
+        ``default_rng(seed)`` — exactly what :meth:`explain` does when a
+        cache is installed and what the service's per-request record reset
+        guarantees.
+        """
+        if self.result_cache is None or not cacheable_seed(seed):
+            return
+        self.result_cache.put(self._result_fingerprint(block, int(seed)), explanation)
+
     def explain(
         self,
         block: BasicBlock,
@@ -270,8 +338,31 @@ class ExplanationSession:
 
         ``cancel`` is checked cooperatively between KL-LUCB rounds; a token
         that never fires leaves the result bit-for-bit unchanged.
+
+        With a :class:`result cache <repro.cache.ResultCache>` installed and
+        an integer ``rng`` seed, the call is memoized: a hit returns the
+        stored explanation verbatim — including its ``num_queries``, which
+        by the cache's attribution rule is the query count of the
+        computation that *stored* the entry, since a hit itself queries the
+        model zero times — and a miss computes with a fresh call-scoped
+        population record (history-free, so the stored result is a pure
+        function of the fingerprint) and stores it on the way out.
         """
         self._check_open()
+        if self.result_cache is not None and cacheable_seed(rng):
+            seed = int(rng)  # type: ignore[arg-type]
+            fingerprint = self._result_fingerprint(block, seed)
+            cached = self.result_cache.get(fingerprint)
+            if cached is not None:
+                self.explanations_produced += 1
+                return cached
+            record = PopulationRecord() if self.config.shared_background else None
+            explanation = _search_block(
+                self.model, block, self.config, as_rng(seed), record, cancel
+            )
+            self.result_cache.put(fingerprint, explanation)
+            self.explanations_produced += 1
+            return explanation
         generator = as_rng(rng) if rng is not None else self._rng
         explanation = _search_block(
             self.model,
@@ -339,6 +430,13 @@ class ExplanationSession:
         the in-process paths (serial and thread backends, and all
         checkpointed runs); process-sharded fleets check between shards
         only, since the token cannot cross a process boundary.
+
+        With a result cache installed and an integer ``rng`` seed, fleet
+        positions whose block key is unique within the call are memoized
+        under their spawned child seed: hits are returned verbatim without
+        running a search, misses compute with call-scoped records and are
+        stored.  Positions sharing a block key bypass the cache and keep
+        their within-call record sharing bit-for-bit.
         """
         self._check_open()
         blocks = list(blocks)
@@ -346,35 +444,77 @@ class ExplanationSession:
             return self._explain_many_checkpointed(
                 blocks, rng, checkpoint=checkpoint, shards=shards, cancel=cancel
             )
-        streams = spawn_rngs(rng if rng is not None else self._rng, len(blocks))
-        items: List[_ShardItem] = list(zip(range(len(blocks)), blocks, streams))
-        plan = self._shard_plan(blocks, shards)
-        if plan is None:
-            return [
-                self.explain(block, rng=stream, cancel=cancel)
-                for block, stream in zip(blocks, streams)
-            ]
-        shard_lists = [[items[i] for i in indices] for indices in plan]
-        if self.backend.shares_memory:
-            pairs = self._run_shards_inprocess(shard_lists, cancel=cancel)
-        else:
-            if cancel is not None:
-                cancel.check()
-            payloads = [
-                (self.model.inner, self.config, shard, self.model.max_entries)
-                for shard in shard_lists
-            ]
-            pairs = [
-                pair
-                for shard_result in self.backend.map_batch(
-                    _explain_shard_remote, payloads
-                )
-                for pair in shard_result
-            ]
-        self.explanations_produced += len(blocks)
         results: List[Optional[Explanation]] = [None] * len(blocks)
+        fingerprints: dict = {}
+        use_cache = self.result_cache is not None and cacheable_seed(rng)
+        if use_cache:
+            # Each fleet position's stream is fully determined by its spawned
+            # child seed, so positions are memoized under (block, child seed).
+            # Only positions whose block key is *unique in this fleet* take
+            # part: duplicate-key positions share a population record within
+            # the call (later occurrences reuse the first one's draw), so
+            # their results are not pure functions of their own seed — they
+            # bypass the cache and compute exactly as they always did.
+            seeds = spawn_seeds(int(rng), len(blocks))  # type: ignore[arg-type]
+            streams = [np.random.default_rng(s) for s in seeds]
+            key_counts: dict = {}
+            for block in blocks:
+                key_counts[block.key()] = key_counts.get(block.key(), 0) + 1
+            assert self.result_cache is not None
+            for position, (block, seed) in enumerate(zip(blocks, seeds)):
+                if key_counts[block.key()] == 1:
+                    fingerprint = self._result_fingerprint(block, seed)
+                    fingerprints[position] = fingerprint
+                    results[position] = self.result_cache.get(fingerprint)
+        else:
+            streams = list(
+                spawn_rngs(rng if rng is not None else self._rng, len(blocks))
+            )
+        items: List[_ShardItem] = [
+            (position, block, stream)
+            for position, (block, stream) in enumerate(zip(blocks, streams))
+            if results[position] is None
+        ]
+        plan = self._shard_plan([block for _, block, _ in items], shards)
+        if not items:
+            pairs: List[Tuple[int, Explanation]] = []
+        elif plan is None:
+            if use_cache:
+                # Call-scoped records (the history-free contract, see
+                # ``result_cache`` in the class docstring) — the exact loop
+                # every shard runs, so cache on/off changes nothing for a
+                # fresh session and the computed results are safe to store.
+                pairs = _explain_shard(self.model, self.config, items, cancel)
+            else:
+                return [
+                    self.explain(block, rng=stream, cancel=cancel)
+                    for block, stream in zip(blocks, streams)
+                ]
+        else:
+            shard_lists = [[items[i] for i in indices] for indices in plan]
+            if self.backend.shares_memory:
+                pairs = self._run_shards_inprocess(shard_lists, cancel=cancel)
+            else:
+                if cancel is not None:
+                    cancel.check()
+                payloads = [
+                    (self.model.inner, self.config, shard, self.model.max_entries)
+                    for shard in shard_lists
+                ]
+                pairs = [
+                    pair
+                    for shard_result in self.backend.map_batch(
+                        _explain_shard_remote, payloads
+                    )
+                    for pair in shard_result
+                ]
+        self.explanations_produced += len(blocks)
         for position, explanation in pairs:
             results[position] = explanation
+            fingerprint = fingerprints.get(position)
+            if fingerprint is not None:
+                assert self.result_cache is not None
+                self.result_cache.put(fingerprint, explanation)
         return results  # type: ignore[return-value]
 
     def _explain_many_checkpointed(
@@ -524,6 +664,9 @@ class ExplanationSession:
             worker_retries=worker.get("retries", 0),
             worker_fallbacks=worker.get("fallbacks", 0),
             checkpoint_skips=self.checkpoint_skips,
+            result_cache=(
+                self.result_cache.stats() if self.result_cache is not None else None
+            ),
         )
 
     # ------------------------------------------------------------- lifecycle
@@ -548,6 +691,8 @@ class ExplanationSession:
         if self._owns_backend:
             self.model.set_backend(None)
             self.backend.close()
+        if self._owns_result_cache and self.result_cache is not None:
+            self.result_cache.close()
         self._records.clear()
         self._closed = True
 

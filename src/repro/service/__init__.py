@@ -43,6 +43,7 @@ from repro.service.core import (
     DISPATCHERS_ENV_VAR,
     FUSED_ENV_VAR,
     MAX_FUSED_ENV_VAR,
+    RESULT_CACHE_ENV_VAR,
     ExplanationRequest,
     ExplanationService,
     RequestStatus,
@@ -51,6 +52,7 @@ from repro.service.core import (
     default_continuous_batching,
     default_dispatchers,
     default_max_fused,
+    default_result_cache,
 )
 from repro.service.protocol import (
     ServiceOp,
@@ -61,7 +63,20 @@ from repro.service.protocol import (
     serve_stream,
     stats_to_dict,
 )
-from repro.service.scheduler import DispatcherStats, Scheduler, SchedulerStats
+from repro.service.router import (
+    HashRing,
+    Router,
+    aggregate_node_stats,
+    parse_nodes,
+    route_stream,
+    routing_key,
+)
+from repro.service.scheduler import (
+    DispatcherStats,
+    Scheduler,
+    SchedulerStats,
+    stable_key_hash,
+)
 from repro.service.transport import SocketServer
 from repro.utils.cancellation import CancelToken
 from repro.utils.errors import (
@@ -83,12 +98,15 @@ __all__ = [
     "FUSED_ENV_VAR",
     "FusionCounters",
     "FusionStats",
+    "HashRing",
     "MAX_FUSED_ENV_VAR",
     "PoolStats",
     "QueueFullError",
+    "RESULT_CACHE_ENV_VAR",
     "RequestCancelledError",
     "RequestStatus",
     "RetryPolicy",
+    "Router",
     "Scheduler",
     "SchedulerStats",
     "ServiceClient",
@@ -100,14 +118,20 @@ __all__ = [
     "ServiceTimeoutError",
     "SessionPool",
     "SocketServer",
+    "aggregate_node_stats",
     "cancel_to_dict",
     "default_continuous_batching",
     "default_dispatchers",
     "default_max_fused",
+    "default_result_cache",
+    "parse_nodes",
     "request_from_dict",
     "request_from_line",
     "result_to_dict",
+    "route_stream",
+    "routing_key",
     "run_fused_group",
     "serve_stream",
+    "stable_key_hash",
     "stats_to_dict",
 ]

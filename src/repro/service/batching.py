@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bb.block import BasicBlock
+from repro.cache.fingerprint import cacheable_seed
 from repro.explain.anchors import AnchorSearch
 from repro.explain.config import ExplainerConfig
 from repro.explain.coverage import PopulationRecord
@@ -48,7 +49,7 @@ from repro.explain.explanation import Explanation
 from repro.models.base import CostModel, QueryCounter, QueryTally
 from repro.runtime.session import ExplanationSession
 from repro.utils.cancellation import CancelToken
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng, spawn_rngs, spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -144,14 +145,26 @@ class _RequestRun:
     request spawns one stream per block (as ``explain_many`` would), and
     population records are request-scoped — same key, same fill order as
     the serial loop after the service's per-request record reset.
+
+    With a session result cache installed, cache-eligible positions —
+    single blocks, and fleet positions whose block key is unique within the
+    request (duplicates share a record and stay uncached, exactly like
+    ``explain_many``) — are looked up before their search is built: a hit
+    appends the stored explanation and retires the position **without
+    consuming a KL-LUCB round**, and a computed position is stored when it
+    completes.  A hit's ``num_queries`` is the storing computation's count
+    (the hit itself queried the model zero times).
     """
 
     __slots__ = (
         "entry",
         "model",
         "config",
+        "session",
         "blocks",
         "streams",
+        "seeds",
+        "cacheable",
         "records",
         "position",
         "explanations",
@@ -162,14 +175,41 @@ class _RequestRun:
     )
 
     def __init__(
-        self, entry: FusedEntry, model: CostModel, config: ExplainerConfig
+        self,
+        entry: FusedEntry,
+        model: CostModel,
+        config: ExplainerConfig,
+        session: Optional[ExplanationSession] = None,
     ) -> None:
         self.entry = entry
         self.model = model
         self.config = config
+        self.session = session
         self.blocks: List[BasicBlock] = list(entry.blocks)
+        self.seeds: List[Optional[int]] = [None] * len(self.blocks)
+        self.cacheable = [False] * len(self.blocks)
+        memoized = (
+            session is not None
+            and session.result_cache is not None
+            and cacheable_seed(entry.seed)
+        )
         if len(self.blocks) == 1:
             self.streams = [as_rng(entry.seed)]
+            if memoized:
+                self.seeds = [int(entry.seed)]
+                self.cacheable = [True]
+        elif memoized:
+            # Per-position identity: each fleet position's stream is fully
+            # determined by its spawned child seed (spawn_rngs builds
+            # default_rng(child) from exactly these), so positions memoize
+            # under (block, child seed).
+            seeds = spawn_seeds(entry.seed, len(self.blocks))
+            self.streams = [np.random.default_rng(s) for s in seeds]
+            self.seeds = list(seeds)
+            key_counts: Dict[Tuple, int] = {}
+            for block in self.blocks:
+                key_counts[block.key()] = key_counts.get(block.key(), 0) + 1
+            self.cacheable = [key_counts[b.key()] == 1 for b in self.blocks]
         else:
             self.streams = spawn_rngs(entry.seed, len(self.blocks))
         self.records: Dict[Tuple, PopulationRecord] = {}
@@ -210,6 +250,20 @@ class _RequestRun:
                 if self.entry.token is not None:
                     self.entry.token.check()
                 block = self.blocks[self.position]
+                if self.cacheable[self.position] and self.session is not None:
+                    cached = self.session.result_cache_lookup(
+                        block, self.seeds[self.position]
+                    )
+                    if cached is not None:
+                        # Retired without a search: this position consumes
+                        # no KL-LUCB round and issues no tick work.
+                        self.explanations.append(cached)
+                        self.position += 1
+                        self.queries = 0
+                        predictions = None
+                        if self.position >= len(self.blocks):
+                            return False
+                        continue
                 with QueryCounter(self.model) as counter:
                     self.search = AnchorSearch(
                         self.model,
@@ -235,9 +289,17 @@ class _RequestRun:
                 self.pending = pending
                 return True
             assert self.search is not None
-            self.explanations.append(
-                Explanation.from_search(self.search, anchor, num_queries=self.queries)
+            explanation = Explanation.from_search(
+                self.search, anchor, num_queries=self.queries
             )
+            self.explanations.append(explanation)
+            if self.cacheable[self.position] and self.session is not None:
+                # Safe to memoize: a cacheable position ran on its own seeded
+                # stream with a request-scoped record no other position
+                # shares, so the result is a pure function of its fingerprint.
+                self.session.result_cache_store(
+                    self.blocks[self.position], self.seeds[self.position], explanation
+                )
             self.position += 1
             self.queries = 0
             self.rounds = None
@@ -289,7 +351,7 @@ def run_fused_group(
     def admit(entry: FusedEntry) -> None:
         if counters is not None:
             counters.record_request()
-        step(_RequestRun(entry, model, config), None)
+        step(_RequestRun(entry, model, config, session=session), None)
 
     for entry in entries:
         admit(entry)

@@ -51,9 +51,11 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bb.block import BasicBlock
+from repro.cache.store import CacheStats, ResultCache
 from repro.explain.config import ExplainerConfig
 from repro.explain.explanation import Explanation
 from repro.runtime.pool import PoolStats, SessionFactory, SessionPool
@@ -86,6 +88,11 @@ FUSED_ENV_VAR = "REPRO_FUSED"
 #: Environment override for the default fused-group size bound.
 MAX_FUSED_ENV_VAR = "REPRO_MAX_FUSED"
 
+#: Environment override naming a persistent result-cache store every service
+#: opens by default (``repro serve --result-cache`` wins; CI uses it to run
+#: whole suites memoized).
+RESULT_CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+
 
 def default_dispatchers() -> int:
     """The ambient dispatcher count: ``REPRO_DISPATCHERS`` or 1."""
@@ -115,6 +122,12 @@ def default_continuous_batching() -> bool:
     if raw in ("0", "false", "no", "off"):
         return False
     raise ServiceError(f"{FUSED_ENV_VAR} must be a boolean flag, got {raw!r}")
+
+
+def default_result_cache() -> Optional[str]:
+    """The ambient result-cache path: ``REPRO_RESULT_CACHE`` or none."""
+    raw = os.environ.get(RESULT_CACHE_ENV_VAR, "").strip()
+    return raw or None
 
 
 def default_max_fused() -> int:
@@ -225,6 +238,9 @@ class ServiceStats:
     #: Requests absorbed into an already-running same-key fused group
     #: instead of waiting for their own scheduler claim.
     absorbed: int = 0
+    #: Result-cache counters (per-tier hits/misses/evictions/bytes) for the
+    #: service-wide memoization store; ``None`` when memoization is off.
+    result_cache: Optional[CacheStats] = None
 
     def describe(self) -> str:
         resilience = ""
@@ -236,12 +252,15 @@ class ServiceStats:
         fused = ""
         if self.fusion is not None and self.fusion.enabled:
             fused = f", {self.fusion.describe()}, {self.absorbed} absorbed"
+        memo = ""
+        if self.result_cache is not None:
+            memo = f", {self.result_cache.describe()}"
         return (
             f"{self.served}/{self.submitted} requests served "
             f"({self.failed} failed, {self.cancelled} cancelled), "
             f"{self.queue_depth} queued, "
             f"{len(self.sessions)} warm sessions, "
-            f"{self.dispatchers} dispatchers{resilience}{fused}"
+            f"{self.dispatchers} dispatchers{resilience}{fused}{memo}"
         )
 
 
@@ -303,6 +322,17 @@ class ExplanationService:
     max_fused_requests:
         How many requests one fused tick group may hold at once (``None`` =
         the ``REPRO_MAX_FUSED`` environment default, normally 8).
+    result_cache:
+        Whole-explanation memoization shared by every session the service
+        builds: a :class:`~repro.cache.ResultCache` instance (caller-owned),
+        a path to open a disk-backed store at (service-owned, closed with
+        the service), ``True`` for a service-owned memory-only cache,
+        ``False`` to disable regardless of the environment, or ``None`` for
+        the ``REPRO_RESULT_CACHE`` environment default (a path, or off).
+        Hits serve the stored explanation verbatim — bit-for-bit what the
+        computation would produce, since the service already runs every
+        request history-free — and retire without a search (under fusion,
+        without consuming a KL-LUCB round).
     session_factory:
         Override how sessions are built (tests inject toy models here).  The
         default routes through :func:`repro.models.registry.build_session`.
@@ -330,6 +360,7 @@ class ExplanationService:
         default_deadline: Optional[float] = None,
         continuous_batching: Optional[bool] = None,
         max_fused_requests: Optional[int] = None,
+        result_cache: Union[ResultCache, str, Path, bool, None] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -360,6 +391,22 @@ class ExplanationService:
         self._backend = backend
         self._workers = workers
         self._cache_entries = cache_entries
+        # Result-cache resolution: an explicit False always disables (the
+        # parity matrix needs a "disabled" arm even when CI exports
+        # REPRO_RESULT_CACHE); None defers to the environment.
+        if result_cache is None:
+            result_cache = default_result_cache()
+        self._owns_result_cache = False
+        if result_cache is False or result_cache is None:
+            self._result_cache: Optional[ResultCache] = None
+        elif result_cache is True:
+            self._result_cache = ResultCache()
+            self._owns_result_cache = True
+        elif isinstance(result_cache, ResultCache):
+            self._result_cache = result_cache
+        else:
+            self._result_cache = ResultCache(result_cache)
+            self._owns_result_cache = True
         self._pool = SessionPool(
             session_factory or self._build_session, max_sessions=max_sessions
         )
@@ -436,6 +483,8 @@ class ExplanationService:
                 for ticket in scheduler.close(cancel=not drain):
                     self._cancel_ticket(ticket)
             self._pool.close()
+            if self._owns_result_cache and self._result_cache is not None:
+                self._result_cache.close()
         finally:
             self._close_done.set()
 
@@ -873,6 +922,11 @@ class ExplanationService:
         """The service's session pool (shared with library callers)."""
         return self._pool
 
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The service-wide memoization store (``None`` when disabled)."""
+        return self._result_cache
+
     def _build_session(self, model_name: str, uarch: str) -> ExplanationSession:
         from repro.models.registry import build_session
 
@@ -883,6 +937,10 @@ class ExplanationService:
             backend=self._backend,
             workers=self._workers,
             cache_entries=self._cache_entries,
+            # One shared store across every (model, uarch) session: the
+            # fingerprint carries the model identity, so entries never
+            # collide and all sessions benefit from each other's warmth.
+            result_cache=self._result_cache,
         )
 
     # ----------------------------------------------------------------- stats
@@ -921,4 +979,9 @@ class ExplanationService:
                 max_fused_requests=self.max_fused_requests,
             ),
             absorbed=scheduler_stats.absorbed if scheduler_stats else 0,
+            result_cache=(
+                self._result_cache.stats()
+                if self._result_cache is not None and not self._result_cache.closed
+                else None
+            ),
         )

@@ -201,6 +201,18 @@ def result_to_dict(
     return payload
 
 
+def _tier_to_dict(tier) -> Dict[str, object]:
+    return {
+        "hits": tier.hits,
+        "misses": tier.misses,
+        "stores": tier.stores,
+        "evictions": tier.evictions,
+        "corrupt": tier.corrupt,
+        "entries": tier.entries,
+        "bytes": tier.bytes,
+    }
+
+
 def stats_to_dict(
     stats: ServiceStats, client_id: Optional[str] = None
 ) -> Dict[str, object]:
@@ -241,6 +253,18 @@ def stats_to_dict(
                     for occupancy, ticks in stats.fusion.occupancy
                 },
                 "absorbed": stats.absorbed,
+            },
+            "result_cache": None
+            if stats.result_cache is None
+            else {
+                "path": stats.result_cache.path,
+                "hits": stats.result_cache.hits,
+                "lookups": stats.result_cache.lookups,
+                "hit_rate": round(stats.result_cache.hit_rate, 4),
+                "memory": _tier_to_dict(stats.result_cache.memory),
+                "disk": None
+                if stats.result_cache.disk is None
+                else _tier_to_dict(stats.result_cache.disk),
             },
             "dispatcher_stats": [
                 {

@@ -59,6 +59,18 @@ from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
 from repro.utils.errors import QueueFullError, ServiceClosedError
 
+
+def stable_key_hash(key: Hashable) -> int:
+    """A stable, seedless 32-bit hash of ``key`` (CRC-32 of its ``repr``).
+
+    Both the scheduler's dispatcher affinity and the consistent-hash ring of
+    :mod:`repro.service.router` place keys with this one function: it is
+    reproducible across runs, processes and hosts (``hash()`` is randomized
+    per process), so any placement derived from it — a home dispatcher, a
+    ring node — is too.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
 #: Runs one claimed work item; must not raise (the service catches and
 #: converts failures into failed results itself).
 Executor = Callable[[Any], None]
@@ -171,8 +183,7 @@ class Scheduler:
     def home(self, key: Hashable) -> int:
         """The dispatcher a key is affine to — a stable, seedless hash, so
         routing is reproducible across runs (``hash()`` is randomized)."""
-        digest = zlib.crc32(repr(key).encode("utf-8"))
-        return digest % self.dispatchers
+        return stable_key_hash(key) % self.dispatchers
 
     # ---------------------------------------------------------------- submit
 

@@ -57,6 +57,13 @@ class CheckpointError(ReproError):
     """Raised when a checkpoint journal cannot be read, written or resumed."""
 
 
+class CacheError(ReproError):
+    """Raised when a persistent result-cache store cannot be opened, read or
+    written — a wrong-format file, a corrupt entry whose checksum fails, or a
+    failed append.  A corrupt store is *refused* with this type, never
+    silently served."""
+
+
 class ServiceError(ReproError):
     """Raised when the explanation service cannot accept or serve a request."""
 

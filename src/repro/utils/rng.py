@@ -9,7 +9,7 @@ three into a ``Generator`` so experiments are reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +35,21 @@ def as_rng(source: RandomSource = None) -> np.random.Generator:
     raise TypeError(f"cannot build a random generator from {type(source)!r}")
 
 
+def spawn_seeds(source: RandomSource, count: int) -> List[int]:
+    """Draw the ``count`` integer child seeds ``source`` would spawn.
+
+    This is the *identity* of each spawned stream: ``spawn_rngs`` builds its
+    generators as ``default_rng(child_seed)``, so anything keyed on a child
+    seed (checkpoint entries, result-cache fingerprints) names exactly the
+    stream that position consumes.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = as_rng(source)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rngs(source: RandomSource, count: int) -> Sequence[np.random.Generator]:
     """Spawn ``count`` independent generators derived from ``source``.
 
@@ -42,11 +57,7 @@ def spawn_rngs(source: RandomSource, count: int) -> Sequence[np.random.Generator
     over 5 seeds): each repetition receives an independent stream so results
     do not depend on evaluation order.
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    root = as_rng(source)
-    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(source, count)]
 
 
 def derive_seed(source: RandomSource, *salt: object) -> int:

@@ -1,0 +1,121 @@
+"""Result-fingerprint identity: sensitive to every component, stable otherwise.
+
+The fingerprint is the memoization key for whole explanations; a collision
+between two requests that differ in any result-defining component would
+serve one request the other's answer.  The property tests drive the five
+components independently and assert the digest moves exactly when the
+inputs do.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb.block import BasicBlock
+from repro.cache import cacheable_seed, result_fingerprint
+from repro.explain.config import ExplainerConfig
+
+BLOCK = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+OTHER_BLOCK = BasicBlock.from_text("div rcx\nadd rax, rbx")
+CONFIG = ExplainerConfig()
+
+
+def fingerprint(
+    *, block=BLOCK, model_name="crude", uarch="Haswell", config=CONFIG, seed=0
+):
+    return result_fingerprint(
+        block=block, model_name=model_name, uarch=uarch, config=config, seed=seed
+    )
+
+
+class TestShape:
+    def test_is_a_sha256_hex_digest(self):
+        digest = fingerprint()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_deterministic_across_calls(self):
+        assert fingerprint() == fingerprint()
+
+    def test_block_identity_is_content_not_object(self):
+        twin = BasicBlock.from_text("add rcx, rax\nmov rdx, rcx")
+        assert fingerprint(block=twin) == fingerprint(block=BLOCK)
+
+    def test_non_integer_seed_refused(self):
+        with pytest.raises(TypeError):
+            fingerprint(seed=np.random.default_rng(0))
+        with pytest.raises(TypeError):
+            fingerprint(seed=None)
+
+
+class TestSensitivity:
+    """Every component of the identity must reach the digest."""
+
+    def test_block_changes_digest(self):
+        assert fingerprint(block=OTHER_BLOCK) != fingerprint()
+
+    def test_model_name_changes_digest(self):
+        assert fingerprint(model_name="uica") != fingerprint()
+
+    def test_uarch_changes_digest(self):
+        assert fingerprint(uarch="Skylake") != fingerprint()
+
+    def test_config_changes_digest(self):
+        changed = dataclasses.replace(CONFIG, epsilon=CONFIG.epsilon + 0.1)
+        assert fingerprint(config=changed) != fingerprint()
+
+    def test_seed_changes_digest(self):
+        assert fingerprint(seed=1) != fingerprint(seed=0)
+
+    @given(seed_a=st.integers(0, 2**63 - 1), seed_b=st.integers(0, 2**63 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_seeds_collide_only_on_equality(self, seed_a, seed_b):
+        same = fingerprint(seed=seed_a) == fingerprint(seed=seed_b)
+        assert same == (seed_a == seed_b)
+
+    @given(
+        name_a=st.text(min_size=0, max_size=20),
+        name_b=st.text(min_size=0, max_size=20),
+        uarch_a=st.text(min_size=0, max_size=20),
+        uarch_b=st.text(min_size=0, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_field_boundary_aliasing(self, name_a, name_b, uarch_a, uarch_b):
+        """(model, uarch) pairs never alias across the field boundary —
+        the tuple-repr hashing makes "ab"+"c" distinct from "a"+"bc"."""
+        same = fingerprint(model_name=name_a, uarch=uarch_a) == fingerprint(
+            model_name=name_b, uarch=uarch_b
+        )
+        assert same == ((name_a, uarch_a) == (name_b, uarch_b))
+
+    @given(
+        epsilon=st.floats(0.05, 2.0, allow_nan=False),
+        coverage_samples=st.integers(10, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_config_field_reaches_the_digest(self, epsilon, coverage_samples):
+        changed = dataclasses.replace(
+            CONFIG, epsilon=epsilon, coverage_samples=coverage_samples
+        )
+        same = fingerprint(config=changed) == fingerprint()
+        assert same == (changed == CONFIG)
+
+
+class TestCacheableSeed:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_integers_are_cacheable(self, seed):
+        assert cacheable_seed(seed)
+
+    def test_numpy_integers_are_cacheable(self):
+        assert cacheable_seed(np.int64(7))
+
+    def test_generators_none_and_bools_are_not(self):
+        assert not cacheable_seed(np.random.default_rng(0))
+        assert not cacheable_seed(None)
+        assert not cacheable_seed(True)
+        assert not cacheable_seed(False)
+        assert not cacheable_seed(1.0)

@@ -1,0 +1,117 @@
+"""Two OS processes sharing one on-disk result store.
+
+The store's cross-process contract: appends are whole-record atomic (flock
+single-writer, ``O_APPEND``), a reader that misses rescans from its frontier
+when the file has grown, and concurrent same-fingerprint writers dedupe
+instead of double-appending.  These tests run real child processes — the
+in-process two-handle tests in ``test_store.py`` cannot exercise flock,
+which is a no-op within one process holding one fd.
+"""
+
+import multiprocessing
+import pickle
+
+from repro.cache import ResultCache
+
+from tests.cache.test_store import fp, make_explanation
+
+
+def _child_write(path, start, count, barrier):
+    """Open the shared store and write ``count`` entries, racing the parent."""
+    with ResultCache(path) as cache:
+        barrier.wait(timeout=30)
+        for index in range(start, start + count):
+            cache.put(fp(index), make_explanation(index))
+
+
+def _child_read_then_write(path, expect, write_start, write_count, queue):
+    """Verify the parent's entries are visible, then add our own."""
+    with ResultCache(path) as cache:
+        seen = sum(1 for index in expect if cache.get(fp(index)) is not None)
+        for index in range(write_start, write_start + write_count):
+            cache.put(fp(index), make_explanation(index))
+    queue.put(seen)
+
+
+class TestTwoProcessConsistency:
+    def test_handoff_both_directions(self, tmp_path):
+        """Parent writes → child sees; child writes → parent sees."""
+        path = tmp_path / "shared.cache"
+        with ResultCache(path) as cache:
+            for index in range(5):
+                cache.put(fp(index), make_explanation(index))
+            context = multiprocessing.get_context()
+            queue = context.Queue()
+            child = context.Process(
+                target=_child_read_then_write,
+                args=(str(path), range(5), 100, 5, queue),
+            )
+            child.start()
+            seen = queue.get(timeout=60)
+            child.join(timeout=60)
+            assert child.exitcode == 0
+            assert seen == 5, "child did not see the parent's entries"
+            # The parent's next misses rescan past its frontier and find
+            # the child's appends — no reopen required.
+            for index in range(100, 105):
+                revived = cache.get(fp(index))
+                assert revived is not None
+                assert revived.model_name == f"model-{index}"
+
+    def test_racing_writers_interleave_whole_records(self, tmp_path):
+        """Two processes appending concurrently corrupt nothing: flock
+        serialises appends, so every record of both writers survives."""
+        path = tmp_path / "shared.cache"
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(2)
+        child = context.Process(
+            target=_child_write, args=(str(path), 200, 20, barrier)
+        )
+        child.start()
+        try:
+            with ResultCache(path) as cache:
+                barrier.wait(timeout=30)
+                for index in range(20):
+                    cache.put(fp(index), make_explanation(index))
+            child.join(timeout=120)
+            assert child.exitcode == 0
+        finally:
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=10)
+        # A fresh scan must index all 40 records, none corrupt.
+        with ResultCache(path) as verify:
+            stats = verify.stats()
+            assert stats.disk.entries == 40
+            assert stats.disk.corrupt == 0
+            for index in list(range(20)) + list(range(200, 220)):
+                revived = verify.get(fp(index))
+                assert pickle.dumps(revived) == pickle.dumps(
+                    make_explanation(index)
+                )
+
+    def test_racing_same_fingerprint_writers_store_once(self, tmp_path):
+        """Both processes computing the same keys: the store ends with one
+        record per fingerprint (the rescan-then-skip dedupe under flock),
+        and both values are by construction identical."""
+        path = tmp_path / "shared.cache"
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(2)
+        child = context.Process(
+            target=_child_write, args=(str(path), 0, 10, barrier)
+        )
+        child.start()
+        try:
+            with ResultCache(path) as cache:
+                barrier.wait(timeout=30)
+                for index in range(10):
+                    cache.put(fp(index), make_explanation(index))
+            child.join(timeout=120)
+            assert child.exitcode == 0
+        finally:
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=10)
+        with ResultCache(path) as verify:
+            assert verify.stats().disk.entries == 10
+            assert verify.stats().disk.corrupt == 0

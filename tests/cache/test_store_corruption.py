@@ -1,0 +1,175 @@
+"""Disk-store damage tolerance: torn tails, corrupt entries, foreign files.
+
+The invariant under test is *never garbage*: whatever happened to the log —
+a crash mid-append, a flipped byte, a truncation, a file that was never a
+cache — every ``get`` either returns the exact stored explanation, returns
+``None`` (recompute), or raises the typed
+:class:`~repro.utils.errors.CacheError`.  The hypothesis properties drive
+arbitrary damage points; the example tests pin the named failure modes.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import STORE_MAGIC, CacheError, ResultCache
+
+from tests.cache.test_store import fp, make_explanation
+
+
+def build_store(path, entries: int) -> list:
+    """A store with ``entries`` records; returns their pickled payloads."""
+    blobs = []
+    with ResultCache(path) as cache:
+        for index in range(entries):
+            explanation = make_explanation(index)
+            cache.put(fp(index), explanation)
+            blobs.append(pickle.dumps(explanation))
+    return blobs
+
+
+class TestTornTail:
+    def test_truncated_final_record_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "s.cache"
+        build_store(path, 3)
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)  # crash landed mid-append
+        with ResultCache(path) as cache:
+            assert cache.get(fp(0)) is not None
+            assert cache.get(fp(1)) is not None
+            assert cache.get(fp(2)) is None  # the torn record: a miss
+            assert cache.stats().disk.entries == 2
+
+    def test_torn_tail_is_recomputable_and_restorable(self, tmp_path):
+        """After dropping a torn record, the same fingerprint can be
+        re-stored and served again — the store stays writable."""
+        path = tmp_path / "s.cache"
+        build_store(path, 2)
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 3)
+        with ResultCache(path) as cache:
+            assert cache.get(fp(1)) is None
+            cache.put(fp(1), make_explanation(1))
+            assert cache.get(fp(1)) is not None
+
+    @given(cut=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=30, deadline=None)
+    def test_any_truncation_yields_prefix_or_refusal(self, tmp_path_factory, cut):
+        """Truncating anywhere leaves a servable prefix — or a refused file
+        (cut inside the store magic) — never a wrong answer."""
+        path = tmp_path_factory.mktemp("trunc") / "s.cache"
+        blobs = build_store(path, 2)
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(min(cut, size))
+        if min(cut, size) < len(STORE_MAGIC) and min(cut, size) > 0:
+            with pytest.raises(CacheError):
+                ResultCache(path).close()
+            return
+        with ResultCache(path) as cache:
+            for index in range(2):
+                revived = cache.get(fp(index))
+                if revived is not None:
+                    assert pickle.dumps(revived) == blobs[index]
+
+
+class TestCorruptEntries:
+    def test_flipped_byte_blocks_the_frontier(self, tmp_path):
+        """A corrupt record stops the scan: entries before it serve,
+        entries after it are unreachable (recompute), nothing is garbage."""
+        path = tmp_path / "s.cache"
+        build_store(path, 3)
+        with ResultCache(path) as probe:
+            # Corrupt the middle record's payload via its indexed offset.
+            offset, total = sorted(probe._index.values())[1]
+        with open(path, "r+b") as handle:
+            handle.seek(offset + total - 2)
+            original = handle.read(1)
+            handle.seek(offset + total - 2)
+            handle.write(bytes([original[0] ^ 0xFF]))
+        with ResultCache(path) as cache:
+            assert cache.get(fp(0)) is not None
+            assert cache.get(fp(1)) is None
+            assert cache.get(fp(2)) is None
+            assert cache.stats().disk.corrupt >= 1
+
+    def test_corruption_detected_at_read_time(self, tmp_path):
+        """Damage landing *after* the open-time scan raises the typed
+        error on ``get`` — the record re-validates on every read."""
+        path = tmp_path / "s.cache"
+        build_store(path, 1)
+        with ResultCache(path, max_memory_entries=1) as cache:
+            # Push fp(0) out of tier 0 so the next get must hit the disk.
+            cache.put(fp(9), make_explanation(9))
+            offset, total = cache._index[fp(0)]
+            with open(path, "r+b") as handle:
+                handle.seek(offset + total - 1)
+                handle.write(b"\xff")
+            with pytest.raises(CacheError):
+                cache.get(fp(0))
+            assert cache.stats().disk.corrupt >= 1
+
+    @given(
+        position=st.integers(min_value=0, max_value=4095),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_byte_flip_never_serves_garbage(
+        self, tmp_path_factory, position, flip
+    ):
+        path = tmp_path_factory.mktemp("flip") / "s.cache"
+        blobs = build_store(path, 2)
+        size = path.stat().st_size
+        target = position % size
+        with open(path, "r+b") as handle:
+            handle.seek(target)
+            original = handle.read(1)
+            handle.seek(target)
+            handle.write(bytes([original[0] ^ flip]))
+        try:
+            cache = ResultCache(path)
+        except CacheError:
+            return  # flip hit the store magic: refusal is correct
+        with cache:
+            for index in range(2):
+                try:
+                    revived = cache.get(fp(index))
+                except CacheError:
+                    continue  # typed refusal is correct
+                if revived is not None:
+                    # Serving requires the payload to be byte-exact — a flip
+                    # in this record must have been caught, so any served
+                    # value must equal what was stored.
+                    assert pickle.dumps(revived) == blobs[index]
+
+
+class TestForeignFiles:
+    def test_wrong_magic_is_refused(self, tmp_path):
+        path = tmp_path / "not-a-cache.txt"
+        path.write_bytes(b"important data that is not a cache\n")
+        with pytest.raises(CacheError):
+            ResultCache(path)
+        # Refusal means untouched: the file must not have been appended to.
+        assert path.read_bytes() == b"important data that is not a cache\n"
+
+    def test_unpicklable_payload_is_refused_not_served(self, tmp_path):
+        """A record whose bytes checksum but do not unpickle to an
+        Explanation raises the typed error."""
+        import struct
+        import zlib
+
+        path = tmp_path / "s.cache"
+        payload = b"\x00not a pickle"
+        record = (
+            b"RC1\n"
+            + fp(0).encode("ascii")
+            + struct.pack(">II", len(payload), zlib.crc32(payload))
+            + payload
+        )
+        path.write_bytes(STORE_MAGIC + record)
+        with ResultCache(path) as cache:
+            with pytest.raises(CacheError):
+                cache.get(fp(0))

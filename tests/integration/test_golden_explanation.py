@@ -121,6 +121,77 @@ class TestGoldenExplanation:
                         "meets_threshold", "features"):
                 assert payload[key] == golden[key], key
 
+    @pytest.mark.parametrize("continuous_batching", [False, True])
+    @pytest.mark.parametrize(
+        "cache_state", ["disabled", "cold", "warm", "warm-restart"]
+    )
+    def test_result_cache_state_matrix_reproduces_golden(
+        self, golden, tmp_path, cache_state, continuous_batching
+    ):
+        """Cold == warm == disabled == golden, bit-for-bit, fused or not.
+
+        The result cache memoizes whole explanations, so every cache
+        temperature must serve the same payload the no-cache
+        single-dispatcher oracle (the golden JSON itself) produces:
+
+        * ``disabled`` — the cache pinned off (even if ``REPRO_RESULT_CACHE``
+          is exported, as it is in the CI cache lanes);
+        * ``cold`` — an empty store, first touch computes and writes through;
+        * ``warm`` — the same service answering a repeat from tier 0;
+        * ``warm-restart`` — a *new* service process-life answering from the
+          on-disk tier a previous life wrote.
+
+        ``num_queries`` is excluded from the golden comparison here as in
+        every warm-service test: it counts *uncached inner-model* queries,
+        which depend on shared query-LRU warmth by design.  Its attribution
+        rule under the result cache — a hit returns the stored payload
+        verbatim, so a hit's ``num_queries`` is the *storing* computation's
+        count — is pinned separately below.
+        """
+        block = BasicBlock.from_text(GOLDEN_BLOCK)
+        path = tmp_path / "golden.cache"
+        result_cache = False if cache_state == "disabled" else str(path)
+        if cache_state == "warm-restart":
+            with ExplanationService(
+                model="crude", config=GOLDEN_CONFIG, result_cache=str(path)
+            ) as warmer:
+                warmer.explain(block, seed=GOLDEN_SEED)
+        with ExplanationService(
+            model="crude",
+            config=GOLDEN_CONFIG,
+            dispatchers=1,
+            continuous_batching=continuous_batching,
+            result_cache=result_cache,
+        ) as service:
+            first = service.explain(block, seed=GOLDEN_SEED)[0]
+            second = service.explain(block, seed=GOLDEN_SEED)[0]
+            stats = service.stats()
+        for explanation in (first, second):
+            payload = explanation_to_dict(explanation)
+            for key in ("block", "prediction", "precision", "coverage",
+                        "meets_threshold", "features"):
+                assert payload[key] == golden[key], key
+        if cache_state == "disabled":
+            assert stats.result_cache is None
+        else:
+            assert stats.result_cache is not None
+            assert stats.result_cache.hits > 0, "cache-enabled arm never hit"
+
+    def test_cache_hit_returns_stored_payload_verbatim(self, golden, tmp_path):
+        """num_queries attribution: a hit is the storing computation's
+        payload byte-for-byte — including its query count — not a fresh
+        count of the (zero) queries the hit itself issued."""
+        block = BasicBlock.from_text(GOLDEN_BLOCK)
+        with ExplanationService(
+            model="crude",
+            config=GOLDEN_CONFIG,
+            result_cache=str(tmp_path / "verbatim.cache"),
+        ) as service:
+            first = explanation_to_dict(service.explain(block, seed=GOLDEN_SEED)[0])
+            second = explanation_to_dict(service.explain(block, seed=GOLDEN_SEED)[0])
+            assert service.stats().result_cache.hits >= 1
+        assert second == first  # the whole dict, num_queries included
+
     @pytest.mark.parametrize("backend", ["thread", "process"])
     def test_golden_holds_across_backends(self, golden, backend):
         block = BasicBlock.from_text(GOLDEN_BLOCK)

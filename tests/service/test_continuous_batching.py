@@ -38,12 +38,17 @@ from tests.conftest import (
 
 
 def _oracle(workload, fast_config):
-    """Single-dispatcher, fusion-off serving — the behavioral reference."""
+    """Single-dispatcher, fusion-off, cache-free serving — the behavioral
+    reference.  The result cache is pinned off so that under the CI cache
+    lanes (``REPRO_RESULT_CACHE`` exported) the oracle cannot pre-warm the
+    ambient store the subject service would then trivially serve from —
+    parity must be proven against an independent computation."""
     with ExplanationService(
         model="crude",
         config=fast_config,
         dispatchers=1,
         continuous_batching=False,
+        result_cache=False,
     ) as service:
         return {
             (block.key(), seed, uarch): explanation_fingerprint(
@@ -90,6 +95,10 @@ class TestFusedParity:
             config=fast_config,
             dispatchers=1,
             continuous_batching=True,
+            # Cache off: this test asserts the fusion *mechanism* (ticks,
+            # occupancy, absorption), which an ambient REPRO_RESULT_CACHE
+            # would short-circuit — cache-hit requests retire without ticks.
+            result_cache=False,
         ) as service:
             ids = {
                 service.submit(block, seed=seed, uarch=uarch): (block, seed, uarch)
@@ -125,6 +134,7 @@ class TestFusedParity:
             config=fast_config,
             dispatchers=1,
             continuous_batching=False,
+            result_cache=False,  # independent oracle, even in CI cache lanes
         ) as service:
             oracle = {
                 (block.key(), seed, uarch): explanation_dict_fingerprint(
@@ -185,6 +195,7 @@ class TestFusedParity:
         with ExplanationService(
             model="crude", config=fast_config, dispatchers=1,
             continuous_batching=False,
+            result_cache=False,  # independent oracle, even in CI cache lanes
         ) as service:
             oracle = service.explain(workload, seed=11)
         with ExplanationService(
@@ -239,6 +250,9 @@ class TestFusedQueryAccounting:
                 model="crude",
                 config=FAST_CONFIG,
                 continuous_batching=continuous_batching,
+                # Cache off: a memoized hit would return the stored count
+                # and make this accounting comparison vacuous.
+                result_cache=False,
             ) as service:
                 return service.explain(block, seed=7)[0].num_queries
 
@@ -261,6 +275,9 @@ class TestFusedFaultInjection:
             config=fast_config,
             dispatchers=1,
             continuous_batching=True,
+            # Cache off: the victim must actually *run* long enough to be
+            # cancelled mid-group; ambient warmth could retire it instantly.
+            result_cache=False,
         ) as service:
             victim = service.submit(victim_blocks, seed=0)
             deadline = time.monotonic() + 30
@@ -299,6 +316,9 @@ class TestFusedFaultInjection:
             config=fast_config,
             dispatchers=1,
             continuous_batching=True,
+            # Cache off: the doomed request's deadline must lapse while it
+            # still has work; ambient warmth could finish it first.
+            result_cache=False,
         ) as service:
             doomed = service.submit(
                 list(block_fleet[:10]), seed=0, deadline=0.001
@@ -500,7 +520,10 @@ class TestFusedWireStats:
         ]
         out = io.StringIO()
         with ExplanationService(
-            model="crude", config=fast_config, continuous_batching=True
+            model="crude",
+            config=fast_config,
+            continuous_batching=True,
+            result_cache=False,  # ticks >= 1 requires real tick work below
         ) as service:
             serve_stream(service, lines, out)
         responses = {r["id"]: r for r in map(json.loads, out.getvalue().splitlines())}

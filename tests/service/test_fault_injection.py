@@ -35,6 +35,7 @@ from repro.utils.errors import (
 )
 
 from tests.conftest import FAST_CONFIG, explanation_dict_fingerprint
+from tests.service.conftest import require_in_process_backend
 
 
 def _probe(server, text="div rcx; add rax, rbx", seed=9):
@@ -286,11 +287,15 @@ def gated_service():
     submitted request runs until its first model query and parks there.
     """
     gate = threading.Event()
+    # The gate Event must stay in-process, so the session is pinned to the
+    # serial backend regardless of REPRO_BACKEND; the guard skips — with the
+    # reason in the report — rather than hanging if that pin ever breaks.
+    backend = require_in_process_backend("serial")
 
     def factory(name, uarch):
-        # The gate Event must stay in-process, so the session is pinned to
-        # the serial backend regardless of REPRO_BACKEND.
-        return ExplanationSession(_GateModel(gate), FAST_CONFIG, backend="serial")
+        session = ExplanationSession(_GateModel(gate), FAST_CONFIG, backend=backend)
+        assert session.backend.shares_memory, "gate Event would never open"
+        return session
 
     with ExplanationService(
         model="gated", config=FAST_CONFIG, session_factory=factory, dispatchers=1
@@ -343,10 +348,16 @@ class TestDeadlines:
 
     def test_default_deadline_applies_and_explicit_wins(self, tiny_block):
         gate = threading.Event()
+        # In-process gate — pin and guard the serial backend like
+        # gated_service does.
+        backend = require_in_process_backend("serial")
 
         def factory(name, uarch):
-            # In-process gate — pin the serial backend like gated_service.
-            return ExplanationSession(_GateModel(gate), FAST_CONFIG, backend="serial")
+            session = ExplanationSession(
+                _GateModel(gate), FAST_CONFIG, backend=backend
+            )
+            assert session.backend.shares_memory, "gate Event would never open"
+            return session
 
         with ExplanationService(
             model="gated",
