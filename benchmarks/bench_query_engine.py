@@ -139,6 +139,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="skip the persistent result-cache benchmark",
     )
     parser.add_argument(
+        "--skip-soa-engine",
+        action="store_true",
+        help="skip the struct-of-arrays engine benchmark",
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_query_engine.json"),
         help="where to write the JSON report",
@@ -758,6 +763,62 @@ def run_resilience_bench(args, blocks) -> dict:
     }
 
 
+def run_soa_engine_bench(args, blocks) -> dict:
+    """Struct-of-arrays Γ engine + fused batch loop vs the pre-SoA hot path.
+
+    Both lanes run the full batched explanation pipeline over the same
+    seeded workload.  The ``baseline`` lane forces the pre-SoA
+    configuration — the ``legacy`` per-perturbation Γ engine and the numpy
+    gather/reduceat batch kernel — while the ``soa`` lane runs the current
+    defaults (wave-structured struct-of-arrays Γ, fused per-block cost
+    loop, array-state KL-LUCB rounds).  A Γ-only microbenchmark per engine
+    (reference oracle included) isolates the perturbation-layer speedup
+    from the Amdahl-limited end-to-end number.
+    """
+    from repro.perturb.algorithm import BlockPerturber, forced_engine
+
+    def lane(engine_name: str) -> dict:
+        model = build_model(args)
+        if engine_name == "legacy":
+            model.inner._use_reference_batch_kernel = True
+        explainer = CometExplainer(model, explainer_config(batched=True), rng=args.seed)
+        with forced_engine(engine_name if engine_name != "soa" else None):
+            start = time.perf_counter()
+            explainer.explain_many(blocks, rng=args.seed)
+            elapsed = time.perf_counter() - start
+        return {
+            "seconds": round(elapsed, 4),
+            "explanations_per_sec": round(len(blocks) / elapsed, 4),
+            "model_queries": model.query_count,
+        }
+
+    def gamma_rate(engine_name: str) -> float:
+        count = 200 if args.quick else 2000
+        total = 0.0
+        drawn = 0
+        for block in blocks:
+            perturber = BlockPerturber(block, rng=args.seed, engine=engine_name)
+            start = time.perf_counter()
+            perturber.perturb_many(count)
+            total += time.perf_counter() - start
+            drawn += count
+        return round(drawn / total, 1)
+
+    baseline = lane("legacy")
+    soa = lane("soa")
+    return {
+        "blocks": len(blocks),
+        "baseline_pre_soa": baseline,
+        "soa": soa,
+        "explanations_per_sec_speedup": round(
+            soa["explanations_per_sec"] / baseline["explanations_per_sec"], 2
+        ),
+        "gamma_perturbations_per_sec": {
+            engine: gamma_rate(engine) for engine in ("reference", "legacy", "soa")
+        },
+    }
+
+
 def stamp_host_cpus(report: dict) -> None:
     """Stamp the host CPU count into the report and every section.
 
@@ -844,6 +905,11 @@ def main(argv=None) -> int:
     if not args.skip_resilience:
         resilience = run_resilience_bench(args, blocks[: args.matrix_blocks])
         report["resilience"] = resilience
+
+    soa_engine = None
+    if not args.skip_soa_engine:
+        soa_engine = run_soa_engine_bench(args, blocks)
+        report["soa_engine"] = soa_engine
 
     stamp_host_cpus(report)
 
@@ -987,6 +1053,23 @@ def main(argv=None) -> int:
             f"journal replay: {resilience['checkpoint_replay_seconds']:7.2f}s  "
             f"({resilience['checkpoint_replay_speedup']:.2f}x, "
             f"{resilience['checkpoint_skips']} skips)"
+        )
+    if soa_engine is not None:
+        print(f"soa engine — {soa_engine['blocks']} blocks")
+        for name in ("baseline_pre_soa", "soa"):
+            row = soa_engine[name]
+            print(
+                f"  {name:>16}: {row['seconds']:7.2f}s  "
+                f"{row['explanations_per_sec']:7.3f} expl/s"
+            )
+        print(
+            f"  soa vs pre-soa: "
+            f"{soa_engine['explanations_per_sec_speedup']:.2f}x explanations/sec"
+        )
+        gamma = soa_engine["gamma_perturbations_per_sec"]
+        print(
+            "  Γ perturbations/sec: "
+            + "  ".join(f"{engine}={gamma[engine]:,.0f}" for engine in gamma)
         )
     print(f"  report written to {output}")
     return 0

@@ -1,0 +1,110 @@
+"""cProfile smoke check of the explanation hot path.
+
+Profiles a small batched analytical-model workload, prints the top-20
+functions by cumulative time, and asserts that the cost model's own batch
+prediction keeps at least a floor share of the run.  The regression this
+guards is overhead creep: the explanation engine exists to spend its time
+querying the model, and PR-by-PR optimisation of Γ and the KL-LUCB round
+state only holds if framework code does not quietly grow back around the
+model calls (the Amdahl budget ``docs/performance.md`` tracks).
+
+Run standalone (exits non-zero when the share floor is violated):
+
+    PYTHONPATH=src python benchmarks/profile_smoke.py
+    PYTHONPATH=src python benchmarks/profile_smoke.py --min-model-share 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.synthesis import BlockSynthesizer
+from repro.explain.config import ExplainerConfig
+from repro.explain.explainer import CometExplainer
+from repro.models.analytical import AnalyticalCostModel
+from repro.models.base import CachedCostModel
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--blocks", type=int, default=4)
+    parser.add_argument("--min-size", type=int, default=4)
+    parser.add_argument("--max-size", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-model-share",
+        type=float,
+        default=0.10,
+        help="required share of total profiled time spent inside the inner "
+        "model's _predict_batch (cumulative)",
+    )
+    parser.add_argument("--top", type=int, default=20)
+    return parser.parse_args(argv)
+
+
+def model_share(stats: pstats.Stats, marker: str = "_predict_batch") -> float:
+    """Cumulative-time share of the inner model's batch prediction.
+
+    The marker is matched on function name so the check survives line-number
+    drift; the analytical model's ``_predict_batch`` is the top-level inner
+    entry — everything below it (memo lookups, hazard scans) is genuine
+    model work by construction.
+    """
+    total = stats.total_tt
+    if total <= 0.0:
+        raise SystemExit("profile captured no time at all")
+    best = 0.0
+    for (filename, _line, name), entry in stats.stats.items():
+        if name == marker and filename.endswith("analytical.py"):
+            cumulative = entry[3]
+            best = max(best, cumulative)
+    return best / total
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    blocks = BlockSynthesizer(rng=args.seed).generate_many(
+        args.blocks,
+        min_instructions=args.min_size,
+        max_instructions=args.max_size,
+        rng=args.seed + 1,
+    )
+    model = CachedCostModel(AnalyticalCostModel("hsw"))
+    explainer = CometExplainer(
+        model,
+        ExplainerConfig(epsilon=0.2, relative_epsilon=0.0, batch_queries=True),
+        rng=args.seed,
+    )
+    explainer.explain(blocks[0], rng=args.seed)  # warm caches/tables
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    explainer.explain_many(blocks, rng=args.seed + 1)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    share = model_share(stats)
+    print(f"inner-model _predict_batch share of total time: {share:.1%}")
+    if share < args.min_model_share:
+        print(
+            f"FAIL: model share {share:.1%} is below the "
+            f"{args.min_model_share:.1%} floor — framework overhead has "
+            "grown around the model calls",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: model share meets the {args.min_model_share:.1%} floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

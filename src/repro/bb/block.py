@@ -125,8 +125,21 @@ class BasicBlock:
         return classify_block(self)
 
     def key(self) -> Tuple:
-        """Hashable content key (ignores metadata) for caching and dedup."""
-        return tuple(inst.key() for inst in self.instructions)
+        """Hashable content key (ignores metadata) for caching and dedup.
+
+        Memoised on the instance: the query cache, session sharding and the
+        result cache all re-key the same block objects in hot loops.
+        """
+        key = self.__dict__.get("_key")
+        if key is None:
+            # Inlined Instruction.key() memo: perturbed blocks are keyed once
+            # each on the model-cache hot path, where the per-instruction
+            # method-call overhead was measurable.
+            key = self.__dict__["_key"] = tuple(
+                inst.__dict__.get("_key") or inst.key()
+                for inst in self.instructions
+            )
+        return key
 
     def __hash__(self) -> int:
         return hash(self.key())

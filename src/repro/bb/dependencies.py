@@ -89,6 +89,25 @@ def _tracked(location: Location) -> bool:
     return True
 
 
+def _tracked_accesses(
+    instruction: Instruction,
+) -> Tuple[Tuple[Location, ...], Tuple[Location, ...]]:
+    """The instruction's hazard-tracked ``(reads, writes)``, memoised.
+
+    Perturbed blocks share :class:`Instruction` instances heavily (opcode
+    replacements and renames are cached objects), and both the dependency
+    scan and the batched analytical model re-filter the same read/write sets
+    thousands of times per explanation; caching the filtered tuples on the
+    instance makes the filter a dict lookup after the first visit.
+    """
+    cached = instruction.__dict__.get("_tracked_accesses")
+    if cached is None:
+        reads = tuple(loc for loc in instruction.reads if _tracked(loc))
+        writes = tuple(loc for loc in instruction.writes if _tracked(loc))
+        cached = instruction.__dict__["_tracked_accesses"] = (reads, writes)
+    return cached
+
+
 def find_dependencies(instructions: Sequence[Instruction]) -> List[Dependency]:
     """All data-dependency hazards of a block, in program order.
 
@@ -108,8 +127,7 @@ def find_dependencies(instructions: Sequence[Instruction]) -> List[Dependency]:
             dependencies.append(Dependency(src, dst, kind, loc))
 
     for index, instruction in enumerate(instructions):
-        reads = [loc for loc in instruction.reads if _tracked(loc)]
-        writes = [loc for loc in instruction.writes if _tracked(loc)]
+        reads, writes = _tracked_accesses(instruction)
 
         for loc in reads:
             if loc in last_writer:
@@ -142,18 +160,24 @@ def raw_dependency_pairs(instructions: Sequence[Instruction]) -> List[Tuple[int,
     last_writer: Dict[Location, int] = {}
     pairs: List[Tuple[int, int]] = []
     seen: Set[Tuple[int, int]] = set()
+    last_writer_get = last_writer.get
     for index, instruction in enumerate(instructions):
-        for loc in instruction.reads:
-            if _tracked(loc):
-                source = last_writer.get(loc)
-                if source is not None:
-                    pair = (source, index)
-                    if pair not in seen:
-                        seen.add(pair)
-                        pairs.append(pair)
-        for loc in instruction.writes:
-            if _tracked(loc):
-                last_writer[loc] = index
+        # Inlined _tracked_accesses memo: this scan runs once per unique
+        # block in the batched model path, so even the per-instruction
+        # function-call overhead of the helper was visible in profiles.
+        accesses = instruction.__dict__.get("_tracked_accesses")
+        if accesses is None:
+            accesses = _tracked_accesses(instruction)
+        reads, writes = accesses
+        for loc in reads:
+            source = last_writer_get(loc)
+            if source is not None:
+                pair = (source, index)
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        for loc in writes:
+            last_writer[loc] = index
     return pairs
 
 

@@ -134,12 +134,11 @@ class AnchorSearch:
         outcomes = (
             np.abs(np.asarray(predictions) - self.original_prediction) <= self.tolerance
         )
-        segments: List[np.ndarray] = []
-        offset = 0
-        for size in segment_sizes:
-            segments.append(outcomes[offset : offset + size])
-            offset += size
-        return segments
+        # Slice per-request segments by cumulative index rather than a
+        # Python offset walk; np.split returns zero-copy views of the
+        # round's outcome vector.
+        boundaries = np.cumsum(segment_sizes[:-1])
+        return np.split(outcomes, boundaries)
 
     def _pump(self, estimator_rounds, candidates: Sequence[Tuple[Feature, ...]]):
         """Drive an estimator round generator, serving each round it requests.

@@ -34,7 +34,6 @@ from repro.bb.features import (
     NumInstructionsFeature,
     feature_present,
 )
-from repro.isa.formatter import format_operand
 from repro.perturb.sampler import PerturbationSampler
 
 
@@ -67,36 +66,44 @@ class PopulationRecord:
         return self.population
 
     def _invalidate_index(self) -> None:
+        # Population growth only appends blocks, so the per-block signature
+        # lists stay valid — only the presence rows (whose length is the
+        # population size) and the counts array need recomputing.
         self._counts = None
-        self._instruction_sets = []
-        self._dependency_sets = []
         self._presence = {}
 
     def _build_index(self) -> None:
-        """Extract each population block's feature signatures, once."""
+        """Extract feature signatures of blocks not yet indexed (incremental).
+
+        ``ensure`` only ever *extends* the population, so index builds after
+        a growth step reuse every already-extracted signature set and touch
+        only the new tail; the per-instruction signature extraction was a
+        visible slice of warm-session profiles.
+        """
         population = self.population
+        for block in population[len(self._instruction_sets) :]:
+            # Instruction.key() is exactly the (mnemonic, formatted operands)
+            # signature this index matches against, and it is memoised per
+            # instance — population blocks share instruction objects with the
+            # block-key computation of the model cache, so most keys are
+            # already formatted by the time the index is built.
+            self._instruction_sets.append(
+                frozenset(inst.key() for inst in block)
+            )
+            self._dependency_sets.append(
+                frozenset(
+                    (
+                        dep.kind,
+                        dep.location_space,
+                        block[dep.source].mnemonic,
+                        block[dep.destination].mnemonic,
+                    )
+                    for dep in block.dependencies
+                )
+            )
         self._counts = np.array(
             [block.num_instructions for block in population], dtype=np.int64
         )
-        self._instruction_sets = [
-            frozenset(
-                (inst.mnemonic, tuple(format_operand(op) for op in inst.operands))
-                for inst in block
-            )
-            for block in population
-        ]
-        self._dependency_sets = [
-            frozenset(
-                (
-                    dep.kind,
-                    dep.location_space,
-                    block[dep.source].mnemonic,
-                    block[dep.destination].mnemonic,
-                )
-                for dep in block.dependencies
-            )
-            for block in population
-        ]
 
     # -------------------------------------------------------------- presence
 

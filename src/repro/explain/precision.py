@@ -68,32 +68,63 @@ def _kl_bernoulli_vec(p: np.ndarray, q: np.ndarray) -> np.ndarray:
 
 
 def _bernoulli_bounds_vec(
-    p_hats: np.ndarray, ns: np.ndarray, beta: float, upper: bool, tolerance: float
+    p_hats: np.ndarray,
+    ns: np.ndarray,
+    beta: float,
+    upper,
+    tolerance: float,
 ) -> np.ndarray:
     """One vectorized bisection refining every arm's bound simultaneously.
 
     ``upper`` selects the bracket (``[p, 1]`` vs ``[0, p]``) and which side a
-    KL excess moves; the KL-LUCB round computes bounds for all
-    winners/challengers at once instead of running one Python-level
-    bisection per arm.  Unsampled arms get the vacuous bound.
+    KL excess moves; it may be a scalar bool or a per-element boolean array,
+    so one call can refine a KL-LUCB round's winner *lower* bounds and
+    challenger *upper* bounds together.  Unsampled arms get the vacuous
+    bound.  The empirical-side KL terms are constant across bisection steps,
+    so they are hoisted out of the loop (``KL(p, q) = H-term(p) − p·log(q) −
+    (1−p)·log(1−q)``).
     """
     p = np.asarray(p_hats, dtype=float)
     n = np.asarray(ns, dtype=float)
+    if p.size == 0:
+        return p.copy()
+    upper_flags = np.broadcast_to(np.asarray(upper, dtype=bool), p.shape)
+    if p.size <= 32:
+        # KL-LUCB rounds refine a handful of winner/challenger arms at a
+        # time; at those sizes ~17 bisection steps of numpy dispatch cost
+        # more than the arithmetic.  Delegate to the scalar bisections
+        # (which small-array callers are also tested for equivalence
+        # against) and keep the vectorized loop for wide sweeps.
+        out = np.empty(p.shape, dtype=float)
+        flat_p, flat_n = p.ravel(), n.ravel()
+        flat_u, flat_o = upper_flags.ravel(), out.ravel()
+        for i in range(flat_p.shape[0]):
+            if flat_u[i]:
+                flat_o[i] = bernoulli_upper_bound(
+                    float(flat_p[i]), int(flat_n[i]), beta, tolerance
+                )
+            else:
+                flat_o[i] = bernoulli_lower_bound(
+                    float(flat_p[i]), int(flat_n[i]), beta, tolerance
+                )
+        return out
     level = np.divide(beta, n, out=np.full_like(p, np.inf), where=n > 0)
-    if upper:
-        low, high = p.copy(), np.ones_like(p)
-    else:
-        low, high = np.zeros_like(p), p.copy()
+    upper_mask = upper_flags
+    low = np.where(upper_mask, p, 0.0)
+    high = np.where(upper_mask, 1.0, p)
+    pc = np.clip(p, 1e-12, 1.0 - 1e-12)
+    one_minus_pc = 1.0 - pc
+    entropy = pc * np.log(pc) + one_minus_pc * np.log(one_minus_pc)
     while float(np.max(high - low)) > tolerance:
         mid = 0.5 * (low + high)
-        exceeds = _kl_bernoulli_vec(p, mid) > level
-        if upper:
-            high = np.where(exceeds, mid, high)
-            low = np.where(exceeds, low, mid)
-        else:
-            low = np.where(exceeds, mid, low)
-            high = np.where(exceeds, high, mid)
-    return np.where(n > 0, 0.5 * (low + high), 1.0 if upper else 0.0)
+        qc = np.clip(mid, 1e-12, 1.0 - 1e-12)
+        kl = entropy - pc * np.log(qc) - one_minus_pc * np.log(1.0 - qc)
+        # An excess tightens toward the empirical mean: down from above for
+        # upper bounds, up from below for lower bounds.
+        set_high = (kl > level) == upper_mask
+        high = np.where(set_high, mid, high)
+        low = np.where(set_high, low, mid)
+    return np.where(n > 0, 0.5 * (low + high), np.where(upper_mask, 1.0, 0.0))
 
 
 def bernoulli_upper_bounds(
@@ -150,6 +181,51 @@ class ArmStatistics:
 
     def lower(self, beta: float) -> float:
         return bernoulli_lower_bound(self.mean, self.samples, beta)
+
+
+class _ArmView:
+    """One arm's live view of the estimator's contiguous stat arrays.
+
+    The estimator keeps its round state as ``(successes, trials)`` int64
+    arrays (one vectorized mean/bound computation per round instead of a
+    Python-object walk); this view re-exposes the :class:`ArmStatistics`
+    API — ``samples``/``positives``/``mean``/``update`` and the scalar
+    bounds — so estimator consumers are unchanged.
+    """
+
+    __slots__ = ("_estimator", "_arm")
+
+    def __init__(self, estimator: "PrecisionEstimator", arm: int) -> None:
+        self._estimator = estimator
+        self._arm = arm
+
+    @property
+    def samples(self) -> int:
+        return int(self._estimator._trials[self._arm])
+
+    @property
+    def positives(self) -> int:
+        return int(self._estimator._successes[self._arm])
+
+    @property
+    def mean(self) -> float:
+        """Empirical precision estimate."""
+        trials = self.samples
+        return self.positives / trials if trials else 0.0
+
+    def update(self, outcomes: Sequence[bool]) -> None:
+        """Record a batch of Bernoulli outcomes into the estimator arrays."""
+        self._estimator._trials[self._arm] += len(outcomes)
+        self._estimator._successes[self._arm] += int(np.count_nonzero(outcomes))
+
+    def upper(self, beta: float) -> float:
+        return bernoulli_upper_bound(self.mean, self.samples, beta)
+
+    def lower(self, beta: float) -> float:
+        return bernoulli_lower_bound(self.mean, self.samples, beta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ArmView(samples={self.samples}, positives={self.positives})"
 
 
 #: A function that draws ``n`` Bernoulli outcomes for one arm.
@@ -235,7 +311,12 @@ class PrecisionEstimator:
         self.batch_size = batch_size
         self.min_samples = min_samples
         self.max_samples = max_samples
-        self.stats: List[ArmStatistics] = [ArmStatistics() for _ in range(arms)]
+        # Contiguous per-arm round state: one vectorized mean/bound
+        # computation per KL-LUCB round reads these directly; `stats` holds
+        # per-arm views with the ArmStatistics API for everything else.
+        self._successes = np.zeros(arms, dtype=np.int64)
+        self._trials = np.zeros(arms, dtype=np.int64)
+        self.stats: List[_ArmView] = [_ArmView(self, arm) for arm in range(arms)]
         self.rounds = 0
         self.cancel = cancel
 
@@ -249,8 +330,9 @@ class PrecisionEstimator:
         """
         clamped: RoundRequest = []
         pending: Dict[int, int] = {}
+        trials = self._trials
         for arm, count in requests:
-            taken = self.stats[arm].samples + pending.get(arm, 0)
+            taken = int(trials[arm]) + pending.get(arm, 0)
             count = min(count, max(self.max_samples - taken, 0))
             if count <= 0:
                 continue
@@ -259,14 +341,15 @@ class PrecisionEstimator:
         return clamped
 
     def _record_round(self, clamped: RoundRequest, outcome_batches: RoundOutcomes) -> None:
-        """Fold one served round's outcomes into the arm statistics."""
+        """Fold one served round's outcomes into the arm stat arrays."""
         if len(outcome_batches) != len(clamped):
             raise ValueError(
                 f"batch sampler returned {len(outcome_batches)} outcome "
                 f"sequences for {len(clamped)} requests"
             )
         for (arm, _), outcomes in zip(clamped, outcome_batches):
-            self.stats[arm].update(outcomes)
+            self._trials[arm] += len(outcomes)
+            self._successes[arm] += int(np.count_nonzero(outcomes))
 
     def _request_round(self, requests: Sequence[Tuple[int, int]]):
         """Generator step: clamp a round, yield it for serving, record outcomes.
@@ -316,10 +399,12 @@ class PrecisionEstimator:
         self._draw_many([(arm, count)])
 
     def _minimum_fill_requests(self) -> List[Tuple[int, int]]:
+        trials = self._trials
+        minimum = self.min_samples
         return [
-            (arm, self.min_samples - self.stats[arm].samples)
-            for arm in range(len(self.stats))
-            if self.stats[arm].samples < self.min_samples
+            (arm, minimum - int(trials[arm]))
+            for arm in range(trials.shape[0])
+            if trials[arm] < minimum
         ]
 
     def _ensure_minimum(self) -> None:
@@ -348,7 +433,7 @@ class PrecisionEstimator:
         identical to the blocking method, which is just a driver over this
         generator.
         """
-        num_arms = len(self.stats)
+        num_arms = int(self._trials.shape[0])
         top_n = min(top_n, num_arms)
         yield from self._request_round(self._minimum_fill_requests())
 
@@ -357,8 +442,13 @@ class PrecisionEstimator:
                 self.cancel.check()
             self.rounds += 1
             beta = confidence_beta(num_arms, self.rounds, self.confidence_delta)
-            means = np.array([s.mean for s in self.stats])
-            samples = np.array([s.samples for s in self.stats], dtype=float)
+            samples = self._trials.astype(float)
+            means = np.divide(
+                self._successes,
+                samples,
+                out=np.zeros(num_arms, dtype=float),
+                where=self._trials > 0,
+            )
             # Stable descending sort: matches sorted(..., reverse=True) on ties.
             order = np.argsort(-means, kind="stable")
             winners = [int(i) for i in order[:top_n]]
@@ -366,22 +456,28 @@ class PrecisionEstimator:
             if challengers.size == 0:
                 return winners
 
-            winner_index = np.array(winners, dtype=np.intp)
-            winner_lowers = bernoulli_lower_bounds(
-                means[winner_index], samples[winner_index], beta
+            # One combined bisection refines the winners' lower bounds and
+            # the challengers' upper bounds together (the `upper` mask
+            # selects per element).
+            lucb_index = np.concatenate(
+                (np.array(winners, dtype=np.intp), challengers)
             )
-            challenger_uppers = bernoulli_upper_bounds(
-                means[challengers], samples[challengers], beta
+            upper_mask = np.zeros(lucb_index.shape[0], dtype=bool)
+            upper_mask[top_n:] = True
+            bounds = _bernoulli_bounds_vec(
+                means[lucb_index], samples[lucb_index], beta, upper_mask, 1e-5
             )
+            winner_lowers = bounds[:top_n]
+            challenger_uppers = bounds[top_n:]
             weakest_winner = winners[int(np.argmin(winner_lowers))]
             strongest_challenger = int(challengers[int(np.argmax(challenger_uppers))])
             gap = float(np.max(challenger_uppers) - np.min(winner_lowers))
             if gap <= tolerance:
                 return winners
 
-            exhausted_winner = self.stats[weakest_winner].samples >= self.max_samples
+            exhausted_winner = self._trials[weakest_winner] >= self.max_samples
             exhausted_challenger = (
-                self.stats[strongest_challenger].samples >= self.max_samples
+                self._trials[strongest_challenger] >= self.max_samples
             )
             if exhausted_winner and exhausted_challenger:
                 return winners

@@ -40,11 +40,19 @@ class QueryTally:
     per-thread, so deltas taken around a piece of work measure exactly that
     work even while other threads hammer the same shared model — which is
     what makes per-explanation ``num_queries`` exact under block sharding.
+
+    ``perturbations``/``perturb_fallbacks`` mirror the same per-thread
+    semantics for the Γ engine: how many perturbed blocks the calling thread
+    drew, and how many of those silently fell back to the unperturbed block
+    after ``max_block_attempts`` rejected candidates (see
+    :func:`repro.perturb.algorithm.thread_perturb_tally`).
     """
 
     queries: int
     hits: int = 0
     misses: int = 0
+    perturbations: int = 0
+    perturb_fallbacks: int = 0
 
     def delta(self, since: "QueryTally") -> "QueryTally":
         """The accounting accrued between ``since`` and this snapshot."""
@@ -52,6 +60,8 @@ class QueryTally:
             queries=self.queries - since.queries,
             hits=self.hits - since.hits,
             misses=self.misses - since.misses,
+            perturbations=self.perturbations - since.perturbations,
+            perturb_fallbacks=self.perturb_fallbacks - since.perturb_fallbacks,
         )
 
 
@@ -214,9 +224,19 @@ class CostModel(ABC):
 
     def query_tally(self) -> QueryTally:
         """The calling thread's accounting snapshot (see :class:`QueryTally`)."""
+        # Imported lazily: repro.perturb.algorithm imports the model layer's
+        # consumers, and the Γ counters are process-global per thread (not
+        # per model), so the model interface only reads them on snapshot.
+        from repro.perturb.algorithm import thread_perturb_tally
+
         tallies = self._thread_tallies
+        perturb = thread_perturb_tally()
         return QueryTally(
-            queries=tallies.queries, hits=tallies.hits, misses=tallies.misses
+            queries=tallies.queries,
+            hits=tallies.hits,
+            misses=tallies.misses,
+            perturbations=perturb.perturbations,
+            perturb_fallbacks=perturb.fallbacks,
         )
 
     def predict(self, block: BasicBlock) -> float:
@@ -430,28 +450,37 @@ class CachedCostModel(CostModel):
         miss_blocks: List[BasicBlock] = []
         pending: Dict[tuple, List[int]] = {}
         tallies = self._thread_tallies
+        hit_count = 0
         with self._cache_lock:
+            # The loop body runs once per query of the whole explanation hot
+            # path, so the counters are accumulated locally and flushed once
+            # per batch (same totals, a fraction of the attribute traffic).
+            cache_get = self._cache.get
+            cache_touch = self._cache.move_to_end
             for position, (block, key) in enumerate(zip(blocks, keys)):
-                if key in pending:
+                bucket = pending.get(key)
+                if bucket is not None:
                     # Duplicate of a block already being queried in this batch.
-                    self.hits += 1
-                    tallies.hits += 1
-                    pending[key].append(position)
+                    hit_count += 1
+                    bucket.append(position)
                     continue
-                value = self._lookup(key)
+                value = cache_get(key, _MISSING)
                 if value is not _MISSING:
-                    self.hits += 1
-                    tallies.hits += 1
+                    cache_touch(key)
+                    hit_count += 1
                     results[position] = value
                     continue
-                self.misses += 1
-                tallies.misses += 1
                 pending[key] = [position]
                 miss_order.append(key)
                 miss_blocks.append(block)
+            miss_count = len(miss_blocks)
+            self.hits += hit_count
+            tallies.hits += hit_count
+            self.misses += miss_count
+            tallies.misses += miss_count
             if miss_blocks:
-                self.query_count += len(miss_blocks)
-                tallies.queries += len(miss_blocks)
+                self.query_count += miss_count
+                tallies.queries += miss_count
         if miss_blocks:
             values = self.inner.predict_batch(miss_blocks)
             with self._cache_lock:

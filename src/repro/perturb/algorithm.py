@@ -19,8 +19,13 @@ Section 5.2.
 
 from __future__ import annotations
 
+import threading
+import warnings
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -45,6 +50,114 @@ from repro.perturb.replacements import (
 )
 from repro.utils.errors import PerturbationError
 from repro.utils.rng import RandomSource, as_rng, choice, coin
+
+#: The displacement shifts :func:`perturb_memory_displacement` picks from;
+#: mirrored here so the wave engine can cache the eight possible rewritten
+#: instructions per memory endpoint instead of rebuilding fresh objects.
+_MEMORY_DELTAS = (-64, -32, -16, -8, 8, 16, 32, 64)
+
+#: Staleness sentinel for the wave engine's per-endpoint root tracking: a
+#: dynamic dependency break picks its replacement register outside the static
+#: tables, so the rewritten endpoint is treated as stale for every root.
+_ALL_ROOTS = object()
+
+
+@dataclass(frozen=True)
+class PerturbTally:
+    """Cumulative Γ accounting (process-wide), snapshot via :func:`perturb_tally`.
+
+    ``fallbacks`` counts perturbations that silently returned the original
+    block after ``max_block_attempts`` failed attempts — each one injects a
+    trivially-preserving sample into precision estimates, so runs watch the
+    rate through :class:`~repro.runtime.session.SessionStats`.
+    """
+
+    perturbations: int = 0
+    fallbacks: int = 0
+
+    def delta(self, since: "PerturbTally") -> "PerturbTally":
+        """Counters accumulated since an earlier snapshot."""
+        return PerturbTally(
+            perturbations=self.perturbations - since.perturbations,
+            fallbacks=self.fallbacks - since.fallbacks,
+        )
+
+
+_accounting_lock = threading.Lock()
+_perturbations_total = 0
+_fallbacks_total = 0
+
+
+class _ThreadPerturbTally(threading.local):
+    """Per-thread Γ accumulators (zero-initialised per thread).
+
+    Mirrors the process-wide totals at thread granularity so per-request
+    accounting (``CostModel.query_tally`` deltas around one explanation)
+    can report exactly that explanation's perturbations and fallbacks even
+    while other threads share the engine.
+    """
+
+    def __init__(self) -> None:
+        self.perturbations = 0
+        self.fallbacks = 0
+
+
+_thread_perturb_tally = _ThreadPerturbTally()
+
+
+def thread_perturb_tally() -> PerturbTally:
+    """The calling thread's Γ counters (see :func:`perturb_tally`)."""
+    tally = _thread_perturb_tally
+    return PerturbTally(
+        perturbations=tally.perturbations, fallbacks=tally.fallbacks
+    )
+#: Live perturbers, for the session-level plan-cache gauge.
+_live_perturbers: "weakref.WeakSet[BlockPerturber]" = weakref.WeakSet()
+
+#: Fallback-rate warning thresholds (satellite of the silent-fallback bugfix):
+#: warn once per perturber when more than ``_FALLBACK_WARNING_RATE`` of at
+#: least ``_FALLBACK_WARNING_MIN`` perturbations fell back to the original.
+_FALLBACK_WARNING_MIN = 40
+_FALLBACK_WARNING_RATE = 0.2
+
+#: Module-level engine override (see :func:`forced_engine`).
+_FORCED_ENGINE: Optional[str] = None
+
+_ENGINES = ("soa", "legacy", "reference")
+
+
+def perturb_tally() -> PerturbTally:
+    """Process-wide Γ counters; diff two snapshots with :meth:`PerturbTally.delta`."""
+    with _accounting_lock:
+        return PerturbTally(
+            perturbations=_perturbations_total, fallbacks=_fallbacks_total
+        )
+
+
+def plan_cache_entries() -> int:
+    """Total constraint-plan cache entries across live perturbers (a gauge)."""
+    return sum(len(p._plan_cache) for p in list(_live_perturbers))
+
+
+@contextmanager
+def forced_engine(name: Optional[str]) -> Iterator[None]:
+    """Force every perturber built in this scope onto one Γ engine.
+
+    Benchmark and test plumbing: lets the end-to-end pipeline run on the
+    ``legacy`` per-perturbation vectorized engine (the pre-SoA hot path) or
+    the ``reference`` scalar oracle without threading an argument through
+    sampler and explainer construction.  Not thread-safe; scope it around
+    single-threaded runs only.
+    """
+    global _FORCED_ENGINE
+    if name is not None and name not in _ENGINES:
+        raise ValueError(f"unknown perturbation engine {name!r}")
+    previous = _FORCED_ENGINE
+    _FORCED_ENGINE = name
+    try:
+        yield
+    finally:
+        _FORCED_ENGINE = previous
 
 
 @dataclass(frozen=True)
@@ -197,6 +310,67 @@ class _ConstraintPlan:
     #: lazily; keyed per plan because the forbidden roots depend on the
     #: preserved feature set.
     break_pools: Dict[tuple, list] = field(default_factory=dict)
+    #: Lazily-built struct-of-arrays tables for the wave engine (one entry,
+    #: ``"tables"``); held on the plan so LRU eviction drops both together.
+    soa: Dict[str, "_SoaTables"] = field(default_factory=dict)
+
+
+class _SoaTables:
+    """Flat per-plan decision tables driving the struct-of-arrays Γ engine.
+
+    Everything rng-independent about a feature set's perturbations is
+    precomputed here once: which indices are unlocked and deletable, the
+    *effective* opcode-replacement table per index (validity and
+    shadowing-write rejection already folded in, so a pick is a pure table
+    lookup), and per-dependency break metadata resolved against the original
+    instructions (which endpoint the reference engine would rewrite, through
+    which rename pool or memory operand).  The wave engine then reduces each
+    perturbation to mask arithmetic plus one bounded-integer draw per
+    decision site.
+    """
+
+    __slots__ = (
+        "n_unlocked",
+        "unlocked",
+        "can_delete",
+        "pool_sizes",
+        "replacements",
+        "n_deps",
+        "dep_entries",
+        "pool_bounds",
+        "dep_bounds",
+    )
+
+    def __init__(
+        self,
+        unlocked: List[int],
+        can_delete: List[bool],
+        pool_sizes: List[int],
+        replacements: List[List[Instruction]],
+        dep_entries: List[tuple],
+    ) -> None:
+        self.n_unlocked = len(unlocked)
+        self.unlocked = unlocked
+        self.can_delete = can_delete
+        self.pool_sizes = pool_sizes
+        self.replacements = replacements
+        self.n_deps = len(dep_entries)
+        self.dep_entries = dep_entries
+        # Per-site pick bounds for the batched pick rectangles (sites with no
+        # real choice get bound 1 so one call covers the whole batch; their
+        # draws are discarded).
+        self.pool_bounds = np.array(
+            [max(size, 1) for size in pool_sizes], dtype=np.int64
+        )
+        self.dep_bounds = np.array(
+            [
+                len(meta[3]) if meta is not None and meta[0] == "reg"
+                else len(_MEMORY_DELTAS) if meta is not None
+                else 1
+                for _, meta, _ in dep_entries
+            ],
+            dtype=np.int64,
+        )
 
 
 class BlockPerturber:
@@ -215,12 +389,33 @@ class BlockPerturber:
         block: BasicBlock,
         config: Optional[PerturbationConfig] = None,
         rng: RandomSource = None,
+        *,
+        max_cached_plans: int = 256,
+        engine: Optional[str] = None,
     ) -> None:
+        if max_cached_plans < 1:
+            raise ValueError("max_cached_plans must be >= 1")
+        if engine is not None and engine not in _ENGINES:
+            raise ValueError(f"unknown perturbation engine {engine!r}")
         self.block = block
         self.config = config or PerturbationConfig()
+        # Engine precedence: explicit argument, then the scoped
+        # forced_engine() override, then the config's vectorized switch
+        # (True -> the struct-of-arrays wave engine, False -> the scalar
+        # reference oracle).  "legacy" is the pre-SoA per-perturbation
+        # vectorized engine, kept for parity tests and benchmark baselines.
+        self._engine = engine or _FORCED_ENGINE or (
+            "soa" if self.config.vectorized else "reference"
+        )
         self._rng = as_rng(rng)
         self._opcode_pools = cache_opcode_replacements(block)
-        self._plan_cache: Dict[FrozenSet[Feature], _ConstraintPlan] = {}
+        # Feature set -> constraint plan, LRU-bounded: a warm session
+        # explaining many candidate sets of a large block previously grew
+        # this without limit.
+        self.max_cached_plans = max_cached_plans
+        self._plan_cache: "OrderedDict[FrozenSet[Feature], _ConstraintPlan]" = (
+            OrderedDict()
+        )
         self._rename_pools: Dict[tuple, list] = {}
         # (index, mnemonic) -> replacement Instruction, or None when the
         # replacement is invalid there.  Opcode-only replacements depend only
@@ -230,14 +425,43 @@ class BlockPerturber:
         # (instruction key, root, new register) -> renamed Instruction; the
         # dependency breaker keeps renaming the same few endpoint forms.
         self._rename_result_cache: Dict[tuple, Instruction] = {}
+        # (instruction key, operand position, delta index) -> instruction
+        # with the shifted memory displacement.  There are only eight deltas,
+        # so memory-hazard breaking cycles through at most eight shared
+        # objects per endpoint form — keeping downstream per-instance memos
+        # (costs, reads/writes, validity) warm instead of rebuilding fresh
+        # instructions every break.
+        self._mem_variant_cache: Dict[tuple, Instruction] = {}
+        # Γ accounting (see perturb_tally / SessionStats).
+        self._perturbations = 0
+        self._fallbacks = 0
+        self._fallback_warning_emitted = False
+        _live_perturbers.add(self)
 
     # ------------------------------------------------------------------ API
 
+    @property
+    def plan_cache_size(self) -> int:
+        """Number of cached constraint plans (bounded by ``max_cached_plans``)."""
+        return len(self._plan_cache)
+
+    @property
+    def fallbacks(self) -> int:
+        """How many perturbations fell back to the original block."""
+        return self._fallbacks
+
+    @property
+    def perturbations(self) -> int:
+        """Total perturbations produced by this perturber."""
+        return self._perturbations
+
     def _plan_for(self, features: Iterable[Feature]) -> _ConstraintPlan:
-        """Constraints (and derived sets) for ``features``, cached."""
+        """Constraints (and derived sets) for ``features``, cached LRU."""
         key = frozenset(features)
         plan = self._plan_cache.get(key)
-        if plan is None:
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+        else:
             constraints = PreservationConstraints.from_features(self.block, key)
             plan = _ConstraintPlan(
                 constraints=constraints,
@@ -255,6 +479,8 @@ class BlockPerturber:
                 all_locked_roots=constraints.all_locked_roots(),
             )
             self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.max_cached_plans:
+                self._plan_cache.popitem(last=False)
         return plan
 
     def perturb(
@@ -263,15 +489,7 @@ class BlockPerturber:
         rng: RandomSource = None,
     ) -> BasicBlock:
         """Produce one perturbation of the block preserving ``features``."""
-        generator = as_rng(rng) if rng is not None else self._rng
-        plan = self._plan_for(features)
-        for _ in range(self.config.max_block_attempts):
-            perturbed = self._perturb_once(plan, generator)
-            if perturbed is not None:
-                return perturbed
-        # All attempts failed to produce a valid block: fall back to the
-        # original block, which trivially satisfies every constraint.
-        return self.block
+        return self.perturb_many(1, features, rng)[0]
 
     def perturb_many(
         self,
@@ -279,20 +497,69 @@ class BlockPerturber:
         features: Iterable[Feature] = (),
         rng: RandomSource = None,
     ) -> List[BasicBlock]:
-        """Produce ``count`` independent perturbations preserving ``features``."""
+        """Produce ``count`` independent perturbations preserving ``features``.
+
+        A perturbation whose every attempt fails to build a valid block falls
+        back to the original block (which trivially satisfies all
+        constraints); fallbacks are counted — they skew precision estimates
+        toward 1 — and surfaced through :func:`perturb_tally`,
+        :class:`~repro.runtime.session.SessionStats` and a once-per-block
+        warning when the rate crosses ``_FALLBACK_WARNING_RATE``.
+        """
         generator = as_rng(rng) if rng is not None else self._rng
         plan = self._plan_for(features)
-        out = []
-        for _ in range(count):
-            perturbed = None
-            for _ in range(self.config.max_block_attempts):
-                perturbed = self._perturb_once(plan, generator)
-                if perturbed is not None:
-                    break
-            out.append(perturbed if perturbed is not None else self.block)
+        if (
+            self._engine == "soa"
+            and self.config.replacement_scheme is not ReplacementScheme.WHOLE_INSTRUCTION
+        ):
+            out, fallbacks = self._perturb_wave(plan, count, generator)
+        else:
+            # The whole-instruction scheme interleaves operand-randomisation
+            # coins with its picks (data-dependent rng), so it stays on the
+            # per-perturbation engines.
+            out = []
+            fallbacks = 0
+            for _ in range(count):
+                perturbed = None
+                for _ in range(self.config.max_block_attempts):
+                    perturbed = self._perturb_once(plan, generator)
+                    if perturbed is not None:
+                        break
+                if perturbed is None:
+                    perturbed = self.block
+                    fallbacks += 1
+                out.append(perturbed)
+        self._account(count, fallbacks)
         return out
 
     # ------------------------------------------------------------ internals
+
+    def _account(self, count: int, fallbacks: int) -> None:
+        global _perturbations_total, _fallbacks_total
+        self._perturbations += count
+        if fallbacks:
+            self._fallbacks += fallbacks
+        thread_tally = _thread_perturb_tally
+        thread_tally.perturbations += count
+        thread_tally.fallbacks += fallbacks
+        with _accounting_lock:
+            _perturbations_total += count
+            _fallbacks_total += fallbacks
+        if (
+            not self._fallback_warning_emitted
+            and self._perturbations >= _FALLBACK_WARNING_MIN
+            and self._fallbacks > _FALLBACK_WARNING_RATE * self._perturbations
+        ):
+            self._fallback_warning_emitted = True
+            warnings.warn(
+                f"Γ fell back to the original block for {self._fallbacks} of "
+                f"{self._perturbations} perturbations of block "
+                f"{self.block.text.splitlines()[0]!r}...; precision estimates "
+                "over this block are skewed toward 1.0 (constraints likely "
+                "leave no valid perturbation)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     @staticmethod
     def _vector_flips(
@@ -312,9 +579,27 @@ class BlockPerturber:
     def _perturb_once(
         self, plan: _ConstraintPlan, rng: np.random.Generator
     ) -> Optional[BasicBlock]:
-        config = self.config
-        if not config.vectorized:
+        """One perturbation attempt on the configured per-perturbation engine.
+
+        The wave engine also lands here for retry attempts (a failed row
+        re-runs through the legacy engine, which consumes the same random
+        stream the reference oracle would under degenerate probabilities).
+        """
+        if self._engine == "reference":
             return self._perturb_once_reference(plan, rng)
+        return self._perturb_once_legacy(plan, rng)
+
+    def _perturb_once_legacy(
+        self, plan: _ConstraintPlan, rng: np.random.Generator
+    ) -> Optional[BasicBlock]:
+        """The pre-SoA per-perturbation vectorized engine.
+
+        Coins for one perturbation are batched per decision family but every
+        perturbation still walks the block's Python objects; kept as the
+        benchmark baseline lane, the whole-instruction-scheme engine and the
+        wave engine's retry path.
+        """
+        config = self.config
         constraints = plan.constraints
         working: List[Optional[Instruction]] = list(self.block.instructions)
 
@@ -383,6 +668,403 @@ class BlockPerturber:
         # and untouched instructions come from the already-valid original
         # block, so only instructions rewritten by dependency breaking still
         # need a validity check here.
+        for index in rewritten:
+            instruction = working[index]
+            if instruction is not None and not is_valid_instruction(instruction):
+                return None
+        return self.block.with_instructions(survivors)
+
+    # ------------------------------------------- struct-of-arrays (wave) Γ
+
+    def _soa_tables(self, plan: _ConstraintPlan) -> _SoaTables:
+        tables = plan.soa.get("tables")
+        if tables is None:
+            tables = plan.soa["tables"] = self._build_soa_tables(plan)
+        return tables
+
+    def _build_soa_tables(self, plan: _ConstraintPlan) -> _SoaTables:
+        """Flatten a plan into the wave engine's decision tables (rng-free).
+
+        The per-index *effective* replacement tables fold in everything the
+        per-perturbation engines check after drawing a pick — replacement
+        validity and the shadowing-write rejection — so a table entry of
+        ``None`` means "this pick retains the original instruction", exactly
+        as a failed replacement attempt does.  Keeping the full pool length
+        (rather than dropping dead entries) keeps the pick stream identical
+        to the reference engine's ``choice`` calls.
+        """
+        constraints = plan.constraints
+        unlocked = list(plan.unlocked_indices)
+        can_delete = [
+            plan.deletion_allowed and index not in plan.undeletable
+            for index in unlocked
+        ]
+        pool_sizes: List[int] = []
+        replacements: List[List[Optional[Instruction]]] = []
+        for index in unlocked:
+            pool = self._opcode_pools.get(index, [])
+            pool_sizes.append(len(pool))
+            original = self.block.instructions[index]
+            forbidden = constraints.shadowing_writes_forbidden(index)
+            original_writes = (
+                {loc[1] for loc in original.writes if loc[0] == "reg"}
+                if forbidden
+                else None
+            )
+            table: List[Optional[Instruction]] = []
+            for mnemonic in pool:
+                key = (index, mnemonic)
+                if key in self._replacement_cache:
+                    replaced = self._replacement_cache[key]
+                else:
+                    candidate = original.with_mnemonic(mnemonic)
+                    replaced = candidate if is_valid_instruction(candidate) else None
+                    self._replacement_cache[key] = replaced
+                if replaced is not None and forbidden:
+                    new_writes = {
+                        loc[1] for loc in replaced.writes if loc[0] == "reg"
+                    }
+                    if (new_writes - original_writes) & forbidden:
+                        replaced = None
+                table.append(replaced)
+            replacements.append(table)
+        # Entries carry the hazard's register root (None for memory hazards)
+        # so the wave engine can track staleness per root instead of per
+        # instruction: a displacement shift touches no registers, and a
+        # rename only invalidates walks over the renamed or introduced root.
+        dep_entries = [
+            (
+                dep,
+                self._resolve_dep_meta(dep, plan),
+                str(dep.location[1]) if dep.location[0] == "reg" else None,
+            )
+            for dep in self.block.dependencies
+            if (dep.source, dep.destination, dep.kind, dep.location)
+            not in plan.preserved_keys
+        ]
+        return _SoaTables(unlocked, can_delete, pool_sizes, replacements, dep_entries)
+
+    def _resolve_dep_meta(
+        self, dep: Dependency, plan: _ConstraintPlan
+    ) -> Optional[tuple]:
+        """Statically resolve which endpoint a dependency break would rewrite.
+
+        Mirrors :meth:`_break_dependency`'s endpoint walk against the
+        *original* instructions.  The result stays valid for endpoints whose
+        operands are unchanged at break time — opcode-only replacement shares
+        the operand tuple, so only instructions rewritten by an earlier break
+        of the same perturbation (marked dirty by the wave engine) force the
+        dynamic path.  Returns ``("reg", endpoint, root, pool)``,
+        ``("mem", endpoint, position, memory)`` or ``None`` when no endpoint
+        is viable (the break is a no-op that consumes no randomness).
+        """
+        constraints = plan.constraints
+        space, payload = dep.location
+        for endpoint in (dep.destination, dep.source):
+            instruction = self.block.instructions[endpoint]
+            if endpoint in constraints.locked_instructions:
+                continue
+            if space == "reg":
+                root = str(payload)
+                if root in constraints.roots_locked_at(endpoint):
+                    continue
+                if endpoint in constraints.locked_memory and self._memory_uses_root(
+                    instruction, root
+                ):
+                    continue
+                target_register = self._find_register_with_root(instruction, root)
+                if target_register is None:
+                    continue
+                pool_key = (endpoint, root, target_register.name)
+                pool = plan.break_pools.get(pool_key)
+                if pool is None:
+                    forbidden = frozenset(
+                        (
+                            root,
+                            *constraints.roots_locked_at(endpoint),
+                            *plan.all_locked_roots,
+                        )
+                    )
+                    pool = self._rename_pool(target_register, forbidden, True)
+                    plan.break_pools[pool_key] = pool
+                if not pool:
+                    continue
+                return ("reg", endpoint, root, pool)
+            else:  # memory hazard
+                if endpoint in constraints.locked_memory:
+                    continue
+                memory = instruction.memory_operand()
+                if memory is None:
+                    continue
+                position = instruction.operands.index(memory)
+                return ("mem", endpoint, position, memory)
+        return None
+
+    @staticmethod
+    def _seed_derived(source: Instruction, fresh: Instruction) -> None:
+        """Copy shape-invariant derived attributes onto an operand rewrite.
+
+        Register renames and memory-displacement shifts preserve the mnemonic
+        and every operand's ``(type, kind, size)`` shape (renames are
+        width-preserving within a register class), so the source instruction's
+        memory-access flags, validity memo and per-uarch cost memos hold
+        verbatim for the rewritten instance.  ``reads``/``writes`` are *not*
+        copied — they name concrete registers and memory address keys, which
+        the rewrite changes.  Seeding them here spares the cost model and the
+        validator a cold cached-property storm on every fresh rename (chained
+        renames defeat the rename cache, so fresh instances are common).
+        """
+        source_dict = source.__dict__
+        fresh_dict = fresh.__dict__
+        for name in ("loads_memory", "stores_memory", "_is_valid"):
+            if name in source_dict and name not in fresh_dict:
+                fresh_dict[name] = source_dict[name]
+        for name, value in source_dict.items():
+            if name.startswith("_cost_") and name not in fresh_dict:
+                fresh_dict[name] = value
+
+    @staticmethod
+    def _flip_rows(
+        rng: np.random.Generator, rows: int, cols: int, probability: float
+    ) -> List[List[bool]]:
+        """``rows`` independent coin-flip rows in one rng call.
+
+        One ``rng.random((rows, cols))`` draw consumes exactly the same
+        random stream as ``rows`` sequential ``rng.random(cols)`` calls, and
+        the degenerate probabilities (and empty shapes) consume none at all —
+        the same contract :meth:`_vector_flips` keeps per perturbation.
+        Returns plain nested lists: the wave engine reads the flags one row
+        at a time, where list indexing beats numpy scalar extraction.
+        """
+        if rows == 0:
+            return []
+        if cols == 0 or probability == 0.0:
+            return [[False] * cols for _ in range(rows)]
+        if probability == 1.0:
+            return [[True] * cols for _ in range(rows)]
+        return (rng.random((rows, cols)) < probability).tolist()
+
+    def _perturb_wave(
+        self, plan: _ConstraintPlan, count: int, rng: np.random.Generator
+    ) -> Tuple[List[BasicBlock], int]:
+        """Produce ``count`` perturbations with batch-drawn decisions.
+
+        All four coin families (instruction-perturb, delete, dependency
+        explicit-retain, dependency attempt) for the *whole batch* are drawn
+        in O(1) rng calls up front; each row is then applied with one bounded
+        integer draw per opcode pick batch and one per dependency break.  A
+        row whose rewritten instructions fail validation retries immediately
+        through the per-perturbation engine so its random-stream position
+        matches a sequential run.
+        """
+        config = self.config
+        tables = self._soa_tables(plan)
+        n_unlocked = tables.n_unlocked
+        n_deps = tables.n_deps
+        p_perturb = 1.0 - config.p_instruction_retain
+        p_delete = config.p_delete if plan.deletion_allowed else 0.0
+        p_retain = config.p_dependency_explicit_retain
+        p_attempt = config.p_dependency_perturb_attempt
+        perturb_rows = self._flip_rows(rng, count, n_unlocked, p_perturb)
+        delete_rows = self._flip_rows(rng, count, n_unlocked, p_delete)
+        retain_rows = self._flip_rows(rng, count, n_deps, p_retain)
+        attempt_rows = self._flip_rows(rng, count, n_deps, p_attempt)
+        # With all coins degenerate the per-row pick draws are what keeps the
+        # random stream bit-identical to the reference engine (the parity the
+        # property suite certifies), so only non-degenerate waves pre-draw the
+        # pick rectangles too — one bounded-integer call per decision family
+        # for the whole batch, unused draws discarded (each pick is uniform
+        # and independent either way).
+        degenerate = all(
+            p in (0.0, 1.0) for p in (p_perturb, p_delete, p_retain, p_attempt)
+        )
+        vertex_picks: Optional[List[List[int]]] = None
+        dep_picks: Optional[List[List[int]]] = None
+        if not degenerate:
+            if n_unlocked:
+                vertex_picks = rng.integers(
+                    0, tables.pool_bounds, size=(count, n_unlocked)
+                ).tolist()
+            if n_deps:
+                dep_picks = rng.integers(
+                    0, tables.dep_bounds, size=(count, n_deps)
+                ).tolist()
+        out: List[BasicBlock] = []
+        fallbacks = 0
+        max_attempts = config.max_block_attempts
+        for row in range(count):
+            perturbed = self._apply_row(
+                plan,
+                tables,
+                perturb_rows[row],
+                delete_rows[row],
+                retain_rows[row],
+                attempt_rows[row],
+                rng,
+                vertex_picks[row] if vertex_picks is not None else None,
+                dep_picks[row] if dep_picks is not None else None,
+            )
+            attempt = 1
+            while perturbed is None and attempt < max_attempts:
+                perturbed = self._perturb_once(plan, rng)
+                attempt += 1
+            if perturbed is None:
+                perturbed = self.block
+                fallbacks += 1
+            out.append(perturbed)
+        return out, fallbacks
+
+    def _apply_row(
+        self,
+        plan: _ConstraintPlan,
+        tables: _SoaTables,
+        perturb_row: List[bool],
+        delete_row: List[bool],
+        retain_row: List[bool],
+        attempt_row: List[bool],
+        rng: np.random.Generator,
+        vertex_picks: Optional[List[int]] = None,
+        dep_picks: Optional[List[int]] = None,
+    ) -> Optional[BasicBlock]:
+        """Materialise one perturbation from its pre-drawn decision row.
+
+        ``vertex_picks``/``dep_picks`` carry the row's slice of the wave's
+        pre-drawn pick rectangles; when absent (degenerate-coin waves) the
+        picks are drawn here, in reference order.
+        """
+        working: List[Optional[Instruction]] = list(self.block.instructions)
+        live = len(working)
+        changed = False
+
+        # --- vertex perturbation: deletions, then the opcode picks ---------
+        unlocked = tables.unlocked
+        can_delete = tables.can_delete
+        pool_sizes = tables.pool_sizes
+        pick_slots: List[int] = []
+        pick_bounds: List[int] = []
+        for j in range(tables.n_unlocked):
+            if not perturb_row[j]:
+                continue
+            if delete_row[j] and can_delete[j] and live > 1:
+                working[unlocked[j]] = None
+                live -= 1
+                changed = True
+                continue
+            if not pool_sizes[j]:
+                continue
+            if vertex_picks is not None:
+                replacement = tables.replacements[j][vertex_picks[j]]
+                if replacement is not None:
+                    working[unlocked[j]] = replacement
+                    changed = True
+            else:
+                pick_slots.append(j)
+                pick_bounds.append(pool_sizes[j])
+        if pick_slots:
+            picks = rng.integers(0, pick_bounds)
+            for slot, pick in zip(pick_slots, picks):
+                replacement = tables.replacements[slot][pick]
+                if replacement is not None:
+                    working[unlocked[slot]] = replacement
+                    changed = True
+
+        # --- edge perturbation: static break metadata, dirty fallback -----
+        rewritten: List[int] = []
+        affected: Dict[int, object] = {}
+        for d in range(tables.n_deps):
+            dep, meta, dep_root = tables.dep_entries[d]
+            source, destination = dep.source, dep.destination
+            if working[source] is None or working[destination] is None:
+                continue  # deletion already removed the hazard
+            if retain_row[d] or not attempt_row[d]:
+                continue
+            # The static metadata describes the oracle's destination-first
+            # endpoint walk over the original operands.  Staleness is
+            # tracked per register root: displacement shifts touch no
+            # registers (and the memory fast path reads the *current*
+            # operand anyway), and a rename only changes walk outcomes for
+            # the renamed and introduced roots.  The destination's marks
+            # always matter (the walk starts there); the source's only when
+            # the walk would reach it (metadata points at the source, or
+            # found no viable endpoint at all).
+            if dep_root is not None:
+                marks = affected.get(destination)
+                stale = marks is not None and (
+                    marks is _ALL_ROOTS or dep_root in marks
+                )
+                if not stale and (meta is None or meta[1] != destination):
+                    marks = affected.get(source)
+                    stale = marks is not None and (
+                        marks is _ALL_ROOTS or dep_root in marks
+                    )
+                if stale:
+                    # The oracle's dynamic walk; its rename pick is not in
+                    # the static tables, so the endpoint it rewrote is
+                    # stale for every root from here on.
+                    touched = self._break_dependency(working, dep, plan, rng)
+                    if touched is not None:
+                        rewritten.append(touched)
+                        affected[touched] = _ALL_ROOTS
+                        changed = True
+                    continue
+            if meta is None:
+                continue
+            kind, endpoint, slot_a, slot_b = meta
+            instruction = working[endpoint]
+            if kind == "reg":
+                root, pool = slot_a, slot_b
+                if dep_picks is not None:
+                    pick = dep_picks[d]
+                else:
+                    pick = int(rng.integers(0, len(pool)))
+                new_register = pool[pick]
+                cache_key = (instruction.key(), root, new_register.name)
+                renamed = self._rename_result_cache.get(cache_key)
+                if renamed is None:
+                    renamed = rename_register_in_instruction(
+                        instruction, root, new_register
+                    )
+                    self._seed_derived(instruction, renamed)
+                    self._rename_result_cache[cache_key] = renamed
+                working[endpoint] = renamed
+                marks = affected.get(endpoint)
+                if marks is None:
+                    affected[endpoint] = {root, new_register.root}
+                elif marks is not _ALL_ROOTS:
+                    marks.add(root)
+                    marks.add(new_register.root)
+            else:  # memory hazard: one of eight cached displacement variants
+                position = slot_a
+                if dep_picks is not None:
+                    delta_index = dep_picks[d]
+                else:
+                    delta_index = int(rng.integers(0, len(_MEMORY_DELTAS)))
+                cache_key = (instruction.key(), position, delta_index)
+                variant = self._mem_variant_cache.get(cache_key)
+                if variant is None:
+                    memory = instruction.operands[position]
+                    variant = instruction.with_operand(
+                        position,
+                        memory.with_fields(
+                            displacement=memory.displacement
+                            + _MEMORY_DELTAS[delta_index]
+                        ),
+                    )
+                    self._seed_derived(instruction, variant)
+                    self._mem_variant_cache[cache_key] = variant
+                working[endpoint] = variant
+            rewritten.append(endpoint)
+            changed = True
+
+        if not changed:
+            # Nothing moved: hand back the original block *instance* so the
+            # cost model's and dependency scan's per-instance memos stay
+            # warm (block equality is by content, so downstream results are
+            # bit-identical to a freshly-built copy).
+            return self.block
+        survivors = [inst for inst in working if inst is not None]
+        if not survivors:
+            return None
         for index in rewritten:
             instruction = working[index]
             if instruction is not None and not is_valid_instruction(instruction):
@@ -681,6 +1363,7 @@ class BlockPerturber:
                     renamed = rename_register_in_instruction(
                         instruction, root, new_register
                     )
+                    self._seed_derived(instruction, renamed)
                     self._rename_result_cache[cache_key] = renamed
                 working[endpoint] = renamed
                 return endpoint
@@ -692,7 +1375,9 @@ class BlockPerturber:
                     continue
                 new_memory = perturb_memory_displacement(rng, memory)
                 position = instruction.operands.index(memory)
-                working[endpoint] = instruction.with_operand(position, new_memory)
+                shifted = instruction.with_operand(position, new_memory)
+                self._seed_derived(instruction, shifted)
+                working[endpoint] = shifted
                 return endpoint
 
     @staticmethod

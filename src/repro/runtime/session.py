@@ -44,6 +44,7 @@ from repro.explain.config import ExplainerConfig
 from repro.explain.coverage import PopulationRecord
 from repro.explain.explanation import Explanation
 from repro.models.base import CachedCostModel, CostModel, QueryCounter
+from repro.perturb.algorithm import perturb_tally, plan_cache_entries
 from repro.runtime.backend import BackendSource, ExecutionBackend, resolve_backend
 from repro.runtime.checkpoint import CheckpointJournal, run_fingerprint
 from repro.utils.cancellation import CancelToken
@@ -135,6 +136,17 @@ class SessionStats:
     worker_fallbacks: int = 0
     checkpoint_skips: int = 0
     result_cache: Optional[CacheStats] = None
+    #: Γ perturbations produced during this session (process-wide counters,
+    #: diffed against the session's start snapshot).
+    perturbations: int = 0
+    #: Perturbations that silently fell back to the original block after
+    #: ``max_block_attempts`` failed attempts — each injects a trivially
+    #: preserving sample into precision estimates, so a high rate is a
+    #: red flag for the perturbation configuration.
+    perturb_fallbacks: int = 0
+    #: Constraint-plan cache entries currently held by live perturbers (a
+    #: gauge, not a counter — bounded per perturber by ``max_cached_plans``).
+    plan_cache_entries: int = 0
 
     def describe(self) -> str:
         resilience = ""
@@ -144,6 +156,12 @@ class SessionStats:
                 f"({self.worker_fallbacks} serial fallbacks), "
                 f"{self.checkpoint_skips} checkpoint skips"
             )
+        perturb = ""
+        if self.perturb_fallbacks:
+            perturb = (
+                f", {self.perturb_fallbacks}/{self.perturbations} perturbation "
+                f"fallbacks"
+            )
         memo = ""
         if self.result_cache is not None:
             memo = f", {self.result_cache.describe()}"
@@ -151,7 +169,7 @@ class SessionStats:
             f"{self.explanations} explanations, {self.model_queries} model "
             f"queries ({self.cache_hit_rate:.1%} cache hit rate), "
             f"{self.populations_cached} background populations, "
-            f"backend {self.backend}{resilience}{memo}"
+            f"backend {self.backend}{resilience}{perturb}{memo}"
         )
 
 
@@ -255,6 +273,7 @@ class ExplanationSession:
         self._query_base = self.model.query_count
         self._hit_base = self.model.hits
         self._miss_base = self.model.misses
+        self._perturb_base = perturb_tally()
         self._closed = False
 
     # -------------------------------------------------------------- explain
@@ -652,6 +671,7 @@ class ExplanationSession:
         misses = self.model.misses - self._miss_base
         lookups = hits + misses
         worker = self.backend.worker_stats()
+        perturb = perturb_tally().delta(self._perturb_base)
         return SessionStats(
             explanations=self.explanations_produced,
             model_queries=self.model.query_count - self._query_base,
@@ -667,6 +687,9 @@ class ExplanationSession:
             result_cache=(
                 self.result_cache.stats() if self.result_cache is not None else None
             ),
+            perturbations=perturb.perturbations,
+            perturb_fallbacks=perturb.fallbacks,
+            plan_cache_entries=plan_cache_entries(),
         )
 
     # ------------------------------------------------------------- lifecycle

@@ -23,13 +23,34 @@ The constants (``FAST_CONFIG``) back the fixtures so module-level test
 parameterisation can reuse them without requesting a fixture.
 """
 
+import os
+
 import pytest
 
 from repro.bb.block import BasicBlock
 from repro.data.synthesis import BlockSynthesizer
 from repro.explain.config import ExplainerConfig
 from repro.models.analytical import AnalyticalCostModel
+from repro.perturb.algorithm import forced_engine
 from repro.runtime.session import ExplanationSession
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _perturb_engine_lane():
+    """Pin every perturber onto one Γ engine for the whole test session.
+
+    ``REPRO_PERTURB_ENGINE=reference`` runs the suites on the scalar
+    oracle (the explicit ``vectorized=False`` CI lane); ``legacy``/``soa``
+    select the vectorized engines.  Tests that pass an explicit ``engine``
+    argument (the parity suites) still exercise the engine they name —
+    the explicit argument outranks this override.
+    """
+    engine = os.environ.get("REPRO_PERTURB_ENGINE")
+    if not engine:
+        yield
+        return
+    with forced_engine(engine):
+        yield
 
 FAST_CONFIG = ExplainerConfig(
     epsilon=0.2,

@@ -1,0 +1,119 @@
+"""Equivalence of the estimator's array round state with ``ArmStatistics``.
+
+The KL-LUCB estimator keeps its per-arm round state as contiguous
+``(successes, trials)`` int64 arrays, re-exposed per arm through
+``_ArmView`` with the original :class:`ArmStatistics` API.  This suite
+feeds identical outcome streams to both representations and asserts the
+statistics and the KL confidence bounds agree exactly, and that the
+vectorized bound bisection matches the scalar bisections element for
+element on both sides of its small-size fast-path cutoff.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.explain.precision import (
+    ArmStatistics,
+    PrecisionEstimator,
+    _bernoulli_bounds_vec,
+    bernoulli_lower_bound,
+    bernoulli_upper_bound,
+    confidence_beta,
+)
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def update_schedules(draw):
+    """A multi-arm sequence of outcome batches: (arm, outcomes) pairs."""
+    num_arms = draw(st.integers(min_value=1, max_value=5))
+    schedule = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_arms - 1),
+                st.lists(st.booleans(), min_size=0, max_size=12),
+            ),
+            min_size=0,
+            max_size=15,
+        )
+    )
+    return num_arms, schedule
+
+
+@given(spec=update_schedules())
+@settings(**_SETTINGS)
+def test_arm_views_track_arm_statistics_exactly(spec):
+    """Identical outcome streams → identical samples/positives/mean/bounds."""
+    num_arms, schedule = spec
+    estimator = PrecisionEstimator(num_arms=num_arms)
+    reference = [ArmStatistics() for _ in range(num_arms)]
+
+    for arm, outcomes in schedule:
+        estimator.stats[arm].update(outcomes)
+        reference[arm].update(outcomes)
+
+    for round_index in (1, 3, 17):
+        beta = confidence_beta(num_arms, round_index, 0.05)
+        for arm in range(num_arms):
+            view, stats = estimator.stats[arm], reference[arm]
+            assert view.samples == stats.samples
+            assert view.positives == stats.positives
+            assert view.mean == stats.mean
+            assert view.upper(beta) == stats.upper(beta)
+            assert view.lower(beta) == stats.lower(beta)
+            # The views are live windows onto the estimator's round arrays.
+            assert int(estimator._trials[arm]) == stats.samples
+            assert int(estimator._successes[arm]) == stats.positives
+
+
+@given(spec=update_schedules())
+@settings(**_SETTINGS)
+def test_record_round_matches_per_view_updates(spec):
+    """Folding a served round into the arrays equals per-arm ``update`` calls."""
+    num_arms, schedule = spec
+    batched = PrecisionEstimator(num_arms=num_arms)
+    sequential = PrecisionEstimator(num_arms=num_arms)
+
+    requests = [(arm, len(outcomes)) for arm, outcomes in schedule]
+    batched._record_round(requests, [outcomes for _, outcomes in schedule])
+    for arm, outcomes in schedule:
+        sequential.stats[arm].update(outcomes)
+
+    assert np.array_equal(batched._trials, sequential._trials)
+    assert np.array_equal(batched._successes, sequential._successes)
+
+
+@given(
+    p_hats=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=64),
+    samples=st.data(),
+    beta=st.floats(min_value=0.01, max_value=20.0),
+)
+@settings(**_SETTINGS)
+def test_vector_bounds_match_scalar_bisection(p_hats, samples, beta):
+    """``_bernoulli_bounds_vec`` equals the scalar bisections per element,
+    on both sides of the ``size <= 32`` fast-path cutoff (the strategy spans
+    sizes 1–64) and under a mixed per-element upper/lower mask."""
+    p = np.array(p_hats, dtype=float)
+    n = np.array(
+        [samples.draw(st.integers(min_value=0, max_value=200)) for _ in p_hats],
+        dtype=float,
+    )
+    upper_mask = np.array(
+        [samples.draw(st.booleans()) for _ in p_hats], dtype=bool
+    )
+
+    bounds = _bernoulli_bounds_vec(p, n, beta, upper_mask, 1e-5)
+    for i in range(p.shape[0]):
+        if upper_mask[i]:
+            expected = bernoulli_upper_bound(float(p[i]), int(n[i]), beta)
+        else:
+            expected = bernoulli_lower_bound(float(p[i]), int(n[i]), beta)
+        assert abs(bounds[i] - expected) <= 2e-5, (
+            f"element {i}: vec={bounds[i]!r} scalar={expected!r} "
+            f"(p={p[i]}, n={n[i]}, upper={upper_mask[i]})"
+        )

@@ -65,6 +65,37 @@ class TestPredictBatchParity:
         model = CallableCostModel(lambda b: float(len(b)), name="plain")
         assert model.predict_batch(block_fleet[:5]) == [float(len(b)) for b in block_fleet[:5]]
 
+
+class TestAnalyticalBatchKernels:
+    """Three-way parity of the analytical model's batch formulations.
+
+    The fused per-block loop (the default ``_predict_batch``), the numpy
+    gather/reduceat kernel kept as ``_predict_batch_reference`` (the pre-SoA
+    hot path, still the benchmark baseline lane) and the sequential
+    ``_predict`` must be bit-for-bit identical: the same table floats flow
+    through the same IEEE additions and maxima.
+    """
+
+    @pytest.mark.parametrize("uarch", ["hsw", "skl"])
+    def test_loop_reference_and_sequential_agree(self, uarch, block_fleet):
+        model = AnalyticalCostModel(uarch)
+        sequential = [model._predict(block) for block in block_fleet]
+        loop = model._predict_batch(block_fleet)
+        reference = model._predict_batch_reference(block_fleet)
+        assert loop == sequential
+        assert reference == sequential
+
+    def test_reference_kernel_flag_switches_the_batch_path(self, block_fleet):
+        model = AnalyticalCostModel("hsw")
+        default = model.predict_batch(block_fleet)
+        model._use_reference_batch_kernel = True
+        flagged = model.predict_batch(block_fleet)
+        assert flagged == default
+
+    def test_reference_kernel_empty_batch(self):
+        model = AnalyticalCostModel("hsw")
+        assert model._predict_batch_reference([]) == []
+
 class TestCachedBatchPath:
     def test_batch_matches_sequential_values(self, block_fleet):
         cached = CachedCostModel(AnalyticalCostModel("hsw"))
