@@ -43,6 +43,24 @@ from repro.perturb.config import PerturbationConfig
 from repro.runtime.backend import available_backends
 from repro.runtime.session import ExplanationSession
 
+#: Report sections, in run (and report) order.  ``core`` is the
+#: sequential/batched/microbench trio the report is named after; the rest
+#: are independently selectable with ``--only``/``--skip``, and a partial
+#: run merges its sections into an existing report file instead of
+#: clobbering the sections it did not run.
+SECTIONS = (
+    "core",
+    "matrix",
+    "service",
+    "socket",
+    "dispatchers",
+    "continuous_batching",
+    "result_cache",
+    "resilience",
+    "soa_engine",
+    "encoded_pipeline",
+)
+
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -74,7 +92,21 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="number of blocks explained per backend in the matrix",
     )
     parser.add_argument(
-        "--skip-matrix", action="store_true", help="skip the backend matrix"
+        "--only",
+        nargs="+",
+        choices=SECTIONS,
+        default=None,
+        metavar="SECTION",
+        help="run only these sections (default: all); a partial run merges "
+        f"into an existing report file. Sections: {', '.join(SECTIONS)}",
+    )
+    parser.add_argument(
+        "--skip",
+        nargs="+",
+        choices=SECTIONS,
+        default=[],
+        metavar="SECTION",
+        help="sections to leave out (applied after --only)",
     )
     parser.add_argument(
         "--service-repeats",
@@ -82,12 +114,6 @@ def parse_args(argv=None) -> argparse.Namespace:
         default=4,
         help="how many times each block is requested in the service benchmark "
         "(a serving workload re-sees hot blocks)",
-    )
-    parser.add_argument(
-        "--skip-service", action="store_true", help="skip the service benchmark"
-    )
-    parser.add_argument(
-        "--skip-socket", action="store_true", help="skip the socket-transport benchmark"
     )
     parser.add_argument(
         "--dispatcher-counts",
@@ -104,16 +130,6 @@ def parse_args(argv=None) -> argparse.Namespace:
         "dispatcher count",
     )
     parser.add_argument(
-        "--skip-dispatchers",
-        action="store_true",
-        help="skip the dispatcher-scaling matrix",
-    )
-    parser.add_argument(
-        "--skip-resilience",
-        action="store_true",
-        help="skip the fault-recovery benchmark",
-    )
-    parser.add_argument(
         "--fused-outstanding",
         type=int,
         nargs="+",
@@ -127,21 +143,6 @@ def parse_args(argv=None) -> argparse.Namespace:
         default=12,
         help="how many seeds each block is requested under per "
         "continuous-batching run",
-    )
-    parser.add_argument(
-        "--skip-continuous-batching",
-        action="store_true",
-        help="skip the continuous-batching benchmark",
-    )
-    parser.add_argument(
-        "--skip-result-cache",
-        action="store_true",
-        help="skip the persistent result-cache benchmark",
-    )
-    parser.add_argument(
-        "--skip-soa-engine",
-        action="store_true",
-        help="skip the struct-of-arrays engine benchmark",
     )
     parser.add_argument(
         "--output",
@@ -819,6 +820,149 @@ def run_soa_engine_bench(args, blocks) -> dict:
     }
 
 
+def run_encoded_pipeline_bench(args, blocks) -> dict:
+    """Encoded perturbation batches end to end vs the materialised pipeline.
+
+    Three analytical-model lanes run the identical seeded workload through
+    the full batched explanation pipeline:
+
+    * ``pr9_baseline`` — encoding off *and* the KL-bound bisection memo off:
+      exactly the PR 9 hot path, re-measured in the same run so the headline
+      speedup is an honest same-machine A/B rather than a comparison against
+      a stale recorded number;
+    * ``materialized`` — encoding off, memo on: isolates the satellite
+      bound-memo win from the columnar-pipeline win;
+    * ``encoded`` — the current defaults: Γ emits encoded rows, the cache
+      dedupes on row keys, and the analytical row kernel predicts without
+      constructing a single block.
+
+    An Ithemal-model pair (untrained weights — serving cost is independent
+    of weight values) records the neural-model win, where the encoded path
+    additionally amortises re-tokenisation through the per-instruction
+    embedding memo.  Results are asserted bit-for-bit identical across all
+    lanes of each pair — a lane that diverged would make the timings
+    meaningless — and the encoded lanes record their row accounting so the
+    report shows how much of the pipeline actually stayed encoded.
+    """
+    from contextlib import nullcontext
+
+    from repro.explain.precision import bound_memo_disabled
+    from repro.models.ithemal import IthemalCostModel
+    from repro.perturb.batch import encoded_tally, forced_encoded
+
+    def lane(workload, model_factory, encoded, memo, trials):
+        def once():
+            model = model_factory()
+            explainer = CometExplainer(
+                model, explainer_config(batched=True), rng=args.seed
+            )
+            memo_ctx = nullcontext() if memo else bound_memo_disabled()
+            tally_base = encoded_tally()
+            with forced_encoded(encoded), memo_ctx:
+                start = time.perf_counter()
+                explanations = explainer.explain_many(workload, rng=args.seed)
+                elapsed = time.perf_counter() - start
+            tally = encoded_tally().delta(tally_base)
+            results = [
+                (
+                    tuple(str(f) for f in e.features),
+                    e.precision,
+                    e.coverage,
+                    e.num_queries,
+                    e.prediction,
+                )
+                for e in explanations
+            ]
+            return elapsed, model.query_count, tally, results
+
+        elapsed, queries, tally, results = once()
+        for _ in range(trials - 1):
+            again, queries, tally, results = once()
+            elapsed = min(elapsed, again)
+        row = {
+            "seconds": round(elapsed, 4),
+            "explanations_per_sec": round(len(workload) / elapsed, 4),
+            "model_queries": queries,
+            "encoded_rows": tally.encoded,
+            "materialized_rows": tally.materialized,
+        }
+        return row, results
+
+    def pair(workload, model_factory, trials):
+        lanes = {}
+        baseline_results = None
+        for name, encoded, memo in (
+            ("pr9_baseline", False, False),
+            ("materialized", False, True),
+            ("encoded", True, True),
+        ):
+            lanes[name], results = lane(workload, model_factory, encoded, memo, trials)
+            if baseline_results is None:
+                baseline_results = results
+            elif results != baseline_results:  # bit-for-bit, or timings lie
+                raise RuntimeError(f"{name} lane diverged from pr9_baseline")
+        base_rate = lanes["pr9_baseline"]["explanations_per_sec"]
+        lanes["encoded_vs_pr9"] = round(
+            lanes["encoded"]["explanations_per_sec"] / base_rate, 2
+        )
+        lanes["encoded_vs_materialized"] = round(
+            lanes["encoded"]["explanations_per_sec"]
+            / lanes["materialized"]["explanations_per_sec"],
+            2,
+        )
+        return lanes
+
+    analytical = pair(
+        blocks, lambda: build_model(args), trials=1 if args.quick else 3
+    )
+    neural_blocks = BlockSynthesizer(rng=args.seed).generate_many(
+        2 if args.quick else 12,
+        min_instructions=6,
+        max_instructions=12,
+        rng=args.seed + 2,
+    )
+
+    # An untrained Ithemal predicts near-uniformly, so KL-LUCB converges at
+    # the sample floor and there is no query traffic to measure.  Train a
+    # small configuration briefly (seeded, against the analytical model's
+    # throughputs) so predictions vary with block content; parameters are
+    # snapshotted once and restored per trial — lane timings never include
+    # training, and every trial starts from identical weights.
+    def trained_ithemal():
+        from repro.models.analytical import AnalyticalCostModel
+        from repro.models.ithemal import IthemalConfig
+
+        teacher = AnalyticalCostModel(args.microarch)
+        training = BlockSynthesizer(rng=args.seed + 3).generate_many(
+            32, min_instructions=3, max_instructions=10, rng=args.seed + 4
+        )
+        model = IthemalCostModel(
+            args.microarch,
+            IthemalConfig(embedding_size=16, hidden_size=16, epochs=2),
+        )
+        model.train(training, [teacher.predict(b) for b in training])
+        return {name: value.copy() for name, value in model.parameters().items()}, model
+
+    weights, template = trained_ithemal()
+
+    def ithemal_factory():
+        for name, value in template.parameters().items():
+            value[...] = weights[name]
+        template._embed_memo.clear()
+        return CachedCostModel(template)
+
+    ithemal = pair(
+        neural_blocks,
+        ithemal_factory,
+        trials=1 if args.quick else 3,
+    )
+    return {
+        "blocks": len(blocks),
+        "analytical": analytical,
+        "ithemal": {"blocks": len(neural_blocks), **ithemal},
+    }
+
+
 def stamp_host_cpus(report: dict) -> None:
     """Stamp the host CPU count into the report and every section.
 
@@ -836,6 +980,8 @@ def stamp_host_cpus(report: dict) -> None:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    skipped = set(args.skip)
+    selected = {s for s in (args.only or SECTIONS) if s not in skipped}
     if args.quick:
         args.blocks = min(args.blocks, 3)
         args.max_size = min(args.max_size, 8)
@@ -851,83 +997,104 @@ def main(argv=None) -> int:
         rng=args.seed + 1,
     )
 
-    sequential = run_mode(args, blocks, batched=False)
-    batched = run_mode(args, blocks, batched=True)
-    micro = run_model_microbench(args, blocks)
-    speedup = round(
-        batched["explanations_per_sec"] / sequential["explanations_per_sec"], 2
-    )
-
     report = {
         "benchmark": "query_engine",
         "model": args.model,
         "microarch": args.microarch,
         "seed": args.seed,
         "block_sizes": [args.min_size, args.max_size],
-        "sequential": sequential,
-        "batched": batched,
-        "explanations_per_sec_speedup": speedup,
-        "model_microbench": micro,
     }
 
+    sequential = batched = micro = speedup = None
+    if "core" in selected:
+        sequential = run_mode(args, blocks, batched=False)
+        batched = run_mode(args, blocks, batched=True)
+        micro = run_model_microbench(args, blocks)
+        speedup = round(
+            batched["explanations_per_sec"] / sequential["explanations_per_sec"], 2
+        )
+        report["sequential"] = sequential
+        report["batched"] = batched
+        report["explanations_per_sec_speedup"] = speedup
+        report["model_microbench"] = micro
+
     matrix = None
-    if not args.skip_matrix:
+    if "matrix" in selected:
         matrix_blocks = blocks[: args.matrix_blocks]
         matrix = run_backend_matrix(args, matrix_blocks)
         report["backend_matrix"] = matrix
 
     service = None
-    if not args.skip_service:
+    if "service" in selected:
         service = run_service_bench(args, blocks[: args.matrix_blocks])
         report["service"] = service
 
     socket_bench = None
-    if not args.skip_socket:
+    if "socket" in selected:
         socket_bench = run_socket_bench(args, blocks[: args.matrix_blocks])
         report["service_socket"] = socket_bench
 
     dispatcher_matrix = None
-    if not args.skip_dispatchers:
+    if "dispatchers" in selected:
         dispatcher_matrix = run_dispatcher_matrix(args, blocks[: args.matrix_blocks])
         report["dispatcher_matrix"] = dispatcher_matrix
 
     continuous = None
-    if not args.skip_continuous_batching:
+    if "continuous_batching" in selected:
         continuous = run_continuous_batching_bench(args)
         report["continuous_batching"] = continuous
 
     result_cache = None
-    if not args.skip_result_cache:
+    if "result_cache" in selected:
         result_cache = run_result_cache_bench(args, blocks[: args.matrix_blocks])
         report["result_cache"] = result_cache
 
     resilience = None
-    if not args.skip_resilience:
+    if "resilience" in selected:
         resilience = run_resilience_bench(args, blocks[: args.matrix_blocks])
         report["resilience"] = resilience
 
     soa_engine = None
-    if not args.skip_soa_engine:
+    if "soa_engine" in selected:
         soa_engine = run_soa_engine_bench(args, blocks)
         report["soa_engine"] = soa_engine
 
-    stamp_host_cpus(report)
+    encoded_pipeline = None
+    if "encoded_pipeline" in selected:
+        encoded_pipeline = run_encoded_pipeline_bench(args, blocks)
+        report["encoded_pipeline"] = encoded_pipeline
 
     output = Path(args.output)
+    if selected != set(SECTIONS) and output.exists():
+        # Partial run: keep the sections this invocation did not measure, so
+        # --only re-records one section without clobbering the report.
+        try:
+            previous = json.loads(output.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if isinstance(previous, dict):
+            previous.update(report)
+            report = previous
+
+    stamp_host_cpus(report)
     output.write_text(json.dumps(report, indent=2) + "\n")
 
-    print(f"query-engine benchmark — model={args.model} blocks={len(blocks)}")
-    for row in (sequential, batched):
-        print(
-            f"  {row['mode']:>10}: {row['seconds']:7.2f}s  "
-            f"{row['explanations_per_sec']:7.3f} expl/s  "
-            f"{row['queries_per_sec']:9.1f} q/s  "
-            f"hit-rate {row['cache_hit_rate']:.2%}"
-        )
     print(
-        f"  speedup: {speedup:.2f}x explanations/sec  "
-        f"(model-level predict_batch: {micro['model_speedup']:.2f}x)"
+        f"query-engine benchmark — model={args.model} blocks={len(blocks)} "
+        f"sections={','.join(s for s in SECTIONS if s in selected)}"
     )
+    if sequential is not None:
+        for row in (sequential, batched):
+            print(
+                f"  {row['mode']:>10}: {row['seconds']:7.2f}s  "
+                f"{row['explanations_per_sec']:7.3f} expl/s  "
+                f"{row['queries_per_sec']:9.1f} q/s  "
+                f"hit-rate {row['cache_hit_rate']:.2%}"
+            )
+        print(
+            f"  speedup: {speedup:.2f}x explanations/sec  "
+            f"(model-level predict_batch: {micro['model_speedup']:.2f}x)"
+        )
     if matrix is not None:
         print(
             f"backend matrix — model={matrix['model']} "
@@ -1071,6 +1238,24 @@ def main(argv=None) -> int:
             "  Γ perturbations/sec: "
             + "  ".join(f"{engine}={gamma[engine]:,.0f}" for engine in gamma)
         )
+    if encoded_pipeline is not None:
+        print(f"encoded pipeline — {encoded_pipeline['blocks']} blocks")
+        for model_key in ("analytical", "ithemal"):
+            section = encoded_pipeline[model_key]
+            for name in ("pr9_baseline", "materialized", "encoded"):
+                row = section[name]
+                print(
+                    f"  {model_key:>10} {name:>12}: {row['seconds']:7.2f}s  "
+                    f"{row['explanations_per_sec']:7.3f} expl/s  "
+                    f"({row['encoded_rows']} encoded / "
+                    f"{row['materialized_rows']} materialized rows)"
+                )
+            print(
+                f"  {model_key:>10} encoded vs pr9: "
+                f"{section['encoded_vs_pr9']:.2f}x  "
+                f"(vs materialized+memo: "
+                f"{section['encoded_vs_materialized']:.2f}x)"
+            )
     print(f"  report written to {output}")
     return 0
 

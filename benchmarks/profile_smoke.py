@@ -1,17 +1,22 @@
 """cProfile smoke check of the explanation hot path.
 
 Profiles a small batched analytical-model workload, prints the top-20
-functions by cumulative time, and asserts that the cost model's own batch
-prediction keeps at least a floor share of the run.  The regression this
-guards is overhead creep: the explanation engine exists to spend its time
-querying the model, and PR-by-PR optimisation of Γ and the KL-LUCB round
-state only holds if framework code does not quietly grow back around the
-model calls (the Amdahl budget ``docs/performance.md`` tracks).
+functions by cumulative time, and asserts two shares of the run:
 
-Run standalone (exits non-zero when the share floor is violated):
+* the cost model's own batch prediction keeps at least a *floor* share —
+  the engine exists to spend its time querying the model, and framework
+  code must not quietly grow back around the model calls;
+* Γ (perturbation generation, ``perturb_many``/``perturb_batch``) stays
+  under a *ceiling* share — the encoded-pipeline work of PR 10 moved block
+  materialisation out of the hot loop, and a Γ share creeping back over
+  the ceiling means rows are being materialised eagerly again (the Amdahl
+  budget ``docs/performance.md`` tracks).
+
+Run standalone (exits non-zero when either bound is violated):
 
     PYTHONPATH=src python benchmarks/profile_smoke.py
     PYTHONPATH=src python benchmarks/profile_smoke.py --min-model-share 0.1
+    PYTHONPATH=src python benchmarks/profile_smoke.py --max-gamma-share 0.5
 """
 
 from __future__ import annotations
@@ -46,27 +51,59 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="required share of total profiled time spent inside the inner "
         "model's _predict_batch (cumulative)",
     )
+    parser.add_argument(
+        "--max-gamma-share",
+        type=float,
+        default=0.55,
+        help="maximum share of total profiled time spent inside Γ "
+        "(perturb_many/perturb_batch, cumulative)",
+    )
     parser.add_argument("--top", type=int, default=20)
     return parser.parse_args(argv)
 
 
-def model_share(stats: pstats.Stats, marker: str = "_predict_batch") -> float:
+def model_share(stats: pstats.Stats) -> float:
     """Cumulative-time share of the inner model's batch prediction.
 
-    The marker is matched on function name so the check survives line-number
-    drift; the analytical model's ``_predict_batch`` is the top-level inner
-    entry — everything below it (memo lookups, hazard scans) is genuine
-    model work by construction.
+    The markers are matched on function name so the check survives
+    line-number drift.  ``_predict_rows_batch`` is the analytical model's
+    fused kernel — the top-level inner entry on the encoded path, where
+    ``predict_batch`` calls it directly and ``_predict_batch`` never runs;
+    ``_predict_batch`` covers the materialised and reference-kernel paths.
+    Taking the max (never the sum: one delegates to the other) keeps the
+    floor meaningful on every lane.
     """
     total = stats.total_tt
     if total <= 0.0:
         raise SystemExit("profile captured no time at all")
     best = 0.0
     for (filename, _line, name), entry in stats.stats.items():
-        if name == marker and filename.endswith("analytical.py"):
+        if name in ("_predict_batch", "_predict_rows_batch") and filename.endswith(
+            "analytical.py"
+        ):
             cumulative = entry[3]
             best = max(best, cumulative)
     return best / total
+
+
+def gamma_share(stats: pstats.Stats) -> float:
+    """Cumulative-time share of Γ: perturbation generation end to end.
+
+    ``perturb_many`` and ``perturb_batch`` are disjoint entry points (the
+    eager and encoded sampler paths) so their cumulative times add without
+    double counting; matching on ``algorithm.py`` keeps the check pinned to
+    the perturber even if same-named methods appear elsewhere.
+    """
+    total = stats.total_tt
+    if total <= 0.0:
+        raise SystemExit("profile captured no time at all")
+    gamma = 0.0
+    for (filename, _line, name), entry in stats.stats.items():
+        if name in ("perturb_many", "perturb_batch") and filename.endswith(
+            "algorithm.py"
+        ):
+            gamma += entry[3]
+    return gamma / total
 
 
 def main(argv=None) -> int:
@@ -94,6 +131,9 @@ def main(argv=None) -> int:
     stats.sort_stats("cumulative").print_stats(args.top)
     share = model_share(stats)
     print(f"inner-model _predict_batch share of total time: {share:.1%}")
+    gamma = gamma_share(stats)
+    print(f"gamma perturb_many/perturb_batch share of total time: {gamma:.1%}")
+    failed = False
     if share < args.min_model_share:
         print(
             f"FAIL: model share {share:.1%} is below the "
@@ -101,9 +141,20 @@ def main(argv=None) -> int:
             "grown around the model calls",
             file=sys.stderr,
         )
-        return 1
-    print(f"OK: model share meets the {args.min_model_share:.1%} floor")
-    return 0
+        failed = True
+    else:
+        print(f"OK: model share meets the {args.min_model_share:.1%} floor")
+    if gamma > args.max_gamma_share:
+        print(
+            f"FAIL: gamma share {gamma:.1%} is above the "
+            f"{args.max_gamma_share:.1%} ceiling — perturbation generation "
+            "(likely eager materialisation) has crept back into the hot loop",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"OK: gamma share is under the {args.max_gamma_share:.1%} ceiling")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ tighter than Hoeffding bounds for probabilities near 0 or 1.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -30,10 +31,40 @@ def kl_bernoulli(p: float, q: float) -> float:
     return p * math.log(p / q) + (1.0 - p) * math.log((1.0 - p) / (1.0 - q))
 
 
+# Memo over completed bisections.  KL-LUCB rounds re-request the same small
+# ``(successes, trials, level)`` triples heavily — early rounds see identical
+# arm statistics across candidates and repeats across rounds — so the scalar
+# bisections (the ≤32-arm delegate path below, plus every per-arm
+# ``ArmStatistics``/``_ArmView`` bound) cache on their full argument tuple.
+# The bound is a pure function of the key, so concurrent explain threads can
+# race on the dict benignly.  Cleared wholesale when full: the working set per
+# explanation is a few thousand keys, so eviction order does not matter.
+_BOUND_MEMO: Dict[tuple, float] = {}
+_BOUND_MEMO_LIMIT = 65536
+_BOUND_MEMO_ENABLED = True
+
+
+@contextmanager
+def bound_memo_disabled():
+    """Disable the bisection memo for a scope (benchmark baseline lanes)."""
+    global _BOUND_MEMO_ENABLED
+    previous = _BOUND_MEMO_ENABLED
+    _BOUND_MEMO_ENABLED = False
+    try:
+        yield
+    finally:
+        _BOUND_MEMO_ENABLED = previous
+
+
 def bernoulli_upper_bound(p_hat: float, n: int, beta: float, tolerance: float = 1e-5) -> float:
     """Largest ``q ≥ p_hat`` with ``n · KL(p_hat, q) ≤ beta`` (bisection)."""
     if n <= 0:
         return 1.0
+    if _BOUND_MEMO_ENABLED:
+        key = (True, p_hat, n, beta, tolerance)
+        cached = _BOUND_MEMO.get(key)
+        if cached is not None:
+            return cached
     level = beta / n
     low, high = p_hat, 1.0
     while high - low > tolerance:
@@ -42,13 +73,23 @@ def bernoulli_upper_bound(p_hat: float, n: int, beta: float, tolerance: float = 
             high = mid
         else:
             low = mid
-    return (low + high) / 2.0
+    value = (low + high) / 2.0
+    if _BOUND_MEMO_ENABLED:
+        if len(_BOUND_MEMO) >= _BOUND_MEMO_LIMIT:
+            _BOUND_MEMO.clear()
+        _BOUND_MEMO[key] = value
+    return value
 
 
 def bernoulli_lower_bound(p_hat: float, n: int, beta: float, tolerance: float = 1e-5) -> float:
     """Smallest ``q ≤ p_hat`` with ``n · KL(p_hat, q) ≤ beta`` (bisection)."""
     if n <= 0:
         return 0.0
+    if _BOUND_MEMO_ENABLED:
+        key = (False, p_hat, n, beta, tolerance)
+        cached = _BOUND_MEMO.get(key)
+        if cached is not None:
+            return cached
     level = beta / n
     low, high = 0.0, p_hat
     while high - low > tolerance:
@@ -57,7 +98,12 @@ def bernoulli_lower_bound(p_hat: float, n: int, beta: float, tolerance: float = 
             low = mid
         else:
             high = mid
-    return (low + high) / 2.0
+    value = (low + high) / 2.0
+    if _BOUND_MEMO_ENABLED:
+        if len(_BOUND_MEMO) >= _BOUND_MEMO_LIMIT:
+            _BOUND_MEMO.clear()
+        _BOUND_MEMO[key] = value
+    return value
 
 
 def _kl_bernoulli_vec(p: np.ndarray, q: np.ndarray) -> np.ndarray:

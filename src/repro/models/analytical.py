@@ -119,11 +119,27 @@ class AnalyticalCostModel(CostModel):
         """
         if self._use_reference_batch_kernel:
             return self._predict_batch_reference(blocks)
+        return self._predict_rows_batch([block.instructions for block in blocks])
+
+    def _rows_kernel(self):
+        """Encoded batches featurise straight from instruction rows.
+
+        The fused loop below only ever reads ``block.instructions``, so the
+        encoded pipeline skips block construction entirely.  The reference
+        numpy kernel wants whole blocks (benchmark baseline lane), so it
+        opts out and encoded batches materialise for it.
+        """
+        if self._use_reference_batch_kernel:
+            return None
+        return self._predict_rows_batch
+
+    def _predict_rows_batch(
+        self, rows: Sequence[Sequence[Instruction]]
+    ) -> List[float]:
         cost_attr = self._cost_attr
         issue_width = self.microarch.issue_width
         out: List[float] = []
-        for block in blocks:
-            instructions = block.instructions
+        for instructions in rows:
             costs: List[float] = []
             best = 0.0
             # One fused pass: instruction costs and RAW hazard costs

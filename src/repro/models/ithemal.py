@@ -162,6 +162,12 @@ class IthemalCostModel(CostModel):
         self.b_out = np.zeros(1)
         self.trained = False
         self.history = TrainingHistory()
+        # Per-instruction pooled-embedding memo for batched inference, keyed
+        # by instruction content key (perturbed blocks share Instruction
+        # instances, and identical content tokenises identically).  The memo
+        # depends only on ``self.embedding``, so anything that mutates the
+        # embedding matrix (training, load) must clear it.
+        self._embed_memo: Dict[tuple, np.ndarray] = {}
 
     # ----------------------------------------------------------- parameters
 
@@ -200,20 +206,48 @@ class IthemalCostModel(CostModel):
         prediction, *_ = self._forward(block)
         return prediction
 
+    def _embedding_for(self, instruction) -> np.ndarray:
+        """Memoised mean-pooled token embedding of one instruction.
+
+        Identical floats to the corresponding :meth:`_instruction_embeddings`
+        row — same token ids gathered from the same embedding matrix — so the
+        memo changes representation only, never predictions.
+        """
+        key = instruction.__dict__.get("_key") or instruction.key()
+        vector = self._embed_memo.get(key)
+        if vector is None:
+            token_ids = [
+                self.tokenizer.token_id(tok)
+                for tok in self.tokenizer.instruction_tokens(instruction)
+            ]
+            vector = self.embedding[token_ids].mean(axis=0)
+            self._embed_memo[key] = vector
+        return vector
+
     def _predict_batch(self, blocks: Sequence[BasicBlock]) -> List[float]:
         """Batched inference: embeddings and the LSTM recurrence run over the
         whole batch at once (padded to the longest block), then one vectorized
         readout.  Equivalent to the sequential path up to BLAS summation
         order (agreement to ~1e-12 relative, verified by the parity tests).
         """
-        if not blocks:
+        return self._predict_rows_batch([block.instructions for block in blocks])
+
+    def _rows_kernel(self):
+        """Tokenisation only reads instructions, so encoded batches predict
+        straight from rows — with re-tokenisation amortised away by the
+        per-instruction embedding memo."""
+        return self._predict_rows_batch
+
+    def _predict_rows_batch(self, rows: Sequence[Sequence]) -> List[float]:
+        if not rows:
             return []
-        lengths = [block.num_instructions for block in blocks]
+        lengths = [len(instructions) for instructions in rows]
         steps = max(lengths)
-        inputs = np.zeros((len(blocks), steps, self.config.embedding_size))
-        for row, block in enumerate(blocks):
-            embeddings, _ = self._instruction_embeddings(block)
-            inputs[row, : embeddings.shape[0]] = embeddings
+        inputs = np.zeros((len(rows), steps, self.config.embedding_size))
+        embedding_for = self._embedding_for
+        for row, instructions in enumerate(rows):
+            for position, instruction in enumerate(instructions):
+                inputs[row, position] = embedding_for(instruction)
         final_hidden = self.lstm.forward_batch(inputs, lengths)
         raw = final_hidden @ self.w_out + self.b_out[0]
         clamped = np.exp(np.clip(raw, -_EXP_CLAMP_LIMIT, _EXP_CLAMP_LIMIT))
@@ -236,6 +270,9 @@ class IthemalCostModel(CostModel):
             raise ModelError("cannot train on an empty dataset")
         epochs = self.config.epochs if epochs is None else epochs
         generator = as_rng(rng if rng is not None else self.config.seed + 1)
+        # Training updates the embedding matrix in place every step, so the
+        # pooled-embedding memo is stale from here on.
+        self._embed_memo.clear()
 
         if not self.trained:
             # Start the readout bias at the mean log-target so early training
@@ -271,6 +308,7 @@ class IthemalCostModel(CostModel):
             self.history.validation_mape.append(mape)
 
         self.trained = True
+        self._embed_memo.clear()
         return self.history
 
     def _train_step(self, block: BasicBlock, target: float, optimizer: AdamOptimizer) -> float:
@@ -349,6 +387,7 @@ class IthemalCostModel(CostModel):
         model.lstm.cell.w_h[...] = data["lstm.w_h"]
         model.lstm.cell.bias[...] = data["lstm.bias"]
         model.trained = True
+        model._embed_memo.clear()
         return model
 
 

@@ -8,6 +8,15 @@ from repro.perturb.replacements import (
     random_immediate,
 )
 from repro.perturb.algorithm import BlockPerturber, PreservationConstraints
+from repro.perturb.batch import (
+    EncodedRow,
+    EncodedTally,
+    PerturbationBatch,
+    encoded_enabled,
+    encoded_tally,
+    forced_encoded,
+    thread_encoded_tally,
+)
 from repro.perturb.sampler import PerturbationSampler
 from repro.perturb.space import estimate_space_size, per_instruction_choices
 
@@ -21,6 +30,13 @@ __all__ = [
     "BlockPerturber",
     "PreservationConstraints",
     "PerturbationSampler",
+    "EncodedRow",
+    "EncodedTally",
+    "PerturbationBatch",
+    "encoded_enabled",
+    "encoded_tally",
+    "forced_encoded",
+    "thread_encoded_tally",
     "estimate_space_size",
     "per_instruction_choices",
 ]

@@ -40,6 +40,7 @@ from repro.bb.features import (
 from repro.isa.instructions import Instruction
 from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
 from repro.isa.validation import is_valid_instruction
+from repro.perturb.batch import EncodedRow, PerturbationBatch, _count_rows
 from repro.perturb.config import PerturbationConfig, ReplacementScheme
 from repro.perturb.replacements import (
     cache_opcode_replacements,
@@ -60,6 +61,11 @@ _MEMORY_DELTAS = (-64, -32, -16, -8, 8, 16, 32, 64)
 #: dynamic dependency break picks its replacement register outside the static
 #: tables, so the rewritten endpoint is treated as stale for every root.
 _ALL_ROOTS = object()
+
+#: Resolution sentinel for :meth:`BlockPerturber._resolve_row`: the row's
+#: decisions changed nothing, so the original block instance stands in for it
+#: (no construction, memos stay warm).
+_IDENTITY = object()
 
 
 @dataclass(frozen=True)
@@ -514,25 +520,65 @@ class BlockPerturber:
         ):
             out, fallbacks = self._perturb_wave(plan, count, generator)
         else:
-            # The whole-instruction scheme interleaves operand-randomisation
-            # coins with its picks (data-dependent rng), so it stays on the
-            # per-perturbation engines.
-            out = []
-            fallbacks = 0
-            for _ in range(count):
-                perturbed = None
-                for _ in range(self.config.max_block_attempts):
-                    perturbed = self._perturb_once(plan, generator)
-                    if perturbed is not None:
-                        break
-                if perturbed is None:
-                    perturbed = self.block
-                    fallbacks += 1
-                out.append(perturbed)
+            out, fallbacks = self._perturb_loop(plan, count, generator)
         self._account(count, fallbacks)
         return out
 
+    def perturb_batch(
+        self,
+        count: int,
+        features: Iterable[Feature] = (),
+        rng: RandomSource = None,
+    ) -> PerturbationBatch:
+        """Encoded twin of :meth:`perturb_many` (same stream, same blocks).
+
+        The wave engine resolves each row to its survivor instruction
+        references and defers block construction
+        (:class:`~repro.perturb.batch.EncodedRow`); rows that leave the wave
+        fast path — retry attempts through the per-perturbation engine,
+        ``max_block_attempts`` fallbacks — are materialised eagerly, in row
+        order, so the random stream stays bit-identical to
+        :meth:`perturb_many`.  Non-wave engines (``legacy``/``reference``,
+        and the whole-instruction scheme) stay untouched oracles: their rows
+        are materialised blocks wrapped in the batch container.
+        """
+        generator = as_rng(rng) if rng is not None else self._rng
+        plan = self._plan_for(features)
+        if (
+            self._engine == "soa"
+            and self.config.replacement_scheme is not ReplacementScheme.WHOLE_INSTRUCTION
+        ):
+            rows, fallbacks, encoded = self._perturb_wave_rows(
+                plan, count, generator
+            )
+        else:
+            rows, fallbacks = self._perturb_loop(plan, count, generator)
+            encoded = 0
+        self._account(count, fallbacks)
+        _count_rows(encoded, count - encoded)
+        return PerturbationBatch(rows)
+
     # ------------------------------------------------------------ internals
+
+    def _perturb_loop(
+        self, plan: _ConstraintPlan, count: int, rng: np.random.Generator
+    ) -> Tuple[List[BasicBlock], int]:
+        """The per-perturbation engines' outer loop (reference/legacy, and the
+        whole-instruction scheme, which interleaves operand-randomisation
+        coins with its picks — data-dependent rng — so it cannot wave)."""
+        out: List[BasicBlock] = []
+        fallbacks = 0
+        for _ in range(count):
+            perturbed = None
+            for _ in range(self.config.max_block_attempts):
+                perturbed = self._perturb_once(plan, rng)
+                if perturbed is not None:
+                    break
+            if perturbed is None:
+                perturbed = self.block
+                fallbacks += 1
+            out.append(perturbed)
+        return out, fallbacks
 
     def _account(self, count: int, fallbacks: int) -> None:
         global _perturbations_total, _fallbacks_total
@@ -914,6 +960,103 @@ class BlockPerturber:
             out.append(perturbed)
         return out, fallbacks
 
+    def _perturb_wave_rows(
+        self, plan: _ConstraintPlan, count: int, rng: np.random.Generator
+    ) -> Tuple[List[object], int, int]:
+        """Encoded twin of :meth:`_perturb_wave`: rows stay unmaterialised.
+
+        Draws the identical coin/pick rectangles and walks the identical
+        per-row resolution (:meth:`_resolve_row`), so the random stream is
+        bit-for-bit the stream :meth:`_perturb_wave` consumes.  Fast-path
+        rows come back as :class:`~repro.perturb.batch.EncodedRow` (survivor
+        references, block deferred) or the original block instance (identity
+        rows); rows whose resolution fails retry eagerly — in row order,
+        because retries consume rng — through the per-perturbation engine
+        and land materialised.  Returns ``(rows, fallbacks, encoded)`` where
+        ``encoded`` counts fast-path rows.
+        """
+        config = self.config
+        tables = self._soa_tables(plan)
+        n_unlocked = tables.n_unlocked
+        n_deps = tables.n_deps
+        p_perturb = 1.0 - config.p_instruction_retain
+        p_delete = config.p_delete if plan.deletion_allowed else 0.0
+        p_retain = config.p_dependency_explicit_retain
+        p_attempt = config.p_dependency_perturb_attempt
+        perturb_rows = self._flip_rows(rng, count, n_unlocked, p_perturb)
+        delete_rows = self._flip_rows(rng, count, n_unlocked, p_delete)
+        retain_rows = self._flip_rows(rng, count, n_deps, p_retain)
+        attempt_rows = self._flip_rows(rng, count, n_deps, p_attempt)
+        degenerate = all(
+            p in (0.0, 1.0) for p in (p_perturb, p_delete, p_retain, p_attempt)
+        )
+        vertex_picks: Optional[List[List[int]]] = None
+        dep_picks: Optional[List[List[int]]] = None
+        if not degenerate:
+            if n_unlocked:
+                vertex_picks = rng.integers(
+                    0, tables.pool_bounds, size=(count, n_unlocked)
+                ).tolist()
+            if n_deps:
+                dep_picks = rng.integers(
+                    0, tables.dep_bounds, size=(count, n_deps)
+                ).tolist()
+        rows: List[object] = []
+        fallbacks = 0
+        encoded = 0
+        block = self.block
+        max_attempts = config.max_block_attempts
+        for row in range(count):
+            perturb_row = perturb_rows[row]
+            retain_row = retain_rows[row]
+            attempt_row = attempt_rows[row]
+            # Zero-flag rows are identity by construction — every vertex
+            # action is gated on its perturb flag and every edge action on
+            # ``attempt and not retain`` — and their resolution consumes no
+            # rng (deletes/picks are reached only behind those same flags),
+            # so the full resolve walk can be skipped without moving the
+            # random stream.  At the paper's default retain/attempt rates a
+            # third of all rows take this exit.
+            if not (
+                any(perturb_row)
+                or any(
+                    attempt_row[d] and not retain_row[d]
+                    for d in range(n_deps)
+                )
+            ):
+                rows.append(block)
+                encoded += 1
+                continue
+            resolved = self._resolve_row(
+                plan,
+                tables,
+                perturb_row,
+                delete_rows[row],
+                retain_row,
+                attempt_row,
+                rng,
+                vertex_picks[row] if vertex_picks is not None else None,
+                dep_picks[row] if dep_picks is not None else None,
+            )
+            if resolved is _IDENTITY:
+                rows.append(block)
+                encoded += 1
+                continue
+            if resolved is not None:
+                rows.append(EncodedRow(block, tuple(resolved)))
+                encoded += 1
+                continue
+            perturbed = None
+            attempt = 1
+            while perturbed is None and attempt < max_attempts:
+                perturbed = self._perturb_once(plan, rng)
+                attempt += 1
+            if perturbed is None:
+                perturbed = block
+                fallbacks += 1
+            rows.append(perturbed)
+        return rows, fallbacks, encoded
+
     def _apply_row(
         self,
         plan: _ConstraintPlan,
@@ -928,9 +1071,52 @@ class BlockPerturber:
     ) -> Optional[BasicBlock]:
         """Materialise one perturbation from its pre-drawn decision row.
 
+        Thin wrapper over :meth:`_resolve_row` that builds the block; the
+        encoded pipeline (:meth:`perturb_batch`) calls the resolver directly
+        and defers construction.
+        """
+        resolved = self._resolve_row(
+            plan,
+            tables,
+            perturb_row,
+            delete_row,
+            retain_row,
+            attempt_row,
+            rng,
+            vertex_picks,
+            dep_picks,
+        )
+        if resolved is None:
+            return None
+        if resolved is _IDENTITY:
+            # Nothing moved: hand back the original block *instance* so the
+            # cost model's and dependency scan's per-instance memos stay
+            # warm (block equality is by content, so downstream results are
+            # bit-identical to a freshly-built copy).
+            return self.block
+        return self.block.with_instructions(resolved)
+
+    def _resolve_row(
+        self,
+        plan: _ConstraintPlan,
+        tables: _SoaTables,
+        perturb_row: List[bool],
+        delete_row: List[bool],
+        retain_row: List[bool],
+        attempt_row: List[bool],
+        rng: np.random.Generator,
+        vertex_picks: Optional[List[int]] = None,
+        dep_picks: Optional[List[int]] = None,
+    ):
+        """Resolve one decision row to its survivor instruction references.
+
         ``vertex_picks``/``dep_picks`` carry the row's slice of the wave's
         pre-drawn pick rectangles; when absent (degenerate-coin waves) the
-        picks are drawn here, in reference order.
+        picks are drawn here, in reference order.  Returns the survivor list
+        (block construction is the caller's choice), :data:`_IDENTITY` when
+        the row changed nothing, or ``None`` when a rewritten instruction
+        failed validation (the caller retries through the per-perturbation
+        engine).
         """
         working: List[Optional[Instruction]] = list(self.block.instructions)
         live = len(working)
@@ -1057,11 +1243,7 @@ class BlockPerturber:
             changed = True
 
         if not changed:
-            # Nothing moved: hand back the original block *instance* so the
-            # cost model's and dependency scan's per-instance memos stay
-            # warm (block equality is by content, so downstream results are
-            # bit-identical to a freshly-built copy).
-            return self.block
+            return _IDENTITY
         survivors = [inst for inst in working if inst is not None]
         if not survivors:
             return None
@@ -1069,7 +1251,7 @@ class BlockPerturber:
             instruction = working[index]
             if instruction is not None and not is_valid_instruction(instruction):
                 return None
-        return self.block.with_instructions(survivors)
+        return survivors
 
     # ------------------------------------------------- reference (scalar) Γ
 
